@@ -1,0 +1,77 @@
+// Convergence analysis: the physical shape behind the paper's curves.
+//
+// The paper argues from the tuples-touched metric (Fig. 2e); the underlying
+// physical state is the piece-size distribution of the cracker column. This
+// bench tracks #pieces and max/median piece size over the query sequence
+// for Crack vs DD1R vs MDD1R on the random and sequential workloads:
+//   * random + Crack: pieces multiply everywhere, max size collapses;
+//   * sequential + Crack: one giant residual piece persists (max ~ N) —
+//     the robustness pathology in its rawest form;
+//   * sequential + DD1R/MDD1R: random cracks dismantle the giant piece.
+#include "bench_common.h"
+#include "cracking/crack_engine.h"
+#include "cracking/stochastic_engine.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+template <typename Engine>
+void Track(const std::string& label, const std::vector<RangeQuery>& queries,
+           Engine* engine) {
+  std::printf("\n-- %s --\n", label.c_str());
+  std::printf("%10s %10s %14s %14s %14s\n", "query#", "pieces", "max piece",
+              "median piece", "mean piece");
+  const auto points = LogSpacedPoints(static_cast<QueryId>(queries.size()));
+  size_t next_point = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryResult result;
+    const Status status =
+        engine->Select(queries[i].low, queries[i].high, &result);
+    SCRACK_CHECK(status.ok());
+    if (next_point < points.size() &&
+        static_cast<QueryId>(i) + 1 == points[next_point]) {
+      ++next_point;
+      const auto dist = engine->column().DescribePieces();
+      std::printf("%10zu %10zu %14lld %14lld %14.0f\n", i + 1,
+                  dist.num_pieces, static_cast<long long>(dist.max_size),
+                  static_cast<long long>(dist.median_size), dist.mean_size);
+    }
+  }
+}
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/1000);
+  PrintHeader("Analysis: piece-size distribution over the query sequence",
+              "the physical state behind Fig. 2(e)'s touched counts", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+
+  for (const WorkloadKind kind :
+       {WorkloadKind::kRandom, WorkloadKind::kSequential}) {
+    const auto queries = MakeWorkload(kind, DefaultWorkloadParams(env));
+    {
+      CrackEngine engine(&base, config);
+      Track("crack on " + WorkloadName(kind), queries, &engine);
+    }
+    {
+      DataDrivenEngine engine(&base, config, /*center_pivot=*/false,
+                              /*recursive=*/false);
+      Track("dd1r on " + WorkloadName(kind), queries, &engine);
+    }
+    {
+      Mdd1rEngine engine(&base, config);
+      Track("mdd1r on " + WorkloadName(kind), queries, &engine);
+    }
+  }
+  std::printf(
+      "\nReading: under sequential, Crack's max piece stays ~N (the giant\n"
+      "unindexed residual) while DD1R/MDD1R break it down within a handful\n"
+      "of queries — the structural cause of every robustness figure.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

@@ -1,0 +1,73 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every bench binary reads SCRACK_N / SCRACK_Q / SCRACK_SEED from the
+// environment (laptop-scale defaults otherwise; the paper ran N=1e8, Q=1e4
+// on a 2.4GHz Xeon) and prints plain-text tables whose *shape* — who wins,
+// by what factor, where curves flatten — is the reproduction target.
+// EXPERIMENTS.md records paper-vs-measured for each figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace bench {
+
+struct BenchEnv {
+  Index n;
+  QueryId q;
+  uint64_t seed;
+};
+
+inline BenchEnv ReadEnv(Index default_n, QueryId default_q) {
+  BenchEnv env;
+  env.n = static_cast<Index>(EnvInt64("SCRACK_N", default_n));
+  env.q = static_cast<QueryId>(EnvInt64("SCRACK_Q", default_q));
+  env.seed = static_cast<uint64_t>(EnvInt64("SCRACK_SEED", 42));
+  return env;
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& what,
+                        const BenchEnv& env) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s\n# %s\n", figure.c_str(), what.c_str());
+  std::printf("# N=%lld tuples, Q=%lld queries, seed=%llu",
+              static_cast<long long>(env.n), static_cast<long long>(env.q),
+              static_cast<unsigned long long>(env.seed));
+  std::printf("  (override: SCRACK_N / SCRACK_Q / SCRACK_SEED)\n");
+  std::printf("################################################################\n");
+}
+
+/// Runs `spec` over a fresh engine on `base` against `queries`.
+inline RunResult RunSpec(const std::string& spec, const Column& base,
+                         const EngineConfig& config,
+                         const std::vector<RangeQuery>& queries,
+                         const RunOptions& options = {}) {
+  auto engine = CreateEngineOrDie(spec, &base, config);
+  return RunQueries(engine.get(), queries, options);
+}
+
+inline WorkloadParams DefaultWorkloadParams(const BenchEnv& env) {
+  WorkloadParams params;
+  params.n = env.n;
+  params.num_queries = env.q;
+  params.selectivity = 10;
+  params.seed = env.seed + 1;
+  return params;
+}
+
+inline EngineConfig DefaultEngineConfig(const BenchEnv& env) {
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = env.seed;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace scrack

@@ -1,0 +1,46 @@
+// Figure 2 — basic cracking performance.
+//   (a) per-query response time, random workload: Scan flat-high, Sort
+//       pays everything on query 1 then is fastest, Crack starts near Scan
+//       and converges toward Sort.
+//   (b) per-query response time, sequential workload: Crack fails to
+//       improve and tracks Scan.
+//   (c,d) the same two runs as cumulative curves: Sort never amortizes vs
+//       Crack under random; under sequential Sort amortizes after ~100
+//       queries while Crack stays Scan-like.
+//   (e) tuples touched per cracking query: drops fast under random, barely
+//       falls under sequential.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/1000);
+  PrintHeader("Figure 2(a-e): basic cracking performance",
+              "Scan vs Sort vs Crack under random and sequential workloads",
+              env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto points = LogSpacedPoints(env.q);
+
+  for (const WorkloadKind kind :
+       {WorkloadKind::kRandom, WorkloadKind::kSequential}) {
+    const auto queries = MakeWorkload(kind, DefaultWorkloadParams(env));
+    std::vector<RunResult> runs;
+    for (const std::string spec : {"scan", "sort", "crack"}) {
+      runs.push_back(RunSpec(spec, base, config, queries));
+    }
+    const std::string title = WorkloadName(kind) + " workload";
+    PrintPerQueryCurves("Fig 2(a/b) " + title, runs, points);
+    PrintCumulativeCurves("Fig 2(c/d) " + title, runs, points);
+    // Fig 2(e): tuples touched by the cracking query only.
+    PrintTouchedCurves("Fig 2(e) " + title + " (Crack)", {runs[2]}, points);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

@@ -1,0 +1,58 @@
+// Figure 9 — stochastic cracking fixes the sequential workload.
+//   (a) DDC and DDR converge to Sort-like flat cumulative curves where
+//       Crack keeps climbing; DDR's first query is ~2x cheaper than DDC's.
+//   (b) DD1C/DD1R: lower initialization than their recursive siblings, a
+//       few more queries to converge; DD1R's first query ~4x under DD1C's.
+//   (c) progressive variants P100/P50/P10/P1: the tighter the swap budget,
+//       the cheaper the first query and the later the convergence.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/1000);
+  PrintHeader("Figure 9(a-c): sequential workload, stochastic variants",
+              "cumulative response time vs Crack and Sort", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto queries =
+      MakeWorkload(WorkloadKind::kSequential, DefaultWorkloadParams(env));
+  const auto points = LogSpacedPoints(env.q);
+
+  {
+    std::vector<RunResult> runs;
+    for (const std::string spec : {"sort", "crack", "ddc", "ddr"}) {
+      runs.push_back(RunSpec(spec, base, config, queries));
+    }
+    PrintCumulativeCurves("Fig 9(a) DDC / DDR", runs, points);
+  }
+  {
+    std::vector<RunResult> runs;
+    for (const std::string spec : {"sort", "crack", "dd1c", "dd1r"}) {
+      runs.push_back(RunSpec(spec, base, config, queries));
+    }
+    PrintCumulativeCurves("Fig 9(b) DD1C / DD1R", runs, points);
+  }
+  {
+    std::vector<RunResult> runs;
+    for (const std::string spec :
+         {"sort", "crack", "pmdd1r:100", "pmdd1r:50", "pmdd1r:10",
+          "pmdd1r:1"}) {
+      runs.push_back(RunSpec(spec, base, config, queries));
+    }
+    PrintCumulativeCurves("Fig 9(c) progressive stochastic cracking", runs,
+                          points);
+  }
+  std::printf(
+      "\nPaper shape: every stochastic variant flattens within ~10-20\n"
+      "queries while Crack's cumulative keeps climbing ~linearly; tighter\n"
+      "progressive budgets trade first-query cost for convergence speed.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

@@ -1,0 +1,38 @@
+// Figure 13 — Periodic / ZoomOut / ZoomIn / ZoomInAlt workloads.
+//
+// Paper shape: Scrack (P10%) is robust on all four; original cracking
+// fails (ZoomOut, ZoomInAlt badly — it even loses the low-initialization
+// advantage over Sort), behaves acceptably only where the workload itself
+// carries randomness.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/2000);
+  PrintHeader("Figure 13: various workloads under stochastic cracking",
+              "Sort vs Crack vs Scrack (P10%), cumulative seconds", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto points = LogSpacedPoints(env.q);
+
+  for (const WorkloadKind kind :
+       {WorkloadKind::kPeriodic, WorkloadKind::kZoomOut, WorkloadKind::kZoomIn,
+        WorkloadKind::kZoomInAlt}) {
+    const auto queries = MakeWorkload(kind, DefaultWorkloadParams(env));
+    std::vector<RunResult> runs;
+    for (const std::string spec : {"sort", "crack", "pmdd1r:10"}) {
+      runs.push_back(RunSpec(spec, base, config, queries));
+    }
+    runs.back().engine_name = "scrack(P10%)";
+    PrintCumulativeCurves("Fig 13 " + WorkloadName(kind), runs, points);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

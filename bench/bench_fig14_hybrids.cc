@@ -1,0 +1,39 @@
+// Figure 14 — partition/merge adaptive-indexing hybrids on the sequential
+// workload.
+//
+// Paper shape: AICC and AICS inherit original cracking's blinkered
+// query-driven behaviour and fail on sequential (slightly worse than Crack
+// due to merge overhead); grafting DD1R-style random cracks into them
+// (AICC1R / AICS1R) restores robustness — their curves flatten quickly.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/1000);
+  PrintHeader("Figure 14: stochastic hybrids (AICS/AICC +- 1R)",
+              "sequential workload, cumulative seconds", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto queries =
+      MakeWorkload(WorkloadKind::kSequential, DefaultWorkloadParams(env));
+  const auto points = LogSpacedPoints(env.q);
+
+  std::vector<RunResult> runs;
+  for (const std::string spec :
+       {"aics", "aicc", "crack", "aics1r", "aicc1r"}) {
+    runs.push_back(RunSpec(spec, base, config, queries));
+  }
+  PrintCumulativeCurves("Fig 14 hybrids on sequential", runs, points);
+  std::printf(
+      "\nPaper shape: AICS/AICC at or slightly above Crack (merge overhead,\n"
+      "no convergence); AICS1R/AICC1R converge quickly to low flat totals.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

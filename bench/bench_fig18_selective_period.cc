@@ -1,0 +1,40 @@
+// Figure 18 (table) — selective stochastic cracking with varying period on
+// the SkyServer workload: stochastic every X-th query, original otherwise.
+//
+// Paper: 25 / 62 / 65 / 97 / 153 / 239 seconds for X = 1 / 2 / 4 / 8 / 16 /
+// 32 — performance degrades monotonically as stochastic actions are applied
+// less often. X=1 (continuous stochastic cracking) wins.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/10'000);
+  PrintHeader("Figure 18: selective stochastic cracking, varying period",
+              "SkyServer workload; stochastic every X queries", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto queries =
+      MakeWorkload(WorkloadKind::kSkyServer, DefaultWorkloadParams(env));
+
+  TextTable table({"X (stochastic every X queries)", "cumulative secs"});
+  for (const int x : {1, 2, 4, 8, 16, 32}) {
+    const std::string spec =
+        x == 1 ? std::string("mdd1r") : "everyx:" + std::to_string(x);
+    const RunResult run = RunSpec(spec, base, config, queries);
+    table.AddRow({std::to_string(x), TextTable::Num(run.CumulativeSeconds())});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPaper (Fig. 18, 160k queries): 25 / 62 / 65 / 97 / 153 / 239 secs —\n"
+      "monotone degradation as stochastic cracking is applied less often.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

@@ -1,0 +1,46 @@
+// Figure 20 — the total-cost vs initialization-cost trade-off on the
+// sequential workload.
+//
+// x-axis of the paper's scatter: cumulative time for the full sequence;
+// y-axis: cumulative time after queries 1, 2, 4, 8, 16, 32. DD1R minimizes
+// the total; progressive variants (P5%, P10%) minimize the burden on the
+// first queries at some total-cost premium.
+#include "bench_common.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/2000);
+  PrintHeader("Figure 20: summary — total vs initialization cost",
+              "sequential workload; DD1R vs P5% vs P10%", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto queries =
+      MakeWorkload(WorkloadKind::kSequential, DefaultWorkloadParams(env));
+
+  TextTable table({"algorithm", "total secs", "cum@1", "cum@2", "cum@4",
+                   "cum@8", "cum@16", "cum@32"});
+  for (const std::string spec : {"dd1r", "pmdd1r:5", "pmdd1r:10"}) {
+    const RunResult run = RunSpec(spec, base, config, queries);
+    std::vector<std::string> row = {run.engine_name,
+                                    TextTable::Num(run.CumulativeSeconds())};
+    for (const QueryId p : {1, 2, 4, 8, 16, 32}) {
+      row.push_back(TextTable::Num(run.CumulativeSeconds(p)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape: DD1R leftmost on total cost; P5%%/P10%% lower on the\n"
+      "first-queries axis (cheaper initialization) at a small total-cost\n"
+      "premium.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

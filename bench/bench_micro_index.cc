@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the cracker index structure:
+// the from-scratch AVL tree vs std::map on the operations cracking issues
+// (insert-once, floor/higher piece lookups), plus end-to-end piece lookup
+// through CrackerIndex. This is the ablation DESIGN.md calls out for the
+// paper's choice of tree-backed cracker index.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "index/avl_tree.h"
+#include "index/cracker_index.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+void BM_AvlInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    AvlTree tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(static_cast<Value>(rng.Next64() % 100'000'000),
+                  static_cast<Index>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AvlInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_StdMapInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    std::map<Value, Index> tree;
+    for (int64_t i = 0; i < n; ++i) {
+      tree.emplace(static_cast<Value>(rng.Next64() % 100'000'000),
+                   static_cast<Index>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdMapInsert)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_AvlPieceLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AvlTree tree;
+  Rng rng(2);
+  for (int64_t i = 0; i < n; ++i) {
+    tree.Insert(static_cast<Value>(rng.Next64() % 100'000'000),
+                static_cast<Index>(i));
+  }
+  for (auto _ : state) {
+    const Value v = static_cast<Value>(rng.Next64() % 100'000'000);
+    benchmark::DoNotOptimize(tree.Floor(v));
+    benchmark::DoNotOptimize(tree.Higher(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AvlPieceLookup)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_StdMapPieceLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::map<Value, Index> tree;
+  Rng rng(2);
+  for (int64_t i = 0; i < n; ++i) {
+    tree.emplace(static_cast<Value>(rng.Next64() % 100'000'000),
+                 static_cast<Index>(i));
+  }
+  for (auto _ : state) {
+    const Value v = static_cast<Value>(rng.Next64() % 100'000'000);
+    auto it = tree.upper_bound(v);  // Higher
+    benchmark::DoNotOptimize(it);
+    if (it != tree.begin()) --it;   // Floor
+    benchmark::DoNotOptimize(it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdMapPieceLookup)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_CrackerIndexFindPiece(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  CrackerIndex index(100'000'000);
+  Rng rng(3);
+  for (int64_t i = 0; i < n; ++i) {
+    const Value v = static_cast<Value>(rng.Next64() % 100'000'000);
+    index.AddCrack(v, v);  // positions ~ values for a permutation dataset
+  }
+  for (auto _ : state) {
+    const Value v = static_cast<Value>(rng.Next64() % 100'000'000);
+    benchmark::DoNotOptimize(index.FindPiece(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CrackerIndexFindPiece)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace scrack
+
+BENCHMARK_MAIN();

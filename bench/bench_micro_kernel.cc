@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the reorganization kernels the
+// figure benches are built on: crack_in_two / crack_in_three /
+// split_and_materialize / partial partition, and Introselect vs
+// std::nth_element (the DDC median step).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "storage/column.h"
+#include "util/introselect.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+std::vector<Value> MakeData(Index n, uint64_t seed) {
+  return Column::UniquePermutation(n, seed).values();
+}
+
+void BM_CrackInTwo(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 1);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    KernelCounters counters;
+    benchmark::DoNotOptimize(
+        CrackInTwo(data.data(), 0, n, n / 2, &counters));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CrackInTwo)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_CrackInThree(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 2);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    KernelCounters counters;
+    benchmark::DoNotOptimize(
+        CrackInThree(data.data(), 0, n, n / 3, 2 * n / 3, &counters));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CrackInThree)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_SplitAndMaterialize(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 3);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    KernelCounters counters;
+    std::vector<Value> out;
+    benchmark::DoNotOptimize(SplitAndMaterialize(
+        data.data(), 0, n, n / 2 - 50, n / 2 + 50, n / 2, &out, &counters));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SplitAndMaterialize)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_PartialPartitionFull(benchmark::State& state) {
+  // Completing a partition via budgeted steps; cost should track
+  // CrackInTwo within a small constant.
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 4);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    KernelCounters counters;
+    Index left = 0;
+    Index right = n - 1;
+    bool complete = false;
+    while (!complete) {
+      const auto r = PartialPartition(data.data(), left, right, n / 2,
+                                      n / 10, &counters);
+      left = r.left;
+      right = r.right;
+      complete = r.complete;
+    }
+    benchmark::DoNotOptimize(left);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PartialPartitionFull)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_Introselect(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 5);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(SelectNth(data.data(), n, n / 2));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Introselect)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+void BM_StdNthElement(benchmark::State& state) {
+  const Index n = state.range(0);
+  const std::vector<Value> base = MakeData(n, 5);
+  std::vector<Value> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = base;
+    state.ResumeTiming();
+    std::nth_element(data.begin(), data.begin() + n / 2, data.end());
+    benchmark::DoNotOptimize(data[static_cast<size_t>(n / 2)]);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StdNthElement)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 21);
+
+}  // namespace
+}  // namespace scrack
+
+BENCHMARK_MAIN();

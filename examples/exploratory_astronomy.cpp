@@ -1,0 +1,75 @@
+// Exploratory astronomy session — the paper's motivating scenario (§1,
+// Fig. 16).
+//
+// A scientist "scans the sky" through an exploratory query session: long
+// dwells on one right-ascension region, then a jump to the next. We replay
+// the same synthetic SkyServer trace against original cracking and against
+// stochastic cracking and report the cumulative time per phase of the
+// session — the live version of the paper's headline result (25s vs 2274s).
+//
+//   ./exploratory_astronomy [num_queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/engine_factory.h"
+#include "storage/column.h"
+#include "util/timer.h"
+#include "workload/skyserver.h"
+
+using namespace scrack;
+
+int main(int argc, char** argv) {
+  const Index n = 1'000'000;       // "right ascension" value domain
+  QueryId q = 8000;                // session length
+  if (argc > 1) q = std::max(1L, std::atol(argv[1]));
+
+  std::printf("Photoobjall.ra: %lld tuples; session of %lld range queries\n",
+              static_cast<long long>(n), static_cast<long long>(q));
+
+  const Column ra = Column::UniquePermutation(n, /*seed=*/2026);
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = q;
+  params.selectivity = 20;
+  params.seed = 612;
+  const auto trace = MakeSkyServerWorkload(params);
+
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = 7;
+
+  for (const char* spec : {"crack", "pmdd1r:10"}) {
+    auto engine = CreateEngineOrDie(spec, &ra, config);
+    std::printf("\n--- strategy: %s ---\n", engine->name().c_str());
+    std::printf("%10s %16s %18s\n", "query#", "cumulative secs",
+                "tuples touched");
+    Timer timer;
+    double cumulative = 0;
+    const QueryId report_every = std::max<QueryId>(1, q / 8);
+    for (QueryId i = 0; i < static_cast<QueryId>(trace.size()); ++i) {
+      timer.Start();
+      QueryResult result;
+      if (Status s = engine->Select(trace[static_cast<size_t>(i)].low,
+                                    trace[static_cast<size_t>(i)].high,
+                                    &result);
+          !s.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      cumulative += timer.ElapsedSeconds();
+      if ((i + 1) % report_every == 0 || i + 1 == q) {
+        std::printf("%10lld %16.3f %18lld\n", static_cast<long long>(i + 1),
+                    cumulative,
+                    static_cast<long long>(engine->stats().tuples_touched));
+      }
+    }
+    std::printf("session total: %.3f secs, %lld cracks introduced\n",
+                cumulative,
+                static_cast<long long>(engine->stats().cracks));
+  }
+
+  std::printf(
+      "\nTake-away: under a focused exploratory pattern, original cracking\n"
+      "keeps re-scanning the uncracked region of each new sky area, while\n"
+      "stochastic cracking stays flat — the paper's Fig. 16 in miniature.\n");
+  return 0;
+}

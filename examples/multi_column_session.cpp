@@ -1,0 +1,83 @@
+// Multi-column exploration with sideways cracking.
+//
+// The paper's select operator works on one attribute; real queries project
+// other attributes of the qualifying tuples ("SELECT mag, dec WHERE
+// ra BETWEEN ..."). Sideways cracking (paper §2, [18]) handles this with
+// per-attribute cracker maps, created on demand and evicted under a storage
+// budget. This example runs an exploratory astronomy session over a
+// three-attribute table and shows maps being created, reused, and evicted.
+//
+//   ./multi_column_session
+#include <cstdio>
+
+#include "sideways/sideways_cracker.h"
+#include "storage/table.h"
+#include "util/rng.h"
+#include "workload/skyserver.h"
+
+using namespace scrack;
+
+int main() {
+  const Index n = 500'000;
+
+  // Photoobjall-like table: right ascension + two payload attributes.
+  Table table("photoobjall");
+  if (!table.AddColumn("ra", Column::UniquePermutation(n, 1)).ok()) return 1;
+  {
+    const Column* ra = table.GetColumn("ra");
+    std::vector<Value> mag(static_cast<size_t>(n));
+    std::vector<Value> dec(static_cast<size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      mag[static_cast<size_t>(i)] = ((*ra)[i] * 7) % 3000;   // "magnitude"
+      dec[static_cast<size_t>(i)] = ((*ra)[i] * 13) % 1800;  // "declination"
+    }
+    if (!table.AddColumn("mag", Column(std::move(mag))).ok()) return 1;
+    if (!table.AddColumn("dec", Column(std::move(dec))).ok()) return 1;
+  }
+
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = 11;
+  // Budget deliberately tight: one live map at a time (each map is two
+  // n-value arrays), so switching projected attributes evicts.
+  SidewaysCracker cracker(&table, "ra", config, CrackerMap::Mode::kDd1r,
+                          /*budget_bytes=*/2 * n * sizeof(Value) + 4096);
+
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = 3000;
+  params.selectivity = 50;
+  params.seed = 99;
+  const auto trace = MakeSkyServerWorkload(params);
+
+  std::printf("%8s %6s %12s %10s %12s\n", "query#", "proj", "results",
+              "live maps", "maps built");
+  int64_t printed = 0;
+  Rng pick(3);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    // The analyst alternates between projecting magnitude and declination,
+    // in stretches — which is what makes eviction policy matter.
+    const char* projected = (i / 700) % 2 == 0 ? "mag" : "dec";
+    QueryResult result;
+    const Status status =
+        cracker.Project(projected, trace[i].low, trace[i].high, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "projection failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (i % 300 == 0 && printed++ < 12) {
+      std::printf("%8zu %6s %12lld %10zu %12lld\n", i, projected,
+                  static_cast<long long>(result.count()),
+                  cracker.num_live_maps(),
+                  static_cast<long long>(cracker.maps_created()));
+    }
+  }
+  std::printf(
+      "\nSession done. %lld maps were built in total; the storage budget\n"
+      "kept at most one alive, so each projection switch rebuilt (and\n"
+      "re-cracked) its map — the trade-off partial sideways cracking\n"
+      "manages. Validation: %s\n",
+      static_cast<long long>(cracker.maps_created()),
+      cracker.Validate().ToString().c_str());
+  return 0;
+}

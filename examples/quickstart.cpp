@@ -1,0 +1,76 @@
+// Quickstart: adaptive range selection with the scrack library.
+//
+// Builds a 2M-value column, registers it in an AdaptiveStore behind the
+// paper's recommended robust strategy (MDD1R stochastic cracking), runs a
+// handful of range queries, and shows how the cost per query collapses as
+// the column cracks itself — no index was ever built explicitly.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "harness/adaptive_store.h"
+#include "storage/column.h"
+#include "util/timer.h"
+
+using namespace scrack;
+
+int main() {
+  const Index n = 2'000'000;
+  std::printf("Creating a column with %lld unique integers...\n",
+              static_cast<long long>(n));
+
+  AdaptiveStore store;
+  Status status =
+      store.AddColumn("price", Column::UniquePermutation(n, /*seed=*/1));
+  if (!status.ok()) {
+    std::fprintf(stderr, "AddColumn failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Range queries over the same region: the first pays a near-full scan
+  // (and cracks the column as a side effect), the rest get cheaper.
+  struct Probe {
+    Value low, high;
+  };
+  const Probe probes[] = {
+      {500'000, 500'100}, {500'050, 500'150}, {499'900, 500'200},
+      {500'000, 500'100}, {1'200'000, 1'200'500},
+  };
+
+  std::printf("%-28s %12s %12s %14s\n", "query", "results", "micros",
+              "tuples touched");
+  for (const Probe& p : probes) {
+    const int64_t touched_before =
+        store.engine("price")->stats().tuples_touched;
+    Timer timer;
+    QueryResult result;
+    status = store.Select("price", p.low, p.high, &result);
+    const double micros = timer.ElapsedSeconds() * 1e6;
+    if (!status.ok()) {
+      std::fprintf(stderr, "Select failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const int64_t touched =
+        store.engine("price")->stats().tuples_touched - touched_before;
+    std::printf("SELECT ... WHERE %7lld<=v<%-7lld %10lld %12.1f %14lld\n",
+                static_cast<long long>(p.low),
+                static_cast<long long>(p.high),
+                static_cast<long long>(result.count()), micros,
+                static_cast<long long>(touched));
+  }
+
+  // Updates merge lazily into the cracked column.
+  for (Value v = 500'000; v < 500'010; ++v) {
+    if (Status s = store.Insert("price", v); !s.ok()) {
+      std::fprintf(stderr, "Insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  QueryResult after;
+  (void)store.Select("price", 500'000, 500'100, &after);
+  std::printf(
+      "\nAfter staging 10 inserts, the same range now reports %lld rows.\n",
+      static_cast<long long>(after.count()));
+  std::printf("Adaptive indexing needed no DDL, no tuning, no idle time.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Strategy advisor: compare indexing strategies on your workload shape.
+//
+// A downstream user rarely knows a priori whether their query pattern is
+// "random enough" for original cracking. This example runs any workload
+// pattern from the paper's catalogue against a configurable set of engines
+// and prints a convergence table plus a recommendation, exercising the
+// public factory + workload + experiment APIs end to end.
+//
+//   ./strategy_advisor [workload] [engines...]
+//   ./strategy_advisor Sequential crack dd1r pmdd1r:10 sort
+//   ./strategy_advisor SkyServer
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+using namespace scrack;
+
+int main(int argc, char** argv) {
+  const Index n = 1'000'000;
+  const QueryId q = 1000;
+
+  std::string workload_name = argc > 1 ? argv[1] : "Sequential";
+  WorkloadKind kind;
+  if (!ParseWorkloadKind(workload_name, &kind)) {
+    std::fprintf(stderr, "unknown workload '%s'; known:", argv[1]);
+    for (WorkloadKind k : Fig17SyntheticKinds()) {
+      std::fprintf(stderr, " %s", WorkloadName(k).c_str());
+    }
+    std::fprintf(stderr, " Mixed SkyServer\n");
+    return 1;
+  }
+
+  std::vector<std::string> specs;
+  for (int i = 2; i < argc; ++i) specs.push_back(argv[i]);
+  if (specs.empty()) specs = {"scan", "sort", "crack", "dd1r", "pmdd1r:10"};
+
+  const Column base = Column::UniquePermutation(n, 3);
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = q;
+  params.selectivity = 10;
+  params.seed = 11;
+  const auto queries = MakeWorkload(kind, params);
+
+  EngineConfig config = EngineConfig::Detected();
+  std::vector<RunResult> runs;
+  for (const std::string& spec : specs) {
+    std::unique_ptr<SelectEngine> engine;
+    if (Status s = CreateEngine(spec, &base, config, &engine); !s.ok()) {
+      std::fprintf(stderr, "bad engine '%s': %s\n", spec.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("running %-14s on %s...\n", engine->name().c_str(),
+                WorkloadName(kind).c_str());
+    runs.push_back(RunQueries(engine.get(), queries));
+    if (!runs.back().status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   runs.back().status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  PrintCumulativeCurves("advisor: " + WorkloadName(kind), runs,
+                        LogSpacedPoints(q));
+
+  // Recommendation: lowest total; tie-break toward lower first-query cost.
+  size_t best = 0;
+  for (size_t i = 1; i < runs.size(); ++i) {
+    const double total_i = runs[i].CumulativeSeconds();
+    const double total_b = runs[best].CumulativeSeconds();
+    if (total_i < total_b * 0.95 ||
+        (total_i < total_b * 1.05 &&
+         runs[i].CumulativeSeconds(1) < runs[best].CumulativeSeconds(1))) {
+      best = i;
+    }
+  }
+  std::printf("\nrecommendation for '%s': %s (total %.3fs, first query %.4fs)\n",
+              WorkloadName(kind).c_str(), runs[best].engine_name.c_str(),
+              runs[best].CumulativeSeconds(),
+              runs[best].CumulativeSeconds(1));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Streaming updates under adaptive indexing (paper §5, Fig. 15 scenario).
+//
+// A telemetry-style column receives a continuous trickle of inserts and
+// occasional deletes while analysts run range queries over the fresh data.
+// Updates are staged and merged lazily (Ripple) by the queries that need
+// them — the example prints how pending-update backlogs drain and that
+// query answers always reflect every staged update.
+//
+//   ./streaming_updates
+#include <cstdio>
+
+#include "cracking/stochastic_engine.h"
+#include "storage/column.h"
+#include "util/rng.h"
+
+using namespace scrack;
+
+int main() {
+  const Index n = 500'000;
+  const Column base = Column::UniquePermutation(n, 9);
+
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = 31;
+  Mdd1rEngine engine(&base, config);
+
+  Rng rng(2026);
+  Value next_fresh = n;  // new sensor readings get fresh ids
+  int64_t staged = 0;
+
+  std::printf("%8s %10s %12s %12s %14s\n", "tick", "staged", "merged",
+              "results", "pending now");
+  for (int tick = 1; tick <= 40; ++tick) {
+    // 25 inserts + 5 deletes arrive per tick.
+    for (int i = 0; i < 25; ++i) {
+      if (!engine.StageInsert(next_fresh++).ok()) return 1;
+      ++staged;
+    }
+    for (int i = 0; i < 5; ++i) {
+      // Deleting values we just inserted keeps the multiset well-defined.
+      if (!engine.StageDelete(next_fresh - 1 - 5 * i).ok()) return 1;
+      next_fresh -= 0;  // deletes target recent ids
+      ++staged;
+    }
+
+    // Analyst query over a window that covers part of the fresh data.
+    const Value lo = n + rng.UniformValue(0, (next_fresh - n) / 2 + 1);
+    const Value hi = lo + 200;
+    QueryResult result;
+    if (Status s = engine.Select(lo, hi, &result); !s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%8d %10lld %12lld %12lld %14lld\n", tick,
+                static_cast<long long>(staged),
+                static_cast<long long>(engine.stats().updates_merged),
+                static_cast<long long>(result.count()),
+                static_cast<long long>(
+                    engine.column().pending().num_pending_inserts() +
+                    engine.column().pending().num_pending_deletes()));
+  }
+
+  // Full-domain sweep drains everything; verify the bookkeeping.
+  QueryResult all;
+  if (!engine.Select(-1, next_fresh + 1, &all).ok()) return 1;
+  std::printf("\nfull sweep: %lld rows (base %lld + inserts - deletes)\n",
+              static_cast<long long>(all.count()),
+              static_cast<long long>(n));
+  std::printf("pending after sweep: %lld (all merged)\n",
+              static_cast<long long>(
+                  engine.column().pending().num_pending_inserts() +
+                  engine.column().pending().num_pending_deletes()));
+  const Status valid = engine.Validate();
+  std::printf("engine validation: %s\n", valid.ToString().c_str());
+  return valid.ok() ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#include "cracking/auto_engine.h"
+
+namespace scrack {
+
+Status AutoEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+
+  const bool use_stochastic = stochastic_countdown_ > 0;
+  if (use_stochastic) {
+    --stochastic_countdown_;
+    ++stochastic_queries_;
+  }
+  const EndPieceMode mode =
+      use_stochastic ? EndPieceMode::kSplitMat : EndPieceMode::kCrack;
+
+  const int64_t touched_before = stats_.tuples_touched;
+  SCRACK_RETURN_NOT_OK(column_.SelectWithPolicy(
+      low, high, [mode](const Piece&) { return mode; }, result, &stats_));
+  const double touched =
+      static_cast<double>(stats_.tuples_touched - touched_before);
+
+  // Update the detector. The very first query legitimately touches the
+  // whole column (initialization); skip it so a random workload does not
+  // start in stochastic mode.
+  if (stats_.queries > 1) {
+    fast_ewma_ = kFastAlpha * touched + (1 - kFastAlpha) * fast_ewma_;
+    slow_ewma_ = kSlowAlpha * touched + (1 - kSlowAlpha) * slow_ewma_;
+    const double threshold =
+        kPathologicalFraction * static_cast<double>(column_.size());
+    const bool large = fast_ewma_ > threshold;
+    // Stagnation: recent touched counts are not clearly below the longer
+    // average — the workload is not converging on its own.
+    const bool stagnant =
+        stats_.queries > 4 && fast_ewma_ > kStagnationRatio * slow_ewma_;
+    if (large && stagnant && column_.size() > 0) {
+      stochastic_countdown_ = kStochasticBurst;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

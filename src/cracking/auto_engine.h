@@ -1,0 +1,69 @@
+// AutoEngine: dynamic strategy selection (paper §6, future work).
+//
+// "Another line of improvement lies in combining the strengths of the
+// various stochastic cracking algorithms via a dynamic component that
+// decides which algorithm to choose for a query on the fly."
+//
+// AutoEngine implements that component with a simple, robust heuristic on
+// the signal the paper's analysis centres on — tuples touched per query:
+//   * While the workload behaves (touched counts keep shrinking), use
+//     original cracking: it is the cheapest per query and converges
+//     fastest on random workloads (Fig. 10).
+//   * The sequential-workload signature (Fig. 2e) is *stagnation*: touched
+//     counts stay large instead of shrinking. The detector keeps a fast
+//     and a slow exponentially-weighted average of per-query touched
+//     counts; when the fast average is large AND not meaningfully below
+//     the slow one (no downward trend), it switches to MDD1R for a burst
+//     of queries, which breaks up exactly the pieces being hammered.
+// The result tracks Crack on random workloads (whose touched counts decay
+// geometrically, so fast < slow throughout the warmup) and Scrack on
+// pathological ones, without workload knowledge.
+#pragma once
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class AutoEngine : public SelectEngine {
+ public:
+  AutoEngine(const Column* base, const EngineConfig& config)
+      : column_(base, config) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override { return "auto"; }
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+  CrackerColumn& column() { return column_; }
+
+  /// Queries answered stochastically so far (introspection for tests).
+  int64_t stochastic_queries() const { return stochastic_queries_; }
+
+ private:
+  CrackerColumn column_;
+  double fast_ewma_ = 0;
+  double slow_ewma_ = 0;
+  int64_t stochastic_countdown_ = 0;
+  int64_t stochastic_queries_ = 0;
+
+  // Heuristic constants: the two EWMA smoothings, the fraction of the
+  // column above which touched counts matter at all, the stagnation ratio
+  // (fast must stay within this factor of slow to count as "not
+  // shrinking"), and how many queries one trigger keeps stochastic mode on.
+  static constexpr double kFastAlpha = 0.5;
+  static constexpr double kSlowAlpha = 0.1;
+  static constexpr double kPathologicalFraction = 0.02;
+  static constexpr double kStagnationRatio = 0.75;
+  static constexpr int64_t kStochasticBurst = 8;
+};
+
+}  // namespace scrack

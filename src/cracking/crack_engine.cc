@@ -1,0 +1,13 @@
+#include "cracking/crack_engine.h"
+
+namespace scrack {
+
+Status CrackEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  return column_.SelectWithPolicy(
+      low, high, [](const Piece&) { return EndPieceMode::kCrack; }, result,
+      &stats_);
+}
+
+}  // namespace scrack

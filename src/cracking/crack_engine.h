@@ -1,0 +1,40 @@
+// CrackEngine: original database cracking (Idreos et al., CIDR 2007).
+//
+// Each query's selection bounds drive physical reorganization: the pieces
+// the bounds fall into are cracked exactly on the bounds, and the qualifying
+// tuples end up contiguous (Fig. 1). Purely query-driven — which is the
+// very property whose robustness the paper challenges (§3).
+#pragma once
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class CrackEngine : public SelectEngine {
+ public:
+  CrackEngine(const Column* base, const EngineConfig& config)
+      : column_(base, config) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override { return "crack"; }
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+
+  /// Test access to the underlying cracked column.
+  CrackerColumn& column() { return column_; }
+
+ private:
+  CrackerColumn column_;
+};
+
+}  // namespace scrack

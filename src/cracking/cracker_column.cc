@@ -1,0 +1,423 @@
+#include "cracking/cracker_column.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/introselect.h"
+
+namespace scrack {
+
+CrackerColumn::CrackerColumn(const Column* base, const EngineConfig& config)
+    : base_(base),
+      config_(config),
+      index_(0),
+      rng_(config.seed),
+      min_value_(std::numeric_limits<Value>::max()),
+      max_value_(std::numeric_limits<Value>::min()) {
+  SCRACK_CHECK(base_ != nullptr);
+  SCRACK_CHECK(config_.crack_threshold_values >= 1);
+  SCRACK_CHECK(config_.progressive_budget > 0.0 &&
+               config_.progressive_budget <= 1.0);
+}
+
+void CrackerColumn::EnsureInitialized(EngineStats* stats) {
+  if (initialized_) return;
+  const Index n = base_->size();
+  data_.resize(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const Value v = (*base_)[i];
+    data_[static_cast<size_t>(i)] = v;
+    min_value_ = std::min(min_value_, v);
+    max_value_ = std::max(max_value_, v);
+  }
+  index_ = CrackerIndex(n);
+  initialized_ = true;
+  // The copy is part of the first query's cost, as in a cracking DBMS where
+  // the cracker column materializes on first touch.
+  stats->tuples_touched += n;
+}
+
+bool CrackerColumn::AddCrack(Value v, Index pos, EngineStats* stats) {
+  if (index_.AddCrack(v, pos)) {
+    ++stats->cracks;
+    return true;
+  }
+  return false;
+}
+
+Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
+  EnsureInitialized(stats);
+  if (index_.HasCrack(v)) return index_.CrackPosition(v);
+  const Piece piece = index_.FindPiece(v);
+  KernelCounters counters;
+  const Index split = CrackInTwo(data(), piece.begin, piece.end, v, &counters);
+  stats->tuples_touched += counters.touched;
+  stats->swaps += counters.swaps;
+  AddCrack(v, split, stats);
+  return split;
+}
+
+Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
+                                          bool recursive,
+                                          EngineStats* stats) {
+  EnsureInitialized(stats);
+  if (index_.HasCrack(v)) return index_.CrackPosition(v);
+  if (v <= min_value_) return 0;
+  if (v > max_value_) return size();
+
+  Piece piece = index_.FindPiece(v);
+  while (piece.size() > config_.crack_threshold_values) {
+    KernelCounters counters;
+    Value pivot;
+    Index split;
+    if (center_pivot) {
+      // DDC / DD1C: split at the median, found by Introselect (paper §4).
+      const SelectionResult sel = IntroselectPartition(
+          data(), piece.begin, piece.end, piece.begin + piece.size() / 2);
+      pivot = sel.value;
+      split = sel.eq_begin;
+      counters.touched += piece.size();
+    } else {
+      // DDR / DD1R: split at a random element of the piece.
+      const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
+      pivot = data()[r];
+      ++stats->random_pivots;
+      split = CrackInTwo(data(), piece.begin, piece.end, pivot, &counters);
+    }
+    stats->tuples_touched += counters.touched;
+    stats->swaps += counters.swaps;
+    if (!AddCrack(pivot, split, stats)) {
+      // The pivot coincides with the piece's lower bound (e.g. a piece of
+      // equal values): no further subdivision is possible.
+      break;
+    }
+    const Piece next = index_.FindPiece(v);
+    if (next.size() >= piece.size()) break;  // no progress — degenerate data
+    piece = next;
+    if (!recursive) break;  // DD1C / DD1R: at most one auxiliary crack
+  }
+
+  // Final, query-driven crack on v itself (the auxiliary crack may have
+  // landed exactly on v).
+  if (index_.HasCrack(v)) return index_.CrackPosition(v);
+  piece = index_.FindPiece(v);
+  KernelCounters counters;
+  const Index split = CrackInTwo(data(), piece.begin, piece.end, v, &counters);
+  stats->tuples_touched += counters.touched;
+  stats->swaps += counters.swaps;
+  AddCrack(v, split, stats);
+  return split;
+}
+
+void CrackerColumn::SplitMatPiece(const Piece& piece, Value qlo, Value qhi,
+                                  QueryResult* result, EngineStats* stats) {
+  if (piece.size() == 0) return;
+  const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
+  const Value pivot = data()[r];
+  ++stats->random_pivots;
+  KernelCounters counters;
+  std::vector<Value> out;
+  const Index split = SplitAndMaterialize(data(), piece.begin, piece.end, qlo,
+                                          qhi, pivot, &out, &counters);
+  stats->tuples_touched += counters.touched;
+  stats->swaps += counters.swaps;
+  AddCrack(pivot, split, stats);  // duplicate pivot: piece stays whole
+  stats->materialized += static_cast<int64_t>(out.size());
+  result->AddOwned(std::move(out));
+}
+
+void CrackerColumn::ProgressivePiece(const Piece& piece, Value qlo, Value qhi,
+                                     QueryResult* result,
+                                     EngineStats* stats) {
+  if (piece.size() == 0) return;
+  PieceMeta& meta = index_.MetaFor(piece.meta_key);
+  ProgressiveCrack& pc = meta.progressive;
+  if (!pc.active) {
+    pc.active = true;
+    const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
+    pc.pivot = data()[r];
+    pc.left = piece.begin;
+    pc.right = piece.end - 1;
+    ++stats->random_pivots;
+  }
+  const int64_t budget = std::max<int64_t>(
+      1, static_cast<int64_t>(config_.progressive_budget *
+                              static_cast<double>(piece.size())));
+  KernelCounters counters;
+  const PartialPartitionResult part =
+      PartialPartition(data(), pc.left, pc.right, pc.pivot, budget, &counters);
+  pc.left = part.left;
+  pc.right = part.right;
+  if (part.complete) {
+    const Value pivot = pc.pivot;
+    const Index split = part.left;
+    pc = ProgressiveCrack{};  // deactivate before splitting the piece
+    AddCrack(pivot, split, stats);
+  }
+  // Answer the query from the piece regardless of partition progress: the
+  // whole piece is still the only region that can hold qualifying values.
+  std::vector<Value> out;
+  FilterInto(data(), piece.begin, piece.end, qlo, qhi, &out, &counters);
+  stats->tuples_touched += counters.touched;
+  stats->swaps += counters.swaps;
+  stats->materialized += static_cast<int64_t>(out.size());
+  result->AddOwned(std::move(out));
+}
+
+void CrackerColumn::HandleEndPiece(Value v, Value qlo, Value qhi,
+                                   EndPieceMode mode, bool is_low_bound,
+                                   Index* view_edge, QueryResult* result,
+                                   EngineStats* stats) {
+  const Piece piece = index_.FindPiece(v);
+  switch (mode) {
+    case EndPieceMode::kCrack:
+      *view_edge = CrackBound(v, stats);
+      return;
+    case EndPieceMode::kSplitMat:
+      SplitMatPiece(piece, qlo, qhi, result, stats);
+      break;
+    case EndPieceMode::kProgressive:
+      if (piece.size() > config_.progressive_min_values) {
+        ProgressivePiece(piece, qlo, qhi, result, stats);
+      } else {
+        // Below the L2 threshold full MDD1R takes over (paper §4).
+        SplitMatPiece(piece, qlo, qhi, result, stats);
+      }
+      break;
+  }
+  // Qualifying tuples of this piece were materialized; the contiguous part
+  // of the answer starts after (low bound) or ends before (high bound) it.
+  *view_edge = is_low_bound ? piece.end : piece.begin;
+}
+
+Status CrackerColumn::SelectWithPolicy(Value low, Value high,
+                                       const BoundPolicy& policy,
+                                       QueryResult* result,
+                                       EngineStats* stats) {
+  EnsureInitialized(stats);
+  SCRACK_RETURN_NOT_OK(MergePendingIn(low, high, stats));
+  if (size() == 0 || low >= high) return Status::OK();
+
+  const bool low_exact = low <= min_value_ || index_.HasCrack(low);
+  const bool high_exact = high > max_value_ || index_.HasCrack(high);
+
+  // Fast path: both bounds fall uncracked into the same piece. Original
+  // cracking handles this with one crack-in-three pass (Fig. 1, Q1); the
+  // stochastic modes handle the piece once (Fig. 5, P1 == P2).
+  if (!low_exact && !high_exact) {
+    const Piece piece = index_.FindPiece(low);
+    const bool same_piece = !piece.has_upper || high < piece.upper;
+    if (same_piece) {
+      switch (policy(piece)) {
+        case EndPieceMode::kCrack: {
+          KernelCounters counters;
+          const auto [p1, p2] =
+              CrackInThree(data(), piece.begin, piece.end, low, high,
+                           &counters);
+          stats->tuples_touched += counters.touched;
+          stats->swaps += counters.swaps;
+          AddCrack(low, p1, stats);
+          AddCrack(high, p2, stats);
+          result->AddView(data() + p1, p2 - p1);
+          return Status::OK();
+        }
+        case EndPieceMode::kSplitMat:
+          SplitMatPiece(piece, low, high, result, stats);
+          return Status::OK();
+        case EndPieceMode::kProgressive:
+          if (piece.size() > config_.progressive_min_values) {
+            ProgressivePiece(piece, low, high, result, stats);
+          } else {
+            SplitMatPiece(piece, low, high, result, stats);
+          }
+          return Status::OK();
+      }
+    }
+  }
+
+  // General path: handle the two end pieces independently, then emit the
+  // middle as a zero-copy view (Fig. 6).
+  Index view_begin = 0;
+  if (low <= min_value_) {
+    view_begin = 0;
+  } else if (index_.HasCrack(low)) {
+    view_begin = index_.CrackPosition(low);
+  } else {
+    const Piece piece = index_.FindPiece(low);
+    HandleEndPiece(low, low, high, policy(piece), /*is_low_bound=*/true,
+                   &view_begin, result, stats);
+  }
+
+  Index view_end = size();
+  if (high > max_value_) {
+    view_end = size();
+  } else if (index_.HasCrack(high)) {
+    view_end = index_.CrackPosition(high);
+  } else {
+    const Piece piece = index_.FindPiece(high);
+    HandleEndPiece(high, low, high, policy(piece), /*is_low_bound=*/false,
+                   &view_end, result, stats);
+  }
+
+  if (view_end > view_begin) {
+    result->AddView(data() + view_begin, view_end - view_begin);
+  }
+  return Status::OK();
+}
+
+Status CrackerColumn::MergePendingIn(Value low, Value high,
+                                     EngineStats* stats) {
+  if (pending_.empty()) return Status::OK();
+  EnsureInitialized(stats);
+  std::vector<Value> inserts = pending_.TakeInsertsIn(low, high);
+  std::vector<Value> deletes = pending_.TakeDeletesIn(low, high);
+  if (inserts.empty() && deletes.empty()) return Status::OK();
+  // Ripple shifts invalidate the position cursors of in-flight progressive
+  // cracks; abandon them (the partial work is lost, correctness is not).
+  index_.DeactivateAllProgressive();
+  for (Value v : inserts) {
+    RippleInsert(v, stats);
+  }
+  for (Value v : deletes) {
+    SCRACK_RETURN_NOT_OK(RippleDelete(v, stats));
+  }
+  return Status::OK();
+}
+
+void CrackerColumn::RippleInsert(Value v, EngineStats* stats) {
+  EnsureInitialized(stats);
+  const Index old_size = size();
+  data_.push_back(v);  // placeholder; overwritten unless v goes last
+  // One displaced tuple per piece boundary above v, highest boundary first.
+  const std::vector<AvlTree::Entry> cracks = index_.CracksAbove(v);
+  Index hole = old_size;
+  for (auto it = cracks.rbegin(); it != cracks.rend(); ++it) {
+    data_[static_cast<size_t>(hole)] = data_[static_cast<size_t>(it->pos)];
+    hole = it->pos;
+  }
+  data_[static_cast<size_t>(hole)] = v;
+  index_.ShiftAbove(v, +1);
+  min_value_ = std::min(min_value_, v);
+  max_value_ = std::max(max_value_, v);
+  ++stats->updates_merged;
+  stats->tuples_touched += static_cast<int64_t>(cracks.size()) + 1;
+}
+
+Status CrackerColumn::RippleDelete(Value v, EngineStats* stats) {
+  EnsureInitialized(stats);
+  const Piece piece = index_.FindPiece(v);
+  Index hole = -1;
+  for (Index i = piece.begin; i < piece.end; ++i) {
+    ++stats->tuples_touched;
+    if (data()[i] == v) {
+      hole = i;
+      break;
+    }
+  }
+  if (hole < 0) {
+    return Status::NotFound("delete of absent value " + std::to_string(v));
+  }
+  // Close the hole by pulling the last element of each region downward,
+  // region ends being the crack boundaries above v plus the column end.
+  const std::vector<AvlTree::Entry> cracks = index_.CracksAbove(v);
+  for (const AvlTree::Entry& crack : cracks) {
+    if (hole != crack.pos - 1) {
+      data_[static_cast<size_t>(hole)] =
+          data_[static_cast<size_t>(crack.pos - 1)];
+    }
+    hole = crack.pos - 1;
+    ++stats->tuples_touched;
+  }
+  if (hole != size() - 1) {
+    data_[static_cast<size_t>(hole)] = data_[static_cast<size_t>(size() - 1)];
+  }
+  data_.pop_back();
+  index_.ShiftAbove(v, -1);
+  ++stats->updates_merged;
+  return Status::OK();
+}
+
+void CrackerColumn::ExtractRange(Value low, Value high,
+                                 std::vector<Value>* out,
+                                 EngineStats* stats) {
+  EnsureInitialized(stats);
+  if (size() == 0 || low >= high) return;
+  const Index pos_low = low <= min_value_ ? 0 : CrackBound(low, stats);
+  const Index pos_high = high > max_value_ ? size() : CrackBound(high, stats);
+  if (pos_high <= pos_low) return;
+  const Index count = pos_high - pos_low;
+  out->insert(out->end(), data() + pos_low, data() + pos_high);
+  data_.erase(data_.begin() + pos_low, data_.begin() + pos_high);
+  index_.CollapseRange(low, high, pos_low, count);
+  // Moving out `count` tuples and closing the gap touches the tail.
+  stats->tuples_touched += count + (size() - pos_low);
+}
+
+void CrackerColumn::ExtractRange1R(Value low, Value high,
+                                   std::vector<Value>* out,
+                                   EngineStats* stats) {
+  EnsureInitialized(stats);
+  if (size() == 0 || low >= high) return;
+  // One random crack in each bound's piece before the query-driven cracks —
+  // the DD1R logic grafted into the hybrid's initial partitions.
+  if (low > min_value_ && low <= max_value_) {
+    StochasticCrackBound(low, /*center_pivot=*/false, /*recursive=*/false,
+                         stats);
+  }
+  if (high > min_value_ && high <= max_value_) {
+    StochasticCrackBound(high, /*center_pivot=*/false, /*recursive=*/false,
+                         stats);
+  }
+  ExtractRange(low, high, out, stats);
+}
+
+CrackerColumn::PieceDistribution CrackerColumn::DescribePieces() const {
+  PieceDistribution dist;
+  if (!initialized_) return dist;
+  std::vector<Index> sizes;
+  index_.ForEachPiece(
+      [&](const Piece& piece) { sizes.push_back(piece.size()); });
+  if (sizes.empty()) return dist;
+  std::sort(sizes.begin(), sizes.end());
+  dist.num_pieces = sizes.size();
+  dist.min_size = sizes.front();
+  dist.max_size = sizes.back();
+  dist.median_size = sizes[sizes.size() / 2];
+  int64_t total = 0;
+  for (Index s : sizes) total += s;
+  dist.mean_size =
+      static_cast<double>(total) / static_cast<double>(sizes.size());
+  return dist;
+}
+
+Status CrackerColumn::Validate() const {
+  if (!initialized_) return Status::OK();
+  SCRACK_RETURN_NOT_OK(index_.Validate(data(), size()));
+  // Progressive-crack states must describe a genuine partial partition.
+  Status status = Status::OK();
+  index_.ForEachPiece([&](const Piece& piece) {
+    if (!status.ok()) return;
+    const PieceMeta* meta = index_.FindMeta(piece.meta_key);
+    if (meta == nullptr || !meta->progressive.active) return;
+    const ProgressiveCrack& pc = meta->progressive;
+    if (pc.left < piece.begin || pc.right >= piece.end) {
+      status = Status::Internal("progressive cursors outside piece");
+      return;
+    }
+    for (Index i = piece.begin; i < pc.left; ++i) {
+      if (data()[i] >= pc.pivot) {
+        status = Status::Internal("settled-left element >= pivot");
+        return;
+      }
+    }
+    for (Index i = pc.right + 1; i < piece.end; ++i) {
+      if (data()[i] < pc.pivot) {
+        status = Status::Internal("settled-right element < pivot");
+        return;
+      }
+    }
+  });
+  return status;
+}
+
+}  // namespace scrack

@@ -1,0 +1,183 @@
+// CrackerColumn: one attribute's cracker column plus every reorganization
+// primitive the cracking algorithms are composed from.
+//
+// Design: all cracking variants in the paper differ only in *how they treat
+// the two end pieces* a range query touches (crack on the bound, random
+// split with materialization, progressive split, median split...) — the rest
+// (piece lookup, middle views, pending-update merging, bookkeeping) is
+// shared. CrackerColumn owns that shared state and exposes the primitives;
+// the engine classes in *_engine.h are thin policies over it. This is what
+// lets the selective strategies (FiftyFifty, FlipCoin, ScrackMon) mix
+// original and stochastic actions on the same column, exactly as in §4/§5.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "cracking/kernel.h"
+#include "index/cracker_index.h"
+#include "storage/column.h"
+#include "storage/pending_updates.h"
+#include "storage/query_result.h"
+#include "util/rng.h"
+
+namespace scrack {
+
+/// How to treat an end piece that a query bound falls into.
+enum class EndPieceMode {
+  kCrack,        ///< original cracking: crack exactly on the bound
+  kSplitMat,     ///< MDD1R: one random crack, materialize qualifying tuples
+  kProgressive,  ///< PMDD1R: budgeted partial random crack + filtered scan
+};
+
+/// Decides the EndPieceMode for a bound, given the piece it falls in. The
+/// callback may mutate piece metadata (ScrackMon counters do).
+using BoundPolicy = std::function<EndPieceMode(const Piece&)>;
+
+/// The cracker column: a private reorganizable copy of the base column, its
+/// cracker index, pending updates, and an Rng for stochastic choices.
+///
+/// Initialization is lazy: the copy of the base data happens inside the
+/// first Select, so the first query carries the full initialization cost,
+/// as it does in a cracking DBMS (§3: "Q1 needs to analyze all tuples").
+class CrackerColumn {
+ public:
+  /// `base` must outlive this object. Copies nothing until the first query.
+  CrackerColumn(const Column* base, const EngineConfig& config);
+
+  bool initialized() const { return initialized_; }
+
+  /// Copies the base column into the cracker column (no-op after the first
+  /// call). Records min/max for bound shortcuts.
+  void EnsureInitialized(EngineStats* stats);
+
+  Value* data() { return data_.data(); }
+  const Value* data() const { return data_.data(); }
+  Index size() const { return static_cast<Index>(data_.size()); }
+
+  CrackerIndex& index() { return index_; }
+  const CrackerIndex& index() const { return index_; }
+  Rng& rng() { return rng_; }
+  const EngineConfig& config() const { return config_; }
+  PendingUpdates& pending() { return pending_; }
+
+  // ----------------------------------------------------------------------
+  // Query primitives
+  // ----------------------------------------------------------------------
+
+  /// Generic range select [low, high): merges qualifying pending updates,
+  /// then handles each end piece according to `policy`, assembling the
+  /// result as (left materialization) + (middle view) + (right
+  /// materialization). Original cracking, MDD1R, progressive cracking and
+  /// all selective mixtures are instances of this routine.
+  Status SelectWithPolicy(Value low, Value high, const BoundPolicy& policy,
+                          QueryResult* result, EngineStats* stats);
+
+  /// Original cracking: ensures a crack exists at bound v (cracking the
+  /// containing piece if needed) and returns its position.
+  Index CrackBound(Value v, EngineStats* stats);
+
+  /// DDC/DDR/DD1C/DD1R bound handling (paper Fig. 4 and its variants):
+  /// recursively (or once, if !recursive) splits the piece containing v —
+  /// at the median if center_pivot, else at a random element — until it is
+  /// at most config.crack_threshold_values large, then cracks on v itself.
+  /// Returns the position of the crack at v.
+  Index StochasticCrackBound(Value v, bool center_pivot, bool recursive,
+                             EngineStats* stats);
+
+  // ----------------------------------------------------------------------
+  // Updates (Ripple merging, paper Fig. 15 / SIGMOD'07 semantics)
+  // ----------------------------------------------------------------------
+
+  void StageInsert(Value v) { pending_.StageInsert(v); }
+  void StageDelete(Value v) { pending_.StageDelete(v); }
+
+  /// Merges every pending update whose value lies in [low, high) into the
+  /// cracker column via Ripple shifts. Called by SelectWithPolicy before
+  /// answering; also callable directly.
+  Status MergePendingIn(Value low, Value high, EngineStats* stats);
+
+  /// Ripple-inserts one value: one displaced tuple per piece boundary above
+  /// v, plus index position shifts. O(#pieces above v).
+  void RippleInsert(Value v, EngineStats* stats);
+
+  /// Ripple-deletes one occurrence of v. NotFound if v is absent.
+  Status RippleDelete(Value v, EngineStats* stats);
+
+  // ----------------------------------------------------------------------
+  // Hybrid (partition/merge) support
+  // ----------------------------------------------------------------------
+
+  /// Physically removes every value in [low, high) from the column,
+  /// appending them to `out` in storage order. Ensures cracks exist at the
+  /// range bounds first (cracking if necessary), then closes the gap and
+  /// remaps the index. Used by the AICC/AICS initial partitions, which move
+  /// qualifying ranges into the final adaptive area.
+  void ExtractRange(Value low, Value high, std::vector<Value>* out,
+                    EngineStats* stats);
+
+  /// As ExtractRange, but first applies one DD1R-style random crack to the
+  /// pieces holding each bound — the stochastic element of AICC1R/AICS1R.
+  void ExtractRange1R(Value low, Value high, std::vector<Value>* out,
+                      EngineStats* stats);
+
+  // ----------------------------------------------------------------------
+  // Introspection
+  // ----------------------------------------------------------------------
+
+  /// Full invariant check: index structure valid, every element within its
+  /// piece's bounds, no pending progressive state on small pieces. O(n).
+  Status Validate() const;
+
+  /// Summary of the current piece-size distribution — the physical shape
+  /// of convergence (§3: performance follows how finely the touched region
+  /// is partitioned). O(#pieces log #pieces).
+  struct PieceDistribution {
+    size_t num_pieces = 0;
+    Index min_size = 0;
+    Index median_size = 0;
+    Index max_size = 0;
+    double mean_size = 0;
+  };
+  PieceDistribution DescribePieces() const;
+
+  Value min_value() const { return min_value_; }
+  Value max_value() const { return max_value_; }
+
+ private:
+  // Handles the piece containing bound `v` per `mode`. Appends any
+  // materialized tuples to `result`. Sets *view_edge to the position where
+  // the contiguous (view) part of the answer starts (for the low bound) or
+  // ends (for the high bound). `is_low_bound` selects which edge of the
+  // piece the view abuts.
+  void HandleEndPiece(Value v, Value qlo, Value qhi, EndPieceMode mode,
+                      bool is_low_bound, Index* view_edge,
+                      QueryResult* result, EngineStats* stats);
+
+  // MDD1R's split_and_materialize on `piece`, registering the random crack.
+  void SplitMatPiece(const Piece& piece, Value qlo, Value qhi,
+                     QueryResult* result, EngineStats* stats);
+
+  // Progressive continuation on `piece` (budgeted partial partition +
+  // filtered materialization of the whole piece).
+  void ProgressivePiece(const Piece& piece, Value qlo, Value qhi,
+                        QueryResult* result, EngineStats* stats);
+
+  // Registers a crack, tolerating duplicates (returns false if it already
+  // existed) and folding the stats bookkeeping.
+  bool AddCrack(Value v, Index pos, EngineStats* stats);
+
+  const Column* base_;
+  EngineConfig config_;
+  bool initialized_ = false;
+  std::vector<Value> data_;
+  CrackerIndex index_;
+  PendingUpdates pending_;
+  Rng rng_;
+  Value min_value_ = 0;
+  Value max_value_ = -1;  // empty column: min > max
+};
+
+}  // namespace scrack

@@ -1,0 +1,171 @@
+// SelectEngine: the public interface every indexing strategy implements.
+//
+// A SelectEngine answers range selections over one attribute and may, as a
+// collateral effect, physically reorganize its private copy of the data —
+// exactly the select-operator contract database cracking plugs into (paper
+// §2). The same interface covers the non-adaptive baselines (Scan, Sort),
+// original cracking, every stochastic variant, and the partition/merge
+// hybrids, so experiments and applications can swap strategies freely.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "storage/query_result.h"
+#include "util/cache_info.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// Cumulative work counters. The harness snapshots these before and after a
+/// query to derive per-query costs; `tuples_touched` is the paper's central
+/// cost metric (§3, Fig. 2e).
+struct EngineStats {
+  int64_t queries = 0;          ///< Select calls served
+  int64_t tuples_touched = 0;   ///< elements examined during reorganization
+  int64_t swaps = 0;            ///< element exchanges
+  int64_t cracks = 0;           ///< cracks registered in the index
+  int64_t materialized = 0;     ///< tuples copied into owned result buffers
+  int64_t updates_merged = 0;   ///< pending updates merged into the column
+  int64_t random_pivots = 0;    ///< stochastic pivot choices taken
+};
+
+/// Tuning knobs shared by the engines. Defaults reproduce the paper's
+/// choices on its hardware (L1-sized DDC threshold, L2 progressive switch,
+/// 10% progressive swap budget).
+struct EngineConfig {
+  /// Seed for every stochastic decision; equal seeds give identical runs.
+  uint64_t seed = 42;
+
+  /// DDC/DDR stop recursive halving when a piece has at most this many
+  /// values ("the size of L1 cache as piece size threshold provides the
+  /// best overall performance", §4). Defaults to L1 bytes / sizeof(Value).
+  Index crack_threshold_values = 32 * 1024 / static_cast<Index>(sizeof(Value));
+
+  /// Progressive cracking applies only to pieces larger than this
+  /// ("progressive cracking occurs only as long as the targeted data piece
+  /// is bigger than the L2 cache", §4). Defaults to L2 bytes / sizeof(Value).
+  Index progressive_min_values = 256 * 1024 / static_cast<Index>(sizeof(Value));
+
+  /// Fraction of a piece's tuples that one query may swap in the
+  /// progressive path (P10% == 0.10; P100% == MDD1R behaviour).
+  double progressive_budget = 0.10;
+
+  /// Selective variants: apply stochastic cracking every `every_x`-th query
+  /// (FiftyFifty == 2; Fig. 18 sweeps 1..32).
+  int64_t every_x = 2;
+
+  /// FlipCoin: probability a query uses stochastic cracking.
+  double flip_probability = 0.5;
+
+  /// ScrackMon: number of cracks a piece absorbs before the next crack on
+  /// it is forced to be stochastic (Fig. 19 sweeps 1..500).
+  int64_t monitor_threshold = 1;
+
+  /// Naive RkCrack baselines: force one random query before every k-th user
+  /// query (R2crack == 2, Fig. 12).
+  int64_t inject_period = 2;
+
+  /// Hybrid (AICC/AICS) engines: values per initial partition. The paper's
+  /// hybrids size partitions to cache/memory budgets; equal fixed-size
+  /// slices preserve the partition/merge cost shape (see DESIGN.md).
+  Index hybrid_partition_values = 1 << 16;
+
+  /// Populates the cache-derived fields from the host's cache hierarchy.
+  static EngineConfig Detected() {
+    EngineConfig config;
+    const CacheInfo cache = CacheInfo::Detect();
+    config.crack_threshold_values = cache.L1Values();
+    config.progressive_min_values = cache.L2Values();
+    return config;
+  }
+};
+
+/// Interface of a range-select strategy over one column.
+///
+/// Queries are half-open ranges [low, high); the result reports every tuple
+/// v with low <= v < high. Select is infallible for valid inputs and returns
+/// a Status only for contract violations (low > high) or failed update
+/// merges.
+class SelectEngine {
+ public:
+  virtual ~SelectEngine() = default;
+
+  /// Answers [low, high), possibly reorganizing the underlying column.
+  virtual Status Select(Value low, Value high, QueryResult* result) = 0;
+
+  /// Convenience wrapper for benches/examples where inputs are known valid.
+  QueryResult SelectOrDie(Value low, Value high) {
+    QueryResult result;
+    Status status = Select(low, high, &result);
+    SCRACK_CHECK(status.ok());
+    return result;
+  }
+
+  /// Whether an interval endpoint is part of the result.
+  enum class Bound { kInclusive, kExclusive };
+
+  /// General-interval select: answers predicates like the paper's Fig. 1
+  /// ("A > 10 and A < 14" — both exclusive). For the integer Value domain
+  /// every interval maps onto the canonical half-open [low', high') form.
+  Status SelectInterval(Value low, Bound low_bound, Value high,
+                        Bound high_bound, QueryResult* result) {
+    constexpr Value kMax = std::numeric_limits<Value>::max();
+    Value lo = low;
+    if (low_bound == Bound::kExclusive) {
+      if (low == kMax) return Status::OK();  // (MAX, ...] is empty
+      lo = low + 1;
+    }
+    Value hi;  // exclusive upper
+    if (high_bound == Bound::kInclusive) {
+      if (high == kMax) {
+        // [..., MAX] has no representable exclusive upper bound in the
+        // half-open canonical form.
+        return Status::InvalidArgument(
+            "inclusive upper bound of Value max is not supported");
+      }
+      hi = high + 1;
+    } else {
+      hi = high;
+    }
+    if (lo >= hi) return Status::OK();  // empty interval, e.g. (5, 6) on ints
+    return Select(lo, hi, result);
+  }
+
+  /// Strategy name, e.g. "crack", "dd1r", "pmdd1r(10%)".
+  virtual std::string name() const = 0;
+
+  /// Stages a value for insertion; merged into the data on the next query
+  /// whose range covers it (paper Fig. 15 semantics). Default: unsupported.
+  virtual Status StageInsert(Value /*v*/) {
+    return Status::Unimplemented("updates not supported by " + name());
+  }
+
+  /// Stages a value for deletion (lazy, as StageInsert).
+  virtual Status StageDelete(Value /*v*/) {
+    return Status::Unimplemented("updates not supported by " + name());
+  }
+
+  /// Cumulative work counters.
+  const EngineStats& stats() const { return stats_; }
+
+  /// Internal-consistency check (index invariants against the data). Tests
+  /// call this after every query. Default OK for structure-free engines.
+  virtual Status Validate() const { return Status::OK(); }
+
+ protected:
+  /// Validates a query range: low <= high required.
+  static Status CheckRange(Value low, Value high) {
+    if (low > high) {
+      return Status::InvalidArgument("select range has low > high");
+    }
+    return Status::OK();
+  }
+
+  EngineStats stats_;
+};
+
+}  // namespace scrack

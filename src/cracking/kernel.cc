@@ -1,0 +1,123 @@
+#include "cracking/kernel.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                 KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  Index lo = begin;
+  Index hi = end - 1;
+  int64_t swaps = 0;
+  while (lo <= hi) {
+    while (lo <= hi && data[lo] < pivot) ++lo;
+    while (lo <= hi && data[hi] >= pivot) --hi;
+    if (lo < hi) {
+      std::swap(data[lo], data[hi]);
+      ++lo;
+      --hi;
+      ++swaps;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return lo;
+}
+
+std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
+                                     Value lo, Value hi,
+                                     KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  SCRACK_DCHECK(lo <= hi);
+  // Dutch-national-flag with two pivots:
+  //   [begin, lt) < lo   |   [lt, i) in [lo, hi)   |   [gt, end) >= hi
+  Index lt = begin;
+  Index i = begin;
+  Index gt = end;
+  int64_t swaps = 0;
+  while (i < gt) {
+    if (data[i] < lo) {
+      if (lt != i) {
+        std::swap(data[lt], data[i]);
+        ++swaps;
+      }
+      ++lt;
+      ++i;
+    } else if (data[i] >= hi) {
+      --gt;
+      std::swap(data[i], data[gt]);
+      ++swaps;
+    } else {
+      ++i;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return {lt, gt};
+}
+
+Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
+                          Value qhi, Value pivot, std::vector<Value>* out,
+                          KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  // Faithful to paper Fig. 5 (split_and_materialize): one pass that both
+  // partitions around `pivot` and collects qualifying values.
+  Index left = begin;
+  Index right = end - 1;
+  int64_t swaps = 0;
+  while (left <= right) {
+    while (left <= right && data[left] < pivot) {
+      if (qlo <= data[left] && data[left] < qhi) out->push_back(data[left]);
+      ++left;
+    }
+    while (left <= right && data[right] >= pivot) {
+      if (qlo <= data[right] && data[right] < qhi) out->push_back(data[right]);
+      --right;
+    }
+    if (left < right) {
+      std::swap(data[left], data[right]);
+      ++swaps;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return left;
+}
+
+PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
+                                        Value pivot, int64_t max_swaps,
+                                        KernelCounters* counters) {
+  SCRACK_DCHECK(max_swaps >= 0);
+  int64_t swaps = 0;
+  const Index start_left = left;
+  const Index start_right = right;
+  while (left <= right && swaps < max_swaps) {
+    while (left <= right && data[left] < pivot) ++left;
+    while (left <= right && data[right] >= pivot) --right;
+    if (left < right) {
+      std::swap(data[left], data[right]);
+      ++left;
+      --right;
+      ++swaps;
+    }
+  }
+  // Swap budget exhausted with cursors meeting exactly on one element: the
+  // loop above exits with left == right only via cursor advances, which
+  // classify that element; if it exited on the budget with left == right the
+  // element at `left` is still unclassified and the next call handles it.
+  counters->touched += (left - start_left) + (start_right - right);
+  counters->swaps += swaps;
+  return {left, right, left > right};
+}
+
+void FilterInto(const Value* data, Index begin, Index end, Value qlo,
+                Value qhi, std::vector<Value>* out,
+                KernelCounters* counters) {
+  for (Index i = begin; i < end; ++i) {
+    if (qlo <= data[i] && data[i] < qhi) out->push_back(data[i]);
+  }
+  counters->touched += end - begin;
+}
+
+}  // namespace scrack

@@ -1,0 +1,80 @@
+// Physical reorganization kernels.
+//
+// These are the tight loops every cracking algorithm is built from. They are
+// deliberately free functions over raw arrays: the paper's point (§2,
+// column-stores) is that cracking reorganizes a dense fixed-width array in
+// one vectorizable pass. All kernels report work done through KernelCounters
+// so engines can account the paper's cost metric — "the amount of data the
+// system has to touch for every query" (§3).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// Work counters accumulated by the kernels.
+struct KernelCounters {
+  int64_t touched = 0;  ///< elements examined
+  int64_t swaps = 0;    ///< element exchanges performed
+
+  KernelCounters& operator+=(const KernelCounters& other) {
+    touched += other.touched;
+    swaps += other.swaps;
+    return *this;
+  }
+};
+
+/// Two-way crack of [begin, end): after the call, elements < pivot occupy
+/// [begin, p) and elements >= pivot occupy [p, end), where p is the returned
+/// split position. Single pass, stable in cost (touches end-begin elements)
+/// but not in order — exactly the cracking select-operator kernel of Fig. 1.
+Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                 KernelCounters* counters);
+
+/// Three-way crack of [begin, end) for a range query [lo, hi): after the
+/// call the layout is
+///   [begin, p1) : values <  lo
+///   [p1, p2)    : values >= lo and < hi
+///   [p2, end)   : values >= hi
+/// Returns (p1, p2). This is the single-pass kernel original cracking uses
+/// when both query bounds fall into the same uncracked piece (Fig. 1, Q1).
+std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
+                                     Value lo, Value hi,
+                                     KernelCounters* counters);
+
+/// The split_and_materialize kernel of MDD1R (paper Fig. 5): partitions
+/// [begin, end) around `pivot` (values < pivot left) while appending every
+/// element v with qlo <= v < qhi to `out` in the same pass. Returns the
+/// split position.
+Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
+                          Value qhi, Value pivot, std::vector<Value>* out,
+                          KernelCounters* counters);
+
+/// State advanced by PartialPartition.
+struct PartialPartitionResult {
+  Index left;     ///< next unprocessed position from the left
+  Index right;    ///< next unprocessed position from the right
+  bool complete;  ///< true when left > right (partition finished)
+};
+
+/// Progressive-cracking kernel: continues a two-way partition of the region
+/// [left, right] (inclusive cursors) around `pivot`, performing at most
+/// `max_swaps` element exchanges before yielding. Elements left of `left`
+/// are already < pivot; elements right of `right` are already >= pivot.
+/// A sequence of calls with the returned cursors completes the same
+/// partition CrackInTwo would have produced in one go (paper §4,
+/// "Progressive Stochastic Cracking").
+PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
+                                        Value pivot, int64_t max_swaps,
+                                        KernelCounters* counters);
+
+/// Filtered materialization: appends every element of [begin, end) with
+/// qlo <= v < qhi to `out`. Used by the progressive path, which must answer
+/// from pieces whose physical reorganization is still in flight.
+void FilterInto(const Value* data, Index begin, Index end, Value qlo,
+                Value qhi, std::vector<Value>* out, KernelCounters* counters);
+
+}  // namespace scrack

@@ -1,0 +1,32 @@
+#include "cracking/random_inject_engine.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+Status RandomInjectEngine::Select(Value low, Value high,
+                                  QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  const int64_t query_number = stats_.queries++;
+  column_.EnsureInitialized(&stats_);
+
+  const auto original = [](const Piece&) { return EndPieceMode::kCrack; };
+
+  if (query_number % period_ == 0 && column_.size() > 0 &&
+      column_.min_value() < column_.max_value()) {
+    // The forced random query: same width as the user query, random
+    // position, answered into a discarded result. Its cost is charged to
+    // this user query, as in the paper's cumulative accounting.
+    const Value width = std::max<Value>(1, high - low);
+    Value rlo = column_.rng().UniformValue(column_.min_value(),
+                                           column_.max_value());
+    Value rhi = rlo + width;
+    ++stats_.random_pivots;
+    QueryResult discarded;
+    SCRACK_RETURN_NOT_OK(
+        column_.SelectWithPolicy(rlo, rhi, original, &discarded, &stats_));
+  }
+  return column_.SelectWithPolicy(low, high, original, result, &stats_);
+}
+
+}  // namespace scrack

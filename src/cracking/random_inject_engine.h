@@ -1,0 +1,38 @@
+// RandomInjectEngine: the "naive approaches" of paper Fig. 12.
+//
+// A natural objection to stochastic cracking is "just run random queries now
+// and then". RkCrack does exactly that: before every k-th user query it
+// forces one extra query with random bounds through plain original cracking
+// (R1crack: before every user query; R2crack: every 2nd; ...). The Fig. 12
+// experiment shows these improve on plain cracking by an order of magnitude
+// but stay an order behind integrated stochastic cracking — the forced
+// queries pay full scans without answering anything.
+#pragma once
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class RandomInjectEngine : public SelectEngine {
+ public:
+  /// Forces one random-range query before every `config.inject_period`-th
+  /// user query.
+  RandomInjectEngine(const Column* base, const EngineConfig& config)
+      : column_(base, config), period_(config.inject_period) {
+    SCRACK_CHECK(period_ >= 1);
+  }
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override {
+    return "r" + std::to_string(period_) + "crack";
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+
+ private:
+  CrackerColumn column_;
+  int64_t period_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,42 @@
+#include "cracking/scan_engine.h"
+
+namespace scrack {
+
+ScanEngine::ScanEngine(const Column* base, const EngineConfig& config) {
+  (void)config;
+  SCRACK_CHECK(base != nullptr);
+  data_.assign(base->data(), base->data() + base->size());
+}
+
+Status ScanEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  std::vector<Value> out;
+  // Short-circuiting range test, as the paper notes for its Scan baseline
+  // (§3: "short-circuiting in the if statement").
+  for (Value v : data_) {
+    if (low <= v && v < high) out.push_back(v);
+  }
+  stats_.tuples_touched += static_cast<int64_t>(data_.size());
+  stats_.materialized += static_cast<int64_t>(out.size());
+  result->AddOwned(std::move(out));
+  return Status::OK();
+}
+
+Status ScanEngine::StageInsert(Value v) {
+  data_.push_back(v);
+  return Status::OK();
+}
+
+Status ScanEngine::StageDelete(Value v) {
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i] == v) {
+      data_[i] = data_.back();
+      data_.pop_back();
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("delete of absent value " + std::to_string(v));
+}
+
+}  // namespace scrack

@@ -1,0 +1,33 @@
+// ScanEngine: the no-index baseline.
+//
+// Always scans the full column and materializes qualifying tuples into a
+// fresh array — the paper stresses that Scan, unlike cracking/sort, cannot
+// return a view (§3). Its stable cost is the upper bound adaptive indexing
+// must not exceed while adapting.
+#pragma once
+
+#include <vector>
+
+#include "cracking/engine.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class ScanEngine : public SelectEngine {
+ public:
+  /// Copies the base column so updates can be applied; the copy happens at
+  /// construction and is not part of any query's cost.
+  ScanEngine(const Column* base, const EngineConfig& config);
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override { return "scan"; }
+
+  /// Scan has no deferred machinery: updates apply immediately.
+  Status StageInsert(Value v) override;
+  Status StageDelete(Value v) override;
+
+ private:
+  std::vector<Value> data_;
+};
+
+}  // namespace scrack

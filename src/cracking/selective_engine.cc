@@ -1,0 +1,78 @@
+#include "cracking/selective_engine.h"
+
+#include <string>
+
+namespace scrack {
+
+Status SelectiveEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  const int64_t query_number = stats_.queries++;
+  const EngineConfig& config = column_.config();
+
+  BoundPolicy policy;
+  switch (policy_) {
+    case SelectivePolicy::kFiftyFifty:
+    case SelectivePolicy::kEveryX: {
+      const int64_t period =
+          policy_ == SelectivePolicy::kFiftyFifty ? 2 : config.every_x;
+      const EndPieceMode mode = (query_number % period == 0)
+                                    ? EndPieceMode::kSplitMat
+                                    : EndPieceMode::kCrack;
+      policy = [mode](const Piece&) { return mode; };
+      break;
+    }
+    case SelectivePolicy::kFlipCoin: {
+      const EndPieceMode mode = column_.rng().Coin(config.flip_probability)
+                                    ? EndPieceMode::kSplitMat
+                                    : EndPieceMode::kCrack;
+      policy = [mode](const Piece&) { return mode; };
+      break;
+    }
+    case SelectivePolicy::kMonitor: {
+      // ScrackMon: count cracks per piece; once a piece has absorbed
+      // `monitor_threshold` cracks, its next crack is stochastic and the
+      // counter resets. New pieces inherit their parent's counter
+      // (CrackerIndex::AddCrack).
+      CrackerColumn* column = &column_;
+      const int64_t threshold = config.monitor_threshold;
+      policy = [column, threshold](const Piece& piece) {
+        PieceMeta& meta = column->index().MetaFor(piece.meta_key);
+        ++meta.crack_count;
+        if (meta.crack_count >= threshold) {
+          meta.crack_count = 0;
+          return EndPieceMode::kSplitMat;
+        }
+        return EndPieceMode::kCrack;
+      };
+      break;
+    }
+    case SelectivePolicy::kSizeThreshold: {
+      const Index threshold = config.crack_threshold_values;
+      policy = [threshold](const Piece& piece) {
+        return piece.size() > threshold ? EndPieceMode::kSplitMat
+                                        : EndPieceMode::kCrack;
+      };
+      break;
+    }
+  }
+  return column_.SelectWithPolicy(low, high, policy, result, &stats_);
+}
+
+std::string SelectiveEngine::name() const {
+  const EngineConfig& config = column_.config();
+  switch (policy_) {
+    case SelectivePolicy::kFiftyFifty:
+      return "fiftyfifty";
+    case SelectivePolicy::kFlipCoin:
+      return "flipcoin";
+    case SelectivePolicy::kEveryX:
+      return "everyx(" + std::to_string(config.every_x) + ")";
+    case SelectivePolicy::kMonitor:
+      return "scrackmon(" + std::to_string(config.monitor_threshold) + ")";
+    case SelectivePolicy::kSizeThreshold:
+      return "sizesel";
+  }
+  return "selective";
+}
+
+}  // namespace scrack

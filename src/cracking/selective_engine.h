@@ -1,0 +1,57 @@
+// Selective stochastic cracking (paper §4 "Selective Stochastic Cracking"
+// and the §5 experiments of Figs. 17-19).
+//
+// These strategies apply the stochastic action only some of the time, and
+// original cracking otherwise, all against one shared cracker column:
+//   * FiftyFifty  — stochastic every other query (deterministic alternation);
+//   * FlipCoin    — stochastic with probability p per query;
+//   * EveryX      — stochastic every X-th query (Fig. 18's sweep);
+//   * ScrackMon   — per-piece crack counters; a piece that has absorbed X
+//     cracks gets its next crack stochastically, counter reset (Fig. 19);
+//   * SizeThreshold — stochastic only for pieces larger than the L1-sized
+//     threshold (§5 last paragraph).
+// The paper's finding — reproduced by bench_fig17/18/19 — is that none of
+// them beats applying stochastic cracking on every query.
+#pragma once
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+/// Which selective strategy a SelectiveEngine runs.
+enum class SelectivePolicy {
+  kFiftyFifty,
+  kFlipCoin,
+  kEveryX,
+  kMonitor,
+  kSizeThreshold,
+};
+
+class SelectiveEngine : public SelectEngine {
+ public:
+  SelectiveEngine(const Column* base, const EngineConfig& config,
+                  SelectivePolicy policy)
+      : column_(base, config), policy_(policy) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override;
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+  CrackerColumn& column() { return column_; }
+
+ private:
+  CrackerColumn column_;
+  SelectivePolicy policy_;
+};
+
+}  // namespace scrack

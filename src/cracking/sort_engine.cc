@@ -1,0 +1,75 @@
+#include "cracking/sort_engine.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+SortEngine::SortEngine(const Column* base, const EngineConfig& config)
+    : base_(base) {
+  (void)config;
+  SCRACK_CHECK(base_ != nullptr);
+}
+
+void SortEngine::EnsureSorted() {
+  if (sorted_) return;
+  data_.assign(base_->data(), base_->data() + base_->size());
+  data_.insert(data_.end(), pre_init_inserts_.begin(),
+               pre_init_inserts_.end());
+  std::sort(data_.begin(), data_.end());
+  for (Value v : pre_init_deletes_) {
+    auto it = std::lower_bound(data_.begin(), data_.end(), v);
+    if (it != data_.end() && *it == v) data_.erase(it);
+  }
+  pre_init_inserts_.clear();
+  pre_init_deletes_.clear();
+  stats_.tuples_touched += static_cast<int64_t>(data_.size());
+  sorted_ = true;
+}
+
+Status SortEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  EnsureSorted();
+  const auto begin =
+      std::lower_bound(data_.begin(), data_.end(), low) - data_.begin();
+  const auto end =
+      std::lower_bound(data_.begin(), data_.end(), high) - data_.begin();
+  if (end > begin) {
+    result->AddView(data_.data() + begin, end - begin);
+  }
+  return Status::OK();
+}
+
+Status SortEngine::StageInsert(Value v) {
+  if (!sorted_) {
+    pre_init_inserts_.push_back(v);
+    return Status::OK();
+  }
+  auto it = std::upper_bound(data_.begin(), data_.end(), v);
+  data_.insert(it, v);
+  ++stats_.updates_merged;
+  return Status::OK();
+}
+
+Status SortEngine::StageDelete(Value v) {
+  if (!sorted_) {
+    pre_init_deletes_.push_back(v);
+    return Status::OK();
+  }
+  auto it = std::lower_bound(data_.begin(), data_.end(), v);
+  if (it == data_.end() || *it != v) {
+    return Status::NotFound("delete of absent value " + std::to_string(v));
+  }
+  data_.erase(it);
+  ++stats_.updates_merged;
+  return Status::OK();
+}
+
+Status SortEngine::Validate() const {
+  if (sorted_ && !std::is_sorted(data_.begin(), data_.end())) {
+    return Status::Internal("sorted column lost sortedness");
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

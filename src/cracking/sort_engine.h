@@ -1,0 +1,42 @@
+// SortEngine: the full-index baseline.
+//
+// Sorts the whole column inside the first query ("we completely sort the
+// column with the first query", §3), then answers every query with a binary
+// search and a zero-copy view. The price is the heavy first query that
+// adaptive indexing exists to avoid; the payoff is optimal per-query cost
+// afterwards.
+#pragma once
+
+#include <vector>
+
+#include "cracking/engine.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class SortEngine : public SelectEngine {
+ public:
+  /// `base` must outlive the engine; nothing is copied until the first
+  /// query (the sort is the first query's cost).
+  SortEngine(const Column* base, const EngineConfig& config);
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override { return "sort"; }
+
+  /// Updates maintain sortedness by shifting (O(n) per update).
+  Status StageInsert(Value v) override;
+  Status StageDelete(Value v) override;
+
+  Status Validate() const override;
+
+ private:
+  void EnsureSorted();
+
+  const Column* base_;
+  bool sorted_ = false;
+  std::vector<Value> data_;
+  std::vector<Value> pre_init_inserts_;
+  std::vector<Value> pre_init_deletes_;
+};
+
+}  // namespace scrack

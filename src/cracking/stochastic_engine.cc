@@ -1,0 +1,53 @@
+#include "cracking/stochastic_engine.h"
+
+#include <cstdio>
+
+namespace scrack {
+
+Status DataDrivenEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  column_.EnsureInitialized(&stats_);
+  SCRACK_RETURN_NOT_OK(column_.MergePendingIn(low, high, &stats_));
+  if (column_.size() == 0 || low >= high) return Status::OK();
+  // DDC(C, a, b): one ddc_crack per bound, then a view of [posLow, posHigh)
+  // (paper Fig. 4 lines 1-3); identical shape for the R and 1x variants.
+  const Index pos_low =
+      column_.StochasticCrackBound(low, center_pivot_, recursive_, &stats_);
+  const Index pos_high =
+      column_.StochasticCrackBound(high, center_pivot_, recursive_, &stats_);
+  if (pos_high > pos_low) {
+    result->AddView(column_.data() + pos_low, pos_high - pos_low);
+  }
+  return Status::OK();
+}
+
+std::string DataDrivenEngine::name() const {
+  if (recursive_) return center_pivot_ ? "ddc" : "ddr";
+  return center_pivot_ ? "dd1c" : "dd1r";
+}
+
+Status Mdd1rEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  return column_.SelectWithPolicy(
+      low, high, [](const Piece&) { return EndPieceMode::kSplitMat; }, result,
+      &stats_);
+}
+
+Status ProgressiveEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  return column_.SelectWithPolicy(
+      low, high, [](const Piece&) { return EndPieceMode::kProgressive; },
+      result, &stats_);
+}
+
+std::string ProgressiveEngine::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "pmdd1r(%g%%)",
+                column_.config().progressive_budget * 100.0);
+  return buf;
+}
+
+}  // namespace scrack

@@ -1,0 +1,104 @@
+// The stochastic cracking engines of paper §4:
+//
+//   * DataDrivenEngine — DDC, DDR, DD1C, DD1R. Cracks each query bound after
+//     first subdividing the containing piece at the median (DDC/DD1C, via
+//     Introselect) or at a random element (DDR/DD1R), recursively until the
+//     piece fits the L1-sized threshold (DDC/DDR) or just once (DD1C/DD1R).
+//   * Mdd1rEngine — MDD1R: one random crack per touched end piece and
+//     materialization of the qualifying tuples in the same pass; the
+//     query-driven crack is dropped entirely (Fig. 5).
+//   * ProgressiveEngine — PMDD1R: MDD1R whose random crack is completed
+//     collaboratively by successive queries, bounded by a swap budget of x%
+//     of the piece per query (Fig. 9c). P100% degenerates to MDD1R.
+#pragma once
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+/// DDC / DDR / DD1C / DD1R, selected by two flags.
+class DataDrivenEngine : public SelectEngine {
+ public:
+  /// center_pivot: median split (DDC family) vs random split (DDR family).
+  /// recursive: halve until below threshold (DDC/DDR) vs at most once
+  /// (DD1C/DD1R).
+  DataDrivenEngine(const Column* base, const EngineConfig& config,
+                   bool center_pivot, bool recursive)
+      : column_(base, config),
+        center_pivot_(center_pivot),
+        recursive_(recursive) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override;
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+  CrackerColumn& column() { return column_; }
+
+ private:
+  CrackerColumn column_;
+  bool center_pivot_;
+  bool recursive_;
+};
+
+/// MDD1R (paper Fig. 5). Supports updates via Ripple merging, as used in
+/// the Fig. 15 experiment.
+class Mdd1rEngine : public SelectEngine {
+ public:
+  Mdd1rEngine(const Column* base, const EngineConfig& config)
+      : column_(base, config) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override { return "mdd1r"; }
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+  CrackerColumn& column() { return column_; }
+
+ private:
+  CrackerColumn column_;
+};
+
+/// PMDD1R with a configurable swap budget (config.progressive_budget).
+class ProgressiveEngine : public SelectEngine {
+ public:
+  ProgressiveEngine(const Column* base, const EngineConfig& config)
+      : column_(base, config) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override;
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  Status Validate() const override { return column_.Validate(); }
+  CrackerColumn& column() { return column_; }
+
+ private:
+  CrackerColumn column_;
+};
+
+}  // namespace scrack

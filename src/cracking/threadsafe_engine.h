@@ -1,0 +1,70 @@
+// ThreadSafeEngine: concurrency control for adaptive indexing (paper §6).
+//
+// "The challenge with concurrent queries is that the physical
+// reorganizations they incur have to be synchronized." In cracking, *every
+// read is a write*: a select physically reorganizes the column. The
+// correct baseline is therefore an exclusive lock around Select — which is
+// what this adapter provides over any SelectEngine — with one important
+// refinement: results are *materialized under the lock*. A borrowed view
+// into the cracker column would be invalidated the moment another thread's
+// query re-cracks the column, so the adapter deep-copies qualifying tuples
+// before releasing the lock. That cost is the documented price of
+// concurrency here, exactly the trade-off the paper defers to future work
+// (finer-grained piece locking).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class ThreadSafeEngine : public SelectEngine {
+ public:
+  explicit ThreadSafeEngine(std::unique_ptr<SelectEngine> inner)
+      : inner_(std::move(inner)) {
+    SCRACK_CHECK(inner_ != nullptr);
+  }
+
+  Status Select(Value low, Value high, QueryResult* result) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QueryResult unsafe;
+    SCRACK_RETURN_NOT_OK(inner_->Select(low, high, &unsafe));
+    // Deep-copy while still holding the lock: views into the inner
+    // engine's column are only valid until the next reorganization.
+    result->AddOwned(unsafe.Collect());
+    return Status::OK();
+  }
+
+  std::string name() const override {
+    return "threadsafe(" + inner_->name() + ")";
+  }
+
+  Status StageInsert(Value v) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->StageInsert(v);
+  }
+
+  Status StageDelete(Value v) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->StageDelete(v);
+  }
+
+  Status Validate() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Validate();
+  }
+
+  /// Stats of the wrapped engine (snapshot under the lock).
+  EngineStats InnerStats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->stats();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<SelectEngine> inner_;
+};
+
+}  // namespace scrack

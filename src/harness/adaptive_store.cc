@@ -1,0 +1,53 @@
+#include "harness/adaptive_store.h"
+
+#include "harness/engine_factory.h"
+
+namespace scrack {
+
+Status AdaptiveStore::AddColumn(const std::string& name, Column column,
+                                const std::string& engine_spec) {
+  if (columns_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate column: " + name);
+  }
+  auto [it, inserted] = columns_.emplace(name, Entry{std::move(column), {}});
+  SCRACK_CHECK(inserted);
+  Status status =
+      CreateEngine(engine_spec, &it->second.base, config_, &it->second.engine);
+  if (!status.ok()) {
+    columns_.erase(it);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status AdaptiveStore::Select(const std::string& name, Value low, Value high,
+                             QueryResult* result) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return it->second.engine->Select(low, high, result);
+}
+
+Status AdaptiveStore::Insert(const std::string& name, Value v) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return it->second.engine->StageInsert(v);
+}
+
+Status AdaptiveStore::Delete(const std::string& name, Value v) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return it->second.engine->StageDelete(v);
+}
+
+SelectEngine* AdaptiveStore::engine(const std::string& name) {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : it->second.engine.get();
+}
+
+}  // namespace scrack

@@ -1,0 +1,50 @@
+// AdaptiveStore: the user-facing facade of the library.
+//
+// A tiny column-store whose columns answer range selections through a
+// configurable adaptive-indexing engine (default MDD1R, the paper's
+// recommended robust strategy). This is what a downstream application
+// embeds; the examples/ directory shows it in use.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cracking/engine.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class AdaptiveStore {
+ public:
+  explicit AdaptiveStore(EngineConfig config = {}) : config_(config) {}
+
+  /// Registers a column under `name`, indexed by the engine named by
+  /// `engine_spec` (see engine_factory.h for the spec grammar).
+  Status AddColumn(const std::string& name, Column column,
+                   const std::string& engine_spec = "mdd1r");
+
+  /// Range select [low, high) on a named column.
+  Status Select(const std::string& name, Value low, Value high,
+                QueryResult* result);
+
+  /// Stages an insert/delete on a named column (merged adaptively).
+  Status Insert(const std::string& name, Value v);
+  Status Delete(const std::string& name, Value v);
+
+  /// The engine behind a column (nullptr if absent) — for stats inspection.
+  SelectEngine* engine(const std::string& name);
+
+  size_t num_columns() const { return columns_.size(); }
+
+ private:
+  struct Entry {
+    Column base;
+    std::unique_ptr<SelectEngine> engine;
+  };
+
+  EngineConfig config_;
+  std::map<std::string, Entry> columns_;  // node-based: Entry addresses stable
+};
+
+}  // namespace scrack

@@ -1,0 +1,60 @@
+#include "harness/csv.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sys/stat.h>
+
+namespace scrack {
+
+std::string SanitizeFileName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+        c != '.') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+Status WriteRunCsv(const RunResult& run, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::fprintf(f,
+               "query,seconds,cum_seconds,touched,cum_touched,result_count,"
+               "result_sum\n");
+  double cum_seconds = 0;
+  int64_t cum_touched = 0;
+  for (size_t i = 0; i < run.records.size(); ++i) {
+    const QueryRecord& r = run.records[i];
+    cum_seconds += r.seconds;
+    cum_touched += r.touched;
+    std::fprintf(f, "%zu,%.9f,%.9f,%lld,%lld,%lld,%lld\n", i + 1, r.seconds,
+                 cum_seconds, static_cast<long long>(r.touched),
+                 static_cast<long long>(cum_touched),
+                 static_cast<long long>(r.result_count),
+                 static_cast<long long>(r.result_sum));
+  }
+  if (std::fclose(f) != 0) {
+    return Status::Internal("error closing " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteRunsCsv(const std::vector<RunResult>& runs,
+                    const std::string& dir, const std::string& prefix) {
+  if (dir.empty()) return Status::OK();
+  // Best-effort create; EEXIST is fine.
+  ::mkdir(dir.c_str(), 0755);
+  for (const RunResult& run : runs) {
+    const std::string path =
+        dir + "/" + SanitizeFileName(prefix) + "_" +
+        SanitizeFileName(run.engine_name) + ".csv";
+    SCRACK_RETURN_NOT_OK(WriteRunCsv(run, path));
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

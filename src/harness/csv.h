@@ -1,0 +1,29 @@
+// CSV export of experiment results, for plotting the figures with external
+// tools (gnuplot/matplotlib). Every bench binary honours SCRACK_CSV_DIR:
+// when set, each run's per-query records are also written as
+// <dir>/<bench>_<engine>.csv.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// Writes one run as CSV with header
+/// `query,seconds,cum_seconds,touched,cum_touched,result_count,result_sum`.
+Status WriteRunCsv(const RunResult& run, const std::string& path);
+
+/// Writes every run of an experiment into `dir` (created if missing) as
+/// `<prefix>_<engine-name-sanitized>.csv`. No-op returning OK when `dir`
+/// is empty.
+Status WriteRunsCsv(const std::vector<RunResult>& runs,
+                    const std::string& dir, const std::string& prefix);
+
+/// Sanitizes an engine name for use in a file name ("pmdd1r(10%)" ->
+/// "pmdd1r_10_").
+std::string SanitizeFileName(const std::string& name);
+
+}  // namespace scrack

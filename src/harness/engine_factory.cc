@@ -1,0 +1,171 @@
+#include "harness/engine_factory.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "cracking/auto_engine.h"
+#include "cracking/crack_engine.h"
+#include "cracking/random_inject_engine.h"
+#include "cracking/threadsafe_engine.h"
+#include "cracking/scan_engine.h"
+#include "cracking/selective_engine.h"
+#include "cracking/sort_engine.h"
+#include "cracking/stochastic_engine.h"
+#include "hybrid/hybrid_engine.h"
+
+namespace scrack {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// Splits "name:arg" into name and arg ("" if absent).
+void SplitSpec(const std::string& spec, std::string* name, std::string* arg) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    *name = spec;
+    arg->clear();
+  } else {
+    *name = spec.substr(0, colon);
+    *arg = spec.substr(colon + 1);
+  }
+}
+
+bool ParsePositive(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v <= 0) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status CreateEngine(const std::string& spec, const Column* base,
+                    const EngineConfig& config,
+                    std::unique_ptr<SelectEngine>* out) {
+  if (base == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null base column or output");
+  }
+  std::string name;
+  std::string arg;
+  SplitSpec(Lower(spec), &name, &arg);
+  EngineConfig cfg = config;
+
+  if (name == "scan") {
+    *out = std::make_unique<ScanEngine>(base, cfg);
+  } else if (name == "sort") {
+    *out = std::make_unique<SortEngine>(base, cfg);
+  } else if (name == "crack") {
+    *out = std::make_unique<CrackEngine>(base, cfg);
+  } else if (name == "ddc") {
+    *out = std::make_unique<DataDrivenEngine>(base, cfg, /*center_pivot=*/true,
+                                              /*recursive=*/true);
+  } else if (name == "ddr") {
+    *out = std::make_unique<DataDrivenEngine>(base, cfg,
+                                              /*center_pivot=*/false,
+                                              /*recursive=*/true);
+  } else if (name == "dd1c") {
+    *out = std::make_unique<DataDrivenEngine>(base, cfg, /*center_pivot=*/true,
+                                              /*recursive=*/false);
+  } else if (name == "dd1r") {
+    *out = std::make_unique<DataDrivenEngine>(base, cfg,
+                                              /*center_pivot=*/false,
+                                              /*recursive=*/false);
+  } else if (name == "mdd1r" || name == "scrack") {
+    *out = std::make_unique<Mdd1rEngine>(base, cfg);
+  } else if (name == "pmdd1r") {
+    double pct = 10.0;
+    if (!arg.empty() && !ParsePositive(arg, &pct)) {
+      return Status::InvalidArgument("bad pmdd1r budget: " + arg);
+    }
+    if (pct > 100.0) {
+      return Status::InvalidArgument("pmdd1r budget over 100%: " + arg);
+    }
+    cfg.progressive_budget = pct / 100.0;
+    *out = std::make_unique<ProgressiveEngine>(base, cfg);
+  } else if (name == "fiftyfifty") {
+    *out = std::make_unique<SelectiveEngine>(base, cfg,
+                                             SelectivePolicy::kFiftyFifty);
+  } else if (name == "flipcoin") {
+    *out =
+        std::make_unique<SelectiveEngine>(base, cfg, SelectivePolicy::kFlipCoin);
+  } else if (name == "sizesel") {
+    *out = std::make_unique<SelectiveEngine>(base, cfg,
+                                             SelectivePolicy::kSizeThreshold);
+  } else if (name == "everyx") {
+    double x = static_cast<double>(cfg.every_x);
+    if (!arg.empty() && !ParsePositive(arg, &x)) {
+      return Status::InvalidArgument("bad everyx period: " + arg);
+    }
+    cfg.every_x = static_cast<int64_t>(x);
+    *out =
+        std::make_unique<SelectiveEngine>(base, cfg, SelectivePolicy::kEveryX);
+  } else if (name == "scrackmon") {
+    double x = static_cast<double>(cfg.monitor_threshold);
+    if (!arg.empty() && !ParsePositive(arg, &x)) {
+      return Status::InvalidArgument("bad scrackmon threshold: " + arg);
+    }
+    cfg.monitor_threshold = static_cast<int64_t>(x);
+    *out =
+        std::make_unique<SelectiveEngine>(base, cfg, SelectivePolicy::kMonitor);
+  } else if (name.size() > 6 && name.front() == 'r' &&
+             name.substr(name.size() - 5) == "crack") {
+    const std::string k = name.substr(1, name.size() - 6);
+    double period = 0;
+    if (!ParsePositive(k, &period)) {
+      return Status::InvalidArgument("bad RkCrack spec: " + spec);
+    }
+    cfg.inject_period = static_cast<int64_t>(period);
+    *out = std::make_unique<RandomInjectEngine>(base, cfg);
+  } else if (name == "auto") {
+    *out = std::make_unique<AutoEngine>(base, cfg);
+  } else if (name == "threadsafe") {
+    if (arg.empty()) {
+      return Status::InvalidArgument("threadsafe needs an inner spec");
+    }
+    std::unique_ptr<SelectEngine> inner;
+    SCRACK_RETURN_NOT_OK(CreateEngine(arg, base, cfg, &inner));
+    *out = std::make_unique<ThreadSafeEngine>(std::move(inner));
+  } else if (name == "aicc" || name == "aics" || name == "aicc1r" ||
+             name == "aics1r" || name == "aisc" || name == "aiss") {
+    const HybridEngine::InitialOrg initial =
+        (name[2] == 'c') ? HybridEngine::InitialOrg::kCrack
+                         : HybridEngine::InitialOrg::kSort;
+    const HybridEngine::FinalOrg org = (name[3] == 'c')
+                                           ? HybridEngine::FinalOrg::kCrack
+                                           : HybridEngine::FinalOrg::kSort;
+    const bool stochastic = name.size() > 4;
+    *out = std::make_unique<HybridEngine>(base, cfg, initial, org,
+                                          stochastic);
+  } else {
+    return Status::InvalidArgument("unknown engine spec: " + spec);
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<SelectEngine> CreateEngineOrDie(const std::string& spec,
+                                                const Column* base,
+                                                const EngineConfig& config) {
+  std::unique_ptr<SelectEngine> engine;
+  const Status status = CreateEngine(spec, base, config, &engine);
+  SCRACK_CHECK(status.ok());
+  return engine;
+}
+
+std::vector<std::string> KnownEngineSpecs() {
+  return {"scan",       "sort",       "crack",     "ddc",       "ddr",
+          "dd1c",       "dd1r",       "mdd1r",     "pmdd1r:10", "fiftyfifty",
+          "flipcoin",   "sizesel",    "everyx:2",  "scrackmon:1",
+          "r2crack",    "aicc",       "aics",      "aicc1r",    "aics1r",
+          "aisc",       "aiss",       "auto",      "threadsafe:mdd1r"};
+}
+
+}  // namespace scrack

@@ -1,0 +1,40 @@
+// EngineFactory: create any indexing strategy from a textual spec.
+//
+// This is the composition layer that ties the cracking and hybrid modules
+// together; benches, tests and examples name engines by spec string:
+//
+//   scan | sort | crack
+//   ddc | ddr | dd1c | dd1r
+//   mdd1r (alias: scrack)
+//   pmdd1r:<percent>        e.g. pmdd1r:10  (P10%)
+//   fiftyfifty | flipcoin | sizesel
+//   everyx:<k>              stochastic every k-th query (Fig. 18)
+//   scrackmon:<x>           monitoring threshold x (Fig. 19)
+//   r<k>crack               naive random injection every k queries (Fig. 12)
+//   aicc | aics | aicc1r | aics1r
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+/// Instantiates the engine named by `spec` over `base` (which must outlive
+/// the engine). Spec parameters override the corresponding config fields.
+Status CreateEngine(const std::string& spec, const Column* base,
+                    const EngineConfig& config,
+                    std::unique_ptr<SelectEngine>* out);
+
+/// Convenience wrapper that aborts on bad specs (benches/examples).
+std::unique_ptr<SelectEngine> CreateEngineOrDie(const std::string& spec,
+                                                const Column* base,
+                                                const EngineConfig& config);
+
+/// Specs accepted by CreateEngine (parameterized ones listed with defaults).
+std::vector<std::string> KnownEngineSpecs();
+
+}  // namespace scrack

@@ -1,0 +1,61 @@
+#include "harness/experiment.h"
+
+#include "util/timer.h"
+
+namespace scrack {
+
+double RunResult::CumulativeSeconds(QueryId upto) const {
+  if (upto < 0 || upto > static_cast<QueryId>(records.size())) {
+    upto = static_cast<QueryId>(records.size());
+  }
+  double total = 0;
+  for (QueryId i = 0; i < upto; ++i) {
+    total += records[static_cast<size_t>(i)].seconds;
+  }
+  return total;
+}
+
+int64_t RunResult::CumulativeTouched(QueryId upto) const {
+  if (upto < 0 || upto > static_cast<QueryId>(records.size())) {
+    upto = static_cast<QueryId>(records.size());
+  }
+  int64_t total = 0;
+  for (QueryId i = 0; i < upto; ++i) {
+    total += records[static_cast<size_t>(i)].touched;
+  }
+  return total;
+}
+
+RunResult RunQueries(SelectEngine* engine,
+                     const std::vector<RangeQuery>& queries,
+                     const RunOptions& options) {
+  SCRACK_CHECK(engine != nullptr);
+  RunResult result;
+  result.engine_name = engine->name();
+  result.records.reserve(queries.size());
+  for (QueryId i = 0; i < static_cast<QueryId>(queries.size()); ++i) {
+    const RangeQuery& query = queries[static_cast<size_t>(i)];
+    if (options.before_query) {
+      result.status = options.before_query(i, engine);
+      if (!result.status.ok()) return result;
+    }
+    const int64_t touched_before = engine->stats().tuples_touched;
+    QueryRecord record;
+    Timer timer;
+    QueryResult query_result;
+    result.status = engine->Select(query.low, query.high, &query_result);
+    record.seconds = timer.ElapsedSeconds();
+    if (!result.status.ok()) return result;
+    record.touched = engine->stats().tuples_touched - touched_before;
+    record.result_count = query_result.count();
+    record.result_sum = query_result.Sum();
+    result.records.push_back(record);
+    if (options.validate_each_query) {
+      result.status = engine->Validate();
+      if (!result.status.ok()) return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace scrack

@@ -1,0 +1,51 @@
+// Experiment runner: executes a query sequence against an engine, recording
+// the paper's metrics — per-query wall-clock time, tuples touched, result
+// checksums — for the bench binaries to report.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "workload/workload.h"
+
+namespace scrack {
+
+/// Per-query measurements.
+struct QueryRecord {
+  double seconds = 0;        ///< wall-clock time of this query
+  int64_t touched = 0;       ///< tuples touched by this query (stats delta)
+  Index result_count = 0;    ///< qualifying tuples reported
+  int64_t result_sum = 0;    ///< checksum of qualifying values
+};
+
+/// Options for RunQueries.
+struct RunOptions {
+  /// Run engine->Validate() after every query (tests; slow).
+  bool validate_each_query = false;
+
+  /// Invoked before each query — e.g. to stage updates (Fig. 15). A non-OK
+  /// status aborts the run.
+  std::function<Status(QueryId, SelectEngine*)> before_query;
+};
+
+/// Outcome of a run.
+struct RunResult {
+  std::string engine_name;
+  std::vector<QueryRecord> records;
+  Status status;  ///< first failure, or OK
+
+  /// Sum of the first `upto` per-query times (all if upto < 0).
+  double CumulativeSeconds(QueryId upto = -1) const;
+
+  /// Sum of the first `upto` per-query touched counters (all if upto < 0).
+  int64_t CumulativeTouched(QueryId upto = -1) const;
+};
+
+/// Runs `queries` through `engine`, timing each query.
+RunResult RunQueries(SelectEngine* engine,
+                     const std::vector<RangeQuery>& queries,
+                     const RunOptions& options = {});
+
+}  // namespace scrack

@@ -1,0 +1,146 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/csv.h"
+
+namespace scrack {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  SCRACK_CHECK(row.size() == rows_[0].size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      const std::string& cell = rows_[r][c];
+      // Left-align the first column, right-align the rest.
+      if (c == 0) {
+        out += cell;
+        out.append(widths[c] - cell.size() + 2, ' ');
+      } else {
+        out.append(widths[c] - cell.size(), ' ');
+        out += cell;
+        out.append(2, ' ');
+      }
+    }
+    out += '\n';
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      out.append(total, '-');
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TextTable::Num(double v) {
+  char buf[64];
+  if (v == 0) return "0";
+  if (v >= 1000 || v <= -1000) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+std::vector<QueryId> LogSpacedPoints(QueryId q) {
+  std::vector<QueryId> points;
+  for (QueryId p = 1; p < q; p *= 2) points.push_back(p);
+  if (q >= 1) points.push_back(q);
+  return points;
+}
+
+namespace {
+
+void PrintCurveTable(const std::string& title,
+                     const std::vector<RunResult>& runs,
+                     const std::vector<QueryId>& points,
+                     const std::function<std::string(const RunResult&,
+                                                     QueryId)>& cell) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> header = {"query#"};
+  for (const RunResult& run : runs) header.push_back(run.engine_name);
+  TextTable table(std::move(header));
+  for (QueryId p : points) {
+    std::vector<std::string> row = {std::to_string(p)};
+    for (const RunResult& run : runs) row.push_back(cell(run, p));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+void PrintCumulativeCurves(const std::string& title,
+                           const std::vector<RunResult>& runs,
+                           const std::vector<QueryId>& points) {
+  PrintCurveTable(title + " — cumulative response time (secs)", runs, points,
+                  [](const RunResult& run, QueryId p) {
+                    return TextTable::Num(run.CumulativeSeconds(p));
+                  });
+  // Optional raw export for external plotting (see csv.h).
+  const char* csv_dir = std::getenv("SCRACK_CSV_DIR");
+  if (csv_dir != nullptr && *csv_dir != '\0') {
+    const Status status = WriteRunsCsv(runs, csv_dir, title);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV export failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+void PrintPerQueryCurves(const std::string& title,
+                         const std::vector<RunResult>& runs,
+                         const std::vector<QueryId>& points) {
+  PrintCurveTable(
+      title + " — per-query response time (secs)", runs, points,
+      [](const RunResult& run, QueryId p) {
+        if (p < 1 || p > static_cast<QueryId>(run.records.size())) return
+            std::string("-");
+        return TextTable::Num(
+            run.records[static_cast<size_t>(p - 1)].seconds);
+      });
+}
+
+void PrintTouchedCurves(const std::string& title,
+                        const std::vector<RunResult>& runs,
+                        const std::vector<QueryId>& points) {
+  PrintCurveTable(title + " — tuples touched by query (per query)", runs,
+                  points, [](const RunResult& run, QueryId p) {
+                    if (p < 1 ||
+                        p > static_cast<QueryId>(run.records.size())) {
+                      return std::string("-");
+                    }
+                    return std::to_string(
+                        run.records[static_cast<size_t>(p - 1)].touched);
+                  });
+}
+
+int64_t EnvInt64(const char* name, int64_t def) {
+  const char* text = std::getenv(name);
+  if (text == nullptr || *text == '\0') return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) return def;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace scrack

@@ -1,0 +1,56 @@
+// Plain-text reporting for the bench binaries: fixed-width tables and the
+// log-spaced cumulative curves the paper plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace scrack {
+
+/// Fixed-width text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with columns padded to their widest cell.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Formats a double with 4 significant digits ("0.1234", "12.34", "1234").
+  static std::string Num(double v);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Log-spaced query indices 1, 2, 4, ..., covering [1, q] and ending at q.
+std::vector<QueryId> LogSpacedPoints(QueryId q);
+
+/// Prints one table of cumulative response time (seconds): a row per
+/// checkpoint in `points`, a column per run.
+void PrintCumulativeCurves(const std::string& title,
+                           const std::vector<RunResult>& runs,
+                           const std::vector<QueryId>& points);
+
+/// As above but per-query response time at the checkpoint.
+void PrintPerQueryCurves(const std::string& title,
+                         const std::vector<RunResult>& runs,
+                         const std::vector<QueryId>& points);
+
+/// As above but cumulative tuples touched.
+void PrintTouchedCurves(const std::string& title,
+                        const std::vector<RunResult>& runs,
+                        const std::vector<QueryId>& points);
+
+/// Reads environment overrides for the bench sizes:
+/// SCRACK_N (column size), SCRACK_Q (queries). Returns `def` when unset or
+/// malformed.
+int64_t EnvInt64(const char* name, int64_t def);
+
+}  // namespace scrack

@@ -1,0 +1,246 @@
+#include "hybrid/hybrid_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cracking/kernel.h"
+
+namespace scrack {
+
+HybridEngine::HybridEngine(const Column* base, const EngineConfig& config,
+                           InitialOrg initial_org, FinalOrg org,
+                           bool stochastic)
+    : base_(base),
+      config_(config),
+      initial_org_(initial_org),
+      org_(org),
+      stochastic_(stochastic) {
+  SCRACK_CHECK(base_ != nullptr);
+  SCRACK_CHECK(config_.hybrid_partition_values >= 1);
+  SCRACK_CHECK(!(stochastic_ && initial_org_ == InitialOrg::kSort));
+}
+
+std::string HybridEngine::name() const {
+  std::string n = "ai";
+  n += initial_org_ == InitialOrg::kCrack ? 'c' : 's';
+  n += org_ == FinalOrg::kCrack ? 'c' : 's';
+  if (stochastic_) n += "1r";
+  return n;
+}
+
+void HybridEngine::EnsureInitialized() {
+  if (initialized_) return;
+  const Index n = base_->size();
+  const Index per = config_.hybrid_partition_values;
+  for (Index begin = 0; begin < n; begin += per) {
+    const Index end = std::min(begin + per, n);
+    std::vector<Value> slice(base_->data() + begin, base_->data() + end);
+    partition_bases_.emplace_back(std::move(slice));
+  }
+  if (initial_org_ == InitialOrg::kCrack) {
+    for (const Column& partition_base : partition_bases_) {
+      partitions_.push_back(
+          std::make_unique<CrackerColumn>(&partition_base, config_));
+    }
+  } else {
+    sorted_partitions_.reserve(partition_bases_.size());
+    for (const Column& partition_base : partition_bases_) {
+      SortedPartition partition;
+      partition.values = partition_base.values();
+      sorted_partitions_.push_back(std::move(partition));
+    }
+  }
+  initialized_ = true;
+}
+
+std::vector<std::pair<Value, Value>> HybridEngine::UncoveredGaps(
+    Value low, Value high) const {
+  std::vector<std::pair<Value, Value>> gaps;
+  Value cursor = low;
+  // First candidate: the piece with the greatest lo <= low.
+  auto it = final_.upper_bound(low);
+  if (it != final_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.hi > low) it = prev;
+  }
+  for (; it != final_.end() && it->second.lo < high && cursor < high; ++it) {
+    if (it->second.lo > cursor) {
+      gaps.emplace_back(cursor, it->second.lo);
+    }
+    cursor = std::max(cursor, it->second.hi);
+  }
+  if (cursor < high) gaps.emplace_back(cursor, high);
+  return gaps;
+}
+
+void HybridEngine::FillGaps(
+    const std::vector<std::pair<Value, Value>>& gaps) {
+  for (const auto& [gap_lo, gap_hi] : gaps) {
+    FinalPiece piece;
+    piece.lo = gap_lo;
+    piece.hi = gap_hi;
+    if (initial_org_ == InitialOrg::kCrack) {
+      for (auto& partition : partitions_) {
+        if (stochastic_) {
+          partition->ExtractRange1R(gap_lo, gap_hi, &piece.values, &stats_);
+        } else {
+          partition->ExtractRange(gap_lo, gap_hi, &piece.values, &stats_);
+        }
+      }
+    } else {
+      for (auto& partition : sorted_partitions_) {
+        ExtractFromSorted(&partition, gap_lo, gap_hi, &piece.values);
+      }
+    }
+    if (org_ == FinalOrg::kSort) {
+      // Crack-Sort: merged data enters the final area sorted.
+      std::sort(piece.values.begin(), piece.values.end());
+      stats_.tuples_touched += static_cast<int64_t>(piece.values.size());
+    }
+    stats_.materialized += static_cast<int64_t>(piece.values.size());
+    final_.emplace(gap_lo, std::move(piece));
+  }
+}
+
+void HybridEngine::SplitFinalPieceAt(Value bound) {
+  auto it = final_.upper_bound(bound);
+  if (it == final_.begin()) return;
+  --it;
+  FinalPiece& piece = it->second;
+  if (bound <= piece.lo || bound >= piece.hi) return;
+  KernelCounters counters;
+  const Index split =
+      CrackInTwo(piece.values.data(), 0,
+                 static_cast<Index>(piece.values.size()), bound, &counters);
+  stats_.tuples_touched += counters.touched;
+  stats_.swaps += counters.swaps;
+  ++stats_.cracks;
+  FinalPiece upper;
+  upper.lo = bound;
+  upper.hi = piece.hi;
+  upper.values.assign(piece.values.begin() + split, piece.values.end());
+  piece.values.resize(static_cast<size_t>(split));
+  piece.hi = bound;
+  final_.emplace(bound, std::move(upper));
+}
+
+void HybridEngine::AnswerFromFinal(Value low, Value high,
+                                   QueryResult* result) {
+  if (org_ == FinalOrg::kCrack) {
+    // Crack the final area exactly on the query bounds, then the qualifying
+    // pieces are whole pieces.
+    SplitFinalPieceAt(low);
+    SplitFinalPieceAt(high);
+    for (auto it = final_.lower_bound(low);
+         it != final_.end() && it->second.lo < high; ++it) {
+      const FinalPiece& piece = it->second;
+      SCRACK_DCHECK(piece.lo >= low && piece.hi <= high);
+      result->AddView(piece.values.data(),
+                      static_cast<Index>(piece.values.size()));
+    }
+    return;
+  }
+  // Crack-Sort: binary-search slices of the sorted pieces.
+  auto it = final_.upper_bound(low);
+  if (it != final_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.hi > low) it = prev;
+  }
+  for (; it != final_.end() && it->second.lo < high; ++it) {
+    const FinalPiece& piece = it->second;
+    const auto begin = std::lower_bound(piece.values.begin(),
+                                        piece.values.end(), low) -
+                       piece.values.begin();
+    const auto end = std::lower_bound(piece.values.begin(),
+                                      piece.values.end(), high) -
+                     piece.values.begin();
+    if (end > begin) {
+      result->AddView(piece.values.data() + begin, end - begin);
+    }
+  }
+}
+
+void HybridEngine::ExtractFromSorted(SortedPartition* partition, Value low,
+                                     Value high, std::vector<Value>* out) {
+  if (!partition->sorted) {
+    // Adaptive merging sorts each run on first touch; with equal-size runs
+    // the first query pays roughly a full sort, partition by partition.
+    std::sort(partition->values.begin(), partition->values.end());
+    partition->sorted = true;
+    stats_.tuples_touched +=
+        static_cast<int64_t>(partition->values.size());
+  }
+  const auto begin = std::lower_bound(partition->values.begin(),
+                                      partition->values.end(), low);
+  const auto end = std::lower_bound(partition->values.begin(),
+                                    partition->values.end(), high);
+  if (end == begin) return;
+  out->insert(out->end(), begin, end);
+  stats_.tuples_touched += (end - begin) +
+                           (partition->values.end() - end);  // erase shift
+  partition->values.erase(begin, end);
+}
+
+Status HybridEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  ++stats_.queries;
+  EnsureInitialized();
+  if (low >= high) return Status::OK();
+  const std::vector<std::pair<Value, Value>> gaps = UncoveredGaps(low, high);
+  if (!gaps.empty()) FillGaps(gaps);
+  AnswerFromFinal(low, high, result);
+  return Status::OK();
+}
+
+Status HybridEngine::Validate() const {
+  // Final pieces must be ordered, disjoint, within bounds; sorted for AICS.
+  Value prev_hi = std::numeric_limits<Value>::min();
+  for (const auto& [lo, piece] : final_) {
+    if (piece.lo != lo || piece.lo >= piece.hi) {
+      return Status::Internal("malformed final piece bounds");
+    }
+    if (piece.lo < prev_hi) {
+      return Status::Internal("overlapping final pieces");
+    }
+    prev_hi = piece.hi;
+    for (Value v : piece.values) {
+      if (v < piece.lo || v >= piece.hi) {
+        return Status::Internal("final piece value out of range");
+      }
+    }
+    if (org_ == FinalOrg::kSort &&
+        !std::is_sorted(piece.values.begin(), piece.values.end())) {
+      return Status::Internal("AICS final piece not sorted");
+    }
+  }
+  for (const auto& partition : partitions_) {
+    SCRACK_RETURN_NOT_OK(partition->Validate());
+  }
+  for (const auto& partition : sorted_partitions_) {
+    if (partition.sorted &&
+        !std::is_sorted(partition.values.begin(), partition.values.end())) {
+      return Status::Internal("sorted initial partition lost sortedness");
+    }
+  }
+  return Status::OK();
+}
+
+Index HybridEngine::ResidualInPartitions() const {
+  if (!initialized_) return base_->size();
+  Index total = 0;
+  if (initial_org_ == InitialOrg::kCrack) {
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      total += partitions_[i]->initialized() ? partitions_[i]->size()
+                                             : partition_bases_[i].size();
+    }
+  } else {
+    for (const auto& partition : sorted_partitions_) {
+      total += static_cast<Index>(partition.values.size());
+    }
+  }
+  return total;
+}
+
+size_t HybridEngine::NumFinalPieces() const { return final_.size(); }
+
+}  // namespace scrack

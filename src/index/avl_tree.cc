@@ -1,0 +1,285 @@
+#include "index/avl_tree.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace scrack {
+
+void AvlTree::UpdateHeight(Node* n) {
+  n->height = 1 + std::max(NodeHeight(n->left.get()),
+                           NodeHeight(n->right.get()));
+}
+
+int AvlTree::BalanceFactor(const Node* n) {
+  return NodeHeight(n->left.get()) - NodeHeight(n->right.get());
+}
+
+void AvlTree::RotateLeft(std::unique_ptr<Node>& slot) {
+  // Rotates x=(A, y=(B, C)) left into y=(x=(A, B), C).
+  std::unique_ptr<Node> y = std::move(slot->right);
+  slot->right = std::move(y->left);
+  UpdateHeight(slot.get());
+  y->left = std::move(slot);
+  slot = std::move(y);
+  UpdateHeight(slot.get());
+}
+
+void AvlTree::RotateRight(std::unique_ptr<Node>& slot) {
+  std::unique_ptr<Node> y = std::move(slot->left);
+  slot->left = std::move(y->right);
+  UpdateHeight(slot.get());
+  y->right = std::move(slot);
+  slot = std::move(y);
+  UpdateHeight(slot.get());
+}
+
+void AvlTree::Rebalance(std::unique_ptr<Node>& slot) {
+  UpdateHeight(slot.get());
+  const int bf = BalanceFactor(slot.get());
+  if (bf > 1) {
+    if (BalanceFactor(slot->left.get()) < 0) {
+      RotateLeft(slot->left);  // left-right case
+    }
+    RotateRight(slot);
+  } else if (bf < -1) {
+    if (BalanceFactor(slot->right.get()) > 0) {
+      RotateRight(slot->right);  // right-left case
+    }
+    RotateLeft(slot);
+  }
+}
+
+bool AvlTree::Insert(Value key, Index pos) {
+  const bool inserted = InsertRec(root_, key, pos);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool AvlTree::InsertRec(std::unique_ptr<Node>& slot, Value key, Index pos) {
+  if (slot == nullptr) {
+    slot = std::make_unique<Node>();
+    slot->entry = Entry{key, pos};
+    return true;
+  }
+  bool inserted;
+  if (key < slot->entry.key) {
+    inserted = InsertRec(slot->left, key, pos);
+  } else if (key > slot->entry.key) {
+    inserted = InsertRec(slot->right, key, pos);
+  } else {
+    return false;  // duplicate key: cracks are immutable
+  }
+  if (inserted) Rebalance(slot);
+  return inserted;
+}
+
+bool AvlTree::Erase(Value key) {
+  const bool erased = EraseRec(root_, key);
+  if (erased) --size_;
+  return erased;
+}
+
+bool AvlTree::EraseRec(std::unique_ptr<Node>& slot, Value key) {
+  if (slot == nullptr) return false;
+  bool erased;
+  if (key < slot->entry.key) {
+    erased = EraseRec(slot->left, key);
+  } else if (key > slot->entry.key) {
+    erased = EraseRec(slot->right, key);
+  } else {
+    if (slot->left == nullptr) {
+      slot = std::move(slot->right);
+    } else if (slot->right == nullptr) {
+      slot = std::move(slot->left);
+    } else {
+      slot->entry = DetachMin(slot->right);
+      Rebalance(slot);
+    }
+    return true;
+  }
+  if (erased && slot != nullptr) Rebalance(slot);
+  return erased;
+}
+
+AvlTree::Entry AvlTree::DetachMin(std::unique_ptr<Node>& slot) {
+  if (slot->left == nullptr) {
+    Entry min_entry = slot->entry;
+    slot = std::move(slot->right);
+    return min_entry;
+  }
+  Entry min_entry = DetachMin(slot->left);
+  Rebalance(slot);
+  return min_entry;
+}
+
+const AvlTree::Node* AvlTree::FindNode(Value key) const {
+  const Node* n = root_.get();
+  while (n != nullptr) {
+    if (key < n->entry.key) {
+      n = n->left.get();
+    } else if (key > n->entry.key) {
+      n = n->right.get();
+    } else {
+      return n;
+    }
+  }
+  return nullptr;
+}
+
+const Index* AvlTree::Find(Value key) const {
+  const Node* n = FindNode(key);
+  return n == nullptr ? nullptr : &n->entry.pos;
+}
+
+const AvlTree::Entry* AvlTree::Floor(Value v) const {
+  const Node* n = root_.get();
+  const Entry* best = nullptr;
+  while (n != nullptr) {
+    if (n->entry.key <= v) {
+      best = &n->entry;
+      n = n->right.get();
+    } else {
+      n = n->left.get();
+    }
+  }
+  return best;
+}
+
+const AvlTree::Entry* AvlTree::Lower(Value v) const {
+  const Node* n = root_.get();
+  const Entry* best = nullptr;
+  while (n != nullptr) {
+    if (n->entry.key < v) {
+      best = &n->entry;
+      n = n->right.get();
+    } else {
+      n = n->left.get();
+    }
+  }
+  return best;
+}
+
+const AvlTree::Entry* AvlTree::Ceiling(Value v) const {
+  const Node* n = root_.get();
+  const Entry* best = nullptr;
+  while (n != nullptr) {
+    if (n->entry.key >= v) {
+      best = &n->entry;
+      n = n->left.get();
+    } else {
+      n = n->right.get();
+    }
+  }
+  return best;
+}
+
+const AvlTree::Entry* AvlTree::Higher(Value v) const {
+  const Node* n = root_.get();
+  const Entry* best = nullptr;
+  while (n != nullptr) {
+    if (n->entry.key > v) {
+      best = &n->entry;
+      n = n->left.get();
+    } else {
+      n = n->right.get();
+    }
+  }
+  return best;
+}
+
+const AvlTree::Entry* AvlTree::Min() const {
+  const Node* n = root_.get();
+  if (n == nullptr) return nullptr;
+  while (n->left != nullptr) n = n->left.get();
+  return &n->entry;
+}
+
+const AvlTree::Entry* AvlTree::Max() const {
+  const Node* n = root_.get();
+  if (n == nullptr) return nullptr;
+  while (n->right != nullptr) n = n->right.get();
+  return &n->entry;
+}
+
+void AvlTree::Clear() {
+  // Iterative teardown: unlink children before destroying a node so that a
+  // degenerate destruction chain cannot overflow the stack on huge trees.
+  std::unique_ptr<Node> current = std::move(root_);
+  while (current != nullptr) {
+    if (current->left != nullptr) {
+      std::unique_ptr<Node> left = std::move(current->left);
+      current->left = std::move(left->right);
+      left->right = std::move(current);
+      current = std::move(left);
+    } else {
+      current = std::move(current->right);
+    }
+  }
+  size_ = 0;
+}
+
+void AvlTree::InOrder(const std::function<void(const Entry&)>& fn) const {
+  InOrderRec(root_.get(), fn);
+}
+
+void AvlTree::InOrderRec(const Node* n,
+                         const std::function<void(const Entry&)>& fn) {
+  if (n == nullptr) return;
+  InOrderRec(n->left.get(), fn);
+  fn(n->entry);
+  InOrderRec(n->right.get(), fn);
+}
+
+void AvlTree::ShiftPositionsAbove(Value v, Index delta) {
+  ShiftRec(root_.get(), v, delta);
+}
+
+void AvlTree::ShiftRec(Node* n, Value v, Index delta) {
+  if (n == nullptr) return;
+  if (n->entry.key > v) {
+    n->entry.pos += delta;
+    ShiftRec(n->left.get(), v, delta);
+    // Everything in the right subtree also has key > v.
+    ShiftRec(n->right.get(), v, delta);
+  } else {
+    ShiftRec(n->right.get(), v, delta);
+  }
+}
+
+void AvlTree::ForEachMutablePosition(
+    const std::function<void(Value, Index&)>& fn) {
+  // Iterative in-order traversal with an explicit stack; positions may be
+  // rewritten, keys may not (they define the tree shape).
+  std::vector<Node*> stack;
+  Node* current = root_.get();
+  while (current != nullptr || !stack.empty()) {
+    while (current != nullptr) {
+      stack.push_back(current);
+      current = current->left.get();
+    }
+    current = stack.back();
+    stack.pop_back();
+    fn(current->entry.key, current->entry.pos);
+    current = current->right.get();
+  }
+}
+
+bool AvlTree::ValidateStructure() const {
+  return ValidateRec(root_.get(), nullptr, nullptr);
+}
+
+bool AvlTree::ValidateRec(const Node* n, const Value* min_key,
+                          const Value* max_key) {
+  if (n == nullptr) return true;
+  if (min_key != nullptr && n->entry.key <= *min_key) return false;
+  if (max_key != nullptr && n->entry.key >= *max_key) return false;
+  const int expected =
+      1 + std::max(NodeHeight(n->left.get()), NodeHeight(n->right.get()));
+  if (n->height != expected) return false;
+  if (std::abs(BalanceFactor(n)) > 1) return false;
+  return ValidateRec(n->left.get(), min_key, &n->entry.key) &&
+         ValidateRec(n->right.get(), &n->entry.key, max_key);
+}
+
+}  // namespace scrack

@@ -1,0 +1,125 @@
+// AvlTree: the self-balancing search tree behind the cracker index.
+//
+// Original cracking stores its structural knowledge — which piece of the
+// cracked array holds which value range — in an AVL tree (paper §3,
+// "original cracking uses AVL-trees"). This is a from-scratch AVL
+// implementation specialized for that role: keys are crack values, payloads
+// are array positions, and the operations cracking needs beyond insert are
+// predecessor/successor-style searches (Floor / Lower / Higher / Ceiling)
+// and bulk position shifts for the update (Ripple) path.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// An AVL-balanced map from crack value to array position.
+///
+/// Semantics of an entry (key=v, pos=p) in cracker usage: every array
+/// element at position < p has value < v, every element at position >= p has
+/// value >= v. The tree itself is agnostic to that; it just keeps ordered
+/// (key, pos) pairs balanced.
+class AvlTree {
+ public:
+  struct Entry {
+    Value key;
+    Index pos;
+  };
+
+  AvlTree() = default;
+  ~AvlTree() = default;
+
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+  AvlTree(AvlTree&&) = default;
+  AvlTree& operator=(AvlTree&&) = default;
+
+  /// Inserts a new (key, pos) pair. If the key already exists, the call is
+  /// a no-op and returns false (cracks are immutable once placed).
+  bool Insert(Value key, Index pos);
+
+  /// Removes a key. Returns false if absent.
+  bool Erase(Value key);
+
+  /// True if `key` is present.
+  bool Contains(Value key) const { return FindNode(key) != nullptr; }
+
+  /// Returns the position for `key`, or nullptr if absent. The pointer is
+  /// invalidated by any mutation of the tree.
+  const Index* Find(Value key) const;
+
+  /// Greatest entry with key <= v; nullptr if none.
+  const Entry* Floor(Value v) const;
+  /// Greatest entry with key <  v; nullptr if none.
+  const Entry* Lower(Value v) const;
+  /// Smallest entry with key >= v; nullptr if none.
+  const Entry* Ceiling(Value v) const;
+  /// Smallest entry with key >  v; nullptr if none.
+  const Entry* Higher(Value v) const;
+
+  /// Smallest / greatest entry; nullptr on empty tree.
+  const Entry* Min() const;
+  const Entry* Max() const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all entries.
+  void Clear();
+
+  /// In-order traversal (ascending key). The callback must not mutate the
+  /// tree.
+  void InOrder(const std::function<void(const Entry&)>& fn) const;
+
+  /// Adds `delta` to the position of every entry with key > v (used by the
+  /// Ripple update path when an insert/delete shifts upper pieces).
+  /// O(k + log n) where k is the number of affected entries.
+  void ShiftPositionsAbove(Value v, Index delta);
+
+  /// In-order traversal that may rewrite entry positions (not keys). Used
+  /// by the hybrid engines when a contiguous range is physically removed
+  /// from the column and all cracks above it must be remapped.
+  void ForEachMutablePosition(const std::function<void(Value, Index&)>& fn);
+
+  /// Height of the tree (0 for empty). Exposed for balance tests.
+  int Height() const { return NodeHeight(root_.get()); }
+
+  /// Verifies AVL balance and key ordering; returns false on violation.
+  /// Test/debug API — linear time.
+  bool ValidateStructure() const;
+
+ private:
+  struct Node {
+    Entry entry;
+    int height = 1;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  static int NodeHeight(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static void UpdateHeight(Node* n);
+  static int BalanceFactor(const Node* n);
+  static void RotateLeft(std::unique_ptr<Node>& slot);
+  static void RotateRight(std::unique_ptr<Node>& slot);
+  static void Rebalance(std::unique_ptr<Node>& slot);
+
+  bool InsertRec(std::unique_ptr<Node>& slot, Value key, Index pos);
+  bool EraseRec(std::unique_ptr<Node>& slot, Value key);
+  static Entry DetachMin(std::unique_ptr<Node>& slot);
+
+  const Node* FindNode(Value key) const;
+  static void InOrderRec(const Node* n,
+                         const std::function<void(const Entry&)>& fn);
+  static void ShiftRec(Node* n, Value v, Index delta);
+  static bool ValidateRec(const Node* n, const Value* min_key,
+                          const Value* max_key);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace scrack

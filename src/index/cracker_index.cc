@@ -1,0 +1,159 @@
+#include "index/cracker_index.h"
+
+#include <string>
+#include <vector>
+
+namespace scrack {
+
+Piece CrackerIndex::FindPiece(Value v) const {
+  Piece piece;
+  const AvlTree::Entry* lo = tree_.Floor(v);
+  const AvlTree::Entry* hi = tree_.Higher(v);
+  if (lo != nullptr) {
+    piece.begin = lo->pos;
+    piece.has_lower = true;
+    piece.lower = lo->key;
+    piece.meta_key = lo->key;
+  } else {
+    piece.begin = 0;
+    piece.has_lower = false;
+    piece.meta_key = kHeadKey;
+  }
+  if (hi != nullptr) {
+    piece.end = hi->pos;
+    piece.has_upper = true;
+    piece.upper = hi->key;
+  } else {
+    piece.end = column_size_;
+    piece.has_upper = false;
+  }
+  SCRACK_DCHECK(piece.begin <= piece.end);
+  return piece;
+}
+
+bool CrackerIndex::AddCrack(Value v, Index pos) {
+  SCRACK_CHECK(pos >= 0 && pos <= column_size_);
+  // The new piece [pos, old_piece.end) inherits the parent piece's counter.
+  const Piece parent = FindPiece(v);
+  if (parent.has_lower && parent.lower == v) {
+    return false;  // crack already present
+  }
+  SCRACK_DCHECK(pos >= parent.begin && pos <= parent.end);
+  const bool inserted = tree_.Insert(v, pos);
+  SCRACK_CHECK(inserted);
+  PieceMeta inherited;
+  auto parent_it = meta_.find(parent.meta_key);
+  if (parent_it != meta_.end()) {
+    inherited.crack_count = parent_it->second.crack_count;
+    // A progressive crack must never span a fresh crack; engines guarantee
+    // they complete or avoid pending state before splitting a piece.
+    SCRACK_DCHECK(!parent_it->second.progressive.active);
+  }
+  meta_.emplace(v, inherited);
+  return true;
+}
+
+PieceMeta& CrackerIndex::MetaFor(Value meta_key) {
+  return meta_[meta_key];  // creates default state on first touch
+}
+
+const PieceMeta* CrackerIndex::FindMeta(Value meta_key) const {
+  auto it = meta_.find(meta_key);
+  return it == meta_.end() ? nullptr : &it->second;
+}
+
+void CrackerIndex::DeactivateAllProgressive() {
+  for (auto& [key, meta] : meta_) {
+    meta.progressive = ProgressiveCrack{};
+  }
+}
+
+void CrackerIndex::ShiftAbove(Value v, Index delta) {
+  tree_.ShiftPositionsAbove(v, delta);
+  column_size_ += delta;
+  SCRACK_CHECK(column_size_ >= 0);
+}
+
+void CrackerIndex::CollapseRange(Value lo, Value hi, Index pos, Index count) {
+  SCRACK_CHECK(count >= 0);
+  tree_.ForEachMutablePosition([&](Value key, Index& position) {
+    if (key > lo && key <= hi) {
+      position = pos;
+    } else if (key > hi) {
+      position -= count;
+    }
+  });
+  column_size_ -= count;
+  SCRACK_CHECK(column_size_ >= 0);
+}
+
+std::vector<AvlTree::Entry> CrackerIndex::CracksAbove(Value v) const {
+  std::vector<AvlTree::Entry> out;
+  tree_.InOrder([&](const AvlTree::Entry& e) {
+    if (e.key > v) out.push_back(e);
+  });
+  return out;
+}
+
+void CrackerIndex::ForEachPiece(
+    const std::function<void(const Piece&)>& fn) const {
+  Piece piece;
+  piece.begin = 0;
+  piece.has_lower = false;
+  piece.meta_key = kHeadKey;
+  tree_.InOrder([&](const AvlTree::Entry& e) {
+    piece.end = e.pos;
+    piece.has_upper = true;
+    piece.upper = e.key;
+    fn(piece);
+    piece.begin = e.pos;
+    piece.has_lower = true;
+    piece.lower = e.key;
+    piece.meta_key = e.key;
+  });
+  piece.end = column_size_;
+  piece.has_upper = false;
+  fn(piece);
+}
+
+Status CrackerIndex::Validate(const Value* data, Index n) const {
+  if (n != column_size_) {
+    return Status::Internal("column size mismatch: index thinks " +
+                            std::to_string(column_size_) + ", actual " +
+                            std::to_string(n));
+  }
+  // Cracks must be position-sorted in key order, within [0, n].
+  Index prev_pos = 0;
+  bool bad = false;
+  tree_.InOrder([&](const AvlTree::Entry& e) {
+    if (e.pos < prev_pos || e.pos > n) bad = true;
+    prev_pos = e.pos;
+  });
+  if (bad) {
+    return Status::Internal("crack positions not monotone or out of range");
+  }
+  // Every element must respect its piece's value bounds.
+  Status piece_status = Status::OK();
+  ForEachPiece([&](const Piece& piece) {
+    if (!piece_status.ok()) return;
+    for (Index i = piece.begin; i < piece.end; ++i) {
+      if (piece.has_lower && data[i] < piece.lower) {
+        piece_status = Status::Internal(
+            "element " + std::to_string(data[i]) + " at position " +
+            std::to_string(i) + " below piece lower bound " +
+            std::to_string(piece.lower));
+        return;
+      }
+      if (piece.has_upper && data[i] >= piece.upper) {
+        piece_status = Status::Internal(
+            "element " + std::to_string(data[i]) + " at position " +
+            std::to_string(i) + " not below piece upper bound " +
+            std::to_string(piece.upper));
+        return;
+      }
+    }
+  });
+  return piece_status;
+}
+
+}  // namespace scrack

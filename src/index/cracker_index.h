@@ -1,0 +1,140 @@
+// CrackerIndex: piece bookkeeping for a cracked column.
+//
+// A cracked column is one contiguous array plus a set of "cracks". A crack
+// (v, p) promises: every element at position < p is < v, every element at
+// position >= p is >= v. Consecutive cracks bound *pieces* — the logical
+// partitions of Fig. 1. CrackerIndex wraps the AVL tree with:
+//   * piece lookup by value (which piece would hold value v?),
+//   * crack registration with piece-metadata inheritance,
+//   * per-piece metadata: the crack counters used by the ScrackMon selective
+//     strategy (Fig. 19) and the in-progress crack state used by progressive
+//     cracking (PMDD1R, Fig. 9c),
+//   * position maintenance under Ripple updates (Fig. 15),
+//   * full-structure validation used by the test suite after every query.
+#pragma once
+
+#include <limits>
+#include <unordered_map>
+
+#include "index/avl_tree.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// Progress state of a partially-completed random crack (progressive
+/// stochastic cracking). While active, the piece is partitioned as:
+///   [piece.begin, left)   : values <  pivot   (settled)
+///   [left, right]         : unprocessed
+///   (right, piece.end)    : values >= pivot   (settled)
+/// The crack completes when left > right, at which point a real crack
+/// (pivot, left) is registered and the state cleared.
+struct ProgressiveCrack {
+  bool active = false;
+  Value pivot = 0;
+  Index left = 0;
+  Index right = -1;
+};
+
+/// Per-piece metadata, keyed by the piece's lower crack value (or
+/// CrackerIndex::kHeadKey for the piece that starts at position 0).
+struct PieceMeta {
+  /// Times this piece (or its ancestors) was cracked; ScrackMon (Fig. 19)
+  /// triggers a stochastic action when this reaches its threshold.
+  int64_t crack_count = 0;
+  ProgressiveCrack progressive;
+};
+
+/// A piece of the cracked array, as returned by FindPiece.
+struct Piece {
+  Index begin = 0;  ///< first position of the piece
+  Index end = 0;    ///< one past the last position
+  /// Metadata key: the lower crack value, or CrackerIndex::kHeadKey when the
+  /// piece starts at position 0 with no lower crack.
+  Value meta_key = 0;
+  bool has_lower = false;  ///< a crack bounds this piece from below
+  bool has_upper = false;  ///< a crack bounds this piece from above
+  Value lower = 0;         ///< value of the lower crack (valid if has_lower)
+  Value upper = 0;         ///< value of the upper crack (valid if has_upper)
+
+  Index size() const { return end - begin; }
+};
+
+/// Structural index over one cracked column. Owns no data; the column array
+/// lives in the engine (CrackerColumn).
+class CrackerIndex {
+ public:
+  /// Metadata key of the head piece (the piece starting at position 0).
+  static constexpr Value kHeadKey = std::numeric_limits<Value>::min();
+
+  explicit CrackerIndex(Index column_size) : column_size_(column_size) {
+    SCRACK_CHECK(column_size >= 0);
+    meta_.emplace(kHeadKey, PieceMeta{});
+  }
+
+  /// The piece whose *value range* contains v: bounded below by the greatest
+  /// crack with key <= v and above by the smallest crack with key > v.
+  /// Note the asymmetry: a crack with key == v bounds from *below* because
+  /// values >= v live right of it.
+  Piece FindPiece(Value v) const;
+
+  /// Registers a crack (v, pos): values < v occupy [piece.begin, pos).
+  /// No-op (returns false) if a crack at v already exists. The new upper
+  /// piece inherits the lower piece's crack counter (ScrackMon semantics:
+  /// "when a new piece is created it inherits the counter from its parent").
+  bool AddCrack(Value v, Index pos);
+
+  /// True if a crack at exactly `v` exists.
+  bool HasCrack(Value v) const { return tree_.Contains(v); }
+
+  /// Position of the crack at `v`; requires HasCrack(v).
+  Index CrackPosition(Value v) const {
+    const Index* pos = tree_.Find(v);
+    SCRACK_CHECK(pos != nullptr);
+    return *pos;
+  }
+
+  size_t num_cracks() const { return tree_.size(); }
+  Index column_size() const { return column_size_; }
+
+  /// Mutable metadata for the piece identified by `meta_key`.
+  PieceMeta& MetaFor(Value meta_key);
+  const PieceMeta* FindMeta(Value meta_key) const;
+
+  /// Abandons every in-flight progressive crack (positions are about to
+  /// shift under an update merge; the partial partition work is simply
+  /// dropped — no crack was registered yet, so no invariant is at stake).
+  void DeactivateAllProgressive();
+
+  /// Update (Ripple) support: shifts the positions of all cracks with
+  /// key > v by delta and adjusts the column size by delta.
+  void ShiftAbove(Value v, Index delta);
+
+  /// Hybrid (partition/merge) support: records the physical removal of
+  /// `count` elements at positions [pos, pos+count) holding values in
+  /// [lo, hi). Cracks with key in (lo, hi] collapse onto `pos`; cracks with
+  /// key > hi shift down by `count`. Column size shrinks by `count`.
+  void CollapseRange(Value lo, Value hi, Index pos, Index count);
+
+  /// Ascending crack positions for all cracks with key > v. Used by the
+  /// Ripple insert/delete paths, which touch one element per boundary.
+  std::vector<AvlTree::Entry> CracksAbove(Value v) const;
+
+  /// Ascending traversal of all pieces.
+  void ForEachPiece(const std::function<void(const Piece&)>& fn) const;
+
+  /// Verifies the full cracked-column invariant against `data`:
+  ///   * crack positions are sorted consistently with keys, within bounds;
+  ///   * every element of every piece lies in the piece's value range.
+  /// O(n). Test/debug API.
+  Status Validate(const Value* data, Index n) const;
+
+  const AvlTree& tree() const { return tree_; }
+
+ private:
+  AvlTree tree_;
+  Index column_size_;
+  std::unordered_map<Value, PieceMeta> meta_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,146 @@
+#include "sideways/cracker_map.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace scrack {
+
+CrackerMap::CrackerMap(const Column* head, const Column* tail,
+                       const EngineConfig& config, Mode mode)
+    : base_head_(head),
+      base_tail_(tail),
+      config_(config),
+      mode_(mode),
+      index_(0),
+      rng_(config.seed),
+      min_value_(std::numeric_limits<Value>::max()),
+      max_value_(std::numeric_limits<Value>::min()) {
+  SCRACK_CHECK(base_head_ != nullptr && base_tail_ != nullptr);
+  SCRACK_CHECK(base_head_->size() == base_tail_->size());
+}
+
+void CrackerMap::EnsureInitialized() {
+  if (initialized_) return;
+  const Index n = base_head_->size();
+  head_.resize(static_cast<size_t>(n));
+  tail_.resize(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    const Value h = (*base_head_)[i];
+    head_[static_cast<size_t>(i)] = h;
+    tail_[static_cast<size_t>(i)] = (*base_tail_)[i];
+    min_value_ = std::min(min_value_, h);
+    max_value_ = std::max(max_value_, h);
+  }
+  index_ = CrackerIndex(n);
+  initialized_ = true;
+  stats_.tuples_touched += 2 * n;  // map creation copies both attributes
+}
+
+Index CrackerMap::CrackBound(Value v) {
+  if (index_.HasCrack(v)) return index_.CrackPosition(v);
+  if (v <= min_value_) return 0;
+  if (v > max_value_) return size();
+  Piece piece = index_.FindPiece(v);
+  KernelCounters counters;
+  if (mode_ == Mode::kDd1r &&
+      piece.size() > config_.crack_threshold_values) {
+    // One DD1R-style random crack before the query-driven one.
+    const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
+    const Value pivot = head_[static_cast<size_t>(r)];
+    ++stats_.random_pivots;
+    const Index split = CrackInTwoPairs(head_.data(), tail_.data(),
+                                        piece.begin, piece.end, pivot,
+                                        &counters);
+    if (index_.AddCrack(pivot, split)) ++stats_.cracks;
+    piece = index_.FindPiece(v);
+  }
+  const Index split = CrackInTwoPairs(head_.data(), tail_.data(), piece.begin,
+                                      piece.end, v, &counters);
+  stats_.tuples_touched += counters.touched;
+  stats_.swaps += counters.swaps;
+  if (index_.AddCrack(v, split)) ++stats_.cracks;
+  return split;
+}
+
+void CrackerMap::SplitMatPiece(const Piece& piece, Value qlo, Value qhi,
+                               QueryResult* result) {
+  if (piece.size() == 0) return;
+  const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
+  const Value pivot = head_[static_cast<size_t>(r)];
+  ++stats_.random_pivots;
+  KernelCounters counters;
+  std::vector<Value> out;
+  const Index split =
+      SplitAndMaterializePairs(head_.data(), tail_.data(), piece.begin,
+                               piece.end, qlo, qhi, pivot, &out, &counters);
+  stats_.tuples_touched += counters.touched;
+  stats_.swaps += counters.swaps;
+  if (index_.AddCrack(pivot, split)) ++stats_.cracks;
+  stats_.materialized += static_cast<int64_t>(out.size());
+  result->AddOwned(std::move(out));
+}
+
+Status CrackerMap::Select(Value low, Value high, QueryResult* result) {
+  if (low > high) {
+    return Status::InvalidArgument("select range has low > high");
+  }
+  ++stats_.queries;
+  EnsureInitialized();
+  if (size() == 0 || low >= high) return Status::OK();
+
+  if (mode_ != Mode::kMdd1r) {
+    const Index pos_low = CrackBound(low);
+    const Index pos_high = CrackBound(high);
+    if (pos_high > pos_low) {
+      result->AddView(tail_.data() + pos_low, pos_high - pos_low);
+    }
+    return Status::OK();
+  }
+
+  // MDD1R over the map: materialize tail values of the end pieces, view
+  // the middle.
+  const bool low_exact = low <= min_value_ || index_.HasCrack(low);
+  const bool high_exact = high > max_value_ || index_.HasCrack(high);
+  if (!low_exact && !high_exact) {
+    const Piece piece = index_.FindPiece(low);
+    if (!piece.has_upper || high < piece.upper) {
+      SplitMatPiece(piece, low, high, result);
+      return Status::OK();
+    }
+  }
+  Index view_begin = 0;
+  if (low <= min_value_) {
+    view_begin = 0;
+  } else if (index_.HasCrack(low)) {
+    view_begin = index_.CrackPosition(low);
+  } else {
+    const Piece piece = index_.FindPiece(low);
+    SplitMatPiece(piece, low, high, result);
+    view_begin = piece.end;
+  }
+  Index view_end = size();
+  if (high > max_value_) {
+    view_end = size();
+  } else if (index_.HasCrack(high)) {
+    view_end = index_.CrackPosition(high);
+  } else {
+    const Piece piece = index_.FindPiece(high);
+    SplitMatPiece(piece, low, high, result);
+    view_end = piece.begin;
+  }
+  if (view_end > view_begin) {
+    result->AddView(tail_.data() + view_begin, view_end - view_begin);
+  }
+  return Status::OK();
+}
+
+Status CrackerMap::Validate() const {
+  if (!initialized_) return Status::OK();
+  SCRACK_RETURN_NOT_OK(index_.Validate(head_.data(), size()));
+  if (head_.size() != tail_.size()) {
+    return Status::Internal("cracker map arrays misaligned");
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

@@ -1,0 +1,79 @@
+// CrackerMap: a two-attribute cracker map for sideways cracking.
+//
+// Paper §2: cracking "is propagated across multiple columns on demand,
+// depending on query needs with partial sideways cracking [18], whereby
+// pieces of cracker columns are dynamically created and deleted based on
+// storage restrictions". A cracker map for (head=A, tail=B) stores aligned
+// copies of both attributes and cracks them *together* on A, so a select on
+// A can return the matching B values as a contiguous zero-copy view —
+// tuple reconstruction without row ids.
+//
+// The map supports the same end-piece policies as single-column cracking:
+// original (crack on bounds), DD1R (one random crack first — stochastic
+// robustness extends to maps unchanged), and MDD1R (random crack +
+// materialize tail values of end pieces).
+#pragma once
+
+#include "cracking/engine.h"
+#include "index/cracker_index.h"
+#include "sideways/kernel_pairs.h"
+#include "storage/column.h"
+#include "storage/query_result.h"
+#include "util/rng.h"
+
+namespace scrack {
+
+class CrackerMap {
+ public:
+  /// End-piece policy for map cracking.
+  enum class Mode { kCrack, kDd1r, kMdd1r };
+
+  /// `head` and `tail` must be equally long and outlive the map. Copies
+  /// lazily on first Select (the first projection pays initialization, as
+  /// in sideways cracking).
+  CrackerMap(const Column* head, const Column* tail,
+             const EngineConfig& config, Mode mode);
+
+  /// Appends the tail values of every tuple with low <= head < high to
+  /// `result` (views where contiguous, owned buffers where materialized).
+  Status Select(Value low, Value high, QueryResult* result);
+
+  /// Full invariant check (piece bounds on the head array + alignment).
+  Status Validate() const;
+
+  const EngineStats& stats() const { return stats_; }
+  Mode mode() const { return mode_; }
+  bool initialized() const { return initialized_; }
+  Index size() const { return static_cast<Index>(head_.size()); }
+
+  /// Approximate bytes held by the map (for storage-budget eviction).
+  size_t MemoryBytes() const {
+    return (head_.capacity() + tail_.capacity()) * sizeof(Value);
+  }
+
+ private:
+  void EnsureInitialized();
+
+  // Ensures a crack exists at bound v (policy-dependent); returns its
+  // position. For kMdd1r the caller uses SplitMatPiece instead.
+  Index CrackBound(Value v);
+
+  // MDD1R-style handling of the piece containing v.
+  void SplitMatPiece(const Piece& piece, Value qlo, Value qhi,
+                     QueryResult* result);
+
+  const Column* base_head_;
+  const Column* base_tail_;
+  EngineConfig config_;
+  Mode mode_;
+  bool initialized_ = false;
+  std::vector<Value> head_;
+  std::vector<Value> tail_;
+  CrackerIndex index_;
+  Rng rng_;
+  Value min_value_ = 0;
+  Value max_value_ = -1;
+  EngineStats stats_;
+};
+
+}  // namespace scrack

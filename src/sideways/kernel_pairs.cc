@@ -1,0 +1,97 @@
+#include "sideways/kernel_pairs.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+namespace {
+
+inline void SwapPair(Value* head, Value* tail, Index a, Index b) {
+  std::swap(head[a], head[b]);
+  std::swap(tail[a], tail[b]);
+}
+
+}  // namespace
+
+Index CrackInTwoPairs(Value* head, Value* tail, Index begin, Index end,
+                      Value pivot, KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  Index lo = begin;
+  Index hi = end - 1;
+  int64_t swaps = 0;
+  while (lo <= hi) {
+    while (lo <= hi && head[lo] < pivot) ++lo;
+    while (lo <= hi && head[hi] >= pivot) --hi;
+    if (lo < hi) {
+      SwapPair(head, tail, lo, hi);
+      ++lo;
+      --hi;
+      ++swaps;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return lo;
+}
+
+std::pair<Index, Index> CrackInThreePairs(Value* head, Value* tail,
+                                          Index begin, Index end, Value lo,
+                                          Value hi,
+                                          KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  SCRACK_DCHECK(lo <= hi);
+  Index lt = begin;
+  Index i = begin;
+  Index gt = end;
+  int64_t swaps = 0;
+  while (i < gt) {
+    if (head[i] < lo) {
+      if (lt != i) {
+        SwapPair(head, tail, lt, i);
+        ++swaps;
+      }
+      ++lt;
+      ++i;
+    } else if (head[i] >= hi) {
+      --gt;
+      SwapPair(head, tail, i, gt);
+      ++swaps;
+    } else {
+      ++i;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return {lt, gt};
+}
+
+Index SplitAndMaterializePairs(Value* head, Value* tail, Index begin,
+                               Index end, Value qlo, Value qhi, Value pivot,
+                               std::vector<Value>* out,
+                               KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  Index left = begin;
+  Index right = end - 1;
+  int64_t swaps = 0;
+  while (left <= right) {
+    while (left <= right && head[left] < pivot) {
+      if (qlo <= head[left] && head[left] < qhi) out->push_back(tail[left]);
+      ++left;
+    }
+    while (left <= right && head[right] >= pivot) {
+      if (qlo <= head[right] && head[right] < qhi) {
+        out->push_back(tail[right]);
+      }
+      --right;
+    }
+    if (left < right) {
+      SwapPair(head, tail, left, right);
+      ++swaps;
+    }
+  }
+  counters->touched += end - begin;
+  counters->swaps += swaps;
+  return left;
+}
+
+}  // namespace scrack

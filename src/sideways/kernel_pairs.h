@@ -1,0 +1,40 @@
+// Reorganization kernels over (head, tail) pairs — the cracker-map variant
+// of the single-column kernels in cracking/kernel.h.
+//
+// Sideways cracking (Idreos et al., SIGMOD 2009, recapped in paper §2)
+// propagates cracking across columns: for a query that selects on attribute
+// A and projects attribute B, the system cracks a *map* of (A, B) pairs on
+// A, keeping each tuple's B value glued to its A value through every swap.
+// These kernels do exactly that: they partition the head array while
+// applying identical swaps to the tail array.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "util/common.h"
+
+namespace scrack {
+
+/// Two-way crack of head[begin, end) around `pivot` (< pivot left), with
+/// tail permuted identically. Returns the split position.
+Index CrackInTwoPairs(Value* head, Value* tail, Index begin, Index end,
+                      Value pivot, KernelCounters* counters);
+
+/// Three-way crack for a range [lo, hi): layout becomes
+/// [<lo | in-range | >=hi] in head with tail following. Returns (p1, p2).
+std::pair<Index, Index> CrackInThreePairs(Value* head, Value* tail,
+                                          Index begin, Index end, Value lo,
+                                          Value hi, KernelCounters* counters);
+
+/// MDD1R-style split of a map piece: partitions (head, tail) around `pivot`
+/// while appending the *tail* values of qualifying tuples
+/// (qlo <= head < qhi) to `out` in the same pass. Returns the split
+/// position.
+Index SplitAndMaterializePairs(Value* head, Value* tail, Index begin,
+                               Index end, Value qlo, Value qhi, Value pivot,
+                               std::vector<Value>* out,
+                               KernelCounters* counters);
+
+}  // namespace scrack

@@ -1,0 +1,73 @@
+#include "sideways/sideways_cracker.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+SidewaysCracker::SidewaysCracker(const Table* table, std::string head_column,
+                                 const EngineConfig& config,
+                                 CrackerMap::Mode mode, size_t budget_bytes)
+    : table_(table),
+      head_column_(std::move(head_column)),
+      config_(config),
+      mode_(mode),
+      budget_bytes_(budget_bytes) {
+  SCRACK_CHECK(table_ != nullptr);
+}
+
+Status SidewaysCracker::Project(const std::string& tail_column, Value low,
+                                Value high, QueryResult* result) {
+  const Column* head = table_->GetColumn(head_column_);
+  if (head == nullptr) {
+    return Status::NotFound("no head column " + head_column_);
+  }
+  const Column* tail = table_->GetColumn(tail_column);
+  if (tail == nullptr) {
+    return Status::NotFound("no tail column " + tail_column);
+  }
+
+  auto it = maps_.find(tail_column);
+  if (it == maps_.end()) {
+    auto map = std::make_unique<CrackerMap>(head, tail, config_, mode_);
+    it = maps_.emplace(tail_column, std::move(map)).first;
+    ++maps_created_;
+  }
+  // LRU touch.
+  lru_.remove(tail_column);
+  lru_.push_front(tail_column);
+
+  SCRACK_RETURN_NOT_OK(it->second->Select(low, high, result));
+  EvictUntilWithinBudget();
+  return Status::OK();
+}
+
+void SidewaysCracker::EvictUntilWithinBudget() {
+  if (budget_bytes_ == 0) return;
+  auto total = [this]() {
+    size_t bytes = 0;
+    for (const auto& [name, map] : maps_) bytes += map->MemoryBytes();
+    return bytes;
+  };
+  // Keep at least the most recently used map alive, whatever the budget —
+  // otherwise the working map would thrash on every query.
+  while (total() > budget_bytes_ && maps_.size() > 1) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    maps_.erase(victim);
+  }
+}
+
+const EngineStats* SidewaysCracker::MapStats(
+    const std::string& tail_column) const {
+  auto it = maps_.find(tail_column);
+  return it == maps_.end() ? nullptr : &it->second->stats();
+}
+
+Status SidewaysCracker::Validate() const {
+  for (const auto& [name, map] : maps_) {
+    SCRACK_RETURN_NOT_OK(map->Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

@@ -1,0 +1,62 @@
+// SidewaysCracker: on-demand cracker maps over a table, with a storage
+// budget.
+//
+// For a table with selection attribute A and projection attributes
+// B, C, ..., a SidewaysCracker materializes one CrackerMap per projected
+// attribute the first time a query asks for it ("dynamically created ...
+// based on query needs", paper §2) and evicts least-recently-used maps
+// when the configured storage budget is exceeded ("... and deleted based
+// on storage restrictions"). Evicted maps are rebuilt — and re-crack —
+// from the base table on the next touch.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sideways/cracker_map.h"
+#include "storage/table.h"
+
+namespace scrack {
+
+class SidewaysCracker {
+ public:
+  /// `table` must outlive the cracker. `head_column` is the selection
+  /// attribute. `budget_bytes` caps the total memory of live maps
+  /// (0 = unlimited).
+  SidewaysCracker(const Table* table, std::string head_column,
+                  const EngineConfig& config, CrackerMap::Mode mode,
+                  size_t budget_bytes = 0);
+
+  /// SELECT tail_column WHERE low <= head < high.
+  Status Project(const std::string& tail_column, Value low, Value high,
+                 QueryResult* result);
+
+  /// Number of currently materialized maps.
+  size_t num_live_maps() const { return maps_.size(); }
+
+  /// Total maps ever created (rebuilds after eviction count again).
+  int64_t maps_created() const { return maps_created_; }
+
+  /// Per-map stats, nullptr if the map is not live.
+  const EngineStats* MapStats(const std::string& tail_column) const;
+
+  Status Validate() const;
+
+ private:
+  void EvictUntilWithinBudget();
+
+  const Table* table_;
+  std::string head_column_;
+  EngineConfig config_;
+  CrackerMap::Mode mode_;
+  size_t budget_bytes_;
+  int64_t maps_created_ = 0;
+
+  // LRU: most recently used at the front.
+  std::list<std::string> lru_;
+  std::map<std::string, std::unique_ptr<CrackerMap>> maps_;
+};
+
+}  // namespace scrack

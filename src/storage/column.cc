@@ -1,0 +1,42 @@
+#include "storage/column.h"
+
+#include <algorithm>
+
+namespace scrack {
+
+Column Column::UniquePermutation(Index n, uint64_t seed) {
+  SCRACK_CHECK(n >= 0);
+  std::vector<Value> values(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) values[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  // Fisher-Yates. std::shuffle is avoided so the permutation is stable
+  // across standard library implementations.
+  for (Index i = n - 1; i > 0; --i) {
+    Index j = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(i) + 1));
+    std::swap(values[static_cast<size_t>(i)], values[static_cast<size_t>(j)]);
+  }
+  return Column(std::move(values));
+}
+
+Column Column::UniformRandom(Index n, Value lo, Value hi, uint64_t seed) {
+  SCRACK_CHECK(n >= 0);
+  SCRACK_CHECK(lo < hi);
+  std::vector<Value> values(static_cast<size_t>(n));
+  Rng rng(seed);
+  for (Index i = 0; i < n; ++i) {
+    values[static_cast<size_t>(i)] = rng.UniformValue(lo, hi);
+  }
+  return Column(std::move(values));
+}
+
+Status Column::MinMax(Value* min_out, Value* max_out) const {
+  if (values_.empty()) {
+    return Status::NotFound("MinMax on empty column");
+  }
+  auto [min_it, max_it] = std::minmax_element(values_.begin(), values_.end());
+  if (min_out != nullptr) *min_out = *min_it;
+  if (max_out != nullptr) *max_out = *max_it;
+  return Status::OK();
+}
+
+}  // namespace scrack

@@ -1,0 +1,70 @@
+// Column: the dense fixed-width array at the heart of a column-store.
+//
+// Database cracking operates on exactly this representation (paper §2,
+// "Column-Stores"): a single attribute stored as a contiguous array that can
+// be physically reorganized in place. A cracking engine takes a *copy* of
+// the base column (the "cracker column" of Fig. 1) and reorders it; the base
+// column itself stays untouched, as in MonetDB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// A dense, in-memory, fixed-width column of Values.
+class Column {
+ public:
+  Column() = default;
+
+  /// Takes ownership of `values`.
+  explicit Column(std::vector<Value> values) : values_(std::move(values)) {}
+
+  /// The paper's dataset: a uniformly shuffled permutation of the unique
+  /// integers [0, n). Deterministic in `seed` (Fisher-Yates driven by Rng).
+  static Column UniquePermutation(Index n, uint64_t seed);
+
+  /// n values drawn uniformly from [lo, hi) with repetition. Used by tests
+  /// to exercise duplicate handling, which the paper's datasets avoid.
+  static Column UniformRandom(Index n, Value lo, Value hi, uint64_t seed);
+
+  Index size() const { return static_cast<Index>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  Value* data() { return values_.data(); }
+  const Value* data() const { return values_.data(); }
+
+  Value operator[](Index i) const {
+    SCRACK_DCHECK(i >= 0 && i < size());
+    return values_[static_cast<size_t>(i)];
+  }
+  Value& operator[](Index i) {
+    SCRACK_DCHECK(i >= 0 && i < size());
+    return values_[static_cast<size_t>(i)];
+  }
+
+  void Append(Value v) { values_.push_back(v); }
+
+  /// Removes the last element. Precondition: not empty.
+  Value PopBack() {
+    SCRACK_CHECK(!values_.empty());
+    Value v = values_.back();
+    values_.pop_back();
+    return v;
+  }
+
+  /// Min / max value present. Status is NotFound on an empty column.
+  Status MinMax(Value* min_out, Value* max_out) const;
+
+  std::vector<Value>& values() { return values_; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,82 @@
+// Staging area for updates against a cracked column.
+//
+// Following "Updating a cracked database" (Idreos et al., SIGMOD 2007),
+// which the paper reuses for its Fig. 15 experiment: updates are not applied
+// eagerly. Inserts and deletes are collected in pending buffers; when a
+// query requests a range that intersects a pending update, the qualifying
+// updates are merged into the cracker column during that query (the
+// merge itself is the Ripple shift implemented by the engines).
+#pragma once
+
+#include <vector>
+
+#include "util/common.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// Pending inserts and deletes for one column. Not thread-safe.
+class PendingUpdates {
+ public:
+  /// Stages a value for insertion.
+  void StageInsert(Value v) { inserts_.push_back(v); }
+
+  /// Stages a value for deletion. The value is matched against the cracker
+  /// column at merge time; deleting a value that never existed surfaces as a
+  /// NotFound status from the merge.
+  void StageDelete(Value v) { deletes_.push_back(v); }
+
+  Index num_pending_inserts() const {
+    return static_cast<Index>(inserts_.size());
+  }
+  Index num_pending_deletes() const {
+    return static_cast<Index>(deletes_.size());
+  }
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+
+  /// True if any pending insert or delete has a value in [lo, hi).
+  bool IntersectsRange(Value lo, Value hi) const {
+    for (Value v : inserts_) {
+      if (v >= lo && v < hi) return true;
+    }
+    for (Value v : deletes_) {
+      if (v >= lo && v < hi) return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns all pending inserts with value in [lo, hi).
+  std::vector<Value> TakeInsertsIn(Value lo, Value hi) {
+    return TakeIn(&inserts_, lo, hi);
+  }
+
+  /// Removes and returns all pending deletes with value in [lo, hi).
+  std::vector<Value> TakeDeletesIn(Value lo, Value hi) {
+    return TakeIn(&deletes_, lo, hi);
+  }
+
+  const std::vector<Value>& inserts() const { return inserts_; }
+  const std::vector<Value>& deletes() const { return deletes_; }
+
+ private:
+  static std::vector<Value> TakeIn(std::vector<Value>* pool, Value lo,
+                                   Value hi) {
+    std::vector<Value> taken;
+    size_t keep = 0;
+    for (size_t i = 0; i < pool->size(); ++i) {
+      Value v = (*pool)[i];
+      if (v >= lo && v < hi) {
+        taken.push_back(v);
+      } else {
+        (*pool)[keep++] = v;
+      }
+    }
+    pool->resize(keep);
+    return taken;
+  }
+
+  std::vector<Value> inserts_;
+  std::vector<Value> deletes_;
+};
+
+}  // namespace scrack

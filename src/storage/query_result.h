@@ -1,0 +1,104 @@
+// QueryResult: what a select operator hands back.
+//
+// The paper is explicit that the *form* of a result matters for cost
+// (§3): cracking and full-index approaches return a view of a contiguous
+// qualifying area, while Scan — and the end-pieces of MDD1R — must
+// materialize qualifying tuples into a fresh array. QueryResult models both:
+// it is an ordered list of segments, each either a borrowed view into the
+// cracker column or an owned buffer. Aggregations (count / sum checksum)
+// iterate the segments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// Result of one range-select. Cheap to move. Borrowed views are valid only
+/// until the underlying cracker column is next reorganized, matching
+/// column-store semantics where a select's output is consumed by the next
+/// operator in the same query plan.
+class QueryResult {
+ public:
+  QueryResult() = default;
+
+  QueryResult(const QueryResult&) = delete;
+  QueryResult& operator=(const QueryResult&) = delete;
+  QueryResult(QueryResult&&) = default;
+  QueryResult& operator=(QueryResult&&) = default;
+
+  /// Appends a borrowed view of `len` values starting at `data`. Zero-length
+  /// views are accepted and ignored.
+  void AddView(const Value* data, Index len) {
+    SCRACK_DCHECK(len >= 0);
+    if (len > 0) segments_.push_back(Segment{data, len, kBorrowed});
+  }
+
+  /// Appends an owned buffer of qualifying values (materialized result).
+  void AddOwned(std::vector<Value> buffer) {
+    if (buffer.empty()) return;
+    owned_.push_back(std::move(buffer));
+    const std::vector<Value>& stored = owned_.back();
+    segments_.push_back(
+        Segment{stored.data(), static_cast<Index>(stored.size()),
+                static_cast<int>(owned_.size()) - 1});
+  }
+
+  /// Total number of qualifying tuples.
+  Index count() const {
+    Index total = 0;
+    for (const Segment& seg : segments_) total += seg.len;
+    return total;
+  }
+
+  /// Sum of all qualifying values; used as an order-insensitive checksum in
+  /// tests and benches.
+  int64_t Sum() const {
+    int64_t sum = 0;
+    for (const Segment& seg : segments_) {
+      for (Index i = 0; i < seg.len; ++i) sum += seg.data[i];
+    }
+    return sum;
+  }
+
+  /// Copies all qualifying values into one vector (test convenience; this is
+  /// NOT on any measured path).
+  std::vector<Value> Collect() const {
+    std::vector<Value> out;
+    out.reserve(static_cast<size_t>(count()));
+    for (const Segment& seg : segments_) {
+      out.insert(out.end(), seg.data, seg.data + seg.len);
+    }
+    return out;
+  }
+
+  /// Number of segments (views + owned buffers).
+  size_t num_segments() const { return segments_.size(); }
+
+  /// True if any segment is an owned (materialized) buffer.
+  bool materialized() const {
+    for (const Segment& seg : segments_) {
+      if (seg.owned_index != kBorrowed) return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int kBorrowed = -1;
+
+  struct Segment {
+    const Value* data;
+    Index len;
+    int owned_index;  // kBorrowed, or index into owned_
+  };
+
+  // owned_ uses stable storage: buffers are never mutated after AddOwned, so
+  // Segment::data pointers into them stay valid as the deque-like vector of
+  // vectors grows (the inner vectors' heap buffers do not move).
+  std::vector<Segment> segments_;
+  std::vector<std::vector<Value>> owned_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,32 @@
+#include "storage/table.h"
+
+namespace scrack {
+
+Status Table::AddColumn(const std::string& column_name, Column column) {
+  if (columns_.count(column_name) > 0) {
+    return Status::InvalidArgument("duplicate column: " + column_name);
+  }
+  if (num_rows_ >= 0 && column.size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column " + column_name + " has " + std::to_string(column.size()) +
+        " rows, table has " + std::to_string(num_rows_));
+  }
+  if (num_rows_ < 0) num_rows_ = column.size();
+  columns_.emplace(column_name, std::move(column));
+  return Status::OK();
+}
+
+const Column* Table::GetColumn(const std::string& column_name) const {
+  auto it = columns_.find(column_name);
+  if (it == columns_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, column] : columns_) names.push_back(name);
+  return names;
+}
+
+}  // namespace scrack

@@ -1,0 +1,44 @@
+// Minimal named-column catalog.
+//
+// Cracking is a per-attribute technique (paper §2): a query reorganizes only
+// the columns it touches. Table is the thin catalog used by the examples to
+// hold several attributes of a relation; the adaptive machinery itself lives
+// in AdaptiveStore (src/cracking/adaptive_store.h), which binds a cracking
+// engine to each attribute on first touch.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// An immutable-schema collection of named columns of equal length.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a column. All columns must have the same number of rows;
+  /// the first column added fixes the row count.
+  Status AddColumn(const std::string& column_name, Column column);
+
+  /// Looks up a column; nullptr if absent.
+  const Column* GetColumn(const std::string& column_name) const;
+
+  Index num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Names of all columns, sorted.
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::string name_;
+  Index num_rows_ = -1;  // -1 until the first column is added
+  std::map<std::string, Column> columns_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,65 @@
+#include "util/cache_info.h"
+
+#include <cctype>
+#include <fstream>
+#include <string>
+
+namespace scrack {
+
+namespace {
+
+// Parses sysfs cache size strings such as "32K" or "1M". Returns 0 on
+// failure.
+size_t ParseSizeString(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return 0;
+  }
+  size_t value = 0;
+  size_t i = 0;
+  while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    char suffix = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(text[i])));
+    if (suffix == 'K') {
+      value *= 1024;
+    } else if (suffix == 'M') {
+      value *= 1024 * 1024;
+    }
+  }
+  return value;
+}
+
+// Reads one line from `path`; empty string on failure.
+std::string ReadLine(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return "";
+}
+
+}  // namespace
+
+CacheInfo CacheInfo::Detect() {
+  CacheInfo info;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  // Scan index0..index7 looking for a level-1 data cache and a level-2
+  // (unified or data) cache.
+  for (int i = 0; i < 8; ++i) {
+    const std::string dir = base + "index" + std::to_string(i) + "/";
+    const std::string level = ReadLine(dir + "level");
+    const std::string type = ReadLine(dir + "type");
+    const size_t size = ParseSizeString(ReadLine(dir + "size"));
+    if (size == 0) continue;
+    if (level == "1" && (type == "Data" || type == "Unified")) {
+      info.l1_bytes = size;
+    } else if (level == "2" && (type == "Data" || type == "Unified")) {
+      info.l2_bytes = size;
+    }
+  }
+  return info;
+}
+
+}  // namespace scrack

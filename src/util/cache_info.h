@@ -1,0 +1,39 @@
+// CPU cache-size discovery.
+//
+// Stochastic cracking parameterizes several decisions on cache sizes:
+//   * DDC stops recursive halving when a piece fits the L1 cache
+//     (paper §4, Fig. 8 sweeps this threshold);
+//   * progressive cracking switches to plain MDD1R below the L2 size;
+//   * the selective "size threshold" variant stops stochastic actions for
+//     pieces below L1.
+// CacheInfo reads the host's cache hierarchy from sysfs when available and
+// falls back to the paper's machine (Intel E5620: 32 KiB L1d, 256 KiB L2)
+// otherwise, so experiments are reproducible on any box.
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// Sizes in bytes of the relevant data caches.
+struct CacheInfo {
+  size_t l1_bytes = 32 * 1024;
+  size_t l2_bytes = 256 * 1024;
+
+  /// Number of Value elements that fit in L1 / L2.
+  Index L1Values() const {
+    return static_cast<Index>(l1_bytes / sizeof(Value));
+  }
+  Index L2Values() const {
+    return static_cast<Index>(l2_bytes / sizeof(Value));
+  }
+
+  /// Detects the host caches via sysfs
+  /// (/sys/devices/system/cpu/cpu0/cache). Falls back to the defaults above
+  /// for any level that cannot be read.
+  static CacheInfo Detect();
+};
+
+}  // namespace scrack

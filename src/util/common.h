@@ -1,0 +1,56 @@
+// Core shared definitions for the scrack library.
+//
+// Every other header in the library includes this file. It defines the
+// element type stored in columns, the index type used for positions, and the
+// assertion macros used to enforce internal invariants.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace scrack {
+
+/// The element type stored in a column. The paper's datasets are unique
+/// integers in [0, N); we use a 64-bit signed integer so domains up to the
+/// paper's N = 10^8 (and far beyond) are representable without overflow in
+/// sums and offsets.
+using Value = int64_t;
+
+/// Index into a column. Signed, so that empty-piece arithmetic such as
+/// `end - 1` never wraps.
+using Index = int64_t;
+
+/// Number of queries in a workload sequence.
+using QueryId = int64_t;
+
+namespace internal {
+
+[[noreturn]] inline void AssertionFailure(const char* expr, const char* file,
+                                          int line) {
+  std::fprintf(stderr, "scrack assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal
+
+// SCRACK_CHECK is always on: it guards invariants whose violation would
+// corrupt data (e.g. piece boundaries out of range). SCRACK_DCHECK compiles
+// away in release builds and is used on hot paths.
+#define SCRACK_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::scrack::internal::AssertionFailure(#expr, __FILE__, __LINE__);  \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define SCRACK_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define SCRACK_DCHECK(expr) SCRACK_CHECK(expr)
+#endif
+
+}  // namespace scrack

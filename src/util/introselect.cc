@@ -1,0 +1,157 @@
+#include "util/introselect.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scrack {
+
+namespace {
+
+// Insertion sort for the tiny subarrays where quadratic beats clever.
+void InsertionSort(Value* a, Index lo, Index hi) {
+  for (Index i = lo + 1; i < hi; ++i) {
+    Value v = a[i];
+    Index j = i - 1;
+    while (j >= lo && a[j] > v) {
+      a[j + 1] = a[j];
+      --j;
+    }
+    a[j + 1] = v;
+  }
+}
+
+// Median of three values, by value.
+Value Median3(Value a, Value b, Value c) {
+  if (a < b) {
+    if (b < c) return b;
+    return a < c ? c : a;
+  }
+  if (a < c) return a;
+  return b < c ? c : b;
+}
+
+// Tukey's ninther: median of three medians-of-three, sampled across the
+// range. Good pivot for large ranges at negligible cost.
+Value Ninther(const Value* a, Index lo, Index hi) {
+  const Index n = hi - lo;
+  const Index step = n / 8;
+  const Value m1 = Median3(a[lo], a[lo + step], a[lo + 2 * step]);
+  const Value m2 =
+      Median3(a[lo + 3 * step], a[lo + 4 * step], a[lo + 5 * step]);
+  const Value m3 = Median3(a[lo + 6 * step], a[lo + 7 * step], a[hi - 1]);
+  return Median3(m1, m2, m3);
+}
+
+// Dutch-national-flag three-way partition of [lo, hi) around `pivot`.
+// Returns the equal range [lt, gt): elements < pivot end up in [lo, lt),
+// elements == pivot in [lt, gt), elements > pivot in [gt, hi).
+std::pair<Index, Index> Partition3(Value* a, Index lo, Index hi,
+                                   Value pivot) {
+  Index lt = lo;    // a[lo, lt) <  pivot
+  Index i = lo;     // a[lt, i)  == pivot
+  Index gt = hi;    // a[gt, hi) >  pivot
+  while (i < gt) {
+    if (a[i] < pivot) {
+      std::swap(a[lt], a[i]);
+      ++lt;
+      ++i;
+    } else if (a[i] > pivot) {
+      --gt;
+      std::swap(a[i], a[gt]);
+    } else {
+      ++i;
+    }
+  }
+  return {lt, gt};
+}
+
+// Forward declaration for the BFPRT pivot, which recurses into selection.
+SelectionResult SelectLoop(Value* a, Index lo, Index hi, Index k,
+                           int depth_budget);
+
+// BFPRT median-of-medians: picks a pivot guaranteed to be within the 30th
+// and 70th percentile of [lo, hi). Linear time. Groups of five are sorted in
+// place and their medians compacted to the front of the range, then the
+// median of the medians is found recursively.
+Value MedianOfMedians(Value* a, Index lo, Index hi) {
+  Index n = hi - lo;
+  if (n <= 5) {
+    InsertionSort(a, lo, hi);
+    return a[lo + (n - 1) / 2];
+  }
+  Index num_medians = 0;
+  for (Index i = lo; i < hi; i += 5) {
+    Index group_hi = std::min(i + 5, hi);
+    InsertionSort(a, i, group_hi);
+    Index median_pos = i + (group_hi - i - 1) / 2;
+    std::swap(a[lo + num_medians], a[median_pos]);
+    ++num_medians;
+  }
+  // Recursive selection over the compacted medians. Depth budget is
+  // irrelevant here: the recursion shrinks by 5x each level.
+  return SelectLoop(a, lo, lo + num_medians, lo + (num_medians - 1) / 2,
+                    64)
+      .value;
+}
+
+int FloorLog2(Index n) {
+  int log = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+SelectionResult SelectLoop(Value* a, Index lo, Index hi, Index k,
+                           int depth_budget) {
+  SCRACK_DCHECK(lo <= k && k < hi);
+  while (true) {
+    const Index n = hi - lo;
+    if (n <= 16) {
+      InsertionSort(a, lo, hi);
+      // Expand the equal range around position k.
+      Index eq_begin = k;
+      while (eq_begin > lo && a[eq_begin - 1] == a[k]) --eq_begin;
+      Index eq_end = k + 1;
+      while (eq_end < hi && a[eq_end] == a[k]) ++eq_end;
+      return {a[k], eq_begin, eq_end};
+    }
+    Value pivot;
+    if (depth_budget <= 0) {
+      // Quickselect degenerated; switch to the BFPRT guaranteed pivot.
+      pivot = MedianOfMedians(a, lo, hi);
+    } else {
+      --depth_budget;
+      pivot = Ninther(a, lo, hi);
+    }
+    auto [lt, gt] = Partition3(a, lo, hi, pivot);
+    if (k < lt) {
+      hi = lt;
+    } else if (k >= gt) {
+      lo = gt;
+    } else {
+      // k lands inside the equal range: done. Elements outside [lo, hi) of
+      // the current segment were placed strictly below/above by earlier
+      // partitions, so [lt, gt) is the global equal range of the value.
+      return {pivot, lt, gt};
+    }
+  }
+}
+
+}  // namespace
+
+SelectionResult IntroselectPartition(Value* data, Index lo, Index hi,
+                                     Index k) {
+  SCRACK_CHECK(data != nullptr);
+  SCRACK_CHECK(lo <= k && k < hi);
+  // Musser's budget: 2*floor(log2(n)) partitioning rounds before the
+  // worst-case fallback engages.
+  return SelectLoop(data, lo, hi, k, 2 * FloorLog2(hi - lo) + 2);
+}
+
+Value SelectNth(Value* data, Index n, Index k) {
+  return IntroselectPartition(data, 0, n, k).value;
+}
+
+}  // namespace scrack

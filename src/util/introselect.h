@@ -1,0 +1,44 @@
+// Introselect: worst-case linear selection with quickselect speed.
+//
+// DDC (Data Driven Center cracking) must split array pieces at their median
+// (paper §4). The paper uses Musser's Introselect, which runs quickselect
+// with smart pivots and falls back to the BFPRT median-of-medians algorithm
+// when progress stalls, guaranteeing O(n) worst-case time. This is a
+// from-scratch implementation of exactly that scheme.
+//
+// Beyond plain selection, DDC needs the *partition position* of the median so
+// it can register a crack: IntroselectPartition reports the equal-range of
+// the selected value, which makes the resulting crack correct even when the
+// array contains duplicates.
+#pragma once
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// Result of a partitioning selection.
+///
+/// After the call, the array range [lo, hi) is rearranged such that
+///   * every element in [lo, eq_begin)  is  < value,
+///   * every element in [eq_begin, eq_end) is == value,
+///   * every element in [eq_end, hi)    is  > value,
+/// and `value` is the k-th smallest element (k is a global index into the
+/// array, lo <= k < hi).
+struct SelectionResult {
+  Value value;
+  Index eq_begin;
+  Index eq_end;
+};
+
+/// Rearranges [data[lo], data[hi]) so the element of rank k (global index)
+/// is in its sorted position, with the three-way partition postcondition
+/// described on SelectionResult. Average O(hi-lo), worst-case O(hi-lo) via
+/// the median-of-medians fallback.
+SelectionResult IntroselectPartition(Value* data, Index lo, Index hi,
+                                     Index k);
+
+/// Convenience wrapper: returns the k-th smallest of data[0..n) (0-based),
+/// rearranging the array as a side effect.
+Value SelectNth(Value* data, Index n, Index k);
+
+}  // namespace scrack

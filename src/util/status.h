@@ -1,0 +1,79 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the RocksDB/Arrow idiom: fallible operations return a Status (or a
+// value wrapped in StatusOr-like out-parameters); callers branch on ok().
+// The core cracking hot paths are infallible by construction and do not pay
+// for Status; it appears on configuration, update staging, and harness APIs.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace scrack {
+
+/// Error codes used across the library. Kept deliberately small; the message
+/// string carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Value-semantics error holder. Cheap to move; the OK status allocates
+/// nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: low > high".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Mirrors ARROW_RETURN_NOT_OK.
+#define SCRACK_RETURN_NOT_OK(expr)          \
+  do {                                      \
+    ::scrack::Status _st = (expr);          \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace scrack

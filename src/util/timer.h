@@ -1,0 +1,33 @@
+// Monotonic wall-clock timing for the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace scrack {
+
+/// Thin wrapper over std::chrono::steady_clock. Start() resets the epoch;
+/// ElapsedSeconds()/ElapsedNanos() read without resetting, so one timer can
+/// produce both per-query and cumulative figures.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,67 @@
+#include "workload/skyserver.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace scrack {
+
+std::vector<RangeQuery> MakeSkyServerWorkload(const WorkloadParams& params) {
+  SCRACK_CHECK(params.n >= 2);
+  const Index n = params.n;
+  const QueryId q = params.num_queries;
+  const Value s = std::max<Value>(1, params.selectivity);
+  Rng rng(params.seed ^ 0x5CA1AB1E5CA1AB1EULL);
+
+  std::vector<RangeQuery> queries;
+  queries.reserve(static_cast<size_t>(q));
+  std::vector<Value> visited_regions;
+
+  QueryId produced = 0;
+  while (produced < q) {
+    // Phase length: a dwell of roughly Q/40 .. Q/8 queries, so a full run
+    // has on the order of tens of phases, like the logged trace.
+    const QueryId min_phase = std::max<QueryId>(16, q / 40);
+    const QueryId max_phase = std::max<QueryId>(min_phase + 1, q / 8);
+    QueryId phase_len = static_cast<QueryId>(
+        min_phase + rng.Uniform(static_cast<uint64_t>(max_phase - min_phase)));
+    phase_len = std::min(phase_len, q - produced);
+
+    // Region: 1/4 of phases revisit an earlier region (telescopes return to
+    // interesting sky areas); otherwise a fresh random region.
+    Value region_center;
+    if (!visited_regions.empty() && rng.Coin(0.25)) {
+      region_center = visited_regions[rng.Uniform(
+          static_cast<uint64_t>(visited_regions.size()))];
+    } else {
+      region_center = static_cast<Value>(rng.Uniform(
+          static_cast<uint64_t>(n)));
+      visited_regions.push_back(region_center);
+    }
+
+    // Region width ~ 2% of the domain; the phase drifts across it.
+    const Value region_width = std::max<Value>(4 * s, n / 50);
+    const Value drift_start = region_center - region_width / 2;
+    const bool forward = rng.Coin(0.5);
+
+    for (QueryId t = 0; t < phase_len; ++t) {
+      const double progress =
+          static_cast<double>(t) / static_cast<double>(phase_len);
+      const double where = forward ? progress : 1.0 - progress;
+      Value low = drift_start +
+                  static_cast<Value>(where * static_cast<double>(region_width));
+      // Small jitter: consecutive queries are near but not identical.
+      const Value jitter_span = std::max<Value>(1, region_width / 64);
+      low += static_cast<Value>(rng.Uniform(
+                 static_cast<uint64_t>(2 * jitter_span))) -
+             jitter_span;
+      low = std::max<Value>(0, std::min<Value>(low, n - 1));
+      const Value high = std::max<Value>(low + 1, std::min<Value>(low + s, n));
+      queries.push_back(RangeQuery{low, high});
+      ++produced;
+    }
+  }
+  return queries;
+}
+
+}  // namespace scrack

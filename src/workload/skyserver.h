@@ -1,0 +1,26 @@
+// Synthetic SkyServer workload (substitute for the real trace — DESIGN.md §3).
+//
+// The paper's Fig. 16(b) plots 160k logged selection predicates on the
+// "right ascension" attribute of SkyServer's Photoobjall table. The visible
+// structure: users/institutions focus ("scan one part of the sky") on a
+// narrow region of the domain for a long stretch of queries, drifting
+// slowly within it, then jump to another region, with occasional revisits
+// of earlier regions. That dwell-drift-jump structure — not the absolute
+// coordinates — is what defeats original cracking: each dwell leaves large
+// unindexed pieces that a later phase crashes into.
+//
+// MakeSkyServerWorkload reproduces exactly that structure, deterministically
+// from a seed.
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace scrack {
+
+/// Generates params.num_queries queries over [0, params.n) with the
+/// SkyServer dwell-drift-jump access pattern.
+std::vector<RangeQuery> MakeSkyServerWorkload(const WorkloadParams& params);
+
+}  // namespace scrack

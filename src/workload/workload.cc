@@ -1,0 +1,299 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/rng.h"
+#include "workload/skyserver.h"
+
+namespace scrack {
+
+namespace {
+
+// Clamps a raw [low, high) pair into the domain [0, n) with low < high.
+RangeQuery Clamp(Value low, Value high, Index n) {
+  low = std::max<Value>(0, std::min<Value>(low, n - 1));
+  high = std::max<Value>(low + 1, std::min<Value>(high, n));
+  return RangeQuery{low, high};
+}
+
+// Non-negative modulus guard: R % bound with bound forced >= 1.
+Value Mod(uint64_t r, Value bound) {
+  bound = std::max<Value>(1, bound);
+  return static_cast<Value>(r % static_cast<uint64_t>(bound));
+}
+
+struct Derived {
+  Index n;
+  QueryId q;
+  Value s;  // selectivity (query width)
+  Value j;  // jump
+  Value w;  // initial width
+};
+
+Derived DeriveParams(WorkloadKind kind, const WorkloadParams& params) {
+  Derived d;
+  d.n = params.n;
+  d.q = std::max<QueryId>(1, params.num_queries);
+  d.s = std::max<Value>(1, params.selectivity);
+  SCRACK_CHECK(d.n >= 2);
+  // Defaults are chosen so the pattern spans the domain over the Q queries,
+  // matching the shapes drawn in Fig. 7.
+  switch (kind) {
+    case WorkloadKind::kSequential:
+    case WorkloadKind::kSeqReverse:
+      d.j = params.jump > 0 ? params.jump
+                            : std::max<Value>(1, (d.n - d.s) / d.q);
+      break;
+    case WorkloadKind::kSeqRandom:
+      d.j = params.jump > 0 ? params.jump
+                            : std::max<Value>(1, (d.n - 1) / d.q);
+      break;
+    case WorkloadKind::kPeriodic:
+      // ~10 sweeps across the domain.
+      d.j = params.jump > 0
+                ? params.jump
+                : std::max<Value>(1, 10 * (d.n - d.s) / d.q);
+      break;
+    case WorkloadKind::kZoomIn:
+    case WorkloadKind::kZoomOut:
+      d.w = params.width > 0 ? params.width : d.n;
+      d.j = params.jump > 0
+                ? params.jump
+                : std::max<Value>(1, (d.w / 2 - d.s) / d.q);
+      break;
+    case WorkloadKind::kSeqZoomIn:
+    case WorkloadKind::kSeqZoomOut: {
+      const QueryId windows = std::max<QueryId>(1, d.q / 1000);
+      d.w = params.width > 0 ? params.width
+                             : std::max<Value>(2 * d.s, d.n / windows);
+      d.j = params.jump > 0 ? params.jump
+                            : std::max<Value>(1, d.w / (2 * 1000));
+      break;
+    }
+    case WorkloadKind::kZoomOutAlt:
+    case WorkloadKind::kSkewZoomOutAlt:
+      d.j = params.jump > 0 ? params.jump
+                            : std::max<Value>(1, (d.n / 2 - d.s) / d.q);
+      break;
+    case WorkloadKind::kZoomInAlt:
+      d.j = params.jump > 0
+                ? params.jump
+                : std::max<Value>(1, (d.n - d.s) / (2 * d.q));
+      break;
+    default:
+      d.j = std::max<Value>(1, params.jump);
+      break;
+  }
+  if (d.w == 0) d.w = params.width > 0 ? params.width : d.n;
+  return d;
+}
+
+std::vector<RangeQuery> GenerateBase(WorkloadKind kind,
+                                     const WorkloadParams& params) {
+  const Derived d = DeriveParams(kind, params);
+  Rng rng(params.seed);
+  std::vector<RangeQuery> queries;
+  queries.reserve(static_cast<size_t>(d.q));
+  for (QueryId i = 0; i < d.q; ++i) {
+    Value a = 0;
+    Value b = 0;
+    switch (kind) {
+      case WorkloadKind::kRandom:
+        // [a, a+S), a = R%(N-S)
+        a = Mod(rng.Next64(), d.n - d.s);
+        b = a + d.s;
+        break;
+      case WorkloadKind::kSkew:
+        // First 80% of the queries hit the lower 80% of the domain; the
+        // remainder hit the top 20%.
+        if (i < d.q * 8 / 10) {
+          a = Mod(rng.Next64(), d.n * 8 / 10 - d.s);
+        } else {
+          a = d.n * 8 / 10 + Mod(rng.Next64(), d.n * 2 / 10 - d.s);
+        }
+        b = a + d.s;
+        break;
+      case WorkloadKind::kSeqRandom:
+        // [i*J, i*J + R%(N - i*J))
+        a = i * d.j;
+        b = a + 1 + Mod(rng.Next64(), d.n - a - 1);
+        break;
+      case WorkloadKind::kSeqZoomIn: {
+        // [L+K, L+W-K), L = (i div 1000)*W, K = (i%1000)*J
+        const Value l = static_cast<Value>(i / 1000) * d.w;
+        const Value k = static_cast<Value>(i % 1000) * d.j;
+        a = l + std::min(k, d.w / 2 - 1);
+        b = l + d.w - std::min(k, d.w / 2 - 1);
+        break;
+      }
+      case WorkloadKind::kPeriodic:
+        // [a, a+S), a = (i*J)%(N-S)
+        a = Mod(static_cast<uint64_t>(i * d.j), d.n - d.s);
+        b = a + d.s;
+        break;
+      case WorkloadKind::kZoomIn:
+        // [N/2 - W/2 + i*J, N/2 + W/2 - i*J)
+        a = d.n / 2 - d.w / 2 + i * d.j;
+        b = d.n / 2 + d.w / 2 - i * d.j;
+        break;
+      case WorkloadKind::kSequential:
+        // [a, a+S), a = i*J
+        a = i * d.j;
+        b = a + d.s;
+        break;
+      case WorkloadKind::kZoomOutAlt:
+      case WorkloadKind::kSkewZoomOutAlt: {
+        // [a, a+S), a = x*i*J + M, x = (-1)^i
+        const Value m = kind == WorkloadKind::kZoomOutAlt
+                            ? d.n / 2
+                            : d.n * 9 / 10;
+        const Value x = (i % 2 == 0) ? 1 : -1;
+        a = x * i * d.j + m;
+        b = a + d.s;
+        break;
+      }
+      case WorkloadKind::kZoomInAlt: {
+        // [a, a+S), a = x*i*J + (N-S)*(1-x)/2, x = (-1)^i
+        const Value x = (i % 2 == 0) ? 1 : -1;
+        a = x * i * d.j + (d.n - d.s) * (1 - x) / 2;
+        b = a + d.s;
+        break;
+      }
+      default:
+        SCRACK_CHECK(false);  // reversed/composite kinds handled by caller
+    }
+    queries.push_back(Clamp(a, b, d.n));
+  }
+  return queries;
+}
+
+}  // namespace
+
+std::vector<RangeQuery> MakeWorkload(WorkloadKind kind,
+                                     const WorkloadParams& params) {
+  SCRACK_CHECK(params.n >= 2);
+  SCRACK_CHECK(params.num_queries >= 1);
+  switch (kind) {
+    case WorkloadKind::kSeqReverse: {
+      auto queries = GenerateBase(WorkloadKind::kSequential, params);
+      std::reverse(queries.begin(), queries.end());
+      return queries;
+    }
+    case WorkloadKind::kZoomOut: {
+      auto queries = GenerateBase(WorkloadKind::kZoomIn, params);
+      std::reverse(queries.begin(), queries.end());
+      return queries;
+    }
+    case WorkloadKind::kSeqZoomOut: {
+      auto queries = GenerateBase(WorkloadKind::kSeqZoomIn, params);
+      std::reverse(queries.begin(), queries.end());
+      return queries;
+    }
+    case WorkloadKind::kMixed: {
+      // Fig. 17: "randomly switches between each workload in every 1000
+      // queries" — at the paper's Q=1e4 that is 10 switches, so scale the
+      // block length down with Q to preserve the switching density.
+      const QueryId block_target = std::max<QueryId>(
+          1, std::min<QueryId>(1000, params.num_queries / 10));
+      const std::vector<WorkloadKind> kinds = Fig17SyntheticKinds();
+      Rng rng(params.seed ^ 0x9E3779B97F4A7C15ULL);
+      std::vector<RangeQuery> queries;
+      queries.reserve(static_cast<size_t>(params.num_queries));
+      QueryId produced = 0;
+      int block = 0;
+      while (produced < params.num_queries) {
+        const QueryId block_len =
+            std::min<QueryId>(block_target, params.num_queries - produced);
+        WorkloadKind block_kind =
+            kinds[rng.Uniform(static_cast<uint64_t>(kinds.size()))];
+        WorkloadParams sub = params;
+        sub.num_queries = block_len;
+        sub.seed = params.seed + 0x1000 + static_cast<uint64_t>(block);
+        // Blocks use the *standalone* workloads' parameters (jump/width
+        // derived for the full sequence length, as in the paper's Fig. 17
+        // Mixed): a block therefore dwells on part of its pattern instead
+        // of compressing the whole sweep into one block — which is exactly
+        // what leaves large unindexed pieces for later blocks to hit.
+        const WorkloadKind derive_kind =
+            block_kind == WorkloadKind::kSeqReverse ? WorkloadKind::kSequential
+            : block_kind == WorkloadKind::kZoomOut  ? WorkloadKind::kZoomIn
+            : block_kind == WorkloadKind::kSeqZoomOut
+                ? WorkloadKind::kSeqZoomIn
+                : block_kind;
+        const Derived derived = DeriveParams(derive_kind, params);
+        if (sub.jump == 0) sub.jump = derived.j;
+        if (sub.width == 0) sub.width = derived.w;
+        auto sub_queries = MakeWorkload(block_kind, sub);
+        queries.insert(queries.end(), sub_queries.begin(), sub_queries.end());
+        produced += block_len;
+        ++block;
+      }
+      return queries;
+    }
+    case WorkloadKind::kSkyServer:
+      return MakeSkyServerWorkload(params);
+    default:
+      return GenerateBase(kind, params);
+  }
+}
+
+std::string WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kRandom: return "Random";
+    case WorkloadKind::kSkew: return "Skew";
+    case WorkloadKind::kSeqRandom: return "SeqRandom";
+    case WorkloadKind::kSeqZoomIn: return "SeqZoomIn";
+    case WorkloadKind::kPeriodic: return "Periodic";
+    case WorkloadKind::kZoomIn: return "ZoomIn";
+    case WorkloadKind::kSequential: return "Sequential";
+    case WorkloadKind::kZoomOutAlt: return "ZoomOutAlt";
+    case WorkloadKind::kZoomInAlt: return "ZoomInAlt";
+    case WorkloadKind::kSeqReverse: return "SeqReverse";
+    case WorkloadKind::kZoomOut: return "ZoomOut";
+    case WorkloadKind::kSeqZoomOut: return "SeqZoomOut";
+    case WorkloadKind::kSkewZoomOutAlt: return "SkewZoomOutAlt";
+    case WorkloadKind::kMixed: return "Mixed";
+    case WorkloadKind::kSkyServer: return "SkyServer";
+  }
+  return "Unknown";
+}
+
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* kind) {
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    return s;
+  };
+  const std::string needle = lower(name);
+  for (WorkloadKind k : {
+           WorkloadKind::kRandom, WorkloadKind::kSkew,
+           WorkloadKind::kSeqRandom, WorkloadKind::kSeqZoomIn,
+           WorkloadKind::kPeriodic, WorkloadKind::kZoomIn,
+           WorkloadKind::kSequential, WorkloadKind::kZoomOutAlt,
+           WorkloadKind::kZoomInAlt, WorkloadKind::kSeqReverse,
+           WorkloadKind::kZoomOut, WorkloadKind::kSeqZoomOut,
+           WorkloadKind::kSkewZoomOutAlt, WorkloadKind::kMixed,
+           WorkloadKind::kSkyServer,
+       }) {
+    if (lower(WorkloadName(k)) == needle) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<WorkloadKind> Fig17SyntheticKinds() {
+  return {
+      WorkloadKind::kPeriodic,   WorkloadKind::kZoomOut,
+      WorkloadKind::kZoomIn,     WorkloadKind::kZoomInAlt,
+      WorkloadKind::kRandom,     WorkloadKind::kSkew,
+      WorkloadKind::kSeqReverse, WorkloadKind::kSeqZoomIn,
+      WorkloadKind::kSeqRandom,  WorkloadKind::kSequential,
+      WorkloadKind::kSeqZoomOut, WorkloadKind::kZoomOutAlt,
+      WorkloadKind::kSkewZoomOutAlt,
+  };
+}
+
+}  // namespace scrack

@@ -1,0 +1,70 @@
+// Query workload generators — every pattern of paper Fig. 7.
+//
+// Each workload is a deterministic (seeded) sequence of half-open range
+// queries [low, high) over the value domain [0, N). The formulas follow the
+// paper's workload table verbatim; where the paper leaves a parameter free
+// (J = jump factor, W = initial width) WorkloadParams picks a default that
+// spans the domain across the Q queries, which is what the paper's plots
+// show. Bounds are clamped into the domain and to low < high.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// One range select.
+struct RangeQuery {
+  Value low;
+  Value high;
+};
+
+/// All workload patterns of Fig. 7, their reversed variants, the Mixed
+/// workload of Fig. 17, and the synthetic SkyServer trace of Fig. 16.
+enum class WorkloadKind {
+  kRandom,
+  kSkew,
+  kSeqRandom,
+  kSeqZoomIn,
+  kPeriodic,
+  kZoomIn,
+  kSequential,
+  kZoomOutAlt,
+  kZoomInAlt,
+  kSeqReverse,      // Sequential run backwards
+  kZoomOut,         // ZoomIn run backwards
+  kSeqZoomOut,      // SeqZoomIn run backwards
+  kSkewZoomOutAlt,  // ZoomOutAlt with M = N*9/10
+  kMixed,           // switches workload every 1000 queries
+  kSkyServer,       // synthetic SkyServer trace (see skyserver.h)
+};
+
+/// Parameters shared by all generators. Zero means "derive a default from
+/// N, Q and S" for the free parameters.
+struct WorkloadParams {
+  Index n = 0;              ///< value domain is [0, n)
+  QueryId num_queries = 0;  ///< Q
+  Value selectivity = 10;   ///< S: width of fixed-width queries, in values
+  Value jump = 0;           ///< J (0 = auto)
+  Value width = 0;          ///< W (0 = auto)
+  uint64_t seed = 7;
+};
+
+/// Generates the full query sequence for `kind`.
+std::vector<RangeQuery> MakeWorkload(WorkloadKind kind,
+                                     const WorkloadParams& params);
+
+/// Display name, e.g. "Sequential".
+std::string WorkloadName(WorkloadKind kind);
+
+/// Parses a name (case-insensitive, as printed by WorkloadName). Returns
+/// false on unknown names.
+bool ParseWorkloadKind(const std::string& name, WorkloadKind* kind);
+
+/// The 13 synthetic patterns of Fig. 17's table, in the paper's row order
+/// (Periodic ... SkewZoomOutAlt). Excludes Mixed and SkyServer.
+std::vector<WorkloadKind> Fig17SyntheticKinds();
+
+}  // namespace scrack

@@ -1,0 +1,192 @@
+// Tests for the future-work extensions: AutoEngine (dynamic strategy
+// selection, paper §6) and ThreadSafeEngine (concurrency control).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cracking/auto_engine.h"
+#include "cracking/crack_engine.h"
+#include "cracking/threadsafe_engine.h"
+#include "harness/engine_factory.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::ReferenceSelect;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 53;
+  config.crack_threshold_values = 64;
+  return config;
+}
+
+// -------------------------------------------------------------- AutoEngine --
+
+TEST(AutoEngineTest, CostParityWithCrackOnRandomWorkload) {
+  // On random workloads stochastic actions cost about the same as original
+  // cracking (Fig. 10), so whatever the detector decides, Auto must stay
+  // within a small factor of Crack's total touched count.
+  const Index n = 50'000;
+  const Column base = Column::UniquePermutation(n, 3);
+  AutoEngine aut(&base, TestConfig());
+  CrackEngine crack(&base, TestConfig());
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Value a = rng.UniformValue(0, n - 10);
+    aut.SelectOrDie(a, a + 10);
+    crack.SelectOrDie(a, a + 10);
+  }
+  EXPECT_LT(aut.stats().tuples_touched, 2 * crack.stats().tuples_touched);
+}
+
+TEST(AutoEngineTest, FallsBackToOriginalOnceConverged) {
+  // After enough random queries the column is finely cracked, touched
+  // counts are tiny, and the detector must stop firing: the tail of the
+  // run should be answered almost entirely by original cracking.
+  const Index n = 50'000;
+  const Column base = Column::UniquePermutation(n, 3);
+  AutoEngine engine(&base, TestConfig());
+  Rng rng(5);
+  int64_t stochastic_at_half = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const Value a = rng.UniformValue(0, n - 10);
+    engine.SelectOrDie(a, a + 10);
+    if (i == 999) stochastic_at_half = engine.stochastic_queries();
+  }
+  const int64_t tail_stochastic =
+      engine.stochastic_queries() - stochastic_at_half;
+  EXPECT_LT(tail_stochastic, 50);  // < 5% of the last 1000 queries
+}
+
+TEST(AutoEngineTest, SwitchesToStochasticOnSequentialWorkload) {
+  const Index n = 50'000;
+  const Column base = Column::UniquePermutation(n, 3);
+  AutoEngine engine(&base, TestConfig());
+  for (int i = 0; i < 100; ++i) {
+    engine.SelectOrDie(i * 10, i * 10 + 10);
+  }
+  // Stochastic bursts must fire; once the random cracks have broken the
+  // hammered region the engine may legitimately fall back to original
+  // cracking, so the expectation is bursts, not permanence.
+  EXPECT_GT(engine.stochastic_queries(), 8);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(AutoEngineTest, BeatsCrackOnSequentialTouches) {
+  const Index n = 100'000;
+  const Column base = Column::UniquePermutation(n, 3);
+  AutoEngine aut(&base, TestConfig());
+  CrackEngine crack(&base, TestConfig());
+  for (int i = 0; i < 200; ++i) {
+    aut.SelectOrDie(i * 20, i * 20 + 10);
+    crack.SelectOrDie(i * 20, i * 20 + 10);
+  }
+  EXPECT_LT(aut.stats().tuples_touched, crack.stats().tuples_touched / 2);
+}
+
+TEST(AutoEngineTest, CorrectOnAllWorkloads) {
+  const Index n = 2000;
+  const Column base = Column::UniquePermutation(n, 7);
+  for (const WorkloadKind kind :
+       {WorkloadKind::kRandom, WorkloadKind::kSequential,
+        WorkloadKind::kZoomInAlt, WorkloadKind::kSkyServer}) {
+    AutoEngine engine(&base, TestConfig());
+    WorkloadParams params;
+    params.n = n;
+    params.num_queries = 100;
+    params.seed = 9;
+    for (const RangeQuery& q : MakeWorkload(kind, params)) {
+      QueryResult result;
+      ASSERT_TRUE(engine.Select(q.low, q.high, &result).ok());
+      const auto ref = ReferenceSelect(base.values(), q.low, q.high);
+      ASSERT_EQ(result.count(), ref.count) << WorkloadName(kind);
+      ASSERT_EQ(result.Sum(), ref.sum) << WorkloadName(kind);
+      ASSERT_TRUE(engine.Validate().ok());
+    }
+  }
+}
+
+TEST(AutoEngineTest, FactorySpecWorks) {
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine = CreateEngineOrDie("auto", &base, TestConfig());
+  EXPECT_EQ(engine->name(), "auto");
+  EXPECT_EQ(engine->SelectOrDie(10, 20).count(), 10);
+}
+
+// -------------------------------------------------------- ThreadSafeEngine --
+
+TEST(ThreadSafeEngineTest, WrapsAndMaterializes) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  auto engine =
+      CreateEngineOrDie("threadsafe:crack", &base, TestConfig());
+  EXPECT_EQ(engine->name(), "threadsafe(crack)");
+  const QueryResult result = engine->SelectOrDie(100, 200);
+  EXPECT_EQ(result.count(), 100);
+  EXPECT_TRUE(result.materialized());  // views are copied out
+}
+
+TEST(ThreadSafeEngineTest, NestedSpecParsing) {
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine =
+      CreateEngineOrDie("threadsafe:pmdd1r:10", &base, TestConfig());
+  EXPECT_EQ(engine->name(), "threadsafe(pmdd1r(10%))");
+  std::unique_ptr<SelectEngine> bad;
+  EXPECT_FALSE(CreateEngine("threadsafe", &base, TestConfig(), &bad).ok());
+  EXPECT_FALSE(
+      CreateEngine("threadsafe:nope", &base, TestConfig(), &bad).ok());
+}
+
+TEST(ThreadSafeEngineTest, ConcurrentQueriesAndUpdatesStayConsistent) {
+  const Index n = 20'000;
+  const Column base = Column::UniquePermutation(n, 3);
+  ThreadSafeEngine engine(
+      CreateEngineOrDie("mdd1r", &base, TestConfig()));
+
+  std::atomic<bool> failed{false};
+  std::atomic<int64_t> inserted{0};
+
+  // Reader threads: full-domain counts must always equal base size plus
+  // the inserts merged so far (inserts use fresh values above the domain,
+  // so the count over the original domain is invariant).
+  auto reader = [&]() {
+    for (int i = 0; i < 50 && !failed; ++i) {
+      QueryResult result;
+      if (!engine.Select(0, n, &result).ok() || result.count() != n) {
+        failed = true;
+      }
+      QueryResult narrow;
+      if (!engine.Select(1000, 2000, &narrow).ok() ||
+          narrow.count() != 1000) {
+        failed = true;
+      }
+    }
+  };
+  auto writer = [&]() {
+    for (int i = 0; i < 100 && !failed; ++i) {
+      const Value v = n + inserted.fetch_add(1);
+      if (!engine.StageInsert(v).ok()) failed = true;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(reader);
+  threads.emplace_back(reader);
+  threads.emplace_back(writer);
+  threads.emplace_back(reader);
+  for (auto& t : threads) t.join();
+
+  ASSERT_FALSE(failed);
+  // Drain everything; total must be n + all inserts.
+  QueryResult all;
+  ASSERT_TRUE(engine.Select(0, 10 * n, &all).ok());
+  EXPECT_EQ(all.count(), n + inserted.load());
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+}  // namespace
+}  // namespace scrack

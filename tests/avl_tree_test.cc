@@ -1,0 +1,203 @@
+// Tests for the from-scratch AVL tree (index/avl_tree.h).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "index/avl_tree.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+TEST(AvlTreeTest, EmptyTree) {
+  AvlTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_EQ(tree.Min(), nullptr);
+  EXPECT_EQ(tree.Max(), nullptr);
+  EXPECT_EQ(tree.Floor(5), nullptr);
+  EXPECT_EQ(tree.Higher(5), nullptr);
+  EXPECT_FALSE(tree.Contains(5));
+  EXPECT_TRUE(tree.ValidateStructure());
+}
+
+TEST(AvlTreeTest, InsertAndFind) {
+  AvlTree tree;
+  EXPECT_TRUE(tree.Insert(10, 100));
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_TRUE(tree.Insert(20, 200));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.Contains(10));
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), 50);
+  EXPECT_EQ(tree.Find(7), nullptr);
+}
+
+TEST(AvlTreeTest, DuplicateInsertRejected) {
+  AvlTree tree;
+  EXPECT_TRUE(tree.Insert(10, 100));
+  EXPECT_FALSE(tree.Insert(10, 999));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find(10), 100);  // original position kept
+}
+
+TEST(AvlTreeTest, NeighborQueries) {
+  AvlTree tree;
+  for (Value k : {10, 20, 30, 40}) tree.Insert(k, k * 10);
+
+  // Floor: greatest key <= v.
+  EXPECT_EQ(tree.Floor(25)->key, 20);
+  EXPECT_EQ(tree.Floor(20)->key, 20);
+  EXPECT_EQ(tree.Floor(9), nullptr);
+  EXPECT_EQ(tree.Floor(100)->key, 40);
+
+  // Lower: greatest key < v.
+  EXPECT_EQ(tree.Lower(20)->key, 10);
+  EXPECT_EQ(tree.Lower(10), nullptr);
+
+  // Ceiling: smallest key >= v.
+  EXPECT_EQ(tree.Ceiling(25)->key, 30);
+  EXPECT_EQ(tree.Ceiling(30)->key, 30);
+  EXPECT_EQ(tree.Ceiling(41), nullptr);
+
+  // Higher: smallest key > v.
+  EXPECT_EQ(tree.Higher(30)->key, 40);
+  EXPECT_EQ(tree.Higher(40), nullptr);
+  EXPECT_EQ(tree.Higher(0)->key, 10);
+
+  EXPECT_EQ(tree.Min()->key, 10);
+  EXPECT_EQ(tree.Max()->key, 40);
+}
+
+TEST(AvlTreeTest, InOrderIsAscending) {
+  AvlTree tree;
+  Rng rng(41);
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(static_cast<Value>(rng.Uniform(10'000)), i);
+  }
+  Value prev = -1;
+  size_t visited = 0;
+  tree.InOrder([&](const AvlTree::Entry& e) {
+    EXPECT_GT(e.key, prev);
+    prev = e.key;
+    ++visited;
+  });
+  EXPECT_EQ(visited, tree.size());
+}
+
+TEST(AvlTreeTest, StaysBalancedUnderSortedInsertion) {
+  AvlTree tree;
+  for (Value k = 0; k < 1024; ++k) {
+    tree.Insert(k, k);
+    ASSERT_TRUE(tree.ValidateStructure()) << "after inserting " << k;
+  }
+  // AVL height bound: ~1.44 log2(n). For n=1024, height <= 15.
+  EXPECT_LE(tree.Height(), 15);
+}
+
+TEST(AvlTreeTest, StaysBalancedUnderReverseInsertion) {
+  AvlTree tree;
+  for (Value k = 1024; k > 0; --k) tree.Insert(k, k);
+  EXPECT_TRUE(tree.ValidateStructure());
+  EXPECT_LE(tree.Height(), 15);
+}
+
+TEST(AvlTreeTest, EraseLeafInnerAndRoot) {
+  AvlTree tree;
+  for (Value k : {50, 30, 70, 20, 40, 60, 80}) tree.Insert(k, k);
+  EXPECT_TRUE(tree.Erase(20));  // leaf
+  EXPECT_TRUE(tree.Erase(30));  // one child
+  EXPECT_TRUE(tree.Erase(50));  // root with two children
+  EXPECT_FALSE(tree.Erase(50));
+  EXPECT_FALSE(tree.Erase(999));
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_TRUE(tree.ValidateStructure());
+  for (Value k : {40, 60, 70, 80}) EXPECT_TRUE(tree.Contains(k));
+}
+
+TEST(AvlTreeTest, ClearEmptiesLargeTree) {
+  AvlTree tree;
+  for (Value k = 0; k < 100'000; ++k) tree.Insert(k, k);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.ValidateStructure());
+  EXPECT_TRUE(tree.Insert(1, 1));
+}
+
+TEST(AvlTreeTest, ShiftPositionsAbove) {
+  AvlTree tree;
+  for (Value k : {10, 20, 30, 40}) tree.Insert(k, k * 10);
+  tree.ShiftPositionsAbove(20, +5);
+  EXPECT_EQ(*tree.Find(10), 100);
+  EXPECT_EQ(*tree.Find(20), 200);  // key == v is not shifted
+  EXPECT_EQ(*tree.Find(30), 305);
+  EXPECT_EQ(*tree.Find(40), 405);
+  tree.ShiftPositionsAbove(0, -100);
+  EXPECT_EQ(*tree.Find(10), 0);
+  EXPECT_EQ(*tree.Find(20), 100);
+}
+
+TEST(AvlTreeTest, ForEachMutablePositionRewrites) {
+  AvlTree tree;
+  for (Value k : {1, 2, 3}) tree.Insert(k, k);
+  tree.ForEachMutablePosition([](Value key, Index& pos) { pos = key * 100; });
+  EXPECT_EQ(*tree.Find(2), 200);
+  // Traversal order must be ascending.
+  std::vector<Value> order;
+  tree.ForEachMutablePosition(
+      [&](Value key, Index&) { order.push_back(key); });
+  EXPECT_EQ(order, (std::vector<Value>{1, 2, 3}));
+}
+
+// Property test: a random operation stream must agree with std::map, and
+// the structure must stay balanced throughout.
+class AvlRandomOps : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvlRandomOps, AgreesWithStdMap) {
+  AvlTree tree;
+  std::map<Value, Index> ref;
+  Rng rng(GetParam());
+  for (int step = 0; step < 3000; ++step) {
+    const Value key = static_cast<Value>(rng.Uniform(500));
+    const int op = static_cast<int>(rng.Uniform(4));
+    if (op < 2) {
+      const Index pos = static_cast<Index>(rng.Uniform(1'000'000));
+      const bool inserted = tree.Insert(key, pos);
+      const bool ref_inserted = ref.emplace(key, pos).second;
+      ASSERT_EQ(inserted, ref_inserted);
+    } else if (op == 2) {
+      ASSERT_EQ(tree.Erase(key), ref.erase(key) > 0);
+    } else {
+      // Compare all four neighbor queries.
+      const AvlTree::Entry* floor = tree.Floor(key);
+      auto it = ref.upper_bound(key);
+      if (it == ref.begin()) {
+        ASSERT_EQ(floor, nullptr);
+      } else {
+        ASSERT_NE(floor, nullptr);
+        ASSERT_EQ(floor->key, std::prev(it)->first);
+        ASSERT_EQ(floor->pos, std::prev(it)->second);
+      }
+      const AvlTree::Entry* higher = tree.Higher(key);
+      if (it == ref.end()) {
+        ASSERT_EQ(higher, nullptr);
+      } else {
+        ASSERT_NE(higher, nullptr);
+        ASSERT_EQ(higher->key, it->first);
+      }
+    }
+    ASSERT_EQ(tree.size(), ref.size());
+    if (step % 100 == 0) {
+      ASSERT_TRUE(tree.ValidateStructure());
+    }
+  }
+  ASSERT_TRUE(tree.ValidateStructure());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,173 @@
+// Behavior tests for original cracking (CrackEngine) and the Scan/Sort
+// baselines: reorganization side effects, cost accounting, result forms.
+#include <gtest/gtest.h>
+
+#include "cracking/crack_engine.h"
+#include "cracking/scan_engine.h"
+#include "cracking/sort_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 5;
+  return config;
+}
+
+TEST(CrackEngineTest, FirstQueryTouchesWholeColumnViaCrackInThree) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(100, 200);
+  // Init copy (1000) + one crack-in-three pass (1000).
+  EXPECT_EQ(engine.stats().tuples_touched, 2000);
+  EXPECT_EQ(engine.stats().cracks, 2);
+}
+
+TEST(CrackEngineTest, SecondQueryTouchesOnlyEndPieces) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(400, 600);  // pieces: [0,400) [400,600) [600,1000)
+  const int64_t after_first = engine.stats().tuples_touched;
+  // Q2 of Fig. 1: bounds fall into the two outer pieces; the middle piece
+  // already qualifies and is not touched.
+  engine.SelectOrDie(300, 700);
+  const int64_t second = engine.stats().tuples_touched - after_first;
+  EXPECT_EQ(second, 400 + 400);  // only the two end pieces are analyzed
+  EXPECT_EQ(engine.stats().cracks, 4);
+}
+
+TEST(CrackEngineTest, ExactRematchTouchesNothing) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(250, 750);
+  const int64_t after_first = engine.stats().tuples_touched;
+  const QueryResult result = engine.SelectOrDie(250, 750);
+  EXPECT_EQ(engine.stats().tuples_touched, after_first);
+  EXPECT_EQ(result.count(), 500);
+}
+
+TEST(CrackEngineTest, ResultIsViewNotMaterialized) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  const QueryResult result = engine.SelectOrDie(100, 300);
+  EXPECT_FALSE(result.materialized());
+  EXPECT_EQ(result.num_segments(), 1u);  // contiguous qualifying area
+  EXPECT_EQ(engine.stats().materialized, 0);
+}
+
+TEST(CrackEngineTest, ConvergesTowardSmallTouches) {
+  const Column base = Column::UniquePermutation(100'000, 2);
+  CrackEngine engine(&base, TestConfig());
+  Rng rng(3);
+  // Random workload: touches per query must fall by orders of magnitude.
+  int64_t before = 0;
+  int64_t first_query_touched = 0;
+  int64_t late_total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Value a = rng.UniformValue(0, 100'000 - 10);
+    before = engine.stats().tuples_touched;
+    engine.SelectOrDie(a, a + 10);
+    const int64_t touched = engine.stats().tuples_touched - before;
+    if (i == 0) first_query_touched = touched;
+    if (i >= 190) late_total += touched;
+  }
+  EXPECT_GT(first_query_touched, 100'000);
+  EXPECT_LT(late_total / 10, first_query_touched / 20);
+}
+
+TEST(CrackEngineTest, SequentialWorkloadKeepsTouchingLargePieces) {
+  // The pathology of §3: every query re-analyzes the large unindexed tail.
+  const Column base = Column::UniquePermutation(50'000, 2);
+  CrackEngine engine(&base, TestConfig());
+  int64_t total = 0;
+  const int64_t queries = 50;
+  for (int64_t i = 0; i < queries; ++i) {
+    const int64_t before = engine.stats().tuples_touched;
+    engine.SelectOrDie(i * 10, i * 10 + 10);
+    total += engine.stats().tuples_touched - before;
+  }
+  // Average touches stay within a small factor of N (no convergence).
+  EXPECT_GT(total / queries, 50'000 / 2);
+}
+
+TEST(CrackEngineTest, CracksAccumulateAcrossQueries) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(100, 200);
+  engine.SelectOrDie(300, 400);
+  engine.SelectOrDie(500, 600);
+  EXPECT_EQ(engine.stats().cracks, 6);
+  EXPECT_EQ(engine.column().index().num_cracks(), 6u);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(CrackEngineTest, StatsCountQueries) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(1, 2);
+  engine.SelectOrDie(3, 4);
+  EXPECT_EQ(engine.stats().queries, 2);
+}
+
+// ------------------------------------------------------------------ Scan --
+
+TEST(ScanEngineTest, AlwaysTouchesEverythingAndMaterializes) {
+  const Column base = Column::UniquePermutation(5000, 1);
+  ScanEngine engine(&base, TestConfig());
+  for (int i = 0; i < 3; ++i) {
+    const QueryResult result = engine.SelectOrDie(10, 20);
+    EXPECT_TRUE(result.materialized());
+    EXPECT_EQ(result.count(), 10);
+  }
+  EXPECT_EQ(engine.stats().tuples_touched, 3 * 5000);
+  EXPECT_EQ(engine.stats().materialized, 30);
+}
+
+TEST(ScanEngineTest, ImmediateUpdates) {
+  const Column base(std::vector<Value>{1, 2, 3});
+  ScanEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageInsert(10).ok());
+  ASSERT_TRUE(engine.StageDelete(2).ok());
+  const QueryResult result = engine.SelectOrDie(0, 100);
+  EXPECT_EQ(result.count(), 3);
+  EXPECT_EQ(result.Sum(), 1 + 3 + 10);
+  EXPECT_EQ(engine.StageDelete(999).code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------ Sort --
+
+TEST(SortEngineTest, FirstQueryPaysTheSort) {
+  const Column base = Column::UniquePermutation(10'000, 1);
+  SortEngine engine(&base, TestConfig());
+  engine.SelectOrDie(5, 6);
+  const int64_t first = engine.stats().tuples_touched;
+  EXPECT_GE(first, 10'000);
+  engine.SelectOrDie(7, 8);
+  EXPECT_EQ(engine.stats().tuples_touched, first);  // binary search only
+}
+
+TEST(SortEngineTest, ReturnsViews) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  SortEngine engine(&base, TestConfig());
+  const QueryResult result = engine.SelectOrDie(100, 200);
+  EXPECT_FALSE(result.materialized());
+  EXPECT_EQ(result.count(), 100);
+}
+
+TEST(SortEngineTest, UpdatesBeforeAndAfterInit) {
+  const Column base(std::vector<Value>{5, 1, 9});
+  SortEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageInsert(3).ok());   // pre-init
+  ASSERT_TRUE(engine.StageDelete(9).ok());   // pre-init
+  EXPECT_EQ(engine.SelectOrDie(0, 100).Sum(), 1 + 3 + 5);
+  ASSERT_TRUE(engine.StageInsert(7).ok());   // post-init
+  ASSERT_TRUE(engine.StageDelete(1).ok());   // post-init
+  EXPECT_EQ(engine.SelectOrDie(0, 100).Sum(), 3 + 5 + 7);
+  EXPECT_TRUE(engine.Validate().ok());
+  EXPECT_EQ(engine.StageDelete(1).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace scrack

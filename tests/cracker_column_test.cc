@@ -1,0 +1,192 @@
+// Direct unit tests for CrackerColumn's primitives — the shared machinery
+// all engines are policies over — plus the CSV export utilities.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cracking/cracker_column.h"
+#include "harness/csv.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 61;
+  config.crack_threshold_values = 32;
+  config.progressive_min_values = 128;
+  return config;
+}
+
+TEST(CrackerColumnTest, LazyInitialization) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackerColumn column(&base, TestConfig());
+  EXPECT_FALSE(column.initialized());
+  EngineStats stats;
+  column.EnsureInitialized(&stats);
+  EXPECT_TRUE(column.initialized());
+  EXPECT_EQ(column.size(), 100);
+  EXPECT_EQ(stats.tuples_touched, 100);  // the copy is charged
+  EXPECT_EQ(column.min_value(), 0);
+  EXPECT_EQ(column.max_value(), 99);
+  // Idempotent.
+  column.EnsureInitialized(&stats);
+  EXPECT_EQ(stats.tuples_touched, 100);
+}
+
+TEST(CrackerColumnTest, CrackBoundRegistersAndReuses) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  const Index pos = column.CrackBound(500, &stats);
+  EXPECT_EQ(pos, 500);  // permutation of [0,1000): rank == value
+  EXPECT_TRUE(column.index().HasCrack(500));
+  const int64_t touched = stats.tuples_touched;
+  EXPECT_EQ(column.CrackBound(500, &stats), 500);
+  EXPECT_EQ(stats.tuples_touched, touched);  // second call is free
+  EXPECT_TRUE(column.Validate().ok());
+}
+
+TEST(CrackerColumnTest, StochasticCrackBoundShortcutsOutOfDomain) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  EXPECT_EQ(column.StochasticCrackBound(-5, false, true, &stats), 0);
+  EXPECT_EQ(column.StochasticCrackBound(0, false, true, &stats), 0);
+  EXPECT_EQ(column.StochasticCrackBound(5000, false, true, &stats), 1000);
+  // Out-of-domain bounds add no cracks.
+  EXPECT_EQ(column.index().num_cracks(), 0u);
+}
+
+TEST(CrackerColumnTest, StochasticCrackBoundSubdividesUntilThreshold) {
+  const Column base = Column::UniquePermutation(4096, 1);
+  CrackerColumn column(&base, TestConfig());  // threshold 32
+  EngineStats stats;
+  column.StochasticCrackBound(2000, /*center_pivot=*/true,
+                              /*recursive=*/true, &stats);
+  const Piece piece = column.index().FindPiece(2000);
+  EXPECT_LE(piece.size(), 33);
+  EXPECT_TRUE(column.Validate().ok());
+}
+
+TEST(CrackerColumnTest, ExtractRangeRemovesExactlyTheRange) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  // Pre-crack somewhere above so CollapseRange has cracks to shift.
+  column.CrackBound(800, &stats);
+  std::vector<Value> out;
+  column.ExtractRange(200, 400, &out, &stats);
+  EXPECT_EQ(out.size(), 200u);
+  EXPECT_EQ(column.size(), 800);
+  std::vector<Value> expected;
+  for (Value v = 200; v < 400; ++v) expected.push_back(v);
+  EXPECT_EQ(Sorted(out), expected);
+  EXPECT_TRUE(column.Validate().ok());
+  // The shifted crack at 800 must still be correct.
+  EXPECT_EQ(column.index().CrackPosition(800), 600);
+  // Extracting again yields nothing.
+  std::vector<Value> again;
+  column.ExtractRange(200, 400, &again, &stats);
+  EXPECT_TRUE(again.empty());
+}
+
+TEST(CrackerColumnTest, ExtractRangeWholeColumn) {
+  const Column base = Column::UniquePermutation(500, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  std::vector<Value> out;
+  column.ExtractRange(-100, 10'000, &out, &stats);
+  EXPECT_EQ(out.size(), 500u);
+  EXPECT_EQ(column.size(), 0);
+  EXPECT_TRUE(column.Validate().ok());
+}
+
+TEST(CrackerColumnTest, SelectWithPolicyHonorsPerPieceDecisions) {
+  const Column base = Column::UniquePermutation(10'000, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  // Policy: crack pieces in the lower half of the domain, split-materialize
+  // elsewhere (an arbitrary piece-dependent mixture).
+  BoundPolicy policy = [](const Piece& piece) {
+    return (piece.has_upper && piece.upper < 5000) ? EndPieceMode::kCrack
+                                                   : EndPieceMode::kSplitMat;
+  };
+  for (int i = 0; i < 50; ++i) {
+    const Value lo = (i * 997) % 9000;
+    QueryResult result;
+    ASSERT_TRUE(
+        column.SelectWithPolicy(lo, lo + 500, policy, &result, &stats).ok());
+    ASSERT_EQ(result.count(), 500);
+    ASSERT_TRUE(column.Validate().ok());
+  }
+}
+
+TEST(CrackerColumnTest, ValidateCatchesCorruption) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackerColumn column(&base, TestConfig());
+  EngineStats stats;
+  column.CrackBound(50, &stats);
+  ASSERT_TRUE(column.Validate().ok());
+  // Corrupt: put a large value into the < 50 piece.
+  column.data()[0] = 99;
+  EXPECT_FALSE(column.Validate().ok());
+}
+
+// -------------------------------------------------------------- CSV export --
+
+TEST(CsvTest, SanitizeFileName) {
+  EXPECT_EQ(SanitizeFileName("pmdd1r(10%)"), "pmdd1r_10__");
+  EXPECT_EQ(SanitizeFileName("crack"), "crack");
+  EXPECT_EQ(SanitizeFileName("a b/c"), "a_b_c");
+}
+
+TEST(CsvTest, WriteRunCsvRoundTrips) {
+  RunResult run;
+  run.engine_name = "crack";
+  run.records.push_back({0.5, 100, 10, 55});
+  run.records.push_back({0.25, 50, 5, 15});
+  const std::string path = ::testing::TempDir() + "/scrack_csv_test.csv";
+  ASSERT_TRUE(WriteRunCsv(run, path).ok());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header, line1, line2;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_EQ(header,
+            "query,seconds,cum_seconds,touched,cum_touched,result_count,"
+            "result_sum");
+  EXPECT_EQ(line1, "1,0.500000000,0.500000000,100,100,10,55");
+  EXPECT_EQ(line2, "2,0.250000000,0.750000000,50,150,5,15");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteRunsCsvCreatesDirAndFiles) {
+  RunResult run;
+  run.engine_name = "dd1r";
+  run.records.push_back({0.1, 10, 1, 1});
+  const std::string dir = ::testing::TempDir() + "/scrack_csv_dir";
+  ASSERT_TRUE(WriteRunsCsv({std::move(run)}, dir, "fig 9(a)").ok());
+  std::ifstream in(dir + "/fig_9_a__dd1r.csv");
+  EXPECT_TRUE(in.good());
+  std::remove((dir + "/fig_9_a__dd1r.csv").c_str());
+}
+
+TEST(CsvTest, EmptyDirIsNoOp) {
+  EXPECT_TRUE(WriteRunsCsv({}, "", "x").ok());
+}
+
+TEST(CsvTest, UnwritablePathFails) {
+  RunResult run;
+  run.engine_name = "x";
+  EXPECT_FALSE(WriteRunCsv(run, "/nonexistent-dir-xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace scrack

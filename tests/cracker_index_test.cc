@@ -1,0 +1,175 @@
+// Tests for CrackerIndex (index/cracker_index.h): piece lookup, crack
+// registration, metadata inheritance, position maintenance, validation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "index/cracker_index.h"
+
+namespace scrack {
+namespace {
+
+TEST(CrackerIndexTest, UncrackedColumnIsOnePiece) {
+  CrackerIndex index(100);
+  const Piece piece = index.FindPiece(42);
+  EXPECT_EQ(piece.begin, 0);
+  EXPECT_EQ(piece.end, 100);
+  EXPECT_FALSE(piece.has_lower);
+  EXPECT_FALSE(piece.has_upper);
+  EXPECT_EQ(piece.meta_key, CrackerIndex::kHeadKey);
+  EXPECT_EQ(piece.size(), 100);
+  EXPECT_EQ(index.num_cracks(), 0u);
+}
+
+TEST(CrackerIndexTest, FindPieceRespectsCrackSemantics) {
+  CrackerIndex index(100);
+  // Crack (50, 40): values < 50 at [0, 40), values >= 50 at [40, 100).
+  EXPECT_TRUE(index.AddCrack(50, 40));
+
+  const Piece below = index.FindPiece(10);
+  EXPECT_EQ(below.begin, 0);
+  EXPECT_EQ(below.end, 40);
+  EXPECT_TRUE(below.has_upper);
+  EXPECT_EQ(below.upper, 50);
+
+  // v == crack value belongs to the upper piece (values >= 50 live there).
+  const Piece at = index.FindPiece(50);
+  EXPECT_EQ(at.begin, 40);
+  EXPECT_EQ(at.end, 100);
+  EXPECT_TRUE(at.has_lower);
+  EXPECT_EQ(at.lower, 50);
+  EXPECT_EQ(at.meta_key, 50);
+
+  const Piece above = index.FindPiece(99);
+  EXPECT_EQ(above.begin, 40);
+  EXPECT_EQ(above.end, 100);
+}
+
+TEST(CrackerIndexTest, DuplicateCrackRejected) {
+  CrackerIndex index(10);
+  EXPECT_TRUE(index.AddCrack(5, 3));
+  EXPECT_FALSE(index.AddCrack(5, 7));
+  EXPECT_EQ(index.num_cracks(), 1u);
+  EXPECT_EQ(index.CrackPosition(5), 3);
+}
+
+TEST(CrackerIndexTest, HasCrackAndPosition) {
+  CrackerIndex index(10);
+  index.AddCrack(4, 2);
+  EXPECT_TRUE(index.HasCrack(4));
+  EXPECT_FALSE(index.HasCrack(5));
+  EXPECT_EQ(index.CrackPosition(4), 2);
+}
+
+TEST(CrackerIndexTest, MetadataInheritanceOnSplit) {
+  CrackerIndex index(100);
+  index.MetaFor(CrackerIndex::kHeadKey).crack_count = 7;
+  index.AddCrack(50, 40);
+  // The new upper piece inherits the parent's counter (ScrackMon rule).
+  EXPECT_EQ(index.FindMeta(50)->crack_count, 7);
+  EXPECT_EQ(index.FindMeta(CrackerIndex::kHeadKey)->crack_count, 7);
+  // Splitting the upper piece propagates again.
+  index.AddCrack(70, 60);
+  EXPECT_EQ(index.FindMeta(70)->crack_count, 7);
+}
+
+TEST(CrackerIndexTest, ForEachPieceCoversColumn) {
+  CrackerIndex index(100);
+  index.AddCrack(30, 25);
+  index.AddCrack(60, 50);
+  std::vector<Piece> pieces;
+  index.ForEachPiece([&](const Piece& p) { pieces.push_back(p); });
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].begin, 0);
+  EXPECT_EQ(pieces[0].end, 25);
+  EXPECT_EQ(pieces[1].begin, 25);
+  EXPECT_EQ(pieces[1].end, 50);
+  EXPECT_EQ(pieces[2].begin, 50);
+  EXPECT_EQ(pieces[2].end, 100);
+  EXPECT_FALSE(pieces[0].has_lower);
+  EXPECT_TRUE(pieces[2].has_lower);
+  EXPECT_FALSE(pieces[2].has_upper);
+}
+
+TEST(CrackerIndexTest, ValidateAcceptsConsistentColumn) {
+  // data: [1,2,3 | 5,6 | 9] with cracks (5,3) and (9,5).
+  std::vector<Value> data = {2, 1, 3, 6, 5, 9};
+  CrackerIndex index(6);
+  index.AddCrack(5, 3);
+  index.AddCrack(9, 5);
+  EXPECT_TRUE(index.Validate(data.data(), 6).ok());
+}
+
+TEST(CrackerIndexTest, ValidateRejectsElementBelowLowerBound) {
+  std::vector<Value> data = {2, 1, 3, 4, 5, 9};  // 4 < crack value 5
+  CrackerIndex index(6);
+  index.AddCrack(5, 3);
+  EXPECT_FALSE(index.Validate(data.data(), 6).ok());
+}
+
+TEST(CrackerIndexTest, ValidateRejectsElementAboveUpperBound) {
+  std::vector<Value> data = {2, 9, 3, 6, 5, 7};  // 9 in piece < 5
+  CrackerIndex index(6);
+  index.AddCrack(5, 3);
+  EXPECT_FALSE(index.Validate(data.data(), 6).ok());
+}
+
+TEST(CrackerIndexTest, ValidateRejectsSizeMismatch) {
+  std::vector<Value> data = {1, 2, 3};
+  CrackerIndex index(5);
+  EXPECT_FALSE(index.Validate(data.data(), 3).ok());
+}
+
+TEST(CrackerIndexTest, ShiftAboveMovesUpperCracks) {
+  CrackerIndex index(100);
+  index.AddCrack(30, 25);
+  index.AddCrack(60, 50);
+  index.ShiftAbove(30, +1);  // insert of a value in [30, 60)
+  EXPECT_EQ(index.CrackPosition(30), 25);  // not shifted (key == v)
+  EXPECT_EQ(index.CrackPosition(60), 51);
+  EXPECT_EQ(index.column_size(), 101);
+  index.ShiftAbove(0, -1);
+  EXPECT_EQ(index.CrackPosition(30), 24);
+  EXPECT_EQ(index.CrackPosition(60), 50);
+  EXPECT_EQ(index.column_size(), 100);
+}
+
+TEST(CrackerIndexTest, CracksAboveAscending) {
+  CrackerIndex index(100);
+  index.AddCrack(30, 25);
+  index.AddCrack(60, 50);
+  index.AddCrack(80, 75);
+  const auto above = index.CracksAbove(30);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_EQ(above[0].key, 60);
+  EXPECT_EQ(above[1].key, 80);
+  EXPECT_TRUE(index.CracksAbove(100).empty());
+  EXPECT_EQ(index.CracksAbove(-1).size(), 3u);
+}
+
+TEST(CrackerIndexTest, CollapseRangeRemapsCracks) {
+  // Pieces: [0,25):<30, [25,50):[30,60), [50,100):>=60. Remove [30,60)
+  // (25 positions at [25,50)).
+  CrackerIndex index(100);
+  index.AddCrack(30, 25);
+  index.AddCrack(60, 50);
+  index.AddCrack(80, 75);
+  index.CollapseRange(30, 60, 25, 25);
+  EXPECT_EQ(index.column_size(), 75);
+  EXPECT_EQ(index.CrackPosition(30), 25);  // key == low keeps its position
+  EXPECT_EQ(index.CrackPosition(60), 25);  // collapsed onto the gap
+  EXPECT_EQ(index.CrackPosition(80), 50);  // shifted down by 25
+}
+
+TEST(CrackerIndexTest, EmptyColumn) {
+  CrackerIndex index(0);
+  const Piece piece = index.FindPiece(5);
+  EXPECT_EQ(piece.begin, 0);
+  EXPECT_EQ(piece.end, 0);
+  EXPECT_EQ(piece.size(), 0);
+  std::vector<Value> none;
+  EXPECT_TRUE(index.Validate(none.data(), 0).ok());
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,140 @@
+// Tests for the public-API extensions: SelectInterval (general interval
+// bounds) and CrackerColumn::DescribePieces.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "cracking/crack_engine.h"
+#include "harness/engine_factory.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+TEST(SelectIntervalTest, AllFourBoundCombinations) {
+  // Data: 0..99. Interval arithmetic on integers.
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+
+  QueryResult closed_closed;  // [10, 20] -> 11 values
+  ASSERT_TRUE(engine
+                  ->SelectInterval(10, B::kInclusive, 20, B::kInclusive,
+                                   &closed_closed)
+                  .ok());
+  EXPECT_EQ(closed_closed.count(), 11);
+
+  QueryResult open_open;  // (10, 20) -> 9 values
+  ASSERT_TRUE(engine
+                  ->SelectInterval(10, B::kExclusive, 20, B::kExclusive,
+                                   &open_open)
+                  .ok());
+  EXPECT_EQ(open_open.count(), 9);
+
+  QueryResult closed_open;  // [10, 20) -> 10 values
+  ASSERT_TRUE(engine
+                  ->SelectInterval(10, B::kInclusive, 20, B::kExclusive,
+                                   &closed_open)
+                  .ok());
+  EXPECT_EQ(closed_open.count(), 10);
+
+  QueryResult open_closed;  // (10, 20] -> 10 values
+  ASSERT_TRUE(engine
+                  ->SelectInterval(10, B::kExclusive, 20, B::kInclusive,
+                                   &open_closed)
+                  .ok());
+  EXPECT_EQ(open_closed.count(), 10);
+}
+
+TEST(SelectIntervalTest, PaperFigureOnePredicates) {
+  // Fig. 1: Q1 is "A > 10 and A < 14", Q2 is "A > 7 and A <= 16".
+  const Column base(
+      std::vector<Value>{13, 16, 4, 9, 2, 12, 7, 1, 19, 3, 14, 11, 8, 6});
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+
+  QueryResult q1;
+  ASSERT_TRUE(
+      engine->SelectInterval(10, B::kExclusive, 14, B::kExclusive, &q1).ok());
+  EXPECT_EQ(q1.count(), 3);  // {13, 12, 11}
+  EXPECT_EQ(q1.Sum(), 36);
+
+  QueryResult q2;
+  ASSERT_TRUE(
+      engine->SelectInterval(7, B::kExclusive, 16, B::kInclusive, &q2).ok());
+  EXPECT_EQ(q2.count(), 7);  // {13, 16, 9, 12, 14, 11, 8}
+  EXPECT_EQ(q2.Sum(), 13 + 16 + 9 + 12 + 14 + 11 + 8);
+}
+
+TEST(SelectIntervalTest, EmptyIntegerIntervals) {
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+  QueryResult r;
+  // (5, 6) contains no integer.
+  ASSERT_TRUE(engine->SelectInterval(5, B::kExclusive, 6, B::kExclusive, &r)
+                  .ok());
+  EXPECT_EQ(r.count(), 0);
+  // (5, 5] is empty too.
+  ASSERT_TRUE(engine->SelectInterval(5, B::kExclusive, 5, B::kInclusive, &r)
+                  .ok());
+  EXPECT_EQ(r.count(), 0);
+  // [5, 5] is the point query.
+  ASSERT_TRUE(engine->SelectInterval(5, B::kInclusive, 5, B::kInclusive, &r)
+                  .ok());
+  EXPECT_EQ(r.count(), 1);
+}
+
+TEST(SelectIntervalTest, ValueMaxEdges) {
+  constexpr Value kMax = std::numeric_limits<Value>::max();
+  const Column base = Column::UniquePermutation(10, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+  QueryResult r;
+  // Exclusive lower bound at MAX is empty, not UB.
+  ASSERT_TRUE(
+      engine->SelectInterval(kMax, B::kExclusive, kMax, B::kExclusive, &r)
+          .ok());
+  EXPECT_EQ(r.count(), 0);
+  // Inclusive upper bound at MAX is not representable half-open.
+  EXPECT_EQ(engine->SelectInterval(0, B::kInclusive, kMax, B::kInclusive, &r)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DescribePiecesTest, UninitializedColumnIsEmpty) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackEngine engine(&base, EngineConfig{});
+  const auto dist = engine.column().DescribePieces();
+  EXPECT_EQ(dist.num_pieces, 0u);
+}
+
+TEST(DescribePiecesTest, TracksCracks) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, EngineConfig{});
+  engine.SelectOrDie(250, 500);  // cracks at 250 and 500
+  const auto dist = engine.column().DescribePieces();
+  EXPECT_EQ(dist.num_pieces, 3u);
+  EXPECT_EQ(dist.min_size, 250);
+  EXPECT_EQ(dist.median_size, 250);
+  EXPECT_EQ(dist.max_size, 500);
+  EXPECT_DOUBLE_EQ(dist.mean_size, 1000.0 / 3.0);
+}
+
+TEST(DescribePiecesTest, MeanTimesCountEqualsColumnSize) {
+  const Column base = Column::UniquePermutation(5000, 3);
+  auto engine = CreateEngineOrDie("dd1r", &base, EngineConfig{});
+  // Access the underlying column through a typed engine.
+  CrackEngine typed(&base, EngineConfig{});
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Value a = rng.UniformValue(0, 4900);
+    typed.SelectOrDie(a, a + 50);
+    const auto dist = typed.column().DescribePieces();
+    ASSERT_NEAR(dist.mean_size * static_cast<double>(dist.num_pieces),
+                5000.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,206 @@
+// Differential correctness: every engine must return exactly the reference
+// answer (count and sum checksum) for every query of every workload shape,
+// while keeping its internal structures valid after every query.
+//
+// This is the load-bearing suite: the engines share kernels but differ in
+// end-piece handling, so each (engine × workload) pair exercises distinct
+// crack/materialize/view assembly paths.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::ReferenceSelect;
+
+constexpr Index kN = 2000;
+constexpr QueryId kQ = 150;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 77;
+  // Small thresholds so the stochastic recursion/progressive paths engage
+  // at test scale.
+  config.crack_threshold_values = 64;
+  config.progressive_min_values = 128;
+  config.hybrid_partition_values = 256;
+  return config;
+}
+
+class EngineWorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(EngineWorkloadSweep, MatchesReferenceOnUniqueData) {
+  const auto& [spec, workload_name] = GetParam();
+  const Column base = Column::UniquePermutation(kN, 11);
+
+  WorkloadKind kind;
+  ASSERT_TRUE(ParseWorkloadKind(workload_name, &kind));
+  WorkloadParams params;
+  params.n = kN;
+  params.num_queries = kQ;
+  params.selectivity = 20;
+  params.seed = 13;
+  const auto queries = MakeWorkload(kind, params);
+
+  auto engine = CreateEngineOrDie(spec, &base, TestConfig());
+  for (const RangeQuery& q : queries) {
+    QueryResult result;
+    ASSERT_TRUE(engine->Select(q.low, q.high, &result).ok());
+    const auto ref = ReferenceSelect(base.values(), q.low, q.high);
+    ASSERT_EQ(result.count(), ref.count)
+        << spec << " on " << workload_name << " [" << q.low << "," << q.high
+        << ")";
+    ASSERT_EQ(result.Sum(), ref.sum)
+        << spec << " on " << workload_name << " [" << q.low << "," << q.high
+        << ")";
+    const Status valid = engine->Validate();
+    ASSERT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+TEST_P(EngineWorkloadSweep, MatchesReferenceOnDuplicateHeavyData) {
+  const auto& [spec, workload_name] = GetParam();
+  const Column base = ::scrack::testing::DuplicateHeavyColumn(kN, 17);
+
+  WorkloadKind kind;
+  ASSERT_TRUE(ParseWorkloadKind(workload_name, &kind));
+  WorkloadParams params;
+  params.n = kN / 8;  // the duplicate domain
+  params.num_queries = kQ;
+  params.selectivity = 5;
+  params.seed = 19;
+  const auto queries = MakeWorkload(kind, params);
+
+  auto engine = CreateEngineOrDie(spec, &base, TestConfig());
+  for (const RangeQuery& q : queries) {
+    QueryResult result;
+    ASSERT_TRUE(engine->Select(q.low, q.high, &result).ok());
+    const auto ref = ReferenceSelect(base.values(), q.low, q.high);
+    ASSERT_EQ(result.count(), ref.count)
+        << spec << " on " << workload_name;
+    ASSERT_EQ(result.Sum(), ref.sum) << spec << " on " << workload_name;
+    const Status valid = engine->Validate();
+    ASSERT_TRUE(valid.ok()) << valid.ToString();
+  }
+}
+
+const std::string kEngineSpecs[] = {
+    "scan",      "sort",       "crack",       "ddc",     "ddr",
+    "dd1c",      "dd1r",       "mdd1r",       "pmdd1r:1", "pmdd1r:10",
+    "pmdd1r:100", "fiftyfifty", "flipcoin",   "sizesel", "everyx:4",
+    "scrackmon:3", "r2crack",  "aicc",        "aics",    "aicc1r",
+    "aics1r",    "aisc",      "aiss",        "auto",
+    "threadsafe:crack",
+};
+
+const std::string kWorkloads[] = {
+    "Random", "Sequential", "ZoomIn", "Periodic", "SkyServer", "ZoomOutAlt",
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllWorkloads, EngineWorkloadSweep,
+    ::testing::Combine(::testing::ValuesIn(kEngineSpecs),
+                       ::testing::ValuesIn(kWorkloads)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Degenerate inputs every engine must survive.
+class EngineEdgeCases : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EngineEdgeCases, EmptyColumn) {
+  const Column base;
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  QueryResult result;
+  ASSERT_TRUE(engine->Select(0, 100, &result).ok());
+  EXPECT_EQ(result.count(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST_P(EngineEdgeCases, SingleElementColumn) {
+  const Column base(std::vector<Value>{42});
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  EXPECT_EQ(engine->SelectOrDie(0, 100).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(0, 42).count(), 0);
+  EXPECT_EQ(engine->SelectOrDie(42, 43).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(43, 100).count(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST_P(EngineEdgeCases, EmptyRangeReturnsNothing) {
+  const Column base = Column::UniquePermutation(100, 3);
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  EXPECT_EQ(engine->SelectOrDie(50, 50).count(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST_P(EngineEdgeCases, InvertedRangeIsInvalidArgument) {
+  const Column base = Column::UniquePermutation(100, 3);
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  QueryResult result;
+  EXPECT_EQ(engine->Select(60, 40, &result).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(EngineEdgeCases, OutOfDomainBounds) {
+  const Column base = Column::UniquePermutation(100, 3);
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  EXPECT_EQ(engine->SelectOrDie(-1000, 1000).count(), 100);
+  EXPECT_EQ(engine->SelectOrDie(-1000, -500).count(), 0);
+  EXPECT_EQ(engine->SelectOrDie(500, 1000).count(), 0);
+  EXPECT_EQ(engine->SelectOrDie(-1000, 50).count(), 50);
+  EXPECT_EQ(engine->SelectOrDie(50, 1000).count(), 50);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST_P(EngineEdgeCases, FullDomainQuery) {
+  const Column base = Column::UniquePermutation(256, 5);
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  const QueryResult result = engine->SelectOrDie(0, 256);
+  EXPECT_EQ(result.count(), 256);
+  EXPECT_EQ(result.Sum(), 255 * 256 / 2);
+}
+
+TEST_P(EngineEdgeCases, RepeatedIdenticalQueriesStayCorrect) {
+  const Column base = Column::UniquePermutation(512, 7);
+  auto engine = CreateEngineOrDie(GetParam(), &base, TestConfig());
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult result = engine->SelectOrDie(100, 200);
+    EXPECT_EQ(result.count(), 100);
+    EXPECT_TRUE(engine->Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineEdgeCases,
+                         ::testing::ValuesIn(kEngineSpecs),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(
+                                     static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace scrack

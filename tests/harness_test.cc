@@ -1,0 +1,211 @@
+// Tests for the harness layer: engine factory, experiment runner,
+// reporting utilities, AdaptiveStore facade.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/adaptive_store.h"
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+// --------------------------------------------------------------- Factory --
+
+TEST(EngineFactoryTest, AllKnownSpecsCreate) {
+  const Column base = Column::UniquePermutation(256, 1);
+  for (const std::string& spec : KnownEngineSpecs()) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status status = CreateEngine(spec, &base, EngineConfig{}, &engine);
+    ASSERT_TRUE(status.ok()) << spec << ": " << status.ToString();
+    ASSERT_NE(engine, nullptr) << spec;
+    EXPECT_EQ(engine->SelectOrDie(10, 20).count(), 10) << spec;
+  }
+}
+
+TEST(EngineFactoryTest, SpecsAreCaseInsensitive) {
+  const Column base = Column::UniquePermutation(64, 1);
+  std::unique_ptr<SelectEngine> engine;
+  EXPECT_TRUE(CreateEngine("MDD1R", &base, EngineConfig{}, &engine).ok());
+  EXPECT_TRUE(CreateEngine("Crack", &base, EngineConfig{}, &engine).ok());
+}
+
+TEST(EngineFactoryTest, ScrackAliasesMdd1r) {
+  const Column base = Column::UniquePermutation(64, 1);
+  std::unique_ptr<SelectEngine> engine;
+  ASSERT_TRUE(CreateEngine("scrack", &base, EngineConfig{}, &engine).ok());
+  EXPECT_EQ(engine->name(), "mdd1r");
+}
+
+TEST(EngineFactoryTest, ParameterizedSpecs) {
+  const Column base = Column::UniquePermutation(64, 1);
+  std::unique_ptr<SelectEngine> engine;
+  ASSERT_TRUE(CreateEngine("pmdd1r:5", &base, EngineConfig{}, &engine).ok());
+  EXPECT_EQ(engine->name(), "pmdd1r(5%)");
+  ASSERT_TRUE(CreateEngine("everyx:8", &base, EngineConfig{}, &engine).ok());
+  EXPECT_EQ(engine->name(), "everyx(8)");
+  ASSERT_TRUE(
+      CreateEngine("scrackmon:50", &base, EngineConfig{}, &engine).ok());
+  EXPECT_EQ(engine->name(), "scrackmon(50)");
+  ASSERT_TRUE(CreateEngine("r16crack", &base, EngineConfig{}, &engine).ok());
+  EXPECT_EQ(engine->name(), "r16crack");
+}
+
+TEST(EngineFactoryTest, BadSpecsRejected) {
+  const Column base = Column::UniquePermutation(64, 1);
+  std::unique_ptr<SelectEngine> engine;
+  EXPECT_FALSE(CreateEngine("nope", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(CreateEngine("pmdd1r:0", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(
+      CreateEngine("pmdd1r:150", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(CreateEngine("pmdd1r:x", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(CreateEngine("rcrack", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(CreateEngine("", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(CreateEngine("crack", nullptr, EngineConfig{}, &engine).ok());
+}
+
+// ------------------------------------------------------------ Experiment --
+
+TEST(ExperimentTest, RecordsPerQueryMetrics) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  const std::vector<RangeQuery> queries = {{10, 20}, {30, 40}, {10, 20}};
+  const RunResult result = RunQueries(engine.get(), queries);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.engine_name, "crack");
+  EXPECT_EQ(result.records[0].result_count, 10);
+  EXPECT_GT(result.records[0].touched, 1000);  // init + first crack
+  EXPECT_EQ(result.records[2].touched, 0);     // exact re-match
+  EXPECT_GE(result.records[0].seconds, 0.0);
+}
+
+TEST(ExperimentTest, CumulativeAggregation) {
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine = CreateEngineOrDie("scan", &base, EngineConfig{});
+  const std::vector<RangeQuery> queries = {{0, 10}, {10, 20}, {20, 30}};
+  const RunResult result = RunQueries(engine.get(), queries);
+  EXPECT_EQ(result.CumulativeTouched(-1), 300);
+  EXPECT_EQ(result.CumulativeTouched(1), 100);
+  EXPECT_EQ(result.CumulativeTouched(999), 300);  // clamped
+  EXPECT_DOUBLE_EQ(result.CumulativeSeconds(3), result.CumulativeSeconds());
+}
+
+TEST(ExperimentTest, BeforeQueryHookRunsAndCanAbort) {
+  const Column base = Column::UniquePermutation(100, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  int calls = 0;
+  RunOptions options;
+  options.before_query = [&](QueryId i, SelectEngine*) {
+    ++calls;
+    return i == 2 ? Status::Internal("stop here") : Status::OK();
+  };
+  const std::vector<RangeQuery> queries = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const RunResult result = RunQueries(engine.get(), queries, options);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.status.code(), StatusCode::kInternal);
+}
+
+TEST(ExperimentTest, ValidateEachQueryOption) {
+  const Column base = Column::UniquePermutation(500, 1);
+  auto engine = CreateEngineOrDie("mdd1r", &base, EngineConfig{});
+  RunOptions options;
+  options.validate_each_query = true;
+  WorkloadParams params;
+  params.n = 500;
+  params.num_queries = 50;
+  const auto queries = MakeWorkload(WorkloadKind::kRandom, params);
+  const RunResult result = RunQueries(engine.get(), queries, options);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+}
+
+// ---------------------------------------------------------------- Report --
+
+TEST(ReportTest, LogSpacedPointsCoverRange) {
+  const auto points = LogSpacedPoints(1000);
+  ASSERT_FALSE(points.empty());
+  EXPECT_EQ(points.front(), 1);
+  EXPECT_EQ(points.back(), 1000);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i], points[i - 1]);
+  }
+  EXPECT_EQ(LogSpacedPoints(1), (std::vector<QueryId>{1}));
+}
+
+TEST(ReportTest, TextTableAlignsAndSeparates) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+  EXPECT_NE(rendered.find("22222"), std::string::npos);
+  // 4 lines: header, separator, 2 rows.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+}
+
+TEST(ReportTest, NumFormatsCompactly) {
+  EXPECT_EQ(TextTable::Num(0), "0");
+  EXPECT_EQ(TextTable::Num(12345.6), "12346");
+  EXPECT_EQ(TextTable::Num(0.1234567), "0.1235");
+}
+
+TEST(ReportTest, EnvInt64ReadsOverrides) {
+  ::unsetenv("SCRACK_TEST_KNOB");
+  EXPECT_EQ(EnvInt64("SCRACK_TEST_KNOB", 7), 7);
+  ::setenv("SCRACK_TEST_KNOB", "123", 1);
+  EXPECT_EQ(EnvInt64("SCRACK_TEST_KNOB", 7), 123);
+  ::setenv("SCRACK_TEST_KNOB", "garbage", 1);
+  EXPECT_EQ(EnvInt64("SCRACK_TEST_KNOB", 7), 7);
+  ::setenv("SCRACK_TEST_KNOB", "-5", 1);
+  EXPECT_EQ(EnvInt64("SCRACK_TEST_KNOB", 7), 7);
+  ::unsetenv("SCRACK_TEST_KNOB");
+}
+
+// --------------------------------------------------------- AdaptiveStore --
+
+TEST(AdaptiveStoreTest, EndToEnd) {
+  AdaptiveStore store;
+  ASSERT_TRUE(
+      store.AddColumn("ra", Column::UniquePermutation(1000, 1)).ok());
+  ASSERT_TRUE(store
+                  .AddColumn("dec", Column::UniquePermutation(1000, 2),
+                             "crack")
+                  .ok());
+  EXPECT_EQ(store.num_columns(), 2u);
+
+  QueryResult result;
+  ASSERT_TRUE(store.Select("ra", 100, 200, &result).ok());
+  EXPECT_EQ(result.count(), 100);
+
+  ASSERT_TRUE(store.Insert("dec", 5000).ok());
+  QueryResult result2;
+  ASSERT_TRUE(store.Select("dec", 4000, 6000, &result2).ok());
+  EXPECT_EQ(result2.count(), 1);
+
+  ASSERT_NE(store.engine("ra"), nullptr);
+  EXPECT_EQ(store.engine("ra")->name(), "mdd1r");
+  EXPECT_EQ(store.engine("nope"), nullptr);
+}
+
+TEST(AdaptiveStoreTest, Errors) {
+  AdaptiveStore store;
+  ASSERT_TRUE(store.AddColumn("a", Column({1, 2, 3})).ok());
+  EXPECT_EQ(store.AddColumn("a", Column({1})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.AddColumn("b", Column({1}), "bogus").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.num_columns(), 1u);  // failed AddColumn rolled back
+  QueryResult result;
+  EXPECT_EQ(store.Select("missing", 0, 1, &result).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Insert("missing", 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete("missing", 1).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace scrack

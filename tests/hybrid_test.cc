@@ -1,0 +1,181 @@
+// Behavior tests for the partition/merge hybrids (AICC/AICS ± 1R).
+#include <gtest/gtest.h>
+
+#include "hybrid/hybrid_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::ReferenceSelect;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 43;
+  config.hybrid_partition_values = 128;
+  config.crack_threshold_values = 32;
+  return config;
+}
+
+TEST(HybridEngineTest, Names) {
+  const Column base = Column::UniquePermutation(16, 1);
+  const EngineConfig config = TestConfig();
+  using FO = HybridEngine::FinalOrg;
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kCrack, FO::kCrack, false).name(), "aicc");
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kCrack, FO::kSort, false).name(), "aics");
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kCrack, FO::kCrack, true).name(), "aicc1r");
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kCrack, FO::kSort, true).name(), "aics1r");
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kSort, FO::kCrack, false).name(), "aisc");
+  EXPECT_EQ(HybridEngine(&base, config, HybridEngine::InitialOrg::kSort, FO::kSort, false).name(), "aiss");
+}
+
+TEST(HybridEngineTest, SortInitialPartitionsExtractByBinarySearch) {
+  const Column base = Column::UniquePermutation(2048, 5);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kSort,
+                      HybridEngine::FinalOrg::kSort, false);
+  engine.SelectOrDie(100, 300);
+  EXPECT_EQ(engine.ResidualInPartitions(), 2048 - 200);
+  // After the sorting burst of the first query, subsequent extraction cost
+  // is bounded by binary search + moved tuples, not partition scans.
+  const int64_t after_first = engine.stats().tuples_touched;
+  EXPECT_GE(after_first, 2048);  // every partition sorted once
+  engine.SelectOrDie(400, 410);
+  const int64_t second = engine.stats().tuples_touched - after_first;
+  EXPECT_LT(second, 2048);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(HybridEngineTest, SortInitialVariantsStayCorrect) {
+  const Index n = 3000;
+  const Column base = Column::UniquePermutation(n, 5);
+  for (const auto org :
+       {HybridEngine::FinalOrg::kCrack, HybridEngine::FinalOrg::kSort}) {
+    HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kSort,
+                        org, false);
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+      const Value a = rng.UniformValue(0, n);
+      const Value b = a + 1 + rng.UniformValue(0, 150);
+      QueryResult result;
+      ASSERT_TRUE(engine.Select(a, b, &result).ok());
+      const auto ref = ReferenceSelect(base.values(), a, b);
+      ASSERT_EQ(result.count(), ref.count) << engine.name() << " q" << i;
+      ASSERT_EQ(result.Sum(), ref.sum) << engine.name() << " q" << i;
+    }
+    ASSERT_TRUE(engine.Validate().ok());
+  }
+}
+
+TEST(HybridEngineTest, QueriedRangesMoveToFinalArea) {
+  const Column base = Column::UniquePermutation(1024, 1);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kCrack, false);
+  EXPECT_EQ(engine.ResidualInPartitions(), 1024);
+  engine.SelectOrDie(100, 300);
+  // Exactly the qualifying tuples moved out of the initial partitions.
+  EXPECT_EQ(engine.ResidualInPartitions(), 1024 - 200);
+  EXPECT_GE(engine.NumFinalPieces(), 1u);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(HybridEngineTest, CoveredRangeServedFromFinalOnly) {
+  const Column base = Column::UniquePermutation(1024, 1);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kSort, false);
+  engine.SelectOrDie(100, 300);
+  const Index residual = engine.ResidualInPartitions();
+  // Sub-range of a covered range: partitions must not be touched again.
+  const QueryResult result = engine.SelectOrDie(150, 250);
+  EXPECT_EQ(result.count(), 100);
+  EXPECT_EQ(engine.ResidualInPartitions(), residual);
+}
+
+TEST(HybridEngineTest, AicsServesSortedViews) {
+  const Column base = Column::UniquePermutation(1024, 1);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kSort, false);
+  engine.SelectOrDie(0, 1024);
+  const QueryResult result = engine.SelectOrDie(200, 210);
+  EXPECT_FALSE(result.materialized());
+  const auto values = result.Collect();
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  EXPECT_EQ(result.count(), 10);
+}
+
+TEST(HybridEngineTest, AiccCracksFinalPiecesOnPartialOverlap) {
+  const Column base = Column::UniquePermutation(1024, 1);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kCrack, false);
+  engine.SelectOrDie(0, 1024);  // everything in one final piece
+  const size_t pieces_before = engine.NumFinalPieces();
+  engine.SelectOrDie(300, 700);  // splits the final piece at 300 and 700
+  EXPECT_GT(engine.NumFinalPieces(), pieces_before);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(HybridEngineTest, OverlappingQueriesExtractEachValueOnce) {
+  const Column base = Column::UniquePermutation(2048, 5);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kCrack, false);
+  engine.SelectOrDie(100, 500);
+  engine.SelectOrDie(300, 900);   // overlaps previous range
+  engine.SelectOrDie(0, 2048);    // covers everything
+  const QueryResult result = engine.SelectOrDie(0, 2048);
+  EXPECT_EQ(result.count(), 2048);
+  EXPECT_EQ(result.Sum(), 2047LL * 2048 / 2);
+  EXPECT_EQ(engine.ResidualInPartitions(), 0);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(HybridEngineTest, StochasticVariantAddsRandomCracksInPartitions) {
+  const Column base = Column::UniquePermutation(4096, 5);
+  HybridEngine plain(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                     HybridEngine::FinalOrg::kCrack, false);
+  HybridEngine one_r(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                     HybridEngine::FinalOrg::kCrack, true);
+  plain.SelectOrDie(2000, 2010);
+  one_r.SelectOrDie(2000, 2010);
+  EXPECT_EQ(plain.stats().random_pivots, 0);
+  EXPECT_GT(one_r.stats().random_pivots, 0);
+  EXPECT_TRUE(one_r.Validate().ok());
+}
+
+TEST(HybridEngineTest, ManyQueriesStayCorrect) {
+  const Index n = 3000;
+  const Column base = Column::UniquePermutation(n, 5);
+  for (const bool stochastic : {false, true}) {
+    for (const auto org : {HybridEngine::FinalOrg::kCrack,
+                           HybridEngine::FinalOrg::kSort}) {
+      HybridEngine engine(&base, TestConfig(),
+                          HybridEngine::InitialOrg::kCrack, org, stochastic);
+      Rng rng(7);
+      for (int i = 0; i < 100; ++i) {
+        const Value a = rng.UniformValue(0, n);
+        const Value b = a + 1 + rng.UniformValue(0, 100);
+        QueryResult result;
+        ASSERT_TRUE(engine.Select(a, b, &result).ok());
+        const auto ref = ReferenceSelect(base.values(), a, b);
+        ASSERT_EQ(result.count(), ref.count)
+            << engine.name() << " query " << i;
+        ASSERT_EQ(result.Sum(), ref.sum) << engine.name() << " query " << i;
+      }
+      ASSERT_TRUE(engine.Validate().ok());
+    }
+  }
+}
+
+TEST(HybridEngineTest, SequentialWorkloadDrainsPartitionsMonotonically) {
+  const Column base = Column::UniquePermutation(2048, 5);
+  HybridEngine engine(&base, TestConfig(), HybridEngine::InitialOrg::kCrack,
+                      HybridEngine::FinalOrg::kSort, false);
+  Index prev_residual = 2048;
+  for (Value lo = 0; lo < 2000; lo += 100) {
+    engine.SelectOrDie(lo, lo + 100);
+    const Index residual = engine.ResidualInPartitions();
+    EXPECT_LE(residual, prev_residual);
+    prev_residual = residual;
+  }
+}
+
+}  // namespace
+}  // namespace scrack

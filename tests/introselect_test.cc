@@ -1,0 +1,164 @@
+// Tests for the from-scratch Introselect (util/introselect.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "test_util.h"
+#include "util/introselect.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+// Verifies the three-way partition postcondition of IntroselectPartition.
+void ExpectPartitioned(const std::vector<Value>& data, Index lo, Index hi,
+                       const SelectionResult& result) {
+  ASSERT_LE(lo, result.eq_begin);
+  ASSERT_LT(result.eq_begin, result.eq_end);
+  ASSERT_LE(result.eq_end, hi);
+  for (Index i = lo; i < result.eq_begin; ++i) {
+    EXPECT_LT(data[static_cast<size_t>(i)], result.value) << "at " << i;
+  }
+  for (Index i = result.eq_begin; i < result.eq_end; ++i) {
+    EXPECT_EQ(data[static_cast<size_t>(i)], result.value) << "at " << i;
+  }
+  for (Index i = result.eq_end; i < hi; ++i) {
+    EXPECT_GT(data[static_cast<size_t>(i)], result.value) << "at " << i;
+  }
+}
+
+TEST(IntroselectTest, SingleElement) {
+  std::vector<Value> data = {42};
+  EXPECT_EQ(SelectNth(data.data(), 1, 0), 42);
+}
+
+TEST(IntroselectTest, TwoElements) {
+  std::vector<Value> data = {9, 3};
+  EXPECT_EQ(SelectNth(data.data(), 2, 0), 3);
+  data = {9, 3};
+  EXPECT_EQ(SelectNth(data.data(), 2, 1), 9);
+}
+
+TEST(IntroselectTest, MedianOfSmallArray) {
+  std::vector<Value> data = {5, 1, 4, 2, 3};
+  EXPECT_EQ(SelectNth(data.data(), 5, 2), 3);
+}
+
+TEST(IntroselectTest, PreservesMultiset) {
+  Rng rng(31);
+  std::vector<Value> data(500);
+  for (auto& v : data) v = rng.UniformValue(0, 100);
+  const std::vector<Value> before = Sorted(data);
+  SelectNth(data.data(), 500, 250);
+  EXPECT_EQ(Sorted(data), before);
+}
+
+TEST(IntroselectTest, PartitionPostconditionWithDuplicates) {
+  Rng rng(37);
+  std::vector<Value> data(300);
+  for (auto& v : data) v = rng.UniformValue(0, 10);  // heavy duplicates
+  const auto result =
+      IntroselectPartition(data.data(), 0, 300, 150);
+  ExpectPartitioned(data, 0, 300, result);
+}
+
+TEST(IntroselectTest, AllEqualValues) {
+  std::vector<Value> data(100, 7);
+  const auto result = IntroselectPartition(data.data(), 0, 100, 50);
+  EXPECT_EQ(result.value, 7);
+  EXPECT_EQ(result.eq_begin, 0);
+  EXPECT_EQ(result.eq_end, 100);
+}
+
+TEST(IntroselectTest, SubrangeSelection) {
+  // Only [lo, hi) may be rearranged.
+  std::vector<Value> data = {100, 200, 5, 3, 9, 1, 7, 300, 400};
+  const auto result = IntroselectPartition(data.data(), 2, 7, 4);
+  EXPECT_EQ(data[0], 100);
+  EXPECT_EQ(data[1], 200);
+  EXPECT_EQ(data[7], 300);
+  EXPECT_EQ(data[8], 400);
+  // Rank 4 (global index) within [2,7) = {5,3,9,1,7} sorted {1,3,5,7,9}:
+  // index 4 is the 3rd of the subrange -> 5.
+  EXPECT_EQ(result.value, 5);
+  ExpectPartitioned(data, 2, 7, result);
+}
+
+// Parameterized sweep: every k on several distributions and sizes must
+// match std::nth_element's value.
+struct SelectCase {
+  const char* name;
+  Index n;
+  int distribution;  // 0 random, 1 sorted, 2 reverse, 3 duplicates, 4 organ
+};
+
+class IntroselectSweep : public ::testing::TestWithParam<SelectCase> {};
+
+std::vector<Value> MakeData(const SelectCase& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> data(static_cast<size_t>(c.n));
+  switch (c.distribution) {
+    case 0:
+      for (auto& v : data) v = rng.UniformValue(0, 1'000'000);
+      break;
+    case 1:
+      std::iota(data.begin(), data.end(), 0);
+      break;
+    case 2:
+      std::iota(data.rbegin(), data.rend(), 0);
+      break;
+    case 3:
+      for (auto& v : data) v = rng.UniformValue(0, 5);
+      break;
+    case 4:  // organ pipe: ascending then descending
+      for (Index i = 0; i < c.n; ++i) {
+        data[static_cast<size_t>(i)] = std::min(i, c.n - i);
+      }
+      break;
+  }
+  return data;
+}
+
+TEST_P(IntroselectSweep, MatchesNthElementForEveryK) {
+  const SelectCase c = GetParam();
+  const std::vector<Value> base = MakeData(c, 1234);
+  // Stride over k to keep runtime sane for the bigger sizes.
+  const Index stride = std::max<Index>(1, c.n / 64);
+  for (Index k = 0; k < c.n; k += stride) {
+    std::vector<Value> ours = base;
+    std::vector<Value> ref = base;
+    const auto result = IntroselectPartition(ours.data(), 0, c.n, k);
+    std::nth_element(ref.begin(), ref.begin() + k, ref.end());
+    EXPECT_EQ(result.value, ref[static_cast<size_t>(k)]) << "k=" << k;
+    ExpectPartitioned(ours, 0, c.n, result);
+    EXPECT_EQ(Sorted(ours), Sorted(ref)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, IntroselectSweep,
+    ::testing::Values(SelectCase{"random_small", 64, 0},
+                      SelectCase{"random_large", 3000, 0},
+                      SelectCase{"sorted", 1000, 1},
+                      SelectCase{"reverse", 1000, 2},
+                      SelectCase{"duplicates", 1000, 3},
+                      SelectCase{"organ_pipe", 1000, 4}),
+    [](const ::testing::TestParamInfo<SelectCase>& info) {
+      return info.param.name;
+    });
+
+TEST(IntroselectTest, WorstCaseInputStaysLinearish) {
+  // A large already-sorted array exercises the depth budget; correctness is
+  // what we check here (the BFPRT fallback guarantees termination).
+  const Index n = 200'000;
+  std::vector<Value> data(static_cast<size_t>(n));
+  std::iota(data.begin(), data.end(), 0);
+  EXPECT_EQ(SelectNth(data.data(), n, n / 2), n / 2);
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,251 @@
+// Tests for the physical reorganization kernels (cracking/kernel.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+// Input shapes shared by the parameterized kernel sweeps.
+struct KernelCase {
+  const char* name;
+  Index n;
+  int distribution;  // 0 random, 1 sorted, 2 reverse, 3 duplicates
+};
+
+std::vector<Value> MakeData(const KernelCase& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> data(static_cast<size_t>(c.n));
+  switch (c.distribution) {
+    case 0:
+      for (auto& v : data) v = rng.UniformValue(0, 1000);
+      break;
+    case 1:
+      std::iota(data.begin(), data.end(), 0);
+      break;
+    case 2:
+      std::iota(data.rbegin(), data.rend(), 0);
+      break;
+    case 3:
+      for (auto& v : data) v = rng.UniformValue(0, 4);
+      break;
+  }
+  return data;
+}
+
+class KernelSweep : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelSweep, CrackInTwoPartitionInvariant) {
+  const KernelCase c = GetParam();
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> data = MakeData(c, 1000 + trial);
+    const std::vector<Value> before = Sorted(data);
+    const Value pivot = rng.UniformValue(-5, 1010);
+    KernelCounters counters;
+    const Index split =
+        CrackInTwo(data.data(), 0, c.n, pivot, &counters);
+    ASSERT_GE(split, 0);
+    ASSERT_LE(split, c.n);
+    for (Index i = 0; i < split; ++i) ASSERT_LT(data[i], pivot);
+    for (Index i = split; i < c.n; ++i) ASSERT_GE(data[i], pivot);
+    ASSERT_EQ(Sorted(data), before);  // multiset preserved
+    ASSERT_EQ(counters.touched, c.n);
+  }
+}
+
+TEST_P(KernelSweep, CrackInThreePartitionInvariant) {
+  const KernelCase c = GetParam();
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> data = MakeData(c, 2000 + trial);
+    const std::vector<Value> before = Sorted(data);
+    Value lo = rng.UniformValue(0, 1000);
+    Value hi = rng.UniformValue(0, 1000);
+    if (lo > hi) std::swap(lo, hi);
+    KernelCounters counters;
+    const auto [p1, p2] =
+        CrackInThree(data.data(), 0, c.n, lo, hi, &counters);
+    ASSERT_LE(0, p1);
+    ASSERT_LE(p1, p2);
+    ASSERT_LE(p2, c.n);
+    for (Index i = 0; i < p1; ++i) ASSERT_LT(data[i], lo);
+    for (Index i = p1; i < p2; ++i) {
+      ASSERT_GE(data[i], lo);
+      ASSERT_LT(data[i], hi);
+    }
+    for (Index i = p2; i < c.n; ++i) ASSERT_GE(data[i], hi);
+    ASSERT_EQ(Sorted(data), before);
+  }
+}
+
+TEST_P(KernelSweep, SplitAndMaterializeCollectsExactlyQualifying) {
+  const KernelCase c = GetParam();
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Value> data = MakeData(c, 3000 + trial);
+    const std::vector<Value> original = data;
+    Value qlo = rng.UniformValue(0, 1000);
+    Value qhi = rng.UniformValue(0, 1000);
+    if (qlo > qhi) std::swap(qlo, qhi);
+    const Value pivot =
+        data[static_cast<size_t>(rng.UniformIndex(0, c.n - 1))];
+    std::vector<Value> out;
+    KernelCounters counters;
+    const Index split = SplitAndMaterialize(data.data(), 0, c.n, qlo, qhi,
+                                            pivot, &out, &counters);
+    // Partition postcondition.
+    for (Index i = 0; i < split; ++i) ASSERT_LT(data[i], pivot);
+    for (Index i = split; i < c.n; ++i) ASSERT_GE(data[i], pivot);
+    ASSERT_EQ(Sorted(data), Sorted(original));
+    // Materialization: exactly the qualifying multiset, each tuple once.
+    std::vector<Value> expected;
+    for (Value v : original) {
+      if (qlo <= v && v < qhi) expected.push_back(v);
+    }
+    ASSERT_EQ(Sorted(out), Sorted(expected));
+  }
+}
+
+TEST_P(KernelSweep, PartialPartitionConvergesToCrackInTwo) {
+  const KernelCase c = GetParam();
+  Rng rng(105);
+  for (int64_t budget : {1, 3, 7, 1 << 20}) {
+    std::vector<Value> data = MakeData(c, 4000);
+    std::vector<Value> ref = data;
+    const Value pivot =
+        data[static_cast<size_t>(rng.UniformIndex(0, c.n - 1))];
+
+    KernelCounters ref_counters;
+    const Index ref_split =
+        CrackInTwo(ref.data(), 0, c.n, pivot, &ref_counters);
+
+    KernelCounters counters;
+    Index left = 0;
+    Index right = c.n - 1;
+    bool complete = false;
+    int steps = 0;
+    while (!complete) {
+      const auto r =
+          PartialPartition(data.data(), left, right, pivot, budget,
+                           &counters);
+      // Intermediate invariant: settled regions are correctly classified.
+      for (Index i = 0; i < r.left; ++i) ASSERT_LT(data[i], pivot);
+      for (Index i = r.right + 1; i < c.n; ++i) ASSERT_GE(data[i], pivot);
+      left = r.left;
+      right = r.right;
+      complete = r.complete;
+      ASSERT_LT(++steps, 10'000'000);
+    }
+    ASSERT_EQ(left, ref_split) << "budget=" << budget;
+    ASSERT_EQ(Sorted(data), Sorted(ref));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelSweep,
+    ::testing::Values(KernelCase{"random", 512, 0},
+                      KernelCase{"sorted", 512, 1},
+                      KernelCase{"reverse", 512, 2},
+                      KernelCase{"duplicates", 512, 3},
+                      KernelCase{"tiny", 3, 0}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return info.param.name;
+    });
+
+TEST(KernelTest, CrackInTwoEmptyRange) {
+  std::vector<Value> data = {1, 2, 3};
+  KernelCounters counters;
+  EXPECT_EQ(CrackInTwo(data.data(), 1, 1, 2, &counters), 1);
+  EXPECT_EQ(counters.touched, 0);
+}
+
+TEST(KernelTest, CrackInTwoPivotBelowAll) {
+  std::vector<Value> data = {5, 6, 7};
+  KernelCounters counters;
+  EXPECT_EQ(CrackInTwo(data.data(), 0, 3, 0, &counters), 0);
+}
+
+TEST(KernelTest, CrackInTwoPivotAboveAll) {
+  std::vector<Value> data = {5, 6, 7};
+  KernelCounters counters;
+  EXPECT_EQ(CrackInTwo(data.data(), 0, 3, 100, &counters), 3);
+}
+
+TEST(KernelTest, CrackInTwoSubrangeOnly) {
+  std::vector<Value> data = {100, 4, 9, 2, 7, 100};
+  KernelCounters counters;
+  const Index split = CrackInTwo(data.data(), 1, 5, 5, &counters);
+  EXPECT_EQ(data[0], 100);
+  EXPECT_EQ(data[5], 100);
+  EXPECT_EQ(split, 3);  // {4, 2} below, {9, 7} above
+  for (Index i = 1; i < split; ++i) EXPECT_LT(data[i], 5);
+  for (Index i = split; i < 5; ++i) EXPECT_GE(data[i], 5);
+}
+
+TEST(KernelTest, CrackInThreeEqualBoundsActsLikeCrackInTwo) {
+  std::vector<Value> data = {3, 1, 4, 1, 5, 9, 2, 6};
+  KernelCounters counters;
+  const auto [p1, p2] = CrackInThree(data.data(), 0, 8, 4, 4, &counters);
+  EXPECT_EQ(p1, p2);  // empty middle: no value satisfies 4 <= v < 4
+  for (Index i = 0; i < p1; ++i) EXPECT_LT(data[i], 4);
+  for (Index i = p2; i < 8; ++i) EXPECT_GE(data[i], 4);
+}
+
+TEST(KernelTest, SplitAndMaterializeEmptyPiece) {
+  std::vector<Value> data = {1, 2, 3};
+  std::vector<Value> out;
+  KernelCounters counters;
+  EXPECT_EQ(SplitAndMaterialize(data.data(), 2, 2, 0, 10, 2, &out,
+                                &counters),
+            2);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KernelTest, FilterIntoCountsTouched) {
+  std::vector<Value> data = {1, 5, 2, 8, 3};
+  std::vector<Value> out;
+  KernelCounters counters;
+  FilterInto(data.data(), 0, 5, 2, 6, &out, &counters);
+  EXPECT_EQ(counters.touched, 5);
+  EXPECT_EQ(Sorted(out), (std::vector<Value>{2, 3, 5}));
+}
+
+TEST(KernelTest, PartialPartitionZeroBudgetMakesNoSwaps) {
+  std::vector<Value> data = {9, 1, 8, 2};
+  KernelCounters counters;
+  const auto r = PartialPartition(data.data(), 0, 3, 5, 0, &counters);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(counters.swaps, 0);
+  EXPECT_EQ(data, (std::vector<Value>{9, 1, 8, 2}));
+}
+
+TEST(KernelTest, PartialPartitionAlreadyPartitionedCompletesWithoutSwaps) {
+  std::vector<Value> data = {1, 2, 8, 9};
+  KernelCounters counters;
+  const auto r = PartialPartition(data.data(), 0, 3, 5, 1, &counters);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.left, 2);
+  EXPECT_EQ(counters.swaps, 0);
+}
+
+TEST(KernelTest, PartialPartitionRespectsSwapBudget) {
+  // Alternating high/low forces one swap per pair.
+  std::vector<Value> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i % 2 == 0 ? 100 : 1);
+  KernelCounters counters;
+  const auto r = PartialPartition(data.data(), 0, 99, 50, 5, &counters);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(counters.swaps, 5);
+}
+
+}  // namespace
+}  // namespace scrack

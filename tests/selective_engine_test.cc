@@ -1,0 +1,175 @@
+// Behavior tests for the selective strategies (FiftyFifty, FlipCoin,
+// EveryX, ScrackMon, SizeThreshold) and the naive RkCrack baselines.
+#include <gtest/gtest.h>
+
+#include "cracking/random_inject_engine.h"
+#include "cracking/selective_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 29;
+  config.crack_threshold_values = 64;
+  return config;
+}
+
+TEST(SelectiveEngineTest, FiftyFiftyAlternatesDeterministically) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  SelectiveEngine engine(&base, TestConfig(), SelectivePolicy::kFiftyFifty);
+  // Query 0 (even): stochastic -> random pivot, materialization possible.
+  engine.SelectOrDie(4000, 4100);
+  EXPECT_EQ(engine.stats().random_pivots, 1);
+  // Query 1 (odd): original cracking -> cracks exactly on the bounds.
+  engine.SelectOrDie(6000, 6100);
+  EXPECT_EQ(engine.stats().random_pivots, 1);
+  EXPECT_TRUE(engine.column().index().HasCrack(6000));
+  EXPECT_TRUE(engine.column().index().HasCrack(6100));
+  // Query 2 (even): stochastic again.
+  engine.SelectOrDie(2000, 2100);
+  EXPECT_GE(engine.stats().random_pivots, 2);
+  EXPECT_FALSE(engine.column().index().HasCrack(2000));
+}
+
+TEST(SelectiveEngineTest, EveryXAppliesStochasticOnSchedule) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.every_x = 4;
+  SelectiveEngine engine(&base, config, SelectivePolicy::kEveryX);
+  int64_t pivots_after[8];
+  for (int i = 0; i < 8; ++i) {
+    const Value a = 1000 + 1000 * i;
+    engine.SelectOrDie(a, a + 10);
+    pivots_after[i] = engine.stats().random_pivots;
+  }
+  // Stochastic on queries 0 and 4 only.
+  EXPECT_GT(pivots_after[0], 0);
+  EXPECT_EQ(pivots_after[3], pivots_after[0]);
+  EXPECT_GT(pivots_after[4], pivots_after[3]);
+  EXPECT_EQ(pivots_after[7], pivots_after[4]);
+}
+
+TEST(SelectiveEngineTest, FlipCoinIsSeedDeterministic) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  SelectiveEngine a(&base, TestConfig(), SelectivePolicy::kFlipCoin);
+  SelectiveEngine b(&base, TestConfig(), SelectivePolicy::kFlipCoin);
+  for (int i = 0; i < 20; ++i) {
+    const Value lo = 100 * i;
+    EXPECT_EQ(a.SelectOrDie(lo, lo + 50).count(),
+              b.SelectOrDie(lo, lo + 50).count());
+  }
+  EXPECT_EQ(a.stats().random_pivots, b.stats().random_pivots);
+  EXPECT_EQ(a.stats().cracks, b.stats().cracks);
+}
+
+TEST(SelectiveEngineTest, FlipCoinMixesBothModes) {
+  const Column base = Column::UniquePermutation(50'000, 7);
+  SelectiveEngine engine(&base, TestConfig(), SelectivePolicy::kFlipCoin);
+  for (int i = 0; i < 40; ++i) {
+    const Value lo = 1000 * i;
+    engine.SelectOrDie(lo, lo + 100);
+  }
+  // With p=0.5 over 40 queries, both modes must have occurred.
+  EXPECT_GT(engine.stats().random_pivots, 0);
+  EXPECT_GT(engine.stats().cracks, engine.stats().random_pivots);
+}
+
+TEST(ScrackMonTest, ThresholdOneIsAlwaysStochastic) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.monitor_threshold = 1;
+  SelectiveEngine engine(&base, config, SelectivePolicy::kMonitor);
+  engine.SelectOrDie(4000, 4100);
+  engine.SelectOrDie(6000, 6100);
+  // Every crack decision was stochastic: no bound cracks anywhere.
+  EXPECT_FALSE(engine.column().index().HasCrack(4000));
+  EXPECT_FALSE(engine.column().index().HasCrack(6000));
+  EXPECT_GT(engine.stats().random_pivots, 0);
+}
+
+TEST(ScrackMonTest, HighThresholdStartsOriginal) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.monitor_threshold = 100;
+  SelectiveEngine engine(&base, config, SelectivePolicy::kMonitor);
+  engine.SelectOrDie(4000, 4100);
+  // Counter far from threshold: behaves like original cracking.
+  EXPECT_TRUE(engine.column().index().HasCrack(4000));
+  EXPECT_TRUE(engine.column().index().HasCrack(4100));
+  EXPECT_EQ(engine.stats().random_pivots, 0);
+}
+
+TEST(ScrackMonTest, CounterTriggersStochasticAfterThresholdCracks) {
+  const Column base = Column::UniquePermutation(100'000, 7);
+  EngineConfig config = TestConfig();
+  config.monitor_threshold = 3;
+  SelectiveEngine engine(&base, config, SelectivePolicy::kMonitor);
+  // Sequential pattern keeps cracking the same big tail piece; after enough
+  // cracks its counter trips and a stochastic action fires.
+  for (int i = 0; i < 12; ++i) {
+    const Value lo = 1000 * i;
+    engine.SelectOrDie(lo, lo + 10);
+  }
+  EXPECT_GT(engine.stats().random_pivots, 0);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(SizeThresholdTest, BigPiecesStochasticSmallPiecesOriginal) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.crack_threshold_values = 1000;
+  SelectiveEngine engine(&base, config, SelectivePolicy::kSizeThreshold);
+  engine.SelectOrDie(5000, 5010);  // whole column: stochastic
+  EXPECT_GT(engine.stats().random_pivots, 0);
+  EXPECT_FALSE(engine.column().index().HasCrack(5000));
+  // Keep querying the same narrow area; once pieces shrink below the
+  // threshold the engine cracks on bounds again.
+  for (int i = 0; i < 50; ++i) {
+    engine.SelectOrDie(5000, 5010);
+  }
+  EXPECT_TRUE(engine.column().index().HasCrack(5000));
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+// --------------------------------------------------------------- RkCrack --
+
+TEST(RandomInjectTest, InjectsOneRandomQueryPerPeriod) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.inject_period = 2;
+  RandomInjectEngine engine(&base, config);
+  EXPECT_EQ(engine.name(), "r2crack");
+  for (int i = 0; i < 8; ++i) {
+    const Value lo = 1000 * (i % 9);
+    engine.SelectOrDie(lo, lo + 10);
+  }
+  // 8 user queries, period 2 -> 4 forced random queries.
+  EXPECT_EQ(engine.stats().random_pivots, 4);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(RandomInjectTest, ForcedQueriesAddCracksBeyondUserBounds) {
+  const Column base = Column::UniquePermutation(100'000, 7);
+  EngineConfig config = TestConfig();
+  config.inject_period = 1;
+  RandomInjectEngine engine(&base, config);
+  engine.SelectOrDie(10, 20);
+  // User query cracks 2 bounds; forced random query cracks up to 2 more.
+  EXPECT_GT(engine.stats().cracks, 2);
+}
+
+TEST(RandomInjectTest, ResultsUnaffectedByInjection) {
+  const Column base = Column::UniquePermutation(10'000, 7);
+  EngineConfig config = TestConfig();
+  config.inject_period = 1;
+  RandomInjectEngine engine(&base, config);
+  for (int i = 0; i < 20; ++i) {
+    const Value lo = 400 * i;
+    EXPECT_EQ(engine.SelectOrDie(lo, lo + 100).count(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,265 @@
+// Tests for sideways cracking: pair kernels, CrackerMap, SidewaysCracker.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sideways/cracker_map.h"
+#include "sideways/kernel_pairs.h"
+#include "sideways/sideways_cracker.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+// Reference: tail values whose head is in [lo, hi).
+std::vector<Value> ReferenceProject(const std::vector<Value>& head,
+                                    const std::vector<Value>& tail,
+                                    Value lo, Value hi) {
+  std::vector<Value> out;
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (lo <= head[i] && head[i] < hi) out.push_back(tail[i]);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- pair kernels --
+
+// Pairs stay glued through any reorganization: (head, tail) multiset of
+// pairs must be invariant.
+std::vector<std::pair<Value, Value>> Pairs(const std::vector<Value>& head,
+                                           const std::vector<Value>& tail) {
+  std::vector<std::pair<Value, Value>> out;
+  for (size_t i = 0; i < head.size(); ++i) out.emplace_back(head[i], tail[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PairKernelTest, CrackInTwoKeepsPairsGlued) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Value> head(300), tail(300);
+    for (size_t i = 0; i < head.size(); ++i) {
+      head[i] = rng.UniformValue(0, 500);
+      tail[i] = 10'000 + static_cast<Value>(i);
+    }
+    const auto before = Pairs(head, tail);
+    KernelCounters counters;
+    const Value pivot = rng.UniformValue(0, 500);
+    const Index split = CrackInTwoPairs(head.data(), tail.data(), 0, 300,
+                                        pivot, &counters);
+    for (Index i = 0; i < split; ++i) ASSERT_LT(head[i], pivot);
+    for (Index i = split; i < 300; ++i) ASSERT_GE(head[i], pivot);
+    ASSERT_EQ(Pairs(head, tail), before);
+  }
+}
+
+TEST(PairKernelTest, CrackInThreeKeepsPairsGlued) {
+  Rng rng(5);
+  std::vector<Value> head(400), tail(400);
+  for (size_t i = 0; i < head.size(); ++i) {
+    head[i] = rng.UniformValue(0, 100);
+    tail[i] = -static_cast<Value>(i);
+  }
+  const auto before = Pairs(head, tail);
+  KernelCounters counters;
+  const auto [p1, p2] =
+      CrackInThreePairs(head.data(), tail.data(), 0, 400, 30, 70, &counters);
+  for (Index i = 0; i < p1; ++i) ASSERT_LT(head[i], 30);
+  for (Index i = p1; i < p2; ++i) {
+    ASSERT_GE(head[i], 30);
+    ASSERT_LT(head[i], 70);
+  }
+  for (Index i = p2; i < 400; ++i) ASSERT_GE(head[i], 70);
+  ASSERT_EQ(Pairs(head, tail), before);
+}
+
+TEST(PairKernelTest, SplitAndMaterializeCollectsTailValues) {
+  Rng rng(7);
+  std::vector<Value> head(300), tail(300);
+  for (size_t i = 0; i < head.size(); ++i) {
+    head[i] = rng.UniformValue(0, 100);
+    tail[i] = 1000 + head[i] * 3;  // recomputable from head
+  }
+  const std::vector<Value> orig_head = head;
+  const std::vector<Value> orig_tail = tail;
+  const auto before = Pairs(head, tail);
+  std::vector<Value> out;
+  KernelCounters counters;
+  const Value pivot = head[static_cast<size_t>(rng.UniformIndex(0, 299))];
+  SplitAndMaterializePairs(head.data(), tail.data(), 0, 300, 20, 60, pivot,
+                           &out, &counters);
+  ASSERT_EQ(Pairs(head, tail), before);
+  ASSERT_EQ(Sorted(out),
+            Sorted(ReferenceProject(orig_head, orig_tail, 20, 60)));
+}
+
+// ------------------------------------------------------------ CrackerMap --
+
+class CrackerMapModes : public ::testing::TestWithParam<CrackerMap::Mode> {};
+
+TEST_P(CrackerMapModes, ProjectionMatchesReference) {
+  const Index n = 1500;
+  const Column head = Column::UniquePermutation(n, 11);
+  // tail[i] derived from position so it is a genuine second attribute.
+  std::vector<Value> tail_values(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    tail_values[static_cast<size_t>(i)] = 7 * head[i] + 1;
+  }
+  const Column tail(std::move(tail_values));
+
+  EngineConfig config;
+  config.seed = 3;
+  config.crack_threshold_values = 64;
+  CrackerMap map(&head, &tail, config, GetParam());
+
+  Rng rng(13);
+  for (int i = 0; i < 120; ++i) {
+    const Value a = rng.UniformValue(0, n);
+    const Value b = a + 1 + rng.UniformValue(0, 100);
+    QueryResult result;
+    ASSERT_TRUE(map.Select(a, b, &result).ok());
+    const auto expected =
+        ReferenceProject(head.values(), tail.values(), a, b);
+    ASSERT_EQ(result.count(), static_cast<Index>(expected.size()));
+    ASSERT_EQ(Sorted(result.Collect()), Sorted(expected));
+    ASSERT_TRUE(map.Validate().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CrackerMapModes,
+                         ::testing::Values(CrackerMap::Mode::kCrack,
+                                           CrackerMap::Mode::kDd1r,
+                                           CrackerMap::Mode::kMdd1r),
+                         [](const ::testing::TestParamInfo<CrackerMap::Mode>&
+                                info) {
+                           switch (info.param) {
+                             case CrackerMap::Mode::kCrack: return "crack";
+                             case CrackerMap::Mode::kDd1r: return "dd1r";
+                             case CrackerMap::Mode::kMdd1r: return "mdd1r";
+                           }
+                           return "unknown";
+                         });
+
+TEST(CrackerMapTest, CrackModeReturnsViews) {
+  const Column head = Column::UniquePermutation(1000, 1);
+  const Column tail = Column::UniquePermutation(1000, 2);
+  EngineConfig config;
+  CrackerMap map(&head, &tail, config, CrackerMap::Mode::kCrack);
+  QueryResult result;
+  ASSERT_TRUE(map.Select(100, 300, &result).ok());
+  EXPECT_EQ(result.count(), 200);
+  EXPECT_FALSE(result.materialized());
+}
+
+TEST(CrackerMapTest, LazyInitOnFirstSelect) {
+  const Column head = Column::UniquePermutation(100, 1);
+  const Column tail = Column::UniquePermutation(100, 2);
+  EngineConfig config;
+  CrackerMap map(&head, &tail, config, CrackerMap::Mode::kCrack);
+  EXPECT_FALSE(map.initialized());
+  QueryResult result;
+  ASSERT_TRUE(map.Select(0, 10, &result).ok());
+  EXPECT_TRUE(map.initialized());
+  EXPECT_GE(map.stats().tuples_touched, 200);  // both attributes copied
+}
+
+TEST(CrackerMapTest, InvalidRangeRejected) {
+  const Column head = Column::UniquePermutation(10, 1);
+  const Column tail = Column::UniquePermutation(10, 2);
+  EngineConfig config;
+  CrackerMap map(&head, &tail, config, CrackerMap::Mode::kCrack);
+  QueryResult result;
+  EXPECT_EQ(map.Select(5, 2, &result).code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- SidewaysCracker --
+
+Table MakeThreeColumnTable(Index n) {
+  Table table("photoobj");
+  SCRACK_CHECK(table.AddColumn("ra", Column::UniquePermutation(n, 1)).ok());
+  std::vector<Value> mag(static_cast<size_t>(n)), dec(static_cast<size_t>(n));
+  const Column* ra = table.GetColumn("ra");
+  for (Index i = 0; i < n; ++i) {
+    mag[static_cast<size_t>(i)] = (*ra)[i] * 2;
+    dec[static_cast<size_t>(i)] = -(*ra)[i];
+  }
+  SCRACK_CHECK(table.AddColumn("mag", Column(std::move(mag))).ok());
+  SCRACK_CHECK(table.AddColumn("dec", Column(std::move(dec))).ok());
+  return table;
+}
+
+TEST(SidewaysCrackerTest, MapsCreatedOnDemand) {
+  const Table table = MakeThreeColumnTable(500);
+  EngineConfig config;
+  SidewaysCracker cracker(&table, "ra", config, CrackerMap::Mode::kCrack);
+  EXPECT_EQ(cracker.num_live_maps(), 0u);
+
+  QueryResult r1;
+  ASSERT_TRUE(cracker.Project("mag", 100, 200, &r1).ok());
+  EXPECT_EQ(cracker.num_live_maps(), 1u);
+  EXPECT_EQ(r1.count(), 100);
+  // mag = 2*ra, so the sum is exactly 2 * sum(ra in [100,200)).
+  int64_t expected = 0;
+  for (Value v = 100; v < 200; ++v) expected += 2 * v;
+  EXPECT_EQ(r1.Sum(), expected);
+
+  QueryResult r2;
+  ASSERT_TRUE(cracker.Project("dec", 100, 200, &r2).ok());
+  EXPECT_EQ(cracker.num_live_maps(), 2u);
+  EXPECT_EQ(r2.Sum(), -expected / 2);
+  EXPECT_TRUE(cracker.Validate().ok());
+}
+
+TEST(SidewaysCrackerTest, UnknownColumnsRejected) {
+  const Table table = MakeThreeColumnTable(100);
+  EngineConfig config;
+  SidewaysCracker cracker(&table, "ra", config, CrackerMap::Mode::kCrack);
+  QueryResult result;
+  EXPECT_EQ(cracker.Project("nope", 0, 10, &result).code(),
+            StatusCode::kNotFound);
+  SidewaysCracker bad_head(&table, "nope", config, CrackerMap::Mode::kCrack);
+  EXPECT_EQ(bad_head.Project("mag", 0, 10, &result).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SidewaysCrackerTest, StorageBudgetEvictsLru) {
+  const Index n = 2000;
+  const Table table = MakeThreeColumnTable(n);
+  EngineConfig config;
+  // Budget fits roughly one map (2 arrays x n x 8 bytes = 32KB per map).
+  SidewaysCracker cracker(&table, "ra", config, CrackerMap::Mode::kCrack,
+                          /*budget_bytes=*/40'000);
+  QueryResult r;
+  ASSERT_TRUE(cracker.Project("mag", 0, 100, &r).ok());
+  QueryResult r2;
+  ASSERT_TRUE(cracker.Project("dec", 0, 100, &r2).ok());
+  // The mag map must have been evicted to stay within budget.
+  EXPECT_EQ(cracker.num_live_maps(), 1u);
+  EXPECT_EQ(cracker.MapStats("mag"), nullptr);
+  ASSERT_NE(cracker.MapStats("dec"), nullptr);
+
+  // Touching mag again rebuilds (and recounts) it.
+  QueryResult r3;
+  ASSERT_TRUE(cracker.Project("mag", 0, 100, &r3).ok());
+  EXPECT_EQ(r3.count(), 100);
+  EXPECT_EQ(cracker.maps_created(), 3);
+}
+
+TEST(SidewaysCrackerTest, RepeatedProjectionsGetCheaper) {
+  const Table table = MakeThreeColumnTable(5000);
+  EngineConfig config;
+  SidewaysCracker cracker(&table, "ra", config, CrackerMap::Mode::kDd1r);
+  QueryResult r1;
+  ASSERT_TRUE(cracker.Project("mag", 2000, 2100, &r1).ok());
+  const int64_t first = cracker.MapStats("mag")->tuples_touched;
+  QueryResult r2;
+  ASSERT_TRUE(cracker.Project("mag", 2000, 2100, &r2).ok());
+  EXPECT_EQ(cracker.MapStats("mag")->tuples_touched, first);  // exact rematch
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,103 @@
+// Cross-engine invariants on the EngineStats accounting — the counters the
+// harness and the paper's cost analysis rely on must be internally
+// consistent for every engine on every workload.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+class StatsSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(StatsSweep, CountersAreConsistent) {
+  const auto& [spec, workload_name] = GetParam();
+  const Index n = 5000;
+  const Column base = Column::UniquePermutation(n, 31);
+
+  WorkloadKind kind;
+  ASSERT_TRUE(ParseWorkloadKind(workload_name, &kind));
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = 100;
+  params.seed = 37;
+
+  EngineConfig config;
+  config.seed = 41;
+  config.crack_threshold_values = 64;
+  config.progressive_min_values = 256;
+  config.hybrid_partition_values = 512;
+  auto engine = CreateEngineOrDie(spec, &base, config);
+
+  int64_t prev_queries = 0;
+  int64_t prev_touched = 0;
+  for (const RangeQuery& q : MakeWorkload(kind, params)) {
+    QueryResult result;
+    ASSERT_TRUE(engine->Select(q.low, q.high, &result).ok());
+    const EngineStats& s = engine->stats();
+    // Monotone counters.
+    ASSERT_EQ(s.queries, prev_queries + 1);
+    ASSERT_GE(s.tuples_touched, prev_touched);
+    prev_queries = s.queries;
+    prev_touched = s.tuples_touched;
+    // Non-negative everything.
+    ASSERT_GE(s.swaps, 0);
+    ASSERT_GE(s.cracks, 0);
+    ASSERT_GE(s.materialized, 0);
+    ASSERT_GE(s.random_pivots, 0);
+  }
+  const EngineStats& s = engine->stats();
+  // A swap moves two elements that must have been touched; over a whole
+  // run, swaps can never exceed total touches.
+  EXPECT_LE(s.swaps, s.tuples_touched);
+  // Materialized tuples were produced by queries; bounded by touches plus
+  // result sizes (loose but catches unit errors like counting bytes).
+  EXPECT_LE(s.materialized, 2 * s.tuples_touched + 1);
+}
+
+const std::string kSpecs[] = {
+    "scan", "sort",  "crack",  "ddc",       "dd1r",
+    "mdd1r", "pmdd1r:10", "scrackmon:2", "aicc", "aiss",
+};
+const std::string kWorkloads[] = {"Random", "Sequential", "ZoomInAlt"};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, StatsSweep,
+    ::testing::Combine(::testing::ValuesIn(kSpecs),
+                       ::testing::ValuesIn(kWorkloads)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The touched counter drives the harness's per-query deltas; verify the
+// deltas reconstruct the total.
+TEST(StatsTest, HarnessDeltasSumToEngineTotal) {
+  const Column base = Column::UniquePermutation(2000, 3);
+  EngineConfig config;
+  config.seed = 5;
+  auto engine = CreateEngineOrDie("crack", &base, config);
+  WorkloadParams params;
+  params.n = 2000;
+  params.num_queries = 50;
+  params.seed = 7;
+  const RunResult run = RunQueries(
+      engine.get(), MakeWorkload(WorkloadKind::kRandom, params));
+  EXPECT_EQ(run.CumulativeTouched(), engine->stats().tuples_touched);
+}
+
+}  // namespace
+}  // namespace scrack

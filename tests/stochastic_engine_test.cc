@@ -1,0 +1,242 @@
+// Behavior tests for the stochastic engines: DDC/DDR/DD1C/DD1R split
+// discipline, MDD1R materialization rules, progressive budget mechanics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cracking/stochastic_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 23;
+  config.crack_threshold_values = 128;
+  config.progressive_min_values = 512;
+  return config;
+}
+
+// ------------------------------------------------------------- DDC / DDR --
+
+TEST(DdcEngineTest, FirstQueryLeavesOnlySmallPiecesAroundBounds) {
+  const Column base = Column::UniquePermutation(10'000, 3);
+  DataDrivenEngine engine(&base, TestConfig(), /*center_pivot=*/true,
+                          /*recursive=*/true);
+  engine.SelectOrDie(5000, 5010);
+  // DDC recursively halves on the way to each bound: the pieces holding the
+  // bounds must now be at most the threshold.
+  const Piece at_low = engine.column().index().FindPiece(5000);
+  EXPECT_LE(at_low.size(), 128 + 1);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(DdcEngineTest, MedianSplitsAreBalanced) {
+  const Column base = Column::UniquePermutation(8192, 3);
+  EngineConfig config = TestConfig();
+  config.crack_threshold_values = 2048;
+  DataDrivenEngine engine(&base, config, /*center_pivot=*/true,
+                          /*recursive=*/true);
+  engine.SelectOrDie(1, 2);
+  // The first DDC split must be the exact median: a crack at value 4096
+  // with position 4096 (the data is a permutation of [0, 8192)).
+  EXPECT_TRUE(engine.column().index().HasCrack(4096));
+  EXPECT_EQ(engine.column().index().CrackPosition(4096), 4096);
+}
+
+TEST(DdrEngineTest, RandomPivotsAreSeedDeterministic) {
+  const Column base = Column::UniquePermutation(4096, 3);
+  DataDrivenEngine a(&base, TestConfig(), false, true);
+  DataDrivenEngine b(&base, TestConfig(), false, true);
+  a.SelectOrDie(100, 200);
+  b.SelectOrDie(100, 200);
+  EXPECT_EQ(a.stats().cracks, b.stats().cracks);
+  EXPECT_EQ(a.stats().tuples_touched, b.stats().tuples_touched);
+  EXPECT_EQ(a.column().index().num_cracks(), b.column().index().num_cracks());
+}
+
+TEST(Dd1cEngineTest, SingleAuxiliaryCrackPerBound) {
+  const Column base = Column::UniquePermutation(10'000, 3);
+  DataDrivenEngine engine(&base, TestConfig(), /*center_pivot=*/true,
+                          /*recursive=*/false);
+  engine.SelectOrDie(5000, 5010);
+  // Per bound: at most one median crack + the bound crack. First query has
+  // both bounds in one piece: median crack, then crack at 5000 in one half,
+  // then possibly another median for the second bound's piece + crack.
+  EXPECT_LE(engine.stats().cracks, 4);
+  EXPECT_GE(engine.stats().cracks, 3);
+}
+
+TEST(Dd1rEngineTest, CheaperFirstQueryThanRecursiveDdrOnAverage) {
+  // Individual seeds can go either way (the engines draw different pivot
+  // sequences); the paper's claim is about expected initialization cost
+  // (§4: DD1R reduces the overhead of its recursive sibling).
+  const Column base = Column::UniquePermutation(200'000, 3);
+  int64_t ddr_total = 0;
+  int64_t dd1r_total = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    EngineConfig config = TestConfig();
+    config.seed = 1000 + seed;
+    DataDrivenEngine ddr(&base, config, false, true);
+    DataDrivenEngine dd1r(&base, config, false, false);
+    ddr.SelectOrDie(100'000, 100'010);
+    dd1r.SelectOrDie(100'000, 100'010);
+    ddr_total += ddr.stats().tuples_touched;
+    dd1r_total += dd1r.stats().tuples_touched;
+  }
+  EXPECT_LT(dd1r_total, ddr_total);
+}
+
+TEST(DataDrivenEngineTest, NamesReflectVariant) {
+  const Column base = Column::UniquePermutation(16, 3);
+  const EngineConfig config = TestConfig();
+  EXPECT_EQ(DataDrivenEngine(&base, config, true, true).name(), "ddc");
+  EXPECT_EQ(DataDrivenEngine(&base, config, false, true).name(), "ddr");
+  EXPECT_EQ(DataDrivenEngine(&base, config, true, false).name(), "dd1c");
+  EXPECT_EQ(DataDrivenEngine(&base, config, false, false).name(), "dd1r");
+}
+
+TEST(DataDrivenEngineTest, SmallPieceSkipsAuxiliaryCrack) {
+  // Piece already below threshold: behaves like plain cracking.
+  const Column base = Column::UniquePermutation(64, 3);
+  DataDrivenEngine engine(&base, TestConfig(), false, true);
+  engine.SelectOrDie(10, 20);
+  EXPECT_EQ(engine.stats().random_pivots, 0);
+}
+
+TEST(DataDrivenEngineTest, AllEqualColumnTerminates) {
+  const Column base(std::vector<Value>(5000, 7));
+  DataDrivenEngine ddr(&base, TestConfig(), false, true);
+  EXPECT_EQ(ddr.SelectOrDie(0, 100).count(), 5000);
+  EXPECT_EQ(ddr.SelectOrDie(7, 8).count(), 5000);
+  EXPECT_EQ(ddr.SelectOrDie(8, 9).count(), 0);
+  EXPECT_TRUE(ddr.Validate().ok());
+  DataDrivenEngine ddc(&base, TestConfig(), true, true);
+  EXPECT_EQ(ddc.SelectOrDie(7, 8).count(), 5000);
+  EXPECT_TRUE(ddc.Validate().ok());
+}
+
+// ----------------------------------------------------------------- MDD1R --
+
+TEST(Mdd1rEngineTest, MaterializesEndPiecesViewsMiddle) {
+  const Column base = Column::UniquePermutation(10'000, 3);
+  Mdd1rEngine engine(&base, TestConfig());
+  engine.SelectOrDie(2000, 8000);
+  const int64_t first_mat = engine.stats().materialized;
+  EXPECT_GT(first_mat, 0);
+  // Second, wider query: end pieces materialize again (no query-bound
+  // cracks are ever added), middle comes as a view.
+  const QueryResult result = engine.SelectOrDie(1000, 9000);
+  EXPECT_EQ(result.count(), 8000);
+  EXPECT_TRUE(result.materialized());
+  EXPECT_GT(engine.stats().materialized, first_mat);
+}
+
+TEST(Mdd1rEngineTest, NeverCracksOnQueryBounds) {
+  const Column base = Column::UniquePermutation(10'000, 3);
+  Mdd1rEngine engine(&base, TestConfig());
+  engine.SelectOrDie(2000, 8000);
+  engine.SelectOrDie(3000, 7000);
+  EXPECT_FALSE(engine.column().index().HasCrack(2000));
+  EXPECT_FALSE(engine.column().index().HasCrack(8000));
+  EXPECT_FALSE(engine.column().index().HasCrack(3000));
+  EXPECT_FALSE(engine.column().index().HasCrack(7000));
+  // But random cracks exist.
+  EXPECT_GT(engine.column().index().num_cracks(), 0u);
+  EXPECT_EQ(engine.stats().random_pivots, engine.stats().cracks);
+}
+
+TEST(Mdd1rEngineTest, PieceCountGrowsOnePerTouchedEndPiece) {
+  const Column base = Column::UniquePermutation(10'000, 3);
+  Mdd1rEngine engine(&base, TestConfig());
+  engine.SelectOrDie(5000, 5010);  // both bounds in one piece: 1 crack
+  EXPECT_EQ(engine.stats().cracks, 1);
+  engine.SelectOrDie(2000, 9000);  // two end pieces: up to 2 cracks
+  EXPECT_LE(engine.stats().cracks, 3);
+}
+
+TEST(Mdd1rEngineTest, ExactPieceMatchAvoidsMaterialization) {
+  const Column base = Column::UniquePermutation(1000, 3);
+  Mdd1rEngine engine(&base, TestConfig());
+  // Whole-domain query: bounds hit the column ends; nothing to reorganize.
+  const QueryResult result = engine.SelectOrDie(0, 1000);
+  EXPECT_EQ(result.count(), 1000);
+  EXPECT_FALSE(result.materialized());
+  EXPECT_EQ(engine.stats().materialized, 0);
+}
+
+// ----------------------------------------------------- Progressive PMDD1R --
+
+TEST(ProgressiveEngineTest, SwapBudgetBoundsPerQuerySwaps) {
+  const Column base = Column::UniquePermutation(100'000, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_budget = 0.01;  // P1%
+  ProgressiveEngine engine(&base, config);
+  engine.SelectOrDie(50'000, 50'010);
+  // One query may swap at most ~1% of each touched piece (the whole column
+  // here) plus the (possible) MDD1R fallback on small pieces — none yet.
+  EXPECT_LE(engine.stats().swaps, 100'000 / 100 + 2);
+}
+
+TEST(ProgressiveEngineTest, RepeatedQueriesCompleteTheCrack) {
+  const Column base = Column::UniquePermutation(20'000, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_budget = 0.10;
+  config.progressive_min_values = 1000;
+  ProgressiveEngine engine(&base, config);
+  // Hammer the same piece: the pending crack must finish and register.
+  for (int i = 0; i < 30; ++i) {
+    engine.SelectOrDie(10'000, 10'010);
+  }
+  EXPECT_GT(engine.column().index().num_cracks(), 0u);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(ProgressiveEngineTest, AnswersStayCorrectWhileCrackInFlight) {
+  const Column base = Column::UniquePermutation(50'000, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_budget = 0.01;
+  ProgressiveEngine engine(&base, config);
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult result = engine.SelectOrDie(1000 * i, 1000 * i + 500);
+    EXPECT_EQ(result.count(), 500) << "query " << i;
+    EXPECT_TRUE(engine.Validate().ok());
+  }
+}
+
+TEST(ProgressiveEngineTest, SmallPiecesFallBackToMdd1r) {
+  const Column base = Column::UniquePermutation(400, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_min_values = 512;  // column is below the L2 threshold
+  ProgressiveEngine engine(&base, config);
+  engine.SelectOrDie(100, 200);
+  // Full MDD1R path: a crack must have been registered immediately.
+  EXPECT_EQ(engine.stats().cracks, 1);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(ProgressiveEngineTest, NameIncludesBudget) {
+  const Column base = Column::UniquePermutation(16, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_budget = 0.10;
+  EXPECT_EQ(ProgressiveEngine(&base, config).name(), "pmdd1r(10%)");
+}
+
+TEST(ProgressiveEngineTest, FullBudgetMatchesMdd1rCrackCount) {
+  const Column base = Column::UniquePermutation(5000, 3);
+  EngineConfig config = TestConfig();
+  config.progressive_budget = 1.0;  // P100% == MDD1R (up to pass structure)
+  config.progressive_min_values = 100;
+  ProgressiveEngine p100(&base, config);
+  Mdd1rEngine mdd1r(&base, config);
+  for (int i = 0; i < 20; ++i) {
+    const Value a = (i * 211) % 4900;
+    EXPECT_EQ(p100.SelectOrDie(a, a + 100).count(),
+              mdd1r.SelectOrDie(a, a + 100).count());
+  }
+  EXPECT_TRUE(p100.Validate().ok());
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,223 @@
+// Tests for src/storage: Column, QueryResult, PendingUpdates, Table.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "storage/column.h"
+#include "storage/pending_updates.h"
+#include "storage/query_result.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+// ---------------------------------------------------------------- Column --
+
+TEST(ColumnTest, EmptyColumn) {
+  Column column;
+  EXPECT_EQ(column.size(), 0);
+  EXPECT_TRUE(column.empty());
+  Value lo, hi;
+  EXPECT_EQ(column.MinMax(&lo, &hi).code(), StatusCode::kNotFound);
+}
+
+TEST(ColumnTest, UniquePermutationContainsAllValues) {
+  const Column column = Column::UniquePermutation(1000, 5);
+  std::set<Value> seen(column.values().begin(), column.values().end());
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 999);
+}
+
+TEST(ColumnTest, UniquePermutationIsDeterministicPerSeed) {
+  const Column a = Column::UniquePermutation(500, 9);
+  const Column b = Column::UniquePermutation(500, 9);
+  const Column c = Column::UniquePermutation(500, 10);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(ColumnTest, UniquePermutationIsShuffled) {
+  const Column column = Column::UniquePermutation(1000, 5);
+  // Identity permutation would have every element in place.
+  int in_place = 0;
+  for (Index i = 0; i < column.size(); ++i) {
+    if (column[i] == i) ++in_place;
+  }
+  EXPECT_LT(in_place, 50);
+}
+
+TEST(ColumnTest, UniformRandomWithinBounds) {
+  const Column column = Column::UniformRandom(2000, -50, 50, 3);
+  for (Index i = 0; i < column.size(); ++i) {
+    EXPECT_GE(column[i], -50);
+    EXPECT_LT(column[i], 50);
+  }
+}
+
+TEST(ColumnTest, MinMax) {
+  Column column(std::vector<Value>{5, -2, 9, 3});
+  Value lo = 0, hi = 0;
+  ASSERT_TRUE(column.MinMax(&lo, &hi).ok());
+  EXPECT_EQ(lo, -2);
+  EXPECT_EQ(hi, 9);
+  ASSERT_TRUE(column.MinMax(nullptr, nullptr).ok());  // out-params optional
+}
+
+TEST(ColumnTest, AppendAndPopBack) {
+  Column column;
+  column.Append(1);
+  column.Append(2);
+  EXPECT_EQ(column.size(), 2);
+  EXPECT_EQ(column.PopBack(), 2);
+  EXPECT_EQ(column.size(), 1);
+}
+
+// ----------------------------------------------------------- QueryResult --
+
+TEST(QueryResultTest, EmptyResult) {
+  QueryResult result;
+  EXPECT_EQ(result.count(), 0);
+  EXPECT_EQ(result.Sum(), 0);
+  EXPECT_EQ(result.num_segments(), 0u);
+  EXPECT_FALSE(result.materialized());
+  EXPECT_TRUE(result.Collect().empty());
+}
+
+TEST(QueryResultTest, ViewSegments) {
+  const std::vector<Value> data = {1, 2, 3, 4, 5};
+  QueryResult result;
+  result.AddView(data.data(), 2);
+  result.AddView(data.data() + 3, 2);
+  result.AddView(data.data(), 0);  // ignored
+  EXPECT_EQ(result.count(), 4);
+  EXPECT_EQ(result.Sum(), 1 + 2 + 4 + 5);
+  EXPECT_EQ(result.num_segments(), 2u);
+  EXPECT_FALSE(result.materialized());
+  EXPECT_EQ(result.Collect(), (std::vector<Value>{1, 2, 4, 5}));
+}
+
+TEST(QueryResultTest, OwnedSegments) {
+  QueryResult result;
+  result.AddOwned({7, 8});
+  result.AddOwned({});  // ignored
+  result.AddOwned({9});
+  EXPECT_EQ(result.count(), 3);
+  EXPECT_EQ(result.Sum(), 24);
+  EXPECT_TRUE(result.materialized());
+  EXPECT_EQ(result.num_segments(), 2u);
+}
+
+TEST(QueryResultTest, OwnedPointersSurviveMoreAdds) {
+  // Adding many owned buffers must not invalidate earlier segments.
+  QueryResult result;
+  for (Value v = 0; v < 100; ++v) result.AddOwned({v});
+  EXPECT_EQ(result.count(), 100);
+  EXPECT_EQ(result.Sum(), 99 * 100 / 2);
+  const auto all = result.Collect();
+  for (Value v = 0; v < 100; ++v) EXPECT_EQ(all[static_cast<size_t>(v)], v);
+}
+
+TEST(QueryResultTest, MixedViewAndOwned) {
+  const std::vector<Value> data = {10, 20};
+  QueryResult result;
+  result.AddOwned({1});
+  result.AddView(data.data(), 2);
+  EXPECT_EQ(result.count(), 3);
+  EXPECT_EQ(result.Sum(), 31);
+  EXPECT_TRUE(result.materialized());
+}
+
+TEST(QueryResultTest, MoveTransfersSegments) {
+  QueryResult a;
+  a.AddOwned({1, 2, 3});
+  QueryResult b = std::move(a);
+  EXPECT_EQ(b.count(), 3);
+  EXPECT_EQ(b.Sum(), 6);
+}
+
+// -------------------------------------------------------- PendingUpdates --
+
+TEST(PendingUpdatesTest, StageAndCount) {
+  PendingUpdates pending;
+  EXPECT_TRUE(pending.empty());
+  pending.StageInsert(5);
+  pending.StageInsert(15);
+  pending.StageDelete(7);
+  EXPECT_EQ(pending.num_pending_inserts(), 2);
+  EXPECT_EQ(pending.num_pending_deletes(), 1);
+  EXPECT_FALSE(pending.empty());
+}
+
+TEST(PendingUpdatesTest, IntersectsRange) {
+  PendingUpdates pending;
+  pending.StageInsert(10);
+  EXPECT_TRUE(pending.IntersectsRange(5, 15));
+  EXPECT_TRUE(pending.IntersectsRange(10, 11));
+  EXPECT_FALSE(pending.IntersectsRange(11, 20));
+  EXPECT_FALSE(pending.IntersectsRange(0, 10));  // half-open upper bound
+  pending.StageDelete(3);
+  EXPECT_TRUE(pending.IntersectsRange(0, 4));
+}
+
+TEST(PendingUpdatesTest, TakeInsertsInRemovesExactlyMatching) {
+  PendingUpdates pending;
+  for (Value v : {1, 5, 10, 15, 20}) pending.StageInsert(v);
+  const auto taken = pending.TakeInsertsIn(5, 16);
+  EXPECT_EQ(Sorted(taken), (std::vector<Value>{5, 10, 15}));
+  EXPECT_EQ(pending.num_pending_inserts(), 2);
+  EXPECT_EQ(Sorted(pending.inserts()), (std::vector<Value>{1, 20}));
+}
+
+TEST(PendingUpdatesTest, TakeDeletesIn) {
+  PendingUpdates pending;
+  for (Value v : {2, 4, 6}) pending.StageDelete(v);
+  const auto taken = pending.TakeDeletesIn(3, 7);
+  EXPECT_EQ(Sorted(taken), (std::vector<Value>{4, 6}));
+  EXPECT_EQ(pending.num_pending_deletes(), 1);
+}
+
+TEST(PendingUpdatesTest, DuplicateValuesAllTaken) {
+  PendingUpdates pending;
+  pending.StageInsert(5);
+  pending.StageInsert(5);
+  const auto taken = pending.TakeInsertsIn(5, 6);
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_TRUE(pending.empty());
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, AddAndGetColumns) {
+  Table table("lineitem");
+  EXPECT_EQ(table.name(), "lineitem");
+  ASSERT_TRUE(table.AddColumn("a", Column({1, 2, 3})).ok());
+  ASSERT_TRUE(table.AddColumn("b", Column({4, 5, 6})).ok());
+  EXPECT_EQ(table.num_rows(), 3);
+  EXPECT_EQ(table.num_columns(), 2u);
+  ASSERT_NE(table.GetColumn("a"), nullptr);
+  EXPECT_EQ((*table.GetColumn("b"))[0], 4);
+  EXPECT_EQ(table.GetColumn("missing"), nullptr);
+  EXPECT_EQ(table.ColumnNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TableTest, RejectsDuplicateColumn) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Column({1})).ok());
+  EXPECT_EQ(table.AddColumn("a", Column({2})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsRowCountMismatch) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", Column({1, 2})).ok());
+  EXPECT_EQ(table.AddColumn("b", Column({1})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,54 @@
+// Shared helpers for the scrack test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace testing {
+
+/// Reference answer for a range query over raw data: (count, sum).
+struct ReferenceAnswer {
+  Index count = 0;
+  int64_t sum = 0;
+};
+
+inline ReferenceAnswer ReferenceSelect(const std::vector<Value>& data,
+                                       Value low, Value high) {
+  ReferenceAnswer answer;
+  for (Value v : data) {
+    if (low <= v && v < high) {
+      ++answer.count;
+      answer.sum += v;
+    }
+  }
+  return answer;
+}
+
+/// Sorted copy (for multiset comparisons).
+inline std::vector<Value> Sorted(std::vector<Value> data) {
+  std::sort(data.begin(), data.end());
+  return data;
+}
+
+/// A duplicate-heavy dataset: n values drawn from a domain of n/8 distinct
+/// values.
+inline Column DuplicateHeavyColumn(Index n, uint64_t seed) {
+  return Column::UniformRandom(n, 0, std::max<Value>(2, n / 8), seed);
+}
+
+/// Random query bounds within [0, domain), low <= high.
+inline std::pair<Value, Value> RandomRange(Rng* rng, Value domain) {
+  Value a = rng->UniformValue(0, domain);
+  Value b = rng->UniformValue(0, domain + 1);
+  if (a > b) std::swap(a, b);
+  return {a, b};
+}
+
+}  // namespace testing
+}  // namespace scrack

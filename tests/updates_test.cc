@@ -1,0 +1,159 @@
+// Update (Ripple merge) tests: staged inserts/deletes must merge lazily and
+// correctly into cracked columns (paper Fig. 15 semantics).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cracking/crack_engine.h"
+#include "cracking/stochastic_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::ReferenceSelect;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 31;
+  config.crack_threshold_values = 64;
+  return config;
+}
+
+TEST(UpdatesTest, InsertIsVisibleAfterMerge) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(100, 200);  // build some pieces
+  ASSERT_TRUE(engine.StageInsert(150).ok());
+  const QueryResult result = engine.SelectOrDie(100, 200);
+  EXPECT_EQ(result.count(), 101);  // 100 originals + the insert
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(UpdatesTest, InsertOutsideQueryRangeStaysPending) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageInsert(900).ok());
+  engine.SelectOrDie(100, 200);  // does not cover 900
+  EXPECT_EQ(engine.column().pending().num_pending_inserts(), 1);
+  EXPECT_EQ(engine.SelectOrDie(850, 950).count(), 101);
+  EXPECT_EQ(engine.column().pending().num_pending_inserts(), 0);
+  EXPECT_EQ(engine.stats().updates_merged, 1);
+}
+
+TEST(UpdatesTest, DeleteRemovesOneOccurrence) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(0, 1000);
+  ASSERT_TRUE(engine.StageDelete(500).ok());
+  EXPECT_EQ(engine.SelectOrDie(490, 510).count(), 19);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(UpdatesTest, DeleteOfAbsentValueFailsTheMergingQuery) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageDelete(5000).ok());  // staging always succeeds
+  QueryResult result;
+  EXPECT_EQ(engine.Select(4000, 6000, &result).code(), StatusCode::kNotFound);
+}
+
+TEST(UpdatesTest, InsertBeyondCurrentDomainExtendsIt) {
+  const Column base = Column::UniquePermutation(100, 1);
+  CrackEngine engine(&base, TestConfig());
+  engine.SelectOrDie(10, 20);
+  ASSERT_TRUE(engine.StageInsert(10'000).ok());
+  ASSERT_TRUE(engine.StageInsert(-50).ok());
+  EXPECT_EQ(engine.SelectOrDie(-100, 20'000).count(), 102);
+  EXPECT_TRUE(engine.Validate().ok());
+}
+
+TEST(UpdatesTest, RippleInsertPreservesAllPieces) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  // Build several pieces first.
+  for (Value lo : {100, 300, 500, 700, 900}) {
+    engine.SelectOrDie(lo, lo + 50);
+  }
+  // Insert into a middle piece; every piece boundary above must shift.
+  EngineStats scratch;
+  engine.column().RippleInsert(401, &scratch);
+  EXPECT_TRUE(engine.Validate().ok());
+  EXPECT_EQ(engine.SelectOrDie(400, 450).count(), 51);
+  EXPECT_EQ(engine.SelectOrDie(0, 2000).count(), 1001);
+}
+
+TEST(UpdatesTest, RippleDeleteDirect) {
+  const Column base = Column::UniquePermutation(1000, 1);
+  CrackEngine engine(&base, TestConfig());
+  for (Value lo : {200, 600}) engine.SelectOrDie(lo, lo + 100);
+  EngineStats scratch;
+  ASSERT_TRUE(engine.column().RippleDelete(650, &scratch).ok());
+  EXPECT_TRUE(engine.Validate().ok());
+  EXPECT_EQ(engine.SelectOrDie(600, 700).count(), 99);
+  EXPECT_EQ(engine.column().RippleDelete(5000, &scratch).code(),
+            StatusCode::kNotFound);
+}
+
+// Differential stress: interleave random queries with random inserts and
+// deletes; answers must always match a reference multiset.
+class UpdateStress : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UpdateStress, InterleavedUpdatesMatchReference) {
+  const Index n = 2000;
+  const Column base = Column::UniquePermutation(n, 3);
+  std::vector<Value> reference = base.values();
+  Rng rng(137);
+
+  std::unique_ptr<SelectEngine> engine;
+  Column base_copy = base;  // lifetime owner for the engine
+  if (GetParam() == "crack") {
+    engine = std::make_unique<CrackEngine>(&base_copy, TestConfig());
+  } else if (GetParam() == "mdd1r") {
+    engine = std::make_unique<Mdd1rEngine>(&base_copy, TestConfig());
+  } else {
+    EngineConfig config = TestConfig();
+    config.progressive_min_values = 256;  // engage the progressive path
+    config.progressive_budget = 0.05;
+    engine = std::make_unique<ProgressiveEngine>(&base_copy, config);
+  }
+
+  Value next_insert = n;  // fresh values keep the multiset unique-ish
+  for (int step = 0; step < 300; ++step) {
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 2) {
+      const Value v = next_insert++;
+      ASSERT_TRUE(engine->StageInsert(v).ok());
+      reference.push_back(v);
+    } else if (action < 4 && !reference.empty()) {
+      const size_t pick = static_cast<size_t>(
+          rng.Uniform(static_cast<uint64_t>(reference.size())));
+      const Value v = reference[pick];
+      ASSERT_TRUE(engine->StageDelete(v).ok());
+      reference.erase(reference.begin() + static_cast<int64_t>(pick));
+    } else {
+      const Value a = rng.UniformValue(0, n + 400);
+      const Value b = a + 1 + rng.UniformValue(0, 200);
+      QueryResult result;
+      ASSERT_TRUE(engine->Select(a, b, &result).ok());
+      const auto ref = ReferenceSelect(reference, a, b);
+      ASSERT_EQ(result.count(), ref.count) << "step " << step;
+      ASSERT_EQ(result.Sum(), ref.sum) << "step " << step;
+      ASSERT_TRUE(engine->Validate().ok());
+    }
+  }
+  // Drain every pending update with a full-domain query.
+  QueryResult full;
+  ASSERT_TRUE(
+      engine->Select(-1'000'000, 1'000'000, &full).ok());
+  ASSERT_EQ(full.count(), static_cast<Index>(reference.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, UpdateStress,
+                         ::testing::Values(std::string("crack"),
+                                           std::string("mdd1r"),
+                                           std::string("pmdd1r")));
+
+}  // namespace
+}  // namespace scrack

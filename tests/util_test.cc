@@ -1,0 +1,181 @@
+// Tests for src/util: Status, Rng, Timer, CacheInfo.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/cache_info.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace scrack {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("low > high").ToString(),
+            "InvalidArgument: low > high");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    SCRACK_RETURN_NOT_OK(Status::Internal("boom"));
+    return Status::OK();
+  };
+  auto succeeds = []() -> Status {
+    SCRACK_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInternal);
+  EXPECT_EQ(succeeds().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformStaysBelowBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBoundOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversSmallRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);  // all 8 values appear in 1000 draws
+}
+
+TEST(RngTest, UniformIndexInclusiveBounds) {
+  Rng rng(13);
+  std::set<Index> seen;
+  for (int i = 0; i < 500; ++i) {
+    Index v = rng.UniformIndex(5, 7);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(rng.UniformIndex(42, 42), 42);
+}
+
+TEST(RngTest, UniformValueHalfOpen) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    Value v = rng.UniformValue(-10, 10);
+    EXPECT_GE(v, -10);
+    EXPECT_LT(v, 10);
+  }
+}
+
+TEST(RngTest, CoinRespectsProbabilityRoughly) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Coin(0.25)) ++heads;
+  }
+  const double rate = static_cast<double>(heads) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Coin(0.0));
+    EXPECT_TRUE(rng.Coin(1.0));
+  }
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng rng(23);
+  const uint64_t first = rng.Next64();
+  rng.Next64();
+  rng.Seed(23);
+  EXPECT_EQ(rng.Next64(), first);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = timer.ElapsedSeconds();
+  EXPECT_GE(s, 0.005);
+  EXPECT_LT(s, 5.0);
+  EXPECT_GE(timer.ElapsedNanos(), 5'000'000);
+}
+
+TEST(TimerTest, StartResetsEpoch) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Start();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
+}
+
+// ------------------------------------------------------------- CacheInfo --
+
+TEST(CacheInfoTest, DefaultsMatchPaperMachine) {
+  CacheInfo info;
+  EXPECT_EQ(info.l1_bytes, 32u * 1024);
+  EXPECT_EQ(info.l2_bytes, 256u * 1024);
+  EXPECT_EQ(info.L1Values(), static_cast<Index>(32 * 1024 / sizeof(Value)));
+  EXPECT_EQ(info.L2Values(), static_cast<Index>(256 * 1024 / sizeof(Value)));
+}
+
+TEST(CacheInfoTest, DetectReturnsPositiveSizes) {
+  const CacheInfo info = CacheInfo::Detect();
+  EXPECT_GT(info.l1_bytes, 0u);
+  EXPECT_GT(info.l2_bytes, 0u);
+  EXPECT_LE(info.l1_bytes, info.l2_bytes);
+}
+
+}  // namespace
+}  // namespace scrack

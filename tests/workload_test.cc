@@ -1,0 +1,220 @@
+// Tests for the workload generators (workload/workload.h, skyserver.h):
+// every pattern must stay in-domain and show its defining shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/skyserver.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+WorkloadParams TestParams() {
+  WorkloadParams params;
+  params.n = 100'000;
+  params.num_queries = 4000;
+  params.selectivity = 10;
+  params.seed = 3;
+  return params;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(AllWorkloads, BoundsAreValidAndInDomain) {
+  const WorkloadParams params = TestParams();
+  const auto queries = MakeWorkload(GetParam(), params);
+  ASSERT_EQ(queries.size(), static_cast<size_t>(params.num_queries));
+  for (const RangeQuery& q : queries) {
+    ASSERT_GE(q.low, 0);
+    ASSERT_LT(q.low, q.high);
+    ASSERT_LE(q.high, params.n);
+  }
+}
+
+TEST_P(AllWorkloads, DeterministicPerSeed) {
+  const WorkloadParams params = TestParams();
+  const auto a = MakeWorkload(GetParam(), params);
+  const auto b = MakeWorkload(GetParam(), params);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].low, b[i].low);
+    ASSERT_EQ(a[i].high, b[i].high);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllWorkloads,
+    ::testing::Values(
+        WorkloadKind::kRandom, WorkloadKind::kSkew, WorkloadKind::kSeqRandom,
+        WorkloadKind::kSeqZoomIn, WorkloadKind::kPeriodic,
+        WorkloadKind::kZoomIn, WorkloadKind::kSequential,
+        WorkloadKind::kZoomOutAlt, WorkloadKind::kZoomInAlt,
+        WorkloadKind::kSeqReverse, WorkloadKind::kZoomOut,
+        WorkloadKind::kSeqZoomOut, WorkloadKind::kSkewZoomOutAlt,
+        WorkloadKind::kMixed, WorkloadKind::kSkyServer),
+    [](const ::testing::TestParamInfo<WorkloadKind>& info) {
+      return WorkloadName(info.param);
+    });
+
+TEST(WorkloadShapeTest, SequentialIsMonotonicallyIncreasing) {
+  const auto queries = MakeWorkload(WorkloadKind::kSequential, TestParams());
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(queries[i].low, queries[i - 1].low);
+  }
+  // Spans most of the domain.
+  EXPECT_GT(queries.back().low, 90'000);
+}
+
+TEST(WorkloadShapeTest, SeqReverseIsSequentialBackwards) {
+  const auto fwd = MakeWorkload(WorkloadKind::kSequential, TestParams());
+  const auto rev = MakeWorkload(WorkloadKind::kSeqReverse, TestParams());
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (size_t i = 0; i < fwd.size(); ++i) {
+    EXPECT_EQ(fwd[i].low, rev[rev.size() - 1 - i].low);
+  }
+}
+
+TEST(WorkloadShapeTest, ZoomInNarrowsAroundCenter) {
+  const auto queries = MakeWorkload(WorkloadKind::kZoomIn, TestParams());
+  // Widths must shrink monotonically.
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_LE(queries[i].high - queries[i].low,
+              queries[i - 1].high - queries[i - 1].low);
+  }
+  EXPECT_GT(queries.front().high - queries.front().low, 50'000);
+}
+
+TEST(WorkloadShapeTest, PeriodicWrapsAround) {
+  const auto queries = MakeWorkload(WorkloadKind::kPeriodic, TestParams());
+  int wraps = 0;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (queries[i].low < queries[i - 1].low) ++wraps;
+  }
+  EXPECT_GE(wraps, 5);  // derived J gives ~10 sweeps
+}
+
+TEST(WorkloadShapeTest, SkewConcentratesEarlyQueriesLow) {
+  const WorkloadParams params = TestParams();
+  const auto queries = MakeWorkload(WorkloadKind::kSkew, params);
+  const QueryId q = params.num_queries;
+  for (QueryId i = 0; i < q * 8 / 10; ++i) {
+    EXPECT_LT(queries[static_cast<size_t>(i)].low, params.n * 8 / 10);
+  }
+  for (QueryId i = q * 8 / 10; i < q; ++i) {
+    EXPECT_GE(queries[static_cast<size_t>(i)].low, params.n * 8 / 10);
+  }
+}
+
+TEST(WorkloadShapeTest, ZoomInAltAlternatesEnds) {
+  const auto queries = MakeWorkload(WorkloadKind::kZoomInAlt, TestParams());
+  // Even queries start low and climb; odd queries start high and descend.
+  EXPECT_LT(queries[0].low, 1000);
+  EXPECT_GT(queries[1].low, 90'000);
+  EXPECT_LT(queries[2].low, queries[4].low + 1);
+  EXPECT_GT(queries[1].low, queries[3].low - 1);
+}
+
+TEST(WorkloadShapeTest, ZoomOutAltExpandsFromCenter) {
+  const WorkloadParams params = TestParams();
+  const auto queries = MakeWorkload(WorkloadKind::kZoomOutAlt, params);
+  EXPECT_NEAR(static_cast<double>(queries[0].low),
+              static_cast<double>(params.n / 2), 10.0);
+  // Later even queries drift up, odd drift down.
+  EXPECT_GT(queries[100].low, params.n / 2 - 1);
+  EXPECT_LT(queries[101].low, params.n / 2 + 1);
+}
+
+TEST(WorkloadShapeTest, SkewZoomOutAltCentersAtNinety) {
+  const WorkloadParams params = TestParams();
+  const auto queries =
+      MakeWorkload(WorkloadKind::kSkewZoomOutAlt, params);
+  EXPECT_NEAR(static_cast<double>(queries[0].low),
+              static_cast<double>(params.n) * 0.9, 10.0);
+}
+
+TEST(WorkloadShapeTest, SeqRandomLowsAdvance) {
+  const auto queries = MakeWorkload(WorkloadKind::kSeqRandom, TestParams());
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(queries[i].low, queries[i - 1].low);
+  }
+}
+
+TEST(WorkloadShapeTest, SeqZoomInHasWindowedStructure) {
+  const WorkloadParams params = TestParams();  // 4000 queries -> 4 windows
+  const auto queries = MakeWorkload(WorkloadKind::kSeqZoomIn, params);
+  // Query 0 and query 1000 live in different windows.
+  EXPECT_LT(queries[0].low, queries[1000].low);
+  // Within a window, width narrows.
+  EXPECT_GT(queries[0].high - queries[0].low,
+            queries[999].high - queries[999].low);
+}
+
+TEST(WorkloadShapeTest, MixedSwitchesPatterns) {
+  const WorkloadParams params = TestParams();
+  const auto queries = MakeWorkload(WorkloadKind::kMixed, params);
+  ASSERT_EQ(queries.size(), 4000u);
+  // Consecutive blocks should differ in character; weak but useful check:
+  // the set of lows in block 0 and block 1 are not identical.
+  std::set<Value> block0, block1;
+  for (int i = 0; i < 1000; ++i) block0.insert(queries[i].low);
+  for (int i = 1000; i < 2000; ++i) block1.insert(queries[i].low);
+  EXPECT_NE(block0, block1);
+}
+
+TEST(SkyServerTest, DwellsInNarrowRegions) {
+  WorkloadParams params = TestParams();
+  params.num_queries = 8000;
+  const auto queries = MakeSkyServerWorkload(params);
+  ASSERT_EQ(queries.size(), 8000u);
+  // Consecutive queries are near each other within a phase: the median
+  // step must be far smaller than the domain.
+  std::vector<Value> steps;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    steps.push_back(std::abs(queries[i].low - queries[i - 1].low));
+  }
+  std::nth_element(steps.begin(), steps.begin() + steps.size() / 2,
+                   steps.end());
+  EXPECT_LT(steps[steps.size() / 2], params.n / 100);
+  // But jumps exist (phase changes).
+  EXPECT_GT(*std::max_element(steps.begin(), steps.end()), params.n / 10);
+}
+
+TEST(SkyServerTest, CoversMultipleRegions) {
+  WorkloadParams params = TestParams();
+  params.num_queries = 8000;
+  const auto queries = MakeSkyServerWorkload(params);
+  std::set<Value> buckets;
+  for (const RangeQuery& q : queries) buckets.insert(q.low / (params.n / 20));
+  EXPECT_GE(buckets.size(), 4u);  // several distinct sky regions
+}
+
+TEST(WorkloadTest, ParseWorkloadKindRoundTrips) {
+  for (WorkloadKind k : Fig17SyntheticKinds()) {
+    WorkloadKind parsed;
+    ASSERT_TRUE(ParseWorkloadKind(WorkloadName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  WorkloadKind parsed;
+  EXPECT_TRUE(ParseWorkloadKind("skyserver", &parsed));
+  EXPECT_EQ(parsed, WorkloadKind::kSkyServer);
+  EXPECT_FALSE(ParseWorkloadKind("nonsense", &parsed));
+}
+
+TEST(WorkloadTest, Fig17ListHasThirteenDistinctKinds) {
+  const auto kinds = Fig17SyntheticKinds();
+  EXPECT_EQ(kinds.size(), 13u);
+  std::set<WorkloadKind> unique(kinds.begin(), kinds.end());
+  EXPECT_EQ(unique.size(), 13u);
+}
+
+TEST(WorkloadTest, ExplicitJumpOverridesDefault) {
+  WorkloadParams params = TestParams();
+  params.jump = 5;
+  const auto queries = MakeWorkload(WorkloadKind::kSequential, params);
+  EXPECT_EQ(queries[1].low - queries[0].low, 5);
+}
+
+}  // namespace
+}  // namespace scrack

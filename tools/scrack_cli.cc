@@ -1,0 +1,258 @@
+// scrack_cli: command-line driver for the scrack library.
+//
+// Loads data (generated or from a file of integers, one per line), binds it
+// to any indexing strategy, and executes commands from the command line or
+// stdin. Useful for poking at cracking behaviour interactively and for
+// scripting ad-hoc experiments without writing C++.
+//
+// Usage:
+//   scrack_cli [--engine SPEC] [--n N | --load FILE] [--seed S] [CMds...]
+//
+// Commands (arguments or one per stdin line):
+//   select LO HI      range select [LO, HI); prints count/sum/cost
+//   insert V          stage an insert
+//   delete V          stage a delete
+//   workload KIND Q   run Q queries of a Fig. 7 workload pattern
+//   stats             print cumulative engine counters
+//   validate          run the engine's invariant check
+//   engines           list known engine specs
+//   help              this text
+//
+// Examples:
+//   scrack_cli --engine mdd1r --n 1000000 "select 10 20" stats
+//   echo -e "workload Sequential 1000\nstats" | scrack_cli --engine crack
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/engine_factory.h"
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "storage/column.h"
+#include "util/timer.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace cli {
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  select LO HI      range select [LO, HI)\n"
+      "  insert V          stage an insert\n"
+      "  delete V          stage a delete\n"
+      "  workload KIND Q   run Q queries of a workload pattern\n"
+      "  stats             cumulative engine counters\n"
+      "  validate          invariant check\n"
+      "  engines           list engine specs\n"
+      "  help              this text\n");
+}
+
+struct Options {
+  std::string engine_spec = "mdd1r";
+  Index n = 1'000'000;
+  std::string load_path;
+  uint64_t seed = 42;
+  std::vector<std::string> commands;
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--engine") {
+      const char* v = need_value("--engine");
+      if (v == nullptr) return false;
+      options->engine_spec = v;
+    } else if (arg == "--n") {
+      const char* v = need_value("--n");
+      if (v == nullptr) return false;
+      options->n = std::atoll(v);
+    } else if (arg == "--load") {
+      const char* v = need_value("--load");
+      if (v == nullptr) return false;
+      options->load_path = v;
+    } else if (arg == "--seed") {
+      const char* v = need_value("--seed");
+      if (v == nullptr) return false;
+      options->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      std::exit(0);
+    } else {
+      options->commands.push_back(arg);
+    }
+  }
+  return true;
+}
+
+Status LoadColumn(const Options& options, Column* column) {
+  if (options.load_path.empty()) {
+    *column = Column::UniquePermutation(options.n, options.seed);
+    return Status::OK();
+  }
+  std::ifstream in(options.load_path);
+  if (!in) {
+    return Status::NotFound("cannot open " + options.load_path);
+  }
+  std::vector<Value> values;
+  Value v;
+  while (in >> v) values.push_back(v);
+  if (values.empty()) {
+    return Status::InvalidArgument(options.load_path + " holds no integers");
+  }
+  *column = Column(std::move(values));
+  return Status::OK();
+}
+
+class Session {
+ public:
+  Session(std::unique_ptr<SelectEngine> engine, Index n, uint64_t seed)
+      : engine_(std::move(engine)), n_(n), seed_(seed) {}
+
+  // Returns false on a malformed command (session continues).
+  bool Execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) return true;  // blank line
+
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "engines") {
+      for (const std::string& spec : KnownEngineSpecs()) {
+        std::printf("  %s\n", spec.c_str());
+      }
+    } else if (command == "select") {
+      Value lo, hi;
+      if (!(in >> lo >> hi)) return Malformed(line);
+      const int64_t touched_before = engine_->stats().tuples_touched;
+      Timer timer;
+      QueryResult result;
+      const Status status = engine_->Select(lo, hi, &result);
+      const double secs = timer.ElapsedSeconds();
+      if (!status.ok()) return Failed(status);
+      std::printf(
+          "count=%lld sum=%lld secs=%.6f touched=%lld segments=%zu%s\n",
+          static_cast<long long>(result.count()),
+          static_cast<long long>(result.Sum()), secs,
+          static_cast<long long>(engine_->stats().tuples_touched -
+                                 touched_before),
+          result.num_segments(),
+          result.materialized() ? " (materialized)" : " (views)");
+    } else if (command == "insert" || command == "delete") {
+      Value v;
+      if (!(in >> v)) return Malformed(line);
+      const Status status = command == "insert" ? engine_->StageInsert(v)
+                                                : engine_->StageDelete(v);
+      if (!status.ok()) return Failed(status);
+      std::printf("staged %s %lld\n", command.c_str(),
+                  static_cast<long long>(v));
+    } else if (command == "workload") {
+      std::string kind_name;
+      QueryId q;
+      if (!(in >> kind_name >> q) || q <= 0) return Malformed(line);
+      WorkloadKind kind;
+      if (!ParseWorkloadKind(kind_name, &kind)) {
+        std::fprintf(stderr, "unknown workload: %s\n", kind_name.c_str());
+        return false;
+      }
+      WorkloadParams params;
+      params.n = n_;
+      params.num_queries = q;
+      params.seed = seed_ + 1;
+      const RunResult run =
+          RunQueries(engine_.get(), MakeWorkload(kind, params));
+      if (!run.status.ok()) return Failed(run.status);
+      std::printf("%lld queries of %s: cumulative %.4f secs\n",
+                  static_cast<long long>(q), WorkloadName(kind).c_str(),
+                  run.CumulativeSeconds());
+      PrintCumulativeCurves(WorkloadName(kind), {run}, LogSpacedPoints(q));
+    } else if (command == "stats") {
+      const EngineStats& s = engine_->stats();
+      std::printf(
+          "engine=%s queries=%lld touched=%lld swaps=%lld cracks=%lld "
+          "materialized=%lld updates_merged=%lld random_pivots=%lld\n",
+          engine_->name().c_str(), static_cast<long long>(s.queries),
+          static_cast<long long>(s.tuples_touched),
+          static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
+          static_cast<long long>(s.materialized),
+          static_cast<long long>(s.updates_merged),
+          static_cast<long long>(s.random_pivots));
+    } else if (command == "validate") {
+      std::printf("%s\n", engine_->Validate().ToString().c_str());
+    } else {
+      return Malformed(line);
+    }
+    return true;
+  }
+
+ private:
+  static bool Malformed(const std::string& line) {
+    std::fprintf(stderr, "malformed command: %s (try 'help')\n",
+                 line.c_str());
+    return false;
+  }
+  static bool Failed(const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return false;
+  }
+
+  std::unique_ptr<SelectEngine> engine_;
+  Index n_;
+  uint64_t seed_;
+};
+
+int Main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  Column column;
+  if (Status s = LoadColumn(options, &column); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = options.seed;
+  std::unique_ptr<SelectEngine> engine;
+  if (Status s = CreateEngine(options.engine_spec, &column, config, &engine);
+      !s.ok()) {
+    std::fprintf(stderr, "engine creation failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("scrack_cli: %lld tuples behind engine '%s'\n",
+              static_cast<long long>(column.size()),
+              engine->name().c_str());
+
+  Session session(std::move(engine), column.size(), options.seed);
+  int failures = 0;
+  for (const std::string& command : options.commands) {
+    if (!session.Execute(command)) ++failures;
+  }
+  if (options.commands.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!session.Execute(line)) ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace scrack
+
+int main(int argc, char** argv) { return scrack::cli::Main(argc, argv); }
