@@ -4,7 +4,9 @@
 // environment (laptop-scale defaults otherwise; the paper ran N=1e8, Q=1e4
 // on a 2.4GHz Xeon) and prints plain-text tables whose *shape* — who wins,
 // by what factor, where curves flatten — is the reproduction target.
-// EXPERIMENTS.md records paper-vs-measured for each figure.
+// EXPERIMENTS.md at the repository root holds the paper-vs-measured table
+// for each figure; fill in its "measured" column from these binaries'
+// output.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,86 @@
+// Parallel scaling — the sharded engine vs the single-lock baseline.
+//   (a) single query stream: sharded(P,mdd1r) for P in {1,2,4,8} against
+//       bare mdd1r and threadsafe:mdd1r. Range partitioning means each
+//       shard cracks a column 1/P-th the size, so convergence is faster
+//       even before any thread-level parallelism.
+//   (b) concurrent client streams: wall-clock for C threads firing the
+//       same random workload at one shared engine — the case the
+//       single-mutex baseline serializes and per-shard locking does not.
+#include <atomic>
+#include <thread>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace scrack {
+namespace bench {
+namespace {
+
+double ConcurrentWallClock(SelectEngine* engine,
+                           const std::vector<RangeQuery>& queries,
+                           int clients) {
+  std::atomic<int> failures{0};
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Interleave: client c takes every clients-th query.
+      for (size_t i = static_cast<size_t>(c); i < queries.size();
+           i += static_cast<size_t>(clients)) {
+        QueryResult result;
+        if (!engine->Select(queries[i].low, queries[i].high, &result).ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SCRACK_CHECK(failures.load() == 0);
+  return timer.ElapsedSeconds();
+}
+
+void Run() {
+  const BenchEnv env = ReadEnv(/*n=*/1'000'000, /*q=*/2000);
+  PrintHeader("Parallel scaling: sharded(P,mdd1r)",
+              "range-partitioned shards vs the single-lock baseline", env);
+  const Column base = Column::UniquePermutation(env.n, env.seed);
+  const EngineConfig config = DefaultEngineConfig(env);
+  const auto queries =
+      MakeWorkload(WorkloadKind::kRandom, DefaultWorkloadParams(env));
+  const auto points = LogSpacedPoints(env.q);
+
+  // (a) one query stream: partitioning effect only.
+  std::vector<RunResult> runs;
+  for (const std::string spec :
+       {"mdd1r", "threadsafe:mdd1r", "sharded(1,mdd1r)", "sharded(2,mdd1r)",
+        "sharded(4,mdd1r)", "sharded(8,mdd1r)"}) {
+    runs.push_back(RunSpec(spec, base, config, queries));
+  }
+  PrintCumulativeCurves("(a) single stream, cumulative seconds", runs,
+                        points);
+
+  // (b) C concurrent clients sharing one engine.
+  TextTable table({"engine", "1 client", "2 clients", "4 clients",
+                   "8 clients"});
+  for (const std::string spec :
+       {"threadsafe:mdd1r", "sharded(2,mdd1r)", "sharded(4,mdd1r)",
+        "sharded(8,mdd1r)"}) {
+    std::vector<std::string> row{spec};
+    for (int clients : {1, 2, 4, 8}) {
+      auto engine = CreateEngineOrDie(spec, &base, config);
+      row.push_back(
+          TextTable::Num(ConcurrentWallClock(engine.get(), queries, clients)));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\n(b) shared engine, wall-clock seconds for the whole "
+              "workload:\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace scrack
+
+int main() { scrack::bench::Run(); }

@@ -1,0 +1,92 @@
+// Concurrent dashboard: many clients querying one adaptive column.
+//
+// A fleet of dashboard widgets refreshes in parallel against a shared
+// AdaptiveStore column served by the sharded parallel engine
+// (sharded(P,<inner>), see engine_factory.h). The column is
+// range-partitioned into P shards, each cracking independently behind its
+// own lock, so widgets probing different value ranges never contend —
+// unlike the threadsafe:<inner> baseline, which serializes every query
+// behind one mutex.
+//
+//   ./example_concurrent_dashboard
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "harness/adaptive_store.h"
+#include "storage/column.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace scrack;
+
+namespace {
+
+// Each widget owns one value region and refreshes it repeatedly — the
+// access locality a per-region dashboard panel produces.
+void RunClients(AdaptiveStore* store, int clients, int refreshes, Index n,
+                std::atomic<int64_t>* rows_served,
+                std::atomic<int>* failures) {
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([=] {
+      Rng rng(static_cast<uint64_t>(c) + 7);
+      const Value region_lo = n / clients * c;
+      const Value region_hi = n / clients * (c + 1);
+      for (int i = 0; i < refreshes; ++i) {
+        const Value lo = rng.UniformValue(region_lo, region_hi);
+        const Value hi = lo + 2000 < region_hi ? lo + 2000 : region_hi;
+        QueryResult result;
+        if (!store->Select("events", lo, hi, &result).ok()) {
+          failures->fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        rows_served->fetch_add(result.count(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+}
+
+}  // namespace
+
+int main() {
+  const Index n = 2'000'000;
+  const int kClients = 8;
+  const int kRefreshes = 50;
+
+  for (const char* spec : {"threadsafe:mdd1r", "sharded(8,mdd1r)"}) {
+    AdaptiveStore store;
+    const Status status = store.AddColumn(
+        "events", Column::UniquePermutation(n, /*seed=*/1), spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "AddColumn failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+
+    std::atomic<int64_t> rows_served{0};
+    std::atomic<int> failures{0};
+    Timer timer;
+    RunClients(&store, kClients, kRefreshes, n, &rows_served, &failures);
+    const double seconds = timer.ElapsedSeconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "%d queries failed under %s\n", failures.load(),
+                   spec);
+      return 1;
+    }
+    std::printf(
+        "%-20s %d clients x %d refreshes: %8.1f queries/s, %lld rows "
+        "served\n",
+        spec, kClients, kRefreshes,
+        kClients * kRefreshes / seconds,
+        static_cast<long long>(rows_served.load()));
+  }
+  std::printf(
+      "\nSame data, same workload: the sharded engine lets disjoint\n"
+      "dashboard regions crack their shards in parallel instead of\n"
+      "queueing on one lock.\n");
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "cracking/sort_engine.h"
 #include "cracking/stochastic_engine.h"
 #include "hybrid/hybrid_engine.h"
+#include "parallel/sharded_engine.h"
 
 namespace scrack {
 
@@ -46,6 +47,64 @@ bool ParsePositive(const std::string& text, double* out) {
   return true;
 }
 
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// sharded(P,<inner>) — P range-partitioned shards, each running an
+// independent engine built from the (recursively parsed) inner spec.
+// `spec` is already lower-cased.
+Status CreateShardedEngine(const std::string& spec, const Column* base,
+                           const EngineConfig& config,
+                           std::unique_ptr<SelectEngine>* out) {
+  const std::string prefix = "sharded(";
+  if (spec.size() <= prefix.size() + 1 ||
+      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+    return Status::InvalidArgument("sharded spec must be sharded(P,<inner>): " +
+                                   spec);
+  }
+  const std::string body =
+      spec.substr(prefix.size(), spec.size() - prefix.size() - 1);
+  const size_t comma = body.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument("sharded needs an inner spec: " + spec);
+  }
+  const std::string count_text = Trim(body.substr(0, comma));
+  const std::string inner_spec = Trim(body.substr(comma + 1));
+  if (count_text.empty() ||
+      count_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad shard count: " + spec);
+  }
+  const long shards = std::strtol(count_text.c_str(), nullptr, 10);
+  if (shards < 1 || shards > ShardedEngine::kMaxShards) {
+    return Status::InvalidArgument("shard count must be in [1, 1024]: " +
+                                   spec);
+  }
+  if (inner_spec.empty()) {
+    return Status::InvalidArgument("sharded needs an inner spec: " + spec);
+  }
+  const ShardedEngine::InnerFactory make_inner =
+      [inner_spec, config](const Column* shard_base, int shard_index,
+                           std::unique_ptr<SelectEngine>* inner) {
+        EngineConfig shard_cfg = config;
+        // Decorrelate the shards' stochastic pivot streams.
+        shard_cfg.seed =
+            config.seed + static_cast<uint64_t>(shard_index) *
+                              0x9E3779B97F4A7C15ULL;
+        return CreateEngine(inner_spec, shard_base, shard_cfg, inner);
+      };
+  return ShardedEngine::Create(base, static_cast<int>(shards), make_inner,
+                               inner_spec, out);
+}
+
 }  // namespace
 
 Status CreateEngine(const std::string& spec, const Column* base,
@@ -54,9 +113,15 @@ Status CreateEngine(const std::string& spec, const Column* base,
   if (base == nullptr || out == nullptr) {
     return Status::InvalidArgument("null base column or output");
   }
+  const std::string lowered = Lower(spec);
+  // sharded(...) carries a nested spec that may itself contain ':' and
+  // ',', so it is parsed before the simple name:arg split.
+  if (lowered.compare(0, 7, "sharded") == 0) {
+    return CreateShardedEngine(lowered, base, config, out);
+  }
   std::string name;
   std::string arg;
-  SplitSpec(Lower(spec), &name, &arg);
+  SplitSpec(lowered, &name, &arg);
   EngineConfig cfg = config;
 
   if (name == "scan") {
@@ -165,7 +230,8 @@ std::vector<std::string> KnownEngineSpecs() {
           "dd1c",       "dd1r",       "mdd1r",     "pmdd1r:10", "fiftyfifty",
           "flipcoin",   "sizesel",    "everyx:2",  "scrackmon:1",
           "r2crack",    "aicc",       "aics",      "aicc1r",    "aics1r",
-          "aisc",       "aiss",       "auto",      "threadsafe:mdd1r"};
+          "aisc",       "aiss",       "auto",      "threadsafe:mdd1r",
+          "sharded(4,mdd1r)"};
 }
 
 }  // namespace scrack

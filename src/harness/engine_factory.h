@@ -12,6 +12,9 @@
 //   scrackmon:<x>           monitoring threshold x (Fig. 19)
 //   r<k>crack               naive random injection every k queries (Fig. 12)
 //   aicc | aics | aicc1r | aics1r
+//   threadsafe:<inner>      exclusive lock + materialize around any engine
+//   sharded(P,<inner>)      P range-partitioned shards, each an independent
+//                           <inner> engine, fanned out on a thread pool
 #pragma once
 
 #include <memory>

@@ -1,0 +1,252 @@
+#include "parallel/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scrack {
+
+ShardedEngine::ShardedEngine(int requested_shards, std::string inner_name)
+    : requested_shards_(requested_shards),
+      inner_name_(std::move(inner_name)) {}
+
+Status ShardedEngine::Create(const Column* base, int num_shards,
+                             const InnerFactory& make_inner,
+                             const std::string& inner_name,
+                             std::unique_ptr<SelectEngine>* out) {
+  if (base == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null base column or output");
+  }
+  if (!make_inner) {
+    return Status::InvalidArgument("sharded engine needs an inner factory");
+  }
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("shard count out of range [1, 1024]");
+  }
+
+  // Equi-depth boundaries: boundary i is the value at rank i*n/P. Selected
+  // with successive nth_element passes over one scratch copy — each pass
+  // leaves everything before the rank <= the rank value, so the next pass
+  // only partitions the tail. No full up-front sort (that would be the very
+  // cost adaptive indexing exists to avoid). All duplicates of a value
+  // belong to one shard (the ranges are [b_i, b_{i+1}) over *values*), so
+  // consecutive equal boundaries collapse and heavy duplication can reduce
+  // the effective P.
+  std::vector<Value> scratch = base->values();
+  std::vector<Value> lowers;  // lowers[i] = lower bound of shard i; [0] is
+                              // the data minimum but acts as -inf in routing
+  lowers.push_back(
+      scratch.empty() ? 0
+                      : *std::min_element(scratch.begin(), scratch.end()));
+  size_t prev_rank = 0;
+  for (int i = 1; i < num_shards && !scratch.empty(); ++i) {
+    const size_t rank = std::min(
+        static_cast<size_t>((static_cast<long double>(i) * scratch.size()) /
+                            num_shards),
+        scratch.size() - 1);
+    std::nth_element(scratch.begin() + static_cast<Index>(prev_rank),
+                     scratch.begin() + static_cast<Index>(rank),
+                     scratch.end());
+    const Value boundary = scratch[rank];
+    prev_rank = rank;
+    if (boundary > lowers.back()) lowers.push_back(boundary);
+  }
+
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(num_shards, inner_name));
+  if (lowers.size() > 1) {
+    // A single effective shard never fans out; skip the idle worker.
+    engine->pool_ = std::make_unique<ThreadPool>(
+        std::min<int>(static_cast<int>(lowers.size()),
+                      ThreadPool::DefaultThreads()));
+  }
+  engine->shards_.reserve(lowers.size());
+  for (Value lower : lowers) {
+    auto shard = std::make_unique<Shard>();
+    shard->lower = lower;
+    engine->shards_.push_back(std::move(shard));
+  }
+
+  // Distribute the base data into per-shard columns, preserving the base
+  // order within each shard (the inner engine copies and cracks it).
+  std::vector<std::vector<Value>> slices(engine->shards_.size());
+  for (Value v : base->values()) {
+    slices[static_cast<size_t>(engine->ShardFor(v))].push_back(v);
+  }
+  for (size_t i = 0; i < engine->shards_.size(); ++i) {
+    Shard& shard = *engine->shards_[i];
+    shard.base = Column(std::move(slices[i]));
+    SCRACK_RETURN_NOT_OK(
+        make_inner(&shard.base, static_cast<int>(i), &shard.engine));
+    if (shard.engine == nullptr) {
+      return Status::Internal("inner factory produced no engine");
+    }
+    shard.cached_stats = shard.engine->stats();
+  }
+  *out = std::move(engine);
+  return Status::OK();
+}
+
+int ShardedEngine::ShardFor(Value v) const {
+  // Largest i with lower_i <= v; values below shard 0's lower (possible
+  // after inserts) route to shard 0, values past the last boundary to the
+  // last shard.
+  int lo = 0;
+  int hi = static_cast<int>(shards_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (shards_[static_cast<size_t>(mid)]->lower <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+bool ShardedEngine::Intersects(int i, Value low, Value high) const {
+  // Shard i owns [lower_i, lower_{i+1}), widened to -inf / +inf at the ends.
+  const size_t n = shards_.size();
+  const bool above_lower =
+      (i == 0) || high > shards_[static_cast<size_t>(i)]->lower;
+  const bool below_upper =
+      (static_cast<size_t>(i) + 1 == n) ||
+      low < shards_[static_cast<size_t>(i) + 1]->lower;
+  return above_lower && below_upper;
+}
+
+Status ShardedEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  if (result == nullptr) {
+    return Status::InvalidArgument("null result");
+  }
+
+  std::vector<int> hits;
+  if (low < high) {
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      if (Intersects(i, low, high)) hits.push_back(i);
+    }
+  }
+
+  struct ShardOutput {
+    Status status;
+    std::vector<Value> values;
+  };
+  std::vector<ShardOutput> outputs(hits.size());
+  auto run_shard = [&](size_t k) {
+    Shard& shard = *shards_[static_cast<size_t>(hits[k])];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    QueryResult local;
+    outputs[k].status = shard.engine->Select(low, high, &local);
+    // Deep-copy while holding the shard lock: views into the shard's
+    // cracker column die at its next reorganization.
+    if (outputs[k].status.ok()) outputs[k].values = local.Collect();
+    shard.UpdateStatsCache();
+  };
+
+  if (hits.size() == 1) {
+    // Selective query inside one shard: run on the caller's thread and
+    // skip the pool round-trip.
+    run_shard(0);
+  } else if (!hits.empty()) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(hits.size() - 1);
+    // Every pool task references this frame, so nothing — not even an
+    // exception out of the caller-run task below — may unwind it before
+    // all tasks finish; the guard's destructor enforces that.
+    struct WaitAll {
+      std::vector<std::future<void>>& futures;
+      ~WaitAll() {
+        for (std::future<void>& f : futures) {
+          if (f.valid()) f.wait();
+        }
+      }
+    } wait_all{pending};
+    for (size_t k = 0; k + 1 < hits.size(); ++k) {
+      pending.push_back(pool_->Submit([&run_shard, k] { run_shard(k); }));
+    }
+    run_shard(hits.size() - 1);  // caller works too instead of idling
+    for (std::future<void>& f : pending) f.get();
+  }
+
+  int64_t copied = 0;
+  for (ShardOutput& output : outputs) {
+    SCRACK_RETURN_NOT_OK(output.status);
+  }
+  for (ShardOutput& output : outputs) {
+    copied += static_cast<int64_t>(output.values.size());
+    result->AddOwned(std::move(output.values));
+  }
+  RefreshStats(copied);
+  return Status::OK();
+}
+
+Status ShardedEngine::StageInsert(Value v) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardFor(v))];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const Status status = shard.engine->StageInsert(v);
+  shard.UpdateStatsCache();
+  return status;
+}
+
+Status ShardedEngine::StageDelete(Value v) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardFor(v))];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const Status status = shard.engine->StageDelete(v);
+  shard.UpdateStatsCache();
+  return status;
+}
+
+Status ShardedEngine::Validate() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Routing invariant: every value a shard was dealt belongs to its
+    // range. Inserts staged later route by the same boundaries, so only
+    // the dealt base needs checking.
+    for (Value v : shard.base.values()) {
+      if (i > 0 && v < shard.lower) {
+        return Status::Internal("shard holds value below its lower bound");
+      }
+      if (i + 1 < shards_.size() && v >= shards_[i + 1]->lower) {
+        return Status::Internal("shard holds value above its range");
+      }
+    }
+    SCRACK_RETURN_NOT_OK(shard.engine->Validate());
+  }
+  return Status::OK();
+}
+
+std::string ShardedEngine::name() const {
+  return "sharded(" + std::to_string(requested_shards_) + "," + inner_name_ +
+         ")";
+}
+
+void ShardedEngine::RefreshStats(int64_t newly_materialized) {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  ++own_queries_;
+  own_materialized_ += newly_materialized;
+  // Sum the per-shard caches rather than the live inner stats: a cache
+  // read never waits on another shard's in-flight reorganization, so
+  // finishing queries do not convoy behind the busiest shard.
+  EngineStats aggregate;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> cache_lock(shard->cache_mutex);
+    const EngineStats& inner = shard->cached_stats;
+    aggregate.tuples_touched += inner.tuples_touched;
+    aggregate.swaps += inner.swaps;
+    aggregate.cracks += inner.cracks;
+    aggregate.materialized += inner.materialized;
+    aggregate.updates_merged += inner.updates_merged;
+    aggregate.random_pivots += inner.random_pivots;
+  }
+  aggregate.queries = own_queries_;
+  aggregate.materialized += own_materialized_;
+  stats_ = aggregate;
+}
+
+EngineStats ShardedEngine::StatsSnapshot() const {
+  std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace scrack

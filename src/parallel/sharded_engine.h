@@ -1,0 +1,122 @@
+// ShardedEngine: range-partitioned parallel adaptive indexing.
+//
+// The paper's engines serve one query stream over one cracker column; a
+// production deployment serves many concurrent clients. ShardedEngine
+// range-partitions the base column into P shards by value (equi-depth
+// boundaries from a one-off sort, so skewed data still yields balanced
+// shards) and gives each shard its own independent inner SelectEngine —
+// any strategy the factory knows (crack, mdd1r, ddc, ...). A Select fans
+// out only to the shards whose value range intersects the query, runs them
+// on a persistent ThreadPool, and merges the per-shard results.
+//
+// Two properties fall out of the value-range partitioning:
+//   * each shard cracks a column 1/P-th the size, so per-shard
+//     reorganization converges P times faster (smaller pieces sooner);
+//   * selective queries touch a single shard and skip the pool entirely.
+//
+// Concurrency contract: ShardedEngine is safe for concurrent Select /
+// StageInsert / StageDelete callers. Each shard is guarded by its own
+// mutex, so queries over disjoint value ranges proceed in parallel —
+// the finer-grained locking the paper defers to future work (§6), realized
+// at shard granularity. Like ThreadSafeEngine, results are materialized
+// (deep-copied) while the shard lock is held: borrowed views would be
+// invalidated by the next reorganization of the shard.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "parallel/thread_pool.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class ShardedEngine : public SelectEngine {
+ public:
+  /// Builds the inner engine of shard `shard_index` over that shard's
+  /// private base column. Lets the factory layer inject spec parsing
+  /// without a dependency cycle (parallel/ must not include harness/).
+  using InnerFactory = std::function<Status(
+      const Column* shard_base, int shard_index,
+      std::unique_ptr<SelectEngine>* out)>;
+
+  /// Creates a sharded engine over `base`. The data is copied into
+  /// per-shard private columns during Create, so `base` need not outlive
+  /// the engine. `num_shards` is the requested P in [1, kMaxShards].
+  /// Duplicate-heavy
+  /// data may yield fewer effective shards (all copies of a value live in
+  /// one shard, so boundaries can collapse); `name()` still reports the
+  /// requested P. `inner_name` is the spec used for display.
+  static Status Create(const Column* base, int num_shards,
+                       const InnerFactory& make_inner,
+                       const std::string& inner_name,
+                       std::unique_ptr<SelectEngine>* out);
+
+  /// Upper bound on P: a shard per value is never useful and unbounded P
+  /// would let a spec string exhaust threads.
+  static constexpr int kMaxShards = 1024;
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  std::string name() const override;
+  Status StageInsert(Value v) override;
+  Status StageDelete(Value v) override;
+  Status Validate() const override;
+
+  /// Number of effective shards (<= requested P; see Create).
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Consistent snapshot of the cumulative counters, safe to call while
+  /// other threads query. The inherited stats() reference is only stable
+  /// at quiescence (no in-flight Selects), which is how the single-threaded
+  /// harness uses it.
+  EngineStats StatsSnapshot() const;
+
+ private:
+  struct Shard {
+    Column base;        ///< this shard's private slice of the data
+    Value lower = 0;    ///< inclusive lower bound of the owned value range
+                        ///  (shard 0 conceptually owns down to -inf)
+    std::unique_ptr<SelectEngine> engine;
+    mutable std::mutex mutex;  ///< serializes reorganization of this shard
+
+    // Snapshot of engine->stats() taken each time the shard mutex is
+    // released, so aggregation never has to wait on an in-flight
+    // reorganization of another shard. Guarded by cache_mutex (always
+    // acquired after `mutex` when both are held).
+    mutable std::mutex cache_mutex;
+    EngineStats cached_stats;
+
+    /// Refreshes cached_stats; call with `mutex` held.
+    void UpdateStatsCache() {
+      std::lock_guard<std::mutex> lock(cache_mutex);
+      cached_stats = engine->stats();
+    }
+  };
+
+  ShardedEngine(int requested_shards, std::string inner_name);
+
+  /// Index of the shard owning value `v`.
+  int ShardFor(Value v) const;
+
+  /// True if shard `i`'s value range intersects [low, high).
+  bool Intersects(int i, Value low, Value high) const;
+
+  /// Recomputes stats_ as the sum of inner-engine stats plus this engine's
+  /// own query / materialization counters.
+  void RefreshStats(int64_t newly_materialized);
+
+  const int requested_shards_;
+  const std::string inner_name_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when one shard (never fans out)
+
+  mutable std::mutex stats_mutex_;  // guards stats_ and the own_* counters
+  int64_t own_queries_ = 0;       // Selects served by this engine
+  int64_t own_materialized_ = 0;  // tuples deep-copied during merges
+};
+
+}  // namespace scrack

@@ -1,0 +1,51 @@
+// ThreadPool: a persistent fixed-size worker pool.
+//
+// The sharded engine fans one Select out across its shards; spawning a
+// thread per shard per query would dominate the cost of the small
+// reorganization steps cracking performs, so shard tasks run on a pool of
+// long-lived workers instead. The pool is deliberately minimal: FIFO queue,
+// one condition variable, futures for completion — the fan-out/fan-in shape
+// is the only pattern the engine needs.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scrack {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future that becomes ready when it finishes
+  /// (or rethrows what it threw). Safe to call from multiple threads.
+  std::future<void> Submit(std::function<void()> fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency with a sane floor (>= 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace scrack

@@ -1,0 +1,231 @@
+// Tests for the sharded parallel engine and its sharded(P,<inner>) factory
+// spec: parse errors, correctness against scan/reference answers on
+// duplicate-heavy and skewed inputs, single-shard equivalence to the bare
+// inner engine, and update routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/engine_factory.h"
+#include "parallel/sharded_engine.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+using testing::DuplicateHeavyColumn;
+using testing::RandomRange;
+using testing::ReferenceAnswer;
+using testing::ReferenceSelect;
+
+// ---------------------------------------------------------- spec parsing --
+
+TEST(ShardedSpecTest, RejectsMalformedSpecs) {
+  const Column base = Column::UniquePermutation(64, 1);
+  const EngineConfig config;
+  for (const std::string& spec : {
+           "sharded",             // no parameter list
+           "sharded()",           // empty parameter list
+           "sharded(4",           // unbalanced parens
+           "sharded(4)",          // missing inner spec
+           "sharded(4,)",         // empty inner spec
+           "sharded(,crack)",     // missing shard count
+           "sharded(0,crack)",    // P = 0
+           "sharded(-2,crack)",   // negative P
+           "sharded(1.5,crack)",  // non-integer P
+           "sharded(2000,crack)"  // P over the 1024 cap
+       }) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status status = CreateEngine(spec, &base, config, &engine);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+  }
+  // An unknown inner spec fails with the inner parser's error.
+  std::unique_ptr<SelectEngine> engine;
+  EXPECT_FALSE(CreateEngine("sharded(4,nope)", &base, config, &engine).ok());
+}
+
+TEST(ShardedSpecTest, AcceptsNestedAndSpacedSpecs) {
+  const Column base = Column::UniquePermutation(256, 1);
+  const EngineConfig config;
+  for (const std::string& spec :
+       {"sharded(4,crack)", "sharded(2, mdd1r)", "sharded(3,pmdd1r:10)",
+        "SHARDED(2,Crack)", "sharded(2,threadsafe:mdd1r)"}) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status status = CreateEngine(spec, &base, config, &engine);
+    ASSERT_TRUE(status.ok()) << spec << ": " << status.ToString();
+    EXPECT_EQ(engine->SelectOrDie(16, 32).count(), 16) << spec;
+    EXPECT_TRUE(engine->Validate().ok()) << spec;
+  }
+}
+
+TEST(ShardedSpecTest, NameReportsRequestedShardsAndInner) {
+  const Column base = Column::UniquePermutation(64, 1);
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  EXPECT_EQ(engine->name(), "sharded(4,crack)");
+}
+
+// ----------------------------------------------------------- correctness --
+
+// Runs `queries` through `spec` and `scan` side by side, comparing each
+// query's count/sum checksum.
+void ExpectMatchesScan(const std::string& spec, const Column& base,
+                       const std::vector<RangeQuery>& queries) {
+  const EngineConfig config;
+  auto engine = CreateEngineOrDie(spec, &base, config);
+  auto reference = CreateEngineOrDie("scan", &base, config);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryResult got = engine->SelectOrDie(queries[i].low,
+                                                queries[i].high);
+    const QueryResult want = reference->SelectOrDie(queries[i].low,
+                                                    queries[i].high);
+    ASSERT_EQ(got.count(), want.count())
+        << spec << " query " << i << " [" << queries[i].low << ", "
+        << queries[i].high << ")";
+    ASSERT_EQ(got.Sum(), want.Sum()) << spec << " query " << i;
+  }
+  EXPECT_TRUE(engine->Validate().ok()) << spec;
+}
+
+TEST(ShardedEngineTest, MatchesScanOnRandomWorkload) {
+  const Column base = Column::UniquePermutation(10000, 7);
+  WorkloadParams params;
+  params.n = base.size();
+  params.num_queries = 200;
+  params.selectivity = 100;
+  params.seed = 11;
+  const auto queries = MakeWorkload(WorkloadKind::kRandom, params);
+  ExpectMatchesScan("sharded(4,crack)", base, queries);
+  ExpectMatchesScan("sharded(4,mdd1r)", base, queries);
+}
+
+TEST(ShardedEngineTest, MatchesScanOnSkewedWorkload) {
+  const Column base = Column::UniquePermutation(10000, 13);
+  WorkloadParams params;
+  params.n = base.size();
+  params.num_queries = 200;
+  params.selectivity = 100;
+  params.seed = 17;
+  const auto queries = MakeWorkload(WorkloadKind::kSkew, params);
+  ExpectMatchesScan("sharded(8,ddc)", base, queries);
+}
+
+TEST(ShardedEngineTest, MatchesReferenceOnDuplicateHeavyData) {
+  // n values over n/8 distinct: shard boundaries collapse onto repeated
+  // values, so routing must keep all duplicates of a value in one shard.
+  const Column base = DuplicateHeavyColumn(8192, 23);
+  auto engine = CreateEngineOrDie("sharded(4,mdd1r)", &base, EngineConfig{});
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    const auto range = RandomRange(&rng, base.size() / 8);
+    const QueryResult got = engine->SelectOrDie(range.first, range.second);
+    const ReferenceAnswer want =
+        ReferenceSelect(base.values(), range.first, range.second);
+    ASSERT_EQ(got.count(), want.count) << "query " << i;
+    ASSERT_EQ(got.Sum(), want.sum) << "query " << i;
+  }
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST(ShardedEngineTest, AllValuesEqualCollapsesToOneShardAndStillAnswers) {
+  const Column base(std::vector<Value>(1000, 42));
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  EXPECT_EQ(engine->SelectOrDie(0, 100).count(), 1000);
+  EXPECT_EQ(engine->SelectOrDie(43, 100).count(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST(ShardedEngineTest, EmptyAndDegenerateInputs) {
+  const Column empty;
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &empty, EngineConfig{});
+  EXPECT_EQ(engine->SelectOrDie(0, 100).count(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+
+  const Column base = Column::UniquePermutation(100, 3);
+  engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  EXPECT_EQ(engine->SelectOrDie(50, 50).count(), 0);  // empty range
+  QueryResult result;
+  EXPECT_EQ(engine->Select(60, 40, &result).code(),
+            StatusCode::kInvalidArgument);  // inverted range
+}
+
+// ------------------------------------------------- single-shard identity --
+
+TEST(ShardedEngineTest, SingleShardMatchesBareInnerEngine) {
+  const Column base = Column::UniquePermutation(4096, 31);
+  const EngineConfig config;
+  auto sharded = CreateEngineOrDie("sharded(1,crack)", &base, config);
+  auto bare = CreateEngineOrDie("crack", &base, config);
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    const auto range = RandomRange(&rng, base.size());
+    const QueryResult got = sharded->SelectOrDie(range.first, range.second);
+    const QueryResult want = bare->SelectOrDie(range.first, range.second);
+    ASSERT_EQ(got.count(), want.count()) << "query " << i;
+    ASSERT_EQ(got.Sum(), want.Sum()) << "query " << i;
+  }
+  // The single shard holds the whole column, so the inner engine does
+  // exactly the work the bare engine does.
+  EXPECT_EQ(sharded->stats().cracks, bare->stats().cracks);
+  EXPECT_EQ(sharded->stats().tuples_touched, bare->stats().tuples_touched);
+  EXPECT_EQ(sharded->stats().queries, bare->stats().queries);
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(ShardedEngineTest, StatsCountQueriesAndAggregateShardWork) {
+  const Column base = Column::UniquePermutation(4096, 41);
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  for (int i = 0; i < 10; ++i) {
+    engine->SelectOrDie(i * 100, i * 100 + 500);
+  }
+  EXPECT_EQ(engine->stats().queries, 10);
+  EXPECT_GT(engine->stats().cracks, 0);
+  EXPECT_GT(engine->stats().materialized, 0);  // results are deep-copied
+}
+
+TEST(ShardedEngineTest, ResultsAreMaterializedAndOutliveReorganization) {
+  const Column base = Column::UniquePermutation(4096, 43);
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  const QueryResult first = engine->SelectOrDie(1000, 3000);
+  EXPECT_TRUE(first.materialized());
+  const ReferenceAnswer want = ReferenceSelect(base.values(), 1000, 3000);
+  // Re-crack every shard; `first` must stay valid (owned buffers).
+  Rng rng(47);
+  for (int i = 0; i < 50; ++i) {
+    const auto range = RandomRange(&rng, base.size());
+    engine->SelectOrDie(range.first, range.second);
+  }
+  EXPECT_EQ(first.count(), want.count);
+  EXPECT_EQ(first.Sum(), want.sum);
+}
+
+// --------------------------------------------------------------- updates --
+
+TEST(ShardedEngineTest, UpdatesRouteToTheOwningShard) {
+  const Column base = Column::UniquePermutation(2000, 53);
+  auto engine = CreateEngineOrDie("sharded(4,crack)", &base, EngineConfig{});
+  std::vector<Value> expected = base.values();
+
+  // Inserts across the whole domain, including values outside [0, n) that
+  // must route to the edge shards.
+  for (Value v : {-5, 0, 499, 500, 1200, 1999, 2500}) {
+    ASSERT_TRUE(engine->StageInsert(v).ok());
+    expected.push_back(v);
+  }
+  for (Value v : {10, 1500}) {
+    ASSERT_TRUE(engine->StageDelete(v).ok());
+    expected.erase(std::find(expected.begin(), expected.end(), v));
+  }
+
+  const ReferenceAnswer want = ReferenceSelect(expected, -100, 3000);
+  const QueryResult got = engine->SelectOrDie(-100, 3000);
+  EXPECT_EQ(got.count(), want.count);
+  EXPECT_EQ(got.Sum(), want.sum);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+}  // namespace
+}  // namespace scrack
