@@ -48,6 +48,12 @@ class AutoEngine : public SelectEngine {
   /// Queries answered stochastically so far (introspection for tests).
   int64_t stochastic_queries() const { return stochastic_queries_; }
 
+ protected:
+  /// One pending-update intersection pass for the whole batch.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
+
  private:
   CrackerColumn column_;
   double fast_ewma_ = 0;

@@ -10,4 +10,21 @@ Status CrackEngine::Select(Value low, Value high, QueryResult* result) {
       &stats_);
 }
 
+Status CrackEngine::Execute(const Query& query, QueryOutput* output) {
+  if (query.mode == OutputMode::kMaterialize) {
+    return SelectEngine::Execute(query, output);
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  ++stats_.queries;
+  Index begin = 0;
+  Index end = 0;
+  SCRACK_RETURN_NOT_OK(
+      column_.CrackRange(query.low, query.high, &begin, &end, &stats_));
+  AggregateRegion(column_.data(), begin, end, query, output,
+                  &stats_.tuples_touched);
+  ++stats_.aggregates_pushed;
+  return Status::OK();
+}
+
+
 }  // namespace scrack

@@ -17,6 +17,13 @@ class CrackEngine : public SelectEngine {
       : column_(base, config) {}
 
   Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown: after cracking on the bounds the answer is one
+  /// contiguous piece range, so kCount/kExists come straight from the index
+  /// positions (zero tuple reads) and kSum/kMinMax scan the region without
+  /// allocating owned buffers.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
   std::string name() const override { return "crack"; }
 
   Status StageInsert(Value v) override {
@@ -32,6 +39,13 @@ class CrackEngine : public SelectEngine {
 
   /// Test access to the underlying cracked column.
   CrackerColumn& column() { return column_; }
+
+ protected:
+  /// Batched execution pays one pending-update intersection pass for the
+  /// whole batch's bounding hull.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
 
  private:
   CrackerColumn column_;

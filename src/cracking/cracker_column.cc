@@ -57,6 +57,41 @@ Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
   return split;
 }
 
+Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
+                                 Index* end, EngineStats* stats) {
+  *begin = 0;
+  *end = 0;
+  EnsureInitialized(stats);
+  SCRACK_RETURN_NOT_OK(MergePendingIn(low, high, stats));
+  if (size() == 0 || low >= high) return Status::OK();
+
+  // Same-piece fast path, mirroring SelectWithPolicy's kCrack branch: both
+  // uncracked bounds in one piece take a single crack-in-three pass, so the
+  // physical reorganization matches Select query for query.
+  const bool low_exact = low <= min_value_ || index_.HasCrack(low);
+  const bool high_exact = high > max_value_ || index_.HasCrack(high);
+  if (!low_exact && !high_exact) {
+    const Piece piece = index_.FindPiece(low);
+    if (!piece.has_upper || high < piece.upper) {
+      KernelCounters counters;
+      const auto [p1, p2] =
+          CrackInThree(data(), piece.begin, piece.end, low, high, &counters);
+      stats->tuples_touched += counters.touched;
+      stats->swaps += counters.swaps;
+      AddCrack(low, p1, stats);
+      AddCrack(high, p2, stats);
+      *begin = p1;
+      *end = p2;
+      return Status::OK();
+    }
+  }
+
+  *begin = low <= min_value_ ? 0 : CrackBound(low, stats);
+  *end = high > max_value_ ? size() : CrackBound(high, stats);
+  if (*end < *begin) *end = *begin;
+  return Status::OK();
+}
+
 Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
                                           bool recursive,
                                           EngineStats* stats) {
@@ -282,6 +317,14 @@ Status CrackerColumn::MergePendingIn(Value low, Value high,
     SCRACK_RETURN_NOT_OK(RippleDelete(v, stats));
   }
   return Status::OK();
+}
+
+Status CrackerColumn::MergePendingInBatchHull(
+    const std::vector<Query>& queries, EngineStats* stats) {
+  Value lo;
+  Value hi;
+  if (!QueryHull(queries, &lo, &hi)) return Status::OK();
+  return MergePendingIn(lo, hi, stats);
 }
 
 void CrackerColumn::RippleInsert(Value v, EngineStats* stats) {

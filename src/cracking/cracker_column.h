@@ -79,6 +79,15 @@ class CrackerColumn {
   /// containing piece if needed) and returns its position.
   Index CrackBound(Value v, EngineStats* stats);
 
+  /// Aggregate-pushdown primitive: reorganizes exactly as original
+  /// cracking's Select would (pending merge, same-piece crack-in-three fast
+  /// path, crack on each bound) but hands back the contiguous region
+  /// [*begin, *end) holding every qualifying tuple instead of assembling a
+  /// QueryResult. kCount/kExists aggregates read *begin/*end alone — zero
+  /// tuple accesses — and kSum/kMinMax scan the region copying nothing.
+  Status CrackRange(Value low, Value high, Index* begin, Index* end,
+                    EngineStats* stats);
+
   /// DDC/DDR/DD1C/DD1R bound handling (paper Fig. 4 and its variants):
   /// recursively (or once, if !recursive) splits the piece containing v —
   /// at the median if center_pivot, else at a random element — until it is
@@ -98,6 +107,18 @@ class CrackerColumn {
   /// cracker column via Ripple shifts. Called by SelectWithPolicy before
   /// answering; also callable directly.
   Status MergePendingIn(Value low, Value high, EngineStats* stats);
+
+  /// ExecuteBatch preamble: merges every pending update inside the batch's
+  /// bounding hull up front, so the per-query merges see an empty pool and
+  /// the batch pays one intersection pass instead of one per query.
+  /// Merging a wider range than any single query touches never changes an
+  /// answer — an update only affects queries whose range covers its value,
+  /// and those would have merged it anyway. One observable difference from
+  /// sequential execution: a staged delete of an absent value fails the
+  /// batch if the *hull* covers it, where one-by-one execution only fails
+  /// once some query's own range does (or never, if none ever covers it).
+  Status MergePendingInBatchHull(const std::vector<Query>& queries,
+                                 EngineStats* stats);
 
   /// Ripple-inserts one value: one displaced tuple per piece boundary above
   /// v, plus index position shifts. O(#pieces above v).

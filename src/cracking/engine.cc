@@ -1,0 +1,37 @@
+#include "cracking/engine.h"
+
+namespace scrack {
+
+Status SelectEngine::Execute(const Query& query, QueryOutput* output) {
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  if (query.mode == OutputMode::kMaterialize) {
+    return Select(query.low, query.high, &output->result);
+  }
+  // Default aggregate path: run the ordinary select (so reorganization and
+  // update-merge side effects are exactly those of Select) and fold the
+  // segments in place. Engines with a cheaper answer override Execute.
+  QueryResult scratch;
+  SCRACK_RETURN_NOT_OK(Select(query.low, query.high, &scratch));
+  FoldResult(scratch, query, output);
+  return Status::OK();
+}
+
+Status SelectEngine::ExecuteBatch(const std::vector<Query>& queries,
+                                  std::vector<QueryOutput>* outputs) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("null batch outputs");
+  }
+  // Reject an invalid batch before any query runs, so every engine —
+  // including ones relying on this default — has atomic validation
+  // semantics rather than reorganizing on a prefix of a rejected request.
+  SCRACK_RETURN_NOT_OK(CheckBatch(queries));
+  SCRACK_RETURN_NOT_OK(PrepareBatch(queries));
+  outputs->clear();
+  outputs->resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCRACK_RETURN_NOT_OK(Execute(queries[i], &(*outputs)[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

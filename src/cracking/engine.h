@@ -12,7 +12,9 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "storage/query.h"
 #include "storage/query_result.h"
 #include "util/cache_info.h"
 #include "util/common.h"
@@ -31,6 +33,8 @@ struct EngineStats {
   int64_t materialized = 0;     ///< tuples copied into owned result buffers
   int64_t updates_merged = 0;   ///< pending updates merged into the column
   int64_t random_pivots = 0;    ///< stochastic pivot choices taken
+  int64_t aggregates_pushed = 0;  ///< aggregate queries this engine answered
+                                  ///  below the materialization boundary
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's
@@ -105,6 +109,41 @@ class SelectEngine {
     return result;
   }
 
+  /// Answers one Query (range + output mode). The default implementation
+  /// routes through Select — identical reorganization side effects — and
+  /// folds the result into the requested aggregate, so every engine is
+  /// correct by default. Engines override it where pushdown pays: Scan
+  /// aggregates in its single pass with no owned buffers, cracking engines
+  /// answer kCount/kExists straight from index piece bounds, ShardedEngine
+  /// merges per-shard partial aggregates. `*output` is reset first.
+  virtual Status Execute(const Query& query, QueryOutput* output);
+
+  /// Answers a batch of queries; outputs[i] answers queries[i]. Aggregate
+  /// answers are identical to issuing the queries one by one through
+  /// Execute (updates staged before the batch are visible to every query
+  /// in it), and the per-query overhead is amortized: one lock acquisition
+  /// in ThreadSafeEngine, one shard fan-out in ShardedEngine, one
+  /// pending-update intersection pass in the cracking engines. Two
+  /// caveats. First, kMaterialize outputs obey the usual view lifetime: on
+  /// a view-returning engine, every materialize output except the batch's
+  /// last holds views already invalidated by the later queries' own
+  /// reorganization — consume them through a deep-copying wrapper
+  /// (threadsafe/sharded) or use aggregate modes. Second, the hull pass
+  /// means a batch can surface a staged-update failure (delete of an
+  /// absent value anywhere inside the batch's bounding hull) that
+  /// one-by-one execution would only hit once a query's own range covered
+  /// it. On error the contents of *outputs are unspecified.
+  virtual Status ExecuteBatch(const std::vector<Query>& queries,
+                              std::vector<QueryOutput>* outputs);
+
+  /// Convenience wrapper for benches/examples where inputs are known valid.
+  QueryOutput ExecuteOrDie(const Query& query) {
+    QueryOutput output;
+    Status status = Execute(query, &output);
+    SCRACK_CHECK(status.ok());
+    return output;
+  }
+
   /// Whether an interval endpoint is part of the result.
   enum class Bound { kInclusive, kExclusive };
 
@@ -152,6 +191,13 @@ class SelectEngine {
   /// Cumulative work counters.
   const EngineStats& stats() const { return stats_; }
 
+  /// Snapshot of the counters that actually describe the work done, for
+  /// reporting (harness records, CLI). Wrapper engines whose own stats_ is
+  /// deliberately left untouched (ThreadSafeEngine: a mirrored copy would
+  /// race with concurrent readers) override this to return the meaningful
+  /// counters from the wrapped engine, taken under their lock.
+  virtual EngineStats CurrentStats() const { return stats_; }
+
   /// Internal-consistency check (index invariants against the data). Tests
   /// call this after every query. Default OK for structure-free engines.
   virtual Status Validate() const { return Status::OK(); }
@@ -162,6 +208,36 @@ class SelectEngine {
     if (low > high) {
       return Status::InvalidArgument("select range has low > high");
     }
+    return Status::OK();
+  }
+
+  /// Shared preamble for Execute implementations: validates the query and
+  /// the output pointer, and resets *output to a fresh state.
+  static Status CheckExecute(const Query& query, QueryOutput* output) {
+    SCRACK_RETURN_NOT_OK(CheckQuery(query));
+    if (output == nullptr) {
+      return Status::InvalidArgument("null query output");
+    }
+    *output = QueryOutput{};
+    return Status::OK();
+  }
+
+  /// Validates every query of a batch up front, so batch entry points with
+  /// side effects (pending-update hull merges, shard fan-outs) reject an
+  /// invalid batch before mutating any state.
+  static Status CheckBatch(const std::vector<Query>& queries) {
+    for (const Query& query : queries) {
+      SCRACK_RETURN_NOT_OK(CheckQuery(query));
+    }
+    return Status::OK();
+  }
+
+  /// Hook run by the default ExecuteBatch after validation and before the
+  /// per-query loop. Engines owning a cracker column override it to merge
+  /// the batch's pending-update hull once — one intersection pass per
+  /// batch instead of one per query (see
+  /// CrackerColumn::MergePendingInBatchHull for the semantics).
+  virtual Status PrepareBatch(const std::vector<Query>& /*queries*/) {
     return Status::OK();
   }
 

@@ -1,5 +1,7 @@
 #include "cracking/scan_engine.h"
 
+#include <algorithm>
+
 namespace scrack {
 
 ScanEngine::ScanEngine(const Column* base, const EngineConfig& config) {
@@ -20,6 +22,91 @@ Status ScanEngine::Select(Value low, Value high, QueryResult* result) {
   stats_.tuples_touched += static_cast<int64_t>(data_.size());
   stats_.materialized += static_cast<int64_t>(out.size());
   result->AddOwned(std::move(out));
+  return Status::OK();
+}
+
+Status ScanEngine::Execute(const Query& query, QueryOutput* output) {
+  if (query.mode == OutputMode::kMaterialize) {
+    return SelectEngine::Execute(query, output);
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  ++stats_.queries;
+  const Value low = query.low;
+  const Value high = query.high;
+  if (low >= high) {
+    // Statically empty range: nothing can qualify, skip the pass.
+    ++stats_.aggregates_pushed;
+    return Status::OK();
+  }
+  // One mode-specific loop each, so a query pays only for the fold it
+  // asked for — kCount does no adds or compares beyond the range test.
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      SCRACK_CHECK(false);  // handled above
+      break;
+    case OutputMode::kCount: {
+      Index count = 0;
+      for (Value v : data_) {
+        if (low <= v && v < high) ++count;
+      }
+      output->count = count;
+      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      break;
+    }
+    case OutputMode::kSum: {
+      Index count = 0;
+      int64_t sum = 0;
+      for (Value v : data_) {
+        if (low <= v && v < high) {
+          ++count;
+          sum += v;
+        }
+      }
+      output->count = count;
+      output->sum = sum;
+      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      break;
+    }
+    case OutputMode::kMinMax: {
+      Index count = 0;
+      Value mn = 0;
+      Value mx = 0;
+      for (Value v : data_) {
+        if (low <= v && v < high) {
+          if (count == 0) {
+            mn = v;
+            mx = v;
+          } else {
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+          ++count;
+        }
+      }
+      output->count = count;
+      if (count > 0) {
+        output->min = mn;
+        output->max = mx;
+      }
+      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      break;
+    }
+    case OutputMode::kExists: {
+      // LIMIT-k: stop at the limit-th hit; only the examined prefix counts
+      // as touched (the early-termination pattern aggregate scans enable).
+      int64_t examined = 0;
+      Index hits = 0;
+      for (Value v : data_) {
+        ++examined;
+        if (low <= v && v < high && ++hits == query.limit) break;
+      }
+      output->count = hits;
+      output->exists = hits >= query.limit;
+      stats_.tuples_touched += examined;
+      break;
+    }
+  }
+  ++stats_.aggregates_pushed;
   return Status::OK();
 }
 

@@ -20,6 +20,13 @@ class ScanEngine : public SelectEngine {
   ScanEngine(const Column* base, const EngineConfig& config);
 
   Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown: folds count/sum/min/max in the same single
+  /// short-circuiting pass Select uses, but never allocates an owned result
+  /// buffer. kExists stops scanning at the `limit`-th hit (LIMIT-k early
+  /// termination), touching only the prefix it examined.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
   std::string name() const override { return "scan"; }
 
   /// Scan has no deferred machinery: updates apply immediately.

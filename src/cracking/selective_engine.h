@@ -49,6 +49,12 @@ class SelectiveEngine : public SelectEngine {
   Status Validate() const override { return column_.Validate(); }
   CrackerColumn& column() { return column_; }
 
+ protected:
+  /// One pending-update intersection pass for the whole batch.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
+
  private:
   CrackerColumn column_;
   SelectivePolicy policy_;

@@ -40,6 +40,33 @@ Status SortEngine::Select(Value low, Value high, QueryResult* result) {
   return Status::OK();
 }
 
+Status SortEngine::Execute(const Query& query, QueryOutput* output) {
+  if (query.mode == OutputMode::kMaterialize) {
+    return SelectEngine::Execute(query, output);
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  ++stats_.queries;
+  EnsureSorted();
+  const Index begin = static_cast<Index>(
+      std::lower_bound(data_.begin(), data_.end(), query.low) -
+      data_.begin());
+  const Index end = static_cast<Index>(
+      std::lower_bound(data_.begin(), data_.end(), query.high) -
+      data_.begin());
+  if (query.mode == OutputMode::kMinMax && end > begin) {
+    // Sorted run: the endpoints are the extrema — no scan at all.
+    output->count = end - begin;
+    output->min = data_[static_cast<size_t>(begin)];
+    output->max = data_[static_cast<size_t>(end - 1)];
+    stats_.tuples_touched += 2;
+  } else {
+    AggregateRegion(data_.data(), begin, end, query, output,
+                    &stats_.tuples_touched);
+  }
+  ++stats_.aggregates_pushed;
+  return Status::OK();
+}
+
 Status SortEngine::StageInsert(Value v) {
   if (!sorted_) {
     pre_init_inserts_.push_back(v);

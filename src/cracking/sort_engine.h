@@ -21,6 +21,12 @@ class SortEngine : public SelectEngine {
   SortEngine(const Column* base, const EngineConfig& config);
 
   Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown: two binary searches bound the qualifying run;
+  /// kCount/kExists are pure position arithmetic and kMinMax reads the two
+  /// run endpoints (the run is sorted). Only kSum scans the run.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
   std::string name() const override { return "sort"; }
 
   /// Updates maintain sortedness by shifting (O(n) per update).

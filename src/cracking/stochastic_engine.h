@@ -30,6 +30,13 @@ class DataDrivenEngine : public SelectEngine {
         recursive_(recursive) {}
 
   Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown: the data-driven variants crack on both bounds
+  /// (after their auxiliary stochastic cracks) and answer with one
+  /// contiguous region, so aggregates come from the piece bounds with no
+  /// owned buffers — same reorganization as Select, zero tuple copies.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
   std::string name() const override;
 
   Status StageInsert(Value v) override {
@@ -43,6 +50,12 @@ class DataDrivenEngine : public SelectEngine {
 
   Status Validate() const override { return column_.Validate(); }
   CrackerColumn& column() { return column_; }
+
+ protected:
+  /// One pending-update intersection pass for the whole batch.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
 
  private:
   CrackerColumn column_;
@@ -72,6 +85,12 @@ class Mdd1rEngine : public SelectEngine {
   Status Validate() const override { return column_.Validate(); }
   CrackerColumn& column() { return column_; }
 
+ protected:
+  /// One pending-update intersection pass for the whole batch.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
+
  private:
   CrackerColumn column_;
 };
@@ -96,6 +115,12 @@ class ProgressiveEngine : public SelectEngine {
 
   Status Validate() const override { return column_.Validate(); }
   CrackerColumn& column() { return column_; }
+
+ protected:
+  /// One pending-update intersection pass for the whole batch.
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
 
  private:
   CrackerColumn column_;

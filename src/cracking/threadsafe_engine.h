@@ -15,6 +15,8 @@
 
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "cracking/engine.h"
 
@@ -29,11 +31,40 @@ class ThreadSafeEngine : public SelectEngine {
 
   Status Select(Value low, Value high, QueryResult* result) override {
     std::lock_guard<std::mutex> lock(mutex_);
-    QueryResult unsafe;
-    SCRACK_RETURN_NOT_OK(inner_->Select(low, high, &unsafe));
-    // Deep-copy while still holding the lock: views into the inner
-    // engine's column are only valid until the next reorganization.
-    result->AddOwned(unsafe.Collect());
+    return SelectLocked(low, high, result);
+  }
+
+  /// Aggregate outputs carry no pointers into the inner column, so they
+  /// pass through without the materialize deep copy — the lock is the only
+  /// concurrency cost of an aggregate query here.
+  Status Execute(const Query& query, QueryOutput* output) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ExecuteLocked(query, output);
+  }
+
+  /// One lock acquisition for the whole batch. An aggregate-only batch is
+  /// forwarded wholesale, so the inner engine's own batch amortizations
+  /// (pending-update hull merge) apply too; a batch containing
+  /// kMaterialize queries runs one query at a time because each result must
+  /// be deep-copied before the *next* query's reorganization invalidates
+  /// its views.
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override {
+    if (outputs == nullptr) {
+      return Status::InvalidArgument("null batch outputs");
+    }
+    SCRACK_RETURN_NOT_OK(CheckBatch(queries));
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool any_materialize = false;
+    for (const Query& query : queries) {
+      if (query.mode == OutputMode::kMaterialize) any_materialize = true;
+    }
+    if (!any_materialize) return inner_->ExecuteBatch(queries, outputs);
+    outputs->clear();
+    outputs->resize(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      SCRACK_RETURN_NOT_OK(ExecuteLocked(queries[i], &(*outputs)[i]));
+    }
     return Status::OK();
   }
 
@@ -62,7 +93,30 @@ class ThreadSafeEngine : public SelectEngine {
     return inner_->stats();
   }
 
+  /// The meaningful counters live on the wrapped engine; the outer stats_
+  /// stays untouched (see InnerStats).
+  EngineStats CurrentStats() const override { return InnerStats(); }
+
  private:
+  // Bodies of Select/Execute with mutex_ already held (the mutex is not
+  // recursive, so ExecuteBatch must not re-enter the public entry points).
+  Status SelectLocked(Value low, Value high, QueryResult* result) {
+    QueryResult unsafe;
+    SCRACK_RETURN_NOT_OK(inner_->Select(low, high, &unsafe));
+    // Deep-copy while still holding the lock: views into the inner
+    // engine's column are only valid until the next reorganization.
+    result->AddOwned(unsafe.Collect());
+    return Status::OK();
+  }
+
+  Status ExecuteLocked(const Query& query, QueryOutput* output) {
+    if (query.mode != OutputMode::kMaterialize) {
+      return inner_->Execute(query, output);
+    }
+    SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+    return SelectLocked(query.low, query.high, &output->result);
+  }
+
   mutable std::mutex mutex_;
   std::unique_ptr<SelectEngine> inner_;
 };

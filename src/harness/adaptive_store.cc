@@ -29,6 +29,25 @@ Status AdaptiveStore::Select(const std::string& name, Value low, Value high,
   return it->second.engine->Select(low, high, result);
 }
 
+Status AdaptiveStore::Execute(const std::string& name, const Query& query,
+                              QueryOutput* output) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return it->second.engine->Execute(query, output);
+}
+
+Status AdaptiveStore::ExecuteBatch(const std::string& name,
+                                   const std::vector<Query>& queries,
+                                   std::vector<QueryOutput>* outputs) {
+  auto it = columns_.find(name);
+  if (it == columns_.end()) {
+    return Status::NotFound("no such column: " + name);
+  }
+  return it->second.engine->ExecuteBatch(queries, outputs);
+}
+
 Status AdaptiveStore::Insert(const std::string& name, Value v) {
   auto it = columns_.find(name);
   if (it == columns_.end()) {

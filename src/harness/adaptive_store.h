@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cracking/engine.h"
 #include "storage/column.h"
@@ -27,6 +28,18 @@ class AdaptiveStore {
   /// Range select [low, high) on a named column.
   Status Select(const std::string& name, Value low, Value high,
                 QueryResult* result);
+
+  /// Executes one Query (range + output mode) on a named column. Aggregate
+  /// modes (kCount/kSum/kMinMax/kExists) let the engine push the fold below
+  /// materialization — the cheap path for dashboard-style workloads.
+  Status Execute(const std::string& name, const Query& query,
+                 QueryOutput* output);
+
+  /// Executes a batch of queries on a named column with amortized per-query
+  /// overhead; outputs[i] answers queries[i].
+  Status ExecuteBatch(const std::string& name,
+                      const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs);
 
   /// Stages an insert/delete on a named column (merged adaptively).
   Status Insert(const std::string& name, Value v);

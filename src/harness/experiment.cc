@@ -37,24 +37,40 @@ RunResult RunQueries(SelectEngine* engine,
     const RangeQuery& query = queries[static_cast<size_t>(i)];
     if (options.before_query) {
       result.status = options.before_query(i, engine);
-      if (!result.status.ok()) return result;
+      if (!result.status.ok()) {
+        result.final_stats = engine->CurrentStats();
+        return result;
+      }
     }
-    const int64_t touched_before = engine->stats().tuples_touched;
+    const int64_t touched_before = engine->CurrentStats().tuples_touched;
     QueryRecord record;
     Timer timer;
-    QueryResult query_result;
-    result.status = engine->Select(query.low, query.high, &query_result);
+    QueryOutput output;
+    result.status = engine->Execute(
+        Query{query.low, query.high, options.mode, /*limit=*/1}, &output);
     record.seconds = timer.ElapsedSeconds();
-    if (!result.status.ok()) return result;
-    record.touched = engine->stats().tuples_touched - touched_before;
-    record.result_count = query_result.count();
-    record.result_sum = query_result.Sum();
+    if (!result.status.ok()) {
+      result.final_stats = engine->CurrentStats();
+      return result;
+    }
+    record.touched = engine->CurrentStats().tuples_touched - touched_before;
+    if (options.mode == OutputMode::kMaterialize) {
+      record.result_count = output.result.count();
+      record.result_sum = output.result.Sum();
+    } else {
+      record.result_count = output.count;
+      record.result_sum = output.sum;  // zero except kSum
+    }
     result.records.push_back(record);
     if (options.validate_each_query) {
       result.status = engine->Validate();
-      if (!result.status.ok()) return result;
+      if (!result.status.ok()) {
+        result.final_stats = engine->CurrentStats();
+        return result;
+      }
     }
   }
+  result.final_stats = engine->CurrentStats();
   return result;
 }
 

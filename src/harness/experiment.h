@@ -28,6 +28,15 @@ struct RunOptions {
   /// Invoked before each query — e.g. to stage updates (Fig. 15). A non-OK
   /// status aborts the run.
   std::function<Status(QueryId, SelectEngine*)> before_query;
+
+  /// Output mode the queries are executed in. kMaterialize reproduces the
+  /// classic Select path; aggregate modes exercise the pushdown path. The
+  /// record's count/sum come from the aggregate: result_count is the true
+  /// qualifying count for kMaterialize/kCount/kSum/kMinMax (so those
+  /// checksums are comparable across modes), but in kExists mode it is the
+  /// hit count capped at the probe limit (1 here); result_sum is nonzero
+  /// only for kMaterialize/kSum.
+  OutputMode mode = OutputMode::kMaterialize;
 };
 
 /// Outcome of a run.
@@ -35,6 +44,10 @@ struct RunResult {
   std::string engine_name;
   std::vector<QueryRecord> records;
   Status status;  ///< first failure, or OK
+
+  /// Engine counters at the end of the run (aggregates_pushed,
+  /// materialized, ... for the benches' tables).
+  EngineStats final_stats;
 
   /// Sum of the first `upto` per-query times (all if upto < 0).
   double CumulativeSeconds(QueryId upto = -1) const;

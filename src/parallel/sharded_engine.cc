@@ -114,6 +114,35 @@ bool ShardedEngine::Intersects(int i, Value low, Value high) const {
   return above_lower && below_upper;
 }
 
+void ShardedEngine::FanOut(
+    size_t num_tasks, const std::function<void(size_t)>& run_task) const {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || pool_ == nullptr) {
+    // Selective work inside one shard: run on the caller's thread and skip
+    // the pool round-trip.
+    for (size_t k = 0; k < num_tasks; ++k) run_task(k);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(num_tasks - 1);
+  // Every pool task references this frame, so nothing — not even an
+  // exception out of the caller-run task below — may unwind it before
+  // all tasks finish; the guard's destructor enforces that.
+  struct WaitAll {
+    std::vector<std::future<void>>& futures;
+    ~WaitAll() {
+      for (std::future<void>& f : futures) {
+        if (f.valid()) f.wait();
+      }
+    }
+  } wait_all{pending};
+  for (size_t k = 0; k + 1 < num_tasks; ++k) {
+    pending.push_back(pool_->Submit([&run_task, k] { run_task(k); }));
+  }
+  run_task(num_tasks - 1);  // caller works too instead of idling
+  for (std::future<void>& f : pending) f.get();
+}
+
 Status ShardedEngine::Select(Value low, Value high, QueryResult* result) {
   SCRACK_RETURN_NOT_OK(CheckRange(low, high));
   if (result == nullptr) {
@@ -132,7 +161,7 @@ Status ShardedEngine::Select(Value low, Value high, QueryResult* result) {
     std::vector<Value> values;
   };
   std::vector<ShardOutput> outputs(hits.size());
-  auto run_shard = [&](size_t k) {
+  FanOut(hits.size(), [&](size_t k) {
     Shard& shard = *shards_[static_cast<size_t>(hits[k])];
     std::lock_guard<std::mutex> lock(shard.mutex);
     QueryResult local;
@@ -141,32 +170,7 @@ Status ShardedEngine::Select(Value low, Value high, QueryResult* result) {
     // cracker column die at its next reorganization.
     if (outputs[k].status.ok()) outputs[k].values = local.Collect();
     shard.UpdateStatsCache();
-  };
-
-  if (hits.size() == 1) {
-    // Selective query inside one shard: run on the caller's thread and
-    // skip the pool round-trip.
-    run_shard(0);
-  } else if (!hits.empty()) {
-    std::vector<std::future<void>> pending;
-    pending.reserve(hits.size() - 1);
-    // Every pool task references this frame, so nothing — not even an
-    // exception out of the caller-run task below — may unwind it before
-    // all tasks finish; the guard's destructor enforces that.
-    struct WaitAll {
-      std::vector<std::future<void>>& futures;
-      ~WaitAll() {
-        for (std::future<void>& f : futures) {
-          if (f.valid()) f.wait();
-        }
-      }
-    } wait_all{pending};
-    for (size_t k = 0; k + 1 < hits.size(); ++k) {
-      pending.push_back(pool_->Submit([&run_shard, k] { run_shard(k); }));
-    }
-    run_shard(hits.size() - 1);  // caller works too instead of idling
-    for (std::future<void>& f : pending) f.get();
-  }
+  });
 
   int64_t copied = 0;
   for (ShardOutput& output : outputs) {
@@ -176,7 +180,145 @@ Status ShardedEngine::Select(Value low, Value high, QueryResult* result) {
     copied += static_cast<int64_t>(output.values.size());
     result->AddOwned(std::move(output.values));
   }
-  RefreshStats(copied);
+  RefreshStats(/*new_queries=*/1, copied, /*newly_pushed=*/0);
+  return Status::OK();
+}
+
+Status ShardedEngine::Execute(const Query& query, QueryOutput* output) {
+  if (query.mode == OutputMode::kMaterialize) {
+    // The Select fan-out already merges materialized shard results.
+    return SelectEngine::Execute(query, output);
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+
+  std::vector<int> hits;
+  if (query.low < query.high) {
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      if (Intersects(i, query.low, query.high)) hits.push_back(i);
+    }
+  }
+
+  struct ShardPartial {
+    Status status;
+    QueryOutput partial;
+  };
+  std::vector<ShardPartial> partials(hits.size());
+  FanOut(hits.size(), [&](size_t k) {
+    Shard& shard = *shards_[static_cast<size_t>(hits[k])];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Inner pushdown (crack-from-piece-bounds, scan single pass) applies
+    // per shard; the partial is plain scalars, so no deep copy is needed.
+    partials[k].status = shard.engine->Execute(query, &partials[k].partial);
+    shard.UpdateStatsCache();
+  });
+
+  for (const ShardPartial& entry : partials) {
+    SCRACK_RETURN_NOT_OK(entry.status);
+  }
+  for (const ShardPartial& entry : partials) {
+    MergePartial(query, entry.partial, output);
+  }
+  RefreshStats(/*new_queries=*/1, /*newly_materialized=*/0,
+               /*newly_pushed=*/1);
+  return Status::OK();
+}
+
+Status ShardedEngine::ExecuteBatch(const std::vector<Query>& queries,
+                                   std::vector<QueryOutput>* outputs) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("null batch outputs");
+  }
+  SCRACK_RETURN_NOT_OK(CheckBatch(queries));
+  outputs->clear();
+  outputs->resize(queries.size());
+
+  // One fan-out for the whole batch: each shard gets its intersecting
+  // subset as one inner batch under one lock acquisition.
+  std::vector<std::vector<size_t>> shard_queries(shards_.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& query = queries[qi];
+    if (query.low >= query.high) continue;  // empty range hits no shard
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      if (Intersects(i, query.low, query.high)) {
+        shard_queries[static_cast<size_t>(i)].push_back(qi);
+      }
+    }
+  }
+  std::vector<int> hits;
+  for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+    if (!shard_queries[static_cast<size_t>(i)].empty()) hits.push_back(i);
+  }
+
+  struct ShardBatch {
+    Status status;
+    std::vector<QueryOutput> partials;           // one per assigned query
+    std::vector<std::vector<Value>> collected;   // kMaterialize deep copies
+  };
+  std::vector<ShardBatch> batches(hits.size());
+  FanOut(hits.size(), [&](size_t k) {
+    const std::vector<size_t>& assigned =
+        shard_queries[static_cast<size_t>(hits[k])];
+    Shard& shard = *shards_[static_cast<size_t>(hits[k])];
+    ShardBatch& batch = batches[k];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bool any_materialize = false;
+    for (size_t qi : assigned) {
+      if (queries[qi].mode == OutputMode::kMaterialize) {
+        any_materialize = true;
+      }
+    }
+    if (!any_materialize) {
+      // Aggregate-only subset: forward as one inner batch, so the inner
+      // engine's own amortizations (pending-update hull merge) apply.
+      std::vector<Query> sub;
+      sub.reserve(assigned.size());
+      for (size_t qi : assigned) sub.push_back(queries[qi]);
+      batch.status = shard.engine->ExecuteBatch(sub, &batch.partials);
+      batch.collected.resize(assigned.size());
+      shard.UpdateStatsCache();
+      return;
+    }
+    batch.partials.resize(assigned.size());
+    batch.collected.resize(assigned.size());
+    // With kMaterialize present, queries run one at a time so each result
+    // is deep-copied before the next query's reorganization invalidates
+    // its views; aggregates are scalars and need no copy.
+    for (size_t j = 0; j < assigned.size(); ++j) {
+      const Query& query = queries[assigned[j]];
+      batch.status = shard.engine->Execute(query, &batch.partials[j]);
+      if (!batch.status.ok()) break;
+      if (query.mode == OutputMode::kMaterialize) {
+        batch.collected[j] = batch.partials[j].result.Collect();
+      }
+    }
+    shard.UpdateStatsCache();
+  });
+
+  for (const ShardBatch& batch : batches) {
+    SCRACK_RETURN_NOT_OK(batch.status);
+  }
+  // Merge in shard order, matching the segment order Select produces.
+  int64_t copied = 0;
+  int64_t pushed = 0;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    const std::vector<size_t>& assigned =
+        shard_queries[static_cast<size_t>(hits[k])];
+    ShardBatch& batch = batches[k];
+    for (size_t j = 0; j < assigned.size(); ++j) {
+      const Query& query = queries[assigned[j]];
+      QueryOutput& merged = (*outputs)[assigned[j]];
+      if (query.mode == OutputMode::kMaterialize) {
+        copied += static_cast<int64_t>(batch.collected[j].size());
+        merged.result.AddOwned(std::move(batch.collected[j]));
+      } else {
+        MergePartial(query, batch.partials[j], &merged);
+      }
+    }
+  }
+  for (const Query& query : queries) {
+    if (query.mode != OutputMode::kMaterialize) ++pushed;
+  }
+  RefreshStats(static_cast<int64_t>(queries.size()), copied, pushed);
   return Status::OK();
 }
 
@@ -221,10 +363,13 @@ std::string ShardedEngine::name() const {
          ")";
 }
 
-void ShardedEngine::RefreshStats(int64_t newly_materialized) {
+void ShardedEngine::RefreshStats(int64_t new_queries,
+                                 int64_t newly_materialized,
+                                 int64_t newly_pushed) {
   std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-  ++own_queries_;
+  own_queries_ += new_queries;
   own_materialized_ += newly_materialized;
+  own_aggregates_pushed_ += newly_pushed;
   // Sum the per-shard caches rather than the live inner stats: a cache
   // read never waits on another shard's in-flight reorganization, so
   // finishing queries do not convoy behind the busiest shard.
@@ -241,6 +386,10 @@ void ShardedEngine::RefreshStats(int64_t newly_materialized) {
   }
   aggregate.queries = own_queries_;
   aggregate.materialized += own_materialized_;
+  // aggregates_pushed counts *user-level* queries this engine answered via
+  // partial-aggregate merge; the per-shard inner pushes that serve one such
+  // query are implementation detail and would double-count.
+  aggregate.aggregates_pushed = own_aggregates_pushed_;
   stats_ = aggregate;
 }
 

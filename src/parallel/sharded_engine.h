@@ -20,7 +20,9 @@
 // the finer-grained locking the paper defers to future work (§6), realized
 // at shard granularity. Like ThreadSafeEngine, results are materialized
 // (deep-copied) while the shard lock is held: borrowed views would be
-// invalidated by the next reorganization of the shard.
+// invalidated by the next reorganization of the shard. Aggregate queries
+// (Execute with kCount/kSum/kMinMax/kExists) skip that cost entirely —
+// each shard returns a partial aggregate and only scalars are merged.
 #pragma once
 
 #include <functional>
@@ -61,6 +63,26 @@ class ShardedEngine : public SelectEngine {
   static constexpr int kMaxShards = 1024;
 
   Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown across shards: each intersecting shard answers the
+  /// aggregate through its inner engine (inheriting any inner pushdown)
+  /// and only the partial aggregates — a handful of scalars per shard —
+  /// are merged, instead of merged materialized segments. kMaterialize
+  /// falls back to the Select fan-out.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
+  /// Batched execution with one shard fan-out for the whole batch: every
+  /// shard receives its intersecting subset of the queries under one
+  /// shard-lock acquisition — forwarded as one inner batch when the subset
+  /// is aggregate-only, or one query at a time when it contains
+  /// kMaterialize (each result must be deep-copied before the next query's
+  /// reorganization invalidates its views). Per-query partial aggregates
+  /// are then merged in shard order. Answers match issuing the queries one
+  /// by one — including kMaterialize, whose outputs here are deep copies
+  /// and so survive the rest of the batch.
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override;
+
   std::string name() const override;
   Status StageInsert(Value v) override;
   Status StageDelete(Value v) override;
@@ -74,6 +96,9 @@ class ShardedEngine : public SelectEngine {
   /// at quiescence (no in-flight Selects), which is how the single-threaded
   /// harness uses it.
   EngineStats StatsSnapshot() const;
+
+  /// Reporting accessor: the locked snapshot.
+  EngineStats CurrentStats() const override { return StatsSnapshot(); }
 
  private:
   struct Shard {
@@ -105,9 +130,16 @@ class ShardedEngine : public SelectEngine {
   /// True if shard `i`'s value range intersects [low, high).
   bool Intersects(int i, Value low, Value high) const;
 
+  /// Runs run_task(0..num_tasks-1), fanning out on the pool with the
+  /// caller's thread working too; a single task runs inline. Does not
+  /// return until every task finished (even on exception).
+  void FanOut(size_t num_tasks,
+              const std::function<void(size_t)>& run_task) const;
+
   /// Recomputes stats_ as the sum of inner-engine stats plus this engine's
-  /// own query / materialization counters.
-  void RefreshStats(int64_t newly_materialized);
+  /// own query / materialization / pushdown counters.
+  void RefreshStats(int64_t new_queries, int64_t newly_materialized,
+                    int64_t newly_pushed);
 
   const int requested_shards_;
   const std::string inner_name_;
@@ -115,8 +147,10 @@ class ShardedEngine : public SelectEngine {
   std::unique_ptr<ThreadPool> pool_;  ///< null when one shard (never fans out)
 
   mutable std::mutex stats_mutex_;  // guards stats_ and the own_* counters
-  int64_t own_queries_ = 0;       // Selects served by this engine
+  int64_t own_queries_ = 0;       // Select/Execute queries served
   int64_t own_materialized_ = 0;  // tuples deep-copied during merges
+  int64_t own_aggregates_pushed_ = 0;  // queries answered by merging
+                                       // per-shard partial aggregates
 };
 
 }  // namespace scrack

@@ -8,6 +8,7 @@
 // merge itself is the Ripple shift implemented by the engines).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "util/common.h"
@@ -16,67 +17,102 @@
 namespace scrack {
 
 /// Pending inserts and deletes for one column. Not thread-safe.
+///
+/// Both pools are read in sorted order, so the hot per-query operation —
+/// "does any pending update fall in [lo, hi)?" — is an O(log pending)
+/// binary search instead of a full scan, and a take locates its run the
+/// same way (the erase still shifts the tail behind the run, but that cost
+/// only arises on queries that actually merge updates). Sorting is lazy:
+/// staging appends in O(1) (bulk-loading k updates stays O(k)) and the
+/// first read after out-of-order staging pays one sort.
 class PendingUpdates {
  public:
   /// Stages a value for insertion.
-  void StageInsert(Value v) { inserts_.push_back(v); }
+  void StageInsert(Value v) { inserts_.Stage(v); }
 
   /// Stages a value for deletion. The value is matched against the cracker
   /// column at merge time; deleting a value that never existed surfaces as a
   /// NotFound status from the merge.
-  void StageDelete(Value v) { deletes_.push_back(v); }
+  void StageDelete(Value v) { deletes_.Stage(v); }
 
   Index num_pending_inserts() const {
-    return static_cast<Index>(inserts_.size());
+    return static_cast<Index>(inserts_.values.size());
   }
   Index num_pending_deletes() const {
-    return static_cast<Index>(deletes_.size());
+    return static_cast<Index>(deletes_.values.size());
   }
-  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  bool empty() const {
+    return inserts_.values.empty() && deletes_.values.empty();
+  }
 
   /// True if any pending insert or delete has a value in [lo, hi).
+  /// Amortized O(log pending): one lower_bound per pool.
   bool IntersectsRange(Value lo, Value hi) const {
-    for (Value v : inserts_) {
-      if (v >= lo && v < hi) return true;
-    }
-    for (Value v : deletes_) {
-      if (v >= lo && v < hi) return true;
-    }
-    return false;
+    return inserts_.Intersects(lo, hi) || deletes_.Intersects(lo, hi);
   }
 
-  /// Removes and returns all pending inserts with value in [lo, hi).
+  /// Removes and returns all pending inserts with value in [lo, hi), in
+  /// ascending value order.
   std::vector<Value> TakeInsertsIn(Value lo, Value hi) {
-    return TakeIn(&inserts_, lo, hi);
+    return inserts_.TakeIn(lo, hi);
   }
 
-  /// Removes and returns all pending deletes with value in [lo, hi).
+  /// Removes and returns all pending deletes with value in [lo, hi), in
+  /// ascending value order.
   std::vector<Value> TakeDeletesIn(Value lo, Value hi) {
-    return TakeIn(&deletes_, lo, hi);
+    return deletes_.TakeIn(lo, hi);
   }
 
-  const std::vector<Value>& inserts() const { return inserts_; }
-  const std::vector<Value>& deletes() const { return deletes_; }
+  /// The pending values, sorted ascending.
+  const std::vector<Value>& inserts() const { return inserts_.Sorted(); }
+  const std::vector<Value>& deletes() const { return deletes_.Sorted(); }
 
  private:
-  static std::vector<Value> TakeIn(std::vector<Value>* pool, Value lo,
-                                   Value hi) {
-    std::vector<Value> taken;
-    size_t keep = 0;
-    for (size_t i = 0; i < pool->size(); ++i) {
-      Value v = (*pool)[i];
-      if (v >= lo && v < hi) {
-        taken.push_back(v);
-      } else {
-        (*pool)[keep++] = v;
+  // One staging pool. `values` is sorted whenever `sorted` is true; every
+  // read goes through EnsureSorted. Members are mutable so const readers
+  // can settle the lazy sort (the class is documented single-threaded).
+  struct Pool {
+    mutable std::vector<Value> values;
+    mutable bool sorted = true;
+
+    void Stage(Value v) {
+      if (!values.empty() && v < values.back()) sorted = false;
+      values.push_back(v);
+    }
+
+    void EnsureSorted() const {
+      if (!sorted) {
+        std::sort(values.begin(), values.end());
+        sorted = true;
       }
     }
-    pool->resize(keep);
-    return taken;
-  }
 
-  std::vector<Value> inserts_;
-  std::vector<Value> deletes_;
+    const std::vector<Value>& Sorted() const {
+      EnsureSorted();
+      return values;
+    }
+
+    bool Intersects(Value lo, Value hi) const {
+      EnsureSorted();
+      const auto it = std::lower_bound(values.begin(), values.end(), lo);
+      return it != values.end() && *it < hi;
+    }
+
+    // The matching values form one contiguous run [lower_bound(lo),
+    // lower_bound(hi)): copy it out and erase it. Locating the run is
+    // O(log pending); the erase shifts the tail behind it.
+    std::vector<Value> TakeIn(Value lo, Value hi) {
+      EnsureSorted();
+      const auto first = std::lower_bound(values.begin(), values.end(), lo);
+      const auto last = std::lower_bound(first, values.end(), hi);
+      std::vector<Value> taken(first, last);
+      values.erase(first, last);
+      return taken;
+    }
+  };
+
+  Pool inserts_;
+  Pool deletes_;
 };
 
 }  // namespace scrack

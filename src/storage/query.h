@@ -1,0 +1,224 @@
+// Query / QueryOutput: the first-class request form of a range select.
+//
+// The paper's cost argument (§3) is that the *form* of a select's answer
+// matters: cracking returns contiguous views while Scan and the MDD1R end
+// pieces must materialize. Aggregate-heavy workloads (COUNT/SUM dashboards,
+// LIMIT-k existence probes) never need the tuples at all — so a Query pairs
+// a half-open range [low, high) with an OutputMode, letting engines push
+// the aggregation below the materialization boundary: cracking answers
+// kCount straight from index piece bounds, Scan folds in its single pass,
+// ShardedEngine merges per-shard partial aggregates instead of copies.
+//
+// Batches: ExecuteBatch(vector<Query>) amortizes per-query overhead (one
+// lock acquisition in ThreadSafeEngine, one shard fan-out in ShardedEngine,
+// one pending-update intersection pass in the cracking engines). Updates
+// staged before a batch are visible to every query in it; the per-query
+// answers are identical to issuing the same queries one by one.
+#pragma once
+
+#include <algorithm>
+
+#include "storage/query_result.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// What a query wants back. Everything except kMaterialize is an aggregate
+/// that engines may compute without allocating owned result buffers.
+enum class OutputMode {
+  kMaterialize,  ///< full QueryResult (views and/or owned buffers)
+  kCount,        ///< number of qualifying tuples
+  kSum,          ///< sum of qualifying values (plus their count)
+  kMinMax,       ///< min and max qualifying value (plus their count)
+  kExists,       ///< LIMIT-k probe: are there at least `limit` hits?
+};
+
+/// Display name, e.g. "count".
+inline const char* OutputModeName(OutputMode mode) {
+  switch (mode) {
+    case OutputMode::kMaterialize: return "materialize";
+    case OutputMode::kCount: return "count";
+    case OutputMode::kSum: return "sum";
+    case OutputMode::kMinMax: return "minmax";
+    case OutputMode::kExists: return "exists";
+  }
+  return "?";
+}
+
+/// One range-select request: half-open [low, high) plus an output mode.
+struct Query {
+  Value low = 0;
+  Value high = 0;
+  OutputMode mode = OutputMode::kMaterialize;
+
+  /// kExists only: the query succeeds once this many qualifying tuples are
+  /// known to exist (LIMIT-k / NeedleTail-style early termination). Must be
+  /// >= 1.
+  Index limit = 1;
+};
+
+/// Answer to one Query. Which fields are meaningful depends on the mode:
+///   kMaterialize — `result` (count/sum available via result.count()/Sum())
+///   kCount       — `count`
+///   kSum         — `count`, `sum`
+///   kMinMax      — `count`; `min`/`max` valid iff count > 0
+///   kExists      — `exists`; `count` = hits found, capped at query.limit
+/// Aggregate fields are plain values with no pointers into engine state, so
+/// unlike borrowed views they survive later reorganizing queries.
+struct QueryOutput {
+  Index count = 0;
+  int64_t sum = 0;
+  Value min = 0;
+  Value max = 0;
+  bool exists = false;
+  QueryResult result;  ///< kMaterialize only; move-only, like QueryResult
+};
+
+/// Validates a query: low <= high, and limit >= 1 for kExists.
+inline Status CheckQuery(const Query& query) {
+  if (query.low > query.high) {
+    return Status::InvalidArgument("query range has low > high");
+  }
+  if (query.mode == OutputMode::kExists && query.limit < 1) {
+    return Status::InvalidArgument("kExists query needs limit >= 1");
+  }
+  return Status::OK();
+}
+
+/// Folds a contiguous region data[begin, end) in which *every* value
+/// qualifies — the shape cracking produces: after cracks exist at both
+/// bounds the answer is exactly one piece range. kCount and kExists read
+/// zero tuples (the piece bounds are the answer); kSum/kMinMax read the
+/// region but copy nothing. `*touched` is incremented by the number of
+/// tuples actually read, so engine accounting stays comparable with Scan's
+/// full-pass pushdown (pass nullptr to skip).
+inline void AggregateRegion(const Value* data, Index begin, Index end,
+                            const Query& query, QueryOutput* output,
+                            int64_t* touched = nullptr) {
+  const Index count = end > begin ? end - begin : 0;
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      break;  // callers materialize through QueryResult instead
+    case OutputMode::kCount:
+      output->count = count;
+      break;
+    case OutputMode::kSum: {
+      int64_t sum = 0;
+      for (Index i = begin; i < end; ++i) sum += data[i];
+      output->count = count;
+      output->sum = sum;
+      if (touched != nullptr) *touched += count;
+      break;
+    }
+    case OutputMode::kMinMax:
+      output->count = count;
+      if (count > 0) {
+        Value mn = data[begin];
+        Value mx = data[begin];
+        for (Index i = begin + 1; i < end; ++i) {
+          mn = std::min(mn, data[i]);
+          mx = std::max(mx, data[i]);
+        }
+        output->min = mn;
+        output->max = mx;
+      }
+      if (touched != nullptr) *touched += count;
+      break;
+    case OutputMode::kExists:
+      output->count = std::min(count, query.limit);
+      output->exists = count >= query.limit;
+      break;
+  }
+}
+
+/// Folds an already-assembled QueryResult into an aggregate — the default
+/// path for engines without a pushdown override. Reads the segments in
+/// place; copies nothing beyond what Select itself materialized.
+inline void FoldResult(const QueryResult& result, const Query& query,
+                       QueryOutput* output) {
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      break;  // caller keeps the QueryResult itself
+    case OutputMode::kCount:
+      output->count = result.count();
+      break;
+    case OutputMode::kSum:
+      output->count = result.count();
+      output->sum = result.Sum();
+      break;
+    case OutputMode::kMinMax: {
+      output->count = result.count();
+      bool first = true;
+      result.ForEachSegment([&](const Value* data, Index len) {
+        for (Index i = 0; i < len; ++i) {
+          if (first || data[i] < output->min) output->min = data[i];
+          if (first || data[i] > output->max) output->max = data[i];
+          first = false;
+        }
+      });
+      break;
+    }
+    case OutputMode::kExists: {
+      const Index hits = result.count();
+      output->count = std::min(hits, query.limit);
+      output->exists = hits >= query.limit;
+      break;
+    }
+  }
+}
+
+/// Merges a partial aggregate into `output` — how ShardedEngine combines
+/// per-shard answers without merging materialized segments. Requires every
+/// partial to follow the QueryOutput conventions above (in particular,
+/// kExists counts capped at query.limit, which keeps the merged count
+/// well-defined: the capped sum reaches limit iff the true total does).
+/// kMaterialize is not merged here; buffer ownership stays with the caller.
+inline void MergePartial(const Query& query, const QueryOutput& partial,
+                         QueryOutput* output) {
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      break;
+    case OutputMode::kCount:
+      output->count += partial.count;
+      break;
+    case OutputMode::kSum:
+      output->count += partial.count;
+      output->sum += partial.sum;
+      break;
+    case OutputMode::kMinMax:
+      if (partial.count > 0) {
+        if (output->count == 0) {
+          output->min = partial.min;
+          output->max = partial.max;
+        } else {
+          output->min = std::min(output->min, partial.min);
+          output->max = std::max(output->max, partial.max);
+        }
+      }
+      output->count += partial.count;
+      break;
+    case OutputMode::kExists:
+      output->count =
+          std::min(query.limit, output->count + partial.count);
+      output->exists = output->count >= query.limit;
+      break;
+  }
+}
+
+/// Bounding hull [*lo, *hi) of the non-empty ranges in `queries`; false if
+/// every range is empty. Lets batch entry points run one pending-update
+/// intersection pass for the whole batch.
+template <typename QueryContainer>
+inline bool QueryHull(const QueryContainer& queries, Value* lo, Value* hi) {
+  bool any = false;
+  for (const Query& query : queries) {
+    if (query.low >= query.high) continue;
+    if (!any || query.low < *lo) *lo = query.low;
+    if (!any || query.high > *hi) *hi = query.high;
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace scrack

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/common.h"
@@ -26,14 +27,34 @@ class QueryResult {
 
   QueryResult(const QueryResult&) = delete;
   QueryResult& operator=(const QueryResult&) = delete;
-  QueryResult(QueryResult&&) = default;
-  QueryResult& operator=(QueryResult&&) = default;
+  // Explicit moves so the moved-from result reports count() == 0 rather
+  // than the stale cached total of the segments it no longer holds.
+  QueryResult(QueryResult&& other) noexcept
+      : segments_(std::move(other.segments_)),
+        owned_(std::move(other.owned_)),
+        total_(std::exchange(other.total_, 0)) {
+    other.segments_.clear();
+    other.owned_.clear();
+  }
+  QueryResult& operator=(QueryResult&& other) noexcept {
+    if (this != &other) {
+      segments_ = std::move(other.segments_);
+      owned_ = std::move(other.owned_);
+      total_ = std::exchange(other.total_, 0);
+      other.segments_.clear();
+      other.owned_.clear();
+    }
+    return *this;
+  }
 
   /// Appends a borrowed view of `len` values starting at `data`. Zero-length
   /// views are accepted and ignored.
   void AddView(const Value* data, Index len) {
     SCRACK_DCHECK(len >= 0);
-    if (len > 0) segments_.push_back(Segment{data, len, kBorrowed});
+    if (len > 0) {
+      segments_.push_back(Segment{data, len, kBorrowed});
+      total_ += len;
+    }
   }
 
   /// Appends an owned buffer of qualifying values (materialized result).
@@ -41,17 +62,15 @@ class QueryResult {
     if (buffer.empty()) return;
     owned_.push_back(std::move(buffer));
     const std::vector<Value>& stored = owned_.back();
+    const Index len = static_cast<Index>(stored.size());
     segments_.push_back(
-        Segment{stored.data(), static_cast<Index>(stored.size()),
-                static_cast<int>(owned_.size()) - 1});
+        Segment{stored.data(), len, static_cast<int>(owned_.size()) - 1});
+    total_ += len;
   }
 
-  /// Total number of qualifying tuples.
-  Index count() const {
-    Index total = 0;
-    for (const Segment& seg : segments_) total += seg.len;
-    return total;
-  }
+  /// Total number of qualifying tuples. O(1): maintained as segments are
+  /// added rather than recomputed per call.
+  Index count() const { return total_; }
 
   /// Sum of all qualifying values; used as an order-insensitive checksum in
   /// tests and benches.
@@ -77,6 +96,13 @@ class QueryResult {
   /// Number of segments (views + owned buffers).
   size_t num_segments() const { return segments_.size(); }
 
+  /// Calls fn(data, len) for every segment in order — in-place consumption
+  /// (aggregation folds) without copying.
+  template <typename Fn>
+  void ForEachSegment(Fn&& fn) const {
+    for (const Segment& seg : segments_) fn(seg.data, seg.len);
+  }
+
   /// True if any segment is an owned (materialized) buffer.
   bool materialized() const {
     for (const Segment& seg : segments_) {
@@ -99,6 +125,7 @@ class QueryResult {
   // vectors grows (the inner vectors' heap buffers do not move).
   std::vector<Segment> segments_;
   std::vector<std::vector<Value>> owned_;
+  Index total_ = 0;  // running count() over all segments
 };
 
 }  // namespace scrack

@@ -163,6 +163,83 @@ INSTANTIATE_TEST_SUITE_P(Specs, ShardedHammerTest,
                            return name;
                          });
 
+// Concurrent aggregate execution: workers interleave single Execute calls
+// and small ExecuteBatch calls in every aggregate mode. Aggregate outputs
+// are plain scalars, so unlike views they must be correct regardless of
+// concurrent reorganization by other threads.
+class AggregateHammerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AggregateHammerTest, ConcurrentAggregatesMatchReference) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 83);
+  auto engine = CreateEngineOrDie(GetParam(), &base, EngineConfig{});
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(4000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const auto range = RandomRange(&rng, domain);
+        const ReferenceAnswer want =
+            ReferenceSelect(base.values(), range.first, range.second);
+        if (i % 3 == 0) {
+          // Small batch: count + sum + exists over the same range.
+          const std::vector<Query> batch = {
+              Query{range.first, range.second, OutputMode::kCount, 1},
+              Query{range.first, range.second, OutputMode::kSum, 1},
+              Query{range.first, range.second, OutputMode::kExists, 2},
+          };
+          std::vector<QueryOutput> outputs;
+          if (!engine->ExecuteBatch(batch, &outputs).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (outputs[0].count != want.count ||
+              outputs[1].sum != want.sum ||
+              outputs[2].exists != (want.count >= 2)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          QueryOutput output;
+          if (!engine
+                   ->Execute(Query{range.first, range.second,
+                                   OutputMode::kSum, 1},
+                             &output)
+                   .ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (output.count != want.count || output.sum != want.sum) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0) << GetParam();
+  EXPECT_EQ(mismatches.load(), 0) << GetParam();
+  EXPECT_TRUE(engine->Validate().ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, AggregateHammerTest,
+                         ::testing::Values("threadsafe:crack",
+                                           "sharded(4,crack)",
+                                           "sharded(3,mdd1r)"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
 TEST(ShardedHammerTest, ConcurrentInsertsAndQueries) {
   const Index n = 4096;
   const Value domain = n;

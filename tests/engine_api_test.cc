@@ -102,6 +102,67 @@ TEST(SelectIntervalTest, ValueMaxEdges) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SelectIntervalTest, EmptyOpenIntervalsAcrossTheDomain) {
+  // (v, v+1) contains no integer for any v — the canonicalization must
+  // yield an empty result everywhere, not just at small values.
+  const Column base = Column::UniquePermutation(1000, 2);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+  for (Value v : {0, 1, 499, 998}) {
+    QueryResult r;
+    ASSERT_TRUE(
+        engine->SelectInterval(v, B::kExclusive, v + 1, B::kExclusive, &r)
+            .ok())
+        << v;
+    EXPECT_EQ(r.count(), 0) << v;
+  }
+  // The engine state stays sound after the degenerate queries.
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST(SelectIntervalTest, MaxAdjacentBounds) {
+  constexpr Value kMax = std::numeric_limits<Value>::max();
+  const Column base = Column::UniquePermutation(10, 1);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+  QueryResult r;
+  // (MAX-1, MAX): lower canonicalizes to MAX, upper stays MAX — empty.
+  ASSERT_TRUE(
+      engine->SelectInterval(kMax - 1, B::kExclusive, kMax, B::kExclusive, &r)
+          .ok());
+  EXPECT_EQ(r.count(), 0);
+  // [MAX, MAX): empty without overflow.
+  ASSERT_TRUE(
+      engine->SelectInterval(kMax, B::kInclusive, kMax, B::kExclusive, &r)
+          .ok());
+  EXPECT_EQ(r.count(), 0);
+  // (MAX-1, MAX]: the inclusive-MAX upper bound is the one unrepresentable
+  // case, surfaced as InvalidArgument rather than a wrapped bound.
+  EXPECT_EQ(engine
+                ->SelectInterval(kMax - 1, B::kExclusive, kMax, B::kInclusive,
+                                 &r)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SelectIntervalTest, MaxValuedTupleIsReachableOnlyExclusively) {
+  // A column that actually holds MAX: [lo, MAX) excludes it, and the
+  // inclusive form that would cover it is rejected — the documented
+  // half-open-domain limitation, pinned here so it fails loudly if the
+  // canonicalization ever changes.
+  constexpr Value kMax = std::numeric_limits<Value>::max();
+  const Column base(std::vector<Value>{1, 5, kMax - 1, kMax});
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  using B = SelectEngine::Bound;
+  QueryResult r;
+  ASSERT_TRUE(
+      engine->SelectInterval(5, B::kInclusive, kMax, B::kExclusive, &r).ok());
+  EXPECT_EQ(r.count(), 2);  // {5, MAX-1}; MAX itself excluded
+  EXPECT_EQ(engine->SelectInterval(5, B::kInclusive, kMax, B::kInclusive, &r)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(DescribePiecesTest, UninitializedColumnIsEmpty) {
   const Column base = Column::UniquePermutation(100, 1);
   CrackEngine engine(&base, EngineConfig{});

@@ -1,0 +1,451 @@
+// Query-mode (aggregate pushdown) and batched-execution tests.
+//
+// Execute(Query) must agree with a scan of the raw data in every output
+// mode on every factory-constructible engine, and ExecuteBatch must answer
+// exactly like issuing the same queries one by one — including on the
+// sharded engine, whose batch path merges per-shard partial aggregates.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "cracking/crack_engine.h"
+#include "cracking/stochastic_engine.h"
+#include "harness/adaptive_store.h"
+#include "harness/engine_factory.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::DuplicateHeavyColumn;
+using ::scrack::testing::RandomRange;
+using ::scrack::testing::ReferenceSelect;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 23;
+  config.crack_threshold_values = 64;
+  config.progressive_min_values = 256;
+  config.hybrid_partition_values = 512;
+  return config;
+}
+
+/// Reference min/max over raw data.
+struct ReferenceMinMax {
+  Value min = 0;
+  Value max = 0;
+  Index count = 0;
+};
+
+ReferenceMinMax ReferenceMinMaxOf(const std::vector<Value>& data, Value low,
+                                  Value high) {
+  ReferenceMinMax ref;
+  for (Value v : data) {
+    if (v < low || v >= high) continue;
+    if (ref.count == 0 || v < ref.min) ref.min = v;
+    if (ref.count == 0 || v > ref.max) ref.max = v;
+    ++ref.count;
+  }
+  return ref;
+}
+
+/// The aggregate modes, cycled through by the sweeps below.
+constexpr OutputMode kAggregateModes[] = {
+    OutputMode::kCount, OutputMode::kSum, OutputMode::kMinMax,
+    OutputMode::kExists};
+
+/// Checks one aggregate output against the raw data.
+void ExpectMatchesReference(const std::vector<Value>& data,
+                            const Query& query, const QueryOutput& output) {
+  const auto ref = ReferenceSelect(data, query.low, query.high);
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      FAIL() << "aggregate check called with kMaterialize";
+      break;
+    case OutputMode::kCount:
+      EXPECT_EQ(output.count, ref.count);
+      break;
+    case OutputMode::kSum:
+      EXPECT_EQ(output.count, ref.count);
+      EXPECT_EQ(output.sum, ref.sum);
+      break;
+    case OutputMode::kMinMax: {
+      const auto mm = ReferenceMinMaxOf(data, query.low, query.high);
+      EXPECT_EQ(output.count, mm.count);
+      if (mm.count > 0) {
+        EXPECT_EQ(output.min, mm.min);
+        EXPECT_EQ(output.max, mm.max);
+      }
+      break;
+    }
+    case OutputMode::kExists:
+      EXPECT_EQ(output.exists, ref.count >= query.limit);
+      EXPECT_EQ(output.count, std::min(ref.count, query.limit));
+      break;
+  }
+}
+
+class QueryModesSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QueryModesSweep, AggregateModesMatchReference) {
+  const std::string& spec = GetParam();
+  const Index n = 3000;
+  const Column base = DuplicateHeavyColumn(n, 11);
+  const std::vector<Value> data = base.values();
+  auto engine = CreateEngineOrDie(spec, &base, TestConfig());
+
+  Rng rng(17);
+  for (int i = 0; i < 60; ++i) {
+    const auto [lo, hi] = RandomRange(&rng, n / 8);
+    Query query;
+    query.low = lo;
+    query.high = hi;
+    query.mode = kAggregateModes[i % 4];
+    query.limit = 1 + i % 4;
+    QueryOutput output;
+    ASSERT_TRUE(engine->Execute(query, &output).ok()) << spec;
+    ExpectMatchesReference(data, query, output);
+    if (i % 10 == 9) ASSERT_TRUE(engine->Validate().ok()) << spec;
+  }
+}
+
+TEST_P(QueryModesSweep, BatchMatchesSequentialExecution) {
+  const std::string& spec = GetParam();
+  const Index n = 3000;
+  const Column base = DuplicateHeavyColumn(n, 13);
+  auto sequential = CreateEngineOrDie(spec, &base, TestConfig());
+  auto batched = CreateEngineOrDie(spec, &base, TestConfig());
+
+  // Aggregate modes only: a batch's earlier kMaterialize views may be
+  // invalidated by later reorganizing queries (documented contract), so
+  // cross-checking them after the batch would read reorganized data.
+  Rng rng(19);
+  std::vector<Query> queries;
+  for (int i = 0; i < 48; ++i) {
+    const auto [lo, hi] = RandomRange(&rng, n / 8);
+    queries.push_back(Query{lo, hi, kAggregateModes[i % 4], 1 + i % 3});
+  }
+
+  std::vector<QueryOutput> expected;
+  for (const Query& query : queries) {
+    QueryOutput output;
+    ASSERT_TRUE(sequential->Execute(query, &output).ok()) << spec;
+    expected.push_back(std::move(output));
+  }
+
+  // Four chunks, so the batch path runs repeatedly on a warming engine.
+  std::vector<QueryOutput> actual;
+  for (size_t begin = 0; begin < queries.size(); begin += 12) {
+    const std::vector<Query> chunk(
+        queries.begin() + static_cast<long>(begin),
+        queries.begin() + static_cast<long>(begin + 12));
+    std::vector<QueryOutput> outputs;
+    ASSERT_TRUE(batched->ExecuteBatch(chunk, &outputs).ok()) << spec;
+    for (QueryOutput& output : outputs) actual.push_back(std::move(output));
+  }
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].count, expected[i].count) << spec << " query " << i;
+    EXPECT_EQ(actual[i].sum, expected[i].sum) << spec << " query " << i;
+    EXPECT_EQ(actual[i].min, expected[i].min) << spec << " query " << i;
+    EXPECT_EQ(actual[i].max, expected[i].max) << spec << " query " << i;
+    EXPECT_EQ(actual[i].exists, expected[i].exists) << spec << " query " << i;
+  }
+  EXPECT_TRUE(batched->Validate().ok()) << spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, QueryModesSweep, ::testing::ValuesIn(KnownEngineSpecs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// Acceptance: ExecuteBatch on sharded(P,crack) answers exactly like the
+// same queries issued one by one on a single-threaded crack reference —
+// including kMaterialize, whose sharded outputs are deep copies and so are
+// stable across the rest of the batch.
+TEST(ShardedBatchTest, ChecksumsMatchSingleThreadedReference) {
+  const Index n = 5000;
+  const Column base = Column::UniquePermutation(n, 29);
+  auto reference = CreateEngineOrDie("crack", &base, TestConfig());
+  auto sharded = CreateEngineOrDie("sharded(3,crack)", &base, TestConfig());
+
+  Rng rng(31);
+  std::vector<Query> queries;
+  for (int i = 0; i < 40; ++i) {
+    const auto [lo, hi] = RandomRange(&rng, n);
+    OutputMode mode;
+    switch (i % 5) {
+      case 0: mode = OutputMode::kMaterialize; break;
+      case 1: mode = OutputMode::kCount; break;
+      case 2: mode = OutputMode::kSum; break;
+      case 3: mode = OutputMode::kMinMax; break;
+      default: mode = OutputMode::kExists; break;
+    }
+    queries.push_back(Query{lo, hi, mode, 2});
+  }
+
+  // Reference checksums per query, taken immediately (the crack reference
+  // reorganizes, so its views must be consumed before the next query).
+  std::vector<std::pair<Index, int64_t>> ref_checksums;
+  for (const Query& query : queries) {
+    QueryOutput output;
+    ASSERT_TRUE(reference->Execute(query, &output).ok());
+    if (query.mode == OutputMode::kMaterialize) {
+      ref_checksums.emplace_back(output.result.count(), output.result.Sum());
+    } else {
+      ref_checksums.emplace_back(output.count, output.sum);
+    }
+  }
+
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(sharded->ExecuteBatch(queries, &outputs).ok());
+  ASSERT_EQ(outputs.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].mode == OutputMode::kMaterialize) {
+      EXPECT_EQ(outputs[i].result.count(), ref_checksums[i].first) << i;
+      EXPECT_EQ(outputs[i].result.Sum(), ref_checksums[i].second) << i;
+    } else {
+      EXPECT_EQ(outputs[i].count, ref_checksums[i].first) << i;
+      EXPECT_EQ(outputs[i].sum, ref_checksums[i].second) << i;
+    }
+  }
+  EXPECT_TRUE(sharded->Validate().ok());
+}
+
+// Acceptance: aggregate queries on a cracked column allocate no owned
+// result buffers — EngineStats::materialized stays 0 while the pushdown
+// counter advances.
+TEST(PushdownStatsTest, CrackAggregatesDoNotMaterialize) {
+  for (const char* spec : {"crack", "ddc", "dd1r", "sort"}) {
+    const Column base = Column::UniquePermutation(4000, 41);
+    auto engine = CreateEngineOrDie(spec, &base, TestConfig());
+    Rng rng(43);
+    for (int i = 0; i < 30; ++i) {
+      const auto [lo, hi] = RandomRange(&rng, 4000);
+      for (OutputMode mode : kAggregateModes) {
+        QueryOutput output;
+        ASSERT_TRUE(engine->Execute(Query{lo, hi, mode, 1}, &output).ok())
+            << spec;
+      }
+    }
+    EXPECT_EQ(engine->stats().materialized, 0) << spec;
+    EXPECT_EQ(engine->stats().aggregates_pushed, 120) << spec;
+    EXPECT_TRUE(engine->Validate().ok()) << spec;
+  }
+}
+
+// Once cracks exist at the bounds, kCount and kExists are pure index
+// arithmetic: repeating the query touches no tuples at all.
+TEST(PushdownStatsTest, CrackCountIsFreeOnceConverged) {
+  const Column base = Column::UniquePermutation(4000, 47);
+  CrackEngine engine(&base, TestConfig());
+  QueryOutput output;
+  ASSERT_TRUE(
+      engine.Execute(Query{100, 900, OutputMode::kCount, 1}, &output).ok());
+  EXPECT_EQ(output.count, 800);
+  const int64_t touched_before = engine.stats().tuples_touched;
+  ASSERT_TRUE(
+      engine.Execute(Query{100, 900, OutputMode::kCount, 1}, &output).ok());
+  EXPECT_EQ(output.count, 800);
+  EXPECT_EQ(engine.stats().tuples_touched, touched_before);
+}
+
+// Scan's kExists stops at the limit-th hit instead of finishing the pass.
+TEST(PushdownStatsTest, ScanExistsTerminatesEarly) {
+  const Index n = 100000;
+  const Column base = Column::UniquePermutation(n, 53);
+  auto engine = CreateEngineOrDie("scan", &base, TestConfig());
+  // Every tuple qualifies, so the probe is satisfied by the first element.
+  QueryOutput output;
+  const int64_t before = engine->stats().tuples_touched;
+  ASSERT_TRUE(
+      engine->Execute(Query{0, n, OutputMode::kExists, 1}, &output).ok());
+  EXPECT_TRUE(output.exists);
+  EXPECT_EQ(engine->stats().tuples_touched - before, 1);
+  // A full kCount still pays the whole pass.
+  const int64_t before_count = engine->stats().tuples_touched;
+  ASSERT_TRUE(
+      engine->Execute(Query{0, n, OutputMode::kCount, 1}, &output).ok());
+  EXPECT_EQ(output.count, n);
+  EXPECT_EQ(engine->stats().tuples_touched - before_count, n);
+}
+
+// Updates staged before a batch are visible to every query in it, and the
+// batch's one hull pass drains the pending pool it covers.
+TEST(BatchUpdatesTest, PreStagedUpdatesVisibleInBatch) {
+  const Index n = 2000;
+  const Column base = Column::UniquePermutation(n, 59);
+  CrackEngine sequential(&base, TestConfig());
+  CrackEngine batched(&base, TestConfig());
+  for (Value v : {100, 700, 1500}) {
+    ASSERT_TRUE(sequential.StageInsert(v).ok());
+    ASSERT_TRUE(batched.StageInsert(v).ok());
+  }
+  ASSERT_TRUE(sequential.StageDelete(50).ok());
+  ASSERT_TRUE(batched.StageDelete(50).ok());
+
+  const std::vector<Query> queries = {
+      Query{0, 200, OutputMode::kCount, 1},
+      Query{600, 800, OutputMode::kSum, 1},
+      Query{1400, 1600, OutputMode::kCount, 1},
+  };
+  std::vector<QueryOutput> expected;
+  for (const Query& query : queries) {
+    QueryOutput output;
+    ASSERT_TRUE(sequential.Execute(query, &output).ok());
+    expected.push_back(std::move(output));
+  }
+  std::vector<QueryOutput> actual;
+  ASSERT_TRUE(batched.ExecuteBatch(queries, &actual).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(actual[i].count, expected[i].count) << i;
+    EXPECT_EQ(actual[i].sum, expected[i].sum) << i;
+  }
+  // The batch hull [0, 1600) covered every staged update.
+  EXPECT_TRUE(batched.column().pending().empty());
+  EXPECT_TRUE(batched.Validate().ok());
+}
+
+// The batch hull pass surfaces a bad staged delete as soon as the hull
+// covers it — documented divergence from one-by-one execution, where only
+// a query range covering the value trips it.
+TEST(BatchUpdatesTest, AbsentDeleteInsideHullFailsTheBatch) {
+  const Column base = Column::UniquePermutation(1000, 83);
+  CrackEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageDelete(5000).ok());  // value never existed
+  const std::vector<Query> queries = {
+      Query{0, 100, OutputMode::kCount, 1},
+      Query{900, 8000, OutputMode::kCount, 1},  // hull now covers 5000
+  };
+  std::vector<QueryOutput> outputs;
+  EXPECT_EQ(engine.ExecuteBatch(queries, &outputs).code(),
+            StatusCode::kNotFound);
+}
+
+// An invalid batch is rejected before the hull merge runs: no pending
+// update may be merged (no reorganization) by a rejected request, and the
+// error is the validation error, not a merge error.
+TEST(BatchUpdatesTest, InvalidBatchLeavesPendingUntouched) {
+  const Column base = Column::UniquePermutation(1000, 89);
+  CrackEngine engine(&base, TestConfig());
+  ASSERT_TRUE(engine.StageInsert(50).ok());
+  ASSERT_TRUE(engine.StageDelete(5000).ok());  // absent; merging would fail
+  const std::vector<Query> queries = {
+      Query{5, 3, OutputMode::kCount, 1},  // invalid: low > high
+      Query{0, 8000, OutputMode::kCount, 1},
+  };
+  std::vector<QueryOutput> outputs;
+  EXPECT_EQ(engine.ExecuteBatch(queries, &outputs).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.column().pending().num_pending_inserts(), 1);
+  EXPECT_EQ(engine.column().pending().num_pending_deletes(), 1);
+}
+
+TEST(ExecuteContractTest, RejectsInvalidQueries) {
+  const Column base = Column::UniquePermutation(100, 61);
+  for (const char* spec : {"scan", "crack", "sharded(2,crack)"}) {
+    auto engine = CreateEngineOrDie(spec, &base, TestConfig());
+    QueryOutput output;
+    EXPECT_EQ(engine
+                  ->Execute(Query{50, 10, OutputMode::kCount, 1}, &output)
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << spec;
+    EXPECT_EQ(engine
+                  ->Execute(Query{10, 50, OutputMode::kExists, 0}, &output)
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << spec;
+    EXPECT_EQ(
+        engine->Execute(Query{10, 50, OutputMode::kCount, 1}, nullptr).code(),
+        StatusCode::kInvalidArgument)
+        << spec;
+  }
+}
+
+TEST(ExecuteContractTest, OutputIsResetBetweenUses) {
+  const Column base = Column::UniquePermutation(100, 67);
+  auto engine = CreateEngineOrDie("crack", &base, TestConfig());
+  QueryOutput output;
+  ASSERT_TRUE(
+      engine->Execute(Query{0, 100, OutputMode::kSum, 1}, &output).ok());
+  EXPECT_EQ(output.count, 100);
+  // Reusing the same output must not accumulate.
+  ASSERT_TRUE(
+      engine->Execute(Query{0, 10, OutputMode::kSum, 1}, &output).ok());
+  EXPECT_EQ(output.count, 10);
+  EXPECT_EQ(output.sum, 45);
+}
+
+// The threadsafe wrapper's batch path: mixed modes under one lock, with
+// kMaterialize entries deep-copied per query so they stay valid.
+TEST(ThreadSafeBatchTest, MixedModesAreStable) {
+  const Index n = 2000;
+  const Column base = Column::UniquePermutation(n, 71);
+  const std::vector<Value> data = base.values();
+  auto engine = CreateEngineOrDie("threadsafe:mdd1r", &base, TestConfig());
+
+  std::vector<Query> queries;
+  Rng rng(73);
+  for (int i = 0; i < 20; ++i) {
+    const auto [lo, hi] = RandomRange(&rng, n);
+    queries.push_back(Query{lo, hi,
+                            i % 2 == 0 ? OutputMode::kMaterialize
+                                       : OutputMode::kSum,
+                            1});
+  }
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(engine->ExecuteBatch(queries, &outputs).ok());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto ref = ReferenceSelect(data, queries[i].low, queries[i].high);
+    if (queries[i].mode == OutputMode::kMaterialize) {
+      EXPECT_EQ(outputs[i].result.count(), ref.count) << i;
+      EXPECT_EQ(outputs[i].result.Sum(), ref.sum) << i;
+      EXPECT_TRUE(outputs[i].result.materialized() ||
+                  outputs[i].result.num_segments() == 0)
+          << i;
+    } else {
+      EXPECT_EQ(outputs[i].count, ref.count) << i;
+      EXPECT_EQ(outputs[i].sum, ref.sum) << i;
+    }
+  }
+}
+
+TEST(AdaptiveStoreQueryTest, ExecuteAndBatch) {
+  AdaptiveStore store(TestConfig());
+  ASSERT_TRUE(store
+                  .AddColumn("price", Column::UniquePermutation(1000, 79),
+                             "crack")
+                  .ok());
+  QueryOutput output;
+  ASSERT_TRUE(
+      store.Execute("price", Query{0, 500, OutputMode::kCount, 1}, &output)
+          .ok());
+  EXPECT_EQ(output.count, 500);
+  EXPECT_EQ(store
+                .Execute("absent", Query{0, 1, OutputMode::kCount, 1},
+                         &output)
+                .code(),
+            StatusCode::kNotFound);
+
+  const std::vector<Query> queries = {
+      Query{0, 100, OutputMode::kCount, 1},
+      Query{100, 300, OutputMode::kSum, 1},
+  };
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(store.ExecuteBatch("price", queries, &outputs).ok());
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].count, 100);
+  EXPECT_EQ(outputs[1].count, 200);
+}
+
+}  // namespace
+}  // namespace scrack

@@ -138,6 +138,39 @@ TEST(QueryResultTest, MoveTransfersSegments) {
   QueryResult b = std::move(a);
   EXPECT_EQ(b.count(), 3);
   EXPECT_EQ(b.Sum(), 6);
+  // The cached count moves with the segments: the source is empty again.
+  EXPECT_EQ(a.count(), 0);            // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.num_segments(), 0u);    // NOLINT(bugprone-use-after-move)
+}
+
+TEST(QueryResultTest, CountIsCachedAcrossManySegments) {
+  // count() is O(1) bookkeeping, so interleaving adds and reads stays
+  // consistent at every step.
+  const std::vector<Value> data(64, 1);
+  QueryResult result;
+  Index expected = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 2 == 0) {
+      result.AddView(data.data(), i % 5);
+      expected += i % 5;
+    } else {
+      result.AddOwned(std::vector<Value>(static_cast<size_t>(i % 3), 7));
+      expected += i % 3;
+    }
+    ASSERT_EQ(result.count(), expected);
+  }
+}
+
+TEST(QueryResultTest, ForEachSegmentVisitsInOrder) {
+  const std::vector<Value> data = {1, 2, 3};
+  QueryResult result;
+  result.AddView(data.data(), 3);
+  result.AddOwned({4, 5});
+  std::vector<Value> seen;
+  result.ForEachSegment([&](const Value* d, Index len) {
+    seen.insert(seen.end(), d, d + len);
+  });
+  EXPECT_EQ(seen, (std::vector<Value>{1, 2, 3, 4, 5}));
 }
 
 // -------------------------------------------------------- PendingUpdates --
@@ -179,6 +212,32 @@ TEST(PendingUpdatesTest, TakeDeletesIn) {
   const auto taken = pending.TakeDeletesIn(3, 7);
   EXPECT_EQ(Sorted(taken), (std::vector<Value>{4, 6}));
   EXPECT_EQ(pending.num_pending_deletes(), 1);
+}
+
+TEST(PendingUpdatesTest, PoolsStaySortedUnderArbitraryStagingOrder) {
+  PendingUpdates pending;
+  for (Value v : {9, 1, 5, 3, 7, 5}) pending.StageInsert(v);
+  EXPECT_EQ(pending.inserts(), (std::vector<Value>{1, 3, 5, 5, 7, 9}));
+  // Taken runs come back ascending and leave a sorted remainder.
+  EXPECT_EQ(pending.TakeInsertsIn(3, 8), (std::vector<Value>{3, 5, 5, 7}));
+  EXPECT_EQ(pending.inserts(), (std::vector<Value>{1, 9}));
+}
+
+TEST(PendingUpdatesTest, IntersectsLargePoolBinarySearch) {
+  // The intersection probe must agree with a brute-force check across a
+  // large pool (this is the path that used to be O(pending) per query).
+  PendingUpdates pending;
+  for (Value v = 0; v < 1000; v += 10) pending.StageInsert(v * 7 % 1000);
+  for (Value lo : {0, 1, 123, 990, 1000}) {
+    for (Value width : {0, 1, 7, 100}) {
+      bool expected = false;
+      for (Value v : pending.inserts()) {
+        if (v >= lo && v < lo + width) expected = true;
+      }
+      EXPECT_EQ(pending.IntersectsRange(lo, lo + width), expected)
+          << lo << "+" << width;
+    }
+  }
 }
 
 TEST(PendingUpdatesTest, DuplicateValuesAllTaken) {

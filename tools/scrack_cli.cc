@@ -10,6 +10,10 @@
 //
 // Commands (arguments or one per stdin line):
 //   select LO HI      range select [LO, HI); prints count/sum/cost
+//   count LO HI       aggregate COUNT(*) over [LO, HI) (pushdown path)
+//   sum LO HI         aggregate SUM over [LO, HI) (pushdown path)
+//   minmax LO HI      aggregate MIN/MAX over [LO, HI) (pushdown path)
+//   exists LO HI [K]  LIMIT-K existence probe over [LO, HI) (default K=1)
 //   insert V          stage an insert
 //   delete V          stage a delete
 //   workload KIND Q   run Q queries of a Fig. 7 workload pattern
@@ -45,6 +49,10 @@ void PrintHelp() {
   std::printf(
       "commands:\n"
       "  select LO HI      range select [LO, HI)\n"
+      "  count LO HI       aggregate COUNT(*) over [LO, HI)\n"
+      "  sum LO HI         aggregate SUM over [LO, HI)\n"
+      "  minmax LO HI      aggregate MIN/MAX over [LO, HI)\n"
+      "  exists LO HI [K]  LIMIT-K existence probe (default K=1)\n"
       "  insert V          stage an insert\n"
       "  delete V          stage a delete\n"
       "  workload KIND Q   run Q queries of a workload pattern\n"
@@ -122,6 +130,10 @@ class Session {
   Session(std::unique_ptr<SelectEngine> engine, Index n, uint64_t seed)
       : engine_(std::move(engine)), n_(n), seed_(seed) {}
 
+  /// The counters the session reports (wrapper engines surface the
+  /// wrapped engine's numbers through the virtual accessor).
+  EngineStats CurrentStats() const { return engine_->CurrentStats(); }
+
   // Returns false on a malformed command (session continues).
   bool Execute(const std::string& line) {
     std::istringstream in(line);
@@ -137,7 +149,7 @@ class Session {
     } else if (command == "select") {
       Value lo, hi;
       if (!(in >> lo >> hi)) return Malformed(line);
-      const int64_t touched_before = engine_->stats().tuples_touched;
+      const int64_t touched_before = CurrentStats().tuples_touched;
       Timer timer;
       QueryResult result;
       const Status status = engine_->Select(lo, hi, &result);
@@ -147,10 +159,52 @@ class Session {
           "count=%lld sum=%lld secs=%.6f touched=%lld segments=%zu%s\n",
           static_cast<long long>(result.count()),
           static_cast<long long>(result.Sum()), secs,
-          static_cast<long long>(engine_->stats().tuples_touched -
+          static_cast<long long>(CurrentStats().tuples_touched -
                                  touched_before),
           result.num_segments(),
           result.materialized() ? " (materialized)" : " (views)");
+    } else if (command == "count" || command == "sum" || command == "minmax" ||
+               command == "exists") {
+      Query query;
+      if (!(in >> query.low >> query.high)) return Malformed(line);
+      if (command == "count") {
+        query.mode = OutputMode::kCount;
+      } else if (command == "sum") {
+        query.mode = OutputMode::kSum;
+      } else if (command == "minmax") {
+        query.mode = OutputMode::kMinMax;
+      } else {
+        query.mode = OutputMode::kExists;
+        if (!(in >> query.limit)) {
+          // K absent defaults to 1; K present but non-numeric is an error.
+          if (!in.eof()) return Malformed(line);
+          query.limit = 1;
+        }
+      }
+      const EngineStats before = CurrentStats();
+      Timer timer;
+      QueryOutput output;
+      const Status status = engine_->Execute(query, &output);
+      const double secs = timer.ElapsedSeconds();
+      if (!status.ok()) return Failed(status);
+      std::printf("%s count=%lld", OutputModeName(query.mode),
+                  static_cast<long long>(output.count));
+      if (query.mode == OutputMode::kSum) {
+        std::printf(" sum=%lld", static_cast<long long>(output.sum));
+      } else if (query.mode == OutputMode::kMinMax && output.count > 0) {
+        std::printf(" min=%lld max=%lld",
+                    static_cast<long long>(output.min),
+                    static_cast<long long>(output.max));
+      } else if (query.mode == OutputMode::kExists) {
+        std::printf(" exists=%s", output.exists ? "true" : "false");
+      }
+      const EngineStats after = CurrentStats();
+      std::printf(" secs=%.6f touched=%lld%s\n", secs,
+                  static_cast<long long>(after.tuples_touched -
+                                         before.tuples_touched),
+                  after.aggregates_pushed > before.aggregates_pushed
+                      ? " (pushed)"
+                      : " (folded)");
     } else if (command == "insert" || command == "delete") {
       Value v;
       if (!(in >> v)) return Malformed(line);
@@ -180,16 +234,18 @@ class Session {
                   run.CumulativeSeconds());
       PrintCumulativeCurves(WorkloadName(kind), {run}, LogSpacedPoints(q));
     } else if (command == "stats") {
-      const EngineStats& s = engine_->stats();
+      const EngineStats s = CurrentStats();
       std::printf(
           "engine=%s queries=%lld touched=%lld swaps=%lld cracks=%lld "
-          "materialized=%lld updates_merged=%lld random_pivots=%lld\n",
+          "materialized=%lld updates_merged=%lld random_pivots=%lld "
+          "aggregates_pushed=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
           static_cast<long long>(s.materialized),
           static_cast<long long>(s.updates_merged),
-          static_cast<long long>(s.random_pivots));
+          static_cast<long long>(s.random_pivots),
+          static_cast<long long>(s.aggregates_pushed));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {
