@@ -1,0 +1,431 @@
+// Kernel microbenchmark: throughput of the scalar (seed), predicated, AVX2,
+// and dispatched cracking kernels, with machine-readable JSON output so the
+// perf trajectory survives across PRs.
+//
+// Usage:
+//   bench_kernels [--quick] [--json=PATH]
+//
+//   --quick      2M values, 3 reps (CI smoke); default 10M values, 5 reps.
+//   --json=PATH  where to write the JSON report (default BENCH_kernels.json
+//                in the current directory).
+//   SCRACK_N / SCRACK_SEED env vars override the element count and seed
+//   (SCRACK_N=100000000 reproduces the acceptance numbers).
+//
+// Besides timing, the binary is a parity gate: it verifies that the
+// dispatched kernels produce the same splits, multisets, and counters as
+// the scalar reference, and that the dispatched output is bit-identical to
+// the predicated implementation (the documented contract). Any divergence
+// makes the process exit nonzero, which is what the CI bench-kernels job
+// checks.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "harness/report.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace scrack {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Order-insensitive multiset checksum (for scalar-vs-dispatched parity,
+/// whose layouts legitimately differ).
+uint64_t MultisetChecksum(const std::vector<Value>& data) {
+  uint64_t acc = 0;
+  for (Value v : data) {
+    uint64_t x = static_cast<uint64_t>(v) + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    acc += x ^ (x >> 31);
+  }
+  return acc;
+}
+
+/// Order-sensitive checksum (FNV-1a over bytes) for bit-identity checks.
+uint64_t ByteChecksum(const std::vector<Value>& data) {
+  uint64_t h = 1469598103934665603ULL;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  const size_t bytes = data.size() * sizeof(Value);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct BenchRow {
+  std::string kernel;
+  std::string variant;
+  double seconds = 0;
+  double gbps = 0;
+};
+
+struct Config {
+  Index n = 0;
+  int reps = 0;
+  bool quick = false;
+  uint64_t seed = 42;
+};
+
+/// Times `run` over `reps` repetitions on a fresh copy of `pristine` each
+/// time (copy excluded from the timing); returns the median.
+template <typename F>
+double MedianSeconds(const std::vector<Value>& pristine, int reps, F&& run) {
+  std::vector<double> times;
+  std::vector<Value> work;
+  for (int r = 0; r < reps; ++r) {
+    work = pristine;
+    const double start = Now();
+    run(work.data());
+    times.push_back(Now() - start);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double Gbps(Index n, double seconds) {
+  return static_cast<double>(n) * sizeof(Value) / seconds / 1e9;
+}
+
+struct ParityCheck {
+  std::string name;
+  bool ok = true;
+  std::string detail;
+};
+
+// Global collection of results, filled by the Run* helpers.
+std::vector<BenchRow> g_rows;
+std::vector<ParityCheck> g_checks;
+
+void Report(const std::string& kernel, const std::string& variant, Index n,
+            double seconds) {
+  BenchRow row;
+  row.kernel = kernel;
+  row.variant = variant;
+  row.seconds = seconds;
+  row.gbps = Gbps(n, seconds);
+  std::printf("  %-22s %-12s %10.4f s   %7.2f GB/s\n", kernel.c_str(),
+              variant.c_str(), seconds, row.gbps);
+  g_rows.push_back(row);
+}
+
+void Check(const std::string& name, bool ok, const std::string& detail) {
+  ParityCheck check;
+  check.name = name;
+  check.ok = ok;
+  check.detail = detail;
+  if (!ok) {
+    std::fprintf(stderr, "PARITY FAILURE: %s (%s)\n", name.c_str(),
+                 detail.c_str());
+  }
+  g_checks.push_back(check);
+}
+
+void BenchCrackInTwo(const Config& cfg, const std::vector<Value>& pristine,
+                     Value pivot) {
+  const Index n = cfg.n;
+  std::printf("CrackInTwo (pivot = median)\n");
+  KernelCounters c;
+  Report("crack_in_two", "scalar", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInTwoScalar(d, 0, n, pivot, &c);
+         }));
+  Report("crack_in_two", "predicated", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInTwoPredicated(d, 0, n, pivot, &c);
+         }));
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    Report("crack_in_two", "avx2", n,
+           MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+             avx2::CrackInTwo(d, 0, n, pivot, &c);
+           }));
+  }
+#endif
+  Report("crack_in_two", "dispatched", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInTwo(d, 0, n, pivot, &c);
+         }));
+
+  // Parity: dispatched vs scalar (multiset + split + counters) and
+  // dispatched vs predicated (bit-identical).
+  std::vector<Value> ref = pristine;
+  std::vector<Value> pred = pristine;
+  std::vector<Value> disp = pristine;
+  KernelCounters ref_c;
+  KernelCounters pred_c;
+  KernelCounters disp_c;
+  const Index ref_split = CrackInTwoScalar(ref.data(), 0, n, pivot, &ref_c);
+  const Index pred_split =
+      CrackInTwoPredicated(pred.data(), 0, n, pivot, &pred_c);
+  const Index disp_split = CrackInTwo(disp.data(), 0, n, pivot, &disp_c);
+  Check("crack_in_two.split",
+        ref_split == pred_split && ref_split == disp_split,
+        "splits " + std::to_string(ref_split) + "/" +
+            std::to_string(pred_split) + "/" + std::to_string(disp_split));
+  Check("crack_in_two.multiset",
+        MultisetChecksum(disp) == MultisetChecksum(ref),
+        "dispatched multiset != scalar multiset");
+  Check("crack_in_two.bitident", ByteChecksum(disp) == ByteChecksum(pred),
+        "dispatched layout != predicated layout");
+  Check("crack_in_two.counters",
+        ref_c.touched == disp_c.touched && pred_c.touched == disp_c.touched &&
+            pred_c.swaps == disp_c.swaps,
+        "touched diverges, or dispatched swaps != predicated swaps");
+}
+
+void BenchCrackInThree(const Config& cfg, const std::vector<Value>& pristine,
+                       Value lo, Value hi) {
+  const Index n = cfg.n;
+  std::printf("CrackInThree (middle = 10%%)\n");
+  KernelCounters c;
+  Report("crack_in_three", "scalar", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInThreeScalar(d, 0, n, lo, hi, &c);
+         }));
+  Report("crack_in_three", "predicated", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInThreePredicated(d, 0, n, lo, hi, &c);
+         }));
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    Report("crack_in_three", "avx2", n,
+           MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+             avx2::CrackInThree(d, 0, n, lo, hi, &c);
+           }));
+  }
+#endif
+  Report("crack_in_three", "dispatched", n,
+         MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+           CrackInThree(d, 0, n, lo, hi, &c);
+         }));
+
+  std::vector<Value> ref = pristine;
+  std::vector<Value> pred = pristine;
+  std::vector<Value> disp = pristine;
+  KernelCounters ref_c;
+  KernelCounters pred_c;
+  KernelCounters disp_c;
+  const auto ref_split = CrackInThreeScalar(ref.data(), 0, n, lo, hi, &ref_c);
+  const auto pred_split =
+      CrackInThreePredicated(pred.data(), 0, n, lo, hi, &pred_c);
+  const auto disp_split = CrackInThree(disp.data(), 0, n, lo, hi, &disp_c);
+  Check("crack_in_three.splits",
+        ref_split == pred_split && ref_split == disp_split,
+        "split pair mismatch");
+  Check("crack_in_three.multiset",
+        MultisetChecksum(disp) == MultisetChecksum(ref),
+        "dispatched multiset != scalar multiset");
+  Check("crack_in_three.bitident", ByteChecksum(disp) == ByteChecksum(pred),
+        "dispatched layout != predicated layout");
+  Check("crack_in_three.touched", ref_c.touched == disp_c.touched,
+        "touched diverges");
+}
+
+void BenchFilterInto(const Config& cfg, const std::vector<Value>& pristine,
+                     Value qlo, Value qhi) {
+  const Index n = cfg.n;
+  std::printf("FilterInto (10%% selectivity)\n");
+  KernelCounters c;
+  std::vector<Value> out;
+  const auto run_with = [&](auto&& kernel) {
+    return MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+      out.clear();
+      kernel(d, &out);
+    });
+  };
+  Report("filter_into", "scalar", n, run_with([&](Value* d, auto* o) {
+           FilterIntoScalar(d, 0, n, qlo, qhi, o, &c);
+         }));
+  Report("filter_into", "predicated", n, run_with([&](Value* d, auto* o) {
+           FilterIntoPredicated(d, 0, n, qlo, qhi, o, &c);
+         }));
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    Report("filter_into", "avx2", n, run_with([&](Value* d, auto* o) {
+             avx2::FilterInto(d, 0, n, qlo, qhi, o, &c);
+           }));
+  }
+#endif
+  Report("filter_into", "dispatched", n, run_with([&](Value* d, auto* o) {
+           FilterInto(d, 0, n, qlo, qhi, o, &c);
+         }));
+
+  std::vector<Value> ref_out;
+  std::vector<Value> disp_out;
+  KernelCounters pc;
+  FilterIntoScalar(pristine.data(), 0, n, qlo, qhi, &ref_out, &pc);
+  FilterInto(pristine.data(), 0, n, qlo, qhi, &disp_out, &pc);
+  Check("filter_into.exact", ref_out == disp_out,
+        "dispatched filter output != scalar output");
+}
+
+void BenchFolds(const Config& cfg, const std::vector<Value>& pristine,
+                Value qlo, Value qhi) {
+  const Index n = cfg.n;
+  std::printf("Fold kernels (10%% selectivity)\n");
+  const auto time_fold = [&](auto&& fold) {
+    std::vector<double> times;
+    for (int r = 0; r < cfg.reps; ++r) {
+      const double start = Now();
+      fold();
+      times.push_back(Now() - start);
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+  // volatile sinks so the folds aren't optimized away.
+  volatile int64_t sink = 0;
+  Report("count_in_range", "scalar", n, time_fold([&] {
+           sink = CountInRangeScalar(pristine.data(), 0, n, qlo, qhi);
+         }));
+  Report("count_in_range", "dispatched", n, time_fold([&] {
+           sink = CountInRange(pristine.data(), 0, n, qlo, qhi);
+         }));
+  Report("sum_in_range", "scalar", n, time_fold([&] {
+           sink = SumInRangeScalar(pristine.data(), 0, n, qlo, qhi).sum;
+         }));
+  Report("sum_in_range", "dispatched", n, time_fold([&] {
+           sink = SumInRange(pristine.data(), 0, n, qlo, qhi).sum;
+         }));
+  (void)sink;
+
+  const RangeSum ref = SumInRangeScalar(pristine.data(), 0, n, qlo, qhi);
+  const RangeSum disp = SumInRange(pristine.data(), 0, n, qlo, qhi);
+  Check("folds.sum", ref.count == disp.count && ref.sum == disp.sum,
+        "dispatched sum fold diverges");
+  const RangeMinMax mm_ref =
+      MinMaxInRangeScalar(pristine.data(), 0, n, qlo, qhi);
+  const RangeMinMax mm_disp = MinMaxInRange(pristine.data(), 0, n, qlo, qhi);
+  Check("folds.minmax",
+        mm_ref.count == mm_disp.count &&
+            (mm_ref.count == 0 ||
+             (mm_ref.min == mm_disp.min && mm_ref.max == mm_disp.max)),
+        "dispatched minmax fold diverges");
+}
+
+double FindSeconds(const std::string& kernel, const std::string& variant) {
+  for (const BenchRow& row : g_rows) {
+    if (row.kernel == kernel && row.variant == variant) return row.seconds;
+  }
+  return 0;
+}
+
+void WriteJson(const std::string& path, const Config& cfg) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  bool all_ok = true;
+  for (const ParityCheck& check : g_checks) all_ok &= check.ok;
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"meta\": {\"n\": %lld, \"reps\": %d, \"quick\": %s, "
+               "\"seed\": %llu, \"avx2_compiled\": %s, "
+               "\"avx2_supported\": %s},\n",
+               static_cast<long long>(cfg.n), cfg.reps,
+               cfg.quick ? "true" : "false",
+               static_cast<unsigned long long>(cfg.seed),
+               simd::CompiledWithAvx2() ? "true" : "false",
+               simd::Supported() ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const BenchRow& row = g_rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", "
+                 "\"seconds\": %.6f, \"gbps\": %.3f}%s\n",
+                 row.kernel.c_str(), row.variant.c_str(), row.seconds,
+                 row.gbps, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_dispatched_vs_scalar\": {\n");
+  const char* kernels[] = {"crack_in_two", "crack_in_three", "filter_into",
+                           "count_in_range", "sum_in_range"};
+  for (size_t i = 0; i < 5; ++i) {
+    const double scalar = FindSeconds(kernels[i], "scalar");
+    const double disp = FindSeconds(kernels[i], "dispatched");
+    std::fprintf(f, "    \"%s\": %.3f%s\n", kernels[i],
+                 disp > 0 ? scalar / disp : 0.0, i + 1 < 5 ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"parity\": {\n");
+  std::fprintf(f, "    \"ok\": %s,\n", all_ok ? "true" : "false");
+  std::fprintf(f, "    \"checks\": [\n");
+  for (size_t i = 0; i < g_checks.size(); ++i) {
+    std::fprintf(f, "      {\"name\": \"%s\", \"ok\": %s}%s\n",
+                 g_checks[i].name.c_str(), g_checks[i].ok ? "true" : "false",
+                 i + 1 < g_checks.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  }\n}\n");
+  std::fclose(f);
+  std::printf("\nJSON report written to %s\n", path.c_str());
+}
+
+int Main(int argc, char** argv) {
+  Config cfg;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      cfg.quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  cfg.n = static_cast<Index>(
+      EnvInt64("SCRACK_N", cfg.quick ? 2'000'000 : 10'000'000));
+  cfg.reps = cfg.quick ? 3 : 5;
+  cfg.seed = static_cast<uint64_t>(EnvInt64("SCRACK_SEED", 42));
+
+  std::printf("bench_kernels: N=%lld reps=%d avx2_compiled=%d "
+              "avx2_supported=%d\n\n",
+              static_cast<long long>(cfg.n), cfg.reps,
+              simd::CompiledWithAvx2() ? 1 : 0, simd::Supported() ? 1 : 0);
+
+  Rng rng(cfg.seed);
+  std::vector<Value> pristine(static_cast<size_t>(cfg.n));
+  for (auto& v : pristine) v = rng.UniformValue(0, cfg.n);
+
+  const Value pivot = cfg.n / 2;
+  const Value qlo = cfg.n / 2 - cfg.n / 20;  // 10% middle band
+  const Value qhi = cfg.n / 2 + cfg.n / 20;
+
+  BenchCrackInTwo(cfg, pristine, pivot);
+  BenchCrackInThree(cfg, pristine, qlo, qhi);
+  BenchFilterInto(cfg, pristine, qlo, qhi);
+  BenchFolds(cfg, pristine, qlo, qhi);
+
+  bool all_ok = true;
+  for (const ParityCheck& check : g_checks) all_ok &= check.ok;
+  std::printf("\nparity: %s (%zu checks)\n", all_ok ? "OK" : "FAILED",
+              g_checks.size());
+  const double s2 = FindSeconds("crack_in_two", "scalar") /
+                    FindSeconds("crack_in_two", "dispatched");
+  const double s3 = FindSeconds("crack_in_three", "scalar") /
+                    FindSeconds("crack_in_three", "dispatched");
+  std::printf("speedup dispatched vs scalar: crack_in_two %.2fx, "
+              "crack_in_three %.2fx\n",
+              s2, s3);
+  WriteJson(json_path, cfg);
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace scrack
+
+int main(int argc, char** argv) { return scrack::Main(argc, argv); }

@@ -332,7 +332,7 @@ void CrackerColumn::RippleInsert(Value v, EngineStats* stats) {
   const Index old_size = size();
   data_.push_back(v);  // placeholder; overwritten unless v goes last
   // One displaced tuple per piece boundary above v, highest boundary first.
-  const std::vector<AvlTree::Entry> cracks = index_.CracksAbove(v);
+  const std::vector<CrackerIndex::Entry> cracks = index_.CracksAbove(v);
   Index hole = old_size;
   for (auto it = cracks.rbegin(); it != cracks.rend(); ++it) {
     data_[static_cast<size_t>(hole)] = data_[static_cast<size_t>(it->pos)];
@@ -362,8 +362,8 @@ Status CrackerColumn::RippleDelete(Value v, EngineStats* stats) {
   }
   // Close the hole by pulling the last element of each region downward,
   // region ends being the crack boundaries above v plus the column end.
-  const std::vector<AvlTree::Entry> cracks = index_.CracksAbove(v);
-  for (const AvlTree::Entry& crack : cracks) {
+  const std::vector<CrackerIndex::Entry> cracks = index_.CracksAbove(v);
+  for (const CrackerIndex::Entry& crack : cracks) {
     if (hole != crack.pos - 1) {
       data_[static_cast<size_t>(hole)] =
           data_[static_cast<size_t>(crack.pos - 1)];

@@ -1,11 +1,27 @@
 #include "cracking/kernel.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "cracking/kernel_internal.h"
+#include "util/simd.h"
 
 namespace scrack {
 
-Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
-                 KernelCounters* counters) {
+using kernel_internal::CountTail;
+using kernel_internal::FilterTail;
+using kernel_internal::HoareSwapCount;
+using kernel_internal::MainScratch;
+using kernel_internal::MidScratch;
+using kernel_internal::PartitionTailThreeWay;
+
+// ------------------------------------------------------------------------
+// Scalar reference kernels (the seed implementations, verbatim).
+// ------------------------------------------------------------------------
+
+Index CrackInTwoScalar(Value* data, Index begin, Index end, Value pivot,
+                       KernelCounters* counters) {
   SCRACK_DCHECK(begin <= end);
   Index lo = begin;
   Index hi = end - 1;
@@ -25,9 +41,9 @@ Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
   return lo;
 }
 
-std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
-                                     Value lo, Value hi,
-                                     KernelCounters* counters) {
+std::pair<Index, Index> CrackInThreeScalar(Value* data, Index begin,
+                                           Index end, Value lo, Value hi,
+                                           KernelCounters* counters) {
   SCRACK_DCHECK(begin <= end);
   SCRACK_DCHECK(lo <= hi);
   // Dutch-national-flag with two pivots:
@@ -57,9 +73,10 @@ std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
   return {lt, gt};
 }
 
-Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
-                          Value qhi, Value pivot, std::vector<Value>* out,
-                          KernelCounters* counters) {
+Index SplitAndMaterializeScalar(Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Value pivot,
+                                std::vector<Value>* out,
+                                KernelCounters* counters) {
   SCRACK_DCHECK(begin <= end);
   // Faithful to paper Fig. 5 (split_and_materialize): one pass that both
   // partitions around `pivot` and collects qualifying values.
@@ -85,9 +102,10 @@ Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
   return left;
 }
 
-PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
-                                        Value pivot, int64_t max_swaps,
-                                        KernelCounters* counters) {
+PartialPartitionResult PartialPartitionScalar(Value* data, Index left,
+                                              Index right, Value pivot,
+                                              int64_t max_swaps,
+                                              KernelCounters* counters) {
   SCRACK_DCHECK(max_swaps >= 0);
   int64_t swaps = 0;
   const Index start_left = left;
@@ -102,22 +120,391 @@ PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
       ++swaps;
     }
   }
-  // Swap budget exhausted with cursors meeting exactly on one element: the
-  // loop above exits with left == right only via cursor advances, which
-  // classify that element; if it exited on the budget with left == right the
-  // element at `left` is still unclassified and the next call handles it.
+  // Coarse accounting (cursor advances only): the boundary element a scan
+  // stopped on is examined but never counted. Kept as the reference for the
+  // layout/swap contract; the predicated kernel fixes the accounting.
   counters->touched += (left - start_left) + (start_right - right);
   counters->swaps += swaps;
   return {left, right, left > right};
 }
 
-void FilterInto(const Value* data, Index begin, Index end, Value qlo,
-                Value qhi, std::vector<Value>* out,
-                KernelCounters* counters) {
+void FilterIntoScalar(const Value* data, Index begin, Index end, Value qlo,
+                      Value qhi, std::vector<Value>* out,
+                      KernelCounters* counters) {
   for (Index i = begin; i < end; ++i) {
     if (qlo <= data[i] && data[i] < qhi) out->push_back(data[i]);
   }
   counters->touched += end - begin;
+}
+
+Index CountInRangeScalar(const Value* data, Index begin, Index end,
+                         Value qlo, Value qhi) {
+  Index count = 0;
+  for (Index i = begin; i < end; ++i) {
+    if (qlo <= data[i] && data[i] < qhi) ++count;
+  }
+  return count;
+}
+
+RangeSum SumInRangeScalar(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi) {
+  RangeSum r;
+  for (Index i = begin; i < end; ++i) {
+    if (qlo <= data[i] && data[i] < qhi) {
+      ++r.count;
+      r.sum += data[i];
+    }
+  }
+  return r;
+}
+
+RangeMinMax MinMaxInRangeScalar(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi) {
+  RangeMinMax r;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    if (qlo <= v && v < qhi) {
+      if (r.count == 0) {
+        r.min = v;
+        r.max = v;
+      } else {
+        r.min = std::min(r.min, v);
+        r.max = std::max(r.max, v);
+      }
+      ++r.count;
+    }
+  }
+  return r;
+}
+
+RangePrefixHits CountPrefixHitsScalar(const Value* data, Index begin,
+                                      Index end, Value qlo, Value qhi,
+                                      Index limit) {
+  RangePrefixHits r;
+  for (Index i = begin; i < end; ++i) {
+    ++r.examined;
+    const Value v = data[i];
+    if (qlo <= v && v < qhi && ++r.hits == limit) break;
+  }
+  return r;
+}
+
+// ------------------------------------------------------------------------
+// Predicated (branch-free) kernels.
+// ------------------------------------------------------------------------
+
+namespace {
+
+/// Branch-free offset gathers for the blocked in-place partition: the
+/// cursor advances by the comparison result, never a branch.
+struct GatherGeScalar {
+  int operator()(const Value* block, Value pivot, uint8_t* out) const {
+    int n = 0;
+    for (Index j = 0; j < kernel_internal::kPartitionBlock; ++j) {
+      out[n] = static_cast<uint8_t>(j);
+      n += (block[j] >= pivot) ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+struct GatherLtScalar {
+  int operator()(const Value* block, Value pivot, uint8_t* out) const {
+    int n = 0;
+    for (Index j = 0; j < kernel_internal::kPartitionBlock; ++j) {
+      out[n] = static_cast<uint8_t>(j);
+      n += (block[j] < pivot) ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+Index CrackInTwoPredicated(Value* data, Index begin, Index end, Value pivot,
+                           KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  int64_t swaps = 0;
+  const Index split = kernel_internal::BlockPartitionTwoWay(
+      data, begin, end, pivot, &swaps, GatherGeScalar{}, GatherLtScalar{});
+  counters->touched += n;
+  counters->swaps += swaps;
+  return split;
+}
+
+std::pair<Index, Index> CrackInThreePredicated(Value* data, Index begin,
+                                               Index end, Value lo, Value hi,
+                                               KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  SCRACK_DCHECK(lo <= hi);
+  const Index n = end - begin;
+  if (n <= 0) return {begin, begin};
+  Value* scratch = MainScratch(n);
+  Value* mid = MidScratch(n);
+  Index a = 0;
+  Index ch = n;
+  Index b = 0;
+  PartitionTailThreeWay(data, begin, end, lo, hi, scratch, mid, &a, &ch, &b);
+  // Swap-equivalent work at the two split planes, computed on the original
+  // data (still intact; the copy-back below is what overwrites it).
+  counters->swaps += HoareSwapCount(data, begin, a, lo) +
+                     HoareSwapCount(data, begin, a + b, hi);
+  std::memcpy(data + begin, scratch, sizeof(Value) * static_cast<size_t>(a));
+  std::memcpy(data + begin + a, mid, sizeof(Value) * static_cast<size_t>(b));
+  std::memcpy(data + begin + a + b, scratch + ch,
+              sizeof(Value) * static_cast<size_t>(n - ch));
+  counters->touched += n;
+  return {begin + a, begin + a + b};
+}
+
+Index SplitAndMaterializePredicated(Value* data, Index begin, Index end,
+                                    Value qlo, Value qhi, Value pivot,
+                                    std::vector<Value>* out,
+                                    KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  Value* scratch = MainScratch(n);
+  // Count first, then append into an exactly-sized buffer (one element of
+  // slack for the unconditional predicated store).
+  const Index hits = CountTail(data, begin, end, qlo, qhi);
+  const Index base = static_cast<Index>(out->size());
+  out->resize(static_cast<size_t>(base + hits + 1));
+  Value* outp = out->data() + base;
+  Index lo = 0;
+  Index hi = n;
+  Index cursor = 0;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    const bool lt = v < pivot;
+    const bool hit = qlo <= v && v < qhi;
+    scratch[lt ? lo : hi - 1] = v;
+    lo += lt ? 1 : 0;
+    hi -= lt ? 0 : 1;
+    outp[cursor] = v;
+    cursor += hit ? 1 : 0;
+  }
+  SCRACK_DCHECK(cursor == hits);
+  counters->swaps += HoareSwapCount(data, begin, lo, pivot);
+  std::memcpy(data + begin, scratch, sizeof(Value) * static_cast<size_t>(n));
+  out->resize(static_cast<size_t>(base + hits));
+  counters->touched += n;
+  return begin + lo;
+}
+
+PartialPartitionResult PartialPartitionPredicated(Value* data, Index left,
+                                                  Index right, Value pivot,
+                                                  int64_t max_swaps,
+                                                  KernelCounters* counters) {
+  SCRACK_DCHECK(max_swaps >= 0);
+  const Index start_left = left;
+  const Index start_right = right;
+  int64_t swaps = 0;
+  bool ran = false;
+  bool left_stuck = false;
+  bool right_stuck = false;
+  while (left <= right && swaps < max_swaps) {
+    ran = true;
+    const Value l = data[left];
+    const Value r = data[right];
+    const bool l_ok = l < pivot;
+    const bool r_ok = r >= pivot;
+    const bool exchange = !l_ok && !r_ok;
+    // When left == right both stores rewrite the same element with its own
+    // value (exchange is false there: exactly one of l_ok/r_ok holds).
+    data[left] = exchange ? r : l;
+    data[right] = exchange ? l : r;
+    const bool adv_l = l_ok || exchange;
+    const bool adv_r = r_ok || exchange;
+    left += adv_l ? 1 : 0;
+    right -= adv_r ? 1 : 0;
+    swaps += exchange ? 1 : 0;
+    left_stuck = !adv_l;
+    right_stuck = !adv_r;
+  }
+  // Exact accounting of the distinct elements this pass examined. A cursor
+  // that advanced past a position examined it; a cursor resting on its
+  // final position examined it iff the last iteration left it there (a
+  // budget exit always follows a swap, which advances both cursors, so a
+  // resting examined cursor only happens on completion). The two cursor
+  // ranges can share one boundary position; subtract the overlap.
+  if (ran) {
+    const Index left_high = left_stuck ? left : left - 1;
+    const Index right_low = right_stuck ? right : right + 1;
+    int64_t examined = 0;
+    if (left_high >= start_left) examined += left_high - start_left + 1;
+    if (start_right >= right_low) examined += start_right - right_low + 1;
+    const Index overlap_lo = std::max(start_left, right_low);
+    const Index overlap_hi = std::min(left_high, start_right);
+    if (overlap_hi >= overlap_lo) examined -= overlap_hi - overlap_lo + 1;
+    counters->touched += examined;
+  }
+  counters->swaps += swaps;
+  return {left, right, left > right};
+}
+
+void FilterIntoPredicated(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi, std::vector<Value>* out,
+                          KernelCounters* counters) {
+  const Index hits = CountTail(data, begin, end, qlo, qhi);
+  const Index base = static_cast<Index>(out->size());
+  out->resize(static_cast<size_t>(base + hits + 1));
+  Index cursor = base;
+  FilterTail(data, begin, end, qlo, qhi, out->data(), &cursor);
+  SCRACK_DCHECK(cursor == base + hits);
+  out->resize(static_cast<size_t>(base + hits));
+  counters->touched += end - begin;
+}
+
+Index CountInRangePredicated(const Value* data, Index begin, Index end,
+                             Value qlo, Value qhi) {
+  return CountTail(data, begin, end, qlo, qhi);
+}
+
+RangeSum SumInRangePredicated(const Value* data, Index begin, Index end,
+                              Value qlo, Value qhi) {
+  RangeSum r;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    const bool hit = qlo <= v && v < qhi;
+    r.count += hit ? 1 : 0;
+    r.sum += hit ? v : 0;
+  }
+  return r;
+}
+
+RangeMinMax MinMaxInRangePredicated(const Value* data, Index begin,
+                                    Index end, Value qlo, Value qhi) {
+  // Sentinels coincide with the domain extremes, so a qualifying element
+  // equal to a sentinel still yields the correct answer (count > 0 gates
+  // validity).
+  Value mn = std::numeric_limits<Value>::max();
+  Value mx = std::numeric_limits<Value>::min();
+  Index count = 0;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    const bool hit = qlo <= v && v < qhi;
+    const Value lo_cand = hit ? v : std::numeric_limits<Value>::max();
+    const Value hi_cand = hit ? v : std::numeric_limits<Value>::min();
+    mn = lo_cand < mn ? lo_cand : mn;
+    mx = hi_cand > mx ? hi_cand : mx;
+    count += hit ? 1 : 0;
+  }
+  RangeMinMax r;
+  r.count = count;
+  if (count > 0) {
+    r.min = mn;
+    r.max = mx;
+  }
+  return r;
+}
+
+RangePrefixHits CountPrefixHitsPredicated(const Value* data, Index begin,
+                                          Index end, Value qlo, Value qhi,
+                                          Index limit) {
+  RangePrefixHits r;
+  kernel_internal::BlockedPrefixHits(
+      data, begin, end, qlo, qhi, limit, &r.hits, &r.examined,
+      [qlo, qhi](const Value* d, Index b, Index e) {
+        return CountTail(d, b, e, qlo, qhi);
+      });
+  return r;
+}
+
+// ------------------------------------------------------------------------
+// Dispatch.
+// ------------------------------------------------------------------------
+
+Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                 KernelCounters* counters) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    return avx2::CrackInTwo(data, begin, end, pivot, counters);
+  }
+#endif
+  return CrackInTwoPredicated(data, begin, end, pivot, counters);
+}
+
+std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
+                                     Value lo, Value hi,
+                                     KernelCounters* counters) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    return avx2::CrackInThree(data, begin, end, lo, hi, counters);
+  }
+#endif
+  return CrackInThreePredicated(data, begin, end, lo, hi, counters);
+}
+
+Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
+                          Value qhi, Value pivot, std::vector<Value>* out,
+                          KernelCounters* counters) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    return avx2::SplitAndMaterialize(data, begin, end, qlo, qhi, pivot, out,
+                                     counters);
+  }
+#endif
+  return SplitAndMaterializePredicated(data, begin, end, qlo, qhi, pivot,
+                                       out, counters);
+}
+
+PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
+                                        Value pivot, int64_t max_swaps,
+                                        KernelCounters* counters) {
+  // No AVX2 variant: the exact swap budget serializes the loop (kernel.h).
+  return PartialPartitionPredicated(data, left, right, pivot, max_swaps,
+                                    counters);
+}
+
+void FilterInto(const Value* data, Index begin, Index end, Value qlo,
+                Value qhi, std::vector<Value>* out,
+                KernelCounters* counters) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    avx2::FilterInto(data, begin, end, qlo, qhi, out, counters);
+    return;
+  }
+#endif
+  FilterIntoPredicated(data, begin, end, qlo, qhi, out, counters);
+}
+
+Index CountInRange(const Value* data, Index begin, Index end, Value qlo,
+                   Value qhi) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) return avx2::CountInRange(data, begin, end, qlo, qhi);
+#endif
+  return CountInRangePredicated(data, begin, end, qlo, qhi);
+}
+
+RangeSum SumInRange(const Value* data, Index begin, Index end, Value qlo,
+                    Value qhi) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) return avx2::SumInRange(data, begin, end, qlo, qhi);
+#endif
+  return SumInRangePredicated(data, begin, end, qlo, qhi);
+}
+
+RangeMinMax MinMaxInRange(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    return avx2::MinMaxInRange(data, begin, end, qlo, qhi);
+  }
+#endif
+  return MinMaxInRangePredicated(data, begin, end, qlo, qhi);
+}
+
+RangePrefixHits CountPrefixHits(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Index limit) {
+#if defined(SCRACK_HAVE_AVX2)
+  if (simd::Supported()) {
+    return avx2::CountPrefixHits(data, begin, end, qlo, qhi, limit);
+  }
+#endif
+  return CountPrefixHitsPredicated(data, begin, end, qlo, qhi, limit);
 }
 
 }  // namespace scrack

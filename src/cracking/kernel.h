@@ -6,6 +6,52 @@
 // one vectorizable pass. All kernels report work done through KernelCounters
 // so engines can account the paper's cost metric — "the amount of data the
 // system has to touch for every query" (§3).
+//
+// Each kernel comes in up to three implementations:
+//
+//   *Scalar      the original branchy two-cursor loops. On random data their
+//                data-dependent branches mispredict ~50% of the time; they
+//                are kept as the differential-test oracle and the baseline
+//                the bench_kernels speedup numbers are measured against.
+//   *Predicated  branch-free: every per-element decision is a conditional
+//                move, never a branch, so throughput is independent of the
+//                data distribution. CrackInTwo/CrackInThree/
+//                SplitAndMaterialize partition out-of-place through a
+//                per-thread scratch buffer that is reused across queries.
+//   avx2::*      vectorized variants (4 lanes of 64-bit Value per step) in a
+//                separate -mavx2 translation unit. Bit-identical to the
+//                predicated implementations: same output arrays, same
+//                materialization order, same counters.
+//
+// The undecorated names (CrackInTwo, FilterInto, ...) are the dispatched
+// entry points the engines call: they run the AVX2 variant when
+// simd::Supported() and the predicated variant otherwise. Because the two
+// are bit-identical, dispatch never changes results — only speed.
+//
+// Layout contracts (identical for predicated and AVX2, which is what makes
+// dispatch bit-exact; both may differ from the scalar oracle's historical
+// Hoare order, though the partition invariant is always the same):
+//
+//   CrackInTwo        in-place blocked partition (BlockQuicksort scheme):
+//                     branch-free offset gathering per 128-element block,
+//                     deferred pair swaps. The swap sequence depends only
+//                     on the offset lists, not on how they were computed,
+//                     so the scalar and AVX2 gathers yield bit-identical
+//                     layouts. Inputs of at most two blocks take the
+//                     predicated two-cursor finish directly, which
+//                     reproduces the exact Hoare layout.
+//   CrackInThree,     out-of-place through the per-thread scratch: below
+//   SplitAndMat.      the pivot keeps scan order, at/above the pivot is in
+//                     reversed scan order (CrackInThree's middle keeps scan
+//                     order in its own region). Deterministic and
+//                     independent of vector width.
+//
+// PartialPartition has no AVX2 variant: its contract is to stop after an
+// exact number of element exchanges (the progressive crack budget), which
+// serializes the loop. The predicated implementation performs the same
+// swaps in the same order as the scalar one — layouts and swap counters are
+// bit-identical — and removes the branch mispredictions, which dominate the
+// scalar cost on random data.
 #pragma once
 
 #include <utility>
@@ -18,7 +64,13 @@ namespace scrack {
 /// Work counters accumulated by the kernels.
 struct KernelCounters {
   int64_t touched = 0;  ///< elements examined
-  int64_t swaps = 0;    ///< element exchanges performed
+  int64_t swaps = 0;    ///< element exchanges performed. The out-of-place
+                        ///  kernels (CrackInThree, SplitAndMaterialize)
+                        ///  report the Hoare-equivalent exchange count —
+                        ///  what the scalar two-cursor kernel would have
+                        ///  done; the blocked CrackInTwo reports its actual
+                        ///  exchanges, which track the Hoare count to
+                        ///  within a block.
 
   KernelCounters& operator+=(const KernelCounters& other) {
     touched += other.touched;
@@ -26,6 +78,10 @@ struct KernelCounters {
     return *this;
   }
 };
+
+// ------------------------------------------------------------------------
+// Dispatched kernels — what the engines call.
+// ------------------------------------------------------------------------
 
 /// Two-way crack of [begin, end): after the call, elements < pivot occupy
 /// [begin, p) and elements >= pivot occupy [p, end), where p is the returned
@@ -48,7 +104,9 @@ std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
 /// The split_and_materialize kernel of MDD1R (paper Fig. 5): partitions
 /// [begin, end) around `pivot` (values < pivot left) while appending every
 /// element v with qlo <= v < qhi to `out` in the same pass. Returns the
-/// split position.
+/// split position. The dispatched implementation counts the qualifying
+/// tuples first and appends into an exactly-sized buffer — no push_back
+/// reallocation — in scan order.
 Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
                           Value qhi, Value pivot, std::vector<Value>* out,
                           KernelCounters* counters);
@@ -67,14 +125,147 @@ struct PartialPartitionResult {
 /// A sequence of calls with the returned cursors completes the same
 /// partition CrackInTwo would have produced in one go (paper §4,
 /// "Progressive Stochastic Cracking").
+///
+/// `counters->touched` counts exactly the distinct elements this pass
+/// examined (cursor advances plus an examined-but-unpassed boundary element
+/// on completion); summed over the passes of one full partition it equals
+/// the region size, so progressive cost curves account every element once.
 PartialPartitionResult PartialPartition(Value* data, Index left, Index right,
                                         Value pivot, int64_t max_swaps,
                                         KernelCounters* counters);
 
 /// Filtered materialization: appends every element of [begin, end) with
-/// qlo <= v < qhi to `out`. Used by the progressive path, which must answer
-/// from pieces whose physical reorganization is still in flight.
+/// qlo <= v < qhi to `out` in scan order. Used by the progressive path,
+/// which must answer from pieces whose physical reorganization is still in
+/// flight. The dispatched implementation counts first and appends into an
+/// exactly-sized buffer.
 void FilterInto(const Value* data, Index begin, Index end, Value qlo,
                 Value qhi, std::vector<Value>* out, KernelCounters* counters);
+
+// ------------------------------------------------------------------------
+// Fold kernels — single-pass aggregates over a raw region, used by the
+// ScanEngine pushdown paths. Dispatched like the kernels above.
+// ------------------------------------------------------------------------
+
+/// Number of elements v in [begin, end) with qlo <= v < qhi.
+Index CountInRange(const Value* data, Index begin, Index end, Value qlo,
+                   Value qhi);
+
+struct RangeSum {
+  Index count = 0;
+  int64_t sum = 0;
+};
+/// Count and sum of qualifying elements (wrap-around semantics of int64_t
+/// addition, identical to the scalar fold).
+RangeSum SumInRange(const Value* data, Index begin, Index end, Value qlo,
+                    Value qhi);
+
+struct RangeMinMax {
+  Index count = 0;
+  Value min = 0;  ///< valid only when count > 0
+  Value max = 0;  ///< valid only when count > 0
+};
+RangeMinMax MinMaxInRange(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi);
+
+struct RangePrefixHits {
+  Index hits = 0;        ///< qualifying elements found, at most `limit`
+  int64_t examined = 0;  ///< prefix length scanned (LIMIT-k early exit)
+};
+/// Scans forward until `limit` qualifying elements have been seen (or the
+/// region ends); `examined` counts elements up to and including the
+/// limit-th hit, exactly like the scalar short-circuiting loop. The
+/// vectorized implementation early-exits per block and re-scans the final
+/// block scalar so `examined` is bit-identical.
+RangePrefixHits CountPrefixHits(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Index limit);
+
+// ------------------------------------------------------------------------
+// Scalar reference implementations (the seed kernels) — differential-test
+// oracle and bench baseline.
+// ------------------------------------------------------------------------
+
+Index CrackInTwoScalar(Value* data, Index begin, Index end, Value pivot,
+                       KernelCounters* counters);
+std::pair<Index, Index> CrackInThreeScalar(Value* data, Index begin,
+                                           Index end, Value lo, Value hi,
+                                           KernelCounters* counters);
+Index SplitAndMaterializeScalar(Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Value pivot,
+                                std::vector<Value>* out,
+                                KernelCounters* counters);
+PartialPartitionResult PartialPartitionScalar(Value* data, Index left,
+                                              Index right, Value pivot,
+                                              int64_t max_swaps,
+                                              KernelCounters* counters);
+void FilterIntoScalar(const Value* data, Index begin, Index end, Value qlo,
+                      Value qhi, std::vector<Value>* out,
+                      KernelCounters* counters);
+Index CountInRangeScalar(const Value* data, Index begin, Index end,
+                         Value qlo, Value qhi);
+RangeSum SumInRangeScalar(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi);
+RangeMinMax MinMaxInRangeScalar(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi);
+RangePrefixHits CountPrefixHitsScalar(const Value* data, Index begin,
+                                      Index end, Value qlo, Value qhi,
+                                      Index limit);
+
+// ------------------------------------------------------------------------
+// Predicated (branch-free) implementations — the non-AVX2 dispatch target.
+// ------------------------------------------------------------------------
+
+Index CrackInTwoPredicated(Value* data, Index begin, Index end, Value pivot,
+                           KernelCounters* counters);
+std::pair<Index, Index> CrackInThreePredicated(Value* data, Index begin,
+                                               Index end, Value lo, Value hi,
+                                               KernelCounters* counters);
+Index SplitAndMaterializePredicated(Value* data, Index begin, Index end,
+                                    Value qlo, Value qhi, Value pivot,
+                                    std::vector<Value>* out,
+                                    KernelCounters* counters);
+PartialPartitionResult PartialPartitionPredicated(Value* data, Index left,
+                                                  Index right, Value pivot,
+                                                  int64_t max_swaps,
+                                                  KernelCounters* counters);
+void FilterIntoPredicated(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi, std::vector<Value>* out,
+                          KernelCounters* counters);
+Index CountInRangePredicated(const Value* data, Index begin, Index end,
+                             Value qlo, Value qhi);
+RangeSum SumInRangePredicated(const Value* data, Index begin, Index end,
+                              Value qlo, Value qhi);
+RangeMinMax MinMaxInRangePredicated(const Value* data, Index begin,
+                                    Index end, Value qlo, Value qhi);
+RangePrefixHits CountPrefixHitsPredicated(const Value* data, Index begin,
+                                          Index end, Value qlo, Value qhi,
+                                          Index limit);
+
+#if defined(SCRACK_HAVE_AVX2)
+// AVX2 implementations (kernel_avx2.cc, compiled with -mavx2). Only safe to
+// call when simd::Supported(); the dispatched kernels above check for you.
+namespace avx2 {
+
+Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                 KernelCounters* counters);
+std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
+                                     Value lo, Value hi,
+                                     KernelCounters* counters);
+Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
+                          Value qhi, Value pivot, std::vector<Value>* out,
+                          KernelCounters* counters);
+void FilterInto(const Value* data, Index begin, Index end, Value qlo,
+                Value qhi, std::vector<Value>* out, KernelCounters* counters);
+Index CountInRange(const Value* data, Index begin, Index end, Value qlo,
+                   Value qhi);
+RangeSum SumInRange(const Value* data, Index begin, Index end, Value qlo,
+                    Value qhi);
+RangeMinMax MinMaxInRange(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi);
+RangePrefixHits CountPrefixHits(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Index limit);
+
+}  // namespace avx2
+#endif  // SCRACK_HAVE_AVX2
 
 }  // namespace scrack

@@ -1,0 +1,455 @@
+// AVX2 kernels: 4 lanes of 64-bit Value per step.
+//
+// This translation unit is compiled with -mavx2 (see CMakeLists.txt,
+// SCRACK_ENABLE_AVX2) and must only be *executed* behind simd::Supported();
+// the dispatchers in kernel.cc take care of that. Nothing here is allowed
+// to change results: every kernel produces bit-identical output arrays,
+// materialization order, and counters to its *Predicated sibling, by
+// construction — the deterministic layout contract (stable scan order below
+// the pivot, reversed scan order at/above it) does not depend on vector
+// width, and all tails run the exact scalar loops from kernel_internal.h.
+//
+// Vectorization scheme: compare → 4-bit lane mask (movemask on the 64-bit
+// sign lanes) → table-driven vpermd shuffle that packs selected lanes to
+// the front (or unselected lanes, reversed, to the back) → full-vector
+// store. Full stores spill up to 3 garbage lanes past the packed prefix;
+// the partition loops keep an 8-element gap between the two output cursors
+// so the garbage always lands in not-yet-valid scratch cells, and the
+// append buffers carry kSimdSlack extra elements that are trimmed after.
+#include "cracking/kernel.h"
+
+#if !defined(__AVX2__)
+#error "kernel_avx2.cc must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "cracking/kernel_internal.h"
+
+namespace scrack {
+namespace avx2 {
+namespace {
+
+using kernel_internal::CountTail;
+using kernel_internal::FilterTail;
+using kernel_internal::kSimdSlack;
+using kernel_internal::MainScratch;
+using kernel_internal::MidScratch;
+using kernel_internal::PartitionTailThreeWay;
+
+// vpermd index tables for every 4-bit lane mask. left[m] packs the lanes
+// set in m to the front in ascending lane order; right[m] packs the lanes
+// NOT set in m to the back in descending lane order (so a full store at
+// (cursor - 4) lays them out in reversed scan order, matching the scalar
+// back-to-front writes). Entries are 32-bit lane indices: 64-bit lane j is
+// the pair (2j, 2j+1).
+struct PermTables {
+  alignas(32) int32_t left[16][8];
+  alignas(32) int32_t right[16][8];
+  int32_t pop[16];
+
+  PermTables() {
+    for (int m = 0; m < 16; ++m) {
+      int idx = 0;
+      int selected = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if (m & (1 << lane)) {
+          left[m][idx++] = 2 * lane;
+          left[m][idx++] = 2 * lane + 1;
+          ++selected;
+        }
+      }
+      while (idx < 8) left[m][idx++] = 0;
+      pop[m] = selected;
+
+      for (int s = 0; s < 8; ++s) right[m][s] = 0;
+      int slot = selected;  // first 64-bit slot of the packed suffix
+      for (int lane = 3; lane >= 0; --lane) {
+        if (!(m & (1 << lane))) {
+          right[m][2 * slot] = 2 * lane;
+          right[m][2 * slot + 1] = 2 * lane + 1;
+          ++slot;
+        }
+      }
+    }
+  }
+};
+
+const PermTables& Tables() {
+  static const PermTables tables;
+  return tables;
+}
+
+inline __m256i LoadPerm(const int32_t (&row)[8]) {
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(row));
+}
+
+inline int MoveMask64(__m256i lanes) {
+  return _mm256_movemask_pd(_mm256_castsi256_pd(lanes));
+}
+
+/// All-ones per 64-bit lane where qlo <= v < qhi. The v >= qlo side is
+/// computed as NOT (qlo > v) via andnot, so qlo == INT64_MIN needs no
+/// off-by-one adjustment.
+inline __m256i QualifyMask(__m256i v, __m256i qlo, __m256i qhi) {
+  return _mm256_andnot_si256(_mm256_cmpgt_epi64(qlo, v),
+                             _mm256_cmpgt_epi64(qhi, v));
+}
+
+inline int64_t HorizontalSum(__m256i acc) {
+  alignas(32) int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+/// Number of elements < pivot in [data, data + n).
+int64_t CountLt(const Value* data, Index n, Value pivot) {
+  const __m256i piv = _mm256_set1_epi64x(pivot);
+  __m256i acc = _mm256_setzero_si256();
+  Index i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    acc = _mm256_sub_epi64(acc, _mm256_cmpgt_epi64(piv, v));
+  }
+  int64_t count = HorizontalSum(acc);
+  for (; i < n; ++i) count += data[i] < pivot ? 1 : 0;
+  return count;
+}
+
+/// Hoare-equivalent swap count (kernel_internal::HoareSwapCount, same
+/// result): elements >= pivot in the original prefix of length split_len.
+inline int64_t SwapEquivalent(const Value* data, Index begin, Index split_len,
+                              Value pivot) {
+  return split_len - CountLt(data + begin, split_len, pivot);
+}
+
+Index CountQualifying(const Value* data, Index begin, Index end, Value qlo,
+                      Value qhi) {
+  const __m256i qlov = _mm256_set1_epi64x(qlo);
+  const __m256i qhiv = _mm256_set1_epi64x(qhi);
+  __m256i acc = _mm256_setzero_si256();
+  Index i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    acc = _mm256_sub_epi64(acc, QualifyMask(v, qlov, qhiv));
+  }
+  return static_cast<Index>(HorizontalSum(acc)) + CountTail(data, i, end, qlo, qhi);
+}
+
+}  // namespace
+
+namespace {
+
+// Byte-offset table for the blocked partition's offset gather: lut[m] holds
+// the ascending 64-bit-lane indices set in the 4-bit mask m, one per byte,
+// packed little-endian into a uint32 word.
+struct OffsetLut {
+  uint32_t word[16];
+  int pop[16];
+  OffsetLut() {
+    for (int m = 0; m < 16; ++m) {
+      uint32_t w = 0;
+      int n = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if (m & (1 << lane)) {
+          w |= static_cast<uint32_t>(lane) << (8 * n);
+          ++n;
+        }
+      }
+      word[m] = w;
+      pop[m] = n;
+    }
+  }
+};
+
+const OffsetLut& Offsets() {
+  static const OffsetLut lut;
+  return lut;
+}
+
+/// AVX2 offset gathers: same offset lists as the scalar predicated gathers
+/// (ascending positions of matching elements), produced 4 lanes at a time
+/// via movemask + table lookup.
+struct GatherGeAvx2 {
+  int operator()(const Value* block, Value pivot, uint8_t* out) const {
+    const OffsetLut& lut = Offsets();
+    const __m256i piv = _mm256_set1_epi64x(pivot);
+    int n = 0;
+    for (Index j = 0; j < kernel_internal::kPartitionBlock; j += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + j));
+      const int m = 0xF & ~MoveMask64(_mm256_cmpgt_epi64(piv, v));  // v >= p
+      const uint32_t w =
+          lut.word[m] + 0x01010101u * static_cast<uint32_t>(j);
+      std::memcpy(out + n, &w, sizeof(w));  // 8 bytes of slack in `out`
+      n += lut.pop[m];
+    }
+    return n;
+  }
+};
+
+struct GatherLtAvx2 {
+  int operator()(const Value* block, Value pivot, uint8_t* out) const {
+    const OffsetLut& lut = Offsets();
+    const __m256i piv = _mm256_set1_epi64x(pivot);
+    int n = 0;
+    for (Index j = 0; j < kernel_internal::kPartitionBlock; j += 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + j));
+      const int m = MoveMask64(_mm256_cmpgt_epi64(piv, v));  // v < p
+      const uint32_t w =
+          lut.word[m] + 0x01010101u * static_cast<uint32_t>(j);
+      std::memcpy(out + n, &w, sizeof(w));
+      n += lut.pop[m];
+    }
+    return n;
+  }
+};
+
+}  // namespace
+
+Index CrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                 KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  int64_t swaps = 0;
+  const Index split = kernel_internal::BlockPartitionTwoWay(
+      data, begin, end, pivot, &swaps, GatherGeAvx2{}, GatherLtAvx2{});
+  counters->touched += n;
+  counters->swaps += swaps;
+  return split;
+}
+
+std::pair<Index, Index> CrackInThree(Value* data, Index begin, Index end,
+                                     Value lo, Value hi,
+                                     KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  SCRACK_DCHECK(lo <= hi);
+  const Index n = end - begin;
+  if (n <= 0) return {begin, begin};
+  Value* scratch = MainScratch(n);
+  Value* mid = MidScratch(n + kSimdSlack);
+  const PermTables& t = Tables();
+  const __m256i lov = _mm256_set1_epi64x(lo);
+  const __m256i hiv = _mm256_set1_epi64x(hi);
+  Index a = 0;
+  Index ch = n;
+  Index b = 0;
+  Index i = begin;
+  // The A/C gap shrinks only by the A and C lanes of each vector; middle
+  // elements go to the separate mid buffer (kSimdSlack covers its spill).
+  while (i + 4 <= end && ch - a >= 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const int ma = MoveMask64(_mm256_cmpgt_epi64(lov, v));        // v < lo
+    const int mnot_c = MoveMask64(_mm256_cmpgt_epi64(hiv, v));    // v < hi
+    const int mc = 0xF & ~mnot_c;                                 // v >= hi
+    const int mb = 0xF & ~(ma | mc);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(scratch + a),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.left[ma])));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mid + b),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.left[mb])));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(scratch + ch - 4),
+        _mm256_permutevar8x32_epi32(v, LoadPerm(t.right[0xF ^ mc])));
+    a += t.pop[ma];
+    b += t.pop[mb];
+    ch -= t.pop[mc];
+    i += 4;
+  }
+  PartitionTailThreeWay(data, i, end, lo, hi, scratch, mid, &a, &ch, &b);
+  counters->swaps += SwapEquivalent(data, begin, a, lo) +
+                     SwapEquivalent(data, begin, a + b, hi);
+  std::memcpy(data + begin, scratch, sizeof(Value) * static_cast<size_t>(a));
+  std::memcpy(data + begin + a, mid, sizeof(Value) * static_cast<size_t>(b));
+  std::memcpy(data + begin + a + b, scratch + ch,
+              sizeof(Value) * static_cast<size_t>(n - ch));
+  counters->touched += n;
+  return {begin + a, begin + a + b};
+}
+
+Index SplitAndMaterialize(Value* data, Index begin, Index end, Value qlo,
+                          Value qhi, Value pivot, std::vector<Value>* out,
+                          KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  Value* scratch = MainScratch(n);
+  const Index hits = CountQualifying(data, begin, end, qlo, qhi);
+  const Index base = static_cast<Index>(out->size());
+  out->resize(static_cast<size_t>(base + hits + kSimdSlack));
+  Value* outp = out->data() + base;
+  const PermTables& t = Tables();
+  const __m256i piv = _mm256_set1_epi64x(pivot);
+  const __m256i qlov = _mm256_set1_epi64x(qlo);
+  const __m256i qhiv = _mm256_set1_epi64x(qhi);
+  Index lo = 0;
+  Index hi = n;
+  Index cursor = 0;
+  Index i = begin;
+  while (end - i >= 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const int m = MoveMask64(_mm256_cmpgt_epi64(piv, v));
+    const int mq = MoveMask64(QualifyMask(v, qlov, qhiv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(scratch + lo),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.left[m])));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(scratch + hi - 4),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.right[m])));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(outp + cursor),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.left[mq])));
+    lo += t.pop[m];
+    hi -= 4 - t.pop[m];
+    cursor += t.pop[mq];
+    i += 4;
+  }
+  for (; i < end; ++i) {
+    const Value v = data[i];
+    const bool lt = v < pivot;
+    const bool hit = qlo <= v && v < qhi;
+    scratch[lt ? lo : hi - 1] = v;
+    lo += lt ? 1 : 0;
+    hi -= lt ? 0 : 1;
+    outp[cursor] = v;
+    cursor += hit ? 1 : 0;
+  }
+  SCRACK_DCHECK(cursor == hits);
+  counters->swaps += SwapEquivalent(data, begin, lo, pivot);
+  std::memcpy(data + begin, scratch, sizeof(Value) * static_cast<size_t>(n));
+  out->resize(static_cast<size_t>(base + hits));
+  counters->touched += n;
+  return begin + lo;
+}
+
+void FilterInto(const Value* data, Index begin, Index end, Value qlo,
+                Value qhi, std::vector<Value>* out,
+                KernelCounters* counters) {
+  const Index hits = CountQualifying(data, begin, end, qlo, qhi);
+  const Index base = static_cast<Index>(out->size());
+  out->resize(static_cast<size_t>(base + hits + kSimdSlack));
+  Value* outp = out->data() + base;
+  const PermTables& t = Tables();
+  const __m256i qlov = _mm256_set1_epi64x(qlo);
+  const __m256i qhiv = _mm256_set1_epi64x(qhi);
+  Index cursor = 0;
+  Index i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const int mq = MoveMask64(QualifyMask(v, qlov, qhiv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(outp + cursor),
+                        _mm256_permutevar8x32_epi32(v, LoadPerm(t.left[mq])));
+    cursor += t.pop[mq];
+  }
+  Index tail_cursor = cursor;
+  FilterTail(data, i, end, qlo, qhi, outp, &tail_cursor);
+  SCRACK_DCHECK(tail_cursor == hits);
+  out->resize(static_cast<size_t>(base + hits));
+  counters->touched += end - begin;
+}
+
+Index CountInRange(const Value* data, Index begin, Index end, Value qlo,
+                   Value qhi) {
+  return CountQualifying(data, begin, end, qlo, qhi);
+}
+
+RangeSum SumInRange(const Value* data, Index begin, Index end, Value qlo,
+                    Value qhi) {
+  const __m256i qlov = _mm256_set1_epi64x(qlo);
+  const __m256i qhiv = _mm256_set1_epi64x(qhi);
+  __m256i count_acc = _mm256_setzero_si256();
+  __m256i sum_acc = _mm256_setzero_si256();
+  Index i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i q = QualifyMask(v, qlov, qhiv);
+    count_acc = _mm256_sub_epi64(count_acc, q);
+    sum_acc = _mm256_add_epi64(sum_acc, _mm256_and_si256(v, q));
+  }
+  RangeSum r;
+  r.count = static_cast<Index>(HorizontalSum(count_acc));
+  r.sum = HorizontalSum(sum_acc);
+  for (; i < end; ++i) {
+    const Value v = data[i];
+    const bool hit = qlo <= v && v < qhi;
+    r.count += hit ? 1 : 0;
+    r.sum += hit ? v : 0;
+  }
+  return r;
+}
+
+RangeMinMax MinMaxInRange(const Value* data, Index begin, Index end,
+                          Value qlo, Value qhi) {
+  constexpr Value kMinSentinel = std::numeric_limits<Value>::max();
+  constexpr Value kMaxSentinel = std::numeric_limits<Value>::min();
+  const __m256i qlov = _mm256_set1_epi64x(qlo);
+  const __m256i qhiv = _mm256_set1_epi64x(qhi);
+  __m256i mn_acc = _mm256_set1_epi64x(kMinSentinel);
+  __m256i mx_acc = _mm256_set1_epi64x(kMaxSentinel);
+  __m256i count_acc = _mm256_setzero_si256();
+  Index i = begin;
+  for (; i + 4 <= end; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i q = QualifyMask(v, qlov, qhiv);
+    // Non-qualifying lanes become the neutral sentinel for each fold.
+    const __m256i lo_cand =
+        _mm256_blendv_epi8(_mm256_set1_epi64x(kMinSentinel), v, q);
+    const __m256i hi_cand =
+        _mm256_blendv_epi8(_mm256_set1_epi64x(kMaxSentinel), v, q);
+    mn_acc = _mm256_blendv_epi8(mn_acc, lo_cand,
+                                _mm256_cmpgt_epi64(mn_acc, lo_cand));
+    mx_acc = _mm256_blendv_epi8(mx_acc, hi_cand,
+                                _mm256_cmpgt_epi64(hi_cand, mx_acc));
+    count_acc = _mm256_sub_epi64(count_acc, q);
+  }
+  alignas(32) Value mn_lanes[4];
+  alignas(32) Value mx_lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(mn_lanes), mn_acc);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(mx_lanes), mx_acc);
+  Value mn = kMinSentinel;
+  Value mx = kMaxSentinel;
+  for (int lane = 0; lane < 4; ++lane) {
+    mn = std::min(mn, mn_lanes[lane]);
+    mx = std::max(mx, mx_lanes[lane]);
+  }
+  Index count = static_cast<Index>(HorizontalSum(count_acc));
+  for (; i < end; ++i) {
+    const Value v = data[i];
+    const bool hit = qlo <= v && v < qhi;
+    const Value lo_cand = hit ? v : kMinSentinel;
+    const Value hi_cand = hit ? v : kMaxSentinel;
+    mn = lo_cand < mn ? lo_cand : mn;
+    mx = hi_cand > mx ? hi_cand : mx;
+    count += hit ? 1 : 0;
+  }
+  RangeMinMax r;
+  r.count = count;
+  if (count > 0) {
+    r.min = mn;
+    r.max = mx;
+  }
+  return r;
+}
+
+RangePrefixHits CountPrefixHits(const Value* data, Index begin, Index end,
+                                Value qlo, Value qhi, Index limit) {
+  RangePrefixHits r;
+  kernel_internal::BlockedPrefixHits(
+      data, begin, end, qlo, qhi, limit, &r.hits, &r.examined,
+      [qlo, qhi](const Value* d, Index b, Index e) {
+        return CountQualifying(d, b, e, qlo, qhi);
+      });
+  return r;
+}
+
+}  // namespace avx2
+}  // namespace scrack

@@ -1,0 +1,261 @@
+// Shared internals of the predicated and AVX2 kernel translation units.
+//
+// Everything here is inline and branch-free so both TUs stamp out the exact
+// same element-level behavior: the AVX2 kernels use these loops for their
+// scalar tails, which is one of the two ingredients (with the deterministic
+// layout contract, kernel.h) that make dispatch bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace scrack {
+namespace kernel_internal {
+
+/// Extra writable elements the AVX2 kernels require beyond the logical size
+/// of an output region: full-vector stores may spill up to one vector of
+/// garbage lanes past the last valid element (always overwritten or
+/// trimmed before anything reads them).
+constexpr Index kSimdSlack = 8;
+
+/// Sizes a scratch vector for a request of `n` elements. Grows on demand;
+/// shrinks when the request is under a quarter of capacity, so the
+/// column-sized buffer a first cold-column crack allocates is released
+/// once the index converges to small pieces (piece sizes only shrink, so
+/// this doesn't thrash).
+inline Value* SizedScratch(std::vector<Value>& scratch, Index n) {
+  const size_t need = static_cast<size_t>(n);
+  if (scratch.size() < need) {
+    scratch.resize(need);
+  } else if (scratch.size() / 4 > need + 4096) {
+    std::vector<Value>(need).swap(scratch);
+  }
+  return scratch.data();
+}
+
+/// Per-thread scratch for out-of-place partitioning, reused across queries
+/// instead of reallocating per call (each pool/shard thread gets its own,
+/// so the sharded and threadsafe engines stay race-free).
+inline Value* MainScratch(Index n) {
+  thread_local std::vector<Value> scratch;
+  return SizedScratch(scratch, n);
+}
+
+/// Second per-thread scratch for the middle region of CrackInThree.
+inline Value* MidScratch(Index n) {
+  thread_local std::vector<Value> scratch;
+  return SizedScratch(scratch, n);
+}
+
+/// Branch-free three-way partition step: < lo_v to scratch front (scan
+/// order, cursor *a), >= hi_v to scratch back (reversed scan order, cursor
+/// *c_hi exclusive), the rest to mid front (scan order, cursor *b).
+inline void PartitionTailThreeWay(const Value* data, Index begin, Index end,
+                                  Value lo_v, Value hi_v, Value* scratch,
+                                  Value* mid, Index* a, Index* c_hi,
+                                  Index* b) {
+  Index av = *a;
+  Index ch = *c_hi;
+  Index bv = *b;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    const bool is_a = v < lo_v;
+    const bool is_c = v >= hi_v;
+    Value* base = (!is_a && !is_c) ? mid : scratch;
+    const Index idx = is_a ? av : (is_c ? ch - 1 : bv);
+    base[idx] = v;
+    av += is_a ? 1 : 0;
+    ch -= is_c ? 1 : 0;
+    bv += (!is_a && !is_c) ? 1 : 0;
+  }
+  *a = av;
+  *c_hi = ch;
+  *b = bv;
+}
+
+/// Branch-free filtered append: writes every qualifying element of
+/// [begin, end) at out[*cursor...] in scan order. `out` must have one
+/// element of slack past the expected hit count (the unconditional store).
+inline void FilterTail(const Value* data, Index begin, Index end, Value qlo,
+                       Value qhi, Value* out, Index* cursor) {
+  Index c = *cursor;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    const bool hit = qlo <= v && v < qhi;
+    out[c] = v;
+    c += hit ? 1 : 0;
+  }
+  *cursor = c;
+}
+
+/// Branch-free count of qualifying elements in [begin, end).
+inline Index CountTail(const Value* data, Index begin, Index end, Value qlo,
+                       Value qhi) {
+  Index count = 0;
+  for (Index i = begin; i < end; ++i) {
+    const Value v = data[i];
+    count += (qlo <= v && v < qhi) ? 1 : 0;
+  }
+  return count;
+}
+
+/// Elements per side-block of the in-place blocked partition (fits a
+/// uint8_t offset; two blocks stay L1-resident).
+constexpr Index kPartitionBlock = 128;
+
+/// In-place blocked two-way partition (the BlockQuicksort scheme): scan a
+/// block from each end collecting the *offsets* of misplaced elements with
+/// a branch-free cursor, then swap misplaced pairs across the blocks, and
+/// finish the sub-2-block remainder with a predicated two-cursor pass.
+/// In-place means half the memory traffic of the out-of-place scheme, which
+/// is what decides throughput once the piece exceeds the cache.
+///
+/// The gather functors fill `out` with the ascending offsets of elements
+/// that are >= pivot (gather_ge) or < pivot (gather_lt) within one block of
+/// kPartitionBlock elements, returning the count; `out` has 8 bytes of
+/// slack for word-at-a-time writers. The swap sequence — and therefore the
+/// final layout — depends only on the offset lists, so any two gather
+/// implementations that produce the same lists (scalar predicated, AVX2
+/// movemask) yield bit-identical partitions. That is the dispatch contract.
+///
+/// Returns the split position; adds the element exchanges performed to
+/// *swaps (self-swaps in the compaction step excluded).
+template <typename GatherGe, typename GatherLt>
+inline Index BlockPartitionTwoWay(Value* data, Index begin, Index end,
+                                  Value pivot, int64_t* swaps,
+                                  GatherGe gather_ge, GatherLt gather_lt) {
+  constexpr Index B = kPartitionBlock;
+  Index l = begin;
+  Index r = end;
+  int nl = 0;
+  int nr = 0;
+  int sl = 0;
+  int sr = 0;
+  uint8_t left_off[B + 8];
+  uint8_t right_off[B + 8];
+  int64_t exchanges = 0;
+  while (r - l > 2 * B) {
+    if (nl == 0) {
+      sl = 0;
+      nl = gather_ge(data + l, pivot, left_off);
+    }
+    if (nr == 0) {
+      sr = 0;
+      nr = gather_lt(data + r - B, pivot, right_off);
+    }
+    const int m = nl < nr ? nl : nr;
+    for (int t = 0; t < m; ++t) {
+      std::swap(data[l + left_off[sl + t]], data[r - B + right_off[sr + t]]);
+    }
+    exchanges += m;
+    nl -= m;
+    nr -= m;
+    sl += m;
+    sr += m;
+    if (nl == 0) l += B;
+    if (nr == 0) r -= B;
+  }
+  // At most one side has leftover offsets (the swap loop zeroes the
+  // smaller side and only zeroed sides advance). Compact the leftover
+  // misplaced elements against the inner edge of their block so the
+  // remainder is one contiguous unpartitioned region.
+  Index region_lo = l;
+  Index region_hi = r;
+  if (nl > 0) {
+    for (int t = nl - 1; t >= 0; --t) {
+      const Index from = l + left_off[sl + t];
+      const Index to = l + B - static_cast<Index>(nl - t);
+      if (from != to) {
+        std::swap(data[from], data[to]);
+        ++exchanges;
+      }
+    }
+    region_lo = l + B - nl;
+  }
+  if (nr > 0) {
+    for (int t = 0; t < nr; ++t) {
+      const Index from = r - B + right_off[sr + t];
+      const Index to = r - B + t;
+      if (from != to) {
+        std::swap(data[from], data[to]);
+        ++exchanges;
+      }
+    }
+    region_hi = r - B + nr;
+  }
+  // Predicated two-cursor finish (exact Hoare layout on the remainder,
+  // which is the whole input when n <= 2 blocks).
+  Index left = region_lo;
+  Index right = region_hi - 1;
+  while (left <= right) {
+    const Value a = data[left];
+    const Value b = data[right];
+    const bool l_ok = a < pivot;
+    const bool r_ok = b >= pivot;
+    const bool exchange = !l_ok && !r_ok;
+    data[left] = exchange ? b : a;
+    data[right] = exchange ? a : b;
+    left += (l_ok || exchange) ? 1 : 0;
+    right -= (r_ok || exchange) ? 1 : 0;
+    exchanges += exchange ? 1 : 0;
+  }
+  *swaps += exchanges;
+  return left;
+}
+
+/// Shared blocked early-exit scan behind CountPrefixHits: counts
+/// qualifying hits per block with `count_range(data, begin, end)` until the
+/// block containing the limit-th hit, then re-scans that block with the
+/// exact scalar semantics so `examined` stops at the limit-th hit. The
+/// result is independent of the block size and of the counting primitive,
+/// which is how the predicated and AVX2 variants stay bit-identical.
+template <typename CountRange>
+inline void BlockedPrefixHits(const Value* data, Index begin, Index end,
+                              Value qlo, Value qhi, Index limit, Index* hits,
+                              int64_t* examined, CountRange count_range) {
+  *hits = 0;
+  *examined = 0;
+  if (limit <= 0) {
+    // The scalar loop never satisfies ++hits == limit: it scans everything.
+    *hits = count_range(data, begin, end);
+    *examined = end - begin;
+    return;
+  }
+  constexpr Index kBlock = 256;
+  Index i = begin;
+  while (i < end) {
+    const Index block_end = i + kBlock < end ? i + kBlock : end;
+    const Index block_hits = count_range(data, i, block_end);
+    if (*hits + block_hits >= limit) {
+      for (Index j = i; j < block_end; ++j) {
+        ++*examined;
+        const Value v = data[j];
+        if (qlo <= v && v < qhi && ++*hits == limit) return;
+      }
+      SCRACK_CHECK(false);  // block_hits promised the limit-th hit
+    }
+    *hits += block_hits;
+    *examined += block_end - i;
+    i = block_end;
+  }
+}
+
+/// Hoare-equivalent exchange count for a two-way partition of the original
+/// (pre-partition) data: the number of elements >= pivot in the original
+/// prefix of length `split_len`. This is exactly how many swaps the scalar
+/// two-cursor kernel performs, so the out-of-place kernels report the same
+/// KernelCounters::swaps the seed kernels did.
+inline int64_t HoareSwapCount(const Value* data, Index begin, Index split_len,
+                              Value pivot) {
+  int64_t k = 0;
+  for (Index i = begin; i < begin + split_len; ++i) {
+    k += (data[i] >= pivot) ? 1 : 0;
+  }
+  return k;
+}
+
+}  // namespace kernel_internal
+}  // namespace scrack

@@ -1,6 +1,8 @@
 #include "cracking/scan_engine.h"
 
-#include <algorithm>
+#include <string>
+
+#include "cracking/kernel.h"
 
 namespace scrack {
 
@@ -13,13 +15,14 @@ ScanEngine::ScanEngine(const Column* base, const EngineConfig& config) {
 Status ScanEngine::Select(Value low, Value high, QueryResult* result) {
   SCRACK_RETURN_NOT_OK(CheckRange(low, high));
   ++stats_.queries;
+  // Dispatched filter kernel: counts qualifying tuples first, then
+  // materializes into an exactly-sized buffer (no push_back reallocation),
+  // vectorized when AVX2 is available.
   std::vector<Value> out;
-  // Short-circuiting range test, as the paper notes for its Scan baseline
-  // (§3: "short-circuiting in the if statement").
-  for (Value v : data_) {
-    if (low <= v && v < high) out.push_back(v);
-  }
-  stats_.tuples_touched += static_cast<int64_t>(data_.size());
+  KernelCounters counters;
+  FilterInto(data_.data(), 0, static_cast<Index>(data_.size()), low, high,
+             &out, &counters);
+  stats_.tuples_touched += counters.touched;
   stats_.materialized += static_cast<int64_t>(out.size());
   result->AddOwned(std::move(out));
   return Status::OK();
@@ -38,71 +41,46 @@ Status ScanEngine::Execute(const Query& query, QueryOutput* output) {
     ++stats_.aggregates_pushed;
     return Status::OK();
   }
-  // One mode-specific loop each, so a query pays only for the fold it
-  // asked for — kCount does no adds or compares beyond the range test.
+  const Index n = static_cast<Index>(data_.size());
+  // One mode-specific fold each, so a query pays only for the fold it asked
+  // for. The folds are the dispatched kernels of cracking/kernel.h: SIMD
+  // lanes when available, bit-identical predicated loops otherwise.
   switch (query.mode) {
     case OutputMode::kMaterialize:
       SCRACK_CHECK(false);  // handled above
       break;
     case OutputMode::kCount: {
-      Index count = 0;
-      for (Value v : data_) {
-        if (low <= v && v < high) ++count;
-      }
-      output->count = count;
-      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      output->count = CountInRange(data_.data(), 0, n, low, high);
+      stats_.tuples_touched += n;
       break;
     }
     case OutputMode::kSum: {
-      Index count = 0;
-      int64_t sum = 0;
-      for (Value v : data_) {
-        if (low <= v && v < high) {
-          ++count;
-          sum += v;
-        }
-      }
-      output->count = count;
-      output->sum = sum;
-      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      const RangeSum folded = SumInRange(data_.data(), 0, n, low, high);
+      output->count = folded.count;
+      output->sum = folded.sum;
+      stats_.tuples_touched += n;
       break;
     }
     case OutputMode::kMinMax: {
-      Index count = 0;
-      Value mn = 0;
-      Value mx = 0;
-      for (Value v : data_) {
-        if (low <= v && v < high) {
-          if (count == 0) {
-            mn = v;
-            mx = v;
-          } else {
-            mn = std::min(mn, v);
-            mx = std::max(mx, v);
-          }
-          ++count;
-        }
+      const RangeMinMax folded = MinMaxInRange(data_.data(), 0, n, low, high);
+      output->count = folded.count;
+      if (folded.count > 0) {
+        output->min = folded.min;
+        output->max = folded.max;
       }
-      output->count = count;
-      if (count > 0) {
-        output->min = mn;
-        output->max = mx;
-      }
-      stats_.tuples_touched += static_cast<int64_t>(data_.size());
+      stats_.tuples_touched += n;
       break;
     }
     case OutputMode::kExists: {
       // LIMIT-k: stop at the limit-th hit; only the examined prefix counts
       // as touched (the early-termination pattern aggregate scans enable).
-      int64_t examined = 0;
-      Index hits = 0;
-      for (Value v : data_) {
-        ++examined;
-        if (low <= v && v < high && ++hits == query.limit) break;
-      }
-      output->count = hits;
-      output->exists = hits >= query.limit;
-      stats_.tuples_touched += examined;
+      // The vectorized fold early-exits per block and re-scans the final
+      // block scalar, so `examined` matches the scalar loop exactly.
+      const RangePrefixHits folded =
+          CountPrefixHits(data_.data(), 0, n, low, high, query.limit);
+      output->count = folded.hits;
+      output->exists = folded.hits >= query.limit;
+      stats_.tuples_touched += folded.examined;
       break;
     }
   }

@@ -19,12 +19,16 @@ class ScanEngine : public SelectEngine {
   /// construction and is not part of any query's cost.
   ScanEngine(const Column* base, const EngineConfig& config);
 
+  /// Full pass over the column through the dispatched FilterInto kernel:
+  /// counts qualifying tuples first, then materializes into an
+  /// exactly-sized buffer (vectorized when AVX2 is available).
   Status Select(Value low, Value high, QueryResult* result) override;
 
-  /// Aggregate pushdown: folds count/sum/min/max in the same single
-  /// short-circuiting pass Select uses, but never allocates an owned result
-  /// buffer. kExists stops scanning at the `limit`-th hit (LIMIT-k early
-  /// termination), touching only the prefix it examined.
+  /// Aggregate pushdown: one mode-specific fold kernel per query
+  /// (cracking/kernel.h — SIMD lanes when available), never allocating an
+  /// owned result buffer. kExists stops scanning at the `limit`-th hit
+  /// (LIMIT-k early termination), touching only the prefix it examined;
+  /// the vectorized fold early-exits per block with scalar-exact counters.
   Status Execute(const Query& query, QueryOutput* output) override;
 
   std::string name() const override { return "scan"; }

@@ -1,4 +1,4 @@
-// AvlTree: the self-balancing search tree behind the cracker index.
+// AvlTree: the paper's reference structure for the cracker index.
 //
 // Original cracking stores its structural knowledge — which piece of the
 // cracked array holds which value range — in an AVL tree (paper §3,
@@ -7,6 +7,11 @@
 // are array positions, and the operations cracking needs beyond insert are
 // predecessor/successor-style searches (Floor / Lower / Higher / Ceiling)
 // and bulk position shifts for the update (Ripple) path.
+//
+// CrackerIndex no longer uses it on the hot path — piece lookup now binary
+// searches a flat sorted vector (index/cracker_index.h), which avoids the
+// per-probe pointer chase. The tree is kept as the paper-faithful reference
+// implementation and as the baseline in bench_micro_index.
 #pragma once
 
 #include <cstddef>

@@ -1,28 +1,32 @@
 #include "index/cracker_index.h"
 
+#include <algorithm>
 #include <string>
-#include <vector>
 
 namespace scrack {
 
+Index CrackerIndex::UpperBound(Value v) const {
+  return static_cast<Index>(
+      std::upper_bound(keys_.begin(), keys_.end(), v) - keys_.begin());
+}
+
 Piece CrackerIndex::FindPiece(Value v) const {
   Piece piece;
-  const AvlTree::Entry* lo = tree_.Floor(v);
-  const AvlTree::Entry* hi = tree_.Higher(v);
-  if (lo != nullptr) {
-    piece.begin = lo->pos;
+  const Index i = UpperBound(v);  // first crack with key > v
+  if (i > 0) {
+    piece.begin = pos_[static_cast<size_t>(i - 1)];
     piece.has_lower = true;
-    piece.lower = lo->key;
-    piece.meta_key = lo->key;
+    piece.lower = keys_[static_cast<size_t>(i - 1)];
+    piece.meta_key = piece.lower;
   } else {
     piece.begin = 0;
     piece.has_lower = false;
     piece.meta_key = kHeadKey;
   }
-  if (hi != nullptr) {
-    piece.end = hi->pos;
+  if (i < static_cast<Index>(keys_.size())) {
+    piece.end = pos_[static_cast<size_t>(i)];
     piece.has_upper = true;
-    piece.upper = hi->key;
+    piece.upper = keys_[static_cast<size_t>(i)];
   } else {
     piece.end = column_size_;
     piece.has_upper = false;
@@ -33,65 +37,86 @@ Piece CrackerIndex::FindPiece(Value v) const {
 
 bool CrackerIndex::AddCrack(Value v, Index pos) {
   SCRACK_CHECK(pos >= 0 && pos <= column_size_);
-  // The new piece [pos, old_piece.end) inherits the parent piece's counter.
-  const Piece parent = FindPiece(v);
-  if (parent.has_lower && parent.lower == v) {
+  const Index i = UpperBound(v);  // insertion point
+  if (i > 0 && keys_[static_cast<size_t>(i - 1)] == v) {
     return false;  // crack already present
   }
-  SCRACK_DCHECK(pos >= parent.begin && pos <= parent.end);
-  const bool inserted = tree_.Insert(v, pos);
-  SCRACK_CHECK(inserted);
+  const Index parent_begin = i > 0 ? pos_[static_cast<size_t>(i - 1)] : 0;
+  const Index parent_end = i < static_cast<Index>(keys_.size())
+                               ? pos_[static_cast<size_t>(i)]
+                               : column_size_;
+  SCRACK_DCHECK(pos >= parent_begin && pos <= parent_end);
+  (void)parent_begin;
+  (void)parent_end;
+  // The new piece [pos, parent.end) inherits the parent piece's counter
+  // (meta_[i] is the parent: head when i == 0, else the piece below
+  // keys_[i-1]). Copy before the inserts invalidate references.
   PieceMeta inherited;
-  auto parent_it = meta_.find(parent.meta_key);
-  if (parent_it != meta_.end()) {
-    inherited.crack_count = parent_it->second.crack_count;
-    // A progressive crack must never span a fresh crack; engines guarantee
-    // they complete or avoid pending state before splitting a piece.
-    SCRACK_DCHECK(!parent_it->second.progressive.active);
-  }
-  meta_.emplace(v, inherited);
+  inherited.crack_count = meta_[static_cast<size_t>(i)].crack_count;
+  // A progressive crack must never span a fresh crack; engines guarantee
+  // they complete or avoid pending state before splitting a piece.
+  SCRACK_DCHECK(!meta_[static_cast<size_t>(i)].progressive.active);
+  keys_.insert(keys_.begin() + i, v);
+  pos_.insert(pos_.begin() + i, pos);
+  meta_.insert(meta_.begin() + i + 1, inherited);
   return true;
 }
 
 PieceMeta& CrackerIndex::MetaFor(Value meta_key) {
-  return meta_[meta_key];  // creates default state on first touch
+  if (meta_key == kHeadKey && !HasCrack(kHeadKey)) {
+    return meta_[0];
+  }
+  const Index i = UpperBound(meta_key);
+  SCRACK_CHECK(i > 0 && keys_[static_cast<size_t>(i - 1)] == meta_key);
+  return meta_[static_cast<size_t>(i)];
 }
 
 const PieceMeta* CrackerIndex::FindMeta(Value meta_key) const {
-  auto it = meta_.find(meta_key);
-  return it == meta_.end() ? nullptr : &it->second;
+  if (meta_key == kHeadKey && !HasCrack(kHeadKey)) {
+    return &meta_[0];
+  }
+  const Index i = UpperBound(meta_key);
+  if (i > 0 && keys_[static_cast<size_t>(i - 1)] == meta_key) {
+    return &meta_[static_cast<size_t>(i)];
+  }
+  return nullptr;
 }
 
 void CrackerIndex::DeactivateAllProgressive() {
-  for (auto& [key, meta] : meta_) {
+  for (PieceMeta& meta : meta_) {
     meta.progressive = ProgressiveCrack{};
   }
 }
 
 void CrackerIndex::ShiftAbove(Value v, Index delta) {
-  tree_.ShiftPositionsAbove(v, delta);
+  const Index start = UpperBound(v);
+  for (size_t i = static_cast<size_t>(start); i < pos_.size(); ++i) {
+    pos_[i] += delta;
+  }
   column_size_ += delta;
   SCRACK_CHECK(column_size_ >= 0);
 }
 
 void CrackerIndex::CollapseRange(Value lo, Value hi, Index pos, Index count) {
   SCRACK_CHECK(count >= 0);
-  tree_.ForEachMutablePosition([&](Value key, Index& position) {
-    if (key > lo && key <= hi) {
-      position = pos;
-    } else if (key > hi) {
-      position -= count;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] > lo && keys_[i] <= hi) {
+      pos_[i] = pos;
+    } else if (keys_[i] > hi) {
+      pos_[i] -= count;
     }
-  });
+  }
   column_size_ -= count;
   SCRACK_CHECK(column_size_ >= 0);
 }
 
-std::vector<AvlTree::Entry> CrackerIndex::CracksAbove(Value v) const {
-  std::vector<AvlTree::Entry> out;
-  tree_.InOrder([&](const AvlTree::Entry& e) {
-    if (e.key > v) out.push_back(e);
-  });
+std::vector<CrackerIndex::Entry> CrackerIndex::CracksAbove(Value v) const {
+  std::vector<Entry> out;
+  const size_t start = static_cast<size_t>(UpperBound(v));
+  out.reserve(keys_.size() - start);
+  for (size_t i = start; i < keys_.size(); ++i) {
+    out.push_back(Entry{keys_[i], pos_[i]});
+  }
   return out;
 }
 
@@ -101,16 +126,16 @@ void CrackerIndex::ForEachPiece(
   piece.begin = 0;
   piece.has_lower = false;
   piece.meta_key = kHeadKey;
-  tree_.InOrder([&](const AvlTree::Entry& e) {
-    piece.end = e.pos;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    piece.end = pos_[i];
     piece.has_upper = true;
-    piece.upper = e.key;
+    piece.upper = keys_[i];
     fn(piece);
-    piece.begin = e.pos;
+    piece.begin = pos_[i];
     piece.has_lower = true;
-    piece.lower = e.key;
-    piece.meta_key = e.key;
-  });
+    piece.lower = keys_[i];
+    piece.meta_key = keys_[i];
+  }
   piece.end = column_size_;
   piece.has_upper = false;
   fn(piece);
@@ -122,15 +147,16 @@ Status CrackerIndex::Validate(const Value* data, Index n) const {
                             std::to_string(column_size_) + ", actual " +
                             std::to_string(n));
   }
-  // Cracks must be position-sorted in key order, within [0, n].
+  // Cracks must be key-sorted (strictly) with monotone positions in [0, n].
   Index prev_pos = 0;
-  bool bad = false;
-  tree_.InOrder([&](const AvlTree::Entry& e) {
-    if (e.pos < prev_pos || e.pos > n) bad = true;
-    prev_pos = e.pos;
-  });
-  if (bad) {
-    return Status::Internal("crack positions not monotone or out of range");
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0 && keys_[i] <= keys_[i - 1]) {
+      return Status::Internal("crack keys not strictly ascending");
+    }
+    if (pos_[i] < prev_pos || pos_[i] > n) {
+      return Status::Internal("crack positions not monotone or out of range");
+    }
+    prev_pos = pos_[i];
   }
   // Every element must respect its piece's value bounds.
   Status piece_status = Status::OK();

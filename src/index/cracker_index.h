@@ -3,7 +3,7 @@
 // A cracked column is one contiguous array plus a set of "cracks". A crack
 // (v, p) promises: every element at position < p is < v, every element at
 // position >= p is >= v. Consecutive cracks bound *pieces* — the logical
-// partitions of Fig. 1. CrackerIndex wraps the AVL tree with:
+// partitions of Fig. 1. CrackerIndex provides:
 //   * piece lookup by value (which piece would hold value v?),
 //   * crack registration with piece-metadata inheritance,
 //   * per-piece metadata: the crack counters used by the ScrackMon selective
@@ -11,12 +11,22 @@
 //     cracking (PMDD1R, Fig. 9c),
 //   * position maintenance under Ripple updates (Fig. 15),
 //   * full-structure validation used by the test suite after every query.
+//
+// Storage: flat sorted vectors, not a search tree. The paper's original
+// cracking uses an AVL tree (§3) — kept in index/avl_tree.h as a reference
+// structure — but every FindPiece on the query hot path paid its pointer
+// chase. Here the crack keys live in one contiguous sorted array
+// (binary-searched, ~a cache line per probe), with positions and per-piece
+// metadata in parallel arrays. Inserts memmove the tail; with the crack
+// counts real workloads reach (thousands) that is a few KB of contiguous
+// moves, amortized by geometric capacity growth — far cheaper than what
+// the tree saved on lookups.
 #pragma once
 
+#include <functional>
 #include <limits>
-#include <unordered_map>
+#include <vector>
 
-#include "index/avl_tree.h"
 #include "util/common.h"
 #include "util/status.h"
 
@@ -64,18 +74,24 @@ struct Piece {
 /// lives in the engine (CrackerColumn).
 class CrackerIndex {
  public:
+  /// One crack: its key (value) and array position.
+  struct Entry {
+    Value key;
+    Index pos;
+  };
+
   /// Metadata key of the head piece (the piece starting at position 0).
   static constexpr Value kHeadKey = std::numeric_limits<Value>::min();
 
   explicit CrackerIndex(Index column_size) : column_size_(column_size) {
     SCRACK_CHECK(column_size >= 0);
-    meta_.emplace(kHeadKey, PieceMeta{});
+    meta_.resize(1);  // head piece
   }
 
   /// The piece whose *value range* contains v: bounded below by the greatest
   /// crack with key <= v and above by the smallest crack with key > v.
   /// Note the asymmetry: a crack with key == v bounds from *below* because
-  /// values >= v live right of it.
+  /// values >= v live right of it. O(log cracks), branch-predictable.
   Piece FindPiece(Value v) const;
 
   /// Registers a crack (v, pos): values < v occupy [piece.begin, pos).
@@ -85,19 +101,24 @@ class CrackerIndex {
   bool AddCrack(Value v, Index pos);
 
   /// True if a crack at exactly `v` exists.
-  bool HasCrack(Value v) const { return tree_.Contains(v); }
+  bool HasCrack(Value v) const {
+    const Index i = UpperBound(v);
+    return i > 0 && keys_[static_cast<size_t>(i - 1)] == v;
+  }
 
   /// Position of the crack at `v`; requires HasCrack(v).
   Index CrackPosition(Value v) const {
-    const Index* pos = tree_.Find(v);
-    SCRACK_CHECK(pos != nullptr);
-    return *pos;
+    const Index i = UpperBound(v);
+    SCRACK_CHECK(i > 0 && keys_[static_cast<size_t>(i - 1)] == v);
+    return pos_[static_cast<size_t>(i - 1)];
   }
 
-  size_t num_cracks() const { return tree_.size(); }
+  size_t num_cracks() const { return keys_.size(); }
   Index column_size() const { return column_size_; }
 
-  /// Mutable metadata for the piece identified by `meta_key`.
+  /// Mutable metadata for the piece identified by `meta_key` (kHeadKey or
+  /// an existing crack value). The reference lives in a flat array: it is
+  /// invalidated by the next AddCrack — do not hold it across one.
   PieceMeta& MetaFor(Value meta_key);
   const PieceMeta* FindMeta(Value meta_key) const;
 
@@ -116,9 +137,9 @@ class CrackerIndex {
   /// key > hi shift down by `count`. Column size shrinks by `count`.
   void CollapseRange(Value lo, Value hi, Index pos, Index count);
 
-  /// Ascending crack positions for all cracks with key > v. Used by the
+  /// Ascending crack entries for all cracks with key > v. Used by the
   /// Ripple insert/delete paths, which touch one element per boundary.
-  std::vector<AvlTree::Entry> CracksAbove(Value v) const;
+  std::vector<Entry> CracksAbove(Value v) const;
 
   /// Ascending traversal of all pieces.
   void ForEachPiece(const std::function<void(const Piece&)>& fn) const;
@@ -129,12 +150,19 @@ class CrackerIndex {
   /// O(n). Test/debug API.
   Status Validate(const Value* data, Index n) const;
 
-  const AvlTree& tree() const { return tree_; }
-
  private:
-  AvlTree tree_;
+  /// Number of cracks with key <= v (== index of the first key > v).
+  Index UpperBound(Value v) const;
+
+  // Structure-of-arrays, all kept sorted by crack key:
+  //   keys_[i]  — crack value (the hot binary-search array)
+  //   pos_[i]   — its array position
+  //   meta_[0]  — head-piece metadata; meta_[i + 1] — metadata of the piece
+  //               whose lower crack is keys_[i]
+  std::vector<Value> keys_;
+  std::vector<Index> pos_;
+  std::vector<PieceMeta> meta_;
   Index column_size_;
-  std::unordered_map<Value, PieceMeta> meta_;
 };
 
 }  // namespace scrack

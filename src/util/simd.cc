@@ -1,0 +1,33 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+
+namespace scrack {
+namespace simd {
+
+bool CompiledWithAvx2() {
+#if defined(SCRACK_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Supported() {
+#if defined(SCRACK_HAVE_AVX2)
+  static const bool supported = [] {
+    if (std::getenv("SCRACK_NO_AVX2") != nullptr) return false;
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace simd
+}  // namespace scrack

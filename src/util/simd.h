@@ -1,0 +1,25 @@
+// Runtime SIMD capability detection for the cracking kernels.
+//
+// The AVX2 kernels live in their own translation unit (kernel_avx2.cc),
+// compiled with -mavx2 only when the build enables SCRACK_ENABLE_AVX2 and
+// the compiler targets x86-64; that build also defines SCRACK_HAVE_AVX2.
+// At run time, Supported() gates every dispatch: it requires the compiled-in
+// path, a CPU that reports AVX2, and the absence of the SCRACK_NO_AVX2
+// environment kill switch. The dispatched kernels fall back to the
+// predicated scalar implementations, which produce bit-identical results
+// and counters, so flipping the switch never changes query answers.
+#pragma once
+
+namespace scrack {
+namespace simd {
+
+/// True when the library was built with the AVX2 kernel translation unit.
+bool CompiledWithAvx2();
+
+/// True when the AVX2 kernels may be dispatched: compiled in, CPU support
+/// detected, and SCRACK_NO_AVX2 not set in the environment. The decision is
+/// computed once and cached; it is thread-safe to call from any thread.
+bool Supported();
+
+}  // namespace simd
+}  // namespace scrack

@@ -1,0 +1,222 @@
+// Equivalence test for the flat sorted-vector CrackerIndex against an
+// ordered-map reference model, over recorded operation traces.
+//
+// The reference model is the obvious std::map implementation of the crack
+// bookkeeping (what the AVL/map-backed index computed); the trace replays
+// every mutation on both structures and cross-checks every query after
+// each step, so any divergence pinpoints the operation that introduced it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "index/cracker_index.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+/// Ordered-map reference model of the crack index (no metadata).
+class MapIndexModel {
+ public:
+  explicit MapIndexModel(Index column_size) : column_size_(column_size) {}
+
+  bool AddCrack(Value v, Index pos) {
+    if (cracks_.count(v) > 0) return false;
+    cracks_[v] = pos;
+    return true;
+  }
+
+  bool HasCrack(Value v) const { return cracks_.count(v) > 0; }
+  Index CrackPosition(Value v) const { return cracks_.at(v); }
+  size_t num_cracks() const { return cracks_.size(); }
+
+  Piece FindPiece(Value v) const {
+    Piece piece;
+    auto hi = cracks_.upper_bound(v);  // first key > v
+    if (hi == cracks_.begin()) {
+      piece.begin = 0;
+      piece.has_lower = false;
+      piece.meta_key = CrackerIndex::kHeadKey;
+    } else {
+      auto lo = std::prev(hi);
+      piece.begin = lo->second;
+      piece.has_lower = true;
+      piece.lower = lo->first;
+      piece.meta_key = lo->first;
+    }
+    if (hi == cracks_.end()) {
+      piece.end = column_size_;
+      piece.has_upper = false;
+    } else {
+      piece.end = hi->second;
+      piece.has_upper = true;
+      piece.upper = hi->first;
+    }
+    return piece;
+  }
+
+  void ShiftAbove(Value v, Index delta) {
+    for (auto it = cracks_.upper_bound(v); it != cracks_.end(); ++it) {
+      it->second += delta;
+    }
+    column_size_ += delta;
+  }
+
+  void CollapseRange(Value lo, Value hi, Index pos, Index count) {
+    for (auto& [key, position] : cracks_) {
+      if (key > lo && key <= hi) {
+        position = pos;
+      } else if (key > hi) {
+        position -= count;
+      }
+    }
+    column_size_ -= count;
+  }
+
+  std::vector<CrackerIndex::Entry> CracksAbove(Value v) const {
+    std::vector<CrackerIndex::Entry> out;
+    for (auto it = cracks_.upper_bound(v); it != cracks_.end(); ++it) {
+      out.push_back(CrackerIndex::Entry{it->first, it->second});
+    }
+    return out;
+  }
+
+  Index column_size() const { return column_size_; }
+
+ private:
+  std::map<Value, Index> cracks_;
+  Index column_size_;
+};
+
+void ExpectSamePiece(const Piece& a, const Piece& b, Value probe) {
+  ASSERT_EQ(a.begin, b.begin) << "probe " << probe;
+  ASSERT_EQ(a.end, b.end) << "probe " << probe;
+  ASSERT_EQ(a.meta_key, b.meta_key) << "probe " << probe;
+  ASSERT_EQ(a.has_lower, b.has_lower) << "probe " << probe;
+  ASSERT_EQ(a.has_upper, b.has_upper) << "probe " << probe;
+  if (a.has_lower) ASSERT_EQ(a.lower, b.lower) << "probe " << probe;
+  if (a.has_upper) ASSERT_EQ(a.upper, b.upper) << "probe " << probe;
+}
+
+void CrossCheck(const CrackerIndex& flat, const MapIndexModel& model,
+                Rng* rng) {
+  ASSERT_EQ(flat.num_cracks(), model.num_cracks());
+  ASSERT_EQ(flat.column_size(), model.column_size());
+  for (int probe = 0; probe < 32; ++probe) {
+    const Value v = rng->UniformValue(-50, 1050);
+    ASSERT_EQ(flat.HasCrack(v), model.HasCrack(v));
+    if (model.HasCrack(v)) {
+      ASSERT_EQ(flat.CrackPosition(v), model.CrackPosition(v));
+    }
+    Piece flat_piece = flat.FindPiece(v);
+    Piece model_piece = model.FindPiece(v);
+    ExpectSamePiece(flat_piece, model_piece, v);
+    const auto flat_above = flat.CracksAbove(v);
+    const auto model_above = model.CracksAbove(v);
+    ASSERT_EQ(flat_above.size(), model_above.size());
+    for (size_t i = 0; i < flat_above.size(); ++i) {
+      ASSERT_EQ(flat_above[i].key, model_above[i].key);
+      ASSERT_EQ(flat_above[i].pos, model_above[i].pos);
+    }
+  }
+}
+
+TEST(FlatIndexTraceTest, RandomOperationTracesMatchMapModel) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(1000 + seed);
+    Index column_size = 1000;
+    CrackerIndex flat(column_size);
+    MapIndexModel model(column_size);
+    // Positions must stay monotone in key order for the trace to describe a
+    // real cracked column: derive each crack position from the piece the
+    // key falls in, exactly like the engines do.
+    for (int op = 0; op < 400; ++op) {
+      const int kind = static_cast<int>(rng.UniformIndex(0, 9));
+      if (kind <= 5) {  // AddCrack
+        const Value v = rng.UniformValue(0, 1000);
+        const Piece piece = model.FindPiece(v);
+        const Index pos =
+            piece.begin + rng.UniformIndex(0, piece.end - piece.begin);
+        ASSERT_EQ(flat.AddCrack(v, pos), model.AddCrack(v, pos))
+            << "op " << op;
+      } else if (kind <= 7) {  // ShiftAbove (Ripple insert/delete)
+        const Value v = rng.UniformValue(0, 1000);
+        const bool insert = rng.UniformIndex(0, 1) == 0;
+        // Mirror the engine preconditions: an insert always shifts up; a
+        // delete shifts down only after removing an element from v's piece,
+        // so the piece must be non-empty.
+        if (!insert && model.FindPiece(v).size() == 0) continue;
+        flat.ShiftAbove(v, insert ? 1 : -1);
+        model.ShiftAbove(v, insert ? 1 : -1);
+      } else if (kind == 8) {  // CollapseRange (hybrid extract)
+        // The hybrid engines collapse between two *existing* cracks after
+        // physically removing the values in [lo, hi); replay that shape.
+        const auto cracks = model.CracksAbove(CrackerIndex::kHeadKey);
+        if (cracks.size() < 2) continue;
+        const size_t a = rng.UniformIndex(0, cracks.size() - 2);
+        const size_t b = a + 1 + rng.UniformIndex(0, cracks.size() - 2 - a);
+        const Value lo = cracks[a].key;
+        const Value hi = cracks[b].key;
+        const Index pos = cracks[a].pos;
+        const Index count = cracks[b].pos - pos;
+        flat.CollapseRange(lo, hi, pos, count);
+        model.CollapseRange(lo, hi, pos, count);
+      } else {  // metadata round-trip on a real piece
+        const Value v = rng.UniformValue(0, 1000);
+        const Piece piece = flat.FindPiece(v);
+        PieceMeta& meta = flat.MetaFor(piece.meta_key);
+        ++meta.crack_count;
+        const PieceMeta* found = flat.FindMeta(piece.meta_key);
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(found->crack_count, meta.crack_count);
+      }
+      CrossCheck(flat, model, &rng);
+    }
+  }
+}
+
+TEST(FlatIndexTraceTest, MetaInheritanceMatchesMapSemantics) {
+  CrackerIndex index(100);
+  index.MetaFor(CrackerIndex::kHeadKey).crack_count = 7;
+  ASSERT_TRUE(index.AddCrack(50, 40));
+  // New upper piece inherits the parent's counter.
+  EXPECT_EQ(index.FindMeta(50)->crack_count, 7);
+  EXPECT_EQ(index.FindMeta(CrackerIndex::kHeadKey)->crack_count, 7);
+  index.MetaFor(50).crack_count = 11;
+  ASSERT_TRUE(index.AddCrack(70, 60));
+  EXPECT_EQ(index.FindMeta(70)->crack_count, 11);
+  EXPECT_EQ(index.FindMeta(CrackerIndex::kHeadKey)->crack_count, 7);
+  // Unknown keys have no metadata.
+  EXPECT_EQ(index.FindMeta(33), nullptr);
+}
+
+TEST(FlatIndexTraceTest, ForEachPieceMatchesModelPieces) {
+  Rng rng(77);
+  CrackerIndex flat(500);
+  MapIndexModel model(500);
+  for (int i = 0; i < 40; ++i) {
+    const Value v = rng.UniformValue(0, 500);
+    const Piece piece = model.FindPiece(v);
+    const Index pos =
+        piece.begin + rng.UniformIndex(0, piece.end - piece.begin);
+    flat.AddCrack(v, pos);
+    model.AddCrack(v, pos);
+  }
+  std::vector<Piece> flat_pieces;
+  flat.ForEachPiece([&](const Piece& p) { flat_pieces.push_back(p); });
+  // Pieces must tile [0, column_size) in order, consistent with the model.
+  ASSERT_EQ(flat_pieces.size(), model.num_cracks() + 1);
+  Index expected_begin = 0;
+  for (const Piece& p : flat_pieces) {
+    ASSERT_EQ(p.begin, expected_begin);
+    expected_begin = p.end;
+    if (p.has_lower) {
+      ASSERT_EQ(model.CrackPosition(p.lower), p.begin);
+    }
+  }
+  ASSERT_EQ(expected_begin, 500);
+}
+
+}  // namespace
+}  // namespace scrack

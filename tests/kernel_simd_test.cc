@@ -1,0 +1,424 @@
+// Differential tests for the predicated and AVX2 kernel variants against
+// the scalar reference kernels (the seed implementations), plus the
+// dispatched entry points.
+//
+// Contract under test (cracking/kernel.h):
+//   * predicated vs scalar: same split positions, same multiset, same
+//     touched, same swaps (Hoare-equivalent accounting) — layout may
+//     differ, but the partition invariant must hold;
+//   * AVX2 vs predicated: bit-identical arrays, materialization buffers,
+//     return values, and counters — dispatch must never change results;
+//   * PartialPartition predicated vs scalar: bit-identical layout, cursors
+//     and swap counts at every budget (the progressive budget contract),
+//     with the predicated `touched` summing to exactly the region size
+//     over the passes of one complete partition;
+//   * fold kernels vs the scalar folds: identical aggregates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+constexpr Value kValueMax = std::numeric_limits<Value>::max();
+
+struct SimdCase {
+  const char* name;
+  Index n;
+  int distribution;  // 0 random, 1 sorted, 2 reverse, 3 duplicates,
+                     // 4 all-equal, 5 empty
+};
+
+std::vector<Value> MakeData(const SimdCase& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> data(static_cast<size_t>(c.n));
+  switch (c.distribution) {
+    case 0:
+      for (auto& v : data) v = rng.UniformValue(-500, 1000);
+      break;
+    case 1:
+      std::iota(data.begin(), data.end(), 0);
+      break;
+    case 2:
+      std::iota(data.rbegin(), data.rend(), 0);
+      break;
+    case 3:
+      for (auto& v : data) v = rng.UniformValue(0, 4);
+      break;
+    case 4:
+      std::fill(data.begin(), data.end(), 7);
+      break;
+    case 5:
+      break;  // n == 0
+  }
+  return data;
+}
+
+std::vector<Value> Pivots(const SimdCase& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> pivots = {kValueMin, kValueMax, 0, 7,
+                               rng.UniformValue(-600, 1100)};
+  return pivots;
+}
+
+class SimdSweep : public ::testing::TestWithParam<SimdCase> {};
+
+TEST_P(SimdSweep, CrackInTwoPredicatedMatchesScalarContract) {
+  const SimdCase c = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> original = MakeData(c, 100 + trial);
+    for (Value pivot : Pivots(c, 200 + trial)) {
+      std::vector<Value> ref = original;
+      std::vector<Value> pred = original;
+      KernelCounters ref_counters;
+      KernelCounters pred_counters;
+      const Index ref_split =
+          CrackInTwoScalar(ref.data(), 0, c.n, pivot, &ref_counters);
+      const Index pred_split =
+          CrackInTwoPredicated(pred.data(), 0, c.n, pivot, &pred_counters);
+      ASSERT_EQ(pred_split, ref_split);
+      ASSERT_EQ(pred_counters.touched, ref_counters.touched);
+      // Swap accounting: the blocked kernel reports its actual exchanges,
+      // which are bounded by touches and exactly the Hoare count when the
+      // input fits the two-cursor finish (<= 2 blocks of 128).
+      ASSERT_LE(pred_counters.swaps, pred_counters.touched);
+      if (c.n <= 256) {
+        ASSERT_EQ(pred_counters.swaps, ref_counters.swaps)
+            << "pivot=" << pivot;
+      }
+      for (Index i = 0; i < pred_split; ++i) ASSERT_LT(pred[i], pivot);
+      for (Index i = pred_split; i < c.n; ++i) ASSERT_GE(pred[i], pivot);
+      ASSERT_EQ(Sorted(pred), Sorted(ref));
+    }
+  }
+}
+
+TEST_P(SimdSweep, CrackInTwoDispatchBitIdenticalToPredicated) {
+  const SimdCase c = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> original = MakeData(c, 300 + trial);
+    for (Value pivot : Pivots(c, 400 + trial)) {
+      std::vector<Value> pred = original;
+      std::vector<Value> disp = original;
+      KernelCounters pred_counters;
+      KernelCounters disp_counters;
+      const Index pred_split =
+          CrackInTwoPredicated(pred.data(), 0, c.n, pivot, &pred_counters);
+      const Index disp_split =
+          CrackInTwo(disp.data(), 0, c.n, pivot, &disp_counters);
+      ASSERT_EQ(disp_split, pred_split);
+      ASSERT_EQ(disp, pred);  // bit-identical layout
+      ASSERT_EQ(disp_counters.touched, pred_counters.touched);
+      ASSERT_EQ(disp_counters.swaps, pred_counters.swaps);
+    }
+  }
+}
+
+TEST_P(SimdSweep, CrackInThreeVariantsAgree) {
+  const SimdCase c = GetParam();
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> original = MakeData(c, 500 + trial);
+    for (int bounds = 0; bounds < 4; ++bounds) {
+      Value lo = rng.UniformValue(-600, 1100);
+      Value hi = rng.UniformValue(-600, 1100);
+      if (lo > hi) std::swap(lo, hi);
+      if (bounds == 2) lo = hi;            // empty middle
+      if (bounds == 3) {                   // extreme bounds
+        lo = kValueMin;
+        hi = kValueMax;
+      }
+      std::vector<Value> ref = original;
+      std::vector<Value> pred = original;
+      std::vector<Value> disp = original;
+      KernelCounters ref_counters;
+      KernelCounters pred_counters;
+      KernelCounters disp_counters;
+      const auto [r1, r2] =
+          CrackInThreeScalar(ref.data(), 0, c.n, lo, hi, &ref_counters);
+      const auto [p1, p2] =
+          CrackInThreePredicated(pred.data(), 0, c.n, lo, hi, &pred_counters);
+      const auto [d1, d2] =
+          CrackInThree(disp.data(), 0, c.n, lo, hi, &disp_counters);
+      ASSERT_EQ(p1, r1);
+      ASSERT_EQ(p2, r2);
+      ASSERT_EQ(pred_counters.touched, ref_counters.touched);
+      for (Index i = 0; i < p1; ++i) ASSERT_LT(pred[i], lo);
+      for (Index i = p1; i < p2; ++i) {
+        ASSERT_GE(pred[i], lo);
+        ASSERT_LT(pred[i], hi);
+      }
+      for (Index i = p2; i < c.n; ++i) ASSERT_GE(pred[i], hi);
+      ASSERT_EQ(Sorted(pred), Sorted(ref));
+      // Dispatch is bit-identical to predicated.
+      ASSERT_EQ(d1, p1);
+      ASSERT_EQ(d2, p2);
+      ASSERT_EQ(disp, pred);
+      ASSERT_EQ(disp_counters.touched, pred_counters.touched);
+      ASSERT_EQ(disp_counters.swaps, pred_counters.swaps);
+    }
+  }
+}
+
+TEST_P(SimdSweep, SplitAndMaterializeVariantsAgree) {
+  const SimdCase c = GetParam();
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> original = MakeData(c, 700 + trial);
+    Value qlo = rng.UniformValue(-600, 1100);
+    Value qhi = rng.UniformValue(-600, 1100);
+    if (qlo > qhi) std::swap(qlo, qhi);
+    const Value pivot =
+        c.n > 0 ? original[static_cast<size_t>(
+                      rng.UniformIndex(0, c.n - 1))]
+                : 0;
+    std::vector<Value> ref = original;
+    std::vector<Value> pred = original;
+    std::vector<Value> disp = original;
+    std::vector<Value> ref_out;
+    std::vector<Value> pred_out;
+    std::vector<Value> disp_out;
+    KernelCounters ref_counters;
+    KernelCounters pred_counters;
+    KernelCounters disp_counters;
+    const Index ref_split = SplitAndMaterializeScalar(
+        ref.data(), 0, c.n, qlo, qhi, pivot, &ref_out, &ref_counters);
+    const Index pred_split = SplitAndMaterializePredicated(
+        pred.data(), 0, c.n, qlo, qhi, pivot, &pred_out, &pred_counters);
+    const Index disp_split = SplitAndMaterialize(
+        disp.data(), 0, c.n, qlo, qhi, pivot, &disp_out, &disp_counters);
+    ASSERT_EQ(pred_split, ref_split);
+    ASSERT_EQ(pred_counters.touched, ref_counters.touched);
+    ASSERT_EQ(pred_counters.swaps, ref_counters.swaps);
+    ASSERT_EQ(Sorted(pred), Sorted(ref));
+    ASSERT_EQ(Sorted(pred_out), Sorted(ref_out));
+    // Dispatch bit-identical: array, split, materialization order, counters.
+    ASSERT_EQ(disp_split, pred_split);
+    ASSERT_EQ(disp, pred);
+    ASSERT_EQ(disp_out, pred_out);
+    ASSERT_EQ(disp_counters.touched, pred_counters.touched);
+    ASSERT_EQ(disp_counters.swaps, pred_counters.swaps);
+  }
+}
+
+TEST_P(SimdSweep, PartialPartitionPredicatedTracksScalarExactly) {
+  const SimdCase c = GetParam();
+  if (c.n == 0) return;
+  Rng rng(31);
+  for (int64_t budget : {0, 1, 3, 7, 1 << 20}) {
+    std::vector<Value> ref = MakeData(c, 900);
+    std::vector<Value> pred = ref;
+    const Value pivot =
+        ref[static_cast<size_t>(rng.UniformIndex(0, c.n - 1))];
+    KernelCounters ref_counters;
+    KernelCounters pred_counters;
+    Index ref_left = 0;
+    Index ref_right = c.n - 1;
+    Index pred_left = 0;
+    Index pred_right = c.n - 1;
+    bool complete = false;
+    int guard = 0;
+    while (!complete && budget > 0) {
+      const auto ref_r = PartialPartitionScalar(
+          ref.data(), ref_left, ref_right, pivot, budget, &ref_counters);
+      const auto pred_r = PartialPartitionPredicated(
+          pred.data(), pred_left, pred_right, pivot, budget, &pred_counters);
+      // Bit-identical intermediate state: same swaps in the same order.
+      ASSERT_EQ(pred_r.left, ref_r.left);
+      ASSERT_EQ(pred_r.right, ref_r.right);
+      ASSERT_EQ(pred_r.complete, ref_r.complete);
+      ASSERT_EQ(pred, ref);
+      ASSERT_EQ(pred_counters.swaps, ref_counters.swaps);
+      ref_left = ref_r.left;
+      ref_right = ref_r.right;
+      pred_left = pred_r.left;
+      pred_right = pred_r.right;
+      complete = ref_r.complete;
+      ASSERT_LT(++guard, 10'000'000);
+    }
+    if (complete) {
+      // Exact accounting: over a complete partition, every element of the
+      // region is examined exactly once (the scalar reference undercounts
+      // the boundary element in some completion paths).
+      ASSERT_EQ(pred_counters.touched, c.n) << "budget=" << budget;
+    }
+  }
+}
+
+TEST_P(SimdSweep, PartialPartitionZeroBudgetTouchesNothing) {
+  const SimdCase c = GetParam();
+  if (c.n == 0) return;
+  std::vector<Value> data = MakeData(c, 950);
+  const std::vector<Value> before = data;
+  KernelCounters counters;
+  const auto r =
+      PartialPartitionPredicated(data.data(), 0, c.n - 1, 7, 0, &counters);
+  EXPECT_EQ(counters.touched, 0);
+  EXPECT_EQ(counters.swaps, 0);
+  EXPECT_EQ(data, before);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST_P(SimdSweep, FilterIntoVariantsAgree) {
+  const SimdCase c = GetParam();
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> data = MakeData(c, 1100 + trial);
+    Value qlo = rng.UniformValue(-600, 1100);
+    Value qhi = rng.UniformValue(-600, 1100);
+    if (qlo > qhi) std::swap(qlo, qhi);
+    std::vector<Value> ref_out = {-99};  // pre-existing content is kept
+    std::vector<Value> pred_out = {-99};
+    std::vector<Value> disp_out = {-99};
+    KernelCounters ref_counters;
+    KernelCounters pred_counters;
+    KernelCounters disp_counters;
+    FilterIntoScalar(data.data(), 0, c.n, qlo, qhi, &ref_out, &ref_counters);
+    FilterIntoPredicated(data.data(), 0, c.n, qlo, qhi, &pred_out,
+                         &pred_counters);
+    FilterInto(data.data(), 0, c.n, qlo, qhi, &disp_out, &disp_counters);
+    // FilterInto appends in scan order in every variant: exact equality.
+    ASSERT_EQ(pred_out, ref_out);
+    ASSERT_EQ(disp_out, ref_out);
+    ASSERT_EQ(pred_counters.touched, ref_counters.touched);
+    ASSERT_EQ(disp_counters.touched, ref_counters.touched);
+  }
+}
+
+TEST_P(SimdSweep, FoldKernelsMatchScalar) {
+  const SimdCase c = GetParam();
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<Value> data = MakeData(c, 1300 + trial);
+    for (int bounds = 0; bounds < 4; ++bounds) {
+      Value qlo = rng.UniformValue(-600, 1100);
+      Value qhi = rng.UniformValue(-600, 1100);
+      if (qlo > qhi) std::swap(qlo, qhi);
+      if (bounds == 2) qlo = qhi;
+      if (bounds == 3) {
+        qlo = kValueMin;
+        qhi = kValueMax;
+      }
+      ASSERT_EQ(CountInRange(data.data(), 0, c.n, qlo, qhi),
+                CountInRangeScalar(data.data(), 0, c.n, qlo, qhi));
+      ASSERT_EQ(CountInRangePredicated(data.data(), 0, c.n, qlo, qhi),
+                CountInRangeScalar(data.data(), 0, c.n, qlo, qhi));
+      const RangeSum ref_sum =
+          SumInRangeScalar(data.data(), 0, c.n, qlo, qhi);
+      for (const RangeSum& s :
+           {SumInRange(data.data(), 0, c.n, qlo, qhi),
+            SumInRangePredicated(data.data(), 0, c.n, qlo, qhi)}) {
+        ASSERT_EQ(s.count, ref_sum.count);
+        ASSERT_EQ(s.sum, ref_sum.sum);
+      }
+      const RangeMinMax ref_mm =
+          MinMaxInRangeScalar(data.data(), 0, c.n, qlo, qhi);
+      for (const RangeMinMax& m :
+           {MinMaxInRange(data.data(), 0, c.n, qlo, qhi),
+            MinMaxInRangePredicated(data.data(), 0, c.n, qlo, qhi)}) {
+        ASSERT_EQ(m.count, ref_mm.count);
+        if (ref_mm.count > 0) {
+          ASSERT_EQ(m.min, ref_mm.min);
+          ASSERT_EQ(m.max, ref_mm.max);
+        }
+      }
+      for (Index limit : {Index{0}, Index{1}, Index{5}, c.n, c.n + 10}) {
+        const RangePrefixHits ref_hits = CountPrefixHitsScalar(
+            data.data(), 0, c.n, qlo, qhi, limit);
+        for (const RangePrefixHits& h :
+             {CountPrefixHits(data.data(), 0, c.n, qlo, qhi, limit),
+              CountPrefixHitsPredicated(data.data(), 0, c.n, qlo, qhi,
+                                        limit)}) {
+          ASSERT_EQ(h.hits, ref_hits.hits) << "limit=" << limit;
+          ASSERT_EQ(h.examined, ref_hits.examined) << "limit=" << limit;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SimdSweep,
+    ::testing::Values(SimdCase{"random", 1024, 0},
+                      SimdCase{"random_odd", 1021, 0},
+                      SimdCase{"sorted", 512, 1},
+                      SimdCase{"reverse", 512, 2},
+                      SimdCase{"duplicates", 777, 3},
+                      SimdCase{"all_equal", 333, 4},
+                      SimdCase{"tiny", 3, 0},
+                      SimdCase{"vector_boundary", 8, 0},
+                      SimdCase{"empty", 0, 5}),
+    [](const ::testing::TestParamInfo<SimdCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SimdDispatchTest, SubrangeKernelsLeaveNeighborsUntouched) {
+  // Dispatched kernels on an interior subrange must not read or write
+  // outside [begin, end) — guards the full-vector-store gap logic.
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = 64 + static_cast<Index>(rng.UniformIndex(0, 64));
+    std::vector<Value> data(static_cast<size_t>(n));
+    for (auto& v : data) v = rng.UniformValue(0, 100);
+    const Index begin = rng.UniformIndex(0, n / 2);
+    const Index end = begin + rng.UniformIndex(0, n - begin);
+    std::vector<Value> expected_outside = data;
+    KernelCounters counters;
+    CrackInTwo(data.data(), begin, end, 50, &counters);
+    for (Index i = 0; i < begin; ++i) ASSERT_EQ(data[i], expected_outside[i]);
+    for (Index i = end; i < n; ++i) ASSERT_EQ(data[i], expected_outside[i]);
+    CrackInThree(data.data(), begin, end, 25, 75, &counters);
+    for (Index i = 0; i < begin; ++i) ASSERT_EQ(data[i], expected_outside[i]);
+    for (Index i = end; i < n; ++i) ASSERT_EQ(data[i], expected_outside[i]);
+  }
+}
+
+TEST(SimdDispatchTest, SupportReportingIsConsistent) {
+  if (!simd::CompiledWithAvx2()) {
+    EXPECT_FALSE(simd::Supported());
+  }
+  // Supported() is cached; two calls must agree.
+  EXPECT_EQ(simd::Supported(), simd::Supported());
+}
+
+#if defined(SCRACK_HAVE_AVX2)
+TEST(SimdDispatchTest, ExplicitAvx2MatchesPredicatedBitExact) {
+  if (!simd::Supported()) {
+    GTEST_SKIP() << "AVX2 unavailable or disabled on this machine";
+  }
+  Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Index n = 1 + static_cast<Index>(rng.UniformIndex(0, 2048));
+    std::vector<Value> base(static_cast<size_t>(n));
+    for (auto& v : base) v = rng.UniformValue(-1000, 1000);
+    const Value pivot = rng.UniformValue(-1100, 1100);
+
+    std::vector<Value> pred = base;
+    std::vector<Value> vec = base;
+    KernelCounters pred_counters;
+    KernelCounters vec_counters;
+    const Index pred_split =
+        CrackInTwoPredicated(pred.data(), 0, n, pivot, &pred_counters);
+    const Index vec_split =
+        avx2::CrackInTwo(vec.data(), 0, n, pivot, &vec_counters);
+    ASSERT_EQ(vec_split, pred_split);
+    ASSERT_EQ(vec, pred);
+    ASSERT_EQ(vec_counters.touched, pred_counters.touched);
+    ASSERT_EQ(vec_counters.swaps, pred_counters.swaps);
+  }
+}
+#endif  // SCRACK_HAVE_AVX2
+
+}  // namespace
+}  // namespace scrack
