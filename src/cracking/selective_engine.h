@@ -10,8 +10,8 @@
 //     cracks gets its next crack stochastically, counter reset (Fig. 19);
 //   * SizeThreshold — stochastic only for pieces larger than the L1-sized
 //     threshold (§5 last paragraph).
-// The paper's finding — reproduced by bench_fig17/18/19 — is that none of
-// them beats applying stochastic cracking on every query.
+// The paper's finding — reproduced by scrack_repro fig17/18/19 — is that
+// none of them beats applying stochastic cracking on every query.
 #pragma once
 
 #include "cracking/cracker_column.h"

@@ -23,17 +23,18 @@ Status WriteRunCsv(const RunResult& run, const std::string& path) {
     return Status::Internal("cannot open " + path + " for writing");
   }
   std::fprintf(f,
-               "query,seconds,cum_seconds,touched,cum_touched,result_count,"
-               "result_sum\n");
+               "query,seconds,cum_seconds,touched,cum_touched,swaps,"
+               "result_count,result_sum\n");
   double cum_seconds = 0;
   int64_t cum_touched = 0;
   for (size_t i = 0; i < run.records.size(); ++i) {
     const QueryRecord& r = run.records[i];
     cum_seconds += r.seconds;
     cum_touched += r.touched;
-    std::fprintf(f, "%zu,%.9f,%.9f,%lld,%lld,%lld,%lld\n", i + 1, r.seconds,
-                 cum_seconds, static_cast<long long>(r.touched),
+    std::fprintf(f, "%zu,%.9f,%.9f,%lld,%lld,%lld,%lld,%lld\n", i + 1,
+                 r.seconds, cum_seconds, static_cast<long long>(r.touched),
                  static_cast<long long>(cum_touched),
+                 static_cast<long long>(r.swaps),
                  static_cast<long long>(r.result_count),
                  static_cast<long long>(r.result_sum));
   }

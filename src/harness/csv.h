@@ -1,7 +1,7 @@
 // CSV export of experiment results, for plotting the figures with external
-// tools (gnuplot/matplotlib). Every bench binary honours SCRACK_CSV_DIR:
-// when set, each run's per-query records are also written as
-// <dir>/<bench>_<engine>.csv.
+// tools (gnuplot/matplotlib). scrack_repro (and the report curve printers)
+// honour SCRACK_CSV_DIR: when set, each run's per-query records are also
+// written as <dir>/<figure>_<label>_<engine>.csv.
 #pragma once
 
 #include <string>
@@ -13,7 +13,8 @@
 namespace scrack {
 
 /// Writes one run as CSV with header
-/// `query,seconds,cum_seconds,touched,cum_touched,result_count,result_sum`.
+/// `query,seconds,cum_seconds,touched,cum_touched,swaps,result_count,
+/// result_sum`.
 Status WriteRunCsv(const RunResult& run, const std::string& path);
 
 /// Writes every run of an experiment into `dir` (created if missing) as

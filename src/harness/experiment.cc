@@ -42,7 +42,7 @@ RunResult RunQueries(SelectEngine* engine,
         return result;
       }
     }
-    const int64_t touched_before = engine->CurrentStats().tuples_touched;
+    const EngineStats before = engine->CurrentStats();
     QueryRecord record;
     Timer timer;
     QueryOutput output;
@@ -53,7 +53,9 @@ RunResult RunQueries(SelectEngine* engine,
       result.final_stats = engine->CurrentStats();
       return result;
     }
-    record.touched = engine->CurrentStats().tuples_touched - touched_before;
+    const EngineStats after = engine->CurrentStats();
+    record.touched = after.tuples_touched - before.tuples_touched;
+    record.swaps = after.swaps - before.swaps;
     if (options.mode == OutputMode::kMaterialize) {
       record.result_count = output.result.count();
       record.result_sum = output.result.Sum();

@@ -16,6 +16,9 @@ namespace scrack {
 struct QueryRecord {
   double seconds = 0;        ///< wall-clock time of this query
   int64_t touched = 0;       ///< tuples touched by this query (stats delta)
+  int64_t swaps = 0;         ///< element exchanges by this query (delta) —
+                             ///  the reorganization volume progressive
+                             ///  cracking budgets (paper §4)
   Index result_count = 0;    ///< qualifying tuples reported
   int64_t result_sum = 0;    ///< checksum of qualifying values
 };

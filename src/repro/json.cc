@@ -1,0 +1,329 @@
+#include "repro/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/common.h"
+
+namespace scrack {
+namespace repro {
+
+const Json* Json::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& member : object_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  SCRACK_CHECK(type_ == Type::kObject || type_ == Type::kNull);
+  type_ = Type::kObject;
+  object_.emplace_back(key, std::move(value));
+}
+
+void Json::Append(Json value) {
+  SCRACK_CHECK(type_ == Type::kArray || type_ == Type::kNull);
+  type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; report as null
+    *out += "null";
+    return;
+  }
+  // Integral values print without a fraction so counters stay readable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  // Shortest representation that parses back to exactly `d`, so
+  // Dump -> Parse -> Dump is the identity (the schema round-trip test
+  // relies on it).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  if (std::strtod(buf, nullptr) != d) {
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<size_t>(indent + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull: *out += "null"; return;
+    case Type::kBool: *out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: AppendNumber(number_, out); return;
+    case Type::kString: AppendEscaped(string_, out); return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += inner_pad;
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "]";
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        *out += inner_pad;
+        AppendEscaped(object_[i].first, out);
+        *out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) *out += ",";
+        *out += "\n";
+      }
+      *out += pad + "}";
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a NUL-terminated buffer.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : p_(text.c_str()) {}
+
+  Status Parse(Json* out) {
+    SCRACK_RETURN_NOT_OK(ParseValue(out));
+    SkipWs();
+    if (*p_ != '\0') return Err("trailing characters after JSON value");
+    return Status::OK();
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error: " + what);
+  }
+
+  void SkipWs() {
+    while (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' || *p_ == '\r') ++p_;
+  }
+
+  bool Consume(const char* token) {
+    const size_t len = std::strlen(token);
+    if (std::strncmp(p_, token, len) != 0) return false;
+    p_ += len;
+    return true;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWs();
+    switch (*p_) {
+      case '\0': return Err("unexpected end of input");
+      case 'n':
+        if (!Consume("null")) return Err("bad literal");
+        *out = Json();
+        return Status::OK();
+      case 't':
+        if (!Consume("true")) return Err("bad literal");
+        *out = Json(true);
+        return Status::OK();
+      case 'f':
+        if (!Consume("false")) return Err("bad literal");
+        *out = Json(false);
+        return Status::OK();
+      case '"': {
+        std::string s;
+        SCRACK_RETURN_NOT_OK(ParseString(&s));
+        *out = Json(std::move(s));
+        return Status::OK();
+      }
+      case '[': return ParseArray(out);
+      case '{': return ParseObject(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (*p_ != '"') return Err("expected string");
+    ++p_;
+    out->clear();
+    while (*p_ != '"') {
+      if (*p_ == '\0') return Err("unterminated string");
+      if (*p_ == '\\') {
+        ++p_;
+        switch (*p_) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p_;
+              if (!std::isxdigit(static_cast<unsigned char>(*p_))) {
+                return Err("bad \\u escape");
+              }
+              const char c = *p_;
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         c <= '9' ? c - '0' : (c | 0x20) - 'a' + 10);
+            }
+            // The driver only emits \u00XX control escapes; other code
+            // points are stored as their low byte (good enough for a
+            // report format that never emits them).
+            out->push_back(static_cast<char>(code & 0xFF));
+            break;
+          }
+          default: return Err("bad escape");
+        }
+        ++p_;
+      } else {
+        out->push_back(*p_++);
+      }
+    }
+    ++p_;
+    return Status::OK();
+  }
+
+  Status ParseNumber(Json* out) {
+    char* end = nullptr;
+    const double d = std::strtod(p_, &end);
+    if (end == p_) return Err("expected value");
+    p_ = end;
+    *out = Json(d);
+    return Status::OK();
+  }
+
+  Status ParseArray(Json* out) {
+    ++p_;  // '['
+    JsonArray items;
+    SkipWs();
+    if (*p_ == ']') {
+      ++p_;
+      *out = Json(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      Json item;
+      SCRACK_RETURN_NOT_OK(ParseValue(&item));
+      items.push_back(std::move(item));
+      SkipWs();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        *out = Json(std::move(items));
+        return Status::OK();
+      }
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    ++p_;  // '{'
+    JsonObject members;
+    SkipWs();
+    if (*p_ == '}') {
+      ++p_;
+      *out = Json(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      SCRACK_RETURN_NOT_OK(ParseString(&key));
+      SkipWs();
+      if (*p_ != ':') return Err("expected ':' in object");
+      ++p_;
+      Json value;
+      SCRACK_RETURN_NOT_OK(ParseValue(&value));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        *out = Json(std::move(members));
+        return Status::OK();
+      }
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  const char* p_;
+};
+
+}  // namespace
+
+Status Json::Parse(const std::string& text, Json* out) {
+  return Parser(text).Parse(out);
+}
+
+Status WriteJsonFile(const Json& json, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const std::string text = json.Dump() + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::InvalidArgument("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace repro
+}  // namespace scrack

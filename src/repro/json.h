@@ -1,0 +1,82 @@
+// Minimal JSON document model for the reproduction driver: build, dump,
+// and parse. BENCH_repro.json is written through this model and the test
+// suite parses it back through the same model, so the schema round-trips
+// by construction. Numbers are stored as doubles (every metric the driver
+// records fits a double exactly or is reported as one anyway); object keys
+// keep insertion order so emitted reports diff cleanly across runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scrack {
+namespace repro {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+/// One JSON value (null / bool / number / string / array / object).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                  // NOLINT
+  Json(double d) : type_(Type::kNumber), number_(d) {}            // NOLINT
+  Json(int64_t i)                                                 // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  Json(int i) : Json(static_cast<int64_t>(i)) {}                  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}                   // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  const JsonObject& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Appends a member (objects) / element (arrays).
+  void Set(const std::string& key, Json value);
+  void Append(Json value);
+
+  /// Serializes with 2-space indentation and '\n' line ends.
+  std::string Dump() const;
+
+  /// Parses `text` into `*out`. Accepts exactly what Dump produces plus
+  /// arbitrary whitespace; rejects trailing garbage.
+  static Status Parse(const std::string& text, Json* out);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Writes `json` to `path` (Dump plus a trailing newline).
+Status WriteJsonFile(const Json& json, const std::string& path);
+
+}  // namespace repro
+}  // namespace scrack

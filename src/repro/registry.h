@@ -1,0 +1,34 @@
+// The reproduction registry: one FigureSpec per paper figure (2-20) plus
+// the repo's beyond-paper scenarios (aggregate pushdown, parallel sharding,
+// sideways cracking). `scrack_repro` drives these; the test suite checks
+// the registry covers every figure and that each spec carries at least one
+// machine-checkable shape assertion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repro/spec.h"
+
+namespace scrack {
+namespace repro {
+
+/// All registered specs, in presentation order (paper figures first, then
+/// beyond-paper scenarios). Built once; subsequent calls return the same
+/// registry.
+const std::vector<FigureSpec>& Registry();
+
+/// Finds a spec by id ("fig09", "pushdown"). nullptr when unknown.
+const FigureSpec* FindSpec(const std::string& id);
+
+/// Resolves a --figure argument: "all", a spec id ("fig09"), or a bare
+/// paper figure number ("9" selects every spec covering figure 9). Returns
+/// an empty vector and sets *error on unknown selectors.
+std::vector<const FigureSpec*> SelectSpecs(const std::string& selector,
+                                           std::string* error);
+
+/// Paper figure numbers covered by the registry (sorted, deduplicated).
+std::vector<int> CoveredFigures();
+
+}  // namespace repro
+}  // namespace scrack

@@ -1,0 +1,221 @@
+#include "repro/repro_report.h"
+
+#include <cstdio>
+
+#include "harness/report.h"
+#include "util/simd.h"
+
+namespace scrack {
+namespace repro {
+
+namespace {
+
+Json RunJson(const RunSeries& series) {
+  Json run;
+  run.Set("label", series.decl.label);
+  run.Set("engine", series.decl.engine);
+  run.Set("engine_name", series.engine_name);
+  run.Set("workload", WorkloadName(series.decl.workload));
+  run.Set("mode", OutputModeName(series.decl.mode));
+  Json points(JsonArray{});
+  for (const CurvePoint& point : series.points) {
+    Json p;
+    p.Set("query", point.query);
+    p.Set("cum_seconds", point.cum_seconds);
+    p.Set("cum_touched", point.cum_touched);
+    points.Append(std::move(p));
+  }
+  run.Set("points", std::move(points));
+  return run;
+}
+
+Json AssertionJson(const ShapeAssertion& spec, const AssertionResult& result) {
+  Json a;
+  a.Set("name", result.name);
+  a.Set("kind", KindName(spec.kind));
+  a.Set("ok", result.ok);
+  a.Set("measured", result.measured);
+  a.Set("description", result.description);
+  return a;
+}
+
+Json MetricsJson(const FigureResult& result) {
+  Json metrics;
+  for (const auto& metric : result.metrics) {
+    metrics.Set(metric.first, metric.second);
+  }
+  return metrics;
+}
+
+}  // namespace
+
+Json BuildReport(const std::vector<const FigureSpec*>& specs,
+                 const std::vector<FigureResult>& results,
+                 const ReproOptions& options) {
+  SCRACK_CHECK(specs.size() == results.size());
+  int total = 0;
+  int failed = 0;
+  Json figures(JsonArray{});
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const FigureSpec& spec = *specs[i];
+    const FigureResult& result = results[i];
+    Json figure;
+    figure.Set("id", spec.id);
+    Json figure_numbers(JsonArray{});
+    for (const int f : spec.figures) figure_numbers.Append(f);
+    figure.Set("figures", std::move(figure_numbers));
+    figure.Set("title", spec.title);
+    figure.Set("n", result.n);
+    figure.Set("q", result.q);
+    Json runs(JsonArray{});
+    for (const RunSeries& series : result.runs) {
+      runs.Append(RunJson(series));
+    }
+    figure.Set("runs", std::move(runs));
+    figure.Set("metrics", MetricsJson(result));
+    Json assertions(JsonArray{});
+    for (size_t a = 0; a < result.assertions.size(); ++a) {
+      ++total;
+      if (!result.assertions[a].ok) ++failed;
+      assertions.Append(AssertionJson(spec.assertions[a],
+                                      result.assertions[a]));
+    }
+    figure.Set("assertions", std::move(assertions));
+    figure.Set("ok", result.ok);
+    figures.Append(std::move(figure));
+  }
+
+  Json meta;
+  meta.Set("tool", "scrack_repro");
+  meta.Set("quick", options.quick);
+  meta.Set("seed", static_cast<int64_t>(options.seed));
+  meta.Set("avx2_compiled", simd::CompiledWithAvx2());
+  meta.Set("avx2_supported", simd::Supported());
+
+  Json report;
+  report.Set("meta", std::move(meta));
+  report.Set("figures", std::move(figures));
+  report.Set("assertions_total", total);
+  report.Set("assertions_failed", failed);
+  report.Set("ok", failed == 0);
+  return report;
+}
+
+std::string MeasuredSummary(const FigureSpec& spec,
+                            const FigureResult& result) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "n=%lld q=%lld: ",
+                static_cast<long long>(result.n),
+                static_cast<long long>(result.q));
+  std::string summary = buf;
+
+  // Headline: the first ratio assertion with both sides present; for
+  // chain-only specs, the chain's endpoint ratio.
+  bool have_headline = false;
+  for (size_t i = 0; !have_headline && i < spec.assertions.size(); ++i) {
+    const ShapeAssertion& assertion = spec.assertions[i];
+    if ((assertion.kind != ShapeAssertion::Kind::kLess &&
+         assertion.kind != ShapeAssertion::Kind::kGreater) ||
+        assertion.right.empty()) {
+      continue;
+    }
+    const auto left = result.metrics.find(assertion.left);
+    const auto right = result.metrics.find(assertion.right);
+    if (left == result.metrics.end() || right == result.metrics.end() ||
+        right->second == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s = %.2gx %s; ",
+                  assertion.left.c_str(), left->second / right->second,
+                  assertion.right.c_str());
+    summary += buf;
+    have_headline = true;
+  }
+  for (size_t i = 0; !have_headline && i < spec.assertions.size(); ++i) {
+    const ShapeAssertion& assertion = spec.assertions[i];
+    if (assertion.kind != ShapeAssertion::Kind::kChain ||
+        assertion.chain.size() < 2) {
+      continue;
+    }
+    const auto first = result.metrics.find(assertion.chain.front());
+    const auto last = result.metrics.find(assertion.chain.back());
+    if (first == result.metrics.end() || last == result.metrics.end() ||
+        first->second == 0) {
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%s = %.2gx %s; ",
+                  assertion.chain.back().c_str(),
+                  last->second / first->second,
+                  assertion.chain.front().c_str());
+    summary += buf;
+    have_headline = true;
+  }
+
+  int passed = 0;
+  for (const AssertionResult& assertion : result.assertions) {
+    if (assertion.ok) ++passed;
+  }
+  std::snprintf(buf, sizeof(buf), "%d/%zu shape assertions pass", passed,
+                result.assertions.size());
+  summary += buf;
+  return summary;
+}
+
+std::string MarkdownRows(const std::vector<const FigureSpec*>& specs,
+                         const std::vector<FigureResult>& results) {
+  SCRACK_CHECK(specs.size() == results.size());
+  std::string out;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const FigureSpec& spec = *specs[i];
+    std::string figure_cell;
+    if (spec.figures.empty()) {
+      figure_cell = spec.title;
+    } else {
+      figure_cell = "Fig.";
+      for (size_t f = 0; f < spec.figures.size(); ++f) {
+        figure_cell += (f == 0 ? " " : "/") +
+                       std::to_string(spec.figures[f]);
+      }
+    }
+    out += "| " + figure_cell + " | " + spec.claim + " | `scrack_repro "
+           "--figure=" + spec.id + "` | " +
+           MeasuredSummary(spec, results[i]) + " |\n";
+  }
+  return out;
+}
+
+void PrintFigure(const FigureSpec& spec, const FigureResult& result) {
+  std::printf("\n=== %s — %s (n=%lld, q=%lld) ===\n", spec.id.c_str(),
+              spec.title.c_str(), static_cast<long long>(result.n),
+              static_cast<long long>(result.q));
+  if (!result.runs.empty()) {
+    TextTable table({"run", "engine", "cum secs", "cum touched", "touched@1",
+                     "count", "materialized"});
+    for (const RunSeries& series : result.runs) {
+      const auto& metrics = result.metrics;
+      const std::string& p = series.decl.label;
+      const auto metric = [&](const std::string& name) {
+        const auto it = metrics.find(p + name);
+        return it == metrics.end() ? 0.0 : it->second;
+      };
+      table.AddRow({series.decl.label, series.engine_name,
+                    TextTable::Num(metric(".cum_seconds")),
+                    std::to_string(
+                        static_cast<long long>(metric(".cum_touched"))),
+                    std::to_string(
+                        static_cast<long long>(metric(".touched_at_1"))),
+                    std::to_string(
+                        static_cast<long long>(metric(".checksum_count"))),
+                    std::to_string(
+                        static_cast<long long>(metric(".materialized")))});
+    }
+    table.Print();
+  }
+  for (const AssertionResult& assertion : result.assertions) {
+    std::printf("  [%s] %s: %s\n", assertion.ok ? "PASS" : "FAIL",
+                assertion.name.c_str(), assertion.measured.c_str());
+  }
+}
+
+}  // namespace repro
+}  // namespace scrack

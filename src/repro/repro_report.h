@@ -1,0 +1,39 @@
+// Report emitters for the reproduction driver: the merged BENCH_repro.json
+// document, ready-to-paste EXPERIMENTS.md table rows, and the console
+// rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repro/json.h"
+#include "repro/spec.h"
+
+namespace scrack {
+namespace repro {
+
+/// Builds the full BENCH_repro.json document:
+/// { "meta": {...}, "figures": [ {id, figures, title, n, q, runs: [...],
+///   assertions: [...], ok}, ... ], "assertions_total", "assertions_failed",
+///   "ok" }.
+Json BuildReport(const std::vector<const FigureSpec*>& specs,
+                 const std::vector<FigureResult>& results,
+                 const ReproOptions& options);
+
+/// Renders the EXPERIMENTS.md "paper vs measured" rows for `results`
+/// (markdown table body, one `| Fig. N | claim | driver | measured |` row
+/// per covered paper figure, beyond-paper scenarios after).
+std::string MarkdownRows(const std::vector<const FigureSpec*>& specs,
+                         const std::vector<FigureResult>& results);
+
+/// Prints one figure's runs and assertion verdicts to stdout.
+void PrintFigure(const FigureSpec& spec, const FigureResult& result);
+
+/// One-line measured summary for a figure (used in the markdown rows),
+/// e.g. "n=100000, q=400: crack.seq/crack.rnd touched = 21x; 5/5 shape
+/// assertions pass".
+std::string MeasuredSummary(const FigureSpec& spec,
+                            const FigureResult& result);
+
+}  // namespace repro
+}  // namespace scrack

@@ -1,0 +1,195 @@
+#include "repro/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <cstdlib>
+
+#include "harness/csv.h"
+#include "harness/engine_factory.h"
+#include "harness/report.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace repro {
+
+Scale ResolveScale(const FigureSpec& spec, const ReproOptions& options) {
+  Scale scale;
+  scale.n = options.n_override > 0
+                ? options.n_override
+                : (options.quick ? spec.quick_n : spec.default_n);
+  scale.q = options.q_override > 0
+                ? options.q_override
+                : (options.quick ? spec.quick_q : spec.default_q);
+  return scale;
+}
+
+std::vector<RangeQuery> BuildWorkload(const RunDecl& decl, Index n, QueryId q,
+                                      uint64_t seed) {
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = q;
+  params.seed = seed + 1;
+  params.selectivity = 10;
+  if (decl.selectivity_percent > 0) {
+    params.selectivity = std::max<Value>(
+        1, static_cast<Value>(static_cast<double>(n) *
+                              decl.selectivity_percent / 100.0));
+  }
+  auto queries = MakeWorkload(decl.workload, params);
+  if (decl.selectivity_percent < 0) {
+    // Fig. 11's "Rand" column: every query gets a fresh random width.
+    Rng rng(seed + 99);
+    for (RangeQuery& query : queries) {
+      const Value width = 1 + rng.UniformValue(0, n / 2);
+      query.high = std::min<Value>(n, query.low + width);
+      if (query.high <= query.low) query.high = query.low + 1;
+    }
+  }
+  return queries;
+}
+
+namespace {
+
+/// Records one finished run into the figure result: curves at log-spaced
+/// checkpoints plus the flat metrics the assertions read.
+void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
+  RunSeries series;
+  series.decl = decl;
+  series.engine_name = run.engine_name;
+  series.final_stats = run.final_stats;
+
+  const QueryId q = static_cast<QueryId>(run.records.size());
+  double cum_seconds = 0;
+  int64_t cum_touched = 0;
+  int64_t checksum_count = 0;
+  // Unsigned accumulation (wraparound is defined) reduced mod 2^31 below:
+  // at paper scale the raw sum of result_sum exceeds both int64 and the
+  // 2^53 range where doubles stay exact, and the kEqual assertions need
+  // exact metric values.
+  uint64_t checksum_sum = 0;
+  const auto points = LogSpacedPoints(q);
+  size_t next_point = 0;
+  for (QueryId i = 0; i < q; ++i) {
+    const QueryRecord& record = run.records[static_cast<size_t>(i)];
+    cum_seconds += record.seconds;
+    cum_touched += record.touched;
+    checksum_count += static_cast<int64_t>(record.result_count);
+    checksum_sum += static_cast<uint64_t>(record.result_sum);
+    if (next_point < points.size() && i + 1 == points[next_point]) {
+      ++next_point;
+      series.points.push_back(CurvePoint{i + 1, cum_seconds, cum_touched});
+    }
+  }
+  checksum_sum %= uint64_t{1} << 31;
+  result->runs.push_back(series);
+
+  auto& metrics = result->metrics;
+  const std::string& p = decl.label;
+  metrics[p + ".cum_seconds"] = cum_seconds;
+  metrics[p + ".cum_touched"] = static_cast<double>(cum_touched);
+  metrics[p + ".touched_per_sec"] =
+      cum_seconds > 0 ? static_cast<double>(cum_touched) / cum_seconds : 0;
+  metrics[p + ".touched_at_1"] =
+      q > 0 ? static_cast<double>(run.records[0].touched) : 0;
+  metrics[p + ".swaps_at_1"] =
+      q > 0 ? static_cast<double>(run.records[0].swaps) : 0;
+  metrics[p + ".max_swaps_per_query"] = [&] {
+    int64_t max_swaps = 0;
+    for (const QueryRecord& record : run.records) {
+      max_swaps = std::max(max_swaps, record.swaps);
+    }
+    return static_cast<double>(max_swaps);
+  }();
+  metrics[p + ".cum_touched_at_8"] =
+      static_cast<double>(run.CumulativeTouched(std::min<QueryId>(8, q)));
+  metrics[p + ".checksum_count"] = static_cast<double>(checksum_count);
+  metrics[p + ".checksum_sum"] = static_cast<double>(checksum_sum);  // mod 2^31
+  metrics[p + ".materialized"] =
+      static_cast<double>(run.final_stats.materialized);
+  metrics[p + ".aggregates_pushed"] =
+      static_cast<double>(run.final_stats.aggregates_pushed);
+  metrics[p + ".updates_merged"] =
+      static_cast<double>(run.final_stats.updates_merged);
+}
+
+}  // namespace
+
+Status RunFigure(const FigureSpec& spec, const ReproOptions& options,
+                 FigureResult* result) {
+  *result = FigureResult{};
+  result->id = spec.id;
+  const Scale scale = ResolveScale(spec, options);
+  result->n = scale.n;
+  result->q = scale.q;
+  result->metrics["n"] = static_cast<double>(scale.n);
+  result->metrics["q"] = static_cast<double>(scale.q);
+
+  const Column base = Column::UniquePermutation(scale.n, options.seed);
+
+  for (const RunDecl& decl : spec.runs) {
+    EngineConfig config = EngineConfig::Detected();
+    config.seed = options.seed;
+    if (decl.crack_threshold_values > 0) {
+      config.crack_threshold_values = decl.crack_threshold_values;
+    }
+    if (decl.hybrid_partition_values > 0) {
+      config.hybrid_partition_values = decl.hybrid_partition_values;
+    }
+
+    std::unique_ptr<SelectEngine> engine;
+    SCRACK_RETURN_NOT_OK(CreateEngine(decl.engine, &base, config, &engine));
+
+    RunOptions run_options;
+    run_options.mode = decl.mode;
+    std::shared_ptr<Rng> update_rng;
+    if (decl.update_period > 0 && decl.updates_per_batch > 0) {
+      // Per-run RNG with a run-independent seed: every engine in the grid
+      // sees the identical update stream.
+      update_rng = std::make_shared<Rng>(options.seed + 7);
+      const Index n = scale.n;
+      const int period = decl.update_period;
+      const int count = decl.updates_per_batch;
+      run_options.before_query = [update_rng, n, period, count](
+                                     QueryId i, SelectEngine* e) -> Status {
+        if (i % period != 0) return Status::OK();
+        for (int u = 0; u < count; ++u) {
+          SCRACK_RETURN_NOT_OK(e->StageInsert(update_rng->UniformValue(0, n)));
+        }
+        return Status::OK();
+      };
+    }
+
+    const auto queries = BuildWorkload(decl, scale.n, scale.q, options.seed);
+    const RunResult run = RunQueries(engine.get(), queries, run_options);
+    SCRACK_RETURN_NOT_OK(run.status);
+    // Optional raw per-query export for external plotting (see csv.h).
+    const char* csv_dir = std::getenv("SCRACK_CSV_DIR");
+    if (csv_dir != nullptr && *csv_dir != '\0') {
+      SCRACK_RETURN_NOT_OK(WriteRunsCsv({run}, csv_dir,
+                                        spec.id + "_" + decl.label));
+    }
+    Record(decl, run, result);
+  }
+
+  if (spec.extra) {
+    ReproContext context;
+    context.options = &options;
+    context.n = scale.n;
+    context.q = scale.q;
+    context.seed = options.seed;
+    context.base = &base;
+    SCRACK_RETURN_NOT_OK(spec.extra(context, result));
+  }
+
+  result->ok = true;
+  for (const ShapeAssertion& assertion : spec.assertions) {
+    const AssertionResult outcome = Evaluate(assertion, result->metrics);
+    result->ok = result->ok && outcome.ok;
+    result->assertions.push_back(outcome);
+  }
+  return Status::OK();
+}
+
+}  // namespace repro
+}  // namespace scrack

@@ -1,0 +1,30 @@
+// Executes a FigureSpec: materializes the dataset, runs every grid cell
+// through the experiment harness, records metrics and curves, runs the
+// spec's extra hook, and evaluates its shape assertions.
+#pragma once
+
+#include "repro/spec.h"
+#include "util/status.h"
+
+namespace scrack {
+namespace repro {
+
+/// Resolved scale for a spec under the given options.
+struct Scale {
+  Index n;
+  QueryId q;
+};
+Scale ResolveScale(const FigureSpec& spec, const ReproOptions& options);
+
+/// Builds the query sequence for one grid cell at scale (n, q).
+std::vector<RangeQuery> BuildWorkload(const RunDecl& decl, Index n, QueryId q,
+                                      uint64_t seed);
+
+/// Runs the whole figure. Returns a non-OK status only on harness errors
+/// (bad engine spec, failed update merge) — assertion violations are
+/// reported in result->ok / result->assertions, not as a Status.
+Status RunFigure(const FigureSpec& spec, const ReproOptions& options,
+                 FigureResult* result);
+
+}  // namespace repro
+}  // namespace scrack

@@ -1,0 +1,128 @@
+#include "repro/spec.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace scrack {
+namespace repro {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[40];
+  // Range guard before the cast (casting >= 2^63 to long long is UB).
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+/// Looks up a metric; records a failure message on absence.
+bool Lookup(const std::map<std::string, double>& metrics,
+            const std::string& name, double* out, std::string* error) {
+  const auto it = metrics.find(name);
+  if (it == metrics.end()) {
+    *error = "metric '" + name + "' not recorded";
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+}  // namespace
+
+std::string KindName(ShapeAssertion::Kind kind) {
+  switch (kind) {
+    case ShapeAssertion::Kind::kLess: return "less";
+    case ShapeAssertion::Kind::kGreater: return "greater";
+    case ShapeAssertion::Kind::kEqual: return "equal";
+    case ShapeAssertion::Kind::kChain: return "chain";
+  }
+  return "unknown";
+}
+
+AssertionResult Evaluate(const ShapeAssertion& assertion,
+                         const std::map<std::string, double>& metrics) {
+  AssertionResult result;
+  result.name = assertion.name;
+  result.description = assertion.description;
+  std::string error;
+
+  switch (assertion.kind) {
+    case ShapeAssertion::Kind::kLess:
+    case ShapeAssertion::Kind::kGreater: {
+      double left = 0;
+      if (!Lookup(metrics, assertion.left, &left, &error)) {
+        result.measured = error;
+        return result;
+      }
+      double bound = assertion.factor;
+      std::string bound_text = Num(bound);
+      if (!assertion.right.empty()) {
+        double right = 0;
+        if (!Lookup(metrics, assertion.right, &right, &error)) {
+          result.measured = error;
+          return result;
+        }
+        bound = assertion.factor * right;
+        bound_text = Num(assertion.factor) + " * " + assertion.right + " (" +
+                     Num(bound) + ")";
+      }
+      const bool less = assertion.kind == ShapeAssertion::Kind::kLess;
+      result.ok = less ? left < bound : left > bound;
+      result.measured = assertion.left + " = " + Num(left) +
+                        (less ? " < " : " > ") + bound_text +
+                        (result.ok ? "" : "  [VIOLATED]");
+      return result;
+    }
+
+    case ShapeAssertion::Kind::kEqual: {
+      double left = 0;
+      double right = 0;
+      if (!Lookup(metrics, assertion.left, &left, &error) ||
+          !Lookup(metrics, assertion.right, &right, &error)) {
+        result.measured = error;
+        return result;
+      }
+      result.ok = left == right;
+      result.measured = assertion.left + " = " + Num(left) +
+                        (result.ok ? " == " : " != ") + assertion.right +
+                        " = " + Num(right);
+      return result;
+    }
+
+    case ShapeAssertion::Kind::kChain: {
+      if (assertion.chain.size() < 2) {
+        result.measured = "chain needs at least two metrics";
+        return result;
+      }
+      std::vector<double> values(assertion.chain.size());
+      for (size_t i = 0; i < assertion.chain.size(); ++i) {
+        if (!Lookup(metrics, assertion.chain[i], &values[i], &error)) {
+          result.measured = error;
+          return result;
+        }
+      }
+      result.ok = true;
+      std::string text;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) {
+          const bool step_ok =
+              values[i] >= values[i - 1] * (1.0 - assertion.slack);
+          result.ok = result.ok && step_ok;
+          text += step_ok ? " <= " : " !<= ";
+        }
+        text += Num(values[i]);
+      }
+      result.measured = "chain " + text;
+      return result;
+    }
+  }
+  result.measured = "unknown assertion kind";
+  return result;
+}
+
+}  // namespace repro
+}  // namespace scrack

@@ -1,0 +1,163 @@
+// Declarative reproduction specs: every Fig. 2-20 scenario of the paper
+// (plus the beyond-paper scenarios the repo has accumulated) encoded as
+// data — workload pattern x engine grid x N/Q/selectivity — with the
+// paper's qualitative claims attached as machine-checkable ShapeAssertions.
+//
+// A FigureSpec is mostly a grid of RunDecls; the runner executes each cell
+// against a fresh engine and records a flat metric map
+// (`<label>.cum_touched`, `<label>.checksum_sum`, ...) that the assertions
+// are evaluated over. Assertions deliberately compare the deterministic
+// tuples-touched / checksum metrics, never wall-clock, so the repro gate
+// has no timing flake: the *shape* of every figure — who wins, by what
+// factor, what stays flat — is exactly what the paper argues from its cost
+// model (§3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "harness/experiment.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace repro {
+
+/// One cell of a figure's grid: an engine spec run against one workload.
+struct RunDecl {
+  std::string label;    ///< unique within the figure; prefixes metric names
+  std::string engine;   ///< engine-factory spec, e.g. "pmdd1r:10"
+  WorkloadKind workload = WorkloadKind::kRandom;
+
+  /// Query width as a percentage of the domain; 0 keeps the generator's
+  /// default fixed width (S = 10 values). Negative means Fig. 11's "Rand"
+  /// column: re-draw every query's width uniformly from [1, N/2).
+  double selectivity_percent = 0;
+
+  /// EngineConfig overrides; 0 keeps the detected default.
+  Index crack_threshold_values = 0;   ///< Fig. 8 DDC threshold sweep
+  Index hybrid_partition_values = 0;  ///< hybrid partition-size ablation
+
+  /// Output mode the queries run in (aggregate-pushdown scenarios).
+  OutputMode mode = OutputMode::kMaterialize;
+
+  /// Fig. 15 update stream: stage `updates_per_batch` random inserts
+  /// before every `update_period`-th query (0 = no updates).
+  int update_period = 0;
+  int updates_per_batch = 0;
+};
+
+/// A machine-checkable claim over a figure's metric map. Assertions are
+/// data, not code, so they serialize into BENCH_repro.json verbatim.
+struct ShapeAssertion {
+  enum class Kind {
+    kLess,     ///< metric(left) <  factor * (right empty ? 1 : metric(right))
+    kGreater,  ///< metric(left) >  factor * (right empty ? 1 : metric(right))
+    kEqual,    ///< metric(left) == metric(right) exactly (checksums)
+    kChain,    ///< chain[i+1] >= chain[i] * (1 - slack) for all i
+  };
+
+  std::string name;         ///< stable id, e.g. "seq_mdd1r_below_half_crack"
+  std::string description;  ///< the paper claim this encodes, one sentence
+  Kind kind = Kind::kLess;
+  std::string left;
+  std::string right;               ///< empty = compare against `factor`
+  double factor = 1.0;
+  std::vector<std::string> chain;  ///< kChain only
+  double slack = 0.0;              ///< kChain tolerance
+};
+
+/// Outcome of evaluating one ShapeAssertion.
+struct AssertionResult {
+  std::string name;
+  std::string description;
+  bool ok = false;
+  std::string measured;  ///< e.g. "crack.seq.cum_touched=8.1e9 >= 5x 1.2e9"
+};
+
+/// Scale and overrides for a repro invocation.
+struct ReproOptions {
+  bool quick = false;       ///< CI scale (each spec declares its quick N/Q)
+  Index n_override = 0;     ///< 0 = use the spec's scale
+  QueryId q_override = 0;
+  uint64_t seed = 42;
+};
+
+/// Everything a custom measurement hook gets to see.
+struct ReproContext {
+  const ReproOptions* options;
+  Index n;
+  QueryId q;
+  uint64_t seed;
+  const Column* base;  ///< the figure's dataset (unique permutation of [0,n))
+};
+
+/// Log-spaced checkpoint of one run's cumulative curves.
+struct CurvePoint {
+  QueryId query;
+  double cum_seconds;
+  int64_t cum_touched;
+};
+
+/// One executed grid cell.
+struct RunSeries {
+  RunDecl decl;
+  std::string engine_name;  ///< engine->name() (decl.engine is the spec)
+  std::vector<CurvePoint> points;
+  EngineStats final_stats;
+};
+
+/// Everything measured for one figure.
+struct FigureResult {
+  std::string id;
+  Index n = 0;
+  QueryId q = 0;
+  std::vector<RunSeries> runs;
+  /// Flat metric map the assertions read. Grid runs contribute
+  /// `<label>.{cum_seconds,cum_touched,touched_per_sec,touched_at_1,
+  /// swaps_at_1,max_swaps_per_query,cum_touched_at_8,checksum_count,
+  /// checksum_sum,materialized,aggregates_pushed,updates_merged}`; the
+  /// pseudo-metrics `n` and `q` are always present; `extra` hooks may add
+  /// more. checksum_sum is reduced mod 2^31 so it stays exact in a double
+  /// at any scale (kEqual compares exactly).
+  std::map<std::string, double> metrics;
+  std::vector<AssertionResult> assertions;
+  bool ok = false;  ///< all assertions passed
+};
+
+/// One reproduction scenario: a paper figure (or beyond-paper experiment).
+struct FigureSpec {
+  std::string id;             ///< "fig09", "pushdown", ...
+  std::vector<int> figures;   ///< paper figure numbers covered (empty for
+                              ///  beyond-paper scenarios)
+  std::string title;
+  std::string claim;          ///< the paper's qualitative claim (docs row)
+
+  Index default_n = 1'000'000;
+  QueryId default_q = 1000;
+  Index quick_n = 100'000;
+  QueryId quick_q = 400;
+
+  std::vector<RunDecl> runs;
+  std::vector<ShapeAssertion> assertions;
+
+  /// Optional hook run after the grid, for measurements the declarative
+  /// grid cannot express (piece-size distributions, kernel ablations,
+  /// batch-vs-sequential checksums). Adds metrics to `result->metrics`.
+  std::function<Status(const ReproContext&, FigureResult*)> extra;
+};
+
+/// Evaluates one assertion against a metric map. A metric named by the
+/// assertion but absent from the map fails the assertion (never passes
+/// silently) and says so in `measured`.
+AssertionResult Evaluate(const ShapeAssertion& assertion,
+                         const std::map<std::string, double>& metrics);
+
+/// Human name for an assertion kind ("less", "greater", "equal", "chain").
+std::string KindName(ShapeAssertion::Kind kind);
+
+}  // namespace repro
+}  // namespace scrack

@@ -148,8 +148,10 @@ TEST(CsvTest, SanitizeFileName) {
 TEST(CsvTest, WriteRunCsvRoundTrips) {
   RunResult run;
   run.engine_name = "crack";
-  run.records.push_back({0.5, 100, 10, 55});
-  run.records.push_back({0.25, 50, 5, 15});
+  run.records.push_back({/*seconds=*/0.5, /*touched=*/100, /*swaps=*/7,
+                         /*result_count=*/10, /*result_sum=*/55});
+  run.records.push_back({/*seconds=*/0.25, /*touched=*/50, /*swaps=*/3,
+                         /*result_count=*/5, /*result_sum=*/15});
   const std::string path = ::testing::TempDir() + "/scrack_csv_test.csv";
   ASSERT_TRUE(WriteRunCsv(run, path).ok());
 
@@ -160,17 +162,18 @@ TEST(CsvTest, WriteRunCsvRoundTrips) {
   ASSERT_TRUE(std::getline(in, line1));
   ASSERT_TRUE(std::getline(in, line2));
   EXPECT_EQ(header,
-            "query,seconds,cum_seconds,touched,cum_touched,result_count,"
-            "result_sum");
-  EXPECT_EQ(line1, "1,0.500000000,0.500000000,100,100,10,55");
-  EXPECT_EQ(line2, "2,0.250000000,0.750000000,50,150,5,15");
+            "query,seconds,cum_seconds,touched,cum_touched,swaps,"
+            "result_count,result_sum");
+  EXPECT_EQ(line1, "1,0.500000000,0.500000000,100,100,7,10,55");
+  EXPECT_EQ(line2, "2,0.250000000,0.750000000,50,150,3,5,15");
   std::remove(path.c_str());
 }
 
 TEST(CsvTest, WriteRunsCsvCreatesDirAndFiles) {
   RunResult run;
   run.engine_name = "dd1r";
-  run.records.push_back({0.1, 10, 1, 1});
+  run.records.push_back({/*seconds=*/0.1, /*touched=*/10, /*swaps=*/0,
+                         /*result_count=*/1, /*result_sum=*/1});
   const std::string dir = ::testing::TempDir() + "/scrack_csv_dir";
   ASSERT_TRUE(WriteRunsCsv({std::move(run)}, dir, "fig 9(a)").ok());
   std::ifstream in(dir + "/fig_9_a__dd1r.csv");

@@ -1,0 +1,156 @@
+// The repro JSON model: build/dump/parse round-trips, parser edge cases,
+// and the full BENCH_repro.json document schema produced by a real (tiny)
+// driver run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "repro/json.h"
+#include "repro/registry.h"
+#include "repro/repro_report.h"
+#include "repro/runner.h"
+
+namespace scrack {
+namespace repro {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  for (const char* text : {"null", "true", "false", "0", "-12", "3.5",
+                           "\"hello\"", "\"\"", "[]", "{}"}) {
+    Json value;
+    ASSERT_TRUE(Json::Parse(text, &value).ok()) << text;
+    Json reparsed;
+    ASSERT_TRUE(Json::Parse(value.Dump(), &reparsed).ok()) << text;
+    EXPECT_EQ(value.Dump(), reparsed.Dump()) << text;
+  }
+}
+
+TEST(JsonTest, NestedDocumentRoundTrips) {
+  Json doc;
+  doc.Set("name", "fig02");
+  doc.Set("ok", true);
+  doc.Set("count", static_cast<int64_t>(12345));
+  doc.Set("ratio", 0.125);
+  Json runs(JsonArray{});
+  Json run;
+  run.Set("label", "crack.seq");
+  run.Set("touched", static_cast<int64_t>(20325161));
+  runs.Append(std::move(run));
+  doc.Set("runs", std::move(runs));
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(), &parsed).ok());
+  EXPECT_EQ(parsed.Dump(), doc.Dump());
+  ASSERT_NE(parsed.Find("runs"), nullptr);
+  ASSERT_TRUE(parsed.Find("runs")->is_array());
+  const Json& first = parsed.Find("runs")->as_array()[0];
+  ASSERT_NE(first.Find("label"), nullptr);
+  EXPECT_EQ(first.Find("label")->as_string(), "crack.seq");
+  EXPECT_EQ(first.Find("touched")->as_number(), 20325161.0);
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  Json doc;
+  doc.Set("text", "a \"quoted\"\nline\twith\\slashes");
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(doc.Dump(), &parsed).ok());
+  EXPECT_EQ(parsed.Find("text")->as_string(),
+            "a \"quoted\"\nline\twith\\slashes");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  Json value;
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\":}", "tru", "{\"a\" 1}", "[1] trailing",
+        "{\"a\": 1,}"}) {
+    EXPECT_FALSE(Json::Parse(text, &value).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(JsonTest, ObjectKeysKeepInsertionOrder) {
+  Json doc;
+  doc.Set("zebra", 1);
+  doc.Set("alpha", 2);
+  const std::string dumped = doc.Dump();
+  EXPECT_LT(dumped.find("zebra"), dumped.find("alpha"));
+}
+
+// The real report document, produced by a tiny fig02 run, parses back and
+// carries every schema field the CI consumers (perf_diff.py, artifact
+// readers) rely on.
+TEST(ReportSchemaTest, ReportRoundTripsThroughParser) {
+  const FigureSpec* spec = FindSpec("fig02");
+  ASSERT_NE(spec, nullptr);
+  ReproOptions options;
+  options.n_override = 3000;
+  options.q_override = 60;
+  FigureResult result;
+  ASSERT_TRUE(RunFigure(*spec, options, &result).ok());
+
+  const Json report = BuildReport({spec}, {result}, options);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(report.Dump(), &parsed).ok());
+  EXPECT_EQ(parsed.Dump(), report.Dump());
+
+  ASSERT_NE(parsed.Find("meta"), nullptr);
+  EXPECT_EQ(parsed.Find("meta")->Find("tool")->as_string(), "scrack_repro");
+  ASSERT_NE(parsed.Find("ok"), nullptr);
+  ASSERT_NE(parsed.Find("assertions_total"), nullptr);
+  EXPECT_GT(parsed.Find("assertions_total")->as_number(), 0);
+
+  const Json* figures = parsed.Find("figures");
+  ASSERT_NE(figures, nullptr);
+  ASSERT_EQ(figures->as_array().size(), 1u);
+  const Json& figure = figures->as_array()[0];
+  EXPECT_EQ(figure.Find("id")->as_string(), "fig02");
+  EXPECT_EQ(figure.Find("n")->as_number(), 3000);
+  EXPECT_EQ(figure.Find("q")->as_number(), 60);
+
+  const Json* runs = figure.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->as_array().size(), spec->runs.size());
+  for (const Json& run : runs->as_array()) {
+    ASSERT_NE(run.Find("label"), nullptr);
+    ASSERT_NE(run.Find("engine"), nullptr);
+    ASSERT_NE(run.Find("points"), nullptr);
+    EXPECT_FALSE(run.Find("points")->as_array().empty());
+    const Json& last = run.Find("points")->as_array().back();
+    EXPECT_EQ(last.Find("query")->as_number(), 60);
+  }
+
+  // Per-run throughput metrics exist (what the perf-trajectory diff reads).
+  const Json* metrics = figure.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const RunDecl& decl : spec->runs) {
+    EXPECT_NE(metrics->Find(decl.label + ".touched_per_sec"), nullptr)
+        << decl.label;
+  }
+
+  const Json* assertions = figure.Find("assertions");
+  ASSERT_NE(assertions, nullptr);
+  ASSERT_EQ(assertions->as_array().size(), spec->assertions.size());
+  for (const Json& assertion : assertions->as_array()) {
+    ASSERT_NE(assertion.Find("name"), nullptr);
+    ASSERT_NE(assertion.Find("ok"), nullptr);
+    ASSERT_NE(assertion.Find("kind"), nullptr);
+    ASSERT_NE(assertion.Find("measured"), nullptr);
+  }
+}
+
+TEST(ReportSchemaTest, MarkdownRowsCoverEverySpec) {
+  const FigureSpec* spec = FindSpec("fig02");
+  ASSERT_NE(spec, nullptr);
+  ReproOptions options;
+  options.n_override = 3000;
+  options.q_override = 60;
+  FigureResult result;
+  ASSERT_TRUE(RunFigure(*spec, options, &result).ok());
+  const std::string rows = MarkdownRows({spec}, {result});
+  EXPECT_NE(rows.find("| Fig. 2 |"), std::string::npos);
+  EXPECT_NE(rows.find("scrack_repro --figure=fig02"), std::string::npos);
+  EXPECT_NE(rows.find("shape assertions pass"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace scrack

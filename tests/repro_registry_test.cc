@@ -1,0 +1,240 @@
+// The reproduction registry: completeness (every paper figure 2-20 has a
+// spec with at least one shape assertion), structural sanity (unique ids
+// and labels, engine specs the factory accepts, assertion metrics that a
+// run actually records), the assertion evaluator itself, and the seeded
+// workload generators' determinism (same seed -> byte-identical queries).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "harness/engine_factory.h"
+#include "repro/registry.h"
+#include "repro/runner.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace repro {
+namespace {
+
+TEST(RegistryTest, CoversEveryPaperFigure) {
+  const std::vector<int> covered = CoveredFigures();
+  const std::set<int> set(covered.begin(), covered.end());
+  for (int figure = 2; figure <= 20; ++figure) {
+    EXPECT_TRUE(set.count(figure)) << "no spec covers paper figure "
+                                   << figure;
+  }
+}
+
+TEST(RegistryTest, EverySpecHasAssertionsAndUniqueIds) {
+  std::set<std::string> ids;
+  for (const FigureSpec& spec : Registry()) {
+    EXPECT_TRUE(ids.insert(spec.id).second) << "duplicate id " << spec.id;
+    EXPECT_FALSE(spec.assertions.empty()) << spec.id;
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.claim.empty()) << spec.id;
+    EXPECT_GT(spec.quick_n, 0) << spec.id;
+    EXPECT_GT(spec.quick_q, 0) << spec.id;
+    // Quick scale must not exceed full scale — CI runs --quick.
+    EXPECT_LE(spec.quick_n, spec.default_n) << spec.id;
+    EXPECT_LE(spec.quick_q, spec.default_q) << spec.id;
+    std::set<std::string> labels;
+    std::set<std::string> assertion_names;
+    for (const RunDecl& decl : spec.runs) {
+      EXPECT_TRUE(labels.insert(decl.label).second)
+          << spec.id << ": duplicate label " << decl.label;
+    }
+    for (const ShapeAssertion& assertion : spec.assertions) {
+      EXPECT_TRUE(assertion_names.insert(assertion.name).second)
+          << spec.id << ": duplicate assertion " << assertion.name;
+      EXPECT_FALSE(assertion.description.empty())
+          << spec.id << "." << assertion.name;
+    }
+  }
+}
+
+TEST(RegistryTest, EveryEngineSpecParses) {
+  const Column base = Column::UniquePermutation(64, 1);
+  const EngineConfig config;
+  for (const FigureSpec& spec : Registry()) {
+    for (const RunDecl& decl : spec.runs) {
+      std::unique_ptr<SelectEngine> engine;
+      EXPECT_TRUE(CreateEngine(decl.engine, &base, config, &engine).ok())
+          << spec.id << ": bad engine spec '" << decl.engine << "'";
+    }
+  }
+}
+
+TEST(RegistryTest, SelectorsResolve) {
+  std::string error;
+  EXPECT_EQ(SelectSpecs("all", &error).size(), Registry().size());
+  ASSERT_EQ(SelectSpecs("fig09", &error).size(), 1u);
+  EXPECT_EQ(SelectSpecs("fig09", &error)[0]->id, "fig09");
+  // Bare figure numbers resolve to the covering spec.
+  ASSERT_EQ(SelectSpecs("9", &error).size(), 1u);
+  EXPECT_EQ(SelectSpecs("9", &error)[0]->id, "fig09");
+  ASSERT_EQ(SelectSpecs("8", &error).size(), 1u);
+  EXPECT_EQ(SelectSpecs("8", &error)[0]->id, "fig08");
+  EXPECT_TRUE(SelectSpecs("nope", &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+// Every spec runs end-to-end at micro scale and records every metric its
+// assertions reference — no assertion can dangle on a typo'd metric name.
+// (Verdicts are not checked here: micro scale is far below the separation
+// the shapes need; CI's repro-gate checks verdicts at --quick scale.)
+TEST(RegistryTest, AssertionMetricsExistAfterARun) {
+  for (const FigureSpec& spec : Registry()) {
+    ReproOptions options;
+    options.n_override = 3000;
+    options.q_override = 60;
+    FigureResult result;
+    ASSERT_TRUE(RunFigure(spec, options, &result).ok()) << spec.id;
+    for (const ShapeAssertion& assertion : spec.assertions) {
+      for (const std::string& metric : assertion.chain) {
+        EXPECT_TRUE(result.metrics.count(metric))
+            << spec.id << "." << assertion.name << ": missing " << metric;
+      }
+      if (!assertion.left.empty()) {
+        EXPECT_TRUE(result.metrics.count(assertion.left))
+            << spec.id << "." << assertion.name << ": missing "
+            << assertion.left;
+      }
+      if (!assertion.right.empty()) {
+        EXPECT_TRUE(result.metrics.count(assertion.right))
+            << spec.id << "." << assertion.name << ": missing "
+            << assertion.right;
+      }
+    }
+    EXPECT_EQ(result.assertions.size(), spec.assertions.size()) << spec.id;
+  }
+}
+
+// ------------------------------------------------- assertion evaluator ----
+
+TEST(EvaluateTest, LessAndGreater) {
+  std::map<std::string, double> metrics{{"a", 10}, {"b", 100}};
+  ShapeAssertion less;
+  less.kind = ShapeAssertion::Kind::kLess;
+  less.left = "a";
+  less.factor = 0.5;
+  less.right = "b";
+  EXPECT_TRUE(Evaluate(less, metrics).ok);  // 10 < 50
+  less.factor = 0.05;
+  EXPECT_FALSE(Evaluate(less, metrics).ok);  // 10 !< 5
+
+  ShapeAssertion greater;
+  greater.kind = ShapeAssertion::Kind::kGreater;
+  greater.left = "b";
+  greater.factor = 5;
+  greater.right = "a";
+  EXPECT_TRUE(Evaluate(greater, metrics).ok);  // 100 > 50
+  greater.factor = 20;
+  EXPECT_FALSE(Evaluate(greater, metrics).ok);  // 100 !> 200
+}
+
+TEST(EvaluateTest, ConstantBoundWhenRightIsEmpty) {
+  std::map<std::string, double> metrics{{"violations", 0}};
+  ShapeAssertion assertion;
+  assertion.kind = ShapeAssertion::Kind::kLess;
+  assertion.left = "violations";
+  assertion.factor = 1;
+  EXPECT_TRUE(Evaluate(assertion, metrics).ok);
+  metrics["violations"] = 2;
+  EXPECT_FALSE(Evaluate(assertion, metrics).ok);
+}
+
+TEST(EvaluateTest, EqualIsExact) {
+  std::map<std::string, double> metrics{{"a", 12345}, {"b", 12345},
+                                        {"c", 12346}};
+  ShapeAssertion assertion;
+  assertion.kind = ShapeAssertion::Kind::kEqual;
+  assertion.left = "a";
+  assertion.right = "b";
+  EXPECT_TRUE(Evaluate(assertion, metrics).ok);
+  assertion.right = "c";
+  EXPECT_FALSE(Evaluate(assertion, metrics).ok);
+}
+
+TEST(EvaluateTest, ChainAllowsSlack) {
+  std::map<std::string, double> metrics{{"a", 100}, {"b", 98}, {"c", 200}};
+  ShapeAssertion assertion;
+  assertion.kind = ShapeAssertion::Kind::kChain;
+  assertion.chain = {"a", "b", "c"};
+  assertion.slack = 0.05;  // b >= a*(0.95) holds
+  EXPECT_TRUE(Evaluate(assertion, metrics).ok);
+  assertion.slack = 0.0;  // 98 >= 100 fails
+  EXPECT_FALSE(Evaluate(assertion, metrics).ok);
+}
+
+TEST(EvaluateTest, MissingMetricFailsLoudly) {
+  std::map<std::string, double> metrics{{"a", 1}};
+  ShapeAssertion assertion;
+  assertion.kind = ShapeAssertion::Kind::kLess;
+  assertion.left = "ghost";
+  assertion.factor = 1;
+  const AssertionResult result = Evaluate(assertion, metrics);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.measured.find("not recorded"), std::string::npos);
+}
+
+// ---------------------------------------------- workload determinism ----
+
+std::vector<WorkloadKind> AllKinds() {
+  auto kinds = Fig17SyntheticKinds();
+  kinds.push_back(WorkloadKind::kMixed);
+  kinds.push_back(WorkloadKind::kSkyServer);
+  return kinds;
+}
+
+TEST(WorkloadDeterminismTest, SameSeedIsByteIdentical) {
+  WorkloadParams params;
+  params.n = 50'000;
+  params.num_queries = 300;
+  params.seed = 1234;
+  for (const WorkloadKind kind : AllKinds()) {
+    const auto a = MakeWorkload(kind, params);
+    const auto b = MakeWorkload(kind, params);
+    ASSERT_EQ(a.size(), b.size()) << WorkloadName(kind);
+    ASSERT_FALSE(a.empty()) << WorkloadName(kind);
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          a.size() * sizeof(RangeQuery)),
+              0)
+        << WorkloadName(kind) << ": same seed must give byte-identical "
+        << "query sequences";
+  }
+}
+
+TEST(WorkloadDeterminismTest, RunnerWorkloadIsDeterministicToo) {
+  // The driver's own workload construction (including the random-width
+  // rewrite of Fig. 11's "Rand" column) is a pure function of the seed.
+  RunDecl decl;
+  decl.workload = WorkloadKind::kRandom;
+  decl.selectivity_percent = -1;  // random widths
+  const auto a = BuildWorkload(decl, 50'000, 300, /*seed=*/9);
+  const auto b = BuildWorkload(decl, 50'000, 300, /*seed=*/9);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(RangeQuery)), 0);
+  const auto c = BuildWorkload(decl, 50'000, 300, /*seed=*/10);
+  EXPECT_NE(
+      std::memcmp(a.data(), c.data(), a.size() * sizeof(RangeQuery)), 0);
+}
+
+TEST(WorkloadDeterminismTest, DifferentSeedsDiffer) {
+  WorkloadParams a_params;
+  a_params.n = 50'000;
+  a_params.num_queries = 300;
+  a_params.seed = 1;
+  WorkloadParams b_params = a_params;
+  b_params.seed = 2;
+  const auto a = MakeWorkload(WorkloadKind::kRandom, a_params);
+  const auto b = MakeWorkload(WorkloadKind::kRandom, b_params);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(RangeQuery)), 0);
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace scrack

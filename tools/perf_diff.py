@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff a fresh bench JSON against a committed baseline.
+
+Understands both report schemas:
+  * BENCH_kernels.json  — results[]: {kernel, variant, gbps}
+  * BENCH_repro.json    — figures[].metrics: "<label>.touched_per_sec"
+
+A metric regresses when fresh < baseline / max_regression (default 1.3x).
+Two gate modes:
+  * per-metric (default) — any single regressed metric fails. Right for
+    BENCH_kernels.json, whose GB/s figures are medians over reps.
+  * median (--gate=median) — fails only when the *median* ratio across all
+    compared metrics regresses. Right for BENCH_repro.json, whose per-run
+    wall-clock times are tens of milliseconds and individually noisy.
+Metrics present in only one file are reported but never fail the gate, so
+adding or removing a kernel/scenario doesn't require a lockstep baseline
+update. Exit status: 0 clean, 1 regression(s), 2 usage/schema error.
+
+--normalize REF divides every metric by REF's value *from the same file*
+before comparing. The committed baselines were generated on a developer
+machine; CI runners have different absolute throughput, so the CI gates
+compare normalized (relative) throughput — e.g. each kernel variant
+relative to the scalar crack_in_two of the same run — which tracks code
+regressions (a broken AVX2 path, a pessimized engine) rather than machine
+speed.
+
+Usage:
+  tools/perf_diff.py --baseline bench/baselines/BENCH_kernels_baseline.json \
+                     --fresh BENCH_kernels.json [--max-regression 1.3]
+
+Stdlib only (CI runs it on a bare runner python3).
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_metrics(doc, min_seconds, always_keep=None):
+    """Flat {name: throughput} map from either report schema.
+
+    Repro runs shorter than min_seconds are skipped: their touched_per_sec
+    is dominated by timer noise, not kernel throughput, and would make the
+    gate flaky. `always_keep` (the normalization reference) is exempt from
+    the floor so normalization never silently loses its denominator.
+    """
+    metrics = {}
+    if "results" in doc:  # BENCH_kernels.json
+        for row in doc["results"]:
+            metrics[f"{row['kernel']}/{row['variant']}"] = float(row["gbps"])
+        return metrics
+    if "figures" in doc:  # BENCH_repro.json
+        for figure in doc["figures"]:
+            figure_metrics = figure.get("metrics", {})
+            for name, value in figure_metrics.items():
+                if not name.endswith(".touched_per_sec") or value <= 0:
+                    continue
+                label = name[: -len(".touched_per_sec")]
+                full_name = f"{figure['id']}/{label}"
+                if (full_name != always_keep and
+                        figure_metrics.get(f"{label}.cum_seconds", 0)
+                        < min_seconds):
+                    continue
+                metrics[full_name] = float(value)
+        return metrics
+    raise ValueError("unrecognized report schema (no 'results' or 'figures')")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--max-regression", type=float, default=1.3,
+                        help="fail when fresh < baseline / this factor")
+    parser.add_argument("--min-seconds", type=float, default=0.02,
+                        help="ignore repro runs shorter than this (noise)")
+    parser.add_argument("--gate", choices=["per-metric", "median"],
+                        default="per-metric")
+    parser.add_argument("--normalize", metavar="REF", default=None,
+                        help="divide every metric by REF's value from the "
+                             "same file (machine-independent comparison)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_metrics(json.load(f), args.min_seconds,
+                                       args.normalize)
+        with open(args.fresh) as f:
+            fresh = extract_metrics(json.load(f), args.min_seconds,
+                                    args.normalize)
+        if args.normalize is not None:
+            for name, metrics in (("baseline", baseline), ("fresh", fresh)):
+                if args.normalize not in metrics:
+                    raise ValueError(
+                        f"normalization metric '{args.normalize}' absent "
+                        f"from {name} report")
+                reference = metrics.pop(args.normalize)
+                for key in metrics:
+                    metrics[key] /= reference
+    except (OSError, ValueError, KeyError) as error:
+        print(f"perf_diff: {error}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    ratios = []
+    width = max((len(name) for name in baseline), default=10)
+    print(f"{'metric':<{width}}  {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"{name:<{width}}  {baseline[name]:>12.3g} {'absent':>12}")
+            continue
+        ratio = fresh[name] / baseline[name] if baseline[name] else float("inf")
+        ratios.append(ratio)
+        flag = ""
+        if fresh[name] * args.max_regression < baseline[name]:
+            flag = "  REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  {baseline[name]:>12.3g} {fresh[name]:>12.3g} "
+              f"{ratio:>6.2f}x{flag}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"{name:<{width}}  {'absent':>12} {fresh[name]:>12.3g}")
+
+    if not ratios:
+        print("\nno common metrics to compare", file=sys.stderr)
+        return 2 if baseline or fresh else 0
+
+    if args.gate == "median":
+        median = sorted(ratios)[len(ratios) // 2]
+        print(f"\nmedian throughput ratio: {median:.2f}x over "
+              f"{len(ratios)} metrics")
+        if median * args.max_regression < 1.0:
+            print(f"median regressed more than {args.max_regression}x vs "
+                  f"{args.baseline}", file=sys.stderr)
+            return 1
+        return 0
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed more than "
+              f"{args.max_regression}x vs {args.baseline}", file=sys.stderr)
+        return 1
+    print(f"\nno regression beyond {args.max_regression}x "
+          f"({len(ratios)} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

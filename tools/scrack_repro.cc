@@ -1,0 +1,178 @@
+// scrack_repro — the unified reproduction driver.
+//
+// Replaces the 18 per-figure bench binaries: every Fig. 2-20 scenario of
+// the paper (plus the repo's beyond-paper scenarios) lives in the
+// declarative registry of src/repro/registry.cc, each with machine-checked
+// shape assertions over the deterministic tuples-touched / checksum
+// metrics. The process exits nonzero when any assertion fails, which is
+// what the CI repro-gate job enforces.
+//
+// Usage:
+//   scrack_repro [--figure=all|<id>|<number>] [--quick]
+//                [--json=PATH] [--markdown[=PATH]] [--list]
+//                [--n=N] [--q=Q] [--seed=S]
+//
+//   --figure=F     which scenario(s) to run: 'all' (default), a spec id
+//                  ('fig09', 'pushdown'), or a bare paper figure number.
+//   --quick        CI scale (each spec declares its quick N/Q); the same
+//                  assertions must hold as at full scale.
+//   --json=PATH    write the merged JSON report (default BENCH_repro.json;
+//                  'none' disables).
+//   --markdown     print ready-to-paste EXPERIMENTS.md rows after the run
+//                  (--markdown=PATH writes them to a file instead).
+//   --list         print the registry (id, figures, title, runs,
+//                  assertions) and exit.
+//   --n/--q/--seed override every spec's scale / RNG seed.
+//
+// The paper ran N=1e8, Q=1e4 on a 2.4GHz Xeon; default scale is
+// laptop-size (typically N=1e6). The reproduction target is the *shape* of
+// each figure — who wins, by what factor, where curves flatten — which is
+// exactly what the assertions encode, so scale changes don't change
+// verdicts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "repro/registry.h"
+#include "repro/repro_report.h"
+#include "repro/runner.h"
+#include "util/simd.h"
+
+namespace scrack {
+namespace repro {
+namespace {
+
+void PrintRegistry() {
+  std::printf("%-10s %-8s %5s %5s  %s\n", "id", "figures", "runs", "asrt",
+              "title");
+  for (const FigureSpec& spec : Registry()) {
+    std::string figures;
+    for (size_t i = 0; i < spec.figures.size(); ++i) {
+      figures += (i > 0 ? "," : "") + std::to_string(spec.figures[i]);
+    }
+    if (figures.empty()) figures = "-";
+    std::printf("%-10s %-8s %5zu %5zu  %s\n", spec.id.c_str(),
+                figures.c_str(), spec.runs.size(), spec.assertions.size(),
+                spec.title.c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string figure = "all";
+  std::string json_path = "BENCH_repro.json";
+  std::string markdown_path;
+  bool markdown = false;
+  bool list = false;
+  ReproOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--figure=", 0) == 0) {
+      figure = arg.substr(9);
+    } else if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (arg.rfind("--markdown=", 0) == 0) {
+      markdown = true;
+      markdown_path = arg.substr(11);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--n=", 0) == 0) {
+      options.n_override = std::atoll(arg.c_str() + 4);
+    } else if (arg.rfind("--q=", 0) == 0) {
+      options.q_override = std::atoll(arg.c_str() + 4);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--figure=all|ID|N] [--quick] [--json=PATH] "
+                   "[--markdown[=PATH]] [--list] [--n=N] [--q=Q] "
+                   "[--seed=S]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (list) {
+    PrintRegistry();
+    return 0;
+  }
+
+  std::string error;
+  const auto specs = SelectSpecs(figure, &error);
+  if (specs.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+
+  std::printf("scrack_repro: %zu scenario(s), %s scale, seed=%llu, "
+              "avx2=%s\n",
+              specs.size(), options.quick ? "quick" : "full",
+              static_cast<unsigned long long>(options.seed),
+              simd::Supported() ? "on" : "off");
+
+  std::vector<FigureResult> results;
+  int failed_figures = 0;
+  for (const FigureSpec* spec : specs) {
+    FigureResult result;
+    const Status status = RunFigure(*spec, options, &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: harness error: %s\n", spec->id.c_str(),
+                   status.message().c_str());
+      return 2;
+    }
+    PrintFigure(*spec, result);
+    if (!result.ok) ++failed_figures;
+    results.push_back(std::move(result));
+  }
+
+  if (json_path != "none" && !json_path.empty()) {
+    const Json report = BuildReport(specs, results, options);
+    const Status status = WriteJsonFile(report, json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.message().c_str());
+      return 2;
+    }
+    std::printf("\nJSON report written to %s\n", json_path.c_str());
+  }
+
+  if (markdown) {
+    const std::string rows = MarkdownRows(specs, results);
+    if (markdown_path.empty()) {
+      std::printf("\nEXPERIMENTS.md rows:\n%s", rows.c_str());
+    } else {
+      FILE* f = std::fopen(markdown_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", markdown_path.c_str());
+        return 2;
+      }
+      std::fwrite(rows.data(), 1, rows.size(), f);
+      std::fclose(f);
+      std::printf("\nmarkdown rows written to %s\n", markdown_path.c_str());
+    }
+  }
+
+  int total = 0;
+  int failed = 0;
+  for (const FigureResult& result : results) {
+    for (const AssertionResult& assertion : result.assertions) {
+      ++total;
+      if (!assertion.ok) ++failed;
+    }
+  }
+  std::printf("\nshape assertions: %d/%d pass across %zu scenario(s)%s\n",
+              total - failed, total, specs.size(),
+              failed == 0 ? "" : "  [FAILURES]");
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace repro
+}  // namespace scrack
+
+int main(int argc, char** argv) { return scrack::repro::Main(argc, argv); }
