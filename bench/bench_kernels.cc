@@ -1,22 +1,25 @@
 // Kernel microbenchmark: throughput of the scalar (seed), predicated, AVX2,
-// and dispatched cracking kernels, with machine-readable JSON output so the
-// perf trajectory survives across PRs.
+// dispatched, and multi-threaded parallel cracking kernels, with
+// machine-readable JSON output so the perf trajectory survives across PRs.
 //
 // Usage:
-//   bench_kernels [--quick] [--json=PATH]
+//   bench_kernels [--quick] [--json=PATH] [--threads=N]
 //
 //   --quick      2M values, 3 reps (CI smoke); default 10M values, 5 reps.
 //   --json=PATH  where to write the JSON report (default BENCH_kernels.json
 //                in the current directory).
+//   --threads=N  max thread count for the parallel partition rows (default
+//                8; rows run at 1/2/4/... up to N).
 //   SCRACK_N / SCRACK_SEED env vars override the element count and seed
 //   (SCRACK_N=100000000 reproduces the acceptance numbers).
 //
 // Besides timing, the binary is a parity gate: it verifies that the
 // dispatched kernels produce the same splits, multisets, and counters as
-// the scalar reference, and that the dispatched output is bit-identical to
-// the predicated implementation (the documented contract). Any divergence
-// makes the process exit nonzero, which is what the CI bench-kernels job
-// checks.
+// the scalar reference, that the dispatched output is bit-identical to
+// the predicated implementation (the documented contract), and that the
+// parallel kernels produce byte-identical layouts at every thread count
+// with the sequential split/multiset. Any divergence makes the process
+// exit nonzero, which is what the CI bench-kernels job checks.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,7 +28,10 @@
 #include <vector>
 
 #include "cracking/kernel.h"
+#include "cracking/kernel_parallel.h"
 #include "harness/report.h"
+#include "index/cracker_index.h"
+#include "parallel/thread_pool.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -76,6 +82,7 @@ struct Config {
   int reps = 0;
   bool quick = false;
   uint64_t seed = 42;
+  int max_threads = 8;
 };
 
 /// Times `run` over `reps` repetitions on a fresh copy of `pristine` each
@@ -315,6 +322,209 @@ void BenchFolds(const Config& cfg, const std::vector<Value>& pristine,
         "dispatched minmax fold diverges");
 }
 
+// Parallel partition rows: the first-touch sweep at 1/2/4/... threads,
+// with the parity gates the exit code depends on — sequential split and
+// multiset, plus byte-identical layouts across every thread count.
+void BenchParallelCrack(const Config& cfg, const std::vector<Value>& pristine,
+                        Value pivot, Value lo, Value hi) {
+  const Index n = cfg.n;
+  std::printf("Parallel CrackInTwo / CrackInThree (shared pool, %d workers)\n",
+              ThreadPool::Shared().num_threads());
+
+  std::vector<int> counts;
+  for (int t = 1; t <= cfg.max_threads; t *= 2) counts.push_back(t);
+  if (counts.empty()) counts.push_back(1);
+
+  KernelCounters c;
+  for (int t : counts) {
+    ParallelContext ctx;
+    ctx.pool = &ThreadPool::Shared();
+    ctx.max_concurrency = t;
+    Report("parallel_crack_in_two", "t" + std::to_string(t), n,
+           MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+             ParallelCrackInTwo(d, 0, n, pivot, ctx, &c);
+           }));
+  }
+  {
+    ParallelContext ctx;
+    ctx.pool = &ThreadPool::Shared();
+    ctx.max_concurrency = cfg.max_threads;
+    Report("parallel_crack_in_two", "inplace_t" + std::to_string(cfg.max_threads),
+           n, MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+             ParallelCrackInTwoInPlace(d, 0, n, pivot, ctx, &c);
+           }));
+    Report("parallel_crack_in_three", "t" + std::to_string(cfg.max_threads),
+           n, MedianSeconds(pristine, cfg.reps, [&](Value* d) {
+             ParallelCrackInThree(d, 0, n, lo, hi, ctx, &c);
+           }));
+  }
+
+  // Parity: sequential reference once, then every thread count against it.
+  std::vector<Value> ref = pristine;
+  KernelCounters ref_c;
+  const Index ref_split = CrackInTwo(ref.data(), 0, n, pivot, &ref_c);
+  const uint64_t ref_multiset = MultisetChecksum(ref);
+
+  std::vector<Value> first;
+  uint64_t first_bytes = 0;
+  for (int t : counts) {
+    ParallelContext ctx;
+    ctx.pool = &ThreadPool::Shared();
+    ctx.max_concurrency = t;
+    std::vector<Value> work = pristine;
+    KernelCounters par_c;
+    const Index split = ParallelCrackInTwo(work.data(), 0, n, pivot, ctx,
+                                           &par_c);
+    const std::string tag = "parallel_crack_in_two.t" + std::to_string(t);
+    Check(tag + ".split", split == ref_split,
+          "parallel split " + std::to_string(split) + " != sequential " +
+              std::to_string(ref_split));
+    Check(tag + ".multiset", MultisetChecksum(work) == ref_multiset,
+          "parallel multiset != sequential multiset");
+    Check(tag + ".touched", par_c.touched == ref_c.touched,
+          "parallel touched != sequential touched");
+    if (first.empty()) {
+      first = std::move(work);
+      first_bytes = ByteChecksum(first);
+    } else {
+      Check(tag + ".thread_invariant", ByteChecksum(work) == first_bytes,
+            "layout differs between thread counts");
+    }
+  }
+  {
+    // In-place variant: same split and multiset, thread-count-invariant.
+    ParallelContext ctx;
+    ctx.pool = &ThreadPool::Shared();
+    std::vector<Value> once;
+    uint64_t once_bytes = 0;
+    for (int t : {1, cfg.max_threads}) {
+      ctx.max_concurrency = t;
+      std::vector<Value> work = pristine;
+      KernelCounters par_c;
+      const Index split = ParallelCrackInTwoInPlace(work.data(), 0, n, pivot,
+                                                    ctx, &par_c);
+      const std::string tag =
+          "parallel_crack_in_two_inplace.t" + std::to_string(t);
+      Check(tag + ".split", split == ref_split, "in-place split diverges");
+      Check(tag + ".multiset", MultisetChecksum(work) == ref_multiset,
+            "in-place multiset diverges");
+      if (once.empty()) {
+        once = std::move(work);
+        once_bytes = ByteChecksum(once);
+      } else {
+        Check(tag + ".thread_invariant", ByteChecksum(work) == once_bytes,
+              "in-place layout differs between thread counts");
+      }
+    }
+  }
+  {
+    // CrackInThree: bit-identical to the sequential dispatched kernel.
+    std::vector<Value> ref3 = pristine;
+    KernelCounters ref3_c;
+    const auto ref3_split = CrackInThree(ref3.data(), 0, n, lo, hi, &ref3_c);
+    ParallelContext ctx;
+    ctx.pool = &ThreadPool::Shared();
+    ctx.max_concurrency = cfg.max_threads;
+    std::vector<Value> work = pristine;
+    KernelCounters par_c;
+    const auto split =
+        ParallelCrackInThree(work.data(), 0, n, lo, hi, ctx, &par_c);
+    Check("parallel_crack_in_three.splits", split == ref3_split,
+          "split pair mismatch");
+    Check("parallel_crack_in_three.bitident",
+          ByteChecksum(work) == ByteChecksum(ref3),
+          "parallel layout != sequential out-of-place layout");
+    Check("parallel_crack_in_three.counters",
+          par_c.touched == ref3_c.touched && par_c.swaps == ref3_c.swaps,
+          "parallel counters diverge from sequential");
+  }
+}
+
+// FindPiece micro-bench: the prefetched branch-free binary search against a
+// plain std::upper_bound over the same keys, at 1M pieces — far past any
+// cache, where the prefetch ladder pays. "gbps" for these rows is lookup
+// throughput in 1e9 lookups/sec (the JSON schema's throughput slot).
+void BenchFindPiece(const Config& cfg) {
+  const Index pieces = cfg.quick ? 250'000 : 1'000'000;
+  const Index lookups = cfg.quick ? 2'000'000 : 5'000'000;
+  std::printf("FindPiece (%lld pieces, %lld lookups)\n",
+              static_cast<long long>(pieces),
+              static_cast<long long>(lookups));
+
+  // Cracks every 16 values over a [0, 16 * pieces) domain.
+  std::vector<CrackerIndex::Entry> entries;
+  entries.reserve(static_cast<size_t>(pieces));
+  for (Index i = 1; i <= pieces; ++i) {
+    entries.push_back(CrackerIndex::Entry{i * 16, i * 16});
+  }
+  const Index column_size = (pieces + 1) * 16;
+  const CrackerIndex index = CrackerIndex::FromSorted(entries, column_size);
+  std::vector<Value> keys;
+  keys.reserve(entries.size());
+  for (const auto& entry : entries) keys.push_back(entry.key);
+
+  std::vector<Value> probes(static_cast<size_t>(lookups));
+  Rng rng(cfg.seed + 5);
+  for (auto& v : probes) v = rng.UniformValue(0, column_size);
+
+  const auto time_lookups = [&](auto&& fn) {
+    std::vector<double> times;
+    for (int r = 0; r < cfg.reps; ++r) {
+      const double start = Now();
+      fn();
+      times.push_back(Now() - start);
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+  };
+
+  volatile int64_t sink = 0;
+  int64_t acc = 0;
+  const double std_secs = time_lookups([&] {
+    acc = 0;
+    for (Value v : probes) {
+      const auto it = std::upper_bound(keys.begin(), keys.end(), v);
+      acc += it == keys.begin() ? 0 : *(it - 1);
+    }
+    sink = acc;
+  });
+  const double prefetch_secs = time_lookups([&] {
+    acc = 0;
+    for (Value v : probes) {
+      acc += index.FindPiece(v).begin;
+    }
+    sink = acc;
+  });
+  (void)sink;
+
+  // Cross-check: FindPiece agrees with the std::upper_bound model.
+  bool agree = true;
+  for (Index i = 0; i < 10000 && agree; ++i) {
+    const Value v = probes[static_cast<size_t>(i)];
+    const Piece piece = index.FindPiece(v);
+    const auto it = std::upper_bound(keys.begin(), keys.end(), v);
+    const Index model_begin = it == keys.begin() ? 0 : *(it - 1);
+    agree = piece.begin == model_begin;
+  }
+  Check("find_piece.model", agree,
+        "prefetched FindPiece disagrees with std::upper_bound model");
+
+  const auto lookup_row = [&](const char* variant, double secs) {
+    BenchRow row;
+    row.kernel = "find_piece";
+    row.variant = variant;
+    row.seconds = secs;
+    // Lookup rows record Mlookups/s in the throughput slot (these rows are
+    // only ever compared against themselves across runs).
+    row.gbps = static_cast<double>(lookups) / secs / 1e6;
+    std::printf("  %-22s %-12s %10.4f s   %7.2f Mlookups/s\n", "find_piece",
+                variant, secs, row.gbps);
+    g_rows.push_back(row);
+  };
+  lookup_row("upper_bound_std", std_secs);
+  lookup_row("prefetched", prefetch_secs);
+}
+
 double FindSeconds(const std::string& kernel, const std::string& variant) {
   for (const BenchRow& row : g_rows) {
     if (row.kernel == kernel && row.variant == variant) return row.seconds;
@@ -360,6 +570,20 @@ void WriteJson(const std::string& path, const Config& cfg) {
                  disp > 0 ? scalar / disp : 0.0, i + 1 < 5 ? "," : "");
   }
   std::fprintf(f, "  },\n");
+  // Parallel first-touch speedup over the sequential dispatched kernel —
+  // the intra-query parallelism acceptance numbers.
+  std::fprintf(f, "  \"parallel_speedup_vs_dispatched\": {\n");
+  {
+    const double seq = FindSeconds("crack_in_two", "dispatched");
+    bool first = true;
+    for (const BenchRow& row : g_rows) {
+      if (row.kernel != "parallel_crack_in_two" || row.seconds <= 0) continue;
+      std::fprintf(f, "%s    \"%s\": %.3f", first ? "" : ",\n",
+                   row.variant.c_str(), seq / row.seconds);
+      first = false;
+    }
+    std::fprintf(f, "\n  },\n");
+  }
   std::fprintf(f, "  \"parity\": {\n");
   std::fprintf(f, "    \"ok\": %s,\n", all_ok ? "true" : "false");
   std::fprintf(f, "    \"checks\": [\n");
@@ -382,8 +606,16 @@ int Main(int argc, char** argv) {
       cfg.quick = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cfg.max_threads = std::atoi(arg.c_str() + 10);
+      if (cfg.max_threads < 1 || cfg.max_threads > 1024) {
+        std::fprintf(stderr, "--threads out of range [1, 1024]\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json=PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json=PATH] [--threads=N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -409,6 +641,8 @@ int Main(int argc, char** argv) {
   BenchCrackInThree(cfg, pristine, qlo, qhi);
   BenchFilterInto(cfg, pristine, qlo, qhi);
   BenchFolds(cfg, pristine, qlo, qhi);
+  BenchParallelCrack(cfg, pristine, pivot, qlo, qhi);
+  BenchFindPiece(cfg);
 
   bool all_ok = true;
   for (const ParityCheck& check : g_checks) all_ok &= check.ok;

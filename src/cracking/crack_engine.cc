@@ -20,8 +20,7 @@ Status CrackEngine::Execute(const Query& query, QueryOutput* output) {
   Index end = 0;
   SCRACK_RETURN_NOT_OK(
       column_.CrackRange(query.low, query.high, &begin, &end, &stats_));
-  AggregateRegion(column_.data(), begin, end, query, output,
-                  &stats_.tuples_touched);
+  column_.AggregateCrackedRegion(begin, end, query, output, &stats_);
   ++stats_.aggregates_pushed;
   return Status::OK();
 }

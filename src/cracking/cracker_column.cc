@@ -1,11 +1,43 @@
 #include "cracking/cracker_column.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
+#include "util/cache_info.h"
 #include "util/introselect.h"
 
 namespace scrack {
+
+namespace {
+
+// Resolution order for the parallel cutover: SCRACK_PARALLEL_THRESHOLD
+// (values) > config.parallel_min_values > detected L3 size. Env and cache
+// detection are read once per process.
+Index ResolveParallelMinValues(const EngineConfig& config) {
+  static const Index env_threshold = [] {
+    const char* env = std::getenv("SCRACK_PARALLEL_THRESHOLD");
+    if (env != nullptr && *env != '\0') {
+      const long long v = std::strtoll(env, nullptr, 10);
+      if (v > 0) return static_cast<Index>(v);
+    }
+    return Index{0};
+  }();
+  if (env_threshold > 0) return env_threshold;
+  if (config.parallel_min_values > 0) return config.parallel_min_values;
+  static const Index l3_values = CacheInfo::Detect().L3Values();
+  return l3_values;
+}
+
+bool ResolveParallelInPlace(const EngineConfig& config) {
+  static const bool env_in_place = [] {
+    const char* env = std::getenv("SCRACK_PARALLEL_INPLACE");
+    return env != nullptr && *env != '\0' && *env != '0';
+  }();
+  return env_in_place || config.parallel_in_place;
+}
+
+}  // namespace
 
 CrackerColumn::CrackerColumn(const Column* base, const EngineConfig& config)
     : base_(base),
@@ -18,6 +50,91 @@ CrackerColumn::CrackerColumn(const Column* base, const EngineConfig& config)
   SCRACK_CHECK(config_.crack_threshold_values >= 1);
   SCRACK_CHECK(config_.progressive_budget > 0.0 &&
                config_.progressive_budget <= 1.0);
+  parallel_.max_concurrency = config_.parallel_threads;
+  if (config_.parallel_threads > 1) {
+    parallel_.pool = &ThreadPool::Shared();
+    parallel_min_values_ = ResolveParallelMinValues(config_);
+    parallel_in_place_ = ResolveParallelInPlace(config_);
+  }
+}
+
+void CrackerColumn::NoteParallelPass(Index n, EngineStats* stats) {
+  ++stats->parallel_cracks;
+  stats->threads_used = std::max<int64_t>(
+      stats->threads_used, EffectiveConcurrency(parallel_, n));
+}
+
+Index CrackerColumn::PartitionTwo(Index begin, Index end, Value pivot,
+                                  KernelCounters* counters,
+                                  EngineStats* stats) {
+  if (UsesParallel(end - begin)) {
+    NoteParallelPass(end - begin, stats);
+    return parallel_in_place_
+               ? ParallelCrackInTwoInPlace(data(), begin, end, pivot,
+                                           parallel_, counters)
+               : ParallelCrackInTwo(data(), begin, end, pivot, parallel_,
+                                    counters);
+  }
+  return CrackInTwo(data(), begin, end, pivot, counters);
+}
+
+std::pair<Index, Index> CrackerColumn::PartitionThree(Index begin, Index end,
+                                                      Value lo, Value hi,
+                                                      KernelCounters* counters,
+                                                      EngineStats* stats) {
+  if (UsesParallel(end - begin)) {
+    NoteParallelPass(end - begin, stats);
+    return ParallelCrackInThree(data(), begin, end, lo, hi, parallel_,
+                                counters);
+  }
+  return CrackInThree(data(), begin, end, lo, hi, counters);
+}
+
+void CrackerColumn::FilterPiece(Index begin, Index end, Value qlo, Value qhi,
+                                std::vector<Value>* out,
+                                KernelCounters* counters,
+                                EngineStats* stats) {
+  if (UsesParallel(end - begin)) {
+    NoteParallelPass(end - begin, stats);
+    ParallelFilterInto(data(), begin, end, qlo, qhi, out, parallel_,
+                       counters);
+    return;
+  }
+  FilterInto(data(), begin, end, qlo, qhi, out, counters);
+}
+
+void CrackerColumn::AggregateCrackedRegion(Index begin, Index end,
+                                           const Query& query,
+                                           QueryOutput* output,
+                                           EngineStats* stats) {
+  const Index n = end > begin ? end - begin : 0;
+  const bool reads_tuples =
+      query.mode == OutputMode::kSum || query.mode == OutputMode::kMinMax;
+  if (!reads_tuples || !UsesParallel(n)) {
+    AggregateRegion(data(), begin, end, query, output,
+                    &stats->tuples_touched);
+    return;
+  }
+  // Every element of a CrackRange region lies in [query.low, query.high),
+  // so the range-filtered parallel folds reduce to unfiltered folds here
+  // and match the sequential AggregateRegion exactly.
+  NoteParallelPass(n, stats);
+  if (query.mode == OutputMode::kSum) {
+    const RangeSum sum = ParallelSumInRange(data(), begin, end, query.low,
+                                            query.high, parallel_);
+    output->count = n;
+    output->sum = sum.sum;
+  } else {
+    const RangeMinMax mm = ParallelMinMaxInRange(data(), begin, end,
+                                                 query.low, query.high,
+                                                 parallel_);
+    output->count = n;
+    if (n > 0) {
+      output->min = mm.min;
+      output->max = mm.max;
+    }
+  }
+  stats->tuples_touched += n;
 }
 
 void CrackerColumn::EnsureInitialized(EngineStats* stats) {
@@ -50,7 +167,8 @@ Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
   if (index_.HasCrack(v)) return index_.CrackPosition(v);
   const Piece piece = index_.FindPiece(v);
   KernelCounters counters;
-  const Index split = CrackInTwo(data(), piece.begin, piece.end, v, &counters);
+  const Index split =
+      PartitionTwo(piece.begin, piece.end, v, &counters, stats);
   stats->tuples_touched += counters.touched;
   stats->swaps += counters.swaps;
   AddCrack(v, split, stats);
@@ -75,7 +193,7 @@ Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
     if (!piece.has_upper || high < piece.upper) {
       KernelCounters counters;
       const auto [p1, p2] =
-          CrackInThree(data(), piece.begin, piece.end, low, high, &counters);
+          PartitionThree(piece.begin, piece.end, low, high, &counters, stats);
       stats->tuples_touched += counters.touched;
       stats->swaps += counters.swaps;
       AddCrack(low, p1, stats);
@@ -117,7 +235,8 @@ Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
       const Index r = rng_.UniformIndex(piece.begin, piece.end - 1);
       pivot = data()[r];
       ++stats->random_pivots;
-      split = CrackInTwo(data(), piece.begin, piece.end, pivot, &counters);
+      split =
+          PartitionTwo(piece.begin, piece.end, pivot, &counters, stats);
     }
     stats->tuples_touched += counters.touched;
     stats->swaps += counters.swaps;
@@ -137,7 +256,8 @@ Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
   if (index_.HasCrack(v)) return index_.CrackPosition(v);
   piece = index_.FindPiece(v);
   KernelCounters counters;
-  const Index split = CrackInTwo(data(), piece.begin, piece.end, v, &counters);
+  const Index split =
+      PartitionTwo(piece.begin, piece.end, v, &counters, stats);
   stats->tuples_touched += counters.touched;
   stats->swaps += counters.swaps;
   AddCrack(v, split, stats);
@@ -192,7 +312,7 @@ void CrackerColumn::ProgressivePiece(const Piece& piece, Value qlo, Value qhi,
   // Answer the query from the piece regardless of partition progress: the
   // whole piece is still the only region that can hold qualifying values.
   std::vector<Value> out;
-  FilterInto(data(), piece.begin, piece.end, qlo, qhi, &out, &counters);
+  FilterPiece(piece.begin, piece.end, qlo, qhi, &out, &counters, stats);
   stats->tuples_touched += counters.touched;
   stats->swaps += counters.swaps;
   stats->materialized += static_cast<int64_t>(out.size());
@@ -246,9 +366,8 @@ Status CrackerColumn::SelectWithPolicy(Value low, Value high,
       switch (policy(piece)) {
         case EndPieceMode::kCrack: {
           KernelCounters counters;
-          const auto [p1, p2] =
-              CrackInThree(data(), piece.begin, piece.end, low, high,
-                           &counters);
+          const auto [p1, p2] = PartitionThree(piece.begin, piece.end, low,
+                                               high, &counters, stats);
           stats->tuples_touched += counters.touched;
           stats->swaps += counters.swaps;
           AddCrack(low, p1, stats);

@@ -17,6 +17,7 @@
 
 #include "cracking/engine.h"
 #include "cracking/kernel.h"
+#include "cracking/kernel_parallel.h"
 #include "index/cracker_index.h"
 #include "storage/column.h"
 #include "storage/pending_updates.h"
@@ -87,6 +88,22 @@ class CrackerColumn {
   /// tuple accesses — and kSum/kMinMax scan the region copying nothing.
   Status CrackRange(Value low, Value high, Index* begin, Index* end,
                     EngineStats* stats);
+
+  /// Aggregate fold over a region produced by CrackRange (every element
+  /// qualifies for [low, high)): same results as the free AggregateRegion
+  /// helper, but kSum/kMinMax folds over regions past the parallel cutover
+  /// run on the multi-threaded fold kernels.
+  void AggregateCrackedRegion(Index begin, Index end, const Query& query,
+                              QueryOutput* output, EngineStats* stats);
+
+  /// Effective parallel cutover in values (config/env/L3 resolution) and
+  /// whether a piece of `n` values takes the parallel kernels. Exposed for
+  /// tests asserting the threshold boundary.
+  Index parallel_min_values() const { return parallel_min_values_; }
+  bool UsesParallel(Index n) const {
+    return parallel_.pool != nullptr && parallel_.max_concurrency > 1 &&
+           n >= parallel_min_values_;
+  }
 
   /// DDC/DDR/DD1C/DD1R bound handling (paper Fig. 4 and its variants):
   /// recursively (or once, if !recursive) splits the piece containing v —
@@ -168,6 +185,21 @@ class CrackerColumn {
   Value max_value() const { return max_value_; }
 
  private:
+  // Adaptive kernel dispatch: pieces past the parallel cutover run the
+  // multi-threaded partition kernels, everything else the sequential
+  // dispatched ones. Answers, split positions, and touched counters are
+  // identical either way; these helpers also maintain the parallel_cracks
+  // and threads_used stats.
+  Index PartitionTwo(Index begin, Index end, Value pivot,
+                     KernelCounters* counters, EngineStats* stats);
+  std::pair<Index, Index> PartitionThree(Index begin, Index end, Value lo,
+                                         Value hi, KernelCounters* counters,
+                                         EngineStats* stats);
+  void FilterPiece(Index begin, Index end, Value qlo, Value qhi,
+                   std::vector<Value>* out, KernelCounters* counters,
+                   EngineStats* stats);
+  void NoteParallelPass(Index n, EngineStats* stats);
+
   // Handles the piece containing bound `v` per `mode`. Appends any
   // materialized tuples to `result`. Sets *view_edge to the position where
   // the contiguous (view) part of the answer starts (for the low bound) or
@@ -192,6 +224,9 @@ class CrackerColumn {
 
   const Column* base_;
   EngineConfig config_;
+  ParallelContext parallel_;        // pool null when parallelism is off
+  Index parallel_min_values_ = 0;   // resolved cutover (config/env/L3)
+  bool parallel_in_place_ = false;  // resolved memory-constrained mode
   bool initialized_ = false;
   std::vector<Value> data_;
   CrackerIndex index_;

@@ -35,6 +35,11 @@ struct EngineStats {
   int64_t random_pivots = 0;    ///< stochastic pivot choices taken
   int64_t aggregates_pushed = 0;  ///< aggregate queries this engine answered
                                   ///  below the materialization boundary
+  int64_t parallel_cracks = 0;  ///< partition/filter passes that ran on the
+                                ///  multi-threaded kernels (adaptive
+                                ///  cutover: pieces >= parallel_min_values)
+  int64_t threads_used = 0;     ///< high-water mark of threads one parallel
+                                ///  pass engaged (caller included)
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's
@@ -77,6 +82,26 @@ struct EngineConfig {
   /// hybrids size partitions to cache/memory budgets; equal fixed-size
   /// slices preserve the partition/merge cost shape (see DESIGN.md).
   Index hybrid_partition_values = 1 << 16;
+
+  /// Intra-query parallel cracking: threads one partition pass may use
+  /// (caller included), served by the process-wide shared pool. <= 1 keeps
+  /// every kernel on the sequential dispatched path. The engine-factory
+  /// "-p"/"-pN" spec suffixes (crack-p, ddc-p8, ...) set this.
+  int parallel_threads = 1;
+
+  /// Adaptive cutover: pieces of at least this many values go through the
+  /// parallel partition kernels, smaller pieces stay sequential (below the
+  /// L3 footprint one core already runs at cache bandwidth and fan-out
+  /// overhead loses). 0 = auto: SCRACK_PARALLEL_THRESHOLD (env, in values)
+  /// when set, else the detected L3 size. Answers and piece boundaries are
+  /// identical either way — the cutover only picks the kernel.
+  Index parallel_min_values = 0;
+
+  /// Memory-constrained mode: large cracks use the in-place chunked
+  /// partition + fix-up instead of the out-of-place two-pass scatter (no
+  /// column-sized scratch, sequential fix-up). SCRACK_PARALLEL_INPLACE=1
+  /// in the environment forces this on.
+  bool parallel_in_place = false;
 
   /// Populates the cache-derived fields from the host's cache hierarchy.
   static EngineConfig Detected() {

@@ -1,0 +1,397 @@
+#include "cracking/kernel_parallel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "cracking/kernel_internal.h"
+
+namespace scrack {
+
+namespace {
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+
+Index NumChunks(Index n) {
+  return (n + kParallelChunkValues - 1) / kParallelChunkValues;
+}
+
+/// Runs fn(0..num_tasks-1), fanning out per the context. The inline path is
+/// the same loop in the same chunk order, so a null pool (or a nested call
+/// on a pool worker, which ParallelFor runs inline) produces the same
+/// stores as any parallel schedule.
+void RunTasks(const ParallelContext& ctx, int64_t num_tasks,
+              const std::function<void(int64_t)>& fn) {
+  if (ctx.pool == nullptr || ctx.max_concurrency <= 1) {
+    for (int64_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  ctx.pool->ParallelFor(num_tasks, ctx.max_concurrency, fn);
+}
+
+/// Hoare-equivalent swap count for a split at `split`: the number of
+/// elements >= `bound` in the original [begin, split). Whole chunks read
+/// their pass-1 below-count from `below`; the one chunk the split lands in
+/// pays a partial re-count (at most one chunk scan).
+int64_t HoareSwapsFromCounts(const Value* data, Index begin, Index split,
+                             Value bound, const std::vector<Index>& below) {
+  int64_t swaps = 0;
+  for (size_t c = 0; c < below.size(); ++c) {
+    const Index b = begin + static_cast<Index>(c) * kParallelChunkValues;
+    if (b >= split) break;
+    const Index e = std::min(split, b + kParallelChunkValues);
+    // A whole chunk below the split keeps its pass-1 count; the one chunk
+    // the split truncates recounts its prefix (at most one chunk scan).
+    const Index below_c = e == b + kParallelChunkValues
+                              ? below[c]
+                              : CountInRange(data, b, e, kValueMin, bound);
+    swaps += (e - b) - below_c;
+    if (e == split) break;
+  }
+  return swaps;
+}
+
+}  // namespace
+
+int EffectiveConcurrency(const ParallelContext& ctx, Index n) {
+  if (ctx.pool == nullptr || ctx.max_concurrency <= 1 ||
+      ThreadPool::OnWorkerThread()) {
+    return 1;
+  }
+  int64_t width = ctx.max_concurrency;
+  width = std::min<int64_t>(width, ctx.pool->num_threads() + 1);
+  width = std::min<int64_t>(width, std::max<Index>(1, NumChunks(n)));
+  return static_cast<int>(std::max<int64_t>(1, width));
+}
+
+Index ParallelCrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                         const ParallelContext& ctx,
+                         KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  const Index chunks = NumChunks(n);
+
+  // Pass 1: per-chunk below-pivot counts (disjoint slots, no races).
+  std::vector<Index> lt(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    lt[static_cast<size_t>(c)] = CountInRange(data, b, e, kValueMin, pivot);
+  });
+
+  // Exclusive prefix: chunk c's below-elements land at
+  // scratch[lt_before[c]...] ascending, its at-or-above elements at
+  // scratch[n - ge_before[c] - 1 ...] descending — the global scan-order /
+  // reversed-scan-order contract, independent of which thread runs when.
+  std::vector<Index> lt_before(static_cast<size_t>(chunks));
+  Index total_lt = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    lt_before[static_cast<size_t>(c)] = total_lt;
+    total_lt += lt[static_cast<size_t>(c)];
+  }
+  const Index split = begin + total_lt;
+  const int64_t swaps =
+      HoareSwapsFromCounts(data, begin, split, pivot, lt);
+
+  // Pass 2: scatter into the shared scratch through the PR 3 branch-free
+  // inner loop (three-way with lo == hi degenerates to two-way; the mid
+  // cursor never fires, so the null mid pointer is never stored through).
+  Value* scratch = kernel_internal::MainScratch(n);
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    Index a = lt_before[static_cast<size_t>(c)];
+    Index ch = n - ((b - begin) - a);  // n - ge_before[c]
+    Index bm = 0;
+    kernel_internal::PartitionTailThreeWay(data, b, e, pivot, pivot, scratch,
+                                           /*mid=*/nullptr, &a, &ch, &bm);
+  });
+
+  // Parallel copy-back (the barrier between passes published the scatter).
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index o = c * kParallelChunkValues;
+    const Index len = std::min(n - o, kParallelChunkValues);
+    std::memcpy(data + begin + o, scratch + o,
+                sizeof(Value) * static_cast<size_t>(len));
+  });
+
+  counters->touched += n;
+  counters->swaps += swaps;
+  return split;
+}
+
+Index ParallelCrackInTwoInPlace(Value* data, Index begin, Index end,
+                                Value pivot, const ParallelContext& ctx,
+                                KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  const Index n = end - begin;
+  if (n <= 0) return begin;
+  const Index chunks = NumChunks(n);
+
+  // Pass 1: partition every chunk in place with the dispatched (AVX2 or
+  // predicated — bit-identical) sequential kernel. Chunks are disjoint.
+  std::vector<Index> chunk_split(static_cast<size_t>(chunks));
+  std::vector<int64_t> chunk_swaps(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    KernelCounters local;
+    chunk_split[static_cast<size_t>(c)] =
+        CrackInTwo(data, b, e, pivot, &local);
+    chunk_swaps[static_cast<size_t>(c)] = local.swaps;
+  });
+
+  Index total_lt = 0;
+  int64_t swaps = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    const Index b = begin + c * kParallelChunkValues;
+    total_lt += chunk_split[static_cast<size_t>(c)] - b;
+    swaps += chunk_swaps[static_cast<size_t>(c)];
+  }
+  const Index split = begin + total_lt;
+
+  // Fix-up: swap the i-th at-or-above element left of the split with the
+  // i-th below element right of it (both in ascending position order — a
+  // fixed pairing, so the final layout depends only on the chunk geometry).
+  // The counts match by construction: #ge-left-of-split == #lt-right-of-it.
+  struct Run {
+    Index begin;
+    Index end;
+  };
+  std::vector<Run> ge_runs;  // ge elements in [begin, split)
+  std::vector<Run> lt_runs;  // lt elements in [split, end)
+  for (Index c = 0; c < chunks; ++c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    const Index s = chunk_split[static_cast<size_t>(c)];
+    if (s < e && s < split) ge_runs.push_back(Run{s, std::min(e, split)});
+    const Index lo = std::max(b, split);
+    if (lo < s) lt_runs.push_back(Run{lo, s});
+  }
+  size_t gi = 0;
+  size_t li = 0;
+  Index gp = ge_runs.empty() ? 0 : ge_runs[0].begin;
+  Index lp = lt_runs.empty() ? 0 : lt_runs[0].begin;
+  while (gi < ge_runs.size() && li < lt_runs.size()) {
+    std::swap(data[gp], data[lp]);
+    ++swaps;
+    if (++gp == ge_runs[gi].end && ++gi < ge_runs.size()) {
+      gp = ge_runs[gi].begin;
+    }
+    if (++lp == lt_runs[li].end && ++li < lt_runs.size()) {
+      lp = lt_runs[li].begin;
+    }
+  }
+  SCRACK_DCHECK(gi == ge_runs.size() && li == lt_runs.size());
+
+  counters->touched += n;
+  counters->swaps += swaps;
+  return split;
+}
+
+std::pair<Index, Index> ParallelCrackInThree(Value* data, Index begin,
+                                             Index end, Value lo, Value hi,
+                                             const ParallelContext& ctx,
+                                             KernelCounters* counters) {
+  SCRACK_DCHECK(begin <= end);
+  SCRACK_DCHECK(lo <= hi);
+  const Index n = end - begin;
+  if (n <= 0) return {begin, begin};
+  const Index chunks = NumChunks(n);
+
+  // Pass 1: per-chunk below-lo and in-[lo,hi) counts.
+  std::vector<Index> lt(static_cast<size_t>(chunks));
+  std::vector<Index> md(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    lt[static_cast<size_t>(c)] = CountInRange(data, b, e, kValueMin, lo);
+    md[static_cast<size_t>(c)] = CountInRange(data, b, e, lo, hi);
+  });
+
+  std::vector<Index> lt_before(static_cast<size_t>(chunks));
+  std::vector<Index> md_before(static_cast<size_t>(chunks));
+  Index total_lt = 0;
+  Index total_md = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    lt_before[static_cast<size_t>(c)] = total_lt;
+    md_before[static_cast<size_t>(c)] = total_md;
+    total_lt += lt[static_cast<size_t>(c)];
+    total_md += md[static_cast<size_t>(c)];
+  }
+  const Index p1 = begin + total_lt;
+  const Index p2 = p1 + total_md;
+
+  // Swap-equivalent work at the two split planes, exactly as the
+  // sequential out-of-place kernel reports it (HoareSwapCount): elements
+  // >= lo in the original prefix of length p1-begin, plus elements >= hi
+  // in the original prefix of length p2-begin. Chunk counts of elements
+  // < hi are lt + md.
+  std::vector<Index> below_hi(static_cast<size_t>(chunks));
+  for (Index c = 0; c < chunks; ++c) {
+    below_hi[static_cast<size_t>(c)] =
+        lt[static_cast<size_t>(c)] + md[static_cast<size_t>(c)];
+  }
+  const int64_t swaps = HoareSwapsFromCounts(data, begin, p1, lo, lt) +
+                        HoareSwapsFromCounts(data, begin, p2, hi, below_hi);
+
+  // Pass 2: scatter — lows to scratch front (scan order), highs to scratch
+  // back (reversed scan order), middles to the mid buffer (scan order) —
+  // the exact per-element stores of the sequential PartitionTailThreeWay,
+  // just with per-chunk cursor origins.
+  Value* scratch = kernel_internal::MainScratch(n);
+  Value* mid = kernel_internal::MidScratch(total_md);
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    Index a = lt_before[static_cast<size_t>(c)];
+    Index bm = md_before[static_cast<size_t>(c)];
+    Index ch = n - ((b - begin) - a - bm);  // n - ge_before[c]
+    kernel_internal::PartitionTailThreeWay(data, b, e, lo, hi, scratch, mid,
+                                           &a, &ch, &bm);
+  });
+
+  // Parallel copy-back. Positions [0, A) and [A+B, n) come from the same
+  // offsets of `scratch` (lows at the front, highs at the back with the
+  // middle gap unwritten); positions [A, A+B) come from the mid buffer.
+  const Index A = total_lt;
+  const Index B = total_md;
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index o = c * kParallelChunkValues;
+    const Index o_end = std::min(n, o + kParallelChunkValues);
+    const Index low_end = std::min(o_end, A);
+    if (o < low_end) {
+      std::memcpy(data + begin + o, scratch + o,
+                  sizeof(Value) * static_cast<size_t>(low_end - o));
+    }
+    const Index mid_begin = std::max(o, A);
+    const Index mid_end = std::min(o_end, A + B);
+    if (mid_begin < mid_end) {
+      std::memcpy(data + begin + mid_begin, mid + (mid_begin - A),
+                  sizeof(Value) * static_cast<size_t>(mid_end - mid_begin));
+    }
+    const Index high_begin = std::max(o, A + B);
+    if (high_begin < o_end) {
+      std::memcpy(data + begin + high_begin, scratch + high_begin,
+                  sizeof(Value) * static_cast<size_t>(o_end - high_begin));
+    }
+  });
+
+  counters->touched += n;
+  counters->swaps += swaps;
+  return {p1, p2};
+}
+
+void ParallelFilterInto(const Value* data, Index begin, Index end, Value qlo,
+                        Value qhi, std::vector<Value>* out,
+                        const ParallelContext& ctx,
+                        KernelCounters* counters) {
+  const Index n = end - begin;
+  if (n <= 0) return;
+  const Index chunks = NumChunks(n);
+
+  std::vector<Index> hits(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    hits[static_cast<size_t>(c)] = CountInRange(data, b, e, qlo, qhi);
+  });
+
+  std::vector<Index> hits_before(static_cast<size_t>(chunks));
+  Index total = 0;
+  for (Index c = 0; c < chunks; ++c) {
+    hits_before[static_cast<size_t>(c)] = total;
+    total += hits[static_cast<size_t>(c)];
+  }
+
+  const Index base = static_cast<Index>(out->size());
+  out->resize(static_cast<size_t>(base + total));
+  Value* outp = out->data() + base;
+  // Each chunk filters into its thread's registry buffer (the branch-free
+  // FilterTail needs one element of store slack, which the exactly-sized
+  // shared output cannot give without racing the next chunk's first slot),
+  // then copies its exact hit count into its private output range.
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    const Index chunk_hits = hits[static_cast<size_t>(c)];
+    if (chunk_hits == 0) return;  // also: outp may be null on a 0-hit query
+    Value* stage = kernel_internal::SizedScratch(
+        ThreadPool::ThreadScratch(/*slot=*/0), chunk_hits + 1);
+    Index cursor = 0;
+    kernel_internal::FilterTail(data, b, e, qlo, qhi, stage, &cursor);
+    SCRACK_DCHECK(cursor == chunk_hits);
+    std::memcpy(outp + hits_before[static_cast<size_t>(c)], stage,
+                sizeof(Value) * static_cast<size_t>(chunk_hits));
+  });
+
+  counters->touched += n;
+}
+
+Index ParallelCountInRange(const Value* data, Index begin, Index end,
+                           Value qlo, Value qhi,
+                           const ParallelContext& ctx) {
+  const Index n = end - begin;
+  if (n <= 0) return 0;
+  const Index chunks = NumChunks(n);
+  std::vector<Index> partial(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    partial[static_cast<size_t>(c)] = CountInRange(data, b, e, qlo, qhi);
+  });
+  Index total = 0;
+  for (Index c = 0; c < chunks; ++c) total += partial[static_cast<size_t>(c)];
+  return total;
+}
+
+RangeSum ParallelSumInRange(const Value* data, Index begin, Index end,
+                            Value qlo, Value qhi,
+                            const ParallelContext& ctx) {
+  const Index n = end - begin;
+  RangeSum result;
+  if (n <= 0) return result;
+  const Index chunks = NumChunks(n);
+  std::vector<RangeSum> partial(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    partial[static_cast<size_t>(c)] = SumInRange(data, b, e, qlo, qhi);
+  });
+  // Deterministic merge in chunk order (addition is commutative anyway).
+  for (Index c = 0; c < chunks; ++c) {
+    result.count += partial[static_cast<size_t>(c)].count;
+    result.sum += partial[static_cast<size_t>(c)].sum;
+  }
+  return result;
+}
+
+RangeMinMax ParallelMinMaxInRange(const Value* data, Index begin, Index end,
+                                  Value qlo, Value qhi,
+                                  const ParallelContext& ctx) {
+  const Index n = end - begin;
+  RangeMinMax result;
+  if (n <= 0) return result;
+  const Index chunks = NumChunks(n);
+  std::vector<RangeMinMax> partial(static_cast<size_t>(chunks));
+  RunTasks(ctx, chunks, [&](int64_t c) {
+    const Index b = begin + c * kParallelChunkValues;
+    const Index e = std::min(end, b + kParallelChunkValues);
+    partial[static_cast<size_t>(c)] = MinMaxInRange(data, b, e, qlo, qhi);
+  });
+  for (Index c = 0; c < chunks; ++c) {
+    const RangeMinMax& p = partial[static_cast<size_t>(c)];
+    if (p.count == 0) continue;
+    if (result.count == 0) {
+      result = p;
+    } else {
+      result.count += p.count;
+      result.min = std::min(result.min, p.min);
+      result.max = std::max(result.max, p.max);
+    }
+  }
+  return result;
+}
+
+}  // namespace scrack

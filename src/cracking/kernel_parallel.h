@@ -1,0 +1,121 @@
+// Parallel partition kernels: multi-threaded CrackInTwo / CrackInThree /
+// FilterInto / fold kernels for the large pieces a cold column's first few
+// queries sweep.
+//
+// The cracking engines pay almost their entire cost up front — the first
+// query partitions the whole column, the next few partition near-whole
+// pieces — yet the PR 3 SIMD kernels still run those sweeps on one core.
+// These kernels spread one partition over every core via a two-pass scheme:
+//
+//   pass 1  per-chunk counting. The region is cut into fixed cache-sized
+//           chunks (kParallelChunkValues, independent of the thread count)
+//           and each chunk's side counts are computed with the dispatched
+//           AVX2/predicated CountInRange fold.
+//   prefix  an exclusive prefix sum over the chunk counts assigns every
+//           chunk a private destination range per side.
+//   pass 2  parallel scatter. Each chunk partitions itself into its
+//           destination ranges with the PR 3 branch-free inner loops
+//           (kernel_internal::PartitionTailThreeWay / FilterTail), then the
+//           result is copied back in parallel.
+//
+// Layout contract — the property every test and bench gates on: all
+// destinations are derived from the chunk index and the data alone, never
+// from thread scheduling, so the output is **deterministic and identical
+// for every thread count** (including the inline ctx.pool == nullptr
+// path) and for both SIMD dispatch tiers. Concretely:
+//
+//   ParallelCrackInThree   bit-identical to the sequential dispatched
+//                          CrackInThree: below-lo in scan order, middle in
+//                          scan order, at-or-above-hi in reversed scan
+//                          order; same split pair, same touched/swap
+//                          counters (Hoare-equivalent swaps).
+//   ParallelCrackInTwo     out-of-place contract: below-pivot in scan
+//                          order, at-or-above in reversed scan order. Same
+//                          split, multiset, and touched as the sequential
+//                          dispatched kernel; swaps are Hoare-equivalent
+//                          (the sequential in-place blocked kernel reports
+//                          its actual exchanges, which track the Hoare
+//                          count to within a block).
+//   ParallelCrackInTwoInPlace
+//                          memory-constrained variant: each chunk is
+//                          partitioned in place with the dispatched
+//                          CrackInTwo, then a fix-up pass swaps the
+//                          misplaced elements across the global split. No
+//                          scratch column, at the price of a sequential
+//                          fix-up. Layout depends only on the fixed chunk
+//                          geometry — still thread-count-invariant.
+//   ParallelFilterInto,    exactly the sequential results (scan order /
+//   Parallel folds         the same scalars), computed from per-chunk
+//                          partials merged in chunk order.
+//
+// Thread-safety: pass 1 writes disjoint per-chunk count slots, pass 2
+// writes disjoint destination ranges; the ParallelFor barrier between the
+// passes publishes everything. No locks, no atomics beyond the work
+// counter.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cracking/kernel.h"
+#include "parallel/thread_pool.h"
+#include "util/common.h"
+
+namespace scrack {
+
+/// Elements per parallel chunk (64 Ki values = 512 KiB: streams through L2
+/// while giving a 100M-element first touch ~1.5k chunks to balance).
+/// Fixed — never derived from the thread count — so layouts cannot depend
+/// on how many threads ran.
+constexpr Index kParallelChunkValues = Index{1} << 16;
+
+/// How a parallel kernel invocation fans out. Default-constructed context
+/// runs inline (single thread) but still through the chunked two-pass
+/// scheme, so the layout matches any parallel run bit for bit.
+struct ParallelContext {
+  ThreadPool* pool = nullptr;  ///< null: run every chunk on the caller
+  int max_concurrency = 1;     ///< cap on threads used (caller included)
+};
+
+/// Threads a kernel invocation over `n` elements will actually use: bounded
+/// by the context, the pool width, and the chunk count. Engines report this
+/// as EngineStats::threads_used.
+int EffectiveConcurrency(const ParallelContext& ctx, Index n);
+
+/// Two-way crack of [begin, end) around `pivot`; returns the split. Same
+/// contract as CrackInTwo (kernel.h) with the out-of-place layout described
+/// above.
+Index ParallelCrackInTwo(Value* data, Index begin, Index end, Value pivot,
+                         const ParallelContext& ctx,
+                         KernelCounters* counters);
+
+/// In-place variant: no column-sized scratch. See the layout note above.
+Index ParallelCrackInTwoInPlace(Value* data, Index begin, Index end,
+                                Value pivot, const ParallelContext& ctx,
+                                KernelCounters* counters);
+
+/// Three-way crack of [begin, end) for [lo, hi); returns (p1, p2).
+/// Bit-identical to the sequential dispatched CrackInThree.
+std::pair<Index, Index> ParallelCrackInThree(Value* data, Index begin,
+                                             Index end, Value lo, Value hi,
+                                             const ParallelContext& ctx,
+                                             KernelCounters* counters);
+
+/// Filtered materialization, identical output (scan order) to FilterInto.
+void ParallelFilterInto(const Value* data, Index begin, Index end, Value qlo,
+                        Value qhi, std::vector<Value>* out,
+                        const ParallelContext& ctx, KernelCounters* counters);
+
+/// Fold kernels over [begin, end): per-chunk partials computed with the
+/// dispatched folds, merged in chunk order. Results equal the sequential
+/// folds exactly (int64 wrap-around addition is associative and
+/// commutative, min/max merges are order-free).
+Index ParallelCountInRange(const Value* data, Index begin, Index end,
+                           Value qlo, Value qhi, const ParallelContext& ctx);
+RangeSum ParallelSumInRange(const Value* data, Index begin, Index end,
+                            Value qlo, Value qhi, const ParallelContext& ctx);
+RangeMinMax ParallelMinMaxInRange(const Value* data, Index begin, Index end,
+                                  Value qlo, Value qhi,
+                                  const ParallelContext& ctx);
+
+}  // namespace scrack

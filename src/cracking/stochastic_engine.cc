@@ -42,8 +42,7 @@ Status DataDrivenEngine::Execute(const Query& query, QueryOutput* output) {
                                                      recursive_, &stats_);
   const Index pos_high = column_.StochasticCrackBound(
       query.high, center_pivot_, recursive_, &stats_);
-  AggregateRegion(column_.data(), pos_low, pos_high, query, output,
-                  &stats_.tuples_touched);
+  column_.AggregateCrackedRegion(pos_low, pos_high, query, output, &stats_);
   ++stats_.aggregates_pushed;
   return Status::OK();
 }

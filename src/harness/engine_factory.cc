@@ -13,6 +13,7 @@
 #include "cracking/stochastic_engine.h"
 #include "hybrid/hybrid_engine.h"
 #include "parallel/sharded_engine.h"
+#include "parallel/thread_pool.h"
 
 namespace scrack {
 
@@ -124,6 +125,26 @@ Status CreateEngine(const std::string& spec, const Column* base,
   SplitSpec(lowered, &name, &arg);
   EngineConfig cfg = config;
 
+  // "-p" / "-pN" suffix (crack-p, ddc-p8, dd1r-p4, ...): intra-query
+  // parallel cracking with N threads (default: all hardware threads) from
+  // the shared pool. Meaningful for the CrackerColumn engines — large
+  // cracks run the parallel partition kernels past the adaptive cutover;
+  // other engines accept the suffix but never fan out.
+  const size_t dash_p = name.rfind("-p");
+  if (dash_p != std::string::npos && dash_p > 0) {
+    const std::string count = name.substr(dash_p + 2);
+    if (count.find_first_not_of("0123456789") == std::string::npos) {
+      long threads = ThreadPool::DefaultThreads();
+      if (!count.empty()) threads = std::strtol(count.c_str(), nullptr, 10);
+      if (threads < 1 || threads > 1024) {
+        return Status::InvalidArgument("parallel thread count out of range "
+                                       "[1, 1024]: " + spec);
+      }
+      cfg.parallel_threads = static_cast<int>(threads);
+      name = name.substr(0, dash_p);
+    }
+  }
+
   if (name == "scan") {
     *out = std::make_unique<ScanEngine>(base, cfg);
   } else if (name == "sort") {
@@ -231,7 +252,7 @@ std::vector<std::string> KnownEngineSpecs() {
           "flipcoin",   "sizesel",    "everyx:2",  "scrackmon:1",
           "r2crack",    "aicc",       "aics",      "aicc1r",    "aics1r",
           "aisc",       "aiss",       "auto",      "threadsafe:mdd1r",
-          "sharded(4,mdd1r)"};
+          "sharded(4,mdd1r)",         "crack-p",   "ddr-p2"};
 }
 
 }  // namespace scrack

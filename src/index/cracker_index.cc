@@ -6,8 +6,46 @@
 namespace scrack {
 
 Index CrackerIndex::UpperBound(Value v) const {
-  return static_cast<Index>(
-      std::upper_bound(keys_.begin(), keys_.end(), v) - keys_.begin());
+  // Branch-free binary search with an explicit prefetch ladder. FindPiece
+  // sits on every query's hot path; at large crack counts the classic
+  // std::upper_bound pays one unpredicted branch plus one cold cache line
+  // per probe. Here the halving step is a conditional move, and both
+  // possible next probe lines are prefetched while the current compare is
+  // in flight, so the lookup runs at roughly one L2/L3 latency per *two*
+  // levels instead of one per level once the key array outgrows the cache.
+  const Value* base = keys_.data();
+  size_t n = keys_.size();
+  size_t low = 0;
+  while (n > 1) {
+    const size_t half = n / 2;
+    // The two lines the *next* iteration can probe, for either outcome of
+    // the compare below.
+    __builtin_prefetch(base + low + half / 2);
+    __builtin_prefetch(base + low + half + (n - half) / 2);
+    // upper_bound predicate: move right while base[mid] <= v (the answer
+    // is the first index whose key exceeds v).
+    low = (base[low + half - 1] <= v) ? low + half : low;
+    n -= half;
+  }
+  if (n == 1 && low < keys_.size() && base[low] <= v) ++low;
+  return static_cast<Index>(low);
+}
+
+CrackerIndex CrackerIndex::FromSorted(const std::vector<Entry>& entries,
+                                      Index column_size) {
+  CrackerIndex index(column_size);
+  index.keys_.reserve(entries.size());
+  index.pos_.reserve(entries.size());
+  Index prev_pos = 0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    SCRACK_CHECK(i == 0 || entries[i].key > entries[i - 1].key);
+    SCRACK_CHECK(entries[i].pos >= prev_pos && entries[i].pos <= column_size);
+    prev_pos = entries[i].pos;
+    index.keys_.push_back(entries[i].key);
+    index.pos_.push_back(entries[i].pos);
+  }
+  index.meta_.resize(entries.size() + 1);
+  return index;
 }
 
 Piece CrackerIndex::FindPiece(Value v) const {

@@ -54,10 +54,11 @@ Status ShardedEngine::Create(const Column* base, int num_shards,
   std::unique_ptr<ShardedEngine> engine(
       new ShardedEngine(num_shards, inner_name));
   if (lowers.size() > 1) {
-    // A single effective shard never fans out; skip the idle worker.
-    engine->pool_ = std::make_unique<ThreadPool>(
-        std::min<int>(static_cast<int>(lowers.size()),
-                      ThreadPool::DefaultThreads()));
+    // A single effective shard never fans out. Multi-shard engines draw on
+    // the process-wide pool: constructing one pool per engine (the old
+    // scheme) oversubscribed the machine as soon as several sharded
+    // engines — or shards over parallel-crack inners — were alive at once.
+    engine->pool_ = &ThreadPool::Shared();
   }
   engine->shards_.reserve(lowers.size());
   for (Value lower : lowers) {
@@ -117,9 +118,11 @@ bool ShardedEngine::Intersects(int i, Value low, Value high) const {
 void ShardedEngine::FanOut(
     size_t num_tasks, const std::function<void(size_t)>& run_task) const {
   if (num_tasks == 0) return;
-  if (num_tasks == 1 || pool_ == nullptr) {
-    // Selective work inside one shard: run on the caller's thread and skip
-    // the pool round-trip.
+  if (num_tasks == 1 || pool_ == nullptr || ThreadPool::OnWorkerThread()) {
+    // Selective work inside one shard runs on the caller's thread to skip
+    // the pool round-trip; so does a fan-out issued from a pool worker
+    // (a nested sharded engine), which must not block a worker on tasks
+    // queued behind other blocked workers.
     for (size_t k = 0; k < num_tasks; ++k) run_task(k);
     return;
   }
@@ -383,6 +386,9 @@ void ShardedEngine::RefreshStats(int64_t new_queries,
     aggregate.materialized += inner.materialized;
     aggregate.updates_merged += inner.updates_merged;
     aggregate.random_pivots += inner.random_pivots;
+    aggregate.parallel_cracks += inner.parallel_cracks;
+    aggregate.threads_used =
+        std::max(aggregate.threads_used, inner.threads_used);
   }
   aggregate.queries = own_queries_;
   aggregate.materialized += own_materialized_;

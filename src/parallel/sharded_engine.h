@@ -23,6 +23,14 @@
 // invalidated by the next reorganization of the shard. Aggregate queries
 // (Execute with kCount/kSum/kMinMax/kExists) skip that cost entirely —
 // each shard returns a partial aggregate and only scalars are merged.
+//
+// Thread budget: shard tasks run on the process-wide ThreadPool::Shared()
+// rather than a private pool, so any number of sharded engines — and the
+// intra-query parallel partition kernels their inner engines may use —
+// draw from one machine-sized worker set instead of multiplying it. Fan-
+// outs issued from a pool worker (nested sharded engines, parallel-crack
+// inners) run inline on that worker, which both prevents oversubscription
+// and makes nesting deadlock-free.
 #pragma once
 
 #include <functional>
@@ -144,7 +152,8 @@ class ShardedEngine : public SelectEngine {
   const int requested_shards_;
   const std::string inner_name_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unique_ptr<ThreadPool> pool_;  ///< null when one shard (never fans out)
+  ThreadPool* pool_ = nullptr;  ///< the shared pool; null when one shard
+                                ///  (never fans out)
 
   mutable std::mutex stats_mutex_;  // guards stats_ and the own_* counters
   int64_t own_queries_ = 0;       // Select/Execute queries served

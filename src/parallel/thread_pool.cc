@@ -1,6 +1,27 @@
 #include "parallel/thread_pool.h"
 
+#include <cstdlib>
+
+#include "util/common.h"
+
 namespace scrack {
+
+namespace {
+
+// Set for the lifetime of every pool worker thread; read by the nesting
+// checks. A plain thread_local bool: no ordering requirements.
+thread_local bool t_on_worker_thread = false;
+
+int SharedPoolThreads() {
+  const char* env = std::getenv("SCRACK_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 1024) return static_cast<int>(v);
+  }
+  return ThreadPool::DefaultThreads();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
@@ -30,7 +51,54 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   return future;
 }
 
+void ThreadPool::ParallelFor(int64_t num_tasks, int max_concurrency,
+                             const std::function<void(int64_t)>& fn) {
+  if (num_tasks <= 0) return;
+  // Fan-out width counts the caller; never submit more helpers than there
+  // are workers or tasks.
+  int64_t width = max_concurrency;
+  if (width > num_tasks) width = num_tasks;
+  if (width > num_threads() + 1) width = num_threads() + 1;
+  if (num_tasks == 1 || width <= 1 || OnWorkerThread()) {
+    for (int64_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic distribution off one shared counter. Helpers claim indices
+  // until the counter is exhausted and then return — they never wait on
+  // anything, so a helper that only gets scheduled after the caller drained
+  // the loop simply exits, and the final future wait below always
+  // terminates.
+  std::atomic<int64_t> next{0};
+  const auto drain = [&next, num_tasks, &fn] {
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_tasks) return;
+      fn(i);
+    }
+  };
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(static_cast<size_t>(width - 1));
+  // Every helper references this frame; nothing — not even an exception
+  // from the caller-run drain — may unwind it before all helpers finish.
+  struct WaitAll {
+    std::vector<std::future<void>>& futures;
+    ~WaitAll() {
+      for (std::future<void>& f : futures) {
+        if (f.valid()) f.wait();
+      }
+    }
+  } wait_all{pending};
+  for (int64_t k = 0; k + 1 < width; ++k) {
+    pending.push_back(Submit(drain));
+  }
+  drain();  // the caller works too instead of idling
+  for (std::future<void>& f : pending) f.get();  // rethrows task exceptions
+}
+
 void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -47,6 +115,19 @@ void ThreadPool::WorkerLoop() {
 int ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(SharedPoolThreads());
+  return *pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+std::vector<int64_t>& ThreadPool::ThreadScratch(int slot) {
+  SCRACK_CHECK(slot >= 0 && slot < kScratchSlots);
+  thread_local std::vector<int64_t> scratch[kScratchSlots];
+  return scratch[slot];
 }
 
 }  // namespace scrack

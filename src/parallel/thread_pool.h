@@ -1,14 +1,31 @@
 // ThreadPool: a persistent fixed-size worker pool.
 //
-// The sharded engine fans one Select out across its shards; spawning a
-// thread per shard per query would dominate the cost of the small
-// reorganization steps cracking performs, so shard tasks run on a pool of
-// long-lived workers instead. The pool is deliberately minimal: FIFO queue,
-// one condition variable, futures for completion — the fan-out/fan-in shape
-// is the only pattern the engine needs.
+// The sharded engine fans one Select out across its shards, and the
+// parallel partition kernels (cracking/kernel_parallel.h) fan one crack out
+// across cache-sized chunks; spawning a thread per task would dominate the
+// cost of the small reorganization steps cracking performs, so tasks run on
+// a pool of long-lived workers instead. The pool is deliberately minimal:
+// FIFO queue, one condition variable, futures for completion.
+//
+// Two fan-out shapes are supported:
+//   * Submit            one task, one future — the sharded fan-out/fan-in.
+//   * ParallelFor       an indexed loop distributed over the workers with
+//                       the calling thread participating. Work is claimed
+//                       from a shared atomic counter, so tasks never block
+//                       on each other and the loop is deadlock-free even
+//                       when the queue is congested.
+//
+// Nesting contract: a ParallelFor (or ShardedEngine fan-out) issued *from a
+// pool worker thread* runs inline on that worker instead of re-submitting.
+// This is what lets every layer — sharded engines over parallel-crack
+// inners, parallel engines inside pool-driven tests — share one
+// process-wide pool (Shared()) without oversubscribing the machine or
+// deadlocking on a saturated queue.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -33,10 +50,44 @@ class ThreadPool {
   /// (or rethrows what it threw). Safe to call from multiple threads.
   std::future<void> Submit(std::function<void()> fn);
 
+  /// Runs fn(0), ..., fn(num_tasks - 1), returning when all calls have
+  /// finished. At most `max_concurrency` threads (the caller plus pool
+  /// workers) execute tasks at any moment; indices are claimed from a
+  /// shared atomic counter, so distribution is dynamic but each index runs
+  /// exactly once. The result of the loop must not depend on which thread
+  /// runs which index — the parallel kernels guarantee that by deriving
+  /// every destination from the index alone.
+  ///
+  /// Runs entirely inline (no submission) when num_tasks <= 1,
+  /// max_concurrency <= 1, or the caller is itself a pool worker thread
+  /// (see the nesting contract above). Exceptions from tasks propagate to
+  /// the caller after all tasks finish.
+  void ParallelFor(int64_t num_tasks, int max_concurrency,
+                   const std::function<void(int64_t)>& fn);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Hardware concurrency with a sane floor (>= 1).
   static int DefaultThreads();
+
+  /// The process-wide shared pool, sized by SCRACK_THREADS (env) or
+  /// DefaultThreads(). Lazily constructed on first use and intentionally
+  /// leaked: workers park on the condition variable, and joining during
+  /// static destruction would race with other translation units' teardown.
+  /// Every consumer — ShardedEngine, the parallel kernels, applications —
+  /// shares this pool, so stacking them cannot oversubscribe the machine.
+  static ThreadPool& Shared();
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Fan-out
+  /// primitives check this to run nested parallelism inline.
+  static bool OnWorkerThread();
+
+  /// Reusable per-thread scratch registry: each OS thread (worker or
+  /// caller) owns one buffer per slot, grown on demand and reused across
+  /// ParallelFor invocations so steady-state parallel kernels allocate
+  /// nothing. Slots let one task hold several live buffers at once.
+  static constexpr int kScratchSlots = 2;
+  static std::vector<int64_t>& ThreadScratch(int slot);
 
  private:
   void WorkerLoop();

@@ -822,6 +822,75 @@ FigureSpec Parallel() {
   return spec;
 }
 
+FigureSpec ParallelCrack() {
+  FigureSpec spec;
+  spec.id = "parallelcrack";
+  spec.title = "Parallel first-touch convergence";
+  spec.claim =
+      "Intra-query parallel cracking is answer- and cost-transparent: "
+      "per-query convergence curves at 1/2/4/8 threads return exactly the "
+      "sequential engine's tuples and touch exactly as many";
+  spec.default_q = 1000;
+  // Pin the cutover far below L3 so the quick/full grids exercise the
+  // parallel kernels on their first-touch sweeps regardless of host cache.
+  const Index cutover = 4096;
+  const struct {
+    const char* label;
+    const char* engine;
+  } cells[] = {{"seq", "crack"},
+               {"t1", "crack-p1"},
+               {"t2", "crack-p2"},
+               {"t4", "crack-p4"},
+               {"t8", "crack-p8"}};
+  for (const auto& cell : cells) {
+    RunDecl decl = Run(cell.label, cell.engine, WorkloadKind::kRandom);
+    decl.parallel_min_values = cutover;
+    spec.runs.push_back(decl);
+  }
+  spec.assertions = {
+      Equal("t2_answers_match_sequential",
+            "2-thread parallel cracking returns exactly the sequential "
+            "engine's tuples",
+            "t2.checksum_sum", "seq.checksum_sum"),
+      Equal("t4_answers_match_sequential",
+            "4-thread parallel cracking returns exactly the sequential "
+            "engine's tuples",
+            "t4.checksum_sum", "seq.checksum_sum"),
+      Equal("t8_answers_match_sequential",
+            "8-thread parallel cracking returns exactly the sequential "
+            "engine's tuples",
+            "t8.checksum_sum", "seq.checksum_sum"),
+      Equal("t8_counts_match_sequential",
+            "qualifying counts survive the parallel partition",
+            "t8.checksum_count", "seq.checksum_count"),
+      Equal("t2_touched_invariant",
+            "tuples touched are thread-count-invariant (2 threads)",
+            "t2.cum_touched", "seq.cum_touched"),
+      Equal("t4_touched_invariant",
+            "tuples touched are thread-count-invariant (4 threads)",
+            "t4.cum_touched", "seq.cum_touched"),
+      Equal("t8_touched_invariant",
+            "tuples touched are thread-count-invariant (8 threads)",
+            "t8.cum_touched", "seq.cum_touched"),
+      Equal("t1_is_sequential",
+            "a 1-thread parallel config stays on the sequential kernels "
+            "and matches them exactly",
+            "t1.cum_touched", "seq.cum_touched"),
+      Less("t1_never_fans_out",
+           "the 1-thread config never runs a parallel pass",
+           "t1.parallel_cracks", 1),
+      Greater("t8_used_parallel_kernels",
+              "past the cutover the 8-thread config actually runs the "
+              "parallel partition kernels",
+              "t8.parallel_cracks", 0.5),
+      Equal("t8_first_touch_cost_invariant",
+            "the first query's whole-column sweep costs the same tuples "
+            "at 8 threads as sequentially",
+            "t8.touched_at_1", "seq.touched_at_1"),
+  };
+  return spec;
+}
+
 FigureSpec Sideways() {
   FigureSpec spec;
   spec.id = "sideways";
@@ -890,6 +959,7 @@ std::vector<FigureSpec> Build() {
   specs.push_back(Fig20());
   specs.push_back(Pushdown());
   specs.push_back(Parallel());
+  specs.push_back(ParallelCrack());
   specs.push_back(Sideways());
   return specs;
 }

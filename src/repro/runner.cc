@@ -111,6 +111,10 @@ void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
       static_cast<double>(run.final_stats.aggregates_pushed);
   metrics[p + ".updates_merged"] =
       static_cast<double>(run.final_stats.updates_merged);
+  metrics[p + ".parallel_cracks"] =
+      static_cast<double>(run.final_stats.parallel_cracks);
+  metrics[p + ".threads_used"] =
+      static_cast<double>(run.final_stats.threads_used);
 }
 
 }  // namespace
@@ -135,6 +139,9 @@ Status RunFigure(const FigureSpec& spec, const ReproOptions& options,
     }
     if (decl.hybrid_partition_values > 0) {
       config.hybrid_partition_values = decl.hybrid_partition_values;
+    }
+    if (decl.parallel_min_values > 0) {
+      config.parallel_min_values = decl.parallel_min_values;
     }
 
     std::unique_ptr<SelectEngine> engine;

@@ -40,6 +40,10 @@ struct RunDecl {
   /// EngineConfig overrides; 0 keeps the detected default.
   Index crack_threshold_values = 0;   ///< Fig. 8 DDC threshold sweep
   Index hybrid_partition_values = 0;  ///< hybrid partition-size ablation
+  Index parallel_min_values = 0;      ///< parallel-crack cutover (the
+                                      ///  parallelcrack figure pins it far
+                                      ///  below L3 so quick scale still
+                                      ///  exercises the parallel kernels)
 
   /// Output mode the queries run in (aggregate-pushdown scenarios).
   OutputMode mode = OutputMode::kMaterialize;
@@ -119,7 +123,8 @@ struct FigureResult {
   /// Flat metric map the assertions read. Grid runs contribute
   /// `<label>.{cum_seconds,cum_touched,touched_per_sec,touched_at_1,
   /// swaps_at_1,max_swaps_per_query,cum_touched_at_8,checksum_count,
-  /// checksum_sum,materialized,aggregates_pushed,updates_merged}`; the
+  /// checksum_sum,materialized,aggregates_pushed,updates_merged,
+  /// parallel_cracks,threads_used}`; the
   /// pseudo-metrics `n` and `q` are always present; `extra` hooks may add
   /// more. checksum_sum is reduced mod 2^31 so it stays exact in a double
   /// at any scale (kEqual compares exactly).

@@ -57,6 +57,8 @@ CacheInfo CacheInfo::Detect() {
       info.l1_bytes = size;
     } else if (level == "2" && (type == "Data" || type == "Unified")) {
       info.l2_bytes = size;
+    } else if (level == "3" && (type == "Data" || type == "Unified")) {
+      info.l3_bytes = size;
     }
   }
   return info;

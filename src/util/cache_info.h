@@ -5,10 +5,13 @@
 //     (paper §4, Fig. 8 sweeps this threshold);
 //   * progressive cracking switches to plain MDD1R below the L2 size;
 //   * the selective "size threshold" variant stops stochastic actions for
-//     pieces below L1.
+//     pieces below L1;
+//   * the parallel partition kernels take over only for pieces larger than
+//     the L3 cache — below that a single core already runs at cache
+//     bandwidth and fan-out overhead would only slow the crack down.
 // CacheInfo reads the host's cache hierarchy from sysfs when available and
-// falls back to the paper's machine (Intel E5620: 32 KiB L1d, 256 KiB L2)
-// otherwise, so experiments are reproducible on any box.
+// falls back to the paper's machine (Intel E5620: 32 KiB L1d, 256 KiB L2,
+// 12 MiB L3) otherwise, so experiments are reproducible on any box.
 #pragma once
 
 #include <cstddef>
@@ -21,13 +24,17 @@ namespace scrack {
 struct CacheInfo {
   size_t l1_bytes = 32 * 1024;
   size_t l2_bytes = 256 * 1024;
+  size_t l3_bytes = 12 * 1024 * 1024;
 
-  /// Number of Value elements that fit in L1 / L2.
+  /// Number of Value elements that fit in L1 / L2 / L3.
   Index L1Values() const {
     return static_cast<Index>(l1_bytes / sizeof(Value));
   }
   Index L2Values() const {
     return static_cast<Index>(l2_bytes / sizeof(Value));
+  }
+  Index L3Values() const {
+    return static_cast<Index>(l3_bytes / sizeof(Value));
   }
 
   /// Detects the host caches via sysfs

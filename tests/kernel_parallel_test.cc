@@ -1,0 +1,454 @@
+// Differential tests for the parallel partition kernels against the
+// sequential dispatched kernels, plus the adaptive cutover wiring.
+//
+// Contract under test (cracking/kernel_parallel.h):
+//   * every parallel kernel is **thread-count-invariant**: byte-identical
+//     outputs at 1/2/3/7/8 threads and through the inline (null-pool)
+//     path;
+//   * ParallelCrackInThree is bit-identical to the sequential dispatched
+//     CrackInThree — layout, splits, and counters;
+//   * ParallelCrackInTwo (both variants) matches the sequential kernel's
+//     split, multiset, touched, and partition invariant (its out-of-place
+//     layout contract differs from the in-place blocked kernel's, like
+//     the other out-of-place kernels');
+//   * ParallelFilterInto and the parallel folds return exactly the
+//     sequential results;
+//   * CrackerColumn's cutover: pieces below parallel_min_values stay on
+//     the sequential kernels (parallel_cracks == 0), pieces at or above
+//     it fan out, and either way a crack-p engine's answers and piece
+//     layouts equal the sequential engine's query for query.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "cracking/crack_engine.h"
+#include "cracking/kernel.h"
+#include "cracking/kernel_parallel.h"
+#include "harness/engine_factory.h"
+#include "parallel/thread_pool.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace scrack {
+namespace {
+
+using ::scrack::testing::Sorted;
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+constexpr Value kValueMax = std::numeric_limits<Value>::max();
+
+const int kThreadCounts[] = {1, 2, 3, 7, 8};
+
+ParallelContext Ctx(int threads) {
+  ParallelContext ctx;
+  ctx.pool = &ThreadPool::Shared();
+  ctx.max_concurrency = threads;
+  return ctx;
+}
+
+struct ParallelCase {
+  const char* name;
+  Index n;
+  int distribution;  // 0 random, 1 sorted, 2 reverse, 3 duplicates,
+                     // 4 all-equal, 5 empty
+};
+
+std::vector<Value> MakeData(const ParallelCase& c, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> data(static_cast<size_t>(c.n));
+  switch (c.distribution) {
+    case 0:
+      for (auto& v : data) v = rng.UniformValue(-500, 1000);
+      break;
+    case 1:
+      std::iota(data.begin(), data.end(), 0);
+      break;
+    case 2:
+      std::iota(data.rbegin(), data.rend(), 0);
+      break;
+    case 3:
+      for (auto& v : data) v = rng.UniformValue(0, 4);
+      break;
+    case 4:
+      std::fill(data.begin(), data.end(), 7);
+      break;
+    case 5:
+      break;  // n == 0
+  }
+  return data;
+}
+
+std::vector<Value> Pivots(uint64_t seed) {
+  Rng rng(seed);
+  return {kValueMin, kValueMax, 0, 7, rng.UniformValue(-600, 1100)};
+}
+
+// Sizes straddle the chunk geometry: sub-chunk, one chunk plus a tail, and
+// several chunks (kParallelChunkValues == 64 Ki).
+const ParallelCase kCases[] = {
+    {"empty", 0, 5},
+    {"one", 1, 0},
+    {"two", 2, 0},
+    {"tiny", 5, 0},
+    {"small_random", 1000, 0},
+    {"subchunk_random", 50000, 0},
+    {"chunk_plus_tail", (Index{1} << 16) + 999, 0},
+    {"multichunk_random", 4 * (Index{1} << 16) + 12345, 0},
+    {"multichunk_sorted", 3 * (Index{1} << 16), 1},
+    {"multichunk_reverse", 3 * (Index{1} << 16), 2},
+    {"multichunk_duplicates", 3 * (Index{1} << 16) + 77, 3},
+    {"multichunk_all_equal", 2 * (Index{1} << 16) + 1, 4},
+};
+
+class ParallelSweep : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelSweep, CrackInTwoMatchesSequential) {
+  const ParallelCase c = GetParam();
+  const std::vector<Value> original = MakeData(c, 100);
+  for (Value pivot : Pivots(200)) {
+    std::vector<Value> ref = original;
+    KernelCounters ref_c;
+    const Index ref_split =
+        CrackInTwo(ref.data(), 0, c.n, pivot, &ref_c);
+
+    std::vector<Value> first;  // 1-thread layout, the invariance reference
+    for (int threads : kThreadCounts) {
+      std::vector<Value> work = original;
+      KernelCounters par_c;
+      const Index split = ParallelCrackInTwo(work.data(), 0, c.n, pivot,
+                                             Ctx(threads), &par_c);
+      ASSERT_EQ(split, ref_split) << c.name << " pivot=" << pivot
+                                  << " threads=" << threads;
+      ASSERT_EQ(par_c.touched, ref_c.touched);
+      EXPECT_EQ(Sorted(work), Sorted(ref));
+      for (Index i = 0; i < c.n; ++i) {
+        ASSERT_EQ(work[static_cast<size_t>(i)] < pivot, i < split)
+            << c.name << " position " << i;
+      }
+      if (first.empty() && threads == 1) {
+        first = work;
+      } else {
+        EXPECT_EQ(work, first) << c.name << " layout varies with threads="
+                               << threads;
+      }
+    }
+
+    // The inline (null-pool) path produces the same bytes again.
+    std::vector<Value> inline_work = original;
+    KernelCounters inline_c;
+    const Index inline_split = ParallelCrackInTwo(
+        inline_work.data(), 0, c.n, pivot, ParallelContext{}, &inline_c);
+    EXPECT_EQ(inline_split, ref_split);
+    EXPECT_EQ(inline_work, first);
+  }
+}
+
+TEST_P(ParallelSweep, CrackInTwoInPlaceMatchesSequential) {
+  const ParallelCase c = GetParam();
+  const std::vector<Value> original = MakeData(c, 300);
+  for (Value pivot : Pivots(400)) {
+    std::vector<Value> ref = original;
+    KernelCounters ref_c;
+    const Index ref_split = CrackInTwo(ref.data(), 0, c.n, pivot, &ref_c);
+
+    std::vector<Value> first;
+    for (int threads : kThreadCounts) {
+      std::vector<Value> work = original;
+      KernelCounters par_c;
+      const Index split = ParallelCrackInTwoInPlace(
+          work.data(), 0, c.n, pivot, Ctx(threads), &par_c);
+      ASSERT_EQ(split, ref_split) << c.name << " pivot=" << pivot;
+      ASSERT_EQ(par_c.touched, ref_c.touched);
+      EXPECT_EQ(Sorted(work), Sorted(ref));
+      for (Index i = 0; i < c.n; ++i) {
+        ASSERT_EQ(work[static_cast<size_t>(i)] < pivot, i < split);
+      }
+      if (first.empty() && threads == 1) {
+        first = work;
+      } else {
+        EXPECT_EQ(work, first) << c.name << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST_P(ParallelSweep, CrackInThreeBitIdenticalToSequential) {
+  const ParallelCase c = GetParam();
+  const std::vector<Value> original = MakeData(c, 500);
+  Rng rng(600);
+  const std::pair<Value, Value> bounds[] = {
+      {0, 7},
+      {kValueMin, kValueMax},
+      {-100, 500},
+      {7, 7},
+      testing::RandomRange(&rng, 1000),
+  };
+  for (const auto& [lo, hi] : bounds) {
+    std::vector<Value> ref = original;
+    KernelCounters ref_c;
+    const auto ref_split = CrackInThree(ref.data(), 0, c.n, lo, hi, &ref_c);
+
+    for (int threads : kThreadCounts) {
+      std::vector<Value> work = original;
+      KernelCounters par_c;
+      const auto split = ParallelCrackInThree(work.data(), 0, c.n, lo, hi,
+                                              Ctx(threads), &par_c);
+      ASSERT_EQ(split, ref_split) << c.name << " [" << lo << "," << hi
+                                  << ") threads=" << threads;
+      // Bit-identical: same layout, same touched, same Hoare-equivalent
+      // swap count as the sequential out-of-place kernel.
+      EXPECT_EQ(work, ref) << c.name << " threads=" << threads;
+      EXPECT_EQ(par_c.touched, ref_c.touched);
+      EXPECT_EQ(par_c.swaps, ref_c.swaps);
+    }
+  }
+}
+
+TEST_P(ParallelSweep, FilterIntoAndFoldsMatchSequential) {
+  const ParallelCase c = GetParam();
+  const std::vector<Value> original = MakeData(c, 700);
+  Rng rng(800);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto [qlo, qhi] = testing::RandomRange(&rng, 1000);
+    std::vector<Value> ref_out;
+    KernelCounters ref_c;
+    FilterIntoScalar(original.data(), 0, c.n, qlo, qhi, &ref_out, &ref_c);
+    const Index ref_count =
+        CountInRange(original.data(), 0, c.n, qlo, qhi);
+    const RangeSum ref_sum = SumInRange(original.data(), 0, c.n, qlo, qhi);
+    const RangeMinMax ref_mm =
+        MinMaxInRange(original.data(), 0, c.n, qlo, qhi);
+
+    for (int threads : kThreadCounts) {
+      const ParallelContext ctx = Ctx(threads);
+      std::vector<Value> out;
+      KernelCounters par_c;
+      ParallelFilterInto(original.data(), 0, c.n, qlo, qhi, &out, ctx,
+                         &par_c);
+      EXPECT_EQ(out, ref_out) << c.name << " threads=" << threads;
+      EXPECT_EQ(par_c.touched, c.n);
+
+      EXPECT_EQ(ParallelCountInRange(original.data(), 0, c.n, qlo, qhi, ctx),
+                ref_count);
+      const RangeSum sum =
+          ParallelSumInRange(original.data(), 0, c.n, qlo, qhi, ctx);
+      EXPECT_EQ(sum.count, ref_sum.count);
+      EXPECT_EQ(sum.sum, ref_sum.sum);
+      const RangeMinMax mm =
+          ParallelMinMaxInRange(original.data(), 0, c.n, qlo, qhi, ctx);
+      EXPECT_EQ(mm.count, ref_mm.count);
+      if (mm.count > 0) {
+        EXPECT_EQ(mm.min, ref_mm.min);
+        EXPECT_EQ(mm.max, ref_mm.max);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ParallelSweep, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<ParallelCase>&
+                                info) { return info.param.name; });
+
+// The kernels only touch their subrange: neighbors stay byte-identical.
+TEST(ParallelKernelTest, SubrangeIsolation) {
+  const Index n = 3 * (Index{1} << 16);
+  std::vector<Value> data(static_cast<size_t>(n));
+  Rng rng(11);
+  for (auto& v : data) v = rng.UniformValue(0, 1 << 20);
+  const Index begin = 1000;
+  const Index end = n - 1000;
+  const std::vector<Value> original = data;
+
+  KernelCounters c;
+  ParallelCrackInTwo(data.data(), begin, end, 1 << 19, Ctx(8), &c);
+  for (Index i = 0; i < begin; ++i) {
+    ASSERT_EQ(data[static_cast<size_t>(i)], original[static_cast<size_t>(i)]);
+  }
+  for (Index i = end; i < n; ++i) {
+    ASSERT_EQ(data[static_cast<size_t>(i)], original[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(Sorted(std::vector<Value>(data.begin() + begin,
+                                      data.begin() + end)),
+            Sorted(std::vector<Value>(original.begin() + begin,
+                                      original.begin() + end)));
+}
+
+// ParallelFor executes every index exactly once, from any nesting depth.
+TEST(ParallelKernelTest, ParallelForCoversAllIndices) {
+  ThreadPool& pool = ThreadPool::Shared();
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.ParallelFor(1000, 8, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  // Nested: a ParallelFor issued from a pool task runs inline and still
+  // covers everything.
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(4, 4, [&](int64_t) {
+    pool.ParallelFor(100, 8,
+                     [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 400);
+}
+
+// ------------------------------------------------ adaptive cutover --------
+
+// Pieces below the threshold stay sequential; at and above it they fan
+// out. The first Select of a fresh crack engine three-way-cracks the whole
+// column, so the column size *is* the piece size the cutover sees.
+TEST(ParallelCutoverTest, ThresholdBoundary) {
+  const Index threshold = 8192;
+  for (const Index n : {threshold - 1, threshold, threshold + 1}) {
+    const Column base = Column::UniquePermutation(n, 5);
+    EngineConfig config;
+    config.parallel_threads = 8;
+    config.parallel_min_values = threshold;
+    CrackEngine engine(&base, config);
+    QueryResult result;
+    ASSERT_TRUE(engine.Select(n / 3, 2 * n / 3, &result).ok());
+    const bool expect_parallel = n >= threshold;
+    EXPECT_EQ(engine.stats().parallel_cracks > 0, expect_parallel)
+        << "n=" << n << " threshold=" << threshold;
+    EXPECT_EQ(engine.column().UsesParallel(n), expect_parallel);
+    EXPECT_TRUE(engine.Validate().ok());
+  }
+}
+
+// parallel_threads <= 1 disables the parallel path no matter the size.
+TEST(ParallelCutoverTest, SingleThreadConfigStaysSequential) {
+  const Column base = Column::UniquePermutation(100000, 6);
+  EngineConfig config;
+  config.parallel_threads = 1;
+  config.parallel_min_values = 1024;
+  CrackEngine engine(&base, config);
+  QueryResult result;
+  ASSERT_TRUE(engine.Select(1000, 90000, &result).ok());
+  EXPECT_EQ(engine.stats().parallel_cracks, 0);
+  EXPECT_EQ(engine.stats().threads_used, 0);
+}
+
+// --------------------------------- convergence equivalence ----------------
+
+// A crack-p engine must converge exactly like the sequential crack engine:
+// identical answers for every one of 1000 queries and an identical piece
+// layout (crack keys and positions) at the end. Original cracking's crack
+// positions are value-determined, so this holds even though the parallel
+// kernels order elements differently *within* pieces.
+TEST(ParallelConvergenceTest, PieceLayoutsMatchSequentialAfter1kQueries) {
+  const Index n = 200000;
+  const Column base = Column::UniquePermutation(n, 9);
+
+  EngineConfig seq_config;
+  CrackEngine seq(&base, seq_config);
+
+  EngineConfig par_config;
+  par_config.parallel_threads = 8;
+  par_config.parallel_min_values = 4096;
+  CrackEngine par(&base, par_config);
+
+  WorkloadParams params;
+  params.n = n;
+  params.num_queries = 1000;
+  params.seed = 17;
+  for (const RangeQuery& q : MakeWorkload(WorkloadKind::kRandom, params)) {
+    QueryResult seq_result;
+    QueryResult par_result;
+    ASSERT_TRUE(seq.Select(q.low, q.high, &seq_result).ok());
+    ASSERT_TRUE(par.Select(q.low, q.high, &par_result).ok());
+    ASSERT_EQ(par_result.count(), seq_result.count())
+        << "[" << q.low << "," << q.high << ")";
+    ASSERT_EQ(Sorted(par_result.Collect()), Sorted(seq_result.Collect()));
+  }
+  EXPECT_GT(par.stats().parallel_cracks, 0);
+  EXPECT_EQ(par.stats().tuples_touched, seq.stats().tuples_touched);
+  EXPECT_EQ(par.stats().cracks, seq.stats().cracks);
+
+  // Identical physical piece layout: same crack boundaries everywhere.
+  std::vector<std::pair<Index, Index>> seq_pieces;
+  std::vector<std::pair<Index, Index>> par_pieces;
+  seq.column().index().ForEachPiece([&](const Piece& piece) {
+    seq_pieces.emplace_back(piece.begin, piece.end);
+  });
+  par.column().index().ForEachPiece([&](const Piece& piece) {
+    par_pieces.emplace_back(piece.begin, piece.end);
+  });
+  EXPECT_EQ(par_pieces, seq_pieces);
+  EXPECT_TRUE(seq.Validate().ok());
+  EXPECT_TRUE(par.Validate().ok());
+}
+
+// Concurrent callers over parallel-crack engines: the intra-query fan-out
+// (shared pool) must compose with the wrapper engines' locking — threadsafe
+// holds its lock across a fan-out, sharded runs crack-p inners from pool
+// workers (where the nested fan-out runs inline). Checksums against a
+// single-threaded reference; races surface under the TSan CI job.
+void HammerParallelSpec(const std::string& spec) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 91);
+  EngineConfig config;
+  config.parallel_min_values = 256;  // force the cutover at test sizes
+  auto engine = CreateEngineOrDie(spec, &base, config);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(3000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 100; ++i) {
+        const auto range = testing::RandomRange(&rng, domain);
+        QueryResult result;
+        if (!engine->Select(range.first, range.second, &result).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const testing::ReferenceAnswer want =
+            testing::ReferenceSelect(base.values(), range.first,
+                                     range.second);
+        if (result.count() != want.count || result.Sum() != want.sum) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0) << spec;
+  EXPECT_EQ(mismatches.load(), 0) << spec;
+  EXPECT_TRUE(engine->Validate().ok()) << spec;
+}
+
+TEST(ParallelCrackHammerTest, ThreadsafeOverParallelCrack) {
+  HammerParallelSpec("threadsafe:crack-p4");
+}
+
+TEST(ParallelCrackHammerTest, ShardedOverParallelCrackInners) {
+  HammerParallelSpec("sharded(3,crack-p2)");
+}
+
+// The factory's -p suffixes: spec parses, engine answers correctly, and
+// invalid thread counts are rejected.
+TEST(ParallelFactoryTest, ParallelSpecs) {
+  const Column base = Column::UniquePermutation(4096, 3);
+  for (const char* spec : {"crack-p", "crack-p1", "ddc-p4", "dd1r-p8",
+                           "mdd1r-p2", "sharded(2,crack-p2)"}) {
+    std::unique_ptr<SelectEngine> engine;
+    ASSERT_TRUE(CreateEngine(spec, &base, EngineConfig{}, &engine).ok())
+        << spec;
+    EXPECT_EQ(engine->SelectOrDie(10, 30).count(), 20) << spec;
+  }
+  std::unique_ptr<SelectEngine> engine;
+  EXPECT_FALSE(CreateEngine("crack-p0", &base, EngineConfig{}, &engine).ok());
+  EXPECT_FALSE(
+      CreateEngine("crack-p9999", &base, EngineConfig{}, &engine).ok());
+}
+
+}  // namespace
+}  // namespace scrack

@@ -238,14 +238,16 @@ class Session {
       std::printf(
           "engine=%s queries=%lld touched=%lld swaps=%lld cracks=%lld "
           "materialized=%lld updates_merged=%lld random_pivots=%lld "
-          "aggregates_pushed=%lld\n",
+          "aggregates_pushed=%lld parallel_cracks=%lld threads_used=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
           static_cast<long long>(s.materialized),
           static_cast<long long>(s.updates_merged),
           static_cast<long long>(s.random_pivots),
-          static_cast<long long>(s.aggregates_pushed));
+          static_cast<long long>(s.aggregates_pushed),
+          static_cast<long long>(s.parallel_cracks),
+          static_cast<long long>(s.threads_used));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {
