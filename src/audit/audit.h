@@ -1,0 +1,83 @@
+// Structured diagnostics and options for the invariant auditor.
+//
+// A finding names the rule that fired, where (query ordinal, piece
+// ordinal), in what run context (the repro runner labels findings with
+// "figure/cell"), and carries a human-readable detail with the offending
+// values — enough to reproduce the violation without re-running under a
+// debugger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+namespace scrack {
+
+/// One invariant violation detected by the auditor.
+struct AuditFinding {
+  std::string rule;     ///< stable rule id, e.g. "piece-partition"
+  QueryId query = -1;   ///< ordinal of the audited call (0-based; -1 n/a)
+  int64_t piece = -1;   ///< piece ordinal within the index (-1 n/a)
+  std::string detail;   ///< offending values, human-readable
+  std::string context;  ///< run label, e.g. "fig02/crack.seq" (may be empty)
+
+  /// "audit[fig02/crack.seq] piece-partition at query 17, piece 3: ..."
+  std::string ToString() const;
+};
+
+/// Tuning knobs for the auditor. The defaults audit every structural
+/// invariant exhaustively at small column sizes and fall back to
+/// deterministic sampling / periodic full passes above the cutoff, so
+/// audit mode stays usable at bench scale.
+struct AuditOptions {
+  /// Columns of at most this many values get the full O(n) partition and
+  /// multiset checks after every audited call.
+  Index full_check_max_values = 128 * 1024;
+
+  /// Above the cutoff: positions probed per piece, drawn from a SplitMix64
+  /// stream seeded by (audit epoch, piece ordinal) — deterministic across
+  /// runs, different across queries.
+  int sample_per_piece = 4;
+
+  /// Above the cutoff: a full multiset-conservation pass every this many
+  /// audited calls (the sampled partition probes still run every call).
+  int64_t checksum_period = 16;
+
+  /// Surface the first finding of an audited call as an error Status from
+  /// Select/Execute/ExecuteBatch (the repro gate exits nonzero on it).
+  /// Mutation tests switch this off and inspect findings() instead.
+  bool fail_fast = true;
+
+  /// Verify that the inner engine's `queries` counter advances by exactly
+  /// the number of forwarded calls. Holds for every factory spec; switch
+  /// off when wrapping an engine with bespoke query accounting.
+  bool strict_query_count = true;
+
+  /// Findings kept per engine (oldest kept; later ones only counted).
+  size_t max_findings = 64;
+};
+
+/// Order-independent multiset fingerprint: element count, wrapping value
+/// sum, and a wrapping sum of SplitMix64-mixed values. Two multisets are
+/// equal iff (count, sum, hash) match, up to 2^-64-grade hash collisions —
+/// and the components are additive, so conservation laws over
+/// column/pending/staged pools are linear equations over fingerprints.
+struct MultisetFingerprint {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t hash = 0;
+
+  void Add(Value v);
+  MultisetFingerprint& operator+=(const MultisetFingerprint& o);
+  MultisetFingerprint& operator-=(const MultisetFingerprint& o);
+  bool operator==(const MultisetFingerprint& o) const {
+    return count == o.count && sum == o.sum && hash == o.hash;
+  }
+  bool operator!=(const MultisetFingerprint& o) const { return !(*this == o); }
+
+  static MultisetFingerprint Of(const Value* data, Index n);
+  static MultisetFingerprint Of(const std::vector<Value>& values);
+};
+
+}  // namespace scrack

@@ -1,0 +1,16 @@
+#include "audit/audit_engine.h"
+
+namespace scrack {
+
+Status AuditEngine::AfterCalls(int64_t calls) {
+  const size_t appended = auditor_.Audit(
+      inner_->audit_column(), inner_->CurrentStats(), calls, context_,
+      &findings_);
+  if (appended > 0 && options_.fail_fast) {
+    return Status::Internal(
+        findings_[findings_.size() - appended].ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace scrack

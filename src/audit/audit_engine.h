@@ -1,0 +1,109 @@
+// AuditEngine: a decorator that audits an engine after every call.
+//
+// Wraps any SelectEngine and, after each successful Select / Execute /
+// ExecuteBatch, runs the InvariantAuditor over the inner engine's cracker
+// column (when it exposes one via audit_column()) and its stats snapshot.
+// Violations become structured AuditFindings; with fail_fast (the default)
+// the first finding of a call is also surfaced as an Internal Status, so
+// the repro gate and CI exit nonzero on the exact query that corrupted the
+// structure.
+//
+// Composes with the other wrappers through the engine factory:
+//   audit(crack)            — audited sequential cracking
+//   audit(crack-p4)         — audited intra-query-parallel cracking
+//   sharded(4,audit(ddc))   — every shard audited independently
+// (`audit(sharded(...))` parses too, but the factory pushes the audit
+// inside the shards — ShardedEngine exposes no single column, so the
+// outer position could check only stats.)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.h"
+#include "audit/invariant_auditor.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class AuditEngine : public SelectEngine {
+ public:
+  explicit AuditEngine(std::unique_ptr<SelectEngine> inner,
+                       const AuditOptions& options = AuditOptions{})
+      : inner_(std::move(inner)), options_(options), auditor_(options) {
+    SCRACK_CHECK(inner_ != nullptr);
+  }
+
+  Status Select(Value low, Value high, QueryResult* result) override {
+    SCRACK_RETURN_NOT_OK(inner_->Select(low, high, result));
+    return AfterCalls(1);
+  }
+
+  Status Execute(const Query& query, QueryOutput* output) override {
+    SCRACK_RETURN_NOT_OK(inner_->Execute(query, output));
+    return AfterCalls(1);
+  }
+
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override {
+    SCRACK_RETURN_NOT_OK(inner_->ExecuteBatch(queries, outputs));
+    return AfterCalls(static_cast<int64_t>(queries.size()));
+  }
+
+  Status StageInsert(Value v) override {
+    SCRACK_RETURN_NOT_OK(inner_->StageInsert(v));
+    auditor_.NoteStagedInsert(v);  // only accepted updates shift the law
+    return Status::OK();
+  }
+
+  Status StageDelete(Value v) override {
+    SCRACK_RETURN_NOT_OK(inner_->StageDelete(v));
+    auditor_.NoteStagedDelete(v);
+    return Status::OK();
+  }
+
+  std::string name() const override {
+    return "audit(" + inner_->name() + ")";
+  }
+
+  EngineStats CurrentStats() const override { return inner_->CurrentStats(); }
+
+  Status Validate() const override { return inner_->Validate(); }
+
+  const CrackerColumn* audit_column() const override {
+    return inner_->audit_column();
+  }
+
+  /// Labels subsequent findings with a run context, e.g. "fig02/crack.seq".
+  void SetContext(std::string context) { context_ = std::move(context); }
+
+  /// Runs one audit pass outside a query (no forwarded calls — query
+  /// accounting is not checked). Used by the repro runner for an
+  /// end-of-run sweep and by tests after direct corruption of the inner
+  /// engine's structures.
+  Status AuditNow() { return AfterCalls(-1); }
+
+  /// Findings so far (capped at options.max_findings).
+  const std::vector<AuditFinding>& findings() const { return findings_; }
+
+  /// Total audited forwarded calls.
+  int64_t calls_audited() const { return auditor_.calls_seen(); }
+
+  /// The wrapped engine. Tests use this to reach concrete accessors (and
+  /// to corrupt structures the audit must then report).
+  SelectEngine* inner() { return inner_.get(); }
+  const SelectEngine* inner() const { return inner_.get(); }
+
+ private:
+  Status AfterCalls(int64_t calls);
+
+  std::unique_ptr<SelectEngine> inner_;
+  AuditOptions options_;
+  InvariantAuditor auditor_;
+  std::string context_;
+  std::vector<AuditFinding> findings_;
+};
+
+}  // namespace scrack

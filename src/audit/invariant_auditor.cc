@@ -1,0 +1,307 @@
+#include "audit/invariant_auditor.h"
+
+#include <string>
+
+#include "cracking/cracker_column.h"
+#include "index/cracker_index.h"
+
+namespace scrack {
+
+namespace {
+
+// SplitMix64 finalizer: the value mixer behind the multiset hash and the
+// deterministic sampling streams (never a wall clock, never std::rand —
+// audit probes are reproducible given the audit epoch).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string FingerprintDelta(const MultisetFingerprint& got,
+                             const MultisetFingerprint& want) {
+  return "count " + std::to_string(got.count) + " vs " +
+         std::to_string(want.count) + ", sum " + std::to_string(got.sum) +
+         " vs " + std::to_string(want.sum) + ", hash " +
+         std::to_string(got.hash) + " vs " + std::to_string(want.hash);
+}
+
+}  // namespace
+
+std::string AuditFinding::ToString() const {
+  std::string out = "audit";
+  if (!context.empty()) out += "[" + context + "]";
+  out += " " + rule;
+  if (query >= 0) out += " at query " + std::to_string(query);
+  if (piece >= 0) out += ", piece " + std::to_string(piece);
+  out += ": " + detail;
+  return out;
+}
+
+void MultisetFingerprint::Add(Value v) {
+  ++count;
+  sum += static_cast<uint64_t>(v);
+  hash += Mix64(static_cast<uint64_t>(v));
+}
+
+MultisetFingerprint& MultisetFingerprint::operator+=(
+    const MultisetFingerprint& o) {
+  count += o.count;
+  sum += o.sum;
+  hash += o.hash;
+  return *this;
+}
+
+MultisetFingerprint& MultisetFingerprint::operator-=(
+    const MultisetFingerprint& o) {
+  count -= o.count;
+  sum -= o.sum;
+  hash -= o.hash;
+  return *this;
+}
+
+MultisetFingerprint MultisetFingerprint::Of(const Value* data, Index n) {
+  MultisetFingerprint fp;
+  for (Index i = 0; i < n; ++i) fp.Add(data[i]);
+  return fp;
+}
+
+MultisetFingerprint MultisetFingerprint::Of(const std::vector<Value>& values) {
+  return Of(values.data(), static_cast<Index>(values.size()));
+}
+
+size_t InvariantAuditor::Audit(const CrackerColumn* column,
+                               const EngineStats& stats, int64_t calls,
+                               const std::string& context,
+                               std::vector<AuditFinding>* findings) {
+  context_ = context;
+  if (calls > 0) calls_seen_ += calls;
+  ++audits_;
+  const size_t before = findings->size();
+  CheckStats(column, stats, calls, findings);
+  if (column != nullptr && column->initialized()) {
+    CheckWriterTag(*column, findings);
+    CheckIndexOrder(*column, findings);
+    CheckPartition(*column, findings);
+    CheckMultiset(*column, findings);
+  }
+  last_stats_ = stats;
+  return findings->size() - before;
+}
+
+// Appends one finding unless the per-engine cap is reached.
+#define SCRACK_AUDIT_EMIT(out, rule_id, piece_ordinal, message)       \
+  do {                                                                \
+    if ((out)->size() < options_.max_findings) {                      \
+      AuditFinding finding;                                           \
+      finding.rule = (rule_id);                                       \
+      finding.query = calls_seen_ - 1;                                \
+      finding.piece = (piece_ordinal);                                \
+      finding.detail = (message);                                     \
+      finding.context = context_;                                     \
+      (out)->push_back(std::move(finding));                           \
+    }                                                                 \
+  } while (0)
+
+void InvariantAuditor::CheckStats(const CrackerColumn* column,
+                                  const EngineStats& stats, int64_t calls,
+                                  std::vector<AuditFinding>* out) {
+  const struct {
+    const char* name;
+    int64_t was;
+    int64_t now;
+  } counters[] = {
+      {"queries", last_stats_.queries, stats.queries},
+      {"tuples_touched", last_stats_.tuples_touched, stats.tuples_touched},
+      {"swaps", last_stats_.swaps, stats.swaps},
+      {"cracks", last_stats_.cracks, stats.cracks},
+      {"materialized", last_stats_.materialized, stats.materialized},
+      {"updates_merged", last_stats_.updates_merged, stats.updates_merged},
+      {"random_pivots", last_stats_.random_pivots, stats.random_pivots},
+      {"aggregates_pushed", last_stats_.aggregates_pushed,
+       stats.aggregates_pushed},
+      {"parallel_cracks", last_stats_.parallel_cracks, stats.parallel_cracks},
+      {"threads_used", last_stats_.threads_used, stats.threads_used},
+  };
+  for (const auto& counter : counters) {
+    if (counter.now < counter.was) {
+      SCRACK_AUDIT_EMIT(out, "stats-conservation", -1,
+                        std::string(counter.name) + " went backwards: " +
+                            std::to_string(counter.was) + " -> " +
+                            std::to_string(counter.now));
+    }
+  }
+  const int64_t touched_delta =
+      stats.tuples_touched - last_stats_.tuples_touched;
+  const int64_t swaps_delta = stats.swaps - last_stats_.swaps;
+  if (swaps_delta > touched_delta && swaps_delta > 0) {
+    SCRACK_AUDIT_EMIT(out, "stats-conservation", -1,
+                      "swapped more tuples than touched: +" +
+                          std::to_string(swaps_delta) + " swaps vs +" +
+                          std::to_string(touched_delta) + " touched");
+  }
+  if (options_.strict_query_count && calls >= 0 &&
+      stats.queries - last_stats_.queries != calls) {
+    SCRACK_AUDIT_EMIT(out, "stats-conservation", -1,
+                      "queries counter advanced by " +
+                          std::to_string(stats.queries - last_stats_.queries) +
+                          " across " + std::to_string(calls) +
+                          " forwarded call(s)");
+  }
+  if (stats.parallel_cracks > last_stats_.parallel_cracks &&
+      stats.threads_used < 2) {
+    SCRACK_AUDIT_EMIT(out, "stats-conservation", -1,
+                      "parallel passes recorded with threads_used = " +
+                          std::to_string(stats.threads_used));
+  }
+  if (column != nullptr && column->initialized()) {
+    const int64_t cracks_in_index =
+        static_cast<int64_t>(column->index().num_cracks());
+    if (cracks_in_index > stats.cracks) {
+      SCRACK_AUDIT_EMIT(out, "stats-conservation", -1,
+                        "index holds " + std::to_string(cracks_in_index) +
+                            " cracks but only " +
+                            std::to_string(stats.cracks) +
+                            " were ever registered");
+    }
+  }
+}
+
+void InvariantAuditor::CheckWriterTag(const CrackerColumn& column,
+                                      std::vector<AuditFinding>* out) {
+  const int64_t violations = column.writer_tag().violations();
+  if (violations > last_tag_violations_) {
+    SCRACK_AUDIT_EMIT(
+        out, "single-writer", -1,
+        std::to_string(violations - last_tag_violations_) +
+            " concurrent mutating entr(ies); last conflict: owner thread " +
+            std::to_string(column.writer_tag().last_conflict_owner()) +
+            ", intruder thread " +
+            std::to_string(column.writer_tag().last_conflict_intruder()));
+    last_tag_violations_ = violations;
+  }
+}
+
+void InvariantAuditor::CheckIndexOrder(const CrackerColumn& column,
+                                       std::vector<AuditFinding>* out) {
+  const CrackerIndex& index = column.index();
+  const size_t cracks = index.num_cracks();
+  if (index.column_size() != column.size()) {
+    SCRACK_AUDIT_EMIT(out, "index-order", -1,
+                      "index column size " +
+                          std::to_string(index.column_size()) +
+                          " != data size " + std::to_string(column.size()));
+  }
+  if (index.meta_count() != cracks + 1) {
+    SCRACK_AUDIT_EMIT(out, "index-order", -1,
+                      "metadata slots " + std::to_string(index.meta_count()) +
+                          " != pieces " + std::to_string(cracks + 1));
+  }
+  Index prev_pos = 0;
+  for (size_t i = 0; i < cracks; ++i) {
+    const Value key = index.crack_key(i);
+    const Index pos = index.crack_pos(i);
+    if (i > 0 && key <= index.crack_key(i - 1)) {
+      SCRACK_AUDIT_EMIT(out, "index-order", static_cast<int64_t>(i),
+                        "crack keys not strictly ascending: key[" +
+                            std::to_string(i - 1) + "] = " +
+                            std::to_string(index.crack_key(i - 1)) +
+                            ", key[" + std::to_string(i) + "] = " +
+                            std::to_string(key));
+      break;
+    }
+    if (pos < prev_pos || pos > column.size()) {
+      SCRACK_AUDIT_EMIT(out, "index-order", static_cast<int64_t>(i),
+                        "crack position " + std::to_string(pos) +
+                            " out of order (previous " +
+                            std::to_string(prev_pos) + ", column size " +
+                            std::to_string(column.size()) + ")");
+      break;
+    }
+    prev_pos = pos;
+  }
+}
+
+void InvariantAuditor::CheckPartition(const CrackerColumn& column,
+                                      std::vector<AuditFinding>* out) {
+  const Value* data = column.data();
+  const bool full = column.size() <= options_.full_check_max_values;
+  int64_t ordinal = -1;
+  column.index().ForEachPiece([&](const Piece& piece) {
+    ++ordinal;
+    if (out->size() >= options_.max_findings || piece.size() == 0) return;
+    const auto check_at = [&](Index i) {
+      const Value v = data[i];
+      if (piece.has_lower && v < piece.lower) {
+        SCRACK_AUDIT_EMIT(out, "piece-partition", ordinal,
+                          "element " + std::to_string(v) + " at position " +
+                              std::to_string(i) + " below piece bound " +
+                              std::to_string(piece.lower));
+        return false;
+      }
+      if (piece.has_upper && v >= piece.upper) {
+        SCRACK_AUDIT_EMIT(out, "piece-partition", ordinal,
+                          "element " + std::to_string(v) + " at position " +
+                              std::to_string(i) + " not below piece bound " +
+                              std::to_string(piece.upper));
+        return false;
+      }
+      return true;
+    };
+    if (full) {
+      for (Index i = piece.begin; i < piece.end; ++i) {
+        if (!check_at(i)) return;
+      }
+      return;
+    }
+    // Sampled: both boundary elements (the strongest points — they abut
+    // the cracks) plus a deterministic SplitMix64 probe stream seeded by
+    // (audit epoch, piece ordinal), so repeated audits walk different
+    // positions but a given run is exactly reproducible.
+    if (!check_at(piece.begin) || !check_at(piece.end - 1)) return;
+    uint64_t stream = Mix64(static_cast<uint64_t>(audits_) * 0x51ED2701ULL +
+                            static_cast<uint64_t>(ordinal));
+    for (int s = 0; s < options_.sample_per_piece; ++s) {
+      stream = Mix64(stream);
+      const Index i =
+          piece.begin +
+          static_cast<Index>(stream % static_cast<uint64_t>(piece.size()));
+      if (!check_at(i)) return;
+    }
+  });
+}
+
+void InvariantAuditor::CheckMultiset(const CrackerColumn& column,
+                                     std::vector<AuditFinding>* out) {
+  const bool full = column.size() <= options_.full_check_max_values;
+  if (baseline_set_ && !full && audits_ % options_.checksum_period != 0) {
+    return;
+  }
+  // Conservation law: column + pending inserts - pending deletes is a
+  // constant multiset once staged-update drift is subtracted. Cracks,
+  // progressive passes and Ripple merges may only permute or move values
+  // between the column and the pending pools.
+  MultisetFingerprint state =
+      MultisetFingerprint::Of(column.data(), column.size());
+  state += MultisetFingerprint::Of(column.pending().inserts());
+  state -= MultisetFingerprint::Of(column.pending().deletes());
+  state -= staged_inserts_;
+  state += staged_deletes_;
+  if (!baseline_set_) {
+    baseline_ = state;
+    baseline_set_ = true;
+    return;
+  }
+  if (state != baseline_) {
+    SCRACK_AUDIT_EMIT(out, "multiset-conservation", -1,
+                      "column multiset drifted from baseline: " +
+                          FingerprintDelta(state, baseline_));
+    // Re-anchor so one corruption reports once, not on every later query.
+    baseline_ = state;
+  }
+}
+
+#undef SCRACK_AUDIT_EMIT
+
+}  // namespace scrack

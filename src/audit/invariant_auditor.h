@@ -1,0 +1,93 @@
+// InvariantAuditor: validates the structural invariants of a cracked
+// column and its engine statistics after every query.
+//
+// The repo's differential tests check *answers* after the fact; the
+// auditor checks the *structures the answers depend on* at the point of
+// mutation, so a corruption is reported on the query that introduced it —
+// with the figure/query/piece it happened in — rather than three PRs later
+// when an answer finally drifts. Five rule families:
+//
+//   index-order        the flat CrackerIndex SoA stays strictly key-sorted
+//                      with monotone, in-range positions and a metadata
+//                      slot per piece;
+//   piece-partition    every recorded crack actually partitions its region
+//                      (each element within its piece's [lower, upper)
+//                      value bounds) — exhaustively at small N,
+//                      deterministically sampled above the cutoff;
+//   multiset-conservation
+//                      cracks only permute: fingerprint(column)
+//                      + fingerprint(pending inserts) - fingerprint(pending
+//                      deletes) - staged-update drift stays equal to the
+//                      baseline captured at initialization;
+//   stats-conservation the EngineStats counters obey their laws (all
+//                      cumulative counters monotone, swaps <= touched per
+//                      step, queries advance one per call, parallel passes
+//                      imply threads, registered cracks bound index size);
+//   single-writer      the column's WriterTag recorded no concurrent
+//                      mutating entries.
+//
+// The auditor is engine-agnostic: it reads a CrackerColumn (when the
+// audited engine exposes one) plus an EngineStats snapshot, and appends
+// structured AuditFindings. AuditEngine (audit_engine.h) owns the
+// per-query driving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class CrackerColumn;
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(const AuditOptions& options)
+      : options_(options) {}
+
+  /// Folds a staged update into the expected-multiset drift (call on every
+  /// StageInsert/StageDelete the audited engine accepts).
+  void NoteStagedInsert(Value v) { staged_inserts_.Add(v); }
+  void NoteStagedDelete(Value v) { staged_deletes_.Add(v); }
+
+  /// Audits the current state after `calls` more forwarded calls finished
+  /// (`calls` < 0: outside a query — strict query accounting is skipped).
+  /// `column` may be null (wrapped engine exposes none): only the stats
+  /// laws run. Appends findings labelled with `context`; returns how many
+  /// were appended.
+  size_t Audit(const CrackerColumn* column, const EngineStats& stats,
+               int64_t calls, const std::string& context,
+               std::vector<AuditFinding>* findings);
+
+  /// Total audited calls so far (the query ordinal of findings).
+  int64_t calls_seen() const { return calls_seen_; }
+
+ private:
+  void CheckStats(const CrackerColumn* column, const EngineStats& stats,
+                  int64_t calls, std::vector<AuditFinding>* out);
+  void CheckWriterTag(const CrackerColumn& column,
+                      std::vector<AuditFinding>* out);
+  void CheckIndexOrder(const CrackerColumn& column,
+                       std::vector<AuditFinding>* out);
+  void CheckPartition(const CrackerColumn& column,
+                      std::vector<AuditFinding>* out);
+  void CheckMultiset(const CrackerColumn& column,
+                     std::vector<AuditFinding>* out);
+
+  AuditOptions options_;
+  int64_t calls_seen_ = 0;
+  int64_t audits_ = 0;
+  std::string context_;
+
+  EngineStats last_stats_;
+  int64_t last_tag_violations_ = 0;
+
+  bool baseline_set_ = false;
+  MultisetFingerprint baseline_;
+  MultisetFingerprint staged_inserts_;
+  MultisetFingerprint staged_deletes_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,118 @@
+// WriterTag: a lightweight single-writer race detector for CrackerColumn.
+//
+// In cracking, *every read is a write*: a Select physically reorganizes the
+// column, so the concurrency contract of every CrackerColumn is single-
+// writer (wrappers like ThreadSafeEngine and ShardedEngine provide the
+// exclusion; pool workers running whole inner engines take it over shard
+// locks). TSan verifies that contract in one CI leg, but only when the
+// racing schedules actually happen under instrumentation. WriterTag is the
+// always-on complement: every mutating CrackerColumn entry point tags
+// itself with the current thread, and a second thread entering while the
+// first is still inside is recorded as a violation — one CAS per entry, no
+// locks, no TSan required. Violations are *recorded, not fatal* so the
+// InvariantAuditor can surface them as structured diagnostics (and so a
+// deliberate violation in a test cannot abort the process).
+//
+// Reentrancy: the owning thread may nest entry points freely
+// (SelectWithPolicy -> CrackBound -> MergePendingIn ...); a depth counter —
+// only ever touched by the owning thread while it holds the tag — tracks
+// the nesting. ThreadPool workers are full citizens: a worker that runs a
+// shard's inner engine acquires and releases the tag like any other thread,
+// and the intra-query parallel kernels never re-enter the column's entry
+// points (the fan-out happens *inside* one held entry), so a correctly
+// synchronized program never reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/common.h"
+
+namespace scrack {
+
+class WriterTag {
+ public:
+  /// Number of conflicting entries observed so far (0 in a correctly
+  /// synchronized program).
+  int64_t violations() const {
+    return violations_.load(std::memory_order_acquire);
+  }
+
+  /// Owner/intruder ids of the most recent violation (valid when
+  /// violations() > 0). Ids are hashes of std::thread::id — stable within
+  /// a run, meaningful only for "same thread or not" and diagnostics.
+  uint64_t last_conflict_owner() const {
+    return last_owner_.load(std::memory_order_acquire);
+  }
+  uint64_t last_conflict_intruder() const {
+    return last_intruder_.load(std::memory_order_acquire);
+  }
+
+  /// Entry protocol of a mutating path. Returns true when this thread now
+  /// holds (or already held) the tag; false when another thread holds it —
+  /// the conflict is recorded and the caller proceeds anyway (the tag
+  /// detects, it does not lock).
+  bool Enter() {
+    const uint64_t self = SelfId();
+    uint64_t expected = 0;
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      depth_ = 1;
+      return true;
+    }
+    if (expected == self) {
+      ++depth_;  // nested entry by the owner
+      return true;
+    }
+    last_owner_.store(expected, std::memory_order_release);
+    last_intruder_.store(self, std::memory_order_release);
+    violations_.fetch_add(1, std::memory_order_acq_rel);
+    return false;
+  }
+
+  /// Exit protocol; only meaningful when the matching Enter returned true.
+  void Exit() {
+    if (--depth_ == 0) {
+      owner_.store(0, std::memory_order_release);
+    }
+  }
+
+  /// Nonzero hash of the calling thread's id.
+  static uint64_t SelfId() {
+    static thread_local uint64_t id = [] {
+      const uint64_t h = static_cast<uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+      return h == 0 ? uint64_t{1} : h;
+    }();
+    return id;
+  }
+
+ private:
+  std::atomic<uint64_t> owner_{0};
+  int64_t depth_ = 0;  // guarded by ownership of owner_
+  std::atomic<int64_t> violations_{0};
+  std::atomic<uint64_t> last_owner_{0};
+  std::atomic<uint64_t> last_intruder_{0};
+};
+
+/// RAII guard for one mutating entry point. Exit only runs when the Enter
+/// actually took or nested ownership — a conflicting (detected) entry must
+/// not release the real owner's tag on scope exit.
+class WriterGuard {
+ public:
+  explicit WriterGuard(WriterTag* tag) : tag_(tag), held_(tag->Enter()) {}
+  ~WriterGuard() {
+    if (held_) tag_->Exit();
+  }
+
+  WriterGuard(const WriterGuard&) = delete;
+  WriterGuard& operator=(const WriterGuard&) = delete;
+
+ private:
+  WriterTag* tag_;
+  bool held_;
+};
+
+}  // namespace scrack

@@ -43,6 +43,7 @@ class AutoEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
   CrackerColumn& column() { return column_; }
 
   /// Queries answered stochastically so far (introspection for tests).

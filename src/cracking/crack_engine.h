@@ -36,6 +36,7 @@ class CrackEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
 
   /// Test access to the underlying cracked column.
   CrackerColumn& column() { return column_; }

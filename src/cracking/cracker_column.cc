@@ -139,6 +139,7 @@ void CrackerColumn::AggregateCrackedRegion(Index begin, Index end,
 
 void CrackerColumn::EnsureInitialized(EngineStats* stats) {
   if (initialized_) return;
+  WriterGuard writer(&writer_tag_);
   const Index n = base_->size();
   data_.resize(static_cast<size_t>(n));
   for (Index i = 0; i < n; ++i) {
@@ -163,6 +164,7 @@ bool CrackerColumn::AddCrack(Value v, Index pos, EngineStats* stats) {
 }
 
 Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   if (index_.HasCrack(v)) return index_.CrackPosition(v);
   const Piece piece = index_.FindPiece(v);
@@ -177,6 +179,7 @@ Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
 
 Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
                                  Index* end, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   *begin = 0;
   *end = 0;
   EnsureInitialized(stats);
@@ -213,6 +216,7 @@ Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
 Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
                                           bool recursive,
                                           EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   if (index_.HasCrack(v)) return index_.CrackPosition(v);
   if (v <= min_value_) return 0;
@@ -349,6 +353,7 @@ Status CrackerColumn::SelectWithPolicy(Value low, Value high,
                                        const BoundPolicy& policy,
                                        QueryResult* result,
                                        EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   SCRACK_RETURN_NOT_OK(MergePendingIn(low, high, stats));
   if (size() == 0 || low >= high) return Status::OK();
@@ -421,6 +426,7 @@ Status CrackerColumn::SelectWithPolicy(Value low, Value high,
 
 Status CrackerColumn::MergePendingIn(Value low, Value high,
                                      EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   if (pending_.empty()) return Status::OK();
   EnsureInitialized(stats);
   std::vector<Value> inserts = pending_.TakeInsertsIn(low, high);
@@ -440,6 +446,7 @@ Status CrackerColumn::MergePendingIn(Value low, Value high,
 
 Status CrackerColumn::MergePendingInBatchHull(
     const std::vector<Query>& queries, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   Value lo;
   Value hi;
   if (!QueryHull(queries, &lo, &hi)) return Status::OK();
@@ -447,6 +454,7 @@ Status CrackerColumn::MergePendingInBatchHull(
 }
 
 void CrackerColumn::RippleInsert(Value v, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   const Index old_size = size();
   data_.push_back(v);  // placeholder; overwritten unless v goes last
@@ -466,6 +474,7 @@ void CrackerColumn::RippleInsert(Value v, EngineStats* stats) {
 }
 
 Status CrackerColumn::RippleDelete(Value v, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   const Piece piece = index_.FindPiece(v);
   Index hole = -1;
@@ -502,6 +511,7 @@ Status CrackerColumn::RippleDelete(Value v, EngineStats* stats) {
 void CrackerColumn::ExtractRange(Value low, Value high,
                                  std::vector<Value>* out,
                                  EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   if (size() == 0 || low >= high) return;
   const Index pos_low = low <= min_value_ ? 0 : CrackBound(low, stats);
@@ -518,6 +528,7 @@ void CrackerColumn::ExtractRange(Value low, Value high,
 void CrackerColumn::ExtractRange1R(Value low, Value high,
                                    std::vector<Value>* out,
                                    EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
   EnsureInitialized(stats);
   if (size() == 0 || low >= high) return;
   // One random crack in each bound's piece before the query-driven cracks —

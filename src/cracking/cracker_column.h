@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "audit/writer_tag.h"
 #include "cracking/engine.h"
 #include "cracking/kernel.h"
 #include "cracking/kernel_parallel.h"
@@ -63,6 +64,13 @@ class CrackerColumn {
   Rng& rng() { return rng_; }
   const EngineConfig& config() const { return config_; }
   PendingUpdates& pending() { return pending_; }
+  const PendingUpdates& pending() const { return pending_; }
+
+  /// Single-writer race detector over the mutating entry points. A
+  /// correctly synchronized program keeps violations() at 0; the invariant
+  /// auditor reports anything else (see audit/writer_tag.h).
+  const WriterTag& writer_tag() const { return writer_tag_; }
+  WriterTag& writer_tag() { return writer_tag_; }
 
   // ----------------------------------------------------------------------
   // Query primitives
@@ -117,8 +125,14 @@ class CrackerColumn {
   // Updates (Ripple merging, paper Fig. 15 / SIGMOD'07 semantics)
   // ----------------------------------------------------------------------
 
-  void StageInsert(Value v) { pending_.StageInsert(v); }
-  void StageDelete(Value v) { pending_.StageDelete(v); }
+  void StageInsert(Value v) {
+    WriterGuard writer(&writer_tag_);
+    pending_.StageInsert(v);
+  }
+  void StageDelete(Value v) {
+    WriterGuard writer(&writer_tag_);
+    pending_.StageDelete(v);
+  }
 
   /// Merges every pending update whose value lies in [low, high) into the
   /// cracker column via Ripple shifts. Called by SelectWithPolicy before
@@ -231,6 +245,7 @@ class CrackerColumn {
   std::vector<Value> data_;
   CrackerIndex index_;
   PendingUpdates pending_;
+  WriterTag writer_tag_;
   Rng rng_;
   Value min_value_ = 0;
   Value max_value_ = -1;  // empty column: min > max

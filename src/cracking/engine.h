@@ -22,6 +22,8 @@
 
 namespace scrack {
 
+class CrackerColumn;
+
 /// Cumulative work counters. The harness snapshots these before and after a
 /// query to derive per-query costs; `tuples_touched` is the paper's central
 /// cost metric (§3, Fig. 2e).
@@ -226,6 +228,13 @@ class SelectEngine {
   /// Internal-consistency check (index invariants against the data). Tests
   /// call this after every query. Default OK for structure-free engines.
   virtual Status Validate() const { return Status::OK(); }
+
+  /// The cracker column this engine reorganizes, for the invariant auditor
+  /// (audit/invariant_auditor.h) — read-only, between queries. Engines
+  /// without one (scan/sort baselines, hybrids with partition sets,
+  /// wrappers over many columns) return nullptr: the auditor then checks
+  /// only the stats laws. Decorators forward to the wrapped engine.
+  virtual const CrackerColumn* audit_column() const { return nullptr; }
 
  protected:
   /// Validates a query range: low <= high required.

@@ -194,6 +194,9 @@ Index SplitAndMaterializeScalar(Value* data, Index begin, Index end,
                                 Value qlo, Value qhi, Value pivot,
                                 std::vector<Value>* out,
                                 KernelCounters* counters);
+// PartialPartition has no AVX2 tier by contract: its swap budget must cut
+// off at an exact element count mid-block, which defeats 4-wide compress
+// stores (see kernel_avx2.cc preamble).  lint:allow(kernel-tier-parity)
 PartialPartitionResult PartialPartitionScalar(Value* data, Index left,
                                               Index right, Value pivot,
                                               int64_t max_swaps,

@@ -29,6 +29,7 @@ class RandomInjectEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
 
  private:
   CrackerColumn column_;

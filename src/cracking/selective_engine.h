@@ -47,6 +47,7 @@ class SelectiveEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
   CrackerColumn& column() { return column_; }
 
  protected:

@@ -49,6 +49,7 @@ class DataDrivenEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
   CrackerColumn& column() { return column_; }
 
  protected:
@@ -83,6 +84,7 @@ class Mdd1rEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
   CrackerColumn& column() { return column_; }
 
  protected:
@@ -114,6 +116,7 @@ class ProgressiveEngine : public SelectEngine {
   }
 
   Status Validate() const override { return column_.Validate(); }
+  const CrackerColumn* audit_column() const override { return &column_; }
   CrackerColumn& column() { return column_; }
 
  protected:

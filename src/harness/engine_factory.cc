@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "audit/audit_engine.h"
 #include "cracking/auto_engine.h"
 #include "cracking/crack_engine.h"
 #include "cracking/random_inject_engine.h"
@@ -106,6 +107,28 @@ Status CreateShardedEngine(const std::string& spec, const Column* base,
                                inner_spec, out);
 }
 
+// audit(<inner>) — recursively builds the inner spec and wraps it in the
+// invariant auditor. `spec` is already lower-cased.
+Status CreateAuditEngine(const std::string& spec, const Column* base,
+                         const EngineConfig& config,
+                         std::unique_ptr<SelectEngine>* out) {
+  const std::string prefix = "audit(";
+  if (spec.size() <= prefix.size() ||
+      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+    return Status::InvalidArgument("audit spec must be audit(<inner>): " +
+                                   spec);
+  }
+  const std::string inner_spec =
+      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
+  if (inner_spec.empty()) {
+    return Status::InvalidArgument("audit needs an inner spec: " + spec);
+  }
+  std::unique_ptr<SelectEngine> inner;
+  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
+  *out = std::make_unique<AuditEngine>(std::move(inner));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CreateEngine(const std::string& spec, const Column* base,
@@ -115,10 +138,14 @@ Status CreateEngine(const std::string& spec, const Column* base,
     return Status::InvalidArgument("null base column or output");
   }
   const std::string lowered = Lower(spec);
-  // sharded(...) carries a nested spec that may itself contain ':' and
-  // ',', so it is parsed before the simple name:arg split.
+  // sharded(...) and audit(...) carry nested specs that may themselves
+  // contain ':' and ',', so they are parsed before the simple name:arg
+  // split.
   if (lowered.compare(0, 7, "sharded") == 0) {
     return CreateShardedEngine(lowered, base, config, out);
+  }
+  if (lowered.compare(0, 6, "audit(") == 0 || lowered == "audit") {
+    return CreateAuditEngine(lowered, base, config, out);
   }
   std::string name;
   std::string arg;
@@ -252,7 +279,35 @@ std::vector<std::string> KnownEngineSpecs() {
           "flipcoin",   "sizesel",    "everyx:2",  "scrackmon:1",
           "r2crack",    "aicc",       "aics",      "aicc1r",    "aics1r",
           "aisc",       "aiss",       "auto",      "threadsafe:mdd1r",
-          "sharded(4,mdd1r)",         "crack-p",   "ddr-p2"};
+          "sharded(4,mdd1r)",         "crack-p",   "ddr-p2",
+          "audit(crack)",             "audit(crack-p2)",
+          "sharded(2,audit(ddc))",    "threadsafe:audit(mdd1r)"};
+}
+
+std::string WrapSpecInAudit(const std::string& spec) {
+  const std::string lowered = Lower(Trim(spec));
+  if (lowered.find("audit(") != std::string::npos) return lowered;
+  // Push the audit inside wrappers that fan out to inner engines: the
+  // auditor wants the column-owning leaf (ShardedEngine exposes no single
+  // column; ThreadSafeEngine's lock must stay outside the audit so the
+  // audit pass runs under it).
+  const std::string sharded_prefix = "sharded(";
+  if (lowered.compare(0, sharded_prefix.size(), sharded_prefix) == 0 &&
+      lowered.back() == ')') {
+    const std::string body = lowered.substr(
+        sharded_prefix.size(), lowered.size() - sharded_prefix.size() - 1);
+    const size_t comma = body.find(',');
+    if (comma != std::string::npos) {
+      return sharded_prefix + Trim(body.substr(0, comma)) + "," +
+             WrapSpecInAudit(body.substr(comma + 1)) + ")";
+    }
+  }
+  const std::string threadsafe_prefix = "threadsafe:";
+  if (lowered.compare(0, threadsafe_prefix.size(), threadsafe_prefix) == 0) {
+    return threadsafe_prefix +
+           WrapSpecInAudit(lowered.substr(threadsafe_prefix.size()));
+  }
+  return "audit(" + lowered + ")";
 }
 
 }  // namespace scrack

@@ -15,6 +15,10 @@
 //   threadsafe:<inner>      exclusive lock + materialize around any engine
 //   sharded(P,<inner>)      P range-partitioned shards, each an independent
 //                           <inner> engine, fanned out on a thread pool
+//   audit(<inner>)          invariant auditor around any engine: validates
+//                           index order, piece partitioning, multiset and
+//                           stats conservation, single-writer discipline
+//                           after every call (audit/audit_engine.h)
 #pragma once
 
 #include <memory>
@@ -39,5 +43,11 @@ std::unique_ptr<SelectEngine> CreateEngineOrDie(const std::string& spec,
 
 /// Specs accepted by CreateEngine (parameterized ones listed with defaults).
 std::vector<std::string> KnownEngineSpecs();
+
+/// Rewrites `spec` so every leaf engine is wrapped in audit(...). The audit
+/// is pushed *inside* sharded/threadsafe wrappers — each shard's column gets
+/// its own auditor; an outer audit over a sharded engine could check only
+/// stats. Specs already containing an audit are returned unchanged.
+std::string WrapSpecInAudit(const std::string& spec);
 
 }  // namespace scrack

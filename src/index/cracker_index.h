@@ -123,6 +123,14 @@ class CrackerIndex {
   size_t num_cracks() const { return keys_.size(); }
   Index column_size() const { return column_size_; }
 
+  /// Positional introspection over the sorted crack arrays, for external
+  /// validators (audit/invariant_auditor.cc) that re-derive the structural
+  /// invariants instead of trusting Validate(). `i` < num_cracks().
+  Value crack_key(size_t i) const { return keys_[i]; }
+  Index crack_pos(size_t i) const { return pos_[i]; }
+  /// Metadata slots; invariant: always num_cracks() + 1.
+  size_t meta_count() const { return meta_.size(); }
+
   /// Mutable metadata for the piece identified by `meta_key` (kHeadKey or
   /// an existing crack value). The reference lives in a flat array: it is
   /// invalidated by the next AddCrack — do not hold it across one.

@@ -52,7 +52,7 @@ Status ShardedEngine::Create(const Column* base, int num_shards,
   }
 
   std::unique_ptr<ShardedEngine> engine(
-      new ShardedEngine(num_shards, inner_name));
+      new ShardedEngine(num_shards, inner_name));  // lint:allow(naked-new)
   if (lowers.size() > 1) {
     // A single effective shard never fans out. Multi-shard engines draw on
     // the process-wide pool: constructing one pool per engine (the old
@@ -81,7 +81,7 @@ Status ShardedEngine::Create(const Column* base, int num_shards,
     if (shard.engine == nullptr) {
       return Status::Internal("inner factory produced no engine");
     }
-    shard.cached_stats = shard.engine->stats();
+    shard.cached_stats = shard.engine->CurrentStats();
   }
   *out = std::move(engine);
   return Status::OK();

@@ -116,17 +116,19 @@ class ShardedEngine : public SelectEngine {
     std::unique_ptr<SelectEngine> engine;
     mutable std::mutex mutex;  ///< serializes reorganization of this shard
 
-    // Snapshot of engine->stats() taken each time the shard mutex is
-    // released, so aggregation never has to wait on an in-flight
+    // Snapshot of engine->CurrentStats() taken each time the shard mutex
+    // is released, so aggregation never has to wait on an in-flight
     // reorganization of another shard. Guarded by cache_mutex (always
-    // acquired after `mutex` when both are held).
+    // acquired after `mutex` when both are held). CurrentStats (not the
+    // raw stats() reference) so decorator inners — sharded(P,audit(X)) —
+    // report the wrapped engine's counters.
     mutable std::mutex cache_mutex;
     EngineStats cached_stats;
 
     /// Refreshes cached_stats; call with `mutex` held.
     void UpdateStatsCache() {
       std::lock_guard<std::mutex> lock(cache_mutex);
-      cached_stats = engine->stats();
+      cached_stats = engine->CurrentStats();
     }
   };
 

@@ -118,7 +118,9 @@ int ThreadPool::DefaultThreads() {
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(SharedPoolThreads());
+  // Leaked on purpose: workers may outlive static destruction order.
+  static ThreadPool* pool =
+      new ThreadPool(SharedPoolThreads());  // lint:allow(naked-new)
   return *pool;
 }
 

@@ -968,7 +968,7 @@ std::vector<FigureSpec> Build() {
 
 const std::vector<FigureSpec>& Registry() {
   static const std::vector<FigureSpec>* specs =
-      new std::vector<FigureSpec>(Build());
+      new std::vector<FigureSpec>(Build());  // lint:allow(naked-new)
   return *specs;
 }
 

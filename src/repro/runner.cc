@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 
+#include "audit/audit_engine.h"
 #include "harness/csv.h"
 #include "harness/engine_factory.h"
 #include "harness/report.h"
@@ -145,7 +146,13 @@ Status RunFigure(const FigureSpec& spec, const ReproOptions& options,
     }
 
     std::unique_ptr<SelectEngine> engine;
-    SCRACK_RETURN_NOT_OK(CreateEngine(decl.engine, &base, config, &engine));
+    const std::string engine_spec =
+        options.audit ? WrapSpecInAudit(decl.engine) : decl.engine;
+    SCRACK_RETURN_NOT_OK(CreateEngine(engine_spec, &base, config, &engine));
+    if (auto* audited = dynamic_cast<AuditEngine*>(engine.get())) {
+      // Findings (and the fail-fast Status) name the figure and grid cell.
+      audited->SetContext(spec.id + "/" + decl.label);
+    }
 
     RunOptions run_options;
     run_options.mode = decl.mode;

@@ -88,6 +88,14 @@ struct ReproOptions {
   Index n_override = 0;     ///< 0 = use the spec's scale
   QueryId q_override = 0;
   uint64_t seed = 42;
+
+  /// Audit mode: every grid cell's engine spec is rewritten through
+  /// WrapSpecInAudit so each column-owning leaf runs under the invariant
+  /// auditor; the first violation fails the figure with a diagnostic
+  /// naming the figure/cell, query, piece and rule. The deterministic
+  /// metrics (touched/checksums) are identical with or without — audit
+  /// only observes.
+  bool audit = false;
 };
 
 /// Everything a custom measurement hook gets to see.

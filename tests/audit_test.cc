@@ -1,0 +1,334 @@
+// Mutation tests for the invariant auditor: seed a corruption in a live
+// engine's structures, then assert the audit fires with the right rule id.
+// A detector is only as good as its detection rate — each corruption class
+// the auditor claims to catch gets a test that plants exactly that fault.
+// Clean-run tests pin the other side: long audited workloads, batch and
+// update paths, and the factory compositions must produce zero findings.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "audit/audit_engine.h"
+#include "cracking/crack_engine.h"
+#include "cracking/cracker_column.h"
+#include "harness/engine_factory.h"
+#include "index/cracker_index.h"
+#include "storage/column.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 17;
+  return config;
+}
+
+/// Mutation tests collect findings instead of failing the query, and force
+/// the full O(n) checks (small columns are below the cutoff anyway).
+AuditOptions LenientOptions() {
+  AuditOptions options;
+  options.fail_fast = false;
+  options.checksum_period = 1;
+  return options;
+}
+
+bool HasRule(const AuditEngine& audit, const std::string& rule) {
+  for (const AuditFinding& finding : audit.findings()) {
+    if (finding.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string AllFindings(const AuditEngine& audit) {
+  std::string out;
+  for (const AuditFinding& finding : audit.findings()) {
+    out += finding.ToString() + "\n";
+  }
+  return out;
+}
+
+/// Builds an audited CrackEngine and keeps a typed handle to the inner
+/// engine so tests can reach (and corrupt) its concrete structures.
+struct AuditedCrack {
+  CrackEngine* raw;
+  std::unique_ptr<AuditEngine> audit;
+};
+
+AuditedCrack MakeAuditedCrack(const Column* base, const AuditOptions& options) {
+  auto inner = std::make_unique<CrackEngine>(base, TestConfig());
+  CrackEngine* raw = inner.get();
+  auto audit = std::make_unique<AuditEngine>(std::move(inner), options);
+  return {raw, std::move(audit)};
+}
+
+// ------------------------------------------------------------ clean runs --
+
+TEST(AuditCleanRunTest, ThousandQueriesZeroFindings) {
+  const Column base = Column::UniquePermutation(50'000, 1);
+  auto engine = CreateEngineOrDie("audit(crack)", &base, TestConfig());
+  auto* audit = dynamic_cast<AuditEngine*>(engine.get());
+  ASSERT_NE(audit, nullptr);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const Value a = rng.UniformValue(0, 50'000 - 100);
+    engine->SelectOrDie(a, a + 100);  // fail_fast: a finding aborts here
+  }
+  EXPECT_EQ(audit->calls_audited(), 1000);
+  EXPECT_TRUE(audit->findings().empty()) << AllFindings(*audit);
+}
+
+TEST(AuditCleanRunTest, ParallelCrackingPassesAudit) {
+  const Column base = Column::UniquePermutation(50'000, 2);
+  auto engine = CreateEngineOrDie("audit(crack-p4)", &base, TestConfig());
+  auto* audit = dynamic_cast<AuditEngine*>(engine.get());
+  ASSERT_NE(audit, nullptr);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const Value a = rng.UniformValue(0, 50'000 - 500);
+    engine->SelectOrDie(a, a + 500);
+  }
+  EXPECT_TRUE(audit->findings().empty()) << AllFindings(*audit);
+}
+
+TEST(AuditCleanRunTest, ShardedWrapsAuditInsideEveryShard) {
+  const Column base = Column::UniquePermutation(40'000, 3);
+  auto engine = CreateEngineOrDie("sharded(4,audit(ddc))", &base, TestConfig());
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Value a = rng.UniformValue(0, 40'000 - 200);
+    // Per-shard AuditEngines run with fail_fast, so any finding inside any
+    // shard surfaces as a Select error and SelectOrDie aborts the test.
+    engine->SelectOrDie(a, a + 200);
+  }
+  EXPECT_GT(engine->CurrentStats().queries, 0);
+}
+
+TEST(AuditCleanRunTest, BatchPathAuditsOncePerQuery) {
+  const Column base = Column::UniquePermutation(20'000, 4);
+  auto engine = CreateEngineOrDie("audit(crack)", &base, TestConfig());
+  auto* audit = dynamic_cast<AuditEngine*>(engine.get());
+  ASSERT_NE(audit, nullptr);
+  std::vector<Query> queries;
+  for (int i = 0; i < 32; ++i) {
+    Query query;
+    query.low = i * 500;
+    query.high = query.low + 400;
+    query.mode = (i % 2 == 0) ? OutputMode::kCount : OutputMode::kSum;
+    queries.push_back(query);
+  }
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(engine->ExecuteBatch(queries, &outputs).ok());
+  EXPECT_EQ(audit->calls_audited(), 32);
+  EXPECT_TRUE(audit->findings().empty()) << AllFindings(*audit);
+}
+
+TEST(AuditCleanRunTest, StagedUpdatesKeepConservationLaw) {
+  const Column base = Column::UniquePermutation(10'000, 5);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SelectOrDie(1000, 2000);
+  for (Value v = 0; v < 50; ++v) {
+    ASSERT_TRUE(crack.audit->StageInsert(20'000 + v).ok());
+    ASSERT_TRUE(crack.audit->StageDelete(v * 100).ok());
+  }
+  crack.audit->SelectOrDie(500, 3000);      // partial merge window
+  crack.audit->SelectOrDie(0, 25'000);      // hull covers every update
+  crack.audit->SelectOrDie(4000, 9000);
+  EXPECT_TRUE(crack.audit->findings().empty()) << AllFindings(*crack.audit);
+}
+
+// -------------------------------------------------------------- mutations --
+
+TEST(AuditMutationTest, DetectsPieceBoundaryViolation) {
+  const Column base = Column::UniquePermutation(4096, 6);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SelectOrDie(1000, 3000);
+  ASSERT_TRUE(crack.audit->findings().empty()) << AllFindings(*crack.audit);
+
+  // Swap one element across the first crack boundary: the multiset is
+  // conserved (it is a swap), but both touched pieces now hold a value on
+  // the wrong side of the crack.
+  CrackerColumn& column = crack.raw->column();
+  ASSERT_GE(column.index().num_cracks(), 1u);
+  const Index p = column.index().crack_pos(0);
+  ASSERT_GT(p, 0);
+  ASSERT_LT(p, column.size());
+  std::swap(column.data()[p - 1], column.data()[p]);
+
+  ASSERT_TRUE(crack.audit->AuditNow().ok());  // fail_fast off: collect only
+  EXPECT_TRUE(HasRule(*crack.audit, "piece-partition"))
+      << AllFindings(*crack.audit);
+  EXPECT_FALSE(HasRule(*crack.audit, "multiset-conservation"))
+      << "a swap must not trip the multiset rule:\n"
+      << AllFindings(*crack.audit);
+}
+
+TEST(AuditMutationTest, DetectsIndexOrderViolation) {
+  const Column base = Column::UniquePermutation(4096, 7);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SelectOrDie(1000, 3000);
+  ASSERT_TRUE(crack.audit->findings().empty()) << AllFindings(*crack.audit);
+
+  // Misuse the update-path position shift outside an actual update: crack
+  // positions and the recorded column size drift from the real column.
+  CrackerColumn& column = crack.raw->column();
+  ASSERT_GE(column.index().num_cracks(), 1u);
+  column.index().ShiftAbove(column.index().crack_key(0), -1);
+
+  ASSERT_TRUE(crack.audit->AuditNow().ok());
+  EXPECT_TRUE(HasRule(*crack.audit, "index-order"))
+      << AllFindings(*crack.audit);
+}
+
+TEST(AuditMutationTest, DetectsMultisetDrift) {
+  const Column base = Column::UniquePermutation(4096, 8);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SelectOrDie(1000, 3000);  // first audit anchors the baseline
+  ASSERT_TRUE(crack.audit->findings().empty()) << AllFindings(*crack.audit);
+
+  // Overwrite one value with its piece-neighbor: both values stay inside
+  // the same piece (partition intact), but the column multiset changed.
+  CrackerColumn& column = crack.raw->column();
+  const Index p = column.index().crack_pos(0);
+  ASSERT_GE(p, 2);
+  column.data()[p - 1] = column.data()[p - 2];
+
+  ASSERT_TRUE(crack.audit->AuditNow().ok());
+  EXPECT_TRUE(HasRule(*crack.audit, "multiset-conservation"))
+      << AllFindings(*crack.audit);
+  EXPECT_FALSE(HasRule(*crack.audit, "piece-partition"))
+      << "an in-piece overwrite must not trip the partition rule:\n"
+      << AllFindings(*crack.audit);
+}
+
+TEST(AuditMutationTest, DetectsConcurrentWriterEntry) {
+  const Column base = Column::UniquePermutation(4096, 9);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SelectOrDie(1000, 3000);
+  ASSERT_TRUE(crack.audit->findings().empty()) << AllFindings(*crack.audit);
+
+  // One thread holds the column's writer tag while this thread tries to
+  // enter — the exact overlap the single-writer discipline forbids. The
+  // handshake sequences the two entries deterministically; no data race.
+  WriterTag& tag = crack.raw->column().writer_tag();
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  std::thread holder([&] {
+    WriterGuard guard(&tag);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      entered = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return entered; });
+  }
+  { WriterGuard intruder(&tag); }  // denied entry; records the violation
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+
+  EXPECT_GE(tag.violations(), 1);
+  ASSERT_TRUE(crack.audit->AuditNow().ok());
+  EXPECT_TRUE(HasRule(*crack.audit, "single-writer"))
+      << AllFindings(*crack.audit);
+}
+
+/// Forwards to a real CrackEngine but can misreport its stats — the only
+/// way to corrupt counters without corrupting the column they describe.
+class StatsTamperEngine : public SelectEngine {
+ public:
+  StatsTamperEngine(const Column* base, const EngineConfig& config)
+      : inner_(base, config) {}
+
+  Status Select(Value low, Value high, QueryResult* result) override {
+    return inner_.Select(low, high, result);
+  }
+  std::string name() const override { return "stats-tamper"; }
+  EngineStats CurrentStats() const override {
+    EngineStats stats = inner_.CurrentStats();
+    stats.queries -= understate_queries_;
+    stats.tuples_touched -= understate_touched_;
+    return stats;
+  }
+  const CrackerColumn* audit_column() const override {
+    return inner_.audit_column();
+  }
+
+  int64_t understate_queries_ = 0;
+  int64_t understate_touched_ = 0;
+
+ private:
+  CrackEngine inner_;
+};
+
+TEST(AuditMutationTest, DetectsStatsCounterCorruption) {
+  const Column base = Column::UniquePermutation(4096, 10);
+  auto inner = std::make_unique<StatsTamperEngine>(&base, TestConfig());
+  StatsTamperEngine* raw = inner.get();
+  AuditEngine audit(std::move(inner), LenientOptions());
+  audit.SelectOrDie(1000, 3000);
+  ASSERT_TRUE(audit.findings().empty()) << AllFindings(audit);
+
+  // The next snapshot shows the same query count as the last one even
+  // though one call was forwarded: strict accounting must flag it.
+  raw->understate_queries_ = 1;
+  audit.SelectOrDie(200, 900);
+  EXPECT_TRUE(HasRule(audit, "stats-conservation")) << AllFindings(audit);
+}
+
+TEST(AuditMutationTest, StatsCorruptionFailsFastAsQueryError) {
+  const Column base = Column::UniquePermutation(4096, 11);
+  auto inner = std::make_unique<StatsTamperEngine>(&base, TestConfig());
+  StatsTamperEngine* raw = inner.get();
+  AuditEngine audit(std::move(inner));  // default options: fail_fast on
+  audit.SelectOrDie(1000, 3000);
+
+  // A monotone counter running backwards is unambiguous corruption.
+  raw->understate_touched_ = 1'000'000;
+  QueryResult result;
+  const Status status = audit.Select(200, 900, &result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("stats-conservation"), std::string::npos)
+      << status.message();
+}
+
+TEST(AuditMutationTest, FindingsCarryQueryAndContext) {
+  const Column base = Column::UniquePermutation(4096, 12);
+  AuditedCrack crack = MakeAuditedCrack(&base, LenientOptions());
+  crack.audit->SetContext("fig99/crack.test");
+  crack.audit->SelectOrDie(1000, 3000);
+  crack.audit->SelectOrDie(500, 2500);
+
+  CrackerColumn& column = crack.raw->column();
+  const Index p = column.index().crack_pos(0);
+  ASSERT_GT(p, 0);
+  std::swap(column.data()[p - 1], column.data()[p]);
+  ASSERT_TRUE(crack.audit->AuditNow().ok());
+
+  ASSERT_FALSE(crack.audit->findings().empty());
+  const AuditFinding& finding = crack.audit->findings().front();
+  EXPECT_EQ(finding.context, "fig99/crack.test");
+  EXPECT_GE(finding.piece, 0);  // partition findings name the piece
+  EXPECT_NE(finding.ToString().find("fig99/crack.test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scrack

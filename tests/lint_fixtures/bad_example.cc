@@ -1,0 +1,33 @@
+// Deliberately broken translation unit for tools/scrack_lint.py's self-test.
+// Every line below trips exactly the rule named in the trailing comment; the
+// self-test asserts each rule id appears in the lint output for this file.
+// This directory is excluded from the normal tree scan.
+
+#include <immintrin.h>  // avx2-confinement
+
+#include <cassert>
+#include <cstdlib>
+#include <random>
+
+#include "../util/common.h"  // include-hygiene
+
+int UseAvx2() {
+  __m256i v = _mm256_setzero_si256();  // avx2-confinement
+  return _mm256_extract_epi32(v, 0);   // avx2-confinement
+}
+
+int UseRand() {
+  std::mt19937 gen(std::rand());  // determinism (twice over)
+  return static_cast<int>(gen());
+}
+
+int UseAssert(int x) {
+  assert(x > 0);  // check-macros
+  return x;
+}
+
+int* UseNew() {
+  int* p = new int(42);  // naked-new
+  delete p;              // naked-new
+  return nullptr;
+}

@@ -1,0 +1,4 @@
+// Header deliberately missing its include guard: include-hygiene fixture for
+// the lint self-test. Never included by real code.
+
+inline int FixtureHeaderValue() { return 7; }

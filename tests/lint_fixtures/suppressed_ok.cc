@@ -1,0 +1,36 @@
+// Companion to bad_example.cc: the same violations, each carrying an inline
+// suppression. The lint self-test asserts this file produces ZERO findings,
+// which exercises every suppression form the lint supports.
+
+// lint:allow-file(include-hygiene)
+
+#include <immintrin.h>  // lint:allow(avx2-confinement)
+
+#include <cassert>
+#include <cstdlib>
+#include <random>
+
+#include "../util/common.h"
+
+int UseAvx2() {
+  // lint:allow(avx2-confinement)
+  __m256i v = _mm256_setzero_si256();
+  return _mm256_extract_epi32(v, 0);  // lint:allow(avx2-confinement)
+}
+
+int UseRand() {
+  std::mt19937 gen(std::rand());  // lint:allow(determinism)
+  return static_cast<int>(gen());
+}
+
+int UseAssert(int x) {
+  assert(x > 0);  // lint:allow(check-macros)
+  return x;
+}
+
+int* UseNew() {
+  // lint:allow(*)
+  int* p = new int(42);
+  delete p;  // lint:allow(naked-new)
+  return nullptr;
+}

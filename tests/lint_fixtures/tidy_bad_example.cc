@@ -1,0 +1,8 @@
+// Seeded clang-tidy violation for the static-analysis CI gate. The gate runs
+// clang-tidy over this file and must exit nonzero (bugprone-integer-division:
+// the quotient truncates before the implicit float conversion). Not part of
+// any build target.
+
+double Half(int n) { return n / 2; }
+
+int main() { return Half(5) == 2.5 ? 0 : 1; }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "harness/engine_factory.h"
@@ -24,12 +25,9 @@ constexpr QueryId kQ = 400;
 class Reproduction : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    base_ = new Column(Column::UniquePermutation(kN, 21));
+    base_ = std::make_unique<Column>(Column::UniquePermutation(kN, 21));
   }
-  static void TearDownTestSuite() {
-    delete base_;
-    base_ = nullptr;
-  }
+  static void TearDownTestSuite() { base_.reset(); }
 
   static int64_t TotalTouched(const std::string& spec, WorkloadKind kind,
                               QueryId q = kQ) {
@@ -40,17 +38,17 @@ class Reproduction : public ::testing::Test {
     params.seed = 5;
     EngineConfig config;
     config.seed = 11;
-    auto engine = CreateEngineOrDie(spec, base_, config);
+    auto engine = CreateEngineOrDie(spec, base_.get(), config);
     const RunResult run =
         RunQueries(engine.get(), MakeWorkload(kind, params));
     SCRACK_CHECK(run.status.ok());
     return run.CumulativeTouched();
   }
 
-  static Column* base_;
+  static std::unique_ptr<Column> base_;
 };
 
-Column* Reproduction::base_ = nullptr;
+std::unique_ptr<Column> Reproduction::base_;
 
 // --- §3 / Fig. 2: the problem -------------------------------------------
 
@@ -76,13 +74,13 @@ TEST_F(Reproduction, Fig2eTouchedDropsFastOnRandomOnly) {
   // (by construction the default jump factor finishes the sweep at Q, so
   // the *last* queries are cheap — the paper's point shows mid-run).
   {
-    auto engine = CreateEngineOrDie("crack", base_, config);
+    auto engine = CreateEngineOrDie("crack", base_.get(), config);
     const RunResult run = RunQueries(
         engine.get(), MakeWorkload(WorkloadKind::kRandom, params));
     EXPECT_LT(run.records[99].touched, kN / 10);
   }
   {
-    auto engine = CreateEngineOrDie("crack", base_, config);
+    auto engine = CreateEngineOrDie("crack", base_.get(), config);
     const RunResult run = RunQueries(
         engine.get(), MakeWorkload(WorkloadKind::kSequential, params));
     EXPECT_GT(run.records[49].touched, kN / 3);

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Self-test for tools/scrack_lint.py, wired into CTest.
+
+Three checks:
+  1. The real tree lints clean (exit 0) — the gate the CI job enforces.
+  2. The seeded fixtures under tests/lint_fixtures/ trip every line rule
+     (nonzero exit, every expected rule id present in the output).
+  3. The suppressed twin of the bad fixture yields zero findings, proving
+     the lint:allow / lint:allow-file / lint:allow(*) forms all work.
+"""
+
+import os
+import subprocess
+import sys
+
+EXPECTED_RULES = (
+    "avx2-confinement",
+    "determinism",
+    "check-macros",
+    "naked-new",
+    "include-hygiene",
+)
+
+
+def run_lint(root, paths):
+    cmd = [sys.executable, os.path.join(root, "tools", "scrack_lint.py"),
+           "--root", root] + paths
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    failures = []
+
+    rc, out = run_lint(root, [])
+    if rc != 0:
+        failures.append(f"tree scan should be clean, got exit {rc}:\n{out}")
+
+    fixtures = [os.path.join("tests", "lint_fixtures", "bad_example.cc"),
+                os.path.join("tests", "lint_fixtures", "bad_example.h")]
+    rc, out = run_lint(root, fixtures)
+    if rc == 0:
+        failures.append("seeded fixtures should fail the lint but passed")
+    for rule in EXPECTED_RULES:
+        if f"[{rule}]" not in out:
+            failures.append(
+                f"rule '{rule}' did not fire on the seeded fixtures:\n{out}")
+
+    rc, out = run_lint(
+        root, [os.path.join("tests", "lint_fixtures", "suppressed_ok.cc")])
+    if rc != 0:
+        failures.append(
+            f"suppressed fixture should lint clean, got exit {rc}:\n{out}")
+
+    if failures:
+        for failure in failures:
+            print(f"lint_selftest: FAIL: {failure}")
+        return 1
+    print(f"lint_selftest: OK ({len(EXPECTED_RULES)} rules verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+#!/usr/bin/env python3
+"""scrack_lint — project-specific static checks for the scrack tree.
+
+Enforces conventions that generic linters cannot know about. Rules:
+
+  avx2-confinement    AVX2 intrinsics (immintrin.h, _mm256*/__m256*) and the
+                      -mavx2 flag stay confined to src/cracking/kernel_avx2.cc
+                      (the one TU built with -mavx2); anywhere else they crash
+                      portable builds or silently poison the whole binary
+                      with AVX2 codegen.
+  kernel-tier-parity  every kernel declared in src/cracking/kernel.h with a
+                      *Scalar reference tier also declares a *Predicated tier
+                      and an avx2:: tier, and is exercised by at least one
+                      test under tests/ (the differential sweeps).
+  determinism         no nondeterminism sources outside src/util/rng.h:
+                      std::rand/srand/random_device/mt19937 (seeded runs must
+                      be bit-reproducible) and no wall-clock reads
+                      (system_clock, time(), gettimeofday) that would leak
+                      timing flake into repro metrics; steady_clock via
+                      util/timer.h is the sanctioned clock.
+  check-macros        raw assert() is banned: SCRACK_CHECK (always on) or
+                      SCRACK_DCHECK (debug) give file:line diagnostics and
+                      are not compiled away by NDEBUG surprises.
+  naked-new           no naked new/delete expressions; ownership goes through
+                      containers and smart pointers. (static leaky singletons
+                      carry an explicit suppression.)
+  include-hygiene     headers use #pragma once; no uphill relative includes
+                      ("../") — project includes are rooted at src/.
+
+Suppressions (each intentional exception must carry one, which keeps them
+greppable):
+    // lint:allow(rule-id)        on the offending line or the line above
+    // lint:allow-file(rule-id)   anywhere in the file, silences whole file
+A rule id of '*' silences every rule for that line/file.
+
+Usage:
+    scrack_lint.py [--root DIR] [paths...]
+Exits 0 when clean, 1 with file:line diagnostics otherwise. Default paths:
+src tests bench tools CMakeLists.txt.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".inl"}
+AVX2_HOME = os.path.join("src", "cracking", "kernel_avx2.cc")
+RNG_HOME = os.path.join("src", "util", "rng.h")
+KERNEL_HEADER = os.path.join("src", "cracking", "kernel.h")
+
+ALLOW_RE = re.compile(r"lint:allow\(([\w*,\s-]+)\)")
+ALLOW_FILE_RE = re.compile(r"lint:allow-file\(([\w*,\s-]+)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure, so token rules never fire on prose or messages."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw strings: skip to the matching delimiter wholesale.
+                m = re.match(r'R"([^()\\ ]{0,16})\(', text[i - 1:i + 20])
+                if i > 0 and text[i - 1] == "R" and m:
+                    terminator = ")" + m.group(1) + '"'
+                    end = text.find(terminator, i)
+                    end = n if end < 0 else end + len(terminator)
+                    out.append("".join(ch if ch == "\n" else " "
+                                       for ch in text[i:end]))
+                    i = end
+                    continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # Digit separator (1'000'000), not a char literal.
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isalnum() and nxt.isalnum():
+                    out.append(" ")
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+def parse_suppressions(raw_lines):
+    """Returns (per-line {lineno: set(rules)}, file-wide set(rules))."""
+    per_line = {}
+    file_wide = set()
+    for lineno, line in enumerate(raw_lines, start=1):
+        for match in ALLOW_FILE_RE.finditer(line):
+            file_wide.update(r.strip() for r in match.group(1).split(","))
+        # lint:allow-file also matches lint:allow's regex tail — keep the
+        # narrower form only where the file-wide one did not match.
+        if "lint:allow-file(" not in line:
+            for match in ALLOW_RE.finditer(line):
+                rules = {r.strip() for r in match.group(1).split(",")}
+                per_line.setdefault(lineno, set()).update(rules)
+    return per_line, file_wide
+
+
+def suppressed(rule, lineno, per_line, file_wide):
+    for rules in (file_wide, per_line.get(lineno, set()),
+                  per_line.get(lineno - 1, set())):
+        if rule in rules or "*" in rules:
+            return True
+    return False
+
+
+# --------------------------------------------------------------- rules ----
+# Each rule takes (relpath, raw_lines, code_lines) and yields
+# (lineno, rule-id, message). code_lines are comment/string-stripped.
+
+AVX2_TOKENS = re.compile(r"immintrin\.h|_mm256\w*|__m256\w*|-mavx2")
+
+
+def rule_avx2_confinement(relpath, raw_lines, code_lines):
+    if relpath.replace(os.sep, "/") == AVX2_HOME.replace(os.sep, "/"):
+        return
+    is_cmake = os.path.basename(relpath).lower() in ("cmakelists.txt",) or \
+        relpath.endswith(".cmake")
+    # In CMake files -mavx2 may appear in the capability probe and in the
+    # per-file property that scopes it to the AVX2 TU.
+    for lineno, line in enumerate(code_lines, 1):
+        for match in AVX2_TOKENS.finditer(line):
+            token = match.group(0)
+            if is_cmake and token == "-mavx2":
+                context = " ".join(raw_lines[max(0, lineno - 3):lineno])
+                if "kernel_avx2.cc" in context or \
+                        "check_cxx_compiler_flag" in context.lower():
+                    continue
+            yield (lineno, "avx2-confinement",
+                   f"'{token}' outside {AVX2_HOME}; AVX2 code must stay in "
+                   "the one -mavx2 translation unit")
+
+
+DETERMINISM_TOKENS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\("), "libc rand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bsystem_clock\b"), "wall clock (use steady_clock)"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+]
+
+
+def rule_determinism(relpath, raw_lines, code_lines):
+    if relpath.replace(os.sep, "/") == RNG_HOME.replace(os.sep, "/"):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        for pattern, what in DETERMINISM_TOKENS:
+            if pattern.search(line):
+                yield (lineno, "determinism",
+                       f"{what}: all randomness goes through util/rng.h "
+                       "(seeded xoshiro) and all timing through util/timer.h "
+                       "so runs are reproducible")
+
+
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+
+
+def rule_check_macros(relpath, raw_lines, code_lines):
+    for lineno, line in enumerate(code_lines, 1):
+        if "static_assert" in line:
+            line = line.replace("static_assert", "")
+        if ASSERT_RE.search(line):
+            yield (lineno, "check-macros",
+                   "raw assert(): use SCRACK_CHECK (always-on) or "
+                   "SCRACK_DCHECK (debug) from util/common.h")
+
+
+NEW_RE = re.compile(r"\bnew\b\s*(\(\s*std::nothrow\s*\))?\s*[A-Za-z_:<([]")
+DELETE_RE = re.compile(r"\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_:*(]")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+
+def rule_naked_new(relpath, raw_lines, code_lines):
+    for lineno, line in enumerate(code_lines, 1):
+        scrubbed = DELETED_FN_RE.sub("", line)
+        if NEW_RE.search(scrubbed):
+            yield (lineno, "naked-new",
+                   "naked new: own it in a container / make_unique (leaky "
+                   "singletons carry an explicit suppression)")
+        elif DELETE_RE.search(scrubbed):
+            yield (lineno, "naked-new",
+                   "naked delete: the matching allocation should be owned "
+                   "by a smart pointer or container")
+
+
+HEADER_EXTENSIONS = {".h", ".hpp", ".inl"}
+
+
+def rule_include_hygiene(relpath, raw_lines, code_lines):
+    ext = os.path.splitext(relpath)[1]
+    if ext in HEADER_EXTENSIONS:
+        if not any("#pragma once" in line for line in raw_lines):
+            yield (1, "include-hygiene", "header without #pragma once")
+    # The include path itself is a string literal, which the stripper blanks;
+    # gate on the directive surviving in code (not commented out), then read
+    # the path from the raw line.
+    for lineno, (code, raw) in enumerate(zip(code_lines, raw_lines), 1):
+        if (re.search(r'#\s*include\s+"', code)
+                and re.search(r'#\s*include\s+"\.\./', raw)):
+            yield (lineno, "include-hygiene",
+                   'uphill relative include ("../"): project includes are '
+                   "rooted at src/ (target_include_directories)")
+
+
+LINE_RULES = [
+    rule_avx2_confinement,
+    rule_determinism,
+    rule_check_macros,
+    rule_naked_new,
+    rule_include_hygiene,
+]
+
+
+def check_kernel_tier_parity(root, test_corpus):
+    """Cross-file rule: every *Scalar kernel has Predicated and avx2 tiers
+    declared in kernel.h and shows up in the test suite."""
+    findings = []
+    path = os.path.join(root, KERNEL_HEADER)
+    if not os.path.isfile(path):
+        return findings
+    raw = open(path, encoding="utf-8", errors="replace").read()
+    raw_lines = raw.splitlines()
+    per_line, file_wide = parse_suppressions(raw_lines)
+    code = strip_comments_and_strings(raw)
+
+    avx2_block = ""
+    avx2_match = re.search(r"namespace avx2\s*\{(.*?)\}", code, re.DOTALL)
+    if avx2_match:
+        avx2_block = avx2_match.group(1)
+
+    for match in re.finditer(r"\b(\w+)Scalar\s*\(", code):
+        base = match.group(1)
+        lineno = code.count("\n", 0, match.start()) + 1
+        if suppressed("kernel-tier-parity", lineno, per_line, file_wide):
+            continue
+        missing = []
+        if not re.search(rf"\b{base}Predicated\s*\(", code):
+            missing.append(f"{base}Predicated")
+        if not re.search(rf"\b{base}\s*\(", avx2_block):
+            missing.append(f"avx2::{base}")
+        if missing:
+            findings.append(Finding(
+                KERNEL_HEADER, lineno, "kernel-tier-parity",
+                f"kernel '{base}' lacks tier(s): {', '.join(missing)} "
+                "(every kernel ships scalar + predicated + AVX2, "
+                "differential-tested against each other)"))
+        if not re.search(rf"\b{base}\b", test_corpus):
+            findings.append(Finding(
+                KERNEL_HEADER, lineno, "kernel-tier-parity",
+                f"kernel '{base}' not referenced by any test under tests/ "
+                "(add it to the differential sweeps)"))
+    return findings
+
+
+def collect_files(root, paths):
+    files = []
+    for path in paths:
+        full = os.path.join(root, path)
+        if os.path.isfile(full):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            # Fixture trees contain deliberate violations for the lint's own
+            # self-test; they are linted explicitly, never by the tree scan.
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(filenames):
+                ext = os.path.splitext(name)[1]
+                if ext in CXX_EXTENSIONS or name == "CMakeLists.txt":
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(rel)
+    return files
+
+
+def lint_file(root, relpath):
+    full = os.path.join(root, relpath)
+    raw = open(full, encoding="utf-8", errors="replace").read()
+    raw_lines = raw.splitlines()
+    per_line, file_wide = parse_suppressions(raw_lines)
+    ext = os.path.splitext(relpath)[1]
+    if ext in CXX_EXTENSIONS:
+        code_lines = strip_comments_and_strings(raw).splitlines()
+    else:
+        # CMake: '#' comments out the rest of the line.
+        code_lines = [re.sub(r"#.*", "", line) for line in raw_lines]
+    # Pad so raw/code views always line up for the rules.
+    while len(code_lines) < len(raw_lines):
+        code_lines.append("")
+
+    findings = []
+    for rule in LINE_RULES:
+        for lineno, rule_id, message in rule(relpath, raw_lines, code_lines):
+            if not suppressed(rule_id, lineno, per_line, file_wide):
+                findings.append(Finding(relpath, lineno, rule_id, message))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: the tool's parent dir)")
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "tests", "bench", "tools",
+                                 "CMakeLists.txt"],
+                        help="files or directories to lint, relative to root")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    findings = []
+    test_corpus = ""
+    tests_dir = os.path.join(root, "tests")
+    if os.path.isdir(tests_dir):
+        for name in sorted(os.listdir(tests_dir)):
+            if os.path.splitext(name)[1] in CXX_EXTENSIONS:
+                test_corpus += open(os.path.join(tests_dir, name),
+                                    encoding="utf-8", errors="replace").read()
+
+    for relpath in collect_files(root, args.paths):
+        findings.extend(lint_file(root, relpath))
+    if "src" in args.paths or any(
+            p.replace(os.sep, "/") == KERNEL_HEADER.replace(os.sep, "/")
+            for p in args.paths):
+        findings.extend(check_kernel_tier_parity(root, test_corpus))
+
+    for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+    if findings:
+        print(f"scrack_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

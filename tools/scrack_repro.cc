@@ -8,7 +8,7 @@
 // what the CI repro-gate job enforces.
 //
 // Usage:
-//   scrack_repro [--figure=all|<id>|<number>] [--quick]
+//   scrack_repro [--figure=all|<id>|<number>] [--quick] [--audit]
 //                [--json=PATH] [--markdown[=PATH]] [--list]
 //                [--n=N] [--q=Q] [--seed=S]
 //
@@ -16,6 +16,11 @@
 //                  ('fig09', 'pushdown'), or a bare paper figure number.
 //   --quick        CI scale (each spec declares its quick N/Q); the same
 //                  assertions must hold as at full scale.
+//   --audit        run every grid cell under the invariant auditor
+//                  (audit(<engine>); for sharded cells, every shard's
+//                  inner engine). Any violation fails the figure with a
+//                  diagnostic naming the figure/cell, query, piece and
+//                  rule. SCRACK_AUDIT=1 in the environment does the same.
 //   --json=PATH    write the merged JSON report (default BENCH_repro.json;
 //                  'none' disables).
 //   --markdown     print ready-to-paste EXPERIMENTS.md rows after the run
@@ -73,6 +78,8 @@ int Main(int argc, char** argv) {
       figure = arg.substr(9);
     } else if (arg == "--quick") {
       options.quick = true;
+    } else if (arg == "--audit") {
+      options.audit = true;
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg == "--markdown") {
@@ -90,12 +97,17 @@ int Main(int argc, char** argv) {
       options.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--figure=all|ID|N] [--quick] [--json=PATH] "
-                   "[--markdown[=PATH]] [--list] [--n=N] [--q=Q] "
-                   "[--seed=S]\n",
+                   "usage: %s [--figure=all|ID|N] [--quick] [--audit] "
+                   "[--json=PATH] [--markdown[=PATH]] [--list] [--n=N] "
+                   "[--q=Q] [--seed=S]\n",
                    argv[0]);
       return 2;
     }
+  }
+  const char* audit_env = std::getenv("SCRACK_AUDIT");
+  if (audit_env != nullptr && *audit_env != '\0' &&
+      std::strcmp(audit_env, "0") != 0) {
+    options.audit = true;
   }
 
   if (list) {
@@ -111,10 +123,11 @@ int Main(int argc, char** argv) {
   }
 
   std::printf("scrack_repro: %zu scenario(s), %s scale, seed=%llu, "
-              "avx2=%s\n",
+              "avx2=%s, audit=%s\n",
               specs.size(), options.quick ? "quick" : "full",
               static_cast<unsigned long long>(options.seed),
-              simd::Supported() ? "on" : "off");
+              simd::Supported() ? "on" : "off",
+              options.audit ? "on" : "off");
 
   std::vector<FigureResult> results;
   int failed_figures = 0;
