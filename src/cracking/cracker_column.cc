@@ -213,6 +213,29 @@ Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
   return Status::OK();
 }
 
+bool CrackerColumn::CanAnswerWithoutReorg(Value low, Value high) const {
+  // A lazy column that has data waiting still owes its first-touch copy.
+  if (!initialized_) return base_->size() == 0;
+  if (low >= high || size() == 0) return true;   // empty result, no work
+  if (high <= min_value_ || low > max_value_) return true;
+  const bool low_resolved = low <= min_value_ || index_.HasCrack(low);
+  const bool high_resolved = high > max_value_ || index_.HasCrack(high);
+  if (!low_resolved || !high_resolved) return false;
+  // A staged update inside the range would Ripple-merge on the next Select.
+  return !pending_.IntersectsRange(low, high);
+}
+
+void CrackerColumn::ReadRegion(Value low, Value high, Index* begin,
+                               Index* end) const {
+  *begin = 0;
+  *end = 0;
+  if (!initialized_ || size() == 0 || low >= high) return;
+  if (high <= min_value_ || low > max_value_) return;
+  *begin = low <= min_value_ ? 0 : index_.CrackPosition(low);
+  *end = high > max_value_ ? size() : index_.CrackPosition(high);
+  if (*end < *begin) *end = *begin;
+}
+
 Index CrackerColumn::StochasticCrackBound(Value v, bool center_pivot,
                                           bool recursive,
                                           EngineStats* stats) {

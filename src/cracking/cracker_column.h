@@ -97,6 +97,24 @@ class CrackerColumn {
   Status CrackRange(Value low, Value high, Index* begin, Index* end,
                     EngineStats* stats);
 
+  /// Read-only probe behind the epoch engine's reader/writer classification:
+  /// true iff a Select over [low, high) would reorganize nothing — both
+  /// bounds already resolve to crack positions (or fall outside the stored
+  /// min/max), and no staged update intersects the range, so the answer is
+  /// a pure read of the region ReadRegion() reports. Never cracks, never
+  /// merges, never initializes a lazy column (an uninitialized non-empty
+  /// column still owes its first-touch copy). Concurrent callers are safe
+  /// only while no writer runs and the pending pools are sorted — the epoch
+  /// engine re-sorts them under its exclusive lock after every stage (see
+  /// src/parallel/epoch_engine.h).
+  bool CanAnswerWithoutReorg(Value low, Value high) const;
+
+  /// The contiguous region [*begin, *end) holding exactly the qualifying
+  /// tuples for [low, high), valid only when CanAnswerWithoutReorg(low,
+  /// high) is true (the bounds resolve without cracking). Const sibling of
+  /// CrackRange for the shared-read path.
+  void ReadRegion(Value low, Value high, Index* begin, Index* end) const;
+
   /// Aggregate fold over a region produced by CrackRange (every element
   /// qualifies for [low, high)): same results as the free AggregateRegion
   /// helper, but kSum/kMinMax folds over regions past the parallel cutover

@@ -42,6 +42,12 @@ struct EngineStats {
                                 ///  cutover: pieces >= parallel_min_values)
   int64_t threads_used = 0;     ///< high-water mark of threads one parallel
                                 ///  pass engaged (caller included)
+  int64_t shared_reads = 0;     ///< queries answered under a shared (reader)
+                                ///  lock without touching the inner engine
+  int64_t exclusive_cracks = 0;  ///< queries that escalated to the exclusive
+                                 ///  writer path and ran the inner engine
+  int64_t escalations = 0;      ///< exclusive-lock acquisitions (escalated
+                                ///  queries plus staged updates)
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's

@@ -44,10 +44,20 @@ class ThreadSafeEngine : public SelectEngine {
 
   /// One lock acquisition for the whole batch. An aggregate-only batch is
   /// forwarded wholesale, so the inner engine's own batch amortizations
-  /// (pending-update hull merge) apply too; a batch containing
-  /// kMaterialize queries runs one query at a time because each result must
-  /// be deep-copied before the *next* query's reorganization invalidates
-  /// its views.
+  /// (pending-update hull merge) apply too.
+  ///
+  /// Batches with kMaterialize queries also take the inner batch path when
+  /// the inner engine owns a single cracker column (audit_column() !=
+  /// nullptr), with every materialize result deep-copied once *after* the
+  /// batch. That is sound because of the multiset-stability rule: after
+  /// PrepareBatch has merged the batch hull's staged updates (before the
+  /// first query), cracks only permute elements *within* pieces — nothing
+  /// crosses a crack position and data_ never reallocates mid-batch — so a
+  /// view captured by query i still spans exactly its qualifying multiset
+  /// when the batch ends, merely in a possibly different order. Engines
+  /// without a cracker column (hybrids extract partitions out of the data;
+  /// scan/sort are view-stable but report no column) keep the conservative
+  /// copy-before-next-crack loop.
   Status ExecuteBatch(const std::vector<Query>& queries,
                       std::vector<QueryOutput>* outputs) override {
     if (outputs == nullptr) {
@@ -60,6 +70,16 @@ class ThreadSafeEngine : public SelectEngine {
       if (query.mode == OutputMode::kMaterialize) any_materialize = true;
     }
     if (!any_materialize) return inner_->ExecuteBatch(queries, outputs);
+    if (inner_->audit_column() != nullptr) {
+      SCRACK_RETURN_NOT_OK(inner_->ExecuteBatch(queries, outputs));
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (queries[i].mode != OutputMode::kMaterialize) continue;
+        QueryResult owned;
+        owned.AddOwned((*outputs)[i].result.Collect());
+        (*outputs)[i].result = std::move(owned);
+      }
+      return Status::OK();
+    }
     outputs->clear();
     outputs->resize(queries.size());
     for (size_t i = 0; i < queries.size(); ++i) {

@@ -13,6 +13,7 @@
 #include "cracking/sort_engine.h"
 #include "cracking/stochastic_engine.h"
 #include "hybrid/hybrid_engine.h"
+#include "parallel/epoch_engine.h"
 #include "parallel/sharded_engine.h"
 #include "parallel/thread_pool.h"
 
@@ -129,6 +130,28 @@ Status CreateAuditEngine(const std::string& spec, const Column* base,
   return Status::OK();
 }
 
+// epoch(<inner>) — recursively builds the inner spec and wraps it in the
+// reader-writer epoch layer. `spec` is already lower-cased.
+Status CreateEpochEngine(const std::string& spec, const Column* base,
+                         const EngineConfig& config,
+                         std::unique_ptr<SelectEngine>* out) {
+  const std::string prefix = "epoch(";
+  if (spec.size() <= prefix.size() ||
+      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+    return Status::InvalidArgument("epoch spec must be epoch(<inner>): " +
+                                   spec);
+  }
+  const std::string inner_spec =
+      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
+  if (inner_spec.empty()) {
+    return Status::InvalidArgument("epoch needs an inner spec: " + spec);
+  }
+  std::unique_ptr<SelectEngine> inner;
+  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
+  *out = std::make_unique<EpochEngine>(std::move(inner));
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CreateEngine(const std::string& spec, const Column* base,
@@ -146,6 +169,9 @@ Status CreateEngine(const std::string& spec, const Column* base,
   }
   if (lowered.compare(0, 6, "audit(") == 0 || lowered == "audit") {
     return CreateAuditEngine(lowered, base, config, out);
+  }
+  if (lowered.compare(0, 6, "epoch(") == 0 || lowered == "epoch") {
+    return CreateEpochEngine(lowered, base, config, out);
   }
   std::string name;
   std::string arg;
@@ -281,7 +307,9 @@ std::vector<std::string> KnownEngineSpecs() {
           "aisc",       "aiss",       "auto",      "threadsafe:mdd1r",
           "sharded(4,mdd1r)",         "crack-p",   "ddr-p2",
           "audit(crack)",             "audit(crack-p2)",
-          "sharded(2,audit(ddc))",    "threadsafe:audit(mdd1r)"};
+          "sharded(2,audit(ddc))",    "threadsafe:audit(mdd1r)",
+          "epoch(crack)",             "epoch(crack-p)",
+          "sharded(2,epoch(crack))",  "epoch(audit(mdd1r))"};
 }
 
 std::string WrapSpecInAudit(const std::string& spec) {
@@ -306,6 +334,15 @@ std::string WrapSpecInAudit(const std::string& spec) {
   if (lowered.compare(0, threadsafe_prefix.size(), threadsafe_prefix) == 0) {
     return threadsafe_prefix +
            WrapSpecInAudit(lowered.substr(threadsafe_prefix.size()));
+  }
+  // Epoch stays outside the audit for the same reason as threadsafe: the
+  // auditor's between-query passes must run under the epoch's lock.
+  const std::string epoch_prefix = "epoch(";
+  if (lowered.compare(0, epoch_prefix.size(), epoch_prefix) == 0 &&
+      lowered.back() == ')') {
+    const std::string body = lowered.substr(
+        epoch_prefix.size(), lowered.size() - epoch_prefix.size() - 1);
+    return epoch_prefix + WrapSpecInAudit(body) + ")";
   }
   return "audit(" + lowered + ")";
 }

@@ -1,0 +1,222 @@
+#include "parallel/epoch_engine.h"
+
+#include <mutex>
+#include <utility>
+
+namespace scrack {
+
+namespace {
+
+/// Scoped active-reader accounting for the shared path: bumps the live
+/// count on entry, folds the peak into the high-water mark, drops the
+/// count on exit. The high-water mark is how the hammer test proves
+/// readers genuinely overlap.
+class ReaderScope {
+ public:
+  ReaderScope(std::atomic<int64_t>* active, std::atomic<int64_t>* high_water)
+      : active_(active) {
+    const int64_t now = active_->fetch_add(1, std::memory_order_acq_rel) + 1;
+    int64_t seen = high_water->load(std::memory_order_relaxed);
+    while (now > seen && !high_water->compare_exchange_weak(
+                             seen, now, std::memory_order_relaxed)) {
+    }
+  }
+  ~ReaderScope() { active_->fetch_sub(1, std::memory_order_acq_rel); }
+
+  ReaderScope(const ReaderScope&) = delete;
+  ReaderScope& operator=(const ReaderScope&) = delete;
+
+ private:
+  std::atomic<int64_t>* active_;
+};
+
+}  // namespace
+
+EpochEngine::EpochEngine(std::unique_ptr<SelectEngine> inner)
+    : inner_(std::move(inner)) {
+  SCRACK_CHECK(inner_ != nullptr);
+  column_ = inner_->audit_column();
+}
+
+Status EpochEngine::Select(Value low, Value high, QueryResult* result) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  {
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    if (column_ != nullptr && column_->CanAnswerWithoutReorg(low, high)) {
+      ReaderScope scope(&active_readers_, &reader_high_water_);
+      Index begin = 0;
+      Index end = 0;
+      column_->ReadRegion(low, high, &begin, &end);
+      const Value* data = column_->data();
+      // Deep copy under the shared lock: a view would dangle the moment a
+      // later query escalates and re-cracks the column.
+      result->AddOwned(std::vector<Value>(data + begin, data + end));
+      const int64_t n = end - begin;
+      shared_reads_.fetch_add(1, std::memory_order_relaxed);
+      shared_touched_.fetch_add(n, std::memory_order_relaxed);
+      shared_materialized_.fetch_add(n, std::memory_order_relaxed);
+      return Status::OK();
+    }
+  }
+  // No re-probe after the lock upgrade: the window between dropping the
+  // shared lock and acquiring the exclusive one can only make the query
+  // *cheaper* for the inner engine (someone else cracked the bounds), and
+  // an already-cracked bound costs the inner engine two index lookups.
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  exclusive_cracks_.fetch_add(1, std::memory_order_relaxed);
+  return SelectExclusive(low, high, result);
+}
+
+Status EpochEngine::Execute(const Query& query, QueryOutput* output) {
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  {
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    if (column_ != nullptr &&
+        column_->CanAnswerWithoutReorg(query.low, query.high)) {
+      AnswerShared(query, output);
+      return Status::OK();
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  exclusive_cracks_.fetch_add(1, std::memory_order_relaxed);
+  return ExecuteExclusive(query, output);
+}
+
+Status EpochEngine::ExecuteBatch(const std::vector<Query>& queries,
+                                 std::vector<QueryOutput>* outputs) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("null batch outputs");
+  }
+  SCRACK_RETURN_NOT_OK(CheckBatch(queries));
+  {
+    std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+    bool all_shared = column_ != nullptr;
+    for (const Query& query : queries) {
+      if (!all_shared) break;
+      all_shared = column_->CanAnswerWithoutReorg(query.low, query.high);
+    }
+    if (all_shared) {
+      outputs->clear();
+      outputs->resize(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        AnswerShared(queries[i], &(*outputs)[i]);
+      }
+      return Status::OK();
+    }
+  }
+  // Whole-batch escalation: one exclusive acquisition, then exactly
+  // ThreadSafeEngine's batch rules (see threadsafe_engine.h for the
+  // multiset-stability argument behind the end-of-batch deep copy).
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  exclusive_cracks_.fetch_add(static_cast<int64_t>(queries.size()),
+                              std::memory_order_relaxed);
+  bool any_materialize = false;
+  for (const Query& query : queries) {
+    if (query.mode == OutputMode::kMaterialize) any_materialize = true;
+  }
+  if (!any_materialize) return inner_->ExecuteBatch(queries, outputs);
+  if (inner_->audit_column() != nullptr) {
+    SCRACK_RETURN_NOT_OK(inner_->ExecuteBatch(queries, outputs));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].mode != OutputMode::kMaterialize) continue;
+      QueryResult owned;
+      owned.AddOwned((*outputs)[i].result.Collect());
+      (*outputs)[i].result = std::move(owned);
+    }
+    return Status::OK();
+  }
+  outputs->clear();
+  outputs->resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCRACK_RETURN_NOT_OK(ExecuteExclusive(queries[i], &(*outputs)[i]));
+  }
+  return Status::OK();
+}
+
+Status EpochEngine::StageInsert(Value v) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  SCRACK_RETURN_NOT_OK(inner_->StageInsert(v));
+  ResortPendingLocked();
+  return Status::OK();
+}
+
+Status EpochEngine::StageDelete(Value v) {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  escalations_.fetch_add(1, std::memory_order_relaxed);
+  SCRACK_RETURN_NOT_OK(inner_->StageDelete(v));
+  ResortPendingLocked();
+  return Status::OK();
+}
+
+Status EpochEngine::Validate() const {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  return inner_->Validate();
+}
+
+EngineStats EpochEngine::CurrentStats() const {
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
+  EngineStats stats = inner_->CurrentStats();
+  const int64_t reads = shared_reads_.load(std::memory_order_relaxed);
+  stats.queries += reads;
+  stats.tuples_touched += shared_touched_.load(std::memory_order_relaxed);
+  stats.materialized += shared_materialized_.load(std::memory_order_relaxed);
+  stats.aggregates_pushed +=
+      shared_aggregates_.load(std::memory_order_relaxed);
+  stats.shared_reads += reads;
+  stats.exclusive_cracks += exclusive_cracks_.load(std::memory_order_relaxed);
+  stats.escalations += escalations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void EpochEngine::AnswerShared(const Query& query, QueryOutput* output) const {
+  ReaderScope scope(&active_readers_, &reader_high_water_);
+  Index begin = 0;
+  Index end = 0;
+  column_->ReadRegion(query.low, query.high, &begin, &end);
+  const Value* data = column_->data();
+  if (query.mode == OutputMode::kMaterialize) {
+    output->result.AddOwned(std::vector<Value>(data + begin, data + end));
+    const int64_t n = end - begin;
+    shared_touched_.fetch_add(n, std::memory_order_relaxed);
+    shared_materialized_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    int64_t touched = 0;
+    AggregateRegion(data, begin, end, query, output, &touched);
+    shared_touched_.fetch_add(touched, std::memory_order_relaxed);
+    shared_aggregates_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shared_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status EpochEngine::SelectExclusive(Value low, Value high,
+                                    QueryResult* result) {
+  QueryResult unsafe;
+  SCRACK_RETURN_NOT_OK(inner_->Select(low, high, &unsafe));
+  // Deep-copy while still exclusive: views into the inner column are only
+  // valid until the next reorganization.
+  result->AddOwned(unsafe.Collect());
+  return Status::OK();
+}
+
+Status EpochEngine::ExecuteExclusive(const Query& query, QueryOutput* output) {
+  if (query.mode != OutputMode::kMaterialize) {
+    return inner_->Execute(query, output);
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+  return SelectExclusive(query.low, query.high, &output->result);
+}
+
+void EpochEngine::ResortPendingLocked() {
+  if (column_ == nullptr) return;
+  // PendingUpdates sorts lazily on first read through mutable members;
+  // forcing the sort here, still exclusive, is what turns the shared
+  // readers' IntersectsRange probe into a genuine const read.
+  (void)column_->pending().inserts();
+  (void)column_->pending().deletes();
+}
+
+}  // namespace scrack

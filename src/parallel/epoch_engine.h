@@ -1,0 +1,129 @@
+// EpochEngine: reader-writer concurrency for the read-mostly phase of
+// adaptive indexing (paper §6's deferred "finer-grained" direction).
+//
+// ThreadSafeEngine treats every query as a write because in cracking every
+// read *may* be one. But the whole point of adaptive indexing is that
+// reorganization decays: once the pieces covering a range are fully cracked
+// and no staged update intersects it, a Select over that range reorganizes
+// nothing — it is a pure read of a contiguous region. This adapter makes
+// that phase concurrent. Each query is classified with an exact probe
+// (CrackerColumn::CanAnswerWithoutReorg over the flat CrackerIndex):
+//
+//   * answerable without reorganization -> SHARED reader. Takes the shared
+//     side of a std::shared_mutex; aggregates fold the region via
+//     AggregateRegion, materializations deep-copy it. Arbitrarily many such
+//     queries run concurrently.
+//   * must crack (unresolved bound, intersecting staged update, lazy
+//     first-touch copy) -> EXCLUSIVE writer. Escalates to the unique side,
+//     runs the inner engine exactly as ThreadSafeEngine would (results
+//     materialized under the lock), and counts one escalation.
+//
+// Staged updates always escalate. After every stage the adapter re-sorts
+// the pending pools *while still exclusive* (PendingUpdates sorts lazily
+// through mutable members on first read — forcing the sort here is what
+// makes the shared readers' IntersectsRange probe a genuine const read).
+//
+// The correctness oracle is the column's WriterTag: shared readers never
+// enter it, every reorganizing path does, so any classification bug that
+// lets a reader reorganize — or any lock bug that overlaps two writers —
+// surfaces as writer_tag().violations() != 0 under the concurrency hammer.
+//
+// Stats: the inner engine's counters are reported through CurrentStats()
+// with the shared-phase work folded in from engine-level atomics (the
+// inner stats_ cannot be touched by concurrent readers). Three counters
+// are specific to this layer: shared_reads (queries answered under the
+// shared lock), exclusive_cracks (queries that escalated and ran the inner
+// engine; shared_reads + exclusive_cracks == total queries), and
+// escalations (exclusive-lock acquisitions: escalated queries plus staged
+// updates).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class EpochEngine : public SelectEngine {
+ public:
+  /// Wraps `inner`. When the inner engine reports no cracker column
+  /// (audit_column() == nullptr: scan/sort baselines, hybrids) the probe
+  /// has nothing to inspect and every query escalates — the adapter then
+  /// degenerates to ThreadSafeEngine behaviour.
+  explicit EpochEngine(std::unique_ptr<SelectEngine> inner);
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  Status Execute(const Query& query, QueryOutput* output) override;
+
+  /// A batch in which *every* query is answerable without reorganization
+  /// runs under one shared-lock acquisition (concurrent with other
+  /// readers); any other batch escalates wholesale and follows
+  /// ThreadSafeEngine's batch rules (inner batch path plus one
+  /// end-of-batch deep copy of materialize results when the inner engine
+  /// owns a cracker column — see threadsafe_engine.h for why that is
+  /// sound — else the conservative per-query loop).
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override;
+
+  std::string name() const override { return "epoch(" + inner_->name() + ")"; }
+
+  Status StageInsert(Value v) override;
+  Status StageDelete(Value v) override;
+
+  Status Validate() const override;
+
+  /// Inner counters plus the shared-phase work (queries, tuples_touched,
+  /// materialized, aggregates_pushed) and this layer's shared_reads /
+  /// exclusive_cracks / escalations, snapshotted under the exclusive lock.
+  /// The outer stats_ stays untouched, as for every wrapper.
+  EngineStats CurrentStats() const override;
+
+  const CrackerColumn* audit_column() const override {
+    return inner_->audit_column();
+  }
+
+  /// High-water mark of simultaneously active shared readers. The hammer
+  /// test asserts > 1 after convergence: proof the shared path actually
+  /// overlaps rather than serializing.
+  int64_t reader_high_water() const {
+    return reader_high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Answers `query` from the region the probe certified, with rw_mutex_
+  // held shared; folds the work into the shared-phase atomics.
+  void AnswerShared(const Query& query, QueryOutput* output) const;
+
+  // Select/Execute/batch bodies with rw_mutex_ held exclusive (mirrors
+  // ThreadSafeEngine's *Locked helpers).
+  Status SelectExclusive(Value low, Value high, QueryResult* result);
+  Status ExecuteExclusive(const Query& query, QueryOutput* output);
+
+  // Forces the pending pools sorted while exclusive (see file comment).
+  void ResortPendingLocked();
+
+  std::unique_ptr<SelectEngine> inner_;
+  const CrackerColumn* column_;  // inner_->audit_column(); may be nullptr
+
+  mutable std::shared_mutex rw_mutex_;
+
+  // Shared-phase work counters; plain atomics because shared readers run
+  // concurrently. Folded into CurrentStats(), never into inner stats.
+  mutable std::atomic<int64_t> shared_reads_{0};
+  mutable std::atomic<int64_t> shared_touched_{0};
+  mutable std::atomic<int64_t> shared_materialized_{0};
+  mutable std::atomic<int64_t> shared_aggregates_{0};
+  std::atomic<int64_t> exclusive_cracks_{0};
+  std::atomic<int64_t> escalations_{0};
+
+  // Reader-overlap telemetry (see reader_high_water()).
+  mutable std::atomic<int64_t> active_readers_{0};
+  mutable std::atomic<int64_t> reader_high_water_{0};
+};
+
+}  // namespace scrack

@@ -389,6 +389,9 @@ void ShardedEngine::RefreshStats(int64_t new_queries,
     aggregate.parallel_cracks += inner.parallel_cracks;
     aggregate.threads_used =
         std::max(aggregate.threads_used, inner.threads_used);
+    aggregate.shared_reads += inner.shared_reads;
+    aggregate.exclusive_cracks += inner.exclusive_cracks;
+    aggregate.escalations += inner.escalations;
   }
   aggregate.queries = own_queries_;
   aggregate.materialized += own_materialized_;

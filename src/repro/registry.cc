@@ -1,9 +1,11 @@
 #include "repro/registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "cracking/crack_engine.h"
 #include "cracking/kernel.h"
@@ -939,6 +941,132 @@ FigureSpec Sideways() {
   return spec;
 }
 
+FigureSpec Serving() {
+  FigureSpec spec;
+  spec.id = "serving";
+  spec.title = "Epoch serving: convergence turns reads concurrent";
+  spec.claim =
+      "Once cracking converges, the epoch layer answers queries as shared "
+      "readers with zero escalations and thread-count-invariant answers, "
+      "while matching the exclusive-lock baseline answer for answer "
+      "(beyond the paper: its §6 defers concurrency to future work)";
+  spec.default_q = 1000;
+  spec.runs = {
+      Run("ts", "threadsafe:crack", WorkloadKind::kRandom),
+      Run("ep", "epoch(crack)", WorkloadKind::kRandom),
+  };
+  // The lifecycle phases need checkpointed counters and a multi-threaded
+  // replay, which the single-pass grid cannot express; all hook metrics
+  // are deterministic (counter checkpoints and commutative checksums), so
+  // the assertions are exact at any scale.
+  spec.extra = [](const ReproContext& context, FigureResult* result) {
+    EngineConfig config = EngineConfig::Detected();
+    config.seed = context.seed;
+    std::unique_ptr<SelectEngine> engine;
+    SCRACK_RETURN_NOT_OK(
+        CreateEngine("epoch(crack)", context.base, config, &engine));
+    RunDecl decl = Run("", "", WorkloadKind::kRandom);
+    const auto queries =
+        BuildWorkload(decl, context.n, context.q, context.seed);
+    const auto fold = [](const QueryOutput& output) {
+      return static_cast<uint64_t>(output.sum) * 31u +
+             static_cast<uint64_t>(output.count);
+    };
+    const auto sum_query = [](const RangeQuery& rq) {
+      Query query;
+      query.low = rq.low;
+      query.high = rq.high;
+      query.mode = OutputMode::kSum;
+      return query;
+    };
+
+    // Phase 1, cold: every fresh bound cracks (exclusive).
+    for (const RangeQuery& rq : queries) {
+      QueryOutput output;
+      SCRACK_RETURN_NOT_OK(engine->Execute(sum_query(rq), &output));
+    }
+    const EngineStats cold = engine->CurrentStats();
+    result->metrics["serving.shared_reads_cold"] =
+        static_cast<double>(cold.shared_reads);
+    result->metrics["serving.escalations_cold"] =
+        static_cast<double>(cold.escalations);
+
+    // Phase 2, converged replay: every bound is a crack position.
+    uint64_t checksum_t1 = 0;
+    for (const RangeQuery& rq : queries) {
+      QueryOutput output;
+      SCRACK_RETURN_NOT_OK(engine->Execute(sum_query(rq), &output));
+      checksum_t1 += fold(output);
+    }
+    const EngineStats converged = engine->CurrentStats();
+    result->metrics["serving.shared_reads_converged"] =
+        static_cast<double>(converged.shared_reads);
+    result->metrics["serving.phase2_escalations"] =
+        static_cast<double>(converged.escalations - cold.escalations);
+    result->metrics["serving.checksum_t1"] =
+        static_cast<double>(checksum_t1 % 2147483647u);
+
+    // Phase 3, the same replay partitioned round-robin over 4 threads:
+    // the commutative checksum must be bit-identical to the sequential
+    // pass (thread-count-invariant answers).
+    std::atomic<uint64_t> checksum_t4{0};
+    std::atomic<int> errors{0};
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        uint64_t local = 0;
+        for (size_t i = static_cast<size_t>(t); i < queries.size(); i += 4) {
+          QueryOutput output;
+          if (!engine->Execute(sum_query(queries[i]), &output).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          local += fold(output);
+        }
+        checksum_t4.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    if (errors.load() != 0) {
+      return Status::Internal("serving: threaded replay failed");
+    }
+    result->metrics["serving.checksum_t4"] =
+        static_cast<double>(checksum_t4.load() % 2147483647u);
+    result->metrics["serving.shared_reads_final"] =
+        static_cast<double>(engine->CurrentStats().shared_reads);
+    return Status::OK();
+  };
+  spec.assertions = {
+      Equal("epoch_matches_threadsafe",
+            "the epoch layer returns exactly the exclusive-lock baseline's "
+            "tuples on the grid workload",
+            "ep.checksum_sum", "ts.checksum_sum"),
+      Equal("epoch_counts_match_threadsafe",
+            "qualifying counts survive the reader/writer classification",
+            "ep.checksum_count", "ts.checksum_count"),
+      Chain("shared_reads_monotone",
+            "shared reads only accumulate across the serving lifecycle",
+            {"serving.shared_reads_cold", "serving.shared_reads_converged",
+             "serving.shared_reads_final"},
+            0.0),
+      Greater("cold_phase_escalates",
+              "fresh bounds force writer escalations during the cold phase",
+              "serving.escalations_cold", 0.5),
+      Less("escalations_vanish_after_convergence",
+           "a converged replay runs entirely as shared readers",
+           "serving.phase2_escalations", 0.5),
+      Greater("converged_replay_is_shared",
+              "the replay grows shared reads past the cold phase's count",
+              "serving.shared_reads_converged", 1.0,
+              "serving.shared_reads_cold"),
+      Equal("checksums_thread_count_invariant",
+            "4-thread replay answers fold to the 1-thread checksum exactly",
+            "serving.checksum_t1", "serving.checksum_t4"),
+  };
+  return spec;
+}
+
 std::vector<FigureSpec> Build() {
   std::vector<FigureSpec> specs;
   specs.push_back(Fig02());
@@ -961,6 +1089,7 @@ std::vector<FigureSpec> Build() {
   specs.push_back(Parallel());
   specs.push_back(ParallelCrack());
   specs.push_back(Sideways());
+  specs.push_back(Serving());
   return specs;
 }
 

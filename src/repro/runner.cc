@@ -116,6 +116,12 @@ void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
       static_cast<double>(run.final_stats.parallel_cracks);
   metrics[p + ".threads_used"] =
       static_cast<double>(run.final_stats.threads_used);
+  metrics[p + ".shared_reads"] =
+      static_cast<double>(run.final_stats.shared_reads);
+  metrics[p + ".exclusive_cracks"] =
+      static_cast<double>(run.final_stats.exclusive_cracks);
+  metrics[p + ".escalations"] =
+      static_cast<double>(run.final_stats.escalations);
 }
 
 }  // namespace

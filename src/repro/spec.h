@@ -132,7 +132,8 @@ struct FigureResult {
   /// `<label>.{cum_seconds,cum_touched,touched_per_sec,touched_at_1,
   /// swaps_at_1,max_swaps_per_query,cum_touched_at_8,checksum_count,
   /// checksum_sum,materialized,aggregates_pushed,updates_merged,
-  /// parallel_cracks,threads_used}`; the
+  /// parallel_cracks,threads_used,shared_reads,exclusive_cracks,
+  /// escalations}`; the
   /// pseudo-metrics `n` and `q` are always present; `extra` hooks may add
   /// more. checksum_sum is reduced mod 2^31 so it stays exact in a double
   /// at any scale (kEqual compares exactly).

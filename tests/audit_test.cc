@@ -4,6 +4,11 @@
 // the auditor claims to catch gets a test that plants exactly that fault.
 // Clean-run tests pin the other side: long audited workloads, batch and
 // update paths, and the factory compositions must produce zero findings.
+//
+// The cross-thread harness below blocks one writer mid-crack to overlap a
+// second, which needs a raw condition_variable + mutex pair — a deliberate
+// exception to the concurrency-layer confinement rule.
+// lint:allow-file(mutex-confinement)
 #include <gtest/gtest.h>
 
 #include <condition_variable>

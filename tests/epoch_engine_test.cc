@@ -1,0 +1,445 @@
+// EpochEngine tests: the exact read/write classification probe, the
+// escalation counter semantics, the concurrency hammer required by the
+// serving milestone (result parity vs a single-threaded reference, shared
+// readers genuinely overlapping, zero WriterTag findings), and the
+// ThreadSafeEngine mixed-batch deep-copy rule the epoch layer shares.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "harness/engine_factory.h"
+#include "parallel/epoch_engine.h"
+#include "test_util.h"
+
+namespace scrack {
+namespace {
+
+using testing::RandomRange;
+using testing::ReferenceAnswer;
+using testing::ReferenceSelect;
+
+// ---------------------------------------------------------------- probe ---
+
+TEST(CanAnswerWithoutReorgTest, LazyColumnOwesFirstTouchCopy) {
+  const Column base = Column::UniquePermutation(1024, 3);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+  EXPECT_FALSE(column->CanAnswerWithoutReorg(100, 200));
+  // Degenerate ranges are free even before initialization only when they
+  // select nothing from nothing; a non-empty base still needs the copy.
+  EXPECT_FALSE(column->CanAnswerWithoutReorg(200, 100));
+}
+
+TEST(CanAnswerWithoutReorgTest, CrackedBoundsBecomeReadable) {
+  const Column base = Column::UniquePermutation(4096, 5);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+
+  engine->SelectOrDie(1000, 3000);
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(1000, 3000));
+  // One resolved bound is not enough: the unresolved one would crack.
+  EXPECT_FALSE(column->CanAnswerWithoutReorg(999, 3000));
+  EXPECT_FALSE(column->CanAnswerWithoutReorg(1000, 3001));
+  // Domain edges resolve without cracks.
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(0, 1000));
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(3000, 4096));
+  // Empty and out-of-domain ranges reorganize nothing.
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(2000, 2000));
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(5000, 6000));
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(-100, 0));
+}
+
+TEST(CanAnswerWithoutReorgTest, StagedUpdateInRangeForcesEscalation) {
+  const Column base = Column::UniquePermutation(4096, 7);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+
+  engine->SelectOrDie(1000, 3000);
+  ASSERT_TRUE(engine->StageInsert(2000).ok());
+  EXPECT_FALSE(column->CanAnswerWithoutReorg(1000, 3000));
+  // The staged value is outside this cracked range, so it stays readable.
+  engine->SelectOrDie(3000, 3500);
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(3000, 3500));
+  // Merging the update restores readability.
+  engine->SelectOrDie(1000, 3000);
+  EXPECT_TRUE(column->CanAnswerWithoutReorg(1000, 3000));
+}
+
+TEST(CanAnswerWithoutReorgTest, ReadRegionMatchesReference) {
+  const Column base = Column::UniquePermutation(4096, 9);
+  auto engine = CreateEngineOrDie("crack", &base, EngineConfig{});
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+
+  engine->SelectOrDie(512, 2048);
+  ASSERT_TRUE(column->CanAnswerWithoutReorg(512, 2048));
+  Index begin = 0;
+  Index end = 0;
+  column->ReadRegion(512, 2048, &begin, &end);
+  const ReferenceAnswer want = ReferenceSelect(base.values(), 512, 2048);
+  EXPECT_EQ(end - begin, want.count);
+  int64_t sum = 0;
+  for (Index i = begin; i < end; ++i) sum += column->data()[i];
+  EXPECT_EQ(sum, want.sum);
+}
+
+// ------------------------------------------------------------- counters ---
+
+TEST(EpochEngineTest, EscalationCounterSemantics) {
+  const Column base = Column::UniquePermutation(4096, 11);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+
+  // Cold query cracks -> exclusive.
+  engine->SelectOrDie(1000, 3000);
+  EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.shared_reads, 0);
+  EXPECT_EQ(stats.exclusive_cracks, 1);
+  EXPECT_EQ(stats.escalations, 1);
+  EXPECT_EQ(stats.queries, 1);
+
+  // Replay -> shared; no new escalation.
+  engine->SelectOrDie(1000, 3000);
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.shared_reads, 1);
+  EXPECT_EQ(stats.exclusive_cracks, 1);
+  EXPECT_EQ(stats.escalations, 1);
+  EXPECT_EQ(stats.queries, 2);
+  EXPECT_EQ(stats.shared_reads + stats.exclusive_cracks, stats.queries);
+
+  // Aggregates over a readable range are shared too.
+  Query count;
+  count.low = 1000;
+  count.high = 3000;
+  count.mode = OutputMode::kCount;
+  QueryOutput output;
+  ASSERT_TRUE(engine->Execute(count, &output).ok());
+  EXPECT_EQ(engine->CurrentStats().shared_reads, 2);
+
+  // A staged update escalates without counting as a query; the next
+  // covering query escalates to merge, then the range is readable again.
+  ASSERT_TRUE(engine->StageInsert(2000).ok());
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.escalations, 2);
+  EXPECT_EQ(stats.queries, 3);
+  engine->SelectOrDie(1000, 3000);
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.exclusive_cracks, 2);
+  EXPECT_EQ(stats.escalations, 3);
+  engine->SelectOrDie(1000, 3000);
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.shared_reads, 3);
+  EXPECT_EQ(stats.escalations, 3);
+  EXPECT_EQ(stats.shared_reads + stats.exclusive_cracks, stats.queries);
+
+  // Wrapper convention: the outer stats_ stays untouched.
+  EXPECT_EQ(engine->stats().queries, 0);
+}
+
+TEST(EpochEngineTest, ParityOnColdAndConvergedAnswers) {
+  const Index n = 8192;
+  const Value domain = n / 8;  // duplicate-heavy
+  const Column base = Column::UniformRandom(n, 0, domain, 13);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+  for (int pass = 0; pass < 2; ++pass) {
+    Rng replay(23);  // same ranges both passes: cold then converged
+    for (int i = 0; i < 200; ++i) {
+      const auto range = RandomRange(&replay, domain);
+      const QueryResult result =
+          engine->SelectOrDie(range.first, range.second);
+      const ReferenceAnswer want =
+          ReferenceSelect(base.values(), range.first, range.second);
+      EXPECT_EQ(result.count(), want.count);
+      EXPECT_EQ(result.Sum(), want.sum);
+    }
+  }
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_GT(stats.shared_reads, 0);
+  EXPECT_EQ(stats.shared_reads + stats.exclusive_cracks, stats.queries);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// --------------------------------------------------------------- hammer ---
+
+// The serving-milestone hammer: converge single-threaded, then replay the
+// identical streams from many threads. Asserts (a) every answer matches
+// the single-threaded reference, (b) the concurrent-reader high-water mark
+// exceeds 1 — the shared phase genuinely overlaps instead of serializing —
+// and (c) the WriterTag saw zero violations (no reader reorganized, no two
+// writers overlapped). Runs under the TSan CI leg at SCRACK_THREADS=8.
+TEST(EpochHammerTest, ConvergedReplayOverlapsWithParity) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 29);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+  auto* epoch = dynamic_cast<EpochEngine*>(engine.get());
+  ASSERT_NE(epoch, nullptr);
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 200;
+
+  // Converge: crack every bound each hammer thread will use.
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(3000 + static_cast<uint64_t>(t));
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      const auto range = RandomRange(&rng, domain);
+      engine->SelectOrDie(range.first, range.second);
+    }
+  }
+  const int64_t escalations_converged = engine->CurrentStats().escalations;
+
+  // Replay rounds until overlap is observed (overlap is a scheduling
+  // property; on a loaded single-core runner one round can serialize by
+  // accident, so retry — parity must hold in every round regardless).
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  for (int round = 0; round < 20 && epoch->reader_high_water() <= 1;
+       ++round) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(3000 + static_cast<uint64_t>(t));
+        for (int i = 0; i < kQueriesPerThread; ++i) {
+          const auto range = RandomRange(&rng, domain);
+          QueryResult result;
+          if (!engine->Select(range.first, range.second, &result).ok()) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const ReferenceAnswer want =
+              ReferenceSelect(base.values(), range.first, range.second);
+          if (result.count() != want.count || result.Sum() != want.sum) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(epoch->reader_high_water(), 1)
+      << "shared readers never overlapped across 20 replay rounds";
+  // A converged replay escalates nothing.
+  EXPECT_EQ(engine->CurrentStats().escalations, escalations_converged);
+  EXPECT_EQ(column->writer_tag().violations(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+  EXPECT_EQ(engine->stats().queries, 0)
+      << "wrapper engines do not count queries on the outer stats_";
+}
+
+// Cold-phase hammer: every thread cracks concurrently, so the adapter must
+// serialize every query; the WriterTag proves it did.
+TEST(EpochHammerTest, ColdPhaseSerializesWriters) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 31);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(5000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 150; ++i) {
+        const auto range = RandomRange(&rng, domain);
+        QueryResult result;
+        if (!engine->Select(range.first, range.second, &result).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const ReferenceAnswer want =
+            ReferenceSelect(base.values(), range.first, range.second);
+        if (result.count() != want.count || result.Sum() != want.sum) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->writer_tag().violations(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// Readers concurrent with an update stream: staged inserts escalate, every
+// covering query merges under the exclusive lock, and nothing tears.
+TEST(EpochHammerTest, UpdateStreamInterleavesWithReaders) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 37);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+
+  // Converge first so readers take the shared path between escalations.
+  for (int t = 0; t < 4; ++t) {
+    Rng rng(7000 + static_cast<uint64_t>(t));
+    for (int i = 0; i < 150; ++i) {
+      const auto range = RandomRange(&rng, domain);
+      engine->SelectOrDie(range.first, range.second);
+    }
+  }
+
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 150; ++i) {
+        const auto range = RandomRange(&rng, domain);
+        QueryResult result;
+        // Counts drift as inserts land, so parity against the static
+        // reference is not checkable here; the final quiesced check below
+        // is. Sanity: the answer can only grow vs the base reference.
+        if (!engine->Select(range.first, range.second, &result).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const ReferenceAnswer want =
+            ReferenceSelect(base.values(), range.first, range.second);
+        if (result.count() < want.count) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  constexpr int kInserts = 64;
+  threads.emplace_back([&] {
+    Rng rng(41);
+    for (int u = 0; u < kInserts; ++u) {
+      if (!engine->StageInsert(rng.UniformValue(0, domain)).ok()) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  // Quiesced: one full-range query merges every remaining insert.
+  const QueryResult all = engine->SelectOrDie(0, domain + 1);
+  const ReferenceAnswer want = ReferenceSelect(base.values(), 0, domain + 1);
+  EXPECT_EQ(all.count(), want.count + kInserts);
+  const CrackerColumn* column = engine->audit_column();
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(column->writer_tag().violations(), 0);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// ------------------------------------------------- mixed batches (fix) ----
+
+// ThreadSafeEngine used to degrade a mixed batch to one-query-at-a-time;
+// now a cracker-column inner takes the inner batch path with one
+// end-of-batch deep copy. Every materialize output must survive the later
+// queries' reorganization with its full multiset.
+void CheckMixedBatch(const std::string& spec) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 43);
+  auto engine = CreateEngineOrDie(spec, &base, EngineConfig{});
+
+  std::vector<Query> batch;
+  Rng rng(47);
+  for (int i = 0; i < 32; ++i) {
+    Query query;
+    const auto range = RandomRange(&rng, domain);
+    query.low = range.first;
+    query.high = range.second;
+    switch (i % 3) {
+      case 0: query.mode = OutputMode::kMaterialize; break;
+      case 1: query.mode = OutputMode::kSum; break;
+      default: query.mode = OutputMode::kCount; break;
+    }
+    batch.push_back(query);
+  }
+
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(engine->ExecuteBatch(batch, &outputs).ok()) << spec;
+  ASSERT_EQ(outputs.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ReferenceAnswer want =
+        ReferenceSelect(base.values(), batch[i].low, batch[i].high);
+    if (batch[i].mode == OutputMode::kMaterialize) {
+      EXPECT_EQ(outputs[i].result.count(), want.count) << spec << " #" << i;
+      EXPECT_EQ(outputs[i].result.Sum(), want.sum) << spec << " #" << i;
+      EXPECT_TRUE(outputs[i].result.materialized()) << spec << " #" << i;
+    } else {
+      EXPECT_EQ(outputs[i].count, want.count) << spec << " #" << i;
+      if (batch[i].mode == OutputMode::kSum) {
+        EXPECT_EQ(outputs[i].sum, want.sum) << spec << " #" << i;
+      }
+    }
+  }
+  EXPECT_TRUE(engine->Validate().ok()) << spec;
+}
+
+TEST(MixedBatchTest, ThreadSafeCrackTakesInnerBatchPath) {
+  CheckMixedBatch("threadsafe:crack");
+}
+
+TEST(MixedBatchTest, ThreadSafeMdd1r) { CheckMixedBatch("threadsafe:mdd1r"); }
+
+// Hybrids report no cracker column (partitions move data across the merge
+// boundary, so batch-end views are not multiset-stable): the conservative
+// per-query fallback must still answer correctly.
+TEST(MixedBatchTest, ThreadSafeHybridFallback) {
+  CheckMixedBatch("threadsafe:aicc");
+}
+
+TEST(MixedBatchTest, EpochCrackColdBatchEscalates) {
+  CheckMixedBatch("epoch(crack)");
+}
+
+TEST(MixedBatchTest, EpochSharedBatchAfterConvergence) {
+  const Index n = 8192;
+  const Value domain = n / 8;
+  const Column base = Column::UniformRandom(n, 0, domain, 53);
+  auto engine = CreateEngineOrDie("epoch(crack)", &base, EngineConfig{});
+
+  std::vector<Query> batch;
+  Rng rng(59);
+  for (int i = 0; i < 16; ++i) {
+    Query query;
+    const auto range = RandomRange(&rng, domain);
+    query.low = range.first;
+    query.high = range.second;
+    query.mode = i % 2 == 0 ? OutputMode::kMaterialize : OutputMode::kSum;
+    batch.push_back(query);
+    engine->SelectOrDie(query.low, query.high);  // converge the bounds
+  }
+  const int64_t escalations_before = engine->CurrentStats().escalations;
+
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(engine->ExecuteBatch(batch, &outputs).ok());
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.escalations, escalations_before)
+      << "a fully-readable batch must run entirely under the shared lock";
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const ReferenceAnswer want =
+        ReferenceSelect(base.values(), batch[i].low, batch[i].high);
+    if (batch[i].mode == OutputMode::kMaterialize) {
+      EXPECT_EQ(outputs[i].result.count(), want.count);
+      EXPECT_EQ(outputs[i].result.Sum(), want.sum);
+    } else {
+      EXPECT_EQ(outputs[i].sum, want.sum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scrack

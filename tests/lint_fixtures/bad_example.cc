@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <mutex>  // mutex-confinement
 #include <random>
 
 #include "../util/common.h"  // include-hygiene
@@ -30,4 +31,10 @@ int* UseNew() {
   int* p = new int(42);  // naked-new
   delete p;              // naked-new
   return nullptr;
+}
+
+int UseAdHocLock() {
+  static std::mutex ad_hoc_lock;  // mutex-confinement
+  std::lock_guard<std::mutex> guard(ad_hoc_lock);  // mutex-confinement
+  return 0;
 }

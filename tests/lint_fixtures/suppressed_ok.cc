@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <mutex>  // lint:allow(mutex-confinement)
 #include <random>
 
 #include "../util/common.h"
@@ -33,4 +34,11 @@ int* UseNew() {
   int* p = new int(42);
   delete p;  // lint:allow(naked-new)
   return nullptr;
+}
+
+int UseAdHocLock() {
+  static std::mutex ad_hoc_lock;  // lint:allow(mutex-confinement)
+  // lint:allow(mutex-confinement)
+  std::lock_guard<std::mutex> guard(ad_hoc_lock);
+  return 0;
 }

@@ -18,6 +18,7 @@ EXPECTED_RULES = (
     "determinism",
     "check-macros",
     "naked-new",
+    "mutex-confinement",
     "include-hygiene",
 )
 

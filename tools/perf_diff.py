@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Perf-trajectory gate: diff a fresh bench JSON against a committed baseline.
 
-Understands both report schemas:
+Understands the report schemas:
   * BENCH_kernels.json  — results[]: {kernel, variant, gbps}
   * BENCH_repro.json    — figures[].metrics: "<label>.touched_per_sec"
+  * BENCH_serve.json    — scenarios[]: {engine, phase, loop, qps}
 
 A metric regresses when fresh < baseline / max_regression (default 1.3x).
 Two gate modes:
@@ -15,6 +16,15 @@ Two gate modes:
 Metrics present in only one file are reported but never fail the gate, so
 adding or removing a kernel/scenario doesn't require a lockstep baseline
 update. Exit status: 0 clean, 1 regression(s), 2 usage/schema error.
+
+--fresh accepts multiple report files; each metric takes its best (max)
+value across them. Lock-contention benchmarks (BENCH_serve.json: many
+client threads on few cores) are bimodal run to run — whether the mutex
+stays on its futex fast path is a scheduling accident — so the serve CI
+job measures best-of-3, which converges to the contention-favorable
+regime instead of gating on a coin flip. The committed serve baseline is
+the same best-of envelope. Single-run reports (kernels, repro) are
+unaffected.
 
 --normalize REF divides every metric by REF's value *from the same file*
 before comparing. The committed baselines were generated on a developer
@@ -63,13 +73,24 @@ def extract_metrics(doc, min_seconds, always_keep=None):
                     continue
                 metrics[full_name] = float(value)
         return metrics
-    raise ValueError("unrecognized report schema (no 'results' or 'figures')")
+    if "scenarios" in doc:  # BENCH_serve.json
+        for row in doc["scenarios"]:
+            # Open-loop QPS is pinned by the arrival schedule, not the
+            # engine; only the closed-loop rows measure throughput.
+            if row.get("loop") != "closed" or float(row["qps"]) <= 0:
+                continue
+            metrics[f"{row['engine']}/{row['phase']}"] = float(row["qps"])
+        return metrics
+    raise ValueError(
+        "unrecognized report schema (no 'results', 'figures' or 'scenarios')")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--fresh", required=True, nargs="+",
+                        help="fresh report(s); with several, each metric "
+                             "takes its best value across them")
     parser.add_argument("--max-regression", type=float, default=1.3,
                         help="fail when fresh < baseline / this factor")
     parser.add_argument("--min-seconds", type=float, default=0.02,
@@ -85,9 +106,13 @@ def main():
         with open(args.baseline) as f:
             baseline = extract_metrics(json.load(f), args.min_seconds,
                                        args.normalize)
-        with open(args.fresh) as f:
-            fresh = extract_metrics(json.load(f), args.min_seconds,
-                                    args.normalize)
+        fresh = {}
+        for path in args.fresh:
+            with open(path) as f:
+                one = extract_metrics(json.load(f), args.min_seconds,
+                                      args.normalize)
+            for key, value in one.items():
+                fresh[key] = max(value, fresh.get(key, value))
         if args.normalize is not None:
             for name, metrics in (("baseline", baseline), ("fresh", fresh)):
                 if args.normalize not in metrics:

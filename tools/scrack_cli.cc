@@ -238,7 +238,8 @@ class Session {
       std::printf(
           "engine=%s queries=%lld touched=%lld swaps=%lld cracks=%lld "
           "materialized=%lld updates_merged=%lld random_pivots=%lld "
-          "aggregates_pushed=%lld parallel_cracks=%lld threads_used=%lld\n",
+          "aggregates_pushed=%lld parallel_cracks=%lld threads_used=%lld "
+          "shared_reads=%lld exclusive_cracks=%lld escalations=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
@@ -247,7 +248,10 @@ class Session {
           static_cast<long long>(s.random_pivots),
           static_cast<long long>(s.aggregates_pushed),
           static_cast<long long>(s.parallel_cracks),
-          static_cast<long long>(s.threads_used));
+          static_cast<long long>(s.threads_used),
+          static_cast<long long>(s.shared_reads),
+          static_cast<long long>(s.exclusive_cracks),
+          static_cast<long long>(s.escalations));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {

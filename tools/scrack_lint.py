@@ -24,6 +24,12 @@ Enforces conventions that generic linters cannot know about. Rules:
   naked-new           no naked new/delete expressions; ownership goes through
                       containers and smart pointers. (static leaky singletons
                       carry an explicit suppression.)
+  mutex-confinement   raw std::mutex/std::shared_mutex (and <mutex>/
+                      <shared_mutex> includes) stay confined to the
+                      concurrency layer (thread_pool, sharded_engine,
+                      threadsafe_engine, epoch_engine); kernels, the column
+                      and the tools stay lock-free or go through those
+                      wrappers.
   include-hygiene     headers use #pragma once; no uphill relative includes
                       ("../") — project includes are rooted at src/.
 
@@ -244,6 +250,31 @@ def rule_naked_new(relpath, raw_lines, code_lines):
                    "by a smart pointer or container")
 
 
+MUTEX_RE = re.compile(
+    r"\bstd::(?:shared_|recursive_|timed_|shared_timed_)?mutex\b")
+MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s+<(?:mutex|shared_mutex)>')
+# The only files allowed to hold raw locks: the concurrency layer proper.
+# Everything else (kernels, the column, engines, tools, tests) must stay
+# lock-free or go through one of these wrappers — ad-hoc locking is how
+# deadlocks and silent serialization creep into the hot path.
+MUTEX_HOMES = {
+    "thread_pool", "sharded_engine", "threadsafe_engine", "epoch_engine",
+}
+
+
+def rule_mutex_confinement(relpath, raw_lines, code_lines):
+    stem = os.path.splitext(os.path.basename(relpath))[0]
+    if stem in MUTEX_HOMES:
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        match = MUTEX_RE.search(line) or MUTEX_INCLUDE_RE.search(line)
+        if match:
+            yield (lineno, "mutex-confinement",
+                   f"'{match.group(0)}' outside the concurrency layer "
+                   f"({', '.join(sorted(MUTEX_HOMES))}): use those wrappers "
+                   "or atomics instead of ad-hoc locks")
+
+
 HEADER_EXTENSIONS = {".h", ".hpp", ".inl"}
 
 
@@ -268,6 +299,7 @@ LINE_RULES = [
     rule_determinism,
     rule_check_macros,
     rule_naked_new,
+    rule_mutex_confinement,
     rule_include_hygiene,
 ]
 

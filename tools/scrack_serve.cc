@@ -1,0 +1,421 @@
+// scrack_serve — the concurrent-serving benchmark.
+//
+// Drives N client threads against one engine across the convergence
+// lifecycle the epoch layer targets (paper §6 deferred this to future
+// work; see src/parallel/epoch_engine.h):
+//
+//   cold       — first pass over fresh data: every query cracks, so the
+//                reader-writer layer degenerates to the exclusive lock.
+//   converged  — the identical query streams replayed: every bound is
+//                already a crack position, so epoch engines serve the
+//                whole phase as concurrent shared readers.
+//   update     — the streams replayed once more while an updater thread
+//                stages inserts: escalations reappear exactly where a
+//                query's range covers a staged value.
+//
+// Each phase runs closed-loop (a thread issues its next query the moment
+// the previous one answers; throughput-bound), and the converged phase
+// additionally runs open-loop (queries have fixed scheduled arrival times
+// at --rate; latency is measured from the *scheduled* arrival, so
+// queueing behind a lock shows up in p99 — the production-relevant
+// number a closed loop hides).
+//
+// Correctness gates, enforced via the exit code:
+//   * per-(phase, loop) checksums must agree across every engine — the
+//     engines disagree only if a concurrency bug corrupted an answer;
+//   * after the update phase, a quiesced full-range sum must agree across
+//     engines (per-query parity during the phase is timing-dependent, the
+//     final merged multiset is not);
+//   * engines exposing a cracker column must report zero WriterTag
+//     violations (a shared reader that reorganized, or two overlapped
+//     writers, trips the tag — see audit/writer_tag.h).
+//
+// All query streams are deterministic in (--seed, thread index), so two
+// runs at the same scale issue the identical query multiset to every
+// engine. Latencies are wall-clock (steady, via util/timer.h) and
+// machine-dependent; checksums and escalation counts are not.
+//
+// Usage:
+//   scrack_serve [--quick] [--threads=N] [--n=N] [--q=Q] [--rate=QPS]
+//                [--seed=S] [--json=PATH]
+//
+//   --quick      CI scale (smaller column and streams, same gates).
+//   --threads=N  client threads (default 8).
+//   --q=Q        total queries per phase, split across threads.
+//   --rate=QPS   total open-loop arrival rate (default 50000).
+//   --json=PATH  report path (default BENCH_serve.json; 'none' disables).
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+#include "harness/engine_factory.h"
+#include "repro/json.h"
+#include "storage/column.h"
+#include "storage/query.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace scrack {
+namespace {
+
+struct ServeOptions {
+  Index n = 1000 * 1000;
+  int64_t total_queries = 40 * 1000;  // per phase, split across threads
+  int threads = 8;
+  double rate = 50 * 1000;  // open-loop total arrivals/sec
+  uint64_t seed = 42;
+  int64_t updates = 200;  // staged inserts during the update phase
+  std::string json_path = "BENCH_serve.json";
+};
+
+/// One thread's deterministic query stream: fixed-width ranges at uniform
+/// random offsets, every 4th query materializing, the rest aggregating
+/// (kSum), so both shared-read paths are exercised.
+std::vector<Query> MakeStream(const ServeOptions& opt, int thread_index) {
+  const int64_t per_thread = opt.total_queries / opt.threads;
+  const Value width = std::max<Value>(1, opt.n / 1000);
+  Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL *
+                      static_cast<uint64_t>(thread_index + 1)));
+  std::vector<Query> stream;
+  stream.reserve(static_cast<size_t>(per_thread));
+  for (int64_t i = 0; i < per_thread; ++i) {
+    Query query;
+    query.low = rng.UniformValue(0, opt.n - width);
+    query.high = query.low + width;
+    query.mode = i % 4 == 0 ? OutputMode::kMaterialize : OutputMode::kSum;
+    stream.push_back(query);
+  }
+  return stream;
+}
+
+/// Order-independent fold of one answer into a running checksum, so the
+/// per-phase total is invariant to thread interleaving (and, when a fixed
+/// global stream is partitioned, to the thread count).
+uint64_t FoldChecksum(const Query& query, const QueryOutput& output) {
+  int64_t count = 0;
+  int64_t sum = 0;
+  if (query.mode == OutputMode::kMaterialize) {
+    count = output.result.count();
+    sum = output.result.Sum();
+  } else {
+    count = output.count;
+    sum = output.sum;
+  }
+  return static_cast<uint64_t>(sum) * 31u + static_cast<uint64_t>(count);
+}
+
+struct PhaseResult {
+  double seconds = 0;
+  int64_t queries = 0;
+  uint64_t checksum = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  // CurrentStats deltas across the phase.
+  int64_t shared_reads = 0;
+  int64_t exclusive_cracks = 0;
+  int64_t escalations = 0;
+  bool ok = true;
+};
+
+double PercentileUs(const std::vector<int64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0;
+  const size_t last = sorted_ns.size() - 1;
+  size_t i = static_cast<size_t>(p * static_cast<double>(sorted_ns.size()));
+  if (i > last) i = last;
+  return static_cast<double>(sorted_ns[i]) / 1000.0;
+}
+
+/// Runs one phase: every client thread issues its stream, closed- or
+/// open-loop; an optional updater thread stages `updates` inserts spread
+/// across the phase. Returns merged latency percentiles, throughput, the
+/// commutative checksum, and the engine's stat deltas.
+PhaseResult RunPhase(SelectEngine* engine,
+                     const std::vector<std::vector<Query>>& streams,
+                     bool open_loop, double total_rate, int64_t updates,
+                     Index n, uint64_t seed) {
+  const int threads = static_cast<int>(streams.size());
+  std::vector<std::vector<int64_t>> latencies_ns(streams.size());
+  std::vector<uint64_t> checksums(streams.size(), 0);
+  std::atomic<int64_t> errors{0};
+  const EngineStats before = engine->CurrentStats();
+
+  Timer phase_timer;
+  std::vector<std::thread> workers;
+  workers.reserve(streams.size() + 1);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<Query>& stream = streams[static_cast<size_t>(t)];
+      std::vector<int64_t>& lat = latencies_ns[static_cast<size_t>(t)];
+      lat.reserve(stream.size());
+      const double per_thread_rate =
+          total_rate / static_cast<double>(threads);
+      const double ns_per_arrival =
+          per_thread_rate > 0 ? 1e9 / per_thread_rate : 0;
+      uint64_t checksum = 0;
+      Timer timer;
+      for (size_t i = 0; i < stream.size(); ++i) {
+        int64_t issue_ns = timer.ElapsedNanos();
+        if (open_loop) {
+          // Fixed arrival schedule: wait for the slot, then measure from
+          // the *scheduled* arrival so queueing delay is included. A
+          // thread running behind schedule never waits.
+          const int64_t arrival_ns =
+              static_cast<int64_t>(ns_per_arrival * static_cast<double>(i));
+          while (timer.ElapsedNanos() < arrival_ns) {
+            std::this_thread::yield();
+          }
+          issue_ns = arrival_ns;
+        }
+        QueryOutput output;
+        const Status status = engine->Execute(stream[i], &output);
+        if (!status.ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        lat.push_back(timer.ElapsedNanos() - issue_ns);
+        checksum += FoldChecksum(stream[i], output);
+      }
+      checksums[static_cast<size_t>(t)] = checksum;
+    });
+  }
+  if (updates > 0) {
+    workers.emplace_back([&] {
+      // Spread the staged inserts across the phase: yield-loop between
+      // stages so client queries interleave with escalations. The staged
+      // value set is deterministic; only the interleaving is not.
+      Rng rng(seed + 999);
+      for (int64_t u = 0; u < updates; ++u) {
+        if (!engine->StageInsert(rng.UniformValue(0, n)).ok()) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (int spin = 0; spin < 64; ++spin) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  PhaseResult result;
+  result.seconds = phase_timer.ElapsedSeconds();
+  result.ok = errors.load() == 0;
+  std::vector<int64_t> merged;
+  for (const std::vector<int64_t>& lat : latencies_ns) {
+    result.queries += static_cast<int64_t>(lat.size());
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.p50_us = PercentileUs(merged, 0.50);
+  result.p99_us = PercentileUs(merged, 0.99);
+  result.p999_us = PercentileUs(merged, 0.999);
+  for (uint64_t checksum : checksums) result.checksum += checksum;
+  const EngineStats after = engine->CurrentStats();
+  result.shared_reads = after.shared_reads - before.shared_reads;
+  result.exclusive_cracks = after.exclusive_cracks - before.exclusive_cracks;
+  result.escalations = after.escalations - before.escalations;
+  return result;
+}
+
+struct Scenario {
+  std::string engine;
+  std::string phase;
+  std::string loop;
+  PhaseResult result;
+};
+
+int Main(int argc, char** argv) {
+  ServeOptions opt;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--n=", 0) == 0) {
+      opt.n = std::atoll(arg.c_str() + 4);
+    } else if (arg.rfind("--q=", 0) == 0) {
+      opt.total_queries = std::atoll(arg.c_str() + 4);
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      opt.rate = std::atof(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads=N] [--n=N] [--q=Q] "
+                   "[--rate=QPS] [--seed=S] [--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    opt.n = 200 * 1000;
+    opt.total_queries = 8 * 1000;
+    opt.updates = 50;
+  }
+  if (opt.threads < 1 || opt.n < 1000 || opt.total_queries < opt.threads) {
+    std::fprintf(stderr, "scrack_serve: invalid scale\n");
+    return 2;
+  }
+
+  const std::vector<std::string> engine_specs = {
+      "threadsafe:crack", "epoch(crack)", "epoch(crack-p)",
+      "sharded(2,epoch(crack))"};
+
+  const Column base = Column::UniquePermutation(opt.n, opt.seed);
+  std::vector<std::vector<Query>> streams;
+  for (int t = 0; t < opt.threads; ++t) streams.push_back(MakeStream(opt, t));
+
+  std::vector<Scenario> scenarios;
+  std::vector<uint64_t> final_sums;
+  bool ok = true;
+
+  std::printf("%-26s %-10s %-7s %10s %9s %9s %9s %12s\n", "engine", "phase",
+              "loop", "qps", "p50us", "p99us", "p999us", "escalations");
+  for (const std::string& spec : engine_specs) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status created =
+        CreateEngine(spec, &base, EngineConfig::Detected(), &engine);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", spec.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+
+    const auto run_and_report = [&](const std::string& phase,
+                                    const std::string& loop, bool open_loop,
+                                    int64_t updates) {
+      PhaseResult result =
+          RunPhase(engine.get(), streams, open_loop,
+                   open_loop ? opt.rate : 0, updates, opt.n, opt.seed);
+      ok = ok && result.ok;
+      const double qps =
+          result.seconds > 0
+              ? static_cast<double>(result.queries) / result.seconds
+              : 0;
+      std::printf("%-26s %-10s %-7s %10.0f %9.1f %9.1f %9.1f %12" PRId64
+                  "\n",
+                  engine->name().c_str(), phase.c_str(), loop.c_str(), qps,
+                  result.p50_us, result.p99_us, result.p999_us,
+                  result.escalations);
+      scenarios.push_back(Scenario{spec, phase, loop, result});
+    };
+
+    run_and_report("cold", "closed", false, 0);
+    run_and_report("converged", "closed", false, 0);
+    run_and_report("converged", "open", true, 0);
+    run_and_report("update", "closed", false, opt.updates);
+
+    // Quiesced post-update parity: one full-range sum merges every staged
+    // insert, so the answer depends only on the final multiset.
+    Query full;
+    full.low = 0;
+    full.high = opt.n + 1;
+    full.mode = OutputMode::kSum;
+    QueryOutput output;
+    const Status status = engine->Execute(full, &output);
+    if (!status.ok()) {
+      std::fprintf(stderr, "engine %s: final query: %s\n", spec.c_str(),
+                   status.ToString().c_str());
+      ok = false;
+    }
+    final_sums.push_back(static_cast<uint64_t>(output.sum) * 31u +
+                         static_cast<uint64_t>(output.count));
+
+    const CrackerColumn* column = engine->audit_column();
+    if (column != nullptr && column->writer_tag().violations() != 0) {
+      std::fprintf(stderr, "engine %s: %" PRId64 " WriterTag violations\n",
+                   spec.c_str(),
+                   static_cast<int64_t>(column->writer_tag().violations()));
+      ok = false;
+    }
+    if (!engine->Validate().ok()) {
+      std::fprintf(stderr, "engine %s: Validate failed after serve\n",
+                   spec.c_str());
+      ok = false;
+    }
+  }
+
+  // Cross-engine parity: same (phase, loop) => same checksum; same final
+  // full-range sum. Any mismatch is a correctness bug, not noise.
+  const size_t per_engine = scenarios.size() / engine_specs.size();
+  for (size_t s = 0; s < per_engine; ++s) {
+    // The update phase's in-flight checksums are timing-dependent (a query
+    // may run before or after an insert lands); its parity gate is the
+    // quiesced final sum below.
+    if (scenarios[s].phase == "update") continue;
+    for (size_t e = 1; e < engine_specs.size(); ++e) {
+      const Scenario& ref = scenarios[s];
+      const Scenario& other = scenarios[e * per_engine + s];
+      if (other.result.checksum != ref.result.checksum) {
+        std::fprintf(stderr, "parity mismatch: %s/%s %s vs %s\n",
+                     ref.phase.c_str(), ref.loop.c_str(),
+                     ref.engine.c_str(), other.engine.c_str());
+        ok = false;
+      }
+    }
+  }
+  for (size_t e = 1; e < final_sums.size(); ++e) {
+    if (final_sums[e] != final_sums[0]) {
+      std::fprintf(stderr, "post-update parity mismatch: %s vs %s\n",
+                   engine_specs[0].c_str(), engine_specs[e].c_str());
+      ok = false;
+    }
+  }
+
+  if (opt.json_path != "none") {
+    repro::Json doc{repro::JsonObject{}};
+    doc.Set("schema", "serve");
+    doc.Set("n", static_cast<int64_t>(opt.n));
+    doc.Set("threads", static_cast<int64_t>(opt.threads));
+    doc.Set("queries_per_phase", opt.total_queries);
+    doc.Set("seed", static_cast<int64_t>(opt.seed));
+    repro::Json rows{repro::JsonArray{}};
+    for (const Scenario& scenario : scenarios) {
+      const PhaseResult& r = scenario.result;
+      repro::Json row{repro::JsonObject{}};
+      row.Set("engine", scenario.engine);
+      row.Set("phase", scenario.phase);
+      row.Set("loop", scenario.loop);
+      row.Set("qps", r.seconds > 0
+                         ? static_cast<double>(r.queries) / r.seconds
+                         : 0.0);
+      row.Set("p50_us", r.p50_us);
+      row.Set("p99_us", r.p99_us);
+      row.Set("p999_us", r.p999_us);
+      row.Set("queries", r.queries);
+      row.Set("checksum", static_cast<double>(r.checksum % 2147483647u));
+      row.Set("shared_reads", r.shared_reads);
+      row.Set("exclusive_cracks", r.exclusive_cracks);
+      row.Set("escalations", r.escalations);
+      rows.Append(std::move(row));
+    }
+    doc.Set("scenarios", std::move(rows));
+    const Status written = repro::WriteJsonFile(doc, opt.json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", opt.json_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf(ok ? "serve: parity OK\n" : "serve: FAILED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace scrack
+
+int main(int argc, char** argv) { return scrack::Main(argc, argv); }
