@@ -123,6 +123,10 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
        stats.aggregates_pushed},
       {"parallel_cracks", last_stats_.parallel_cracks, stats.parallel_cracks},
       {"threads_used", last_stats_.threads_used, stats.threads_used},
+      {"budget_exhausted", last_stats_.budget_exhausted,
+       stats.budget_exhausted},
+      {"scan_fallback_tuples", last_stats_.scan_fallback_tuples,
+       stats.scan_fallback_tuples},
   };
   for (const auto& counter : counters) {
     if (counter.now < counter.was) {
@@ -148,6 +152,34 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
                           std::to_string(stats.queries - last_stats_.queries) +
                           " across " + std::to_string(calls) +
                           " forwarded call(s)");
+  }
+  // Budget laws (prog(B,...) engines). deferred_swaps is a gauge, not a
+  // counter: it must stay non-negative, drains back to exactly 0 at
+  // convergence, and can only be owed by queries that ran out of budget.
+  if (stats.deferred_swaps < 0) {
+    SCRACK_AUDIT_EMIT(out, "budget-conservation", -1,
+                      "deferred_swaps gauge is negative: " +
+                          std::to_string(stats.deferred_swaps));
+  }
+  if (stats.deferred_swaps > 0 && stats.budget_exhausted == 0) {
+    SCRACK_AUDIT_EMIT(out, "budget-conservation", -1,
+                      "deferred_swaps = " +
+                          std::to_string(stats.deferred_swaps) +
+                          " owed but no query ever exhausted its budget");
+  }
+  if (stats.budget_exhausted > 0 && stats.swap_budget == 0) {
+    SCRACK_AUDIT_EMIT(out, "budget-conservation", -1,
+                      "budget_exhausted = " +
+                          std::to_string(stats.budget_exhausted) +
+                          " on an engine that publishes no swap budget");
+  }
+  if (stats.swap_budget > 0 && calls > 0 &&
+      swaps_delta > calls * stats.swap_budget) {
+    SCRACK_AUDIT_EMIT(out, "budget-conservation", -1,
+                      "+" + std::to_string(swaps_delta) + " swaps across " +
+                          std::to_string(calls) +
+                          " call(s) exceeds the published per-query ceiling " +
+                          std::to_string(stats.swap_budget));
   }
   if (stats.parallel_cracks > last_stats_.parallel_cracks &&
       stats.threads_used < 2) {

@@ -4,10 +4,15 @@ namespace scrack {
 
 Status CrackEngine::Select(Value low, Value high, QueryResult* result) {
   SCRACK_RETURN_NOT_OK(CheckRange(low, high));
-  ++stats_.queries;
-  return column_.SelectWithPolicy(
+  // queries counts *served* queries, incremented only once the work is
+  // done: an attempt unwound by an injected fault and then retried must
+  // advance the counter exactly once, or the auditor's strict query-count
+  // law would flag the retry (see src/progressive/chaos_engine.h).
+  SCRACK_RETURN_NOT_OK(column_.SelectWithPolicy(
       low, high, [](const Piece&) { return EndPieceMode::kCrack; }, result,
-      &stats_);
+      &stats_));
+  ++stats_.queries;
+  return Status::OK();
 }
 
 Status CrackEngine::Execute(const Query& query, QueryOutput* output) {
@@ -15,13 +20,13 @@ Status CrackEngine::Execute(const Query& query, QueryOutput* output) {
     return SelectEngine::Execute(query, output);
   }
   SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
-  ++stats_.queries;
   Index begin = 0;
   Index end = 0;
   SCRACK_RETURN_NOT_OK(
       column_.CrackRange(query.low, query.high, &begin, &end, &stats_));
   column_.AggregateCrackedRegion(begin, end, query, output, &stats_);
   ++stats_.aggregates_pushed;
+  ++stats_.queries;
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/cache_info.h"
+#include "util/fault.h"
 #include "util/introselect.h"
 
 namespace scrack {
@@ -94,6 +95,9 @@ void CrackerColumn::FilterPiece(Index begin, Index end, Value qlo, Value qhi,
                                 std::vector<Value>* out,
                                 KernelCounters* counters,
                                 EngineStats* stats) {
+  // Filtered materialization allocates the result buffer; an armed fault
+  // here models that allocation failing (column state is untouched).
+  SCRACK_FAULT_POINT("alloc");
   if (UsesParallel(end - begin)) {
     NoteParallelPass(end - begin, stats);
     ParallelFilterInto(data(), begin, end, qlo, qhi, out, parallel_,
@@ -140,6 +144,9 @@ void CrackerColumn::AggregateCrackedRegion(Index begin, Index end,
 void CrackerColumn::EnsureInitialized(EngineStats* stats) {
   if (initialized_) return;
   WriterGuard writer(&writer_tag_);
+  // The first-touch copy is the column's largest single allocation; an
+  // armed fault here models OOM before any state has changed.
+  SCRACK_FAULT_POINT("alloc");
   const Index n = base_->size();
   data_.resize(static_cast<size_t>(n));
   for (Index i = 0; i < n; ++i) {
@@ -156,6 +163,10 @@ void CrackerColumn::EnsureInitialized(EngineStats* stats) {
 }
 
 bool CrackerColumn::AddCrack(Value v, Index pos, EngineStats* stats) {
+  // Aborting before the index mutation is always invariant-preserving: the
+  // partition work that produced `pos` only permuted values within their
+  // piece, which the piece-partition law tolerates without the crack.
+  SCRACK_FAULT_POINT("register");
   if (index_.AddCrack(v, pos)) {
     ++stats->cracks;
     return true;
@@ -168,6 +179,7 @@ Index CrackerColumn::CrackBound(Value v, EngineStats* stats) {
   EnsureInitialized(stats);
   if (index_.HasCrack(v)) return index_.CrackPosition(v);
   const Piece piece = index_.FindPiece(v);
+  SCRACK_FAULT_POINT("partition");
   KernelCounters counters;
   const Index split =
       PartitionTwo(piece.begin, piece.end, v, &counters, stats);
@@ -211,6 +223,256 @@ Status CrackerColumn::CrackRange(Value low, Value high, Index* begin,
   *end = high > max_value_ ? size() : CrackBound(high, stats);
   if (*end < *begin) *end = *begin;
   return Status::OK();
+}
+
+CrackerColumn::BudgetedCrackOutcome CrackerColumn::AdvanceBudgetedCrack(
+    Value v, bool eager_small, int64_t* allowance, EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
+  EnsureInitialized(stats);
+  const Index cutoff = budget_small_piece_values();
+  for (;;) {
+    if (v <= min_value_) return {true, 0, 0};
+    if (v > max_value_) return {true, size(), 0};
+    if (index_.HasCrack(v)) return {true, index_.CrackPosition(v), 0};
+
+    const Piece piece = index_.FindPiece(v);
+    PieceMeta& meta = index_.MetaFor(piece.meta_key);
+    ProgressiveCrack& pc = meta.progressive;
+    if (!pc.active) {
+      if (piece.size() <= cutoff) {
+        // Small piece: finish it in one pass rather than carry partition
+        // state for a cache-resident region. Only the current query's own
+        // bounds may overdraw the allowance (the bounded per-query slack);
+        // the lazy drain path waits until the allowance covers the piece.
+        if (!eager_small && *allowance < piece.size()) {
+          return {false, 0, piece.size()};
+        }
+        SCRACK_FAULT_POINT("partition");
+        KernelCounters counters;
+        const Index split =
+            PartitionTwo(piece.begin, piece.end, v, &counters, stats);
+        stats->tuples_touched += counters.touched;
+        stats->swaps += counters.swaps;
+        *allowance -= counters.swaps;
+        AddCrack(v, split, stats);
+        continue;  // resolves at the top of the loop
+      }
+      if (*allowance <= 0) return {false, 0, piece.size()};
+      pc.active = true;
+      pc.pivot = v;
+      pc.left = piece.begin;
+      pc.right = piece.end - 1;
+    }
+    // Continue the piece's in-flight partition. Its pivot may be v itself
+    // or an earlier deferred bound that never finished — either way the
+    // piece carries one partition at a time, so finish it first. The
+    // left > right guard resumes cleanly when a fault unwound between the
+    // partition completing and the crack registering.
+    while (pc.left <= pc.right && *allowance > 0) {
+      SCRACK_FAULT_POINT("slice");
+      KernelCounters counters;
+      const PartialPartitionResult part = PartialPartition(
+          data(), pc.left, pc.right, pc.pivot, *allowance, &counters);
+      pc.left = part.left;
+      pc.right = part.right;
+      stats->tuples_touched += counters.touched;
+      stats->swaps += counters.swaps;
+      *allowance -= counters.swaps;
+      if (part.complete) break;
+    }
+    if (pc.left <= pc.right) {
+      return {false, 0, pc.right - pc.left + 1};
+    }
+    const Value pivot = pc.pivot;
+    const Index split = pc.left;
+    pc = ProgressiveCrack{};  // deactivate before the index grows
+    AddCrack(pivot, split, stats);
+    // v is now either cracked (pivot == v) or confined to a smaller piece.
+  }
+}
+
+Status CrackerColumn::BudgetedSelect(Value low, Value high,
+                                     int64_t* allowance,
+                                     DeferredBound* low_deferred,
+                                     DeferredBound* high_deferred,
+                                     QueryResult* result,
+                                     EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
+  *low_deferred = DeferredBound{};
+  *high_deferred = DeferredBound{};
+  EnsureInitialized(stats);
+  SCRACK_RETURN_NOT_OK(MergePendingIn(low, high, stats));
+  if (size() == 0 || low >= high) return Status::OK();
+
+  const BudgetedCrackOutcome lo =
+      AdvanceBudgetedCrack(low, /*eager_small=*/true, allowance, stats);
+  const BudgetedCrackOutcome hi =
+      AdvanceBudgetedCrack(high, /*eager_small=*/true, allowance, stats);
+
+  // Piece lookups must run after both advances — either may have split the
+  // other bound's piece.
+  Piece lo_piece{};
+  Piece hi_piece{};
+  if (!lo.resolved) lo_piece = index_.FindPiece(low);
+  if (!hi.resolved) hi_piece = index_.FindPiece(high);
+  const bool same_piece =
+      !lo.resolved && !hi.resolved && lo_piece.begin == hi_piece.begin;
+
+  const Index view_begin = lo.resolved ? lo.pos : lo_piece.end;
+  const Index view_end = hi.resolved ? hi.pos : hi_piece.begin;
+
+  // Scan fallback: the uncracked end pieces are the only regions that can
+  // hold qualifying tuples outside the settled middle; filter them with
+  // the dispatched kernels. Same multiset of tuples as cracking would
+  // return, no reorganization.
+  if (!lo.resolved) {
+    KernelCounters counters;
+    std::vector<Value> out;
+    FilterPiece(lo_piece.begin, lo_piece.end, low, high, &out, &counters,
+                stats);
+    stats->tuples_touched += counters.touched;
+    stats->scan_fallback_tuples += lo_piece.size();
+    stats->materialized += static_cast<int64_t>(out.size());
+    result->AddOwned(std::move(out));
+    *low_deferred = DeferredBound{true, low, lo.remaining};
+  }
+  if (!hi.resolved) {
+    if (!same_piece) {
+      KernelCounters counters;
+      std::vector<Value> out;
+      FilterPiece(hi_piece.begin, hi_piece.end, low, high, &out, &counters,
+                  stats);
+      stats->tuples_touched += counters.touched;
+      stats->scan_fallback_tuples += hi_piece.size();
+      stats->materialized += static_cast<int64_t>(out.size());
+      result->AddOwned(std::move(out));
+    }
+    *high_deferred = DeferredBound{true, high, hi.remaining};
+  }
+
+  if (view_end > view_begin) {
+    result->AddView(data() + view_begin, view_end - view_begin);
+  }
+  return Status::OK();
+}
+
+Status CrackerColumn::BudgetedAggregate(const Query& query,
+                                        int64_t* allowance,
+                                        DeferredBound* low_deferred,
+                                        DeferredBound* high_deferred,
+                                        QueryOutput* output,
+                                        EngineStats* stats) {
+  WriterGuard writer(&writer_tag_);
+  *low_deferred = DeferredBound{};
+  *high_deferred = DeferredBound{};
+  EnsureInitialized(stats);
+  SCRACK_RETURN_NOT_OK(MergePendingIn(query.low, query.high, stats));
+  if (size() == 0 || query.low >= query.high) return Status::OK();
+
+  const BudgetedCrackOutcome lo =
+      AdvanceBudgetedCrack(query.low, /*eager_small=*/true, allowance, stats);
+  const BudgetedCrackOutcome hi =
+      AdvanceBudgetedCrack(query.high, /*eager_small=*/true, allowance,
+                           stats);
+
+  Piece lo_piece{};
+  Piece hi_piece{};
+  if (!lo.resolved) lo_piece = index_.FindPiece(query.low);
+  if (!hi.resolved) hi_piece = index_.FindPiece(query.high);
+  const bool same_piece =
+      !lo.resolved && !hi.resolved && lo_piece.begin == hi_piece.begin;
+
+  const Index view_begin = lo.resolved ? lo.pos : lo_piece.end;
+  const Index view_end = hi.resolved ? hi.pos : hi_piece.begin;
+
+  // The settled middle is all-qualifying; the unresolved end pieces take
+  // the range-filtered folds. Every partial follows the QueryOutput
+  // conventions, so MergePartial reproduces the single-region answer
+  // exactly (int64 addition is commutative; kExists counts stay capped).
+  if (view_end > view_begin) {
+    QueryOutput middle;
+    AggregateCrackedRegion(view_begin, view_end, query, &middle, stats);
+    MergePartial(query, middle, output);
+  }
+  if (!lo.resolved) {
+    FoldPieceInRange(lo_piece.begin, lo_piece.end, query, output, stats);
+    *low_deferred = DeferredBound{true, query.low, lo.remaining};
+  }
+  if (!hi.resolved) {
+    if (!same_piece) {
+      FoldPieceInRange(hi_piece.begin, hi_piece.end, query, output, stats);
+    }
+    *high_deferred = DeferredBound{true, query.high, hi.remaining};
+  }
+  return Status::OK();
+}
+
+void CrackerColumn::FoldPieceInRange(Index begin, Index end,
+                                     const Query& query, QueryOutput* output,
+                                     EngineStats* stats) {
+  const Index n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  QueryOutput partial;
+  switch (query.mode) {
+    case OutputMode::kMaterialize:
+      return;  // the engine routes materialization through BudgetedSelect
+    case OutputMode::kCount: {
+      if (UsesParallel(n)) {
+        NoteParallelPass(n, stats);
+        partial.count = ParallelCountInRange(data(), begin, end, query.low,
+                                             query.high, parallel_);
+      } else {
+        partial.count =
+            CountInRange(data(), begin, end, query.low, query.high);
+      }
+      stats->tuples_touched += n;
+      stats->scan_fallback_tuples += n;
+      break;
+    }
+    case OutputMode::kSum: {
+      RangeSum sum;
+      if (UsesParallel(n)) {
+        NoteParallelPass(n, stats);
+        sum = ParallelSumInRange(data(), begin, end, query.low, query.high,
+                                 parallel_);
+      } else {
+        sum = SumInRange(data(), begin, end, query.low, query.high);
+      }
+      partial.count = sum.count;
+      partial.sum = sum.sum;
+      stats->tuples_touched += n;
+      stats->scan_fallback_tuples += n;
+      break;
+    }
+    case OutputMode::kMinMax: {
+      RangeMinMax mm;
+      if (UsesParallel(n)) {
+        NoteParallelPass(n, stats);
+        mm = ParallelMinMaxInRange(data(), begin, end, query.low, query.high,
+                                   parallel_);
+      } else {
+        mm = MinMaxInRange(data(), begin, end, query.low, query.high);
+      }
+      partial.count = mm.count;
+      if (mm.count > 0) {
+        partial.min = mm.min;
+        partial.max = mm.max;
+      }
+      stats->tuples_touched += n;
+      stats->scan_fallback_tuples += n;
+      break;
+    }
+    case OutputMode::kExists: {
+      const RangePrefixHits hits = CountPrefixHits(
+          data(), begin, end, query.low, query.high, query.limit);
+      partial.count = std::min(hits.hits, query.limit);
+      partial.exists = hits.hits >= query.limit;
+      stats->tuples_touched += hits.examined;
+      stats->scan_fallback_tuples += hits.examined;
+      break;
+    }
+  }
+  MergePartial(query, partial, output);
 }
 
 bool CrackerColumn::CanAnswerWithoutReorg(Value low, Value high) const {
@@ -452,6 +714,9 @@ Status CrackerColumn::MergePendingIn(Value low, Value high,
   WriterGuard writer(&writer_tag_);
   if (pending_.empty()) return Status::OK();
   EnsureInitialized(stats);
+  // Abort here, before updates leave the pending pools: once TakeInsertsIn
+  // has run, an unwound merge would lose staged values.
+  SCRACK_FAULT_POINT("merge");
   std::vector<Value> inserts = pending_.TakeInsertsIn(low, high);
   std::vector<Value> deletes = pending_.TakeDeletesIn(low, high);
   if (inserts.empty() && deletes.empty()) return Status::OK();

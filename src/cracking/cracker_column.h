@@ -131,6 +131,69 @@ class CrackerColumn {
            n >= parallel_min_values_;
   }
 
+  // ----------------------------------------------------------------------
+  // Budgeted progressive cracking (prog(B,<inner>), src/progressive/)
+  // ----------------------------------------------------------------------
+
+  /// Outcome of one AdvanceBudgetedCrack call.
+  struct BudgetedCrackOutcome {
+    bool resolved = false;  ///< a crack at v now exists; pos is its position
+    Index pos = 0;
+    Index remaining = 0;  ///< unsettled span still owed for v (0 if resolved)
+  };
+
+  /// Budgeted original cracking: spends at most *allowance element
+  /// exchanges working toward a crack at bound v, decrementing *allowance
+  /// by the swaps actually performed. Partition state (pivot + inclusive
+  /// cursors) persists in the piece metadata, so a later call — for v or
+  /// for any other bound landing in the same piece — resumes where this
+  /// one stopped; the completed partition is the one CrackInTwo would have
+  /// produced in one go, so the final piece layout is identical to
+  /// unbudgeted cracking. Pieces of at most budget_small_piece_values()
+  /// are cracked to completion: with eager_small they may overdraw the
+  /// allowance (*allowance can go negative — the bounded per-query slack),
+  /// without it they are only cracked when the allowance covers the piece.
+  BudgetedCrackOutcome AdvanceBudgetedCrack(Value v, bool eager_small,
+                                            int64_t* allowance,
+                                            EngineStats* stats);
+
+  /// One query bound AdvanceBudgetedCrack could not resolve, reported so
+  /// the budgeted engine can enqueue it for lazy completion.
+  struct DeferredBound {
+    bool deferred = false;
+    Value value = 0;
+    Index remaining = 0;  ///< unsettled span of the piece holding the bound
+  };
+
+  /// Budgeted Select: reorganizes like original cracking but spends at most
+  /// *allowance swaps (plus the small-piece slack); bounds the budget could
+  /// not crack are answered by filtering their piece with the scan kernels
+  /// (scan_fallback_tuples counts those reads) and reported through
+  /// low_deferred / high_deferred. Answers are the same multiset of tuples
+  /// unbudgeted cracking returns.
+  Status BudgetedSelect(Value low, Value high, int64_t* allowance,
+                        DeferredBound* low_deferred,
+                        DeferredBound* high_deferred, QueryResult* result,
+                        EngineStats* stats);
+
+  /// Aggregate sibling of BudgetedSelect: folds unresolved end pieces with
+  /// the range-filtered fold kernels, the settled middle with the cracked-
+  /// region folds, and merges the partials (same values as an unbudgeted
+  /// CrackRange + AggregateCrackedRegion). kMaterialize is not handled
+  /// here — the engine routes it through BudgetedSelect.
+  Status BudgetedAggregate(const Query& query, int64_t* allowance,
+                           DeferredBound* low_deferred,
+                           DeferredBound* high_deferred, QueryOutput* output,
+                           EngineStats* stats);
+
+  /// Effective small-piece cutoff (config.budget_small_piece_values, else
+  /// config.crack_threshold_values).
+  Index budget_small_piece_values() const {
+    return config_.budget_small_piece_values > 0
+               ? config_.budget_small_piece_values
+               : config_.crack_threshold_values;
+  }
+
   /// DDC/DDR/DD1C/DD1R bound handling (paper Fig. 4 and its variants):
   /// recursively (or once, if !recursive) splits the piece containing v —
   /// at the median if center_pivot, else at a random element — until it is
@@ -244,6 +307,13 @@ class CrackerColumn {
   // MDD1R's split_and_materialize on `piece`, registering the random crack.
   void SplitMatPiece(const Piece& piece, Value qlo, Value qhi,
                      QueryResult* result, EngineStats* stats);
+
+  // Range-filtered fold over one uncracked piece region for the budgeted
+  // aggregate path (the piece may hold non-qualifying values, unlike
+  // AggregateCrackedRegion's all-qualify contract). Merges into *output
+  // via MergePartial semantics.
+  void FoldPieceInRange(Index begin, Index end, const Query& query,
+                        QueryOutput* output, EngineStats* stats);
 
   // Progressive continuation on `piece` (budgeted partial partition +
   // filtered materialization of the whole piece).

@@ -48,6 +48,21 @@ struct EngineStats {
                                  ///  writer path and ran the inner engine
   int64_t escalations = 0;      ///< exclusive-lock acquisitions (escalated
                                 ///  queries plus staged updates)
+  int64_t budget_exhausted = 0;  ///< queries whose swap budget ran out before
+                                 ///  both bounds were cracked (the remainder
+                                 ///  was answered by scan fallback)
+  int64_t deferred_swaps = 0;   ///< gauge, not a counter: estimate of the
+                                ///  swaps still owed for deferred bound
+                                ///  values; exactly 0 once the budgeted
+                                ///  engine has converged
+  int64_t scan_fallback_tuples = 0;  ///< tuples answered by filtering an
+                                     ///  uncracked piece instead of from
+                                     ///  cracked piece bounds
+  int64_t swap_budget = 0;      ///< enforced per-query swaps ceiling,
+                                ///  including the small-piece slack (set
+                                ///  once by budgeted engines; 0 = unbounded)
+                                ///  — a limit the auditor checks against,
+                                ///  not a cumulative counter
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's
@@ -110,6 +125,32 @@ struct EngineConfig {
   /// column-sized scratch, sequential fix-up). SCRACK_PARALLEL_INPLACE=1
   /// in the environment forces this on.
   bool parallel_in_place = false;
+
+  /// Budgeted progressive cracking (prog(B,<inner>)): maximum element
+  /// exchanges one query may spend on reorganization. Partition work left
+  /// over when the budget runs out is deferred to later queries and the
+  /// uncracked remainder is answered by the scan/fold kernels, so answers
+  /// are unchanged — only the reorganization schedule moves.
+  /// 0 = unlimited. SCRACK_SWAP_BUDGET (env) overrides when set.
+  int64_t swap_budget = 0;
+
+  /// Per-query latency deadline in microseconds, for SLO *reporting*
+  /// (scrack_serve --slo classifies measured latencies against it). Never
+  /// consulted by the engines: deterministic work bounding is swap_budget's
+  /// job; a wall-clock cutoff inside an engine would make reorganization
+  /// schedule-dependent. 0 = no deadline. SCRACK_DEADLINE_US (env)
+  /// overrides when set.
+  double deadline_us = 0.0;
+
+  /// Budgeted progressive cracking: pieces of at most this many values are
+  /// cracked to completion even when the budget is exhausted (the budgeted
+  /// analog of a progressive index's small-piece sort cutoff — finishing a
+  /// cache-resident piece is cheaper than carrying its partition state).
+  /// At most two such pieces (one per query bound) may overdraw a query's
+  /// budget, so the enforced per-query ceiling is
+  /// swap_budget + 2 * budget_small_piece_values.
+  /// 0 = crack_threshold_values.
+  Index budget_small_piece_values = 0;
 
   /// Populates the cache-derived fields from the host's cache hierarchy.
   static EngineConfig Detected() {

@@ -16,6 +16,8 @@
 #include "parallel/epoch_engine.h"
 #include "parallel/sharded_engine.h"
 #include "parallel/thread_pool.h"
+#include "progressive/budgeted_engine.h"
+#include "progressive/chaos_engine.h"
 
 namespace scrack {
 
@@ -152,6 +154,98 @@ Status CreateEpochEngine(const std::string& spec, const Column* base,
   return Status::OK();
 }
 
+// prog(B,<inner>) — budgeted progressive cracking: at most B tuple swaps
+// of reorganization per query, scan fallback for the uncracked remainder.
+// The inner spec is restricted to plain cracking (crack / crack-pN): the
+// budget needs query-driven cracks whose completed layout is position-
+// identical to the unbudgeted engine's, which the stochastic variants'
+// random pivots are not. `spec` is already lower-cased.
+Status CreateProgEngine(const std::string& spec, const Column* base,
+                        const EngineConfig& config,
+                        std::unique_ptr<SelectEngine>* out) {
+  const std::string prefix = "prog(";
+  if (spec.size() <= prefix.size() ||
+      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+    return Status::InvalidArgument(
+        "prog spec must be prog(B,<inner>) with B a per-query swap budget "
+        "(or inf), e.g. prog(5000,crack): " + spec);
+  }
+  const std::string body =
+      spec.substr(prefix.size(), spec.size() - prefix.size() - 1);
+  const size_t comma = body.find(',');
+  if (comma == std::string::npos) {
+    return Status::InvalidArgument(
+        "prog needs a budget and an inner spec, e.g. prog(5000,crack): " +
+        spec);
+  }
+  const std::string budget_text = Trim(body.substr(0, comma));
+  const std::string inner_spec = Trim(body.substr(comma + 1));
+  int64_t budget = 0;
+  if (budget_text == "inf" || budget_text == "0") {
+    budget = 0;  // unlimited — behaves exactly like plain cracking
+  } else if (!budget_text.empty() &&
+             budget_text.find_first_not_of("0123456789") ==
+                 std::string::npos) {
+    budget = std::strtoll(budget_text.c_str(), nullptr, 10);
+    if (budget < 1) {
+      return Status::InvalidArgument("prog budget must be >= 1 (or inf): " +
+                                     spec);
+    }
+  } else {
+    return Status::InvalidArgument(
+        "bad prog budget (tuple swaps per query, or inf): " + spec);
+  }
+  EngineConfig cfg = config;
+  cfg.swap_budget = budget;
+  std::string inner_name = inner_spec;
+  const size_t dash_p = inner_name.rfind("-p");
+  if (dash_p != std::string::npos && dash_p > 0) {
+    const std::string count = inner_name.substr(dash_p + 2);
+    if (count.find_first_not_of("0123456789") == std::string::npos) {
+      long threads = ThreadPool::DefaultThreads();
+      if (!count.empty()) threads = std::strtol(count.c_str(), nullptr, 10);
+      if (threads < 1 || threads > 1024) {
+        return Status::InvalidArgument(
+            "parallel thread count out of range [1, 1024]: " + spec);
+      }
+      cfg.parallel_threads = static_cast<int>(threads);
+      inner_name = inner_name.substr(0, dash_p);
+    }
+  }
+  if (inner_name != "crack") {
+    return Status::InvalidArgument(
+        "prog composes over plain cracking only; the inner spec must be "
+        "crack or crack-pN (wrap prog itself for more: "
+        "epoch(prog(5000,crack))): " + spec);
+  }
+  *out = std::make_unique<BudgetedEngine>(base, cfg, inner_spec);
+  return Status::OK();
+}
+
+// chaos(<inner>) — recursively builds the inner spec and wraps it in the
+// seeded fault-injection decorator. `spec` is already lower-cased.
+Status CreateChaosEngine(const std::string& spec, const Column* base,
+                         const EngineConfig& config,
+                         std::unique_ptr<SelectEngine>* out) {
+  const std::string prefix = "chaos(";
+  if (spec.size() <= prefix.size() ||
+      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+    return Status::InvalidArgument("chaos spec must be chaos(<inner>): " +
+                                   spec);
+  }
+  const std::string inner_spec =
+      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
+  if (inner_spec.empty()) {
+    return Status::InvalidArgument("chaos needs an inner spec: " + spec);
+  }
+  std::unique_ptr<SelectEngine> inner;
+  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
+  ChaosOptions options;
+  options.seed = config.seed;
+  *out = std::make_unique<ChaosEngine>(std::move(inner), options);
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CreateEngine(const std::string& spec, const Column* base,
@@ -161,9 +255,23 @@ Status CreateEngine(const std::string& spec, const Column* base,
     return Status::InvalidArgument("null base column or output");
   }
   const std::string lowered = Lower(spec);
-  // sharded(...) and audit(...) carry nested specs that may themselves
-  // contain ':' and ',', so they are parsed before the simple name:arg
-  // split.
+  // Catch structurally broken nested specs up front with a specific
+  // message — "sharded(2,epoch(crack)" should say what is missing, not
+  // fall through to "unknown engine spec".
+  {
+    int64_t depth = 0;
+    for (const char c : lowered) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (depth < 0) break;
+    }
+    if (depth != 0) {
+      return Status::InvalidArgument(
+          "unbalanced parentheses in engine spec: " + spec);
+    }
+  }
+  // The wrappers carry nested specs that may themselves contain ':' and
+  // ',', so they are parsed before the simple name:arg split.
   if (lowered.compare(0, 7, "sharded") == 0) {
     return CreateShardedEngine(lowered, base, config, out);
   }
@@ -173,9 +281,26 @@ Status CreateEngine(const std::string& spec, const Column* base,
   if (lowered.compare(0, 6, "epoch(") == 0 || lowered == "epoch") {
     return CreateEpochEngine(lowered, base, config, out);
   }
+  if (lowered.compare(0, 5, "prog(") == 0 || lowered == "prog") {
+    return CreateProgEngine(lowered, base, config, out);
+  }
+  if (lowered.compare(0, 6, "chaos(") == 0 || lowered == "chaos") {
+    return CreateChaosEngine(lowered, base, config, out);
+  }
   std::string name;
   std::string arg;
   SplitSpec(lowered, &name, &arg);
+  // A wrapper written with ':' instead of parentheses (audit:crack) would
+  // otherwise die as an unknown name.
+  if (!arg.empty() &&
+      (name == "audit" || name == "epoch" || name == "chaos")) {
+    return Status::InvalidArgument(name + " is a wrapper: use " + name +
+                                   "(<inner>), e.g. " + name + "(crack)");
+  }
+  if (!arg.empty() && name == "prog") {
+    return Status::InvalidArgument(
+        "prog is a wrapper: use prog(B,<inner>), e.g. prog(5000,crack)");
+  }
   EngineConfig cfg = config;
 
   // "-p" / "-pN" suffix (crack-p, ddc-p8, dd1r-p4, ...): intra-query
@@ -285,7 +410,9 @@ Status CreateEngine(const std::string& spec, const Column* base,
     *out = std::make_unique<HybridEngine>(base, cfg, initial, org,
                                           stochastic);
   } else {
-    return Status::InvalidArgument("unknown engine spec: " + spec);
+    return Status::InvalidArgument(
+        "unknown engine spec: " + spec +
+        " (see KnownEngineSpecs() / `scrack_cli engines` for the grammar)");
   }
   return Status::OK();
 }
@@ -309,7 +436,10 @@ std::vector<std::string> KnownEngineSpecs() {
           "audit(crack)",             "audit(crack-p2)",
           "sharded(2,audit(ddc))",    "threadsafe:audit(mdd1r)",
           "epoch(crack)",             "epoch(crack-p)",
-          "sharded(2,epoch(crack))",  "epoch(audit(mdd1r))"};
+          "sharded(2,epoch(crack))",  "epoch(audit(mdd1r))",
+          "prog(5000,crack)",         "prog(inf,crack)",
+          "prog(5000,crack-p)",       "epoch(prog(5000,crack-p))",
+          "chaos(crack)",             "chaos(audit(prog(5000,crack)))"};
 }
 
 std::string WrapSpecInAudit(const std::string& spec) {
@@ -344,6 +474,18 @@ std::string WrapSpecInAudit(const std::string& spec) {
         epoch_prefix.size(), lowered.size() - epoch_prefix.size() - 1);
     return epoch_prefix + WrapSpecInAudit(body) + ")";
   }
+  // Chaos stays outside too: the audit must observe the *retried* call as
+  // one clean forwarded query, with the injected abort invisible to its
+  // call counting.
+  const std::string chaos_prefix = "chaos(";
+  if (lowered.compare(0, chaos_prefix.size(), chaos_prefix) == 0 &&
+      lowered.back() == ')') {
+    const std::string body = lowered.substr(
+        chaos_prefix.size(), lowered.size() - chaos_prefix.size() - 1);
+    return chaos_prefix + WrapSpecInAudit(body) + ")";
+  }
+  // prog(B,crack) is itself a column-owning leaf; the default outside wrap
+  // below is the right shape for it.
   return "audit(" + lowered + ")";
 }
 

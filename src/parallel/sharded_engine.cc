@@ -392,6 +392,12 @@ void ShardedEngine::RefreshStats(int64_t new_queries,
     aggregate.shared_reads += inner.shared_reads;
     aggregate.exclusive_cracks += inner.exclusive_cracks;
     aggregate.escalations += inner.escalations;
+    aggregate.budget_exhausted += inner.budget_exhausted;
+    aggregate.deferred_swaps += inner.deferred_swaps;
+    aggregate.scan_fallback_tuples += inner.scan_fallback_tuples;
+    // A range query may crack bounds in every intersecting shard, so the
+    // ceiling the whole engine enforces per query is the shard sum.
+    aggregate.swap_budget += inner.swap_budget;
   }
   aggregate.queries = own_queries_;
   aggregate.materialized += own_materialized_;

@@ -1,0 +1,131 @@
+// BudgetedEngine: original cracking under a per-query swap budget
+// (prog(B,<inner>) in the engine factory).
+//
+// The paper makes cracking robust against adversarial *workloads*; this
+// engine pushes the same idea to *latency*: no single query may spend more
+// than B element exchanges on reorganization, no matter how cold the
+// column is. A query first advances budgeted partitions toward cracks at
+// its own bounds (resumable PartialPartition state carried in the piece
+// metadata, small pieces finished eagerly); whatever the budget could not
+// crack is answered by the vectorized scan/fold kernels over the uncracked
+// piece — the answer is the same multiset of tuples unbudgeted cracking
+// returns, only the reorganization schedule moves. Deferred bound values
+// go into a FIFO backlog that later queries drain with their leftover
+// budget, so the index converges to the *identical* final piece layout
+// plain cracking reaches (crack positions are rank-determined: pos(v) =
+// #elements < v, independent of the order or granularity of the partition
+// work that got there).
+//
+// Budget law: per-query swaps <= B + 2 * small-piece cutoff (each of the
+// current query's two bounds may overdraw once to finish a cache-resident
+// piece). The enforced ceiling is published in EngineStats::swap_budget so
+// audit(prog(B,...)) checks it after every call. The cutoff is clamped to
+// B, so the backlog can always make progress with one query's allowance.
+//
+// Composition: a leaf engine owning its column, so epoch / sharded / audit
+// / threadsafe wrap it like any other engine. Note that under
+// epoch(prog(...)) the backlog drains only on queries that escalate to the
+// writer path — shared reads never touch the inner engine.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <string>
+
+#include "cracking/cracker_column.h"
+#include "cracking/engine.h"
+
+namespace scrack {
+
+class BudgetedEngine : public SelectEngine {
+ public:
+  /// `inner_desc` is the composed-over spec ("crack", "crack-p8"), echoed
+  /// in name(); cracking parallelism comes from config.parallel_threads as
+  /// usual. The effective budget resolves SCRACK_SWAP_BUDGET (env) over
+  /// config.swap_budget; <= 0 means unlimited.
+  BudgetedEngine(const Column* base, const EngineConfig& config,
+                 std::string inner_desc);
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+
+  /// Aggregate pushdown under the budget: settled middle from the cracked
+  /// region folds, unresolved end pieces from the range-filtered fold
+  /// kernels, partials merged. kMaterialize routes through Select.
+  Status Execute(const Query& query, QueryOutput* output) override;
+
+  std::string name() const override;
+
+  Status StageInsert(Value v) override {
+    column_.StageInsert(v);
+    return Status::OK();
+  }
+  Status StageDelete(Value v) override {
+    column_.StageDelete(v);
+    return Status::OK();
+  }
+
+  /// Column invariants plus the budget bookkeeping's own law: an empty
+  /// backlog must mean a zero deferred_swaps gauge.
+  Status Validate() const override;
+
+  const CrackerColumn* audit_column() const override { return &column_; }
+
+  /// Per-query swap budget in effect (0 = unlimited).
+  int64_t budget() const { return budget_; }
+
+  /// True once every deferred bound value has been cracked — from here on
+  /// the engine behaves exactly like plain cracking on the same column.
+  bool Converged() const { return backlog_.empty(); }
+
+  /// Deferred bound values awaiting lazy completion.
+  int64_t backlog_size() const { return static_cast<int64_t>(backlog_.size()); }
+
+  /// Drains the backlog without answering queries: each round grants one
+  /// query's budget (unlimited engines drain in one round). Stops after
+  /// `max_rounds` rounds if the backlog still holds work — check
+  /// Converged(). Used by tests and the robustness repro figure to reach
+  /// the converged layout deterministically.
+  Status DrainDeferred(int64_t max_rounds);
+
+  /// Test access to the underlying cracked column.
+  CrackerColumn& column() { return column_; }
+
+ protected:
+  Status PrepareBatch(const std::vector<Query>& queries) override {
+    return column_.MergePendingInBatchHull(queries, &stats_);
+  }
+
+ private:
+  struct BacklogEntry {
+    Value value;
+    Index charged;  ///< span last charged into the deferred_swaps gauge
+  };
+
+  /// The current query's swap allowance: the budget minus swaps already
+  /// spent since the last completed query. Anchoring the allowance to the
+  /// cumulative swap counter (which survives an exception unwind) keeps
+  /// the per-query ceiling intact when chaos(...) retries an aborted
+  /// attempt — the retry only gets what the abort left unspent.
+  /// Effectively unlimited when budget_ == 0.
+  int64_t Allowance() const;
+
+  /// Enqueues a bound the budget could not crack (no-op if already queued).
+  void Enqueue(Value v, Index remaining);
+
+  /// Spends leftover allowance finishing deferred cracks, oldest first.
+  void DrainBacklog(int64_t* allowance);
+
+  /// Post-query bookkeeping shared by Select and Execute.
+  void FinishQuery(const CrackerColumn::DeferredBound& low,
+                   const CrackerColumn::DeferredBound& high);
+
+  CrackerColumn column_;
+  std::string inner_desc_;
+  int64_t budget_ = 0;  // per-query swaps; 0 = unlimited
+  std::deque<BacklogEntry> backlog_;
+  std::set<Value> members_;  // values present in backlog_
+  int64_t gauge_ = 0;        // sum of backlog charges = stats_.deferred_swaps
+  int64_t swaps_mark_ = 0;   // stats_.swaps at the last completed query
+};
+
+}  // namespace scrack

@@ -1,0 +1,102 @@
+#include "progressive/chaos_engine.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace scrack {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, call index) into a crossing
+// pick without any global RNG state.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// A cold query crosses only a handful of points; cycling the target
+// crossing through [1, 8] hits every point class across a short run while
+// letting some scheduled injections miss entirely (the countdown outlives
+// the call) — which is itself a case worth exercising.
+constexpr uint64_t kMaxCrossing = 8;
+
+ChaosOptions ResolveOptions(const ChaosOptions& options) {
+  ChaosOptions resolved = options;
+  const char* env = std::getenv("SCRACK_FAULTS");
+  if (env == nullptr || *env == '\0') return resolved;
+  // Accepts "<period>" or "period=<p>,seed=<s>" (either key optional).
+  if (std::strchr(env, '=') == nullptr) {
+    const long long p = std::strtoll(env, nullptr, 10);
+    if (p >= 0) resolved.period = p;
+    return resolved;
+  }
+  const char* cursor = env;
+  while (*cursor != '\0') {
+    if (std::strncmp(cursor, "period=", 7) == 0) {
+      const long long p = std::strtoll(cursor + 7, nullptr, 10);
+      if (p >= 0) resolved.period = p;
+    } else if (std::strncmp(cursor, "seed=", 5) == 0) {
+      resolved.seed = std::strtoull(cursor + 5, nullptr, 10);
+    }
+    const char* comma = std::strchr(cursor, ',');
+    if (comma == nullptr) break;
+    cursor = comma + 1;
+  }
+  return resolved;
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(std::unique_ptr<SelectEngine> inner,
+                         const ChaosOptions& options)
+    : inner_(std::move(inner)), options_(ResolveOptions(options)) {}
+
+void ChaosEngine::MaybeArm() {
+  const int64_t call = calls_++;
+  if (options_.period <= 0) return;
+  if ((call + 1) % options_.period != 0) return;
+  const uint64_t crossing =
+      1 + Mix(options_.seed ^ static_cast<uint64_t>(call)) % kMaxCrossing;
+  fault::ArmCountdown(static_cast<int64_t>(crossing));
+}
+
+void ChaosEngine::NoteFault(const char* point) {
+  fault::Disarm();
+  ++faults_injected_;
+  last_fault_point_ = point;
+}
+
+Status ChaosEngine::Select(Value low, Value high, QueryResult* result) {
+  MaybeArm();
+  try {
+    const Status status = inner_->Select(low, high, result);
+    fault::Disarm();  // scheduled injection whose countdown never fired
+    return status;
+  } catch (const fault::InjectedFault& f) {
+    NoteFault(f.point());
+  }
+  // Retry once, faults disarmed. The aborted attempt may have appended
+  // partial segments; the retry starts from a clean result.
+  ++retries_;
+  *result = QueryResult{};
+  return inner_->Select(low, high, result);
+}
+
+Status ChaosEngine::Execute(const Query& query, QueryOutput* output) {
+  MaybeArm();
+  try {
+    const Status status = inner_->Execute(query, output);
+    fault::Disarm();
+    return status;
+  } catch (const fault::InjectedFault& f) {
+    NoteFault(f.point());
+  }
+  ++retries_;
+  return inner_->Execute(query, output);
+}
+
+}  // namespace scrack

@@ -1,0 +1,92 @@
+// ChaosEngine: seeded fault injection over any inner engine
+// (chaos(<inner>) in the engine factory).
+//
+// On a deterministic schedule (every `period`-th Select/Execute call), the
+// decorator arms the thread-local fault injector (util/fault.h) before
+// forwarding, so one of the named fault points inside the call — "alloc",
+// "merge", "partition", "slice", "register" — throws mid-mutation. The
+// unwound call is then retried once with faults disarmed. Because every
+// fault point sits where an exception leaves the CrackerColumn in an
+// invariant-preserving state, the retry returns exactly the answer a
+// fault-free run would have produced; composing chaos(audit(<inner>))
+// proves it, since the auditor re-checks index order, piece partitions,
+// and multiset conservation after the retried call.
+//
+// Which crossing faults is derived from (seed, call index) with a splitmix
+// step, so runs are reproducible and successive injections land on
+// different points. SCRACK_FAULTS=<period> or
+// SCRACK_FAULTS=period=<p>,seed=<s> overrides the defaults.
+//
+// Scope: faults are injected on Select and non-materialize Execute only.
+// ExecuteBatch forwards unarmed — a fault mid-batch followed by a full
+// re-run would double-count the batch's completed prefix against the
+// auditor's strict query-count law. Stage* forwards untouched. The audit
+// strictness guarantee holds for inner engines that count a query only
+// after it completes (crack, prog); engines that pre-increment would show
+// the aborted attempt in their query counter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "cracking/engine.h"
+
+namespace scrack {
+
+struct ChaosOptions {
+  int64_t period = 3;     ///< inject on every period-th call (0 = never)
+  uint64_t seed = 0x5eed;  ///< picks which fault-point crossing fires
+};
+
+class ChaosEngine : public SelectEngine {
+ public:
+  /// Options resolve SCRACK_FAULTS (env) over `options`.
+  ChaosEngine(std::unique_ptr<SelectEngine> inner, const ChaosOptions& options);
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  Status Execute(const Query& query, QueryOutput* output) override;
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override {
+    return inner_->ExecuteBatch(queries, outputs);
+  }
+
+  Status StageInsert(Value v) override { return inner_->StageInsert(v); }
+  Status StageDelete(Value v) override { return inner_->StageDelete(v); }
+
+  std::string name() const override {
+    return "chaos(" + inner_->name() + ")";
+  }
+  EngineStats CurrentStats() const override { return inner_->CurrentStats(); }
+  Status Validate() const override { return inner_->Validate(); }
+  const CrackerColumn* audit_column() const override {
+    return inner_->audit_column();
+  }
+
+  /// Faults that actually fired (a scheduled injection whose countdown
+  /// outlasts the call's fault points fires nothing).
+  int64_t faults_injected() const { return faults_injected_; }
+  /// Retries taken after a fired fault (== faults_injected: every fault is
+  /// retried exactly once).
+  int64_t retries() const { return retries_; }
+  /// Name of the most recent point that fired (empty before the first).
+  const std::string& last_fault_point() const { return last_fault_point_; }
+
+  SelectEngine* inner() { return inner_.get(); }
+
+ private:
+  /// Arms the injector if this call is scheduled for an injection.
+  void MaybeArm();
+  /// Disarms and records a fired fault.
+  void NoteFault(const char* point);
+
+  std::unique_ptr<SelectEngine> inner_;
+  ChaosOptions options_;
+  int64_t calls_ = 0;
+  int64_t faults_injected_ = 0;
+  int64_t retries_ = 0;
+  std::string last_fault_point_;
+};
+
+}  // namespace scrack

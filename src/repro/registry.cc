@@ -11,6 +11,7 @@
 #include "cracking/kernel.h"
 #include "cracking/stochastic_engine.h"
 #include "harness/engine_factory.h"
+#include "progressive/budgeted_engine.h"
 #include "repro/runner.h"
 #include "sideways/cracker_map.h"
 
@@ -1067,6 +1068,154 @@ FigureSpec Serving() {
   return spec;
 }
 
+FigureSpec Robustness() {
+  FigureSpec spec;
+  spec.id = "robustness";
+  spec.title = "Budgeted progressive cracking: bounded per-query work";
+  spec.claim =
+      "prog(B,crack) caps every query's reorganization at B swaps plus one "
+      "small-piece overdraw per bound, answers bit-identically to "
+      "unbudgeted cracking at every budget, and converges to the identical "
+      "final piece layout at a total cost within 2x of plain cracking";
+  spec.default_q = 1000;
+  // Pin the small-piece cutoff so the per-query ceiling constants below
+  // are host-independent (the detected L1 threshold varies by machine).
+  const Index cutoff = 4096;
+  const struct {
+    const char* label;
+    const char* engine;
+  } cells[] = {{"crack", "crack"},
+               {"prog_tiny", "prog(2000,crack)"},
+               {"prog_piece", "prog(8192,crack)"},
+               {"prog_inf", "prog(inf,crack)"}};
+  for (const auto& cell : cells) {
+    RunDecl decl = Run(cell.label, cell.engine, WorkloadKind::kRandom);
+    decl.crack_threshold_values = cutoff;
+    spec.runs.push_back(decl);
+  }
+  // Convergence needs a replay past the workload (drain the backlog) and a
+  // layout fingerprint, which the single-pass grid cannot express. All
+  // hook metrics are deterministic counters/hashes, exact at any scale.
+  spec.extra = [cutoff](const ReproContext& context, FigureResult* result) {
+    EngineConfig config = EngineConfig::Detected();
+    config.seed = context.seed;
+    config.crack_threshold_values = cutoff;
+    RunDecl decl = Run("", "", WorkloadKind::kRandom);
+    const auto queries =
+        BuildWorkload(decl, context.n, context.q, context.seed);
+    const auto sum_query = [](const RangeQuery& rq) {
+      Query query;
+      query.low = rq.low;
+      query.high = rq.high;
+      query.mode = OutputMode::kSum;
+      return query;
+    };
+    // FNV-1a over the sorted (crack key, crack position) pairs: equal
+    // hashes mean the two indexes partition the array identically.
+    const auto fingerprint = [](const CrackerColumn& column) {
+      const CrackerIndex& index = column.index();
+      uint64_t h = 1469598103934665603ull;
+      for (size_t i = 0; i < index.num_cracks(); ++i) {
+        h = (h ^ static_cast<uint64_t>(index.crack_key(i))) *
+            1099511628211ull;
+        h = (h ^ static_cast<uint64_t>(index.crack_pos(i))) *
+            1099511628211ull;
+      }
+      return static_cast<double>(h % 2147483647ull);
+    };
+    const auto fold = [](const QueryOutput& output) {
+      return static_cast<uint64_t>(output.sum) * 31u +
+             static_cast<uint64_t>(output.count);
+    };
+
+    uint64_t crack_checksum = 0;
+    {
+      CrackEngine engine(context.base, config);
+      for (const RangeQuery& rq : queries) {
+        QueryOutput output;
+        SCRACK_RETURN_NOT_OK(engine.Execute(sum_query(rq), &output));
+        crack_checksum += fold(output);
+      }
+      result->metrics["hook.crack_swaps"] =
+          static_cast<double>(engine.CurrentStats().swaps);
+      result->metrics["hook.crack_fingerprint"] = fingerprint(engine.column());
+    }
+
+    EngineConfig prog_config = config;
+    prog_config.swap_budget = 2000;
+    BudgetedEngine engine(context.base, prog_config, "crack");
+    uint64_t prog_checksum = 0;
+    for (const RangeQuery& rq : queries) {
+      QueryOutput output;
+      SCRACK_RETURN_NOT_OK(engine.Execute(sum_query(rq), &output));
+      prog_checksum += fold(output);
+    }
+    // Generous round cap: each round grants a full budget and at worst
+    // finishes one backlog entry, of which there are at most 2 per query.
+    SCRACK_RETURN_NOT_OK(
+        engine.DrainDeferred(4 * static_cast<int64_t>(context.q) + 64));
+    if (!engine.Converged()) {
+      return Status::Internal("robustness: backlog failed to drain");
+    }
+    SCRACK_RETURN_NOT_OK(engine.Validate());
+    result->metrics["hook.prog_converged_swaps"] =
+        static_cast<double>(engine.CurrentStats().swaps);
+    result->metrics["hook.prog_deferred_after_drain"] =
+        static_cast<double>(engine.CurrentStats().deferred_swaps);
+    result->metrics["hook.prog_fingerprint"] = fingerprint(engine.column());
+    result->metrics["hook.crack_sum_checksum"] =
+        static_cast<double>(crack_checksum % 2147483647u);
+    result->metrics["hook.prog_sum_checksum"] =
+        static_cast<double>(prog_checksum % 2147483647u);
+    return Status::OK();
+  };
+  spec.assertions = {
+      Equal("tiny_answers_match",
+            "a 2000-swap budget returns exactly plain cracking's tuples",
+            "prog_tiny.checksum_sum", "crack.checksum_sum"),
+      Equal("tiny_counts_match",
+            "qualifying counts survive the scan fallback",
+            "prog_tiny.checksum_count", "crack.checksum_count"),
+      Equal("piece_answers_match",
+            "a piece-sized budget returns exactly plain cracking's tuples",
+            "prog_piece.checksum_sum", "crack.checksum_sum"),
+      Equal("inf_answers_match",
+            "the unbudgeted engine returns exactly plain cracking's tuples",
+            "prog_inf.checksum_sum", "crack.checksum_sum"),
+      // Ceilings: B + 2 * min(cutoff, B), the law audit(prog) enforces.
+      Less("tiny_per_query_swaps_bounded",
+           "no query swaps more than budget 2000 plus one clamped-cutoff "
+           "overdraw per bound",
+           "prog_tiny.max_swaps_per_query", 2000 + 2 * 2000 + 1),
+      Less("piece_per_query_swaps_bounded",
+           "no query swaps more than budget 8192 plus one cutoff overdraw "
+           "per bound",
+           "prog_piece.max_swaps_per_query", 8192 + 2 * 4096 + 1),
+      Greater("tiny_budget_binds",
+              "the 2000-swap budget actually ran out on cold queries "
+              "(otherwise the ceiling holds vacuously)",
+              "prog_tiny.budget_exhausted", 0.5),
+      Less("inf_budget_never_binds",
+           "the unbudgeted engine never defers work",
+           "prog_inf.budget_exhausted", 0.5),
+      Equal("aggregate_answers_match",
+            "budgeted aggregate pushdown folds to plain cracking's sums",
+            "hook.prog_sum_checksum", "hook.crack_sum_checksum"),
+      Equal("layout_converges_to_crack",
+            "after draining the backlog, the budgeted index holds exactly "
+            "plain cracking's (key, position) partition",
+            "hook.prog_fingerprint", "hook.crack_fingerprint"),
+      Less("deferred_drains_to_zero",
+           "the deferred_swaps gauge returns to exactly 0 at convergence",
+           "hook.prog_deferred_after_drain", 0.5),
+      Less("convergence_cost_bounded",
+           "reaching the converged layout under a budget costs at most 2x "
+           "plain cracking's total swaps",
+           "hook.prog_converged_swaps", 2.0, "hook.crack_swaps"),
+  };
+  return spec;
+}
+
 std::vector<FigureSpec> Build() {
   std::vector<FigureSpec> specs;
   specs.push_back(Fig02());
@@ -1090,6 +1239,7 @@ std::vector<FigureSpec> Build() {
   specs.push_back(ParallelCrack());
   specs.push_back(Sideways());
   specs.push_back(Serving());
+  specs.push_back(Robustness());
   return specs;
 }
 

@@ -122,6 +122,13 @@ void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
       static_cast<double>(run.final_stats.exclusive_cracks);
   metrics[p + ".escalations"] =
       static_cast<double>(run.final_stats.escalations);
+  metrics[p + ".cum_swaps"] = static_cast<double>(run.final_stats.swaps);
+  metrics[p + ".budget_exhausted"] =
+      static_cast<double>(run.final_stats.budget_exhausted);
+  metrics[p + ".deferred_swaps"] =
+      static_cast<double>(run.final_stats.deferred_swaps);
+  metrics[p + ".scan_fallback_tuples"] =
+      static_cast<double>(run.final_stats.scan_fallback_tuples);
 }
 
 }  // namespace

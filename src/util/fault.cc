@@ -1,0 +1,41 @@
+#include "util/fault.h"
+
+namespace scrack {
+namespace fault {
+
+namespace {
+
+struct ThreadState {
+  int64_t countdown = 0;  // 0 = disarmed; fires when it decrements to 0
+  int64_t crossed = 0;
+};
+
+ThreadState& State() {
+  static thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+void ArmCountdown(int64_t nth) {
+  State().countdown = nth > 0 ? nth : 0;
+}
+
+void Disarm() { State().countdown = 0; }
+
+bool Armed() { return State().countdown > 0; }
+
+int64_t PointsCrossed() { return State().crossed; }
+
+void ResetPointsCrossed() { State().crossed = 0; }
+
+void CrossPoint(const char* point) {
+  ThreadState& state = State();
+  ++state.crossed;
+  if (state.countdown > 0 && --state.countdown == 0) {
+    throw InjectedFault(point);
+  }
+}
+
+}  // namespace fault
+}  // namespace scrack

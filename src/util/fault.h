@@ -1,0 +1,72 @@
+// Deterministic fault injection for degradation testing.
+//
+// A fault *point* is a named place in a mutating path where something could
+// genuinely go wrong in production — an allocation, a partition pass, an
+// index registration. Instrumented code crosses points with
+// SCRACK_FAULT_POINT("name"); crossing is free (one thread-local integer
+// test) unless the calling thread has been *armed*, in which case the n-th
+// crossing throws InjectedFault. All state is thread-local: worker threads
+// of the parallel kernels never observe an armed injector, so instrumented
+// code stays TSan-clean and faults only ever unwind the thread that asked
+// for them.
+//
+// Determinism: a test (or the chaos(<inner>) engine) arms a countdown,
+// runs one operation, and disarms. The same arm count on the same input
+// always faults at the same point — no wall clock, no global RNG.
+//
+// Exception-safety contract being tested: every CrackerColumn mutation must
+// leave the column in an invariant-preserving state when a point throws
+// (partition work without a registered crack only permutes within piece
+// bounds; the multiset, index order, and piece partitions all still hold).
+// The invariant auditor verifies exactly that after each injected abort.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+
+namespace scrack {
+namespace fault {
+
+/// Thrown by an armed fault point. Stands in for the real-world failures a
+/// point models (std::bad_alloc at "alloc", a crash mid-partition at
+/// "slice") while keeping what() informative in test logs.
+class InjectedFault : public std::exception {
+ public:
+  explicit InjectedFault(const char* point) : point_(point) {}
+  /// Name of the point that fired.
+  const char* point() const { return point_; }
+  const char* what() const noexcept override { return "scrack injected fault"; }
+
+ private:
+  const char* point_;
+};
+
+/// Arms the calling thread: the nth fault point crossed from now on
+/// (1-based) throws InjectedFault. Re-arming replaces the pending countdown.
+void ArmCountdown(int64_t nth);
+
+/// Disarms the calling thread; crossing points becomes free again.
+void Disarm();
+
+/// True while this thread has an armed countdown that has not yet fired.
+bool Armed();
+
+/// Total points this thread has crossed since thread start (armed or not,
+/// fired or not). Lets tests enumerate how many points one operation
+/// crosses so every one of them can be targeted in turn.
+int64_t PointsCrossed();
+
+/// Resets the PointsCrossed counter for the calling thread.
+void ResetPointsCrossed();
+
+/// Implementation of SCRACK_FAULT_POINT. Throws InjectedFault(point) when
+/// this crossing consumes the countdown.
+void CrossPoint(const char* point);
+
+}  // namespace fault
+}  // namespace scrack
+
+/// Marks one named fault point. Costs a thread-local integer test when
+/// disarmed; must only appear where an exception unwinds to an
+/// invariant-preserving state.
+#define SCRACK_FAULT_POINT(point_name) ::scrack::fault::CrossPoint(point_name)

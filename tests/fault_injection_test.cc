@@ -1,0 +1,298 @@
+// Fault-injected degradation tests.
+//
+// Strategy: run the same deterministic workload twice — once clean to get
+// reference answers, once with a fault injected at every reachable point
+// in turn (countdown 1, 2, 3, ... until a query crosses no more points).
+// After each injected abort the column must still satisfy every audited
+// invariant (the audit wrapper runs with fail_fast, so a violated
+// invariant fails the query that exposed it), and the retried query must
+// return exactly the clean answer. This proves the exception-safety
+// contract stated in util/fault.h for every SCRACK_FAULT_POINT site, not
+// just the ones a random schedule happens to hit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "audit/audit_engine.h"
+#include "harness/engine_factory.h"
+#include "progressive/chaos_engine.h"
+#include "test_util.h"
+#include "util/fault.h"
+
+namespace scrack {
+namespace {
+
+using testing::DuplicateHeavyColumn;
+using testing::RandomRange;
+using testing::ReferenceAnswer;
+using testing::ReferenceSelect;
+
+constexpr Index kN = 20 * 1000;
+constexpr int kQueries = 60;
+
+TEST(FaultPrimitiveTest, CountdownFiresOnExactCrossing) {
+  fault::Disarm();
+  fault::ResetPointsCrossed();
+  EXPECT_FALSE(fault::Armed());
+  SCRACK_FAULT_POINT("free");  // disarmed crossings are free
+  EXPECT_EQ(fault::PointsCrossed(), 1);
+
+  fault::ArmCountdown(2);
+  EXPECT_TRUE(fault::Armed());
+  SCRACK_FAULT_POINT("first");  // countdown 2 -> 1, no throw
+  bool thrown = false;
+  try {
+    SCRACK_FAULT_POINT("second");
+  } catch (const fault::InjectedFault& f) {
+    thrown = true;
+    EXPECT_STREQ(f.point(), "second");
+  }
+  EXPECT_TRUE(thrown);
+  EXPECT_FALSE(fault::Armed());  // firing consumes the arm
+  SCRACK_FAULT_POINT("after");   // free again
+  EXPECT_EQ(fault::PointsCrossed(), 4);
+  fault::ResetPointsCrossed();
+  EXPECT_EQ(fault::PointsCrossed(), 0);
+}
+
+TEST(FaultPrimitiveTest, DisarmCancelsPendingCountdown) {
+  fault::ArmCountdown(1);
+  fault::Disarm();
+  SCRACK_FAULT_POINT("x");  // must not throw
+  SUCCEED();
+}
+
+/// Shared workload: every 7th step stages an insert (so MergePendingIn and
+/// its "merge" point are on the injected path), then a random range query.
+struct Step {
+  bool insert = false;
+  Value insert_value = 0;
+  Value low = 0;
+  Value high = 0;
+};
+
+std::vector<Step> MakeSteps(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Step> steps;
+  steps.reserve(kQueries);
+  // Bounds and inserts stay inside DuplicateHeavyColumn's value domain
+  // [0, kN/8) so queries exercise the real cracking paths (PartitionThree
+  // and AddCrack) rather than resolving trivially against min/max.
+  const Value domain = kN / 8;
+  for (int i = 0; i < kQueries; ++i) {
+    Step step;
+    step.insert = i % 7 == 3;
+    step.insert_value = rng.UniformValue(0, domain);
+    const auto range = RandomRange(&rng, domain);
+    step.low = range.first;
+    step.high = range.second;
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+/// Calls Select, converting an InjectedFault unwind into (*faulted, point)
+/// so the sweep can assert on the post-abort state from test scope.
+Status GuardedSelect(SelectEngine* engine, Value low, Value high,
+                     QueryResult* result, bool* faulted,
+                     std::string* point) {
+  try {
+    return engine->Select(low, high, result);
+  } catch (const fault::InjectedFault& f) {
+    *faulted = true;
+    *point = f.point();
+    return Status::OK();
+  }
+}
+
+/// Exhaustive per-point sweep over `spec` (which must include the audit
+/// wrapper so every surviving state is invariant-checked): for every query
+/// of the stream and every fault-point crossing that query makes, arm that
+/// exact crossing, let the abort unwind, audit the column, retry, and
+/// require the clean run's exact answer. A countdown that never fires
+/// (the retry shifted the path) is tolerated — the state assertions run
+/// either way. Records the distinct points that fired.
+void SweepSpec(const std::string& spec, std::set<std::string>* fired) {
+  const Column base = DuplicateHeavyColumn(kN, 61);
+  EngineConfig config;
+  config.crack_threshold_values = 1024;
+  const std::vector<Step> steps = MakeSteps(67);
+
+  std::vector<ReferenceAnswer> expected;
+  std::vector<int64_t> crossings;
+  {
+    auto engine = CreateEngineOrDie(spec, &base, config);
+    std::vector<Value> live = base.values();
+    for (const Step& step : steps) {
+      if (step.insert) {
+        ASSERT_TRUE(engine->StageInsert(step.insert_value).ok());
+        live.push_back(step.insert_value);
+      }
+      fault::ResetPointsCrossed();
+      QueryResult result;
+      ASSERT_TRUE(engine->Select(step.low, step.high, &result).ok());
+      crossings.push_back(fault::PointsCrossed());
+      expected.push_back(ReferenceSelect(live, step.low, step.high));
+    }
+  }
+
+  // One engine per target step; inside it every countdown for that step
+  // runs against the same instance (retry-then-continue), which both
+  // bounds the test cost and mimics a server surviving repeated faults.
+  int64_t injections = 0;
+  for (size_t target = 0; target < steps.size(); ++target) {
+    if (crossings[target] == 0) continue;
+    auto engine = CreateEngineOrDie(spec, &base, config);
+    auto* audit = dynamic_cast<AuditEngine*>(engine.get());
+    ASSERT_NE(audit, nullptr) << "sweep requires an audit(...) spec";
+    // Clean prefix.
+    for (size_t i = 0; i < target; ++i) {
+      if (steps[i].insert) {
+        ASSERT_TRUE(engine->StageInsert(steps[i].insert_value).ok());
+      }
+      QueryResult result;
+      ASSERT_TRUE(engine->Select(steps[i].low, steps[i].high, &result).ok());
+    }
+    if (steps[target].insert) {
+      ASSERT_TRUE(engine->StageInsert(steps[target].insert_value).ok());
+    }
+    // Every countdown against the target query. After the first success
+    // the query's work is done, so later countdowns mostly cross fewer
+    // points and fire earlier paths — still a valid abort site.
+    for (int64_t nth = 1; nth <= crossings[target]; ++nth) {
+      fault::ArmCountdown(nth);
+      bool faulted = false;
+      std::string point;
+      QueryResult result;
+      Status status = GuardedSelect(engine.get(), steps[target].low,
+                                    steps[target].high, &result, &faulted,
+                                    &point);
+      fault::Disarm();
+      if (faulted) {
+        ++injections;
+        fired->insert(point);
+        ASSERT_TRUE(audit->AuditNow().ok())
+            << spec << " step " << target << " countdown " << nth
+            << " point " << point;
+        result = QueryResult{};
+        status = engine->Select(steps[target].low, steps[target].high,
+                                &result);
+      }
+      ASSERT_TRUE(status.ok()) << spec << " countdown " << nth;
+      ASSERT_EQ(result.count(), expected[target].count)
+          << spec << " step " << target << " countdown " << nth;
+      ASSERT_EQ(result.Sum(), expected[target].sum)
+          << spec << " step " << target << " countdown " << nth;
+    }
+    EXPECT_TRUE(audit->findings().empty()) << spec;
+    EXPECT_TRUE(engine->Validate().ok()) << spec;
+  }
+  EXPECT_GT(injections, 0) << spec;
+}
+
+TEST(FaultInjectionTest, AuditedCrackSurvivesEveryFaultPoint) {
+  std::set<std::string> fired;
+  SweepSpec("audit(crack)", &fired);
+  // The crack path must expose at least the allocation, partition and
+  // index-registration sites; "merge" needs a staged insert (provided by
+  // the stream) and "slice" only runs on the budgeted path.
+  EXPECT_TRUE(fired.count("alloc") == 1 || fired.count("partition") == 1)
+      << "no early-path fault fired";
+  EXPECT_EQ(fired.count("register"), 1u);
+  EXPECT_EQ(fired.count("merge"), 1u);
+}
+
+TEST(FaultInjectionTest, AuditedProgSurvivesEveryFaultPoint) {
+  std::set<std::string> fired;
+  SweepSpec("audit(prog(800,crack))", &fired);
+  EXPECT_EQ(fired.count("slice"), 1u) << "budgeted partition never aborted";
+  EXPECT_EQ(fired.count("register"), 1u);
+  EXPECT_EQ(fired.count("merge"), 1u);
+}
+
+// ------------------------------------------------------------- chaos ----
+
+TEST(ChaosEngineTest, RetriesMatchCleanAnswers) {
+  const Column base = DuplicateHeavyColumn(kN, 71);
+  EngineConfig config;
+  config.crack_threshold_values = 1024;
+  const std::vector<Step> steps = MakeSteps(73);
+
+  auto inner = CreateEngineOrDie("audit(prog(800,crack))", &base, config);
+  ChaosOptions options;
+  options.period = 2;  // inject aggressively
+  options.seed = 99;
+  ChaosEngine engine(std::move(inner), options);
+
+  std::vector<Value> live = base.values();
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const Step& step = steps[i];
+    if (step.insert) {
+      ASSERT_TRUE(engine.StageInsert(step.insert_value).ok());
+      live.push_back(step.insert_value);
+    }
+    const ReferenceAnswer expected =
+        ReferenceSelect(live, step.low, step.high);
+    QueryResult result;
+    ASSERT_TRUE(engine.Select(step.low, step.high, &result).ok())
+        << "query " << i;
+    EXPECT_EQ(result.count(), expected.count) << "query " << i;
+    EXPECT_EQ(result.Sum(), expected.sum) << "query " << i;
+  }
+  EXPECT_GT(engine.faults_injected(), 0);
+  EXPECT_EQ(engine.retries(), engine.faults_injected());
+  EXPECT_FALSE(engine.last_fault_point().empty());
+  EXPECT_TRUE(engine.Validate().ok());
+  auto* audit = dynamic_cast<AuditEngine*>(engine.inner());
+  ASSERT_NE(audit, nullptr);
+  EXPECT_TRUE(audit->findings().empty());
+  EXPECT_EQ(engine.name(), "chaos(audit(prog(800,crack)))");
+}
+
+TEST(ChaosEngineTest, AggregatesRetryToo) {
+  const Column base = DuplicateHeavyColumn(kN, 79);
+  EngineConfig config;
+  config.crack_threshold_values = 1024;
+  auto inner = CreateEngineOrDie("audit(crack)", &base, config);
+  ChaosOptions options;
+  options.period = 2;
+  options.seed = 7;
+  ChaosEngine engine(std::move(inner), options);
+  Rng rng(83);
+  for (int i = 0; i < kQueries; ++i) {
+    const auto range = RandomRange(&rng, kN);
+    const ReferenceAnswer expected =
+        ReferenceSelect(base.values(), range.first, range.second);
+    Query query;
+    query.low = range.first;
+    query.high = range.second;
+    query.mode = OutputMode::kSum;
+    QueryOutput output;
+    ASSERT_TRUE(engine.Execute(query, &output).ok()) << "query " << i;
+    EXPECT_EQ(output.sum, expected.sum) << "query " << i;
+    EXPECT_EQ(output.count, expected.count) << "query " << i;
+  }
+  EXPECT_GT(engine.faults_injected(), 0);
+}
+
+TEST(ChaosEngineTest, PeriodZeroNeverInjects) {
+  const Column base = DuplicateHeavyColumn(4096, 5);
+  auto inner = CreateEngineOrDie("crack", &base, EngineConfig{});
+  ChaosOptions options;
+  options.period = 0;
+  ChaosEngine engine(std::move(inner), options);
+  Rng rng(5);
+  for (int i = 0; i < 32; ++i) {
+    const auto range = RandomRange(&rng, 4096);
+    QueryResult result;
+    ASSERT_TRUE(engine.Select(range.first, range.second, &result).ok());
+  }
+  EXPECT_EQ(engine.faults_injected(), 0);
+  EXPECT_EQ(engine.retries(), 0);
+}
+
+}  // namespace
+}  // namespace scrack

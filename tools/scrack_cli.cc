@@ -239,7 +239,9 @@ class Session {
           "engine=%s queries=%lld touched=%lld swaps=%lld cracks=%lld "
           "materialized=%lld updates_merged=%lld random_pivots=%lld "
           "aggregates_pushed=%lld parallel_cracks=%lld threads_used=%lld "
-          "shared_reads=%lld exclusive_cracks=%lld escalations=%lld\n",
+          "shared_reads=%lld exclusive_cracks=%lld escalations=%lld "
+          "budget_exhausted=%lld deferred_swaps=%lld "
+          "scan_fallback_tuples=%lld swap_budget=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
@@ -251,7 +253,11 @@ class Session {
           static_cast<long long>(s.threads_used),
           static_cast<long long>(s.shared_reads),
           static_cast<long long>(s.exclusive_cracks),
-          static_cast<long long>(s.escalations));
+          static_cast<long long>(s.escalations),
+          static_cast<long long>(s.budget_exhausted),
+          static_cast<long long>(s.deferred_swaps),
+          static_cast<long long>(s.scan_fallback_tuples),
+          static_cast<long long>(s.swap_budget));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {

@@ -62,6 +62,17 @@ void PrintRegistry() {
                 figures.c_str(), spec.runs.size(), spec.assertions.size(),
                 spec.title.c_str());
   }
+  std::printf(
+      "\nEngine specs follow the grammar in README.md (\"Engine specs\"):\n"
+      "  base     scan | sort | crack | ddc | ddr | dd1c | dd1r | mdd1r |\n"
+      "           pmdd1r:<pct> | fiftyfifty | flipcoin | sizesel |\n"
+      "           everyx:<k> | scrackmon:<x> | r<k>crack | aicc | aics |\n"
+      "           aicc1r | aics1r | auto\n"
+      "  suffix   <engine>-p | <engine>-pN      intra-query parallel\n"
+      "  wrapper  threadsafe:<inner> | epoch(<inner>) | sharded(P,<inner>) |\n"
+      "           audit(<inner>) | prog(B,<inner>) | chaos(<inner>)\n"
+      "Unknown or malformed specs are rejected with an error naming the\n"
+      "expected shape.\n");
 }
 
 int Main(int argc, char** argv) {

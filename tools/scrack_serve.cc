@@ -35,15 +35,47 @@
 // engine. Latencies are wall-clock (steady, via util/timer.h) and
 // machine-dependent; checksums and escalation counts are not.
 //
+// Two additional modes ride in this binary (both exit nonzero on any
+// correctness failure, like the default mode):
+//
+//   --slo     per-query SLO profile: replays one deterministic stream
+//             single-threaded over {crack, prog(B,crack)} across a cold
+//             and a converged pass, recording per-query latency AND
+//             per-query tuples-touched/swapped deltas. Reports p50/p99/
+//             p999 latency, p999/max touched tuples, max per-query swaps
+//             (gated against the engine's published swap_budget ceiling),
+//             and the deadline-miss rate against --deadline-us. Answers
+//             must match across engines. Writes a *separate* report
+//             (BENCH_serve_slo.json, schema "serve-slo") so the default
+//             mode's "serve" schema and its committed baseline stay
+//             untouched.
+//
+//   --faults  fault-injection smoke: runs chaos(audit(crack)) and
+//             chaos(audit(prog(B,crack))) over the same stream with
+//             inserts staged along the way. Every injected fault must
+//             leave the column invariant-clean (the audit wrapper sits
+//             *inside* chaos, so each retry is audited) and the retry
+//             must return exactly the clean engine's answer.
+//
 // Usage:
 //   scrack_serve [--quick] [--threads=N] [--n=N] [--q=Q] [--rate=QPS]
 //                [--seed=S] [--json=PATH]
+//                [--slo] [--faults[=PERIOD]] [--budget=B]
+//                [--deadline-us=D]
 //
-//   --quick      CI scale (smaller column and streams, same gates).
-//   --threads=N  client threads (default 8).
-//   --q=Q        total queries per phase, split across threads.
-//   --rate=QPS   total open-loop arrival rate (default 50000).
-//   --json=PATH  report path (default BENCH_serve.json; 'none' disables).
+//   --quick        CI scale (smaller column and streams, same gates).
+//   --threads=N    client threads (default 8).
+//   --q=Q          total queries per phase, split across threads.
+//   --rate=QPS     total open-loop arrival rate (default 50000).
+//   --json=PATH    report path (default BENCH_serve.json, or
+//                  BENCH_serve_slo.json under --slo; 'none' disables).
+//   --slo          run the SLO profile instead of the serving phases.
+//   --faults[=P]   run the fault-injection smoke (inject every P-th
+//                  query, default 3) instead of the serving phases.
+//   --budget=B     per-query swap budget for the prog engines in --slo /
+//                  --faults (default 5000).
+//   --deadline-us  per-query latency SLO for --slo's miss rate
+//                  (default 1000; observation only, never enforced).
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
@@ -56,9 +88,11 @@
 #include <thread>
 #include <vector>
 
+#include "audit/audit_engine.h"
 #include "cracking/cracker_column.h"
 #include "cracking/engine.h"
 #include "harness/engine_factory.h"
+#include "progressive/chaos_engine.h"
 #include "repro/json.h"
 #include "storage/column.h"
 #include "storage/query.h"
@@ -233,9 +267,306 @@ struct Scenario {
   PhaseResult result;
 };
 
+// ------------------------------------------------------------ SLO mode ----
+
+int64_t PercentileCount(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t i = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (i > sorted.size() - 1) i = sorted.size() - 1;
+  return sorted[i];
+}
+
+/// Single-threaded SLO profile: per-query latency and work deltas across a
+/// cold and a converged pass, {crack, prog(B,crack)}, answers gated for
+/// parity and per-query swaps gated against the published budget ceiling.
+int RunSloMode(const ServeOptions& opt, int64_t budget, double deadline_us) {
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = opt.seed;
+  config.deadline_us = deadline_us;
+  const Column base = Column::UniquePermutation(opt.n, opt.seed);
+  ServeOptions single = opt;
+  single.threads = 1;
+  const std::vector<Query> stream = MakeStream(single, 0);
+
+  struct SloRow {
+    std::string engine;
+    std::string phase;
+    double seconds = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double p999_us = 0;
+    double miss_rate = 0;
+    int64_t p999_touched = 0;
+    int64_t max_touched = 0;
+    int64_t max_swaps = 0;
+    uint64_t checksum = 0;
+    EngineStats stats;  // cumulative snapshot at end of phase
+  };
+  std::vector<SloRow> rows;
+  std::vector<uint64_t> engine_checksums;
+  bool ok = true;
+
+  const std::vector<std::string> specs = {
+      "crack", "prog(" + std::to_string(budget) + ",crack)"};
+  std::printf("%-18s %-10s %9s %9s %9s %8s %12s %12s %10s\n", "engine",
+              "phase", "p50us", "p99us", "p999us", "miss", "p999touch",
+              "maxswaps", "deferred");
+  for (const std::string& spec : specs) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status created = CreateEngine(spec, &base, config, &engine);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", spec.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+    uint64_t engine_checksum = 0;
+    for (const char* phase : {"cold", "converged"}) {
+      SloRow row;
+      row.engine = spec;
+      row.phase = phase;
+      std::vector<int64_t> latencies_ns;
+      std::vector<int64_t> touched;
+      latencies_ns.reserve(stream.size());
+      touched.reserve(stream.size());
+      int64_t misses = 0;
+      Timer phase_timer;
+      for (const Query& query : stream) {
+        const EngineStats before = engine->CurrentStats();
+        Timer timer;
+        QueryOutput output;
+        const Status status = engine->Execute(query, &output);
+        if (!status.ok()) {
+          std::fprintf(stderr, "engine %s: %s\n", spec.c_str(),
+                       status.ToString().c_str());
+          return 1;
+        }
+        const int64_t ns = timer.ElapsedNanos();
+        const EngineStats after = engine->CurrentStats();
+        latencies_ns.push_back(ns);
+        touched.push_back(after.tuples_touched - before.tuples_touched);
+        row.max_swaps = std::max(row.max_swaps, after.swaps - before.swaps);
+        if (deadline_us > 0 &&
+            static_cast<double>(ns) / 1000.0 > deadline_us) {
+          ++misses;
+        }
+        row.checksum += FoldChecksum(query, output);
+      }
+      row.seconds = phase_timer.ElapsedSeconds();
+      std::sort(latencies_ns.begin(), latencies_ns.end());
+      std::sort(touched.begin(), touched.end());
+      row.p50_us = PercentileUs(latencies_ns, 0.50);
+      row.p99_us = PercentileUs(latencies_ns, 0.99);
+      row.p999_us = PercentileUs(latencies_ns, 0.999);
+      row.p999_touched = PercentileCount(touched, 0.999);
+      row.max_touched = touched.empty() ? 0 : touched.back();
+      row.miss_rate = stream.empty()
+                          ? 0
+                          : static_cast<double>(misses) /
+                                static_cast<double>(stream.size());
+      row.stats = engine->CurrentStats();
+      engine_checksum += row.checksum;
+      // The budget law the engine publishes: no query may swap more than
+      // the ceiling. Enforced here on the real per-query deltas.
+      if (row.stats.swap_budget > 0 &&
+          row.max_swaps > row.stats.swap_budget) {
+        std::fprintf(stderr,
+                     "engine %s %s: per-query swaps %" PRId64
+                     " exceed the published ceiling %" PRId64 "\n",
+                     spec.c_str(), phase, row.max_swaps,
+                     row.stats.swap_budget);
+        ok = false;
+      }
+      std::printf("%-18s %-10s %9.1f %9.1f %9.1f %7.2f%% %12" PRId64
+                  " %12" PRId64 " %10" PRId64 "\n",
+                  spec.c_str(), phase, row.p50_us, row.p99_us, row.p999_us,
+                  100.0 * row.miss_rate, row.p999_touched, row.max_swaps,
+                  row.stats.deferred_swaps);
+      rows.push_back(std::move(row));
+    }
+    if (!engine->Validate().ok()) {
+      std::fprintf(stderr, "engine %s: Validate failed\n", spec.c_str());
+      ok = false;
+    }
+    engine_checksums.push_back(engine_checksum);
+  }
+  for (size_t e = 1; e < engine_checksums.size(); ++e) {
+    if (engine_checksums[e] != engine_checksums[0]) {
+      std::fprintf(stderr, "slo parity mismatch: %s vs %s\n",
+                   specs[0].c_str(), specs[e].c_str());
+      ok = false;
+    }
+  }
+
+  if (opt.json_path != "none") {
+    repro::Json doc{repro::JsonObject{}};
+    doc.Set("schema", "serve-slo");
+    doc.Set("n", static_cast<int64_t>(opt.n));
+    doc.Set("queries_per_phase",
+            static_cast<int64_t>(stream.size()));
+    doc.Set("seed", static_cast<int64_t>(opt.seed));
+    doc.Set("budget", budget);
+    doc.Set("deadline_us", deadline_us);
+    repro::Json out_rows{repro::JsonArray{}};
+    for (const SloRow& row : rows) {
+      repro::Json j{repro::JsonObject{}};
+      j.Set("engine", row.engine);
+      j.Set("phase", row.phase);
+      j.Set("p50_us", row.p50_us);
+      j.Set("p99_us", row.p99_us);
+      j.Set("p999_us", row.p999_us);
+      j.Set("deadline_miss_rate", row.miss_rate);
+      j.Set("p999_touched", row.p999_touched);
+      j.Set("max_touched", row.max_touched);
+      j.Set("max_swaps_per_query", row.max_swaps);
+      j.Set("checksum", static_cast<double>(row.checksum % 2147483647u));
+      j.Set("budget_exhausted", row.stats.budget_exhausted);
+      j.Set("deferred_swaps", row.stats.deferred_swaps);
+      j.Set("scan_fallback_tuples", row.stats.scan_fallback_tuples);
+      j.Set("swap_budget", row.stats.swap_budget);
+      out_rows.Append(std::move(j));
+    }
+    doc.Set("scenarios", std::move(out_rows));
+    const Status written = repro::WriteJsonFile(doc, opt.json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", opt.json_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("SLO report written to %s\n", opt.json_path.c_str());
+  }
+  std::printf(ok ? "serve --slo: parity OK\n" : "serve --slo: FAILED\n");
+  return ok ? 0 : 1;
+}
+
+// --------------------------------------------------------- faults mode ----
+
+/// Deterministic fault-injection smoke: chaos(audit(<engine>)) must answer
+/// exactly like a clean engine on every query — including the retried
+/// ones — with zero audit findings (audit fail_fast turns any finding into
+/// an error Status on the exact query that tripped it).
+int RunFaultsMode(const ServeOptions& opt, int64_t budget, int64_t period) {
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = opt.seed;
+  const Column base = Column::UniquePermutation(opt.n, opt.seed);
+  ServeOptions single = opt;
+  single.threads = 1;
+  const std::vector<Query> stream = MakeStream(single, 0);
+  const int64_t update_period =
+      stream.empty() ? 0
+                     : std::max<int64_t>(
+                           1, static_cast<int64_t>(stream.size()) /
+                                  std::max<int64_t>(1, opt.updates));
+
+  // Reference answers from a clean crack engine, with the identical
+  // insert stream staged at the identical points.
+  std::vector<uint64_t> reference;
+  reference.reserve(stream.size());
+  {
+    std::unique_ptr<SelectEngine> clean;
+    const Status created = CreateEngine("crack", &base, config, &clean);
+    if (!created.ok()) {
+      std::fprintf(stderr, "clean engine: %s\n", created.ToString().c_str());
+      return 1;
+    }
+    Rng rng(opt.seed + 999);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (update_period > 0 && i > 0 &&
+          static_cast<int64_t>(i) % update_period == 0) {
+        if (!clean->StageInsert(rng.UniformValue(0, opt.n)).ok()) return 1;
+      }
+      QueryOutput output;
+      if (!clean->Execute(stream[i], &output).ok()) {
+        std::fprintf(stderr, "clean engine failed at query %zu\n", i);
+        return 1;
+      }
+      reference.push_back(FoldChecksum(stream[i], output));
+    }
+  }
+
+  bool ok = true;
+  const std::vector<std::string> inner_specs = {
+      "audit(crack)", "audit(prog(" + std::to_string(budget) + ",crack))"};
+  for (const std::string& inner_spec : inner_specs) {
+    std::unique_ptr<SelectEngine> inner;
+    const Status created = CreateEngine(inner_spec, &base, config, &inner);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", inner_spec.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+    ChaosOptions chaos_options;
+    chaos_options.period = period;
+    chaos_options.seed = opt.seed;
+    ChaosEngine engine(std::move(inner), chaos_options);
+    Rng rng(opt.seed + 999);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (update_period > 0 && i > 0 &&
+          static_cast<int64_t>(i) % update_period == 0) {
+        if (!engine.StageInsert(rng.UniformValue(0, opt.n)).ok()) {
+          std::fprintf(stderr, "%s: staged insert failed\n",
+                       engine.name().c_str());
+          ok = false;
+          break;
+        }
+      }
+      QueryOutput output;
+      const Status status = engine.Execute(stream[i], &output);
+      if (!status.ok()) {
+        // With audit inside chaos, this is either an audit finding on the
+        // exact query (invariant broken by an aborted mutation) or a
+        // double fault; both fail the smoke.
+        std::fprintf(stderr, "%s: query %zu: %s\n", engine.name().c_str(), i,
+                     status.ToString().c_str());
+        ok = false;
+        break;
+      }
+      if (FoldChecksum(stream[i], output) != reference[i]) {
+        std::fprintf(stderr, "%s: query %zu: answer diverged after fault\n",
+                     engine.name().c_str(), i);
+        ok = false;
+        break;
+      }
+    }
+    if (!engine.Validate().ok()) {
+      std::fprintf(stderr, "%s: Validate failed\n", engine.name().c_str());
+      ok = false;
+    }
+    // A paranoid end-of-run audit sweep on top of the per-call audits.
+    if (auto* audit = dynamic_cast<AuditEngine*>(engine.inner())) {
+      if (!audit->AuditNow().ok() || !audit->findings().empty()) {
+        std::fprintf(stderr, "%s: %zu audit finding(s)\n",
+                     engine.name().c_str(), audit->findings().size());
+        ok = false;
+      }
+    }
+    std::printf("%-34s faults=%" PRId64 " retries=%" PRId64
+                " last_point=%s\n",
+                engine.name().c_str(), engine.faults_injected(),
+                engine.retries(),
+                engine.last_fault_point().empty()
+                    ? "-"
+                    : engine.last_fault_point().c_str());
+    if (engine.faults_injected() == 0 && period > 0 &&
+        static_cast<int64_t>(stream.size()) >= 2 * period) {
+      std::fprintf(stderr, "%s: no faults fired (smoke is vacuous)\n",
+                   engine.name().c_str());
+      ok = false;
+    }
+  }
+  std::printf(ok ? "serve --faults: degradation OK\n"
+                 : "serve --faults: FAILED\n");
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   ServeOptions opt;
   bool quick = false;
+  bool slo = false;
+  bool faults = false;
+  int64_t fault_period = 3;
+  int64_t budget = 5000;
+  double deadline_us = 1000;
+  bool json_path_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
@@ -252,10 +583,23 @@ int Main(int argc, char** argv) {
       opt.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = arg.substr(7);
+      json_path_set = true;
+    } else if (arg == "--slo") {
+      slo = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults = true;
+      fault_period = std::atoll(arg.c_str() + 9);
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget = std::atoll(arg.c_str() + 9);
+    } else if (arg.rfind("--deadline-us=", 0) == 0) {
+      deadline_us = std::atof(arg.c_str() + 14);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--n=N] [--q=Q] "
-                   "[--rate=QPS] [--seed=S] [--json=PATH]\n",
+                   "[--rate=QPS] [--seed=S] [--json=PATH] [--slo] "
+                   "[--faults[=PERIOD]] [--budget=B] [--deadline-us=D]\n",
                    argv[0]);
       return 2;
     }
@@ -268,6 +612,22 @@ int Main(int argc, char** argv) {
   if (opt.threads < 1 || opt.n < 1000 || opt.total_queries < opt.threads) {
     std::fprintf(stderr, "scrack_serve: invalid scale\n");
     return 2;
+  }
+  if (slo && faults) {
+    std::fprintf(stderr, "scrack_serve: pick one of --slo / --faults\n");
+    return 2;
+  }
+  if (budget < 1 || fault_period < 1) {
+    std::fprintf(stderr, "scrack_serve: --budget and --faults period must "
+                         "be >= 1\n");
+    return 2;
+  }
+  if (slo) {
+    if (!json_path_set) opt.json_path = "BENCH_serve_slo.json";
+    return RunSloMode(opt, budget, deadline_us);
+  }
+  if (faults) {
+    return RunFaultsMode(opt, budget, fault_period);
   }
 
   const std::vector<std::string> engine_specs = {
