@@ -38,12 +38,16 @@ void RunClients(AdaptiveStore* store, int clients, int refreshes, Index n,
       for (int i = 0; i < refreshes; ++i) {
         const Value lo = rng.UniformValue(region_lo, region_hi);
         const Value hi = lo + 2000 < region_hi ? lo + 2000 : region_hi;
-        QueryResult result;
-        if (!store->Select("events", lo, hi, &result).ok()) {
+        Query query;
+        query.low = lo;
+        query.high = hi;
+        query.mode = OutputMode::kCount;
+        QueryOutput result;
+        if (!store->Execute("events", query, &result).ok()) {
           failures->fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        rows_served->fetch_add(result.count(), std::memory_order_relaxed);
+        rows_served->fetch_add(result.count, std::memory_order_relaxed);
       }
     });
   }

@@ -47,11 +47,12 @@ int main(int argc, char** argv) {
     const QueryId report_every = std::max<QueryId>(1, q / 8);
     for (QueryId i = 0; i < static_cast<QueryId>(trace.size()); ++i) {
       timer.Start();
-      QueryResult result;
-      if (Status s = engine->Select(trace[static_cast<size_t>(i)].low,
-                                    trace[static_cast<size_t>(i)].high,
-                                    &result);
-          !s.ok()) {
+      Query query;
+      query.low = trace[static_cast<size_t>(i)].low;
+      query.high = trace[static_cast<size_t>(i)].high;
+      query.mode = OutputMode::kMaterialize;
+      QueryOutput result;
+      if (Status s = engine->Execute(query, &result); !s.ok()) {
         std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
         return 1;
       }

@@ -43,11 +43,15 @@ int main() {
     const int64_t touched_before =
         store.engine("price")->stats().tuples_touched;
     Timer timer;
-    QueryResult result;
-    status = store.Select("price", p.low, p.high, &result);
+    Query query;
+    query.low = p.low;
+    query.high = p.high;
+    query.mode = OutputMode::kCount;
+    QueryOutput result;
+    status = store.Execute("price", query, &result);
     const double micros = timer.ElapsedSeconds() * 1e6;
     if (!status.ok()) {
-      std::fprintf(stderr, "Select failed: %s\n", status.ToString().c_str());
+      std::fprintf(stderr, "Execute failed: %s\n", status.ToString().c_str());
       return 1;
     }
     const int64_t touched =
@@ -55,7 +59,7 @@ int main() {
     std::printf("SELECT ... WHERE %7lld<=v<%-7lld %10lld %12.1f %14lld\n",
                 static_cast<long long>(p.low),
                 static_cast<long long>(p.high),
-                static_cast<long long>(result.count()), micros,
+                static_cast<long long>(result.count), micros,
                 static_cast<long long>(touched));
   }
 
@@ -66,11 +70,15 @@ int main() {
       return 1;
     }
   }
-  QueryResult after;
-  (void)store.Select("price", 500'000, 500'100, &after);
+  Query recheck;
+  recheck.low = 500'000;
+  recheck.high = 500'100;
+  recheck.mode = OutputMode::kCount;
+  QueryOutput after;
+  (void)store.Execute("price", recheck, &after);
   std::printf(
       "\nAfter staging 10 inserts, the same range now reports %lld rows.\n",
-      static_cast<long long>(after.count()));
+      static_cast<long long>(after.count));
   std::printf("Adaptive indexing needed no DDL, no tuning, no idle time.\n");
   return 0;
 }

@@ -45,25 +45,33 @@ int main() {
     // Analyst query over a window that covers part of the fresh data.
     const Value lo = n + rng.UniformValue(0, (next_fresh - n) / 2 + 1);
     const Value hi = lo + 200;
-    QueryResult result;
-    if (Status s = engine.Select(lo, hi, &result); !s.ok()) {
+    Query query;
+    query.low = lo;
+    query.high = hi;
+    query.mode = OutputMode::kCount;
+    QueryOutput result;
+    if (Status s = engine.Execute(query, &result); !s.ok()) {
       std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
       return 1;
     }
     std::printf("%8d %10lld %12lld %12lld %14lld\n", tick,
                 static_cast<long long>(staged),
                 static_cast<long long>(engine.stats().updates_merged),
-                static_cast<long long>(result.count()),
+                static_cast<long long>(result.count),
                 static_cast<long long>(
                     engine.column().pending().num_pending_inserts() +
                     engine.column().pending().num_pending_deletes()));
   }
 
   // Full-domain sweep drains everything; verify the bookkeeping.
-  QueryResult all;
-  if (!engine.Select(-1, next_fresh + 1, &all).ok()) return 1;
+  Query sweep;
+  sweep.low = -1;
+  sweep.high = next_fresh + 1;
+  sweep.mode = OutputMode::kCount;
+  QueryOutput all;
+  if (!engine.Execute(sweep, &all).ok()) return 1;
   std::printf("\nfull sweep: %lld rows (base %lld + inserts - deletes)\n",
-              static_cast<long long>(all.count()),
+              static_cast<long long>(all.count),
               static_cast<long long>(n));
   std::printf("pending after sweep: %lld (all merged)\n",
               static_cast<long long>(

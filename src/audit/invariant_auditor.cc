@@ -127,6 +127,13 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
        stats.budget_exhausted},
       {"scan_fallback_tuples", last_stats_.scan_fallback_tuples,
        stats.scan_fallback_tuples},
+      {"fan_outs", last_stats_.fan_outs, stats.fan_outs},
+      {"nodes_routed", last_stats_.nodes_routed, stats.nodes_routed},
+      {"nodes_pruned", last_stats_.nodes_pruned, stats.nodes_pruned},
+      {"wire_bytes", last_stats_.wire_bytes, stats.wire_bytes},
+      {"node_failures", last_stats_.node_failures, stats.node_failures},
+      {"degraded_queries", last_stats_.degraded_queries,
+       stats.degraded_queries},
   };
   for (const auto& counter : counters) {
     if (counter.now < counter.was) {
@@ -180,6 +187,33 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
                           std::to_string(calls) +
                           " call(s) exceeds the published per-query ceiling " +
                           std::to_string(stats.swap_budget));
+  }
+  // Route-conservation law (coord(K,...) engines): every dispatched query
+  // makes one routing decision per storage node — routed or pruned, never
+  // both, never neither. The counters are coordinator-own (nodes never
+  // contribute), so the law is exact, not approximate.
+  if (stats.cluster_nodes > 0 &&
+      stats.nodes_routed + stats.nodes_pruned !=
+          stats.fan_outs * stats.cluster_nodes) {
+    SCRACK_AUDIT_EMIT(out, "route-conservation", -1,
+                      "routed " + std::to_string(stats.nodes_routed) +
+                          " + pruned " + std::to_string(stats.nodes_pruned) +
+                          " != " + std::to_string(stats.fan_outs) +
+                          " fan-out(s) x " +
+                          std::to_string(stats.cluster_nodes) + " node(s)");
+  }
+  if (stats.cluster_nodes == 0 &&
+      (stats.fan_outs > 0 || stats.nodes_routed > 0 ||
+       stats.nodes_pruned > 0)) {
+    SCRACK_AUDIT_EMIT(out, "route-conservation", -1,
+                      "routing counters advanced on an engine that "
+                      "publishes no cluster size");
+  }
+  if (stats.degraded_queries > 0 && stats.node_failures == 0) {
+    SCRACK_AUDIT_EMIT(out, "route-conservation", -1,
+                      "degraded_queries = " +
+                          std::to_string(stats.degraded_queries) +
+                          " but no node call ever failed");
   }
   if (stats.parallel_cracks > last_stats_.parallel_cracks &&
       stats.threads_used < 2) {

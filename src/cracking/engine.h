@@ -63,6 +63,23 @@ struct EngineStats {
                                 ///  once by budgeted engines; 0 = unbounded)
                                 ///  — a limit the auditor checks against,
                                 ///  not a cumulative counter
+  int64_t fan_outs = 0;         ///< distributed routing decisions: one per
+                                ///  query a coordinator dispatched (batch
+                                ///  queries count individually)
+  int64_t nodes_routed = 0;     ///< storage nodes whose [min,max] could
+                                ///  intersect a routed predicate
+  int64_t nodes_pruned = 0;     ///< storage nodes skipped because their
+                                ///  value range cannot match; per fan-out,
+                                ///  routed + pruned == cluster_nodes
+  int64_t wire_bytes = 0;       ///< serialized request + response bytes
+                                ///  that crossed the node transport
+  int64_t node_failures = 0;    ///< node calls that failed at the transport
+                                ///  (each retry failure counts again)
+  int64_t degraded_queries = 0;  ///< queries answered from a partial node
+                                 ///  set after retry was exhausted
+  int64_t cluster_nodes = 0;    ///< effective storage-node count published
+                                ///  by a coordinator (like swap_budget: a
+                                ///  configuration fact, not a counter)
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's

@@ -1,0 +1,556 @@
+#include "distributed/coordinator_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace scrack {
+
+CoordinatorEngine::CoordinatorEngine(int requested_nodes,
+                                     std::string inner_name)
+    : requested_nodes_(requested_nodes), inner_name_(std::move(inner_name)) {}
+
+Status CoordinatorEngine::Create(const Column* base, int num_nodes,
+                                 const InnerFactory& make_inner,
+                                 const std::string& inner_name,
+                                 std::unique_ptr<SelectEngine>* out) {
+  if (base == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null base column or output");
+  }
+  if (!make_inner) {
+    return Status::InvalidArgument("coordinator needs an inner factory");
+  }
+  if (num_nodes < 1 || num_nodes > kMaxNodes) {
+    return Status::InvalidArgument("node count out of range [1, 64]");
+  }
+
+  // Equi-depth boundaries, byte-for-byte the ShardedEngine algorithm (see
+  // the comment there): successive nth_element passes over one scratch
+  // copy, duplicates collapse boundaries. Identical boundaries + identical
+  // deal order is what makes coord(K,X) answers bit-identical to
+  // sharded(K,X).
+  std::vector<Value> scratch = base->values();
+  std::vector<Value> lowers;
+  lowers.push_back(
+      scratch.empty() ? 0
+                      : *std::min_element(scratch.begin(), scratch.end()));
+  size_t prev_rank = 0;
+  for (int i = 1; i < num_nodes && !scratch.empty(); ++i) {
+    const size_t rank = std::min(
+        static_cast<size_t>((static_cast<long double>(i) * scratch.size()) /
+                            num_nodes),
+        scratch.size() - 1);
+    std::nth_element(scratch.begin() + static_cast<Index>(prev_rank),
+                     scratch.begin() + static_cast<Index>(rank),
+                     scratch.end());
+    const Value boundary = scratch[rank];
+    prev_rank = rank;
+    if (boundary > lowers.back()) lowers.push_back(boundary);
+  }
+
+  std::unique_ptr<CoordinatorEngine> engine(
+      new CoordinatorEngine(num_nodes, inner_name));  // lint:allow(naked-new)
+  engine->lowers_ = std::move(lowers);
+  if (engine->lowers_.size() > 1) {
+    engine->pool_ = &ThreadPool::Shared();
+  }
+
+  // Deal the base data into per-node slices, preserving base order within
+  // each slice (the inner engine copies and cracks it).
+  std::vector<std::vector<Value>> slices(engine->lowers_.size());
+  for (Value v : base->values()) {
+    slices[static_cast<size_t>(engine->NodeFor(v))].push_back(v);
+  }
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+  nodes.reserve(slices.size());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    std::unique_ptr<StorageNode> node;
+    SCRACK_RETURN_NOT_OK(StorageNode::Create(Column(std::move(slices[i])),
+                                             static_cast<int>(i), make_inner,
+                                             &node));
+    nodes.push_back(std::move(node));
+  }
+  auto transport = std::make_unique<InProcTransport>(std::move(nodes));
+  engine->inproc_ = transport.get();
+  engine->transport_ = std::move(transport);
+  engine->node_stats_.resize(engine->lowers_.size());
+
+  // Prime the per-node stat caches with one kStats round trip each — the
+  // first wire traffic the cluster sees, proving serialization end to end
+  // before any query arrives.
+  wire::Request stats_request;
+  stats_request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(stats_request, &encoded);
+  for (int i = 0; i < engine->num_nodes(); ++i) {
+    wire::Response response;
+    int64_t bytes = 0;
+    int64_t failures = 0;
+    SCRACK_RETURN_NOT_OK(
+        engine->CallNode(i, encoded, &response, &bytes, &failures));
+    engine->node_stats_[static_cast<size_t>(i)] = response.stats;
+    engine->wire_bytes_ += bytes;
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine->stats_mutex_);
+    engine->RecomputeStatsLocked();
+  }
+  *out = std::move(engine);
+  return Status::OK();
+}
+
+int CoordinatorEngine::NodeFor(Value v) const {
+  int lo = 0;
+  int hi = static_cast<int>(lowers_.size()) - 1;
+  while (lo < hi) {
+    const int mid = (lo + hi + 1) / 2;
+    if (lowers_[static_cast<size_t>(mid)] <= v) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+bool CoordinatorEngine::Intersects(int i, Value low, Value high) const {
+  const size_t n = lowers_.size();
+  const bool above_lower =
+      (i == 0) || high > lowers_[static_cast<size_t>(i)];
+  const bool below_upper = (static_cast<size_t>(i) + 1 == n) ||
+                           low < lowers_[static_cast<size_t>(i) + 1];
+  return above_lower && below_upper;
+}
+
+void CoordinatorEngine::FanOut(
+    size_t num_tasks, const std::function<void(size_t)>& run_task) const {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || pool_ == nullptr || ThreadPool::OnWorkerThread()) {
+    for (size_t k = 0; k < num_tasks; ++k) run_task(k);
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(num_tasks - 1);
+  // Same discipline as ShardedEngine::FanOut: every pool task references
+  // this frame, so the guard keeps the frame alive until all tasks finish
+  // even if the caller-run task throws (e.g. an injected fault).
+  struct WaitAll {
+    std::vector<std::future<void>>& futures;
+    ~WaitAll() {
+      for (std::future<void>& f : futures) {
+        if (f.valid()) f.wait();
+      }
+    }
+  } wait_all{pending};
+  for (size_t k = 0; k + 1 < num_tasks; ++k) {
+    pending.push_back(pool_->Submit([&run_task, k] { run_task(k); }));
+  }
+  run_task(num_tasks - 1);
+  for (std::future<void>& f : pending) f.get();
+}
+
+Status CoordinatorEngine::CallNode(int node,
+                                   const std::vector<uint8_t>& request,
+                                   wire::Response* response, int64_t* bytes,
+                                   int64_t* failures) const {
+  *bytes += static_cast<int64_t>(request.size());
+  std::vector<uint8_t> buffer;
+  Status status = transport_->Call(node, request, &buffer);
+  if (!status.ok()) {
+    ++*failures;
+    // One retry: reads are idempotent and the in-flight request may simply
+    // have raced a transient drop. Writes never reach this helper twice —
+    // StageInsert/StageDelete call the transport directly, once.
+    *bytes += static_cast<int64_t>(request.size());
+    status = transport_->Call(node, request, &buffer);
+    if (!status.ok()) {
+      ++*failures;
+      return status;
+    }
+  }
+  *bytes += static_cast<int64_t>(buffer.size());
+  const Status decoded = wire::Decode(buffer, response);
+  if (!decoded.ok()) {
+    ++*failures;
+    return decoded;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Per-node result of one fan-out task.
+struct NodeReply {
+  Status transport_status;  ///< non-OK: node unreachable after retry
+  wire::Response response;
+  int64_t bytes = 0;
+  int64_t failures = 0;
+};
+
+/// First application-level error across replies, if any.
+Status FirstAppError(const std::vector<NodeReply>& replies) {
+  for (const NodeReply& reply : replies) {
+    if (reply.transport_status.ok() &&
+        reply.response.status_code != StatusCode::kOk) {
+      return Status::FromCode(reply.response.status_code,
+                              reply.response.status_message);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CoordinatorEngine::Select(Value low, Value high, QueryResult* result) {
+  int degraded = 0;
+  return DoSelect(low, high, result, &degraded);
+}
+
+Status CoordinatorEngine::DoSelect(Value low, Value high, QueryResult* result,
+                                   int* degraded_out) {
+  SCRACK_RETURN_NOT_OK(CheckRange(low, high));
+  if (result == nullptr) {
+    return Status::InvalidArgument("null result");
+  }
+
+  std::vector<int> hits;
+  if (low < high) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (Intersects(i, low, high)) hits.push_back(i);
+    }
+  }
+
+  wire::Request request;
+  request.type = wire::MessageType::kQuery;
+  request.query = Query{low, high, OutputMode::kMaterialize, 1};
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+
+  std::vector<NodeReply> replies(hits.size());
+  FanOut(hits.size(), [&](size_t k) {
+    NodeReply& reply = replies[k];
+    reply.transport_status = CallNode(hits[k], encoded, &reply.response,
+                                      &reply.bytes, &reply.failures);
+  });
+
+  SCRACK_RETURN_NOT_OK(FirstAppError(replies));
+  int64_t copied = 0;
+  int degraded = 0;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    NodeReply& reply = replies[k];
+    if (!reply.transport_status.ok()) {
+      ++degraded;
+      continue;
+    }
+    if (reply.response.outputs.size() != 1) {
+      return Status::Internal("node returned a malformed query response");
+    }
+    std::vector<Value>& values = reply.response.outputs[0].values;
+    copied += static_cast<int64_t>(values.size());
+    result->AddOwned(std::move(values));
+  }
+  *degraded_out = degraded;
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  own_queries_ += 1;
+  own_materialized_ += copied;
+  fan_outs_ += 1;
+  nodes_routed_ += static_cast<int64_t>(hits.size());
+  nodes_pruned_ += num_nodes() - static_cast<int64_t>(hits.size());
+  if (degraded > 0) degraded_queries_ += 1;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    wire_bytes_ += replies[k].bytes;
+    node_failures_ += replies[k].failures;
+    if (replies[k].transport_status.ok()) {
+      node_stats_[static_cast<size_t>(hits[k])] = replies[k].response.stats;
+    }
+  }
+  RecomputeStatsLocked();
+  return Status::OK();
+}
+
+Status CoordinatorEngine::Execute(const Query& query, QueryOutput* output) {
+  if (query.mode == OutputMode::kMaterialize) {
+    // The Select fan-out already merges materialized node results (owned
+    // copies, as in ShardedEngine), and reports degradation directly.
+    SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+    int degraded = 0;
+    SCRACK_RETURN_NOT_OK(
+        DoSelect(query.low, query.high, &output->result, &degraded));
+    output->degraded_nodes = degraded;
+    return Status::OK();
+  }
+  SCRACK_RETURN_NOT_OK(CheckExecute(query, output));
+
+  std::vector<int> hits;
+  if (query.low < query.high) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (Intersects(i, query.low, query.high)) hits.push_back(i);
+    }
+  }
+
+  wire::Request request;
+  request.type = wire::MessageType::kQuery;
+  request.query = query;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+
+  std::vector<NodeReply> replies(hits.size());
+  FanOut(hits.size(), [&](size_t k) {
+    NodeReply& reply = replies[k];
+    reply.transport_status = CallNode(hits[k], encoded, &reply.response,
+                                      &reply.bytes, &reply.failures);
+  });
+
+  SCRACK_RETURN_NOT_OK(FirstAppError(replies));
+  int degraded = 0;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    NodeReply& reply = replies[k];
+    if (!reply.transport_status.ok()) {
+      ++degraded;
+      continue;
+    }
+    if (reply.response.outputs.size() != 1) {
+      return Status::Internal("node returned a malformed query response");
+    }
+    QueryOutput partial;
+    wire::FromOutput(reply.response.outputs[0], &partial);
+    MergePartial(query, partial, output);
+  }
+  output->degraded_nodes = degraded;
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  own_queries_ += 1;
+  own_aggregates_pushed_ += 1;
+  fan_outs_ += 1;
+  nodes_routed_ += static_cast<int64_t>(hits.size());
+  nodes_pruned_ += num_nodes() - static_cast<int64_t>(hits.size());
+  if (degraded > 0) degraded_queries_ += 1;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    wire_bytes_ += replies[k].bytes;
+    node_failures_ += replies[k].failures;
+    if (replies[k].transport_status.ok()) {
+      node_stats_[static_cast<size_t>(hits[k])] = replies[k].response.stats;
+    }
+  }
+  RecomputeStatsLocked();
+  return Status::OK();
+}
+
+Status CoordinatorEngine::ExecuteBatch(const std::vector<Query>& queries,
+                                       std::vector<QueryOutput>* outputs) {
+  if (outputs == nullptr) {
+    return Status::InvalidArgument("null batch outputs");
+  }
+  SCRACK_RETURN_NOT_OK(CheckBatch(queries));
+  outputs->clear();
+  outputs->resize(queries.size());
+
+  // One fan-out for the whole batch: each node receives its intersecting
+  // subset as one kBatch request — one wire round trip per node.
+  std::vector<std::vector<size_t>> node_queries(
+      static_cast<size_t>(num_nodes()));
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const Query& query = queries[qi];
+    if (query.low >= query.high) continue;  // empty range hits no node
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (Intersects(i, query.low, query.high)) {
+        node_queries[static_cast<size_t>(i)].push_back(qi);
+      }
+    }
+  }
+  std::vector<int> hits;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!node_queries[static_cast<size_t>(i)].empty()) hits.push_back(i);
+  }
+
+  std::vector<std::vector<uint8_t>> encoded(hits.size());
+  for (size_t k = 0; k < hits.size(); ++k) {
+    wire::Request request;
+    request.type = wire::MessageType::kBatch;
+    for (size_t qi : node_queries[static_cast<size_t>(hits[k])]) {
+      request.batch.push_back(queries[qi]);
+    }
+    wire::Encode(request, &encoded[k]);
+  }
+
+  std::vector<NodeReply> replies(hits.size());
+  FanOut(hits.size(), [&](size_t k) {
+    NodeReply& reply = replies[k];
+    reply.transport_status = CallNode(hits[k], encoded[k], &reply.response,
+                                      &reply.bytes, &reply.failures);
+  });
+
+  SCRACK_RETURN_NOT_OK(FirstAppError(replies));
+  // Merge in node order, matching the segment order Select produces.
+  int64_t copied = 0;
+  int64_t degraded_total = 0;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    const std::vector<size_t>& assigned =
+        node_queries[static_cast<size_t>(hits[k])];
+    NodeReply& reply = replies[k];
+    if (!reply.transport_status.ok()) {
+      for (size_t qi : assigned) (*outputs)[qi].degraded_nodes += 1;
+      continue;
+    }
+    if (reply.response.outputs.size() != assigned.size()) {
+      return Status::Internal("node returned a malformed batch response");
+    }
+    for (size_t j = 0; j < assigned.size(); ++j) {
+      const Query& query = queries[assigned[j]];
+      QueryOutput& merged = (*outputs)[assigned[j]];
+      if (query.mode == OutputMode::kMaterialize) {
+        std::vector<Value>& values = reply.response.outputs[j].values;
+        copied += static_cast<int64_t>(values.size());
+        merged.result.AddOwned(std::move(values));
+      } else {
+        QueryOutput partial;
+        wire::FromOutput(reply.response.outputs[j], &partial);
+        MergePartial(query, partial, &merged);
+      }
+    }
+  }
+  for (const QueryOutput& output : *outputs) {
+    if (output.degraded_nodes > 0) ++degraded_total;
+  }
+
+  int64_t routed = 0;
+  for (const std::vector<size_t>& assigned : node_queries) {
+    routed += static_cast<int64_t>(assigned.size());
+  }
+  int64_t pushed = 0;
+  for (const Query& query : queries) {
+    if (query.mode != OutputMode::kMaterialize) ++pushed;
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  own_queries_ += static_cast<int64_t>(queries.size());
+  own_materialized_ += copied;
+  own_aggregates_pushed_ += pushed;
+  fan_outs_ += static_cast<int64_t>(queries.size());
+  nodes_routed_ += routed;
+  nodes_pruned_ +=
+      static_cast<int64_t>(queries.size()) * num_nodes() - routed;
+  degraded_queries_ += degraded_total;
+  for (size_t k = 0; k < hits.size(); ++k) {
+    wire_bytes_ += replies[k].bytes;
+    node_failures_ += replies[k].failures;
+    if (replies[k].transport_status.ok()) {
+      node_stats_[static_cast<size_t>(hits[k])] = replies[k].response.stats;
+    }
+  }
+  RecomputeStatsLocked();
+  return Status::OK();
+}
+
+Status CoordinatorEngine::StageInsert(Value v) {
+  wire::Request request;
+  request.type = wire::MessageType::kStageInsert;
+  request.update_value = v;
+  return StageUpdate(request, v);
+}
+
+Status CoordinatorEngine::StageDelete(Value v) {
+  wire::Request request;
+  request.type = wire::MessageType::kStageDelete;
+  request.update_value = v;
+  return StageUpdate(request, v);
+}
+
+Status CoordinatorEngine::StageUpdate(const wire::Request& request, Value v) {
+  const int node = NodeFor(v);
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  std::vector<uint8_t> buffer;
+  // Writes go out exactly once: a retry after an ambiguous transport
+  // failure could double-apply the update on a real network.
+  const Status transport_status = transport_->Call(node, encoded, &buffer);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  wire_bytes_ += static_cast<int64_t>(encoded.size());
+  if (!transport_status.ok()) {
+    node_failures_ += 1;
+    RecomputeStatsLocked();
+    return transport_status;
+  }
+  wire_bytes_ += static_cast<int64_t>(buffer.size());
+  wire::Response response;
+  const Status decoded = wire::Decode(buffer, &response);
+  if (!decoded.ok()) {
+    node_failures_ += 1;
+    RecomputeStatsLocked();
+    return decoded;
+  }
+  node_stats_[static_cast<size_t>(node)] = response.stats;
+  RecomputeStatsLocked();
+  if (response.status_code != StatusCode::kOk) {
+    return Status::FromCode(response.status_code, response.status_message);
+  }
+  return Status::OK();
+}
+
+Status CoordinatorEngine::Validate() const {
+  wire::Request request;
+  request.type = wire::MessageType::kValidate;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  for (int i = 0; i < num_nodes(); ++i) {
+    wire::Response response;
+    int64_t bytes = 0;
+    int64_t failures = 0;
+    SCRACK_RETURN_NOT_OK(CallNode(i, encoded, &response, &bytes, &failures));
+    if (response.status_code != StatusCode::kOk) {
+      return Status::FromCode(response.status_code, response.status_message);
+    }
+  }
+  return Status::OK();
+}
+
+std::string CoordinatorEngine::name() const {
+  return "coord(" + std::to_string(requested_nodes_) + "," + inner_name_ +
+         ")";
+}
+
+EngineStats CoordinatorEngine::CurrentStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void CoordinatorEngine::RecomputeStatsLocked() {
+  EngineStats aggregate;
+  for (const EngineStats& inner : node_stats_) {
+    aggregate.tuples_touched += inner.tuples_touched;
+    aggregate.swaps += inner.swaps;
+    aggregate.cracks += inner.cracks;
+    aggregate.materialized += inner.materialized;
+    aggregate.updates_merged += inner.updates_merged;
+    aggregate.random_pivots += inner.random_pivots;
+    aggregate.parallel_cracks += inner.parallel_cracks;
+    aggregate.threads_used =
+        std::max(aggregate.threads_used, inner.threads_used);
+    aggregate.shared_reads += inner.shared_reads;
+    aggregate.exclusive_cracks += inner.exclusive_cracks;
+    aggregate.escalations += inner.escalations;
+    aggregate.budget_exhausted += inner.budget_exhausted;
+    aggregate.deferred_swaps += inner.deferred_swaps;
+    aggregate.scan_fallback_tuples += inner.scan_fallback_tuples;
+    // As in ShardedEngine: a query may crack bounds in every routed node,
+    // so the enforced per-query ceiling is the node sum.
+    aggregate.swap_budget += inner.swap_budget;
+  }
+  aggregate.queries = own_queries_;
+  aggregate.materialized += own_materialized_;
+  aggregate.aggregates_pushed = own_aggregates_pushed_;
+  // Distributed counters are coordinator-own, never summed from inners:
+  // the route-conservation law (pruned + routed == fan_outs *
+  // cluster_nodes) only holds for counters produced by one cluster size.
+  aggregate.fan_outs = fan_outs_;
+  aggregate.nodes_routed = nodes_routed_;
+  aggregate.nodes_pruned = nodes_pruned_;
+  aggregate.wire_bytes = wire_bytes_;
+  aggregate.node_failures = node_failures_;
+  aggregate.degraded_queries = degraded_queries_;
+  aggregate.cluster_nodes = num_nodes();
+  stats_ = aggregate;
+}
+
+}  // namespace scrack

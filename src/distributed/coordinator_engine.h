@@ -1,0 +1,143 @@
+// CoordinatorEngine: range queries over K storage nodes behind a wire.
+//
+// The distributed face of the library, registered as `coord(K,<inner>)`.
+// Data is partitioned across K value-range storage nodes with the same
+// equi-depth boundaries ShardedEngine uses — deliberately the same
+// algorithm, so `coord(K,X)` and `sharded(K,X)` deal identical slices to
+// identical inner engines and return bit-identical answers (the parity
+// suite in tests/distributed_test.cc and the `distributed` repro figure
+// both assert this). What differs is the boundary: every node interaction
+// is an encoded wire::Request/wire::Response through a pluggable Transport,
+// never a C++ call into node internals.
+//
+// Routing: a query only visits nodes whose owned value range [lower_i,
+// lower_{i+1}) can intersect its predicate; the rest are pruned without any
+// traffic (NeedleTail's locality argument: shards that cannot match are
+// never touched). Per dispatched query, nodes_routed + nodes_pruned ==
+// cluster_nodes — the auditor enforces this as the route-conservation law.
+// Fan-out to routed nodes runs on the shared ThreadPool; kCount/kSum/
+// kMinMax/kExists partials merge through MergePartial, materialized rows
+// arrive as owned copies (serialization deep-copies by construction).
+//
+// Failure semantics: a transport-level failure is retried once per node;
+// a node that stays unreachable degrades *reads* rather than failing them —
+// the query returns OK with `output->degraded_nodes > 0` and the
+// coordinator counts `degraded_queries` — while writes (StageInsert/
+// StageDelete) and Validate propagate the error, since a silently dropped
+// write is not a degraded answer. Application-level errors inside a
+// Response (bad query, unimplemented update) propagate unchanged.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "distributed/inproc_transport.h"
+#include "distributed/storage_node.h"
+#include "distributed/transport.h"
+#include "parallel/thread_pool.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class CoordinatorEngine : public SelectEngine {
+ public:
+  using InnerFactory = StorageNode::InnerFactory;
+
+  /// Creates a coordinator over `base`: computes equi-depth value-range
+  /// boundaries (duplicates can collapse them, reducing the effective node
+  /// count), deals the data into per-node slices preserving base order,
+  /// builds a StorageNode + inner engine per slice, and wires them behind
+  /// an in-process transport. `base` need not outlive the engine.
+  static Status Create(const Column* base, int num_nodes,
+                       const InnerFactory& make_inner,
+                       const std::string& inner_name,
+                       std::unique_ptr<SelectEngine>* out);
+
+  /// Upper bound on K. Smaller than ShardedEngine::kMaxShards: every node
+  /// adds serialization work per hop, and a cluster wider than this wants
+  /// real machines, not in-process nodes.
+  static constexpr int kMaxNodes = 64;
+
+  Status Select(Value low, Value high, QueryResult* result) override;
+  Status Execute(const Query& query, QueryOutput* output) override;
+  Status ExecuteBatch(const std::vector<Query>& queries,
+                      std::vector<QueryOutput>* outputs) override;
+
+  std::string name() const override;
+  Status StageInsert(Value v) override;
+  Status StageDelete(Value v) override;
+  Status Validate() const override;
+
+  /// Effective node count (<= requested K; duplicate-heavy data collapses
+  /// boundaries exactly as in ShardedEngine).
+  int num_nodes() const { return static_cast<int>(lowers_.size()); }
+
+  /// Locked snapshot of the aggregated counters (node stats ride on every
+  /// wire response and are cached here), safe during concurrent queries.
+  EngineStats CurrentStats() const override;
+
+  /// The in-process transport, for chaos hooks (KillNode/FailNextCalls) in
+  /// tests and the serving harness. Null if a future coordinator is built
+  /// over a different transport.
+  InProcTransport* inproc_transport() { return inproc_; }
+
+ private:
+  CoordinatorEngine(int requested_nodes, std::string inner_name);
+
+  /// Largest i with lowers_[i] <= v (ShardedEngine::ShardFor).
+  int NodeFor(Value v) const;
+  /// Can node i's owned range intersect [low, high)? Ends widened to +-inf.
+  bool Intersects(int i, Value low, Value high) const;
+  /// Runs tasks on the shared pool, caller participating; same nesting and
+  /// exception discipline as ShardedEngine::FanOut.
+  void FanOut(size_t num_tasks,
+              const std::function<void(size_t)>& run_task) const;
+
+  /// One node call with retry: encodes nothing (callers pass encoded
+  /// bytes), decodes the response, counts bytes and failures into `*bytes`
+  /// and `*failures`. Returns non-OK only if the node stayed unreachable
+  /// after the retry or sent an undecodable response.
+  Status CallNode(int node, const std::vector<uint8_t>& request,
+                  wire::Response* response, int64_t* bytes,
+                  int64_t* failures) const;
+
+  /// Shared fan-out body of Select and kMaterialize Execute; reports how
+  /// many routed nodes stayed unreachable through `*degraded_out`.
+  Status DoSelect(Value low, Value high, QueryResult* result,
+                  int* degraded_out);
+
+  /// Shared single-shot write path of StageInsert/StageDelete.
+  Status StageUpdate(const wire::Request& request, Value v);
+
+  /// Folds per-node stat caches + own counters into stats_; callers hold
+  /// stats_mutex_.
+  void RecomputeStatsLocked();
+
+  const int requested_nodes_;
+  const std::string inner_name_;
+  std::vector<Value> lowers_;  ///< lowers_[i] = lower bound of node i's range
+  std::unique_ptr<Transport> transport_;
+  InProcTransport* inproc_ = nullptr;  ///< transport_ downcast, if in-proc
+  ThreadPool* pool_ = nullptr;
+
+  // All mutable coordinator state lives under one mutex, written only after
+  // a fan-out has joined (so an InjectedFault unwinding a fan-out leaves
+  // every counter untouched and the conservation laws intact). The mutex is
+  // confined to this class.
+  mutable std::mutex stats_mutex_;
+  std::vector<EngineStats> node_stats_;  ///< last snapshot seen per node
+  int64_t own_queries_ = 0;
+  int64_t own_materialized_ = 0;
+  int64_t own_aggregates_pushed_ = 0;
+  int64_t fan_outs_ = 0;
+  int64_t nodes_routed_ = 0;
+  int64_t nodes_pruned_ = 0;
+  int64_t wire_bytes_ = 0;
+  int64_t node_failures_ = 0;
+  int64_t degraded_queries_ = 0;
+};
+
+}  // namespace scrack

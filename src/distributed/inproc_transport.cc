@@ -1,0 +1,61 @@
+#include "distributed/inproc_transport.h"
+
+#include <string>
+
+#include "util/fault.h"
+
+namespace scrack {
+
+InProcTransport::InProcTransport(
+    std::vector<std::unique_ptr<StorageNode>> nodes)
+    : nodes_(std::move(nodes)),
+      alive_(std::make_unique<std::atomic<bool>[]>(nodes_.size())),
+      fail_next_(std::make_unique<std::atomic<int>[]>(nodes_.size())) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    alive_[i].store(true, std::memory_order_relaxed);
+    fail_next_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status InProcTransport::Call(int node, const std::vector<uint8_t>& request,
+                             std::vector<uint8_t>* response) {
+  SCRACK_CHECK(node >= 0 && node < num_nodes());
+  SCRACK_FAULT_POINT("transport");
+  if (!alive_[node].load(std::memory_order_acquire)) {
+    return Status::Internal("storage node " + std::to_string(node) +
+                            " unreachable");
+  }
+  int pending = fail_next_[node].load(std::memory_order_acquire);
+  while (pending > 0) {
+    if (fail_next_[node].compare_exchange_weak(pending, pending - 1,
+                                               std::memory_order_acq_rel)) {
+      return Status::Internal("storage node " + std::to_string(node) +
+                              " dropped the connection");
+    }
+  }
+  response->clear();
+  nodes_[static_cast<size_t>(node)]->Serve(request, response);
+  return Status::OK();
+}
+
+void InProcTransport::KillNode(int node) {
+  SCRACK_CHECK(node >= 0 && node < num_nodes());
+  alive_[node].store(false, std::memory_order_release);
+}
+
+void InProcTransport::ReviveNode(int node) {
+  SCRACK_CHECK(node >= 0 && node < num_nodes());
+  alive_[node].store(true, std::memory_order_release);
+}
+
+bool InProcTransport::NodeAlive(int node) const {
+  SCRACK_CHECK(node >= 0 && node < num_nodes());
+  return alive_[node].load(std::memory_order_acquire);
+}
+
+void InProcTransport::FailNextCalls(int node, int count) {
+  SCRACK_CHECK(node >= 0 && node < num_nodes());
+  fail_next_[node].store(count, std::memory_order_release);
+}
+
+}  // namespace scrack

@@ -1,0 +1,56 @@
+// InProcTransport: message-passing transport over in-process storage nodes.
+//
+// The hermetic transport that ships with the coordinator: nodes live in
+// this process, but every call still serializes the request into a byte
+// buffer, hands the bytes to the node, and deserializes the node's encoded
+// response — so the wire schema is exercised on every hop and a socket
+// transport can replace this one without the coordinator noticing.
+//
+// Chaos hooks: KillNode()/ReviveNode() make a node unreachable (every Call
+// fails with Internal, as a dead TCP peer would), and FailNextCalls()
+// injects transient per-node failures for retry testing. Both are
+// deterministic. Call() also crosses the "transport" fault point, so
+// chaos(<inner>) (PR 8) can inject faults into the fan-out path of a
+// wrapped coordinator.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "distributed/storage_node.h"
+#include "distributed/transport.h"
+
+namespace scrack {
+
+class InProcTransport : public Transport {
+ public:
+  explicit InProcTransport(std::vector<std::unique_ptr<StorageNode>> nodes);
+
+  int num_nodes() const override { return static_cast<int>(nodes_.size()); }
+
+  Status Call(int node, const std::vector<uint8_t>& request,
+              std::vector<uint8_t>* response) override;
+
+  /// Makes `node` unreachable: every Call fails until ReviveNode. Safe to
+  /// call while queries are in flight (the flag is atomic; in-flight calls
+  /// complete or fail, they never crash).
+  void KillNode(int node);
+  void ReviveNode(int node);
+  bool NodeAlive(int node) const;
+
+  /// Test hook: the next `count` Calls to `node` fail as if the connection
+  /// dropped, then service resumes — the transient-failure shape that
+  /// exercises the coordinator's retry path.
+  void FailNextCalls(int node, int count);
+
+  /// White-box access for tests; production traffic goes through Call().
+  StorageNode* node(int i) { return nodes_[static_cast<size_t>(i)].get(); }
+
+ private:
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+  std::unique_ptr<std::atomic<int>[]> fail_next_;
+};
+
+}  // namespace scrack

@@ -1,0 +1,78 @@
+#include "distributed/storage_node.h"
+
+namespace scrack {
+
+Status StorageNode::Create(Column slice, int node_index,
+                           const InnerFactory& make_inner,
+                           std::unique_ptr<StorageNode>* out) {
+  // Allocate first so the column has its final address before the engine
+  // is built over it (engines keep a pointer to their base column).
+  std::unique_ptr<StorageNode> node(
+      new StorageNode(std::move(slice)));  // lint:allow(naked-new)
+  SCRACK_RETURN_NOT_OK(make_inner(&node->slice_, node_index, &node->engine_));
+  *out = std::move(node);
+  return Status::OK();
+}
+
+void StorageNode::Serve(const std::vector<uint8_t>& request,
+                        std::vector<uint8_t>* response) {
+  wire::Request decoded;
+  wire::Response reply;
+  const Status parsed = wire::Decode(request, &decoded);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!parsed.ok()) {
+      reply.status_code = parsed.code();
+      reply.status_message = parsed.message();
+    } else {
+      reply = Dispatch(decoded);
+    }
+    reply.stats = engine_->CurrentStats();
+  }
+  wire::Encode(reply, response);
+}
+
+wire::Response StorageNode::Dispatch(const wire::Request& request) {
+  wire::Response reply;
+  Status status = Status::OK();
+  switch (request.type) {
+    case wire::MessageType::kQuery: {
+      QueryOutput output;
+      status = engine_->Execute(request.query, &output);
+      if (status.ok()) reply.outputs.push_back(wire::ToOutput(output));
+      break;
+    }
+    case wire::MessageType::kBatch: {
+      // One query at a time, serializing each output before the next
+      // query's reorganization can invalidate materialized views. Answers
+      // match a one-by-one issue order by construction.
+      reply.outputs.reserve(request.batch.size());
+      for (const Query& query : request.batch) {
+        QueryOutput output;
+        status = engine_->Execute(query, &output);
+        if (!status.ok()) {
+          reply.outputs.clear();
+          break;
+        }
+        reply.outputs.push_back(wire::ToOutput(output));
+      }
+      break;
+    }
+    case wire::MessageType::kStageInsert:
+      status = engine_->StageInsert(request.update_value);
+      break;
+    case wire::MessageType::kStageDelete:
+      status = engine_->StageDelete(request.update_value);
+      break;
+    case wire::MessageType::kStats:
+      break;  // the stats snapshot rides on every response anyway
+    case wire::MessageType::kValidate:
+      status = engine_->Validate();
+      break;
+  }
+  reply.status_code = status.code();
+  reply.status_message = status.message();
+  return reply;
+}
+
+}  // namespace scrack

@@ -1,0 +1,73 @@
+// StorageNode: one value-range shard of the cluster, behind the wire.
+//
+// A node owns its slice of the data (a Column) and an inner SelectEngine
+// over it — any engine the factory can build, so a node can run plain
+// cracking, epoch serving, budgeted progressive cracking, or an audited
+// stack. Its only entry point is Serve(): decode a wire::Request, dispatch
+// to the engine, encode a wire::Response. Nothing else about the node is
+// visible across the boundary, which is what makes the coordinator
+// transport-independent.
+//
+// Error model: Serve() never throws across the "wire" and never leaves the
+// response empty. Decode failures and engine errors are encoded as an error
+// Response (status code + message); every response — errors included —
+// carries the node's cumulative EngineStats snapshot.
+//
+// Concurrency: a node serializes its own requests with an internal mutex
+// (the mutex never leaves this class — see the mutex-confinement lint
+// rule), so Serve() is safe from any thread even when the inner engine is
+// not thread-safe. Cross-node parallelism is the coordinator's job.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "distributed/wire.h"
+#include "storage/column.h"
+
+namespace scrack {
+
+class StorageNode {
+ public:
+  /// Builds the inner engine of node `node_index` over that node's private
+  /// base column. Same shape as ShardedEngine::InnerFactory, and for the
+  /// same reason: the factory layer injects spec parsing without a
+  /// dependency cycle (distributed/ must not include harness/).
+  using InnerFactory = std::function<Status(
+      const Column* node_base, int node_index,
+      std::unique_ptr<SelectEngine>* out)>;
+
+  /// Creates a node owning `slice` and an inner engine built over it.
+  static Status Create(Column slice, int node_index,
+                       const InnerFactory& make_inner,
+                       std::unique_ptr<StorageNode>* out);
+
+  StorageNode(const StorageNode&) = delete;
+  StorageNode& operator=(const StorageNode&) = delete;
+
+  /// Handles one request: decode, dispatch, encode. Appends the encoded
+  /// wire::Response to `*response` (callers pass an empty buffer).
+  void Serve(const std::vector<uint8_t>& request,
+             std::vector<uint8_t>* response);
+
+  /// Tuples this node owned at creation (staged updates excluded).
+  Index slice_size() const { return slice_.size(); }
+
+  /// The engine, for white-box test assertions only — production traffic
+  /// goes through Serve().
+  SelectEngine* engine() { return engine_.get(); }
+
+ private:
+  explicit StorageNode(Column slice) : slice_(std::move(slice)) {}
+
+  wire::Response Dispatch(const wire::Request& request);
+
+  std::mutex mutex_;  // serializes Serve(); confined to this class
+  Column slice_;      // the node's private data; engine_ reads through it
+  std::unique_ptr<SelectEngine> engine_;
+};
+
+}  // namespace scrack

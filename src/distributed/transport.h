@@ -1,0 +1,54 @@
+// Transport: the pluggable byte-moving layer under the coordinator.
+//
+// The coordinator never touches a storage node directly — every interaction
+// is an encoded wire::Request sent through this interface and an encoded
+// wire::Response coming back. That keeps the coordinator transport-agnostic:
+// the in-process transport (inproc_transport.h) ships today so CI stays
+// hermetic, and a socket transport slots in later without changing the
+// coordinator at all.
+//
+// Contract for implementations:
+//   - Call() is synchronous: it returns once `*response` holds a complete
+//     encoded wire::Response, or with a non-OK Status on *transport-level*
+//     failure (node unreachable, connection lost, corrupt frame). A non-OK
+//     return means `*response` is meaningless and the request may or may
+//     not have reached the node — exactly the at-most-once ambiguity a
+//     socket gives you, which is why the coordinator only retries reads.
+//   - Application-level failures (bad query, unimplemented update) are NOT
+//     transport failures: they travel inside the encoded Response as a
+//     status code, and Call() returns OK.
+//   - Call() must be safe to invoke concurrently from multiple threads,
+//     including for the same node — the coordinator fans out over the
+//     shared ThreadPool. Serializing per-node calls internally (as the
+//     in-process transport does with a per-node mutex) satisfies this.
+//   - Node ids are dense: 0 <= node < num_nodes(), fixed for the lifetime
+//     of the transport. Membership changes are a follow-up.
+//
+// Socket follow-up (documented, not implemented): a TCP transport frames
+// each message as u32 length + bytes, one connection per node with
+// reconnect-on-error; the wire schema already versions itself, so mixed
+// coordinator/node builds fail clean with "unsupported protocol version".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scrack {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of storage nodes reachable through this transport.
+  virtual int num_nodes() const = 0;
+
+  /// Delivers `request` (an encoded wire::Request) to `node` and fills
+  /// `*response` with the node's encoded wire::Response. See the contract
+  /// above for failure semantics and thread safety.
+  virtual Status Call(int node, const std::vector<uint8_t>& request,
+                      std::vector<uint8_t>* response) = 0;
+};
+
+}  // namespace scrack

@@ -1,0 +1,336 @@
+#include "distributed/wire.h"
+
+#include <cstring>
+
+namespace scrack {
+namespace wire {
+namespace {
+
+// ---- primitive writers: little-endian, fixed width, no alignment ----
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+// ---- primitive readers: every read is bounds-checked through a cursor ----
+
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  Status Need(size_t n) {
+    if (size - pos < n) {
+      return Status::InvalidArgument("wire: truncated message");
+    }
+    return Status::OK();
+  }
+  Status GetU8(uint8_t* v) {
+    SCRACK_RETURN_NOT_OK(Need(1));
+    *v = data[pos++];
+    return Status::OK();
+  }
+  Status GetU32(uint32_t* v) {
+    SCRACK_RETURN_NOT_OK(Need(4));
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    *v = r;
+    return Status::OK();
+  }
+  Status GetU64(uint64_t* v) {
+    SCRACK_RETURN_NOT_OK(Need(8));
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    *v = r;
+    return Status::OK();
+  }
+  Status GetI64(int64_t* v) {
+    uint64_t u = 0;
+    SCRACK_RETURN_NOT_OK(GetU64(&u));
+    std::memcpy(v, &u, sizeof(*v));
+    return Status::OK();
+  }
+  Status Done() {
+    if (pos != size) {
+      return Status::InvalidArgument("wire: trailing bytes after message");
+    }
+    return Status::OK();
+  }
+};
+
+// ---- compound fields ----
+
+constexpr uint8_t kMaxMessageType = static_cast<uint8_t>(MessageType::kValidate);
+constexpr uint8_t kMaxOutputMode = static_cast<uint8_t>(OutputMode::kExists);
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+
+// EngineStats fields in declaration order. Adding a field here (and in the
+// two functions below) changes kStatsFields, which Decode checks — so a
+// sender/receiver mismatch is rejected, not misparsed.
+constexpr uint32_t kStatsFields = 24;
+
+void PutStats(const EngineStats& s, std::vector<uint8_t>* out) {
+  PutU32(kStatsFields, out);
+  PutI64(s.queries, out);
+  PutI64(s.tuples_touched, out);
+  PutI64(s.swaps, out);
+  PutI64(s.cracks, out);
+  PutI64(s.materialized, out);
+  PutI64(s.updates_merged, out);
+  PutI64(s.random_pivots, out);
+  PutI64(s.aggregates_pushed, out);
+  PutI64(s.parallel_cracks, out);
+  PutI64(s.threads_used, out);
+  PutI64(s.shared_reads, out);
+  PutI64(s.exclusive_cracks, out);
+  PutI64(s.escalations, out);
+  PutI64(s.budget_exhausted, out);
+  PutI64(s.deferred_swaps, out);
+  PutI64(s.scan_fallback_tuples, out);
+  PutI64(s.swap_budget, out);
+  PutI64(s.fan_outs, out);
+  PutI64(s.nodes_routed, out);
+  PutI64(s.nodes_pruned, out);
+  PutI64(s.wire_bytes, out);
+  PutI64(s.node_failures, out);
+  PutI64(s.degraded_queries, out);
+  PutI64(s.cluster_nodes, out);
+}
+
+Status GetStats(Reader* r, EngineStats* s) {
+  uint32_t fields = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU32(&fields));
+  if (fields != kStatsFields) {
+    return Status::InvalidArgument("wire: stats field-count mismatch");
+  }
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->queries));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->tuples_touched));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->swaps));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->cracks));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->materialized));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->updates_merged));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->random_pivots));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->aggregates_pushed));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->parallel_cracks));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->threads_used));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->shared_reads));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->exclusive_cracks));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->escalations));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->budget_exhausted));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->deferred_swaps));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->scan_fallback_tuples));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->swap_budget));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->fan_outs));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->nodes_routed));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->nodes_pruned));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->wire_bytes));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->node_failures));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->degraded_queries));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->cluster_nodes));
+  return Status::OK();
+}
+
+void PutQuery(const Query& q, std::vector<uint8_t>* out) {
+  PutI64(q.low, out);
+  PutI64(q.high, out);
+  PutU8(static_cast<uint8_t>(q.mode), out);
+  PutI64(q.limit, out);
+}
+
+Status GetQuery(Reader* r, Query* q) {
+  SCRACK_RETURN_NOT_OK(r->GetI64(&q->low));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&q->high));
+  uint8_t mode = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU8(&mode));
+  if (mode > kMaxOutputMode) {
+    return Status::InvalidArgument("wire: unknown output mode");
+  }
+  q->mode = static_cast<OutputMode>(mode);
+  SCRACK_RETURN_NOT_OK(r->GetI64(&q->limit));
+  return Status::OK();
+}
+
+void PutOutput(const Output& o, std::vector<uint8_t>* out) {
+  PutI64(o.count, out);
+  PutI64(o.sum, out);
+  PutI64(o.min, out);
+  PutI64(o.max, out);
+  PutU8(o.exists ? 1 : 0, out);
+  PutU32(static_cast<uint32_t>(o.values.size()), out);
+  for (Value v : o.values) PutI64(v, out);
+}
+
+Status GetOutput(Reader* r, Output* o) {
+  SCRACK_RETURN_NOT_OK(r->GetI64(&o->count));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&o->sum));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&o->min));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&o->max));
+  uint8_t exists = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU8(&exists));
+  if (exists > 1) {
+    return Status::InvalidArgument("wire: bool field out of range");
+  }
+  o->exists = exists == 1;
+  uint32_t n = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU32(&n));
+  // Each value occupies 8 bytes, so the remaining size bounds the count; a
+  // corrupt length can't trigger a huge allocation before the Need() check.
+  SCRACK_RETURN_NOT_OK(r->Need(static_cast<size_t>(n) * 8));
+  o->values.clear();
+  o->values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value v = 0;
+    SCRACK_RETURN_NOT_OK(r->GetI64(&v));
+    o->values.push_back(v);
+  }
+  return Status::OK();
+}
+
+void PutString(const std::string& s, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+Status GetString(Reader* r, std::string* s) {
+  uint32_t n = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU32(&n));
+  SCRACK_RETURN_NOT_OK(r->Need(n));
+  s->assign(reinterpret_cast<const char*>(r->data + r->pos), n);
+  r->pos += n;
+  return Status::OK();
+}
+
+Status CheckHeader(Reader* r, uint8_t* type) {
+  uint32_t version = 0;
+  SCRACK_RETURN_NOT_OK(r->GetU32(&version));
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("wire: unsupported protocol version");
+  }
+  return r->GetU8(type);
+}
+
+}  // namespace
+
+void Encode(const Request& request, std::vector<uint8_t>* out) {
+  PutU32(kProtocolVersion, out);
+  PutU8(static_cast<uint8_t>(request.type), out);
+  switch (request.type) {
+    case MessageType::kQuery:
+      PutQuery(request.query, out);
+      break;
+    case MessageType::kBatch:
+      PutU32(static_cast<uint32_t>(request.batch.size()), out);
+      for (const Query& q : request.batch) PutQuery(q, out);
+      break;
+    case MessageType::kStageInsert:
+    case MessageType::kStageDelete:
+      PutI64(request.update_value, out);
+      break;
+    case MessageType::kStats:
+    case MessageType::kValidate:
+      break;  // header only
+  }
+}
+
+Status Decode(const std::vector<uint8_t>& buffer, Request* out) {
+  Reader r{buffer.data(), buffer.size()};
+  uint8_t type = 0;
+  SCRACK_RETURN_NOT_OK(CheckHeader(&r, &type));
+  if (type > kMaxMessageType) {
+    return Status::InvalidArgument("wire: unknown request type");
+  }
+  *out = Request{};
+  out->type = static_cast<MessageType>(type);
+  switch (out->type) {
+    case MessageType::kQuery:
+      SCRACK_RETURN_NOT_OK(GetQuery(&r, &out->query));
+      break;
+    case MessageType::kBatch: {
+      uint32_t n = 0;
+      SCRACK_RETURN_NOT_OK(r.GetU32(&n));
+      SCRACK_RETURN_NOT_OK(r.Need(static_cast<size_t>(n) * 25));
+      out->batch.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        SCRACK_RETURN_NOT_OK(GetQuery(&r, &out->batch[i]));
+      }
+      break;
+    }
+    case MessageType::kStageInsert:
+    case MessageType::kStageDelete:
+      SCRACK_RETURN_NOT_OK(r.GetI64(&out->update_value));
+      break;
+    case MessageType::kStats:
+    case MessageType::kValidate:
+      break;
+  }
+  return r.Done();
+}
+
+void Encode(const Response& response, std::vector<uint8_t>* out) {
+  PutU32(kProtocolVersion, out);
+  PutU8(static_cast<uint8_t>(response.status_code), out);
+  PutString(response.status_message, out);
+  PutU32(static_cast<uint32_t>(response.outputs.size()), out);
+  for (const Output& o : response.outputs) PutOutput(o, out);
+  PutStats(response.stats, out);
+}
+
+Status Decode(const std::vector<uint8_t>& buffer, Response* out) {
+  Reader r{buffer.data(), buffer.size()};
+  uint8_t code = 0;
+  SCRACK_RETURN_NOT_OK(CheckHeader(&r, &code));
+  if (code > kMaxStatusCode) {
+    return Status::InvalidArgument("wire: unknown status code");
+  }
+  *out = Response{};
+  out->status_code = static_cast<StatusCode>(code);
+  SCRACK_RETURN_NOT_OK(GetString(&r, &out->status_message));
+  uint32_t n = 0;
+  SCRACK_RETURN_NOT_OK(r.GetU32(&n));
+  // An Output is at least 41 bytes, bounding the count by the buffer size.
+  SCRACK_RETURN_NOT_OK(r.Need(static_cast<size_t>(n) * 41));
+  out->outputs.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SCRACK_RETURN_NOT_OK(GetOutput(&r, &out->outputs[i]));
+  }
+  SCRACK_RETURN_NOT_OK(GetStats(&r, &out->stats));
+  return r.Done();
+}
+
+Output ToOutput(const QueryOutput& output) {
+  Output o;
+  o.count = output.count;
+  o.sum = output.sum;
+  o.min = output.min;
+  o.max = output.max;
+  o.exists = output.exists;
+  o.values = output.result.Collect();
+  return o;
+}
+
+void FromOutput(const Output& wire_output, QueryOutput* out) {
+  *out = QueryOutput{};
+  out->count = wire_output.count;
+  out->sum = wire_output.sum;
+  out->min = wire_output.min;
+  out->max = wire_output.max;
+  out->exists = wire_output.exists;
+  if (!wire_output.values.empty()) {
+    out->result.AddOwned(wire_output.values);
+  }
+}
+
+}  // namespace wire
+}  // namespace scrack

@@ -1,0 +1,98 @@
+// Wire schema for the coordinator / storage-node boundary.
+//
+// The Query/QueryOutput API (PR 2) is an in-memory object graph; a node
+// boundary needs an explicit, versioned byte encoding. This header defines
+// that encoding: `wire::Request` and `wire::Response` are plain structs with
+// Encode/Decode round-trip guarantees, so any Transport that can move a byte
+// buffer can carry a query. The format is deliberately trivial:
+//
+//   - little-endian fixed-width integers, no alignment, no padding
+//   - every message starts with a u32 protocol version and a u8 message type
+//   - variable-length payloads (materialized values, batch queries, status
+//     messages) are u32-count-prefixed
+//   - EngineStats travels as a u32 field count followed by the fields in
+//     declaration order, so a version bump is detected before misparsing
+//
+// Decode is defensive: truncated buffers, trailing garbage, unknown
+// versions, and out-of-range enum values are all rejected with
+// InvalidArgument rather than UB — the corruption fuzz tests in
+// tests/wire_test.cc rely on this. Encoding the same struct twice yields
+// byte-identical buffers (no map iteration, no pointers), which keeps the
+// coordinator parity checks deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cracking/engine.h"
+#include "storage/query.h"
+#include "util/status.h"
+
+namespace scrack {
+namespace wire {
+
+/// Bump on any layout change; Decode rejects other versions outright.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// What a Request asks the storage node to do.
+enum class MessageType : uint8_t {
+  kQuery = 0,        ///< execute one Query (any OutputMode)
+  kBatch = 1,        ///< execute queries[] in order, one output each
+  kStageInsert = 2,  ///< stage a pending insert of `update_value`
+  kStageDelete = 3,  ///< stage a pending delete of `update_value`
+  kStats = 4,        ///< no work; respond with the node's stats snapshot
+  kValidate = 5,     ///< run the inner engine's Validate()
+};
+
+/// One coordinator -> node message.
+struct Request {
+  MessageType type = MessageType::kQuery;
+  Query query;                ///< kQuery only
+  std::vector<Query> batch;   ///< kBatch only
+  Value update_value = 0;     ///< kStageInsert / kStageDelete only
+};
+
+/// A QueryOutput that owns its tuples — materialized results cross the wire
+/// as copies, never as views into node memory.
+struct Output {
+  Index count = 0;
+  int64_t sum = 0;
+  Value min = 0;
+  Value max = 0;
+  bool exists = false;
+  std::vector<Value> values;  ///< kMaterialize payload
+};
+
+/// One node -> coordinator message. `status_code`/`status_message` carry
+/// application-level failures (bad query, unimplemented update) across the
+/// wire; transport-level failures (node down) never produce a Response at
+/// all. Every response — including errors — piggybacks the node's cumulative
+/// EngineStats snapshot so the coordinator's stat cache stays fresh without
+/// extra round trips.
+struct Response {
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  std::vector<Output> outputs;  ///< one per query answered (empty on error)
+  EngineStats stats;
+};
+
+/// Serializes onto the end of `*out` (callers pass an empty buffer for a
+/// fresh message). Encoding never fails.
+void Encode(const Request& request, std::vector<uint8_t>* out);
+void Encode(const Response& response, std::vector<uint8_t>* out);
+
+/// Parses a complete message. Rejects truncated input, trailing bytes,
+/// version mismatches, and out-of-range enums with InvalidArgument; `*out`
+/// is left in an unspecified-but-valid state on failure.
+Status Decode(const std::vector<uint8_t>& buffer, Request* out);
+Status Decode(const std::vector<uint8_t>& buffer, Response* out);
+
+/// Conversion helpers between the wire Output and the in-memory QueryOutput.
+/// ToOutput deep-copies materialized tuples (result.Collect()); FromOutput
+/// rebuilds a QueryOutput whose result owns its buffer.
+Output ToOutput(const QueryOutput& output);
+void FromOutput(const Output& wire_output, QueryOutput* out);
+
+}  // namespace wire
+}  // namespace scrack

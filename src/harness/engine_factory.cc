@@ -12,6 +12,8 @@
 #include "cracking/selective_engine.h"
 #include "cracking/sort_engine.h"
 #include "cracking/stochastic_engine.h"
+#include "distributed/coordinator_engine.h"
+#include "harness/engine_spec.h"
 #include "hybrid/hybrid_engine.h"
 #include "parallel/epoch_engine.h"
 #include "parallel/sharded_engine.h"
@@ -23,26 +25,6 @@ namespace scrack {
 
 namespace {
 
-std::string Lower(const std::string& s) {
-  std::string out = s;
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return out;
-}
-
-// Splits "name:arg" into name and arg ("" if absent).
-void SplitSpec(const std::string& spec, std::string* name, std::string* arg) {
-  const size_t colon = spec.find(':');
-  if (colon == std::string::npos) {
-    *name = spec;
-    arg->clear();
-  } else {
-    *name = spec.substr(0, colon);
-    *arg = spec.substr(colon + 1);
-  }
-}
-
 bool ParsePositive(const std::string& text, double* out) {
   if (text.empty()) return false;
   char* end = nullptr;
@@ -52,134 +34,150 @@ bool ParsePositive(const std::string& text, double* out) {
   return true;
 }
 
-std::string Trim(const std::string& s) {
-  size_t begin = 0;
-  size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
-    ++begin;
-  }
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
-    --end;
-  }
-  return s.substr(begin, end - begin);
+using Form = EngineSpec::Form;
+
+/// A child that is a bare token (scalar argument or missing element);
+/// returns "" for anything structured.
+std::string ScalarText(const EngineSpec& node) {
+  return node.form == Form::kName ? node.head : std::string();
 }
 
-// sharded(P,<inner>) — P range-partitioned shards, each running an
-// independent engine built from the (recursively parsed) inner spec.
-// `spec` is already lower-cased.
-Status CreateShardedEngine(const std::string& spec, const Column* base,
-                           const EngineConfig& config,
-                           std::unique_ptr<SelectEngine>* out) {
-  const std::string prefix = "sharded(";
-  if (spec.size() <= prefix.size() + 1 ||
-      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
-    return Status::InvalidArgument("sharded spec must be sharded(P,<inner>): " +
-                                   spec);
+/// Strips a trailing "-p" / "-pN" suffix from `*name` into
+/// `cfg->parallel_threads` (default: all hardware threads). Leaves `*name`
+/// untouched when the suffix is absent or not digit-shaped, mirroring the
+/// historical string grammar. `display` feeds the error message.
+Status StripParallelSuffix(std::string* name, EngineConfig* cfg,
+                           const std::string& display) {
+  const size_t dash_p = name->rfind("-p");
+  if (dash_p == std::string::npos || dash_p == 0) return Status::OK();
+  const std::string count = name->substr(dash_p + 2);
+  if (count.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::OK();
   }
-  const std::string body =
-      spec.substr(prefix.size(), spec.size() - prefix.size() - 1);
-  const size_t comma = body.find(',');
-  if (comma == std::string::npos) {
-    return Status::InvalidArgument("sharded needs an inner spec: " + spec);
+  long threads = ThreadPool::DefaultThreads();
+  if (!count.empty()) threads = std::strtol(count.c_str(), nullptr, 10);
+  if (threads < 1 || threads > 1024) {
+    return Status::InvalidArgument(
+        "parallel thread count out of range [1, 1024]: " + display);
   }
-  const std::string count_text = Trim(body.substr(0, comma));
-  const std::string inner_spec = Trim(body.substr(comma + 1));
+  cfg->parallel_threads = static_cast<int>(threads);
+  *name = name->substr(0, dash_p);
+  return Status::OK();
+}
+
+Status BuildEngine(const EngineSpec& node, const Column* base,
+                   const EngineConfig& config,
+                   std::unique_ptr<SelectEngine>* out);
+
+/// sharded(P,<inner>) and coord(K,<inner>) share one shape: a positive
+/// partition count plus a recursively built inner spec, handed to a
+/// Create() that deals equi-depth value-range slices. `kind` is "sharded"
+/// or "coord"; only the engine constructed at the end differs.
+Status BuildPartitioned(const EngineSpec& node, const Column* base,
+                        const EngineConfig& config,
+                        std::unique_ptr<SelectEngine>* out) {
+  const bool is_coord = node.head == "coord";
+  const std::string display = node.ToString();
+  const std::string usage =
+      is_coord ? "coord spec must be coord(K,<inner>): "
+               : "sharded spec must be sharded(P,<inner>): ";
+  if (node.form != Form::kCall) {
+    return Status::InvalidArgument(usage + display);
+  }
+  if (node.children.size() != 2) {
+    return Status::InvalidArgument(
+        node.head + " needs an inner spec: " + display);
+  }
+  const std::string count_text = ScalarText(node.children[0]);
   if (count_text.empty() ||
       count_text.find_first_not_of("0123456789") != std::string::npos) {
-    return Status::InvalidArgument("bad shard count: " + spec);
+    return Status::InvalidArgument(
+        (is_coord ? "bad node count: " : "bad shard count: ") + display);
   }
-  const long shards = std::strtol(count_text.c_str(), nullptr, 10);
-  if (shards < 1 || shards > ShardedEngine::kMaxShards) {
-    return Status::InvalidArgument("shard count must be in [1, 1024]: " +
-                                   spec);
+  const long count = std::strtol(count_text.c_str(), nullptr, 10);
+  const long max_count =
+      is_coord ? CoordinatorEngine::kMaxNodes : ShardedEngine::kMaxShards;
+  if (count < 1 || count > max_count) {
+    return Status::InvalidArgument(
+        (is_coord ? "node count must be in [1, 64]: "
+                  : "shard count must be in [1, 1024]: ") +
+        display);
   }
+  const EngineSpec& inner = node.children[1];
+  const std::string inner_spec = inner.ToString();
   if (inner_spec.empty()) {
-    return Status::InvalidArgument("sharded needs an inner spec: " + spec);
+    return Status::InvalidArgument(
+        node.head + " needs an inner spec: " + display);
   }
-  const ShardedEngine::InnerFactory make_inner =
-      [inner_spec, config](const Column* shard_base, int shard_index,
-                           std::unique_ptr<SelectEngine>* inner) {
-        EngineConfig shard_cfg = config;
-        // Decorrelate the shards' stochastic pivot streams.
-        shard_cfg.seed =
-            config.seed + static_cast<uint64_t>(shard_index) *
-                              0x9E3779B97F4A7C15ULL;
-        return CreateEngine(inner_spec, shard_base, shard_cfg, inner);
-      };
-  return ShardedEngine::Create(base, static_cast<int>(shards), make_inner,
+  // Both engines take the same factory shape; the lambda decorrelates the
+  // partitions' stochastic pivot streams identically, which is one half of
+  // the coord/sharded answer-parity guarantee (the other half is the
+  // identical boundary computation inside the two Create()s).
+  const auto make_inner = [inner, config](const Column* part_base,
+                                          int part_index,
+                                          std::unique_ptr<SelectEngine>* o) {
+    EngineConfig part_cfg = config;
+    part_cfg.seed = config.seed + static_cast<uint64_t>(part_index) *
+                                      0x9E3779B97F4A7C15ULL;
+    return BuildEngine(inner, part_base, part_cfg, o);
+  };
+  if (is_coord) {
+    return CoordinatorEngine::Create(base, static_cast<int>(count),
+                                     make_inner, inner_spec, out);
+  }
+  return ShardedEngine::Create(base, static_cast<int>(count), make_inner,
                                inner_spec, out);
 }
 
-// audit(<inner>) — recursively builds the inner spec and wraps it in the
-// invariant auditor. `spec` is already lower-cased.
-Status CreateAuditEngine(const std::string& spec, const Column* base,
-                         const EngineConfig& config,
-                         std::unique_ptr<SelectEngine>* out) {
-  const std::string prefix = "audit(";
-  if (spec.size() <= prefix.size() ||
-      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
-    return Status::InvalidArgument("audit spec must be audit(<inner>): " +
-                                   spec);
+/// audit(<inner>) / epoch(<inner>) / chaos(<inner>): one recursively built
+/// child, wrapped in the respective decorator.
+Status BuildWrapper(const EngineSpec& node, const Column* base,
+                    const EngineConfig& config,
+                    std::unique_ptr<SelectEngine>* out) {
+  const std::string display = node.ToString();
+  if (node.form != Form::kCall) {
+    return Status::InvalidArgument(node.head + " spec must be " + node.head +
+                                   "(<inner>): " + display);
   }
-  const std::string inner_spec =
-      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
-  if (inner_spec.empty()) {
-    return Status::InvalidArgument("audit needs an inner spec: " + spec);
+  if (node.children.size() != 1 || node.children[0].ToString().empty()) {
+    return Status::InvalidArgument(
+        node.head + " needs an inner spec: " + display);
   }
   std::unique_ptr<SelectEngine> inner;
-  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
-  *out = std::make_unique<AuditEngine>(std::move(inner));
+  SCRACK_RETURN_NOT_OK(BuildEngine(node.children[0], base, config, &inner));
+  if (node.head == "audit") {
+    *out = std::make_unique<AuditEngine>(std::move(inner));
+  } else if (node.head == "epoch") {
+    *out = std::make_unique<EpochEngine>(std::move(inner));
+  } else {
+    ChaosOptions options;
+    options.seed = config.seed;
+    *out = std::make_unique<ChaosEngine>(std::move(inner), options);
+  }
   return Status::OK();
 }
 
-// epoch(<inner>) — recursively builds the inner spec and wraps it in the
-// reader-writer epoch layer. `spec` is already lower-cased.
-Status CreateEpochEngine(const std::string& spec, const Column* base,
-                         const EngineConfig& config,
-                         std::unique_ptr<SelectEngine>* out) {
-  const std::string prefix = "epoch(";
-  if (spec.size() <= prefix.size() ||
-      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
-    return Status::InvalidArgument("epoch spec must be epoch(<inner>): " +
-                                   spec);
-  }
-  const std::string inner_spec =
-      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
-  if (inner_spec.empty()) {
-    return Status::InvalidArgument("epoch needs an inner spec: " + spec);
-  }
-  std::unique_ptr<SelectEngine> inner;
-  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
-  *out = std::make_unique<EpochEngine>(std::move(inner));
-  return Status::OK();
-}
-
-// prog(B,<inner>) — budgeted progressive cracking: at most B tuple swaps
-// of reorganization per query, scan fallback for the uncracked remainder.
-// The inner spec is restricted to plain cracking (crack / crack-pN): the
-// budget needs query-driven cracks whose completed layout is position-
-// identical to the unbudgeted engine's, which the stochastic variants'
-// random pivots are not. `spec` is already lower-cased.
-Status CreateProgEngine(const std::string& spec, const Column* base,
-                        const EngineConfig& config,
-                        std::unique_ptr<SelectEngine>* out) {
-  const std::string prefix = "prog(";
-  if (spec.size() <= prefix.size() ||
-      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
+/// prog(B,<inner>) — budgeted progressive cracking: at most B tuple swaps
+/// of reorganization per query, scan fallback for the uncracked remainder.
+/// The inner spec is restricted to plain cracking (crack / crack-pN): the
+/// budget needs query-driven cracks whose completed layout is position-
+/// identical to the unbudgeted engine's, which the stochastic variants'
+/// random pivots are not.
+Status BuildProg(const EngineSpec& node, const Column* base,
+                 const EngineConfig& config,
+                 std::unique_ptr<SelectEngine>* out) {
+  const std::string display = node.ToString();
+  if (node.form != Form::kCall) {
     return Status::InvalidArgument(
         "prog spec must be prog(B,<inner>) with B a per-query swap budget "
-        "(or inf), e.g. prog(5000,crack): " + spec);
+        "(or inf), e.g. prog(5000,crack): " + display);
   }
-  const std::string body =
-      spec.substr(prefix.size(), spec.size() - prefix.size() - 1);
-  const size_t comma = body.find(',');
-  if (comma == std::string::npos) {
+  if (node.children.size() != 2) {
     return Status::InvalidArgument(
         "prog needs a budget and an inner spec, e.g. prog(5000,crack): " +
-        spec);
+        display);
   }
-  const std::string budget_text = Trim(body.substr(0, comma));
-  const std::string inner_spec = Trim(body.substr(comma + 1));
+  const std::string budget_text = ScalarText(node.children[0]);
   int64_t budget = 0;
   if (budget_text == "inf" || budget_text == "0") {
     budget = 0;  // unlimited — behaves exactly like plain cracking
@@ -189,140 +187,33 @@ Status CreateProgEngine(const std::string& spec, const Column* base,
     budget = std::strtoll(budget_text.c_str(), nullptr, 10);
     if (budget < 1) {
       return Status::InvalidArgument("prog budget must be >= 1 (or inf): " +
-                                     spec);
+                                     display);
     }
   } else {
     return Status::InvalidArgument(
-        "bad prog budget (tuple swaps per query, or inf): " + spec);
+        "bad prog budget (tuple swaps per query, or inf): " + display);
   }
   EngineConfig cfg = config;
   cfg.swap_budget = budget;
-  std::string inner_name = inner_spec;
-  const size_t dash_p = inner_name.rfind("-p");
-  if (dash_p != std::string::npos && dash_p > 0) {
-    const std::string count = inner_name.substr(dash_p + 2);
-    if (count.find_first_not_of("0123456789") == std::string::npos) {
-      long threads = ThreadPool::DefaultThreads();
-      if (!count.empty()) threads = std::strtol(count.c_str(), nullptr, 10);
-      if (threads < 1 || threads > 1024) {
-        return Status::InvalidArgument(
-            "parallel thread count out of range [1, 1024]: " + spec);
-      }
-      cfg.parallel_threads = static_cast<int>(threads);
-      inner_name = inner_name.substr(0, dash_p);
-    }
-  }
+  const std::string inner_spec = node.children[1].ToString();
+  std::string inner_name = ScalarText(node.children[1]);
+  SCRACK_RETURN_NOT_OK(StripParallelSuffix(&inner_name, &cfg, display));
   if (inner_name != "crack") {
     return Status::InvalidArgument(
         "prog composes over plain cracking only; the inner spec must be "
         "crack or crack-pN (wrap prog itself for more: "
-        "epoch(prog(5000,crack))): " + spec);
+        "epoch(prog(5000,crack))): " + display);
   }
   *out = std::make_unique<BudgetedEngine>(base, cfg, inner_spec);
   return Status::OK();
 }
 
-// chaos(<inner>) — recursively builds the inner spec and wraps it in the
-// seeded fault-injection decorator. `spec` is already lower-cased.
-Status CreateChaosEngine(const std::string& spec, const Column* base,
-                         const EngineConfig& config,
-                         std::unique_ptr<SelectEngine>* out) {
-  const std::string prefix = "chaos(";
-  if (spec.size() <= prefix.size() ||
-      spec.compare(0, prefix.size(), prefix) != 0 || spec.back() != ')') {
-    return Status::InvalidArgument("chaos spec must be chaos(<inner>): " +
-                                   spec);
-  }
-  const std::string inner_spec =
-      Trim(spec.substr(prefix.size(), spec.size() - prefix.size() - 1));
-  if (inner_spec.empty()) {
-    return Status::InvalidArgument("chaos needs an inner spec: " + spec);
-  }
-  std::unique_ptr<SelectEngine> inner;
-  SCRACK_RETURN_NOT_OK(CreateEngine(inner_spec, base, config, &inner));
-  ChaosOptions options;
-  options.seed = config.seed;
-  *out = std::make_unique<ChaosEngine>(std::move(inner), options);
-  return Status::OK();
-}
-
-}  // namespace
-
-Status CreateEngine(const std::string& spec, const Column* base,
-                    const EngineConfig& config,
-                    std::unique_ptr<SelectEngine>* out) {
-  if (base == nullptr || out == nullptr) {
-    return Status::InvalidArgument("null base column or output");
-  }
-  const std::string lowered = Lower(spec);
-  // Catch structurally broken nested specs up front with a specific
-  // message — "sharded(2,epoch(crack)" should say what is missing, not
-  // fall through to "unknown engine spec".
-  {
-    int64_t depth = 0;
-    for (const char c : lowered) {
-      if (c == '(') ++depth;
-      if (c == ')') --depth;
-      if (depth < 0) break;
-    }
-    if (depth != 0) {
-      return Status::InvalidArgument(
-          "unbalanced parentheses in engine spec: " + spec);
-    }
-  }
-  // The wrappers carry nested specs that may themselves contain ':' and
-  // ',', so they are parsed before the simple name:arg split.
-  if (lowered.compare(0, 7, "sharded") == 0) {
-    return CreateShardedEngine(lowered, base, config, out);
-  }
-  if (lowered.compare(0, 6, "audit(") == 0 || lowered == "audit") {
-    return CreateAuditEngine(lowered, base, config, out);
-  }
-  if (lowered.compare(0, 6, "epoch(") == 0 || lowered == "epoch") {
-    return CreateEpochEngine(lowered, base, config, out);
-  }
-  if (lowered.compare(0, 5, "prog(") == 0 || lowered == "prog") {
-    return CreateProgEngine(lowered, base, config, out);
-  }
-  if (lowered.compare(0, 6, "chaos(") == 0 || lowered == "chaos") {
-    return CreateChaosEngine(lowered, base, config, out);
-  }
-  std::string name;
-  std::string arg;
-  SplitSpec(lowered, &name, &arg);
-  // A wrapper written with ':' instead of parentheses (audit:crack) would
-  // otherwise die as an unknown name.
-  if (!arg.empty() &&
-      (name == "audit" || name == "epoch" || name == "chaos")) {
-    return Status::InvalidArgument(name + " is a wrapper: use " + name +
-                                   "(<inner>), e.g. " + name + "(crack)");
-  }
-  if (!arg.empty() && name == "prog") {
-    return Status::InvalidArgument(
-        "prog is a wrapper: use prog(B,<inner>), e.g. prog(5000,crack)");
-  }
-  EngineConfig cfg = config;
-
-  // "-p" / "-pN" suffix (crack-p, ddc-p8, dd1r-p4, ...): intra-query
-  // parallel cracking with N threads (default: all hardware threads) from
-  // the shared pool. Meaningful for the CrackerColumn engines — large
-  // cracks run the parallel partition kernels past the adaptive cutover;
-  // other engines accept the suffix but never fan out.
-  const size_t dash_p = name.rfind("-p");
-  if (dash_p != std::string::npos && dash_p > 0) {
-    const std::string count = name.substr(dash_p + 2);
-    if (count.find_first_not_of("0123456789") == std::string::npos) {
-      long threads = ThreadPool::DefaultThreads();
-      if (!count.empty()) threads = std::strtol(count.c_str(), nullptr, 10);
-      if (threads < 1 || threads > 1024) {
-        return Status::InvalidArgument("parallel thread count out of range "
-                                       "[1, 1024]: " + spec);
-      }
-      cfg.parallel_threads = static_cast<int>(threads);
-      name = name.substr(0, dash_p);
-    }
-  }
-
+/// The leaf registry: plain engine names plus an optional scalar ':'
+/// argument, after the -p suffix has been stripped into `cfg`.
+Status BuildLeaf(const std::string& name, const std::string& arg,
+                 const std::string& display, const Column* base,
+                 const EngineConfig& cfg,
+                 std::unique_ptr<SelectEngine>* out) {
   if (name == "scan") {
     *out = std::make_unique<ScanEngine>(base, cfg);
   } else if (name == "sort") {
@@ -346,6 +237,7 @@ Status CreateEngine(const std::string& spec, const Column* base,
   } else if (name == "mdd1r" || name == "scrack") {
     *out = std::make_unique<Mdd1rEngine>(base, cfg);
   } else if (name == "pmdd1r") {
+    EngineConfig leaf_cfg = cfg;
     double pct = 10.0;
     if (!arg.empty() && !ParsePositive(arg, &pct)) {
       return Status::InvalidArgument("bad pmdd1r budget: " + arg);
@@ -353,8 +245,8 @@ Status CreateEngine(const std::string& spec, const Column* base,
     if (pct > 100.0) {
       return Status::InvalidArgument("pmdd1r budget over 100%: " + arg);
     }
-    cfg.progressive_budget = pct / 100.0;
-    *out = std::make_unique<ProgressiveEngine>(base, cfg);
+    leaf_cfg.progressive_budget = pct / 100.0;
+    *out = std::make_unique<ProgressiveEngine>(base, leaf_cfg);
   } else if (name == "fiftyfifty") {
     *out = std::make_unique<SelectiveEngine>(base, cfg,
                                              SelectivePolicy::kFiftyFifty);
@@ -365,39 +257,35 @@ Status CreateEngine(const std::string& spec, const Column* base,
     *out = std::make_unique<SelectiveEngine>(base, cfg,
                                              SelectivePolicy::kSizeThreshold);
   } else if (name == "everyx") {
+    EngineConfig leaf_cfg = cfg;
     double x = static_cast<double>(cfg.every_x);
     if (!arg.empty() && !ParsePositive(arg, &x)) {
       return Status::InvalidArgument("bad everyx period: " + arg);
     }
-    cfg.every_x = static_cast<int64_t>(x);
-    *out =
-        std::make_unique<SelectiveEngine>(base, cfg, SelectivePolicy::kEveryX);
+    leaf_cfg.every_x = static_cast<int64_t>(x);
+    *out = std::make_unique<SelectiveEngine>(base, leaf_cfg,
+                                             SelectivePolicy::kEveryX);
   } else if (name == "scrackmon") {
+    EngineConfig leaf_cfg = cfg;
     double x = static_cast<double>(cfg.monitor_threshold);
     if (!arg.empty() && !ParsePositive(arg, &x)) {
       return Status::InvalidArgument("bad scrackmon threshold: " + arg);
     }
-    cfg.monitor_threshold = static_cast<int64_t>(x);
-    *out =
-        std::make_unique<SelectiveEngine>(base, cfg, SelectivePolicy::kMonitor);
+    leaf_cfg.monitor_threshold = static_cast<int64_t>(x);
+    *out = std::make_unique<SelectiveEngine>(base, leaf_cfg,
+                                             SelectivePolicy::kMonitor);
   } else if (name.size() > 6 && name.front() == 'r' &&
              name.substr(name.size() - 5) == "crack") {
+    EngineConfig leaf_cfg = cfg;
     const std::string k = name.substr(1, name.size() - 6);
     double period = 0;
     if (!ParsePositive(k, &period)) {
-      return Status::InvalidArgument("bad RkCrack spec: " + spec);
+      return Status::InvalidArgument("bad RkCrack spec: " + display);
     }
-    cfg.inject_period = static_cast<int64_t>(period);
-    *out = std::make_unique<RandomInjectEngine>(base, cfg);
+    leaf_cfg.inject_period = static_cast<int64_t>(period);
+    *out = std::make_unique<RandomInjectEngine>(base, leaf_cfg);
   } else if (name == "auto") {
     *out = std::make_unique<AutoEngine>(base, cfg);
-  } else if (name == "threadsafe") {
-    if (arg.empty()) {
-      return Status::InvalidArgument("threadsafe needs an inner spec");
-    }
-    std::unique_ptr<SelectEngine> inner;
-    SCRACK_RETURN_NOT_OK(CreateEngine(arg, base, cfg, &inner));
-    *out = std::make_unique<ThreadSafeEngine>(std::move(inner));
   } else if (name == "aicc" || name == "aics" || name == "aicc1r" ||
              name == "aics1r" || name == "aisc" || name == "aiss") {
     const HybridEngine::InitialOrg initial =
@@ -411,10 +299,84 @@ Status CreateEngine(const std::string& spec, const Column* base,
                                           stochastic);
   } else {
     return Status::InvalidArgument(
-        "unknown engine spec: " + spec +
+        "unknown engine spec: " + display +
         " (see KnownEngineSpecs() / `scrack_cli engines` for the grammar)");
   }
   return Status::OK();
+}
+
+/// Dispatches one parsed node: wrappers by head, everything else through
+/// the leaf registry.
+Status BuildEngine(const EngineSpec& node, const Column* base,
+                   const EngineConfig& config,
+                   std::unique_ptr<SelectEngine>* out) {
+  const std::string& head = node.head;
+  if (head == "sharded" || head == "coord") {
+    if (node.form == Form::kName || node.form == Form::kColon) {
+      return Status::InvalidArgument(
+          (head == "coord" ? std::string("coord spec must be coord(K,")
+                           : std::string("sharded spec must be sharded(P,")) +
+          "<inner>): " + node.ToString());
+    }
+    return BuildPartitioned(node, base, config, out);
+  }
+  if (head == "audit" || head == "epoch" || head == "chaos") {
+    if (node.form == Form::kColon) {
+      // A wrapper written with ':' instead of parentheses (audit:crack)
+      // would otherwise die as an unknown name.
+      return Status::InvalidArgument(head + " is a wrapper: use " + head +
+                                     "(<inner>), e.g. " + head + "(crack)");
+    }
+    return BuildWrapper(node, base, config, out);
+  }
+  if (head == "prog") {
+    if (node.form == Form::kColon) {
+      return Status::InvalidArgument(
+          "prog is a wrapper: use prog(B,<inner>), e.g. prog(5000,crack)");
+    }
+    return BuildProg(node, base, config, out);
+  }
+  if (head == "threadsafe") {
+    if (node.form != Form::kColon || node.children[0].ToString().empty()) {
+      return Status::InvalidArgument("threadsafe needs an inner spec");
+    }
+    std::unique_ptr<SelectEngine> inner;
+    SCRACK_RETURN_NOT_OK(BuildEngine(node.children[0], base, config, &inner));
+    *out = std::make_unique<ThreadSafeEngine>(std::move(inner));
+    return Status::OK();
+  }
+  // Leaves: "name", "name:scalar", with an optional -p/-pN suffix on the
+  // name. A call form reaching here ("wibble(3)") is an unknown spec.
+  const std::string display = node.ToString();
+  if (node.form == Form::kCall) {
+    return Status::InvalidArgument(
+        "unknown engine spec: " + display +
+        " (see KnownEngineSpecs() / `scrack_cli engines` for the grammar)");
+  }
+  std::string name = head;
+  const std::string arg =
+      node.form == Form::kColon ? node.children[0].ToString() : std::string();
+  EngineConfig cfg = config;
+  // "-p" / "-pN" suffix (crack-p, ddc-p8, dd1r-p4, ...): intra-query
+  // parallel cracking with N threads (default: all hardware threads) from
+  // the shared pool. Meaningful for the CrackerColumn engines — large
+  // cracks run the parallel partition kernels past the adaptive cutover;
+  // other engines accept the suffix but never fan out.
+  SCRACK_RETURN_NOT_OK(StripParallelSuffix(&name, &cfg, display));
+  return BuildLeaf(name, arg, display, base, cfg, out);
+}
+
+}  // namespace
+
+Status CreateEngine(const std::string& spec, const Column* base,
+                    const EngineConfig& config,
+                    std::unique_ptr<SelectEngine>* out) {
+  if (base == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null base column or output");
+  }
+  EngineSpec parsed;
+  SCRACK_RETURN_NOT_OK(EngineSpec::Parse(spec, &parsed));
+  return BuildEngine(parsed, base, config, out);
 }
 
 std::unique_ptr<SelectEngine> CreateEngineOrDie(const std::string& spec,
@@ -439,54 +401,80 @@ std::vector<std::string> KnownEngineSpecs() {
           "sharded(2,epoch(crack))",  "epoch(audit(mdd1r))",
           "prog(5000,crack)",         "prog(inf,crack)",
           "prog(5000,crack-p)",       "epoch(prog(5000,crack-p))",
-          "chaos(crack)",             "chaos(audit(prog(5000,crack)))"};
+          "chaos(crack)",             "chaos(audit(prog(5000,crack)))",
+          "coord(4,crack)",           "coord(2,epoch(crack))",
+          "coord(4,epoch(prog(5000,crack)))"};
 }
 
+namespace {
+
+bool ContainsAudit(const EngineSpec& node) {
+  if (node.head == "audit") return true;
+  for (const EngineSpec& child : node.children) {
+    if (ContainsAudit(child)) return true;
+  }
+  return false;
+}
+
+// Pushes the audit inside wrappers that fan out to inner engines: the
+// auditor wants the column-owning leaf (ShardedEngine and the coordinator
+// expose no single column — with coord, the audit runs *inside each
+// storage node*; ThreadSafeEngine's lock must stay outside the audit so
+// the audit pass runs under it). Epoch stays outside for the same reason
+// as threadsafe, and chaos stays outside so the audit observes the
+// *retried* call as one clean forwarded query. prog(B,crack) is itself a
+// column-owning leaf; the default outside wrap is the right shape for it.
+void PushAudit(EngineSpec* node) {
+  if ((node->head == "sharded" || node->head == "coord") &&
+      node->form == Form::kCall && node->children.size() == 2) {
+    PushAudit(&node->children[1]);
+    return;
+  }
+  if (node->head == "threadsafe" && node->form == Form::kColon &&
+      !node->children.empty() && !node->children[0].ToString().empty()) {
+    PushAudit(&node->children[0]);
+    return;
+  }
+  if ((node->head == "epoch" || node->head == "chaos") &&
+      node->form == Form::kCall && node->children.size() == 1) {
+    PushAudit(&node->children[0]);
+    return;
+  }
+  EngineSpec wrapped;
+  wrapped.form = Form::kCall;
+  wrapped.head = "audit";
+  wrapped.children.push_back(std::move(*node));
+  *node = std::move(wrapped);
+}
+
+std::string LowerTrimForAudit(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  std::string out = s.substr(begin, end - begin);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string WrapSpecInAudit(const std::string& spec) {
-  const std::string lowered = Lower(Trim(spec));
-  if (lowered.find("audit(") != std::string::npos) return lowered;
-  // Push the audit inside wrappers that fan out to inner engines: the
-  // auditor wants the column-owning leaf (ShardedEngine exposes no single
-  // column; ThreadSafeEngine's lock must stay outside the audit so the
-  // audit pass runs under it).
-  const std::string sharded_prefix = "sharded(";
-  if (lowered.compare(0, sharded_prefix.size(), sharded_prefix) == 0 &&
-      lowered.back() == ')') {
-    const std::string body = lowered.substr(
-        sharded_prefix.size(), lowered.size() - sharded_prefix.size() - 1);
-    const size_t comma = body.find(',');
-    if (comma != std::string::npos) {
-      return sharded_prefix + Trim(body.substr(0, comma)) + "," +
-             WrapSpecInAudit(body.substr(comma + 1)) + ")";
-    }
+  EngineSpec parsed;
+  if (!EngineSpec::Parse(spec, &parsed).ok()) {
+    // Malformed input: wrap textually so CreateEngine still reports the
+    // structural error against something recognizable.
+    return "audit(" + LowerTrimForAudit(spec) + ")";
   }
-  const std::string threadsafe_prefix = "threadsafe:";
-  if (lowered.compare(0, threadsafe_prefix.size(), threadsafe_prefix) == 0) {
-    return threadsafe_prefix +
-           WrapSpecInAudit(lowered.substr(threadsafe_prefix.size()));
-  }
-  // Epoch stays outside the audit for the same reason as threadsafe: the
-  // auditor's between-query passes must run under the epoch's lock.
-  const std::string epoch_prefix = "epoch(";
-  if (lowered.compare(0, epoch_prefix.size(), epoch_prefix) == 0 &&
-      lowered.back() == ')') {
-    const std::string body = lowered.substr(
-        epoch_prefix.size(), lowered.size() - epoch_prefix.size() - 1);
-    return epoch_prefix + WrapSpecInAudit(body) + ")";
-  }
-  // Chaos stays outside too: the audit must observe the *retried* call as
-  // one clean forwarded query, with the injected abort invisible to its
-  // call counting.
-  const std::string chaos_prefix = "chaos(";
-  if (lowered.compare(0, chaos_prefix.size(), chaos_prefix) == 0 &&
-      lowered.back() == ')') {
-    const std::string body = lowered.substr(
-        chaos_prefix.size(), lowered.size() - chaos_prefix.size() - 1);
-    return chaos_prefix + WrapSpecInAudit(body) + ")";
-  }
-  // prog(B,crack) is itself a column-owning leaf; the default outside wrap
-  // below is the right shape for it.
-  return "audit(" + lowered + ")";
+  if (ContainsAudit(parsed)) return parsed.ToString();
+  PushAudit(&parsed);
+  return parsed.ToString();
 }
 
 }  // namespace scrack

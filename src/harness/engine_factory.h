@@ -19,6 +19,19 @@
 //                           index order, piece partitioning, multiset and
 //                           stats conservation, single-writer discipline
 //                           after every call (audit/audit_engine.h)
+//   epoch(<inner>)          epoch-based reader/writer serving around any
+//                           engine: wait-free reads over a published
+//                           snapshot, staged writes (serve/epoch_engine.h)
+//   prog(B,<inner>)         per-query swap budget B over plain cracking
+//                           (B = "inf" disables); progressive/budgeted_engine.h
+//   chaos(<inner>)          seeded fault injection around any engine
+//   coord(K,<inner>)        multi-node serving: a coordinator routes range
+//                           queries over a versioned wire protocol to K
+//                           value-range-partitioned storage nodes (each an
+//                           independent <inner> engine), pruning nodes whose
+//                           [min,max] cannot intersect and merging partials;
+//                           failed nodes degrade reads instead of failing
+//                           them (distributed/coordinator_engine.h)
 #pragma once
 
 #include <memory>
@@ -45,9 +58,10 @@ std::unique_ptr<SelectEngine> CreateEngineOrDie(const std::string& spec,
 std::vector<std::string> KnownEngineSpecs();
 
 /// Rewrites `spec` so every leaf engine is wrapped in audit(...). The audit
-/// is pushed *inside* sharded/threadsafe wrappers — each shard's column gets
-/// its own auditor; an outer audit over a sharded engine could check only
-/// stats. Specs already containing an audit are returned unchanged.
+/// is pushed *inside* sharded/coord/threadsafe/epoch/chaos wrappers — each
+/// partition's column gets its own auditor; an outer audit over a partitioned
+/// engine could check only stats. Specs already containing an audit are
+/// returned unchanged.
 std::string WrapSpecInAudit(const std::string& spec);
 
 }  // namespace scrack

@@ -1,0 +1,130 @@
+#include "harness/engine_spec.h"
+
+#include <cctype>
+
+namespace scrack {
+
+namespace {
+
+std::string LowerTrim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  std::string out = s.substr(begin, end - begin);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+// `text` is lower-cased, trimmed, and balanced. `full` is the original
+// user spec, for error messages.
+Status ParseNode(const std::string& text, const std::string& full,
+                 EngineSpec* out) {
+  *out = EngineSpec{};
+  const size_t paren = text.find('(');
+  const size_t colon = text.find(':');
+
+  if (colon != std::string::npos &&
+      (paren == std::string::npos || colon < paren)) {
+    // name ":" spec — the colon binds the head to everything after it
+    // ("threadsafe:audit(crack)" is one colon node with a call child).
+    out->form = EngineSpec::Form::kColon;
+    out->head = text.substr(0, colon);
+    out->children.emplace_back();
+    return ParseNode(LowerTrim(text.substr(colon + 1)), full,
+                     &out->children.back());
+  }
+
+  if (paren == std::string::npos) {
+    out->form = EngineSpec::Form::kName;
+    out->head = text;
+    return Status::OK();
+  }
+
+  // name "(" children ")" — the opening paren's match must be the final
+  // character; "a(b)c" and "a(b)(c)" are not in the grammar.
+  if (text.back() != ')') {
+    return Status::InvalidArgument(
+        "malformed engine spec (text after closing parenthesis): " + full +
+        " (see KnownEngineSpecs() / `scrack_cli engines` for the grammar)");
+  }
+  int64_t depth = 0;
+  for (size_t i = paren; i + 1 < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') --depth;
+    if (depth == 0) {
+      return Status::InvalidArgument(
+          "malformed engine spec (text after closing parenthesis): " + full +
+          " (see KnownEngineSpecs() / `scrack_cli engines` for the grammar)");
+    }
+  }
+  out->form = EngineSpec::Form::kCall;
+  out->head = text.substr(0, paren);
+  const std::string body =
+      text.substr(paren + 1, text.size() - paren - 2);
+  if (LowerTrim(body).empty()) {
+    return Status::OK();  // "chaos()": zero children; builders diagnose
+  }
+  size_t element_begin = 0;
+  depth = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size() && body[i] == '(') ++depth;
+    if (i < body.size() && body[i] == ')') --depth;
+    if (i == body.size() || (body[i] == ',' && depth == 0)) {
+      out->children.emplace_back();
+      SCRACK_RETURN_NOT_OK(
+          ParseNode(LowerTrim(body.substr(element_begin, i - element_begin)),
+                    full, &out->children.back()));
+      element_begin = i + 1;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EngineSpec::Parse(const std::string& text, EngineSpec* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("null engine spec output");
+  }
+  const std::string lowered = LowerTrim(text);
+  int64_t depth = 0;
+  for (const char c : lowered) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (depth < 0) break;
+  }
+  if (depth != 0) {
+    return Status::InvalidArgument("unbalanced parentheses in engine spec: " +
+                                   text);
+  }
+  return ParseNode(lowered, text, out);
+}
+
+std::string EngineSpec::ToString() const {
+  switch (form) {
+    case Form::kName:
+      return head;
+    case Form::kColon:
+      return head + ":" +
+             (children.empty() ? std::string() : children[0].ToString());
+    case Form::kCall: {
+      std::string out = head + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ",";
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return head;
+}
+
+}  // namespace scrack

@@ -1,0 +1,57 @@
+// EngineSpec: the parsed AST behind the textual engine-spec grammar.
+//
+// Engine specs ("crack", "pmdd1r:10", "coord(4,epoch(prog(5000,crack)))")
+// are the stable user-facing surface — CLI flags, repro figure decls,
+// serve-harness engine lists. They used to be composed and decomposed by
+// string splicing scattered through the factory; this AST replaces that:
+// Parse once into a tree, transform structurally (e.g. WrapSpecInAudit
+// pushing an audit node inside wrappers), render back with ToString.
+//
+// Grammar (case-insensitive; whitespace around elements ignored):
+//   spec  ::= name                      -- leaf: "crack", "mdd1r", "crack-p4"
+//           | name ":" spec             -- colon arg: "pmdd1r:10",
+//                                          "threadsafe:audit(crack)"
+//           | name "(" spec ("," spec)* ")"   -- call: "epoch(crack)",
+//                                                "sharded(4,mdd1r)"
+// Scalar arguments ("5000", "inf", "10") parse as name leaves; which
+// elements are scalars vs nested specs is the builder's decision, not the
+// parser's — Parse is purely structural and never consults the engine
+// registry. ToString renders the canonical lower-case, space-free form and
+// round-trips: Parse(s).ToString() == Parse(Parse(s).ToString()).ToString().
+//
+// Structured errors: Parse rejects unbalanced parentheses and dangling
+// call syntax with InvalidArgument naming the offending spec; everything
+// else (unknown names, bad arities, bad scalar values) is diagnosed by the
+// factory against the parsed tree, so error messages can say what is wrong
+// with the *structure* rather than where a substring search gave up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scrack {
+
+struct EngineSpec {
+  enum class Form {
+    kName,   ///< bare name (or scalar argument): head only
+    kColon,  ///< head ":" child — exactly one child
+    kCall,   ///< head "(" children... ")" — zero or more children
+  };
+
+  Form form = Form::kName;
+  std::string head;  ///< lower-cased name token; may be empty for a missing
+                     ///  element ("chaos()"), which builders diagnose
+  std::vector<EngineSpec> children;
+
+  /// Parses `text` into `*out`. Lower-cases, trims, and validates paren
+  /// structure; see the grammar above for what is and is not a parse error.
+  static Status Parse(const std::string& text, EngineSpec* out);
+
+  /// Canonical rendering: lower-case, no whitespace. Round-trips through
+  /// Parse.
+  std::string ToString() const;
+};
+
+}  // namespace scrack

@@ -10,6 +10,7 @@
 #include "cracking/crack_engine.h"
 #include "cracking/kernel.h"
 #include "cracking/stochastic_engine.h"
+#include "distributed/coordinator_engine.h"
 #include "harness/engine_factory.h"
 #include "progressive/budgeted_engine.h"
 #include "repro/runner.h"
@@ -1216,6 +1217,146 @@ FigureSpec Robustness() {
   return spec;
 }
 
+FigureSpec Distributed() {
+  FigureSpec spec;
+  spec.id = "distributed";
+  spec.title = "Distributed serving: coordinator parity, pruning, degradation";
+  spec.claim =
+      "A coordinator over K wire-connected storage nodes answers exactly "
+      "like the in-process sharded engine (identical boundaries, identical "
+      "inner seeds), prunes nodes whose value range cannot match, and "
+      "degrades to a reported-partial answer instead of failing when a "
+      "node dies (beyond the paper: NeedleTail-style routing over the "
+      "paper's cracking engines)";
+  spec.default_q = 1000;
+  spec.runs = {
+      Run("sc", "scan", WorkloadKind::kRandom),
+      Run("co_c", "coord(4,crack)", WorkloadKind::kRandom),
+      Run("sh_c", "sharded(4,crack)", WorkloadKind::kRandom),
+      Run("co_m", "coord(4,mdd1r)", WorkloadKind::kRandom),
+      Run("sh_m", "sharded(4,mdd1r)", WorkloadKind::kRandom),
+      Run("co_q", "coord(4,crack)", WorkloadKind::kSequential),
+      Run("sh_q", "sharded(4,crack)", WorkloadKind::kSequential),
+  };
+  // Pruning and failure handling need transport-level chaos hooks
+  // (KillNode) that the single-pass grid cannot reach; every hook metric
+  // is a deterministic counter or exact count, so assertions are exact.
+  spec.extra = [](const ReproContext& context, FigureResult* result) {
+    EngineConfig config = EngineConfig::Detected();
+    config.seed = context.seed;
+    std::unique_ptr<SelectEngine> engine;
+    SCRACK_RETURN_NOT_OK(
+        CreateEngine("coord(4,crack)", context.base, config, &engine));
+    auto* coord = dynamic_cast<CoordinatorEngine*>(engine.get());
+    if (coord == nullptr || coord->inproc_transport() == nullptr) {
+      return Status::Internal("distributed: hook engine is not a coordinator");
+    }
+    const double nodes = static_cast<double>(coord->num_nodes());
+    result->metrics["dist.cluster_nodes"] = nodes;
+
+    // A needle query inside one equi-depth partition routes to < K nodes.
+    const EngineStats before = engine->CurrentStats();
+    Query query;
+    query.low = context.n / 8;
+    query.high = context.n / 8 + std::max<Value>(1, context.n / 64);
+    query.mode = OutputMode::kCount;
+    QueryOutput narrow;
+    SCRACK_RETURN_NOT_OK(engine->Execute(query, &narrow));
+    const EngineStats selective = engine->CurrentStats();
+    result->metrics["dist.selective_routed"] =
+        static_cast<double>(selective.nodes_routed - before.nodes_routed);
+
+    // A full-domain sweep routes everywhere.
+    query.low = -1;
+    query.high = context.n + 1;
+    QueryOutput wide;
+    SCRACK_RETURN_NOT_OK(engine->Execute(query, &wide));
+    const EngineStats swept = engine->CurrentStats();
+    result->metrics["dist.wide_routed"] =
+        static_cast<double>(swept.nodes_routed - selective.nodes_routed);
+    result->metrics["dist.full_count"] = static_cast<double>(wide.count);
+
+    // Seeded node kill: reads must degrade to a reported-partial answer,
+    // not fail; revival must restore complete answers.
+    const int victim =
+        static_cast<int>(context.seed % static_cast<uint64_t>(
+                                            coord->num_nodes()));
+    coord->inproc_transport()->KillNode(victim);
+    query.mode = OutputMode::kMaterialize;
+    QueryOutput degraded;
+    SCRACK_RETURN_NOT_OK(engine->Execute(query, &degraded));
+    result->metrics["dist.degraded_nodes_during_kill"] =
+        static_cast<double>(degraded.degraded_nodes);
+    result->metrics["dist.killed_partial_count"] =
+        static_cast<double>(degraded.result.count());
+    coord->inproc_transport()->ReviveNode(victim);
+    QueryOutput recovered;
+    SCRACK_RETURN_NOT_OK(engine->Execute(query, &recovered));
+    if (recovered.degraded_nodes != 0) {
+      return Status::Internal("distributed: answer still partial after "
+                              "node revival");
+    }
+    result->metrics["dist.recovered_count"] =
+        static_cast<double>(recovered.result.count());
+
+    const EngineStats last = engine->CurrentStats();
+    result->metrics["dist.route_lhs"] =
+        static_cast<double>(last.nodes_routed + last.nodes_pruned);
+    result->metrics["dist.route_rhs"] =
+        static_cast<double>(last.fan_outs) * nodes;
+    result->metrics["dist.wire_bytes"] =
+        static_cast<double>(last.wire_bytes);
+    result->metrics["dist.node_failures"] =
+        static_cast<double>(last.node_failures);
+    return Status::OK();
+  };
+  spec.assertions = {
+      Equal("coord_crack_parity",
+            "coord(4,crack) folds bit-identical sums to sharded(4,crack)",
+            "co_c.checksum_sum", "sh_c.checksum_sum"),
+      Equal("coord_crack_count_parity",
+            "qualifying counts survive the wire boundary exactly",
+            "co_c.checksum_count", "sh_c.checksum_count"),
+      Equal("coord_matches_scan",
+            "the coordinator's answers fold to the scan reference",
+            "co_c.checksum_sum", "sc.checksum_sum"),
+      Equal("coord_stochastic_parity",
+            "identical per-node seed decorrelation keeps even random-pivot "
+            "engines bit-identical across the wire",
+            "co_m.checksum_sum", "sh_m.checksum_sum"),
+      Equal("coord_sequential_parity",
+            "parity holds on the sequential workload too",
+            "co_q.checksum_sum", "sh_q.checksum_sum"),
+      Greater("grid_prunes",
+              "the random grid workload prunes at least one node call",
+              "co_c.nodes_pruned", 0.5),
+      Less("selective_query_prunes",
+           "a needle query routes to fewer nodes than the cluster holds",
+           "dist.selective_routed", 1.0, "dist.cluster_nodes"),
+      Equal("wide_query_routes_all",
+            "a full-domain sweep cannot prune anything",
+            "dist.wide_routed", "dist.cluster_nodes"),
+      Equal("route_conservation",
+            "routed + pruned node decisions equal fan-outs times cluster "
+            "size exactly",
+            "dist.route_lhs", "dist.route_rhs"),
+      Greater("wire_bytes_flow",
+              "every hop serializes through the byte transport",
+              "dist.wire_bytes", 0.5),
+      Greater("node_kill_degrades_not_fails",
+              "killing a node leaves reads answering with a reported "
+              "partial node set",
+              "dist.degraded_nodes_during_kill", 0.5),
+      Less("degraded_answer_is_partial",
+           "the degraded answer covers strictly less than the full column",
+           "dist.killed_partial_count", 1.0, "dist.full_count"),
+      Equal("revival_restores_complete_answers",
+            "after revival the same sweep returns every tuple again",
+            "dist.recovered_count", "dist.full_count"),
+  };
+  return spec;
+}
+
 std::vector<FigureSpec> Build() {
   std::vector<FigureSpec> specs;
   specs.push_back(Fig02());
@@ -1240,6 +1381,7 @@ std::vector<FigureSpec> Build() {
   specs.push_back(Sideways());
   specs.push_back(Serving());
   specs.push_back(Robustness());
+  specs.push_back(Distributed());
   return specs;
 }
 

@@ -129,6 +129,19 @@ void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
       static_cast<double>(run.final_stats.deferred_swaps);
   metrics[p + ".scan_fallback_tuples"] =
       static_cast<double>(run.final_stats.scan_fallback_tuples);
+  metrics[p + ".fan_outs"] = static_cast<double>(run.final_stats.fan_outs);
+  metrics[p + ".nodes_routed"] =
+      static_cast<double>(run.final_stats.nodes_routed);
+  metrics[p + ".nodes_pruned"] =
+      static_cast<double>(run.final_stats.nodes_pruned);
+  metrics[p + ".wire_bytes"] =
+      static_cast<double>(run.final_stats.wire_bytes);
+  metrics[p + ".node_failures"] =
+      static_cast<double>(run.final_stats.node_failures);
+  metrics[p + ".degraded_queries"] =
+      static_cast<double>(run.final_stats.degraded_queries);
+  metrics[p + ".cluster_nodes"] =
+      static_cast<double>(run.final_stats.cluster_nodes);
 }
 
 }  // namespace

@@ -72,6 +72,9 @@ struct QueryOutput {
   Value min = 0;
   Value max = 0;
   bool exists = false;
+  int degraded_nodes = 0;  ///< distributed serving only: storage nodes that
+                           ///  stayed unreachable after retry, so this answer
+                           ///  covers a partial node set (0 = complete)
   QueryResult result;  ///< kMaterialize only; move-only, like QueryResult
 };
 

@@ -49,6 +49,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// Rebuilds a status from its parts — for statuses that crossed a
+  /// serialization boundary (see distributed/wire.h). FromCode(kOk, ...)
+  /// is OK with the message dropped, preserving `ok() == (code == kOk)`.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,0 +1,396 @@
+// Tests for the distributed serving layer: coord(K,<inner>) spec parsing,
+// bit-identical parity with sharded(K,<inner>), shard pruning and the
+// route-conservation law, update routing through the wire, node-failure
+// degradation and recovery, retry accounting, stats aggregation across
+// nodes, and composition with the epoch/prog/chaos wrappers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/coordinator_engine.h"
+#include "harness/engine_factory.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+using testing::DuplicateHeavyColumn;
+using testing::RandomRange;
+using testing::ReferenceAnswer;
+using testing::ReferenceSelect;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = 17;
+  return config;
+}
+
+CoordinatorEngine* AsCoordinator(SelectEngine* engine) {
+  auto* coord = dynamic_cast<CoordinatorEngine*>(engine);
+  EXPECT_NE(coord, nullptr);
+  return coord;
+}
+
+// ---------------------------------------------------------- spec parsing --
+
+TEST(CoordSpecTest, RejectsMalformedSpecs) {
+  const Column base = Column::UniquePermutation(64, 1);
+  const EngineConfig config;
+  for (const std::string& spec : {
+           "coord",             // no parameter list
+           "coord()",           // empty parameter list
+           "coord(4",           // unbalanced parens
+           "coord(4)",          // missing inner spec
+           "coord(4,)",         // empty inner spec
+           "coord(,crack)",     // missing node count
+           "coord(0,crack)",    // K = 0
+           "coord(-2,crack)",   // negative K
+           "coord(1.5,crack)",  // non-integer K
+           "coord(100,crack)",  // K over the 64 cap
+           "coord:crack"        // colon form
+       }) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status status = CreateEngine(spec, &base, config, &engine);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+  }
+  std::unique_ptr<SelectEngine> engine;
+  EXPECT_FALSE(CreateEngine("coord(4,nope)", &base, config, &engine).ok());
+}
+
+TEST(CoordSpecTest, BuildsAndReportsName) {
+  const Column base = Column::UniquePermutation(256, 1);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  EXPECT_EQ(engine->name(), "coord(4,crack)");
+  EXPECT_EQ(engine->SelectOrDie(16, 32).count(), 16);
+  EXPECT_TRUE(engine->Validate().ok());
+  EXPECT_EQ(engine->CurrentStats().cluster_nodes, 4);
+}
+
+// ---------------------------------------------------------------- parity --
+
+// coord(K,X) and sharded(K,X) compute identical boundaries, deal identical
+// slices, and seed identical inner engines — so their answers must be
+// bit-identical, materialized tuple order included.
+TEST(CoordParityTest, MatchesShardedBitForBit) {
+  for (const int k : {1, 2, 4, 8}) {
+    const Column base = DuplicateHeavyColumn(4096, 11);
+    auto coord = CreateEngineOrDie("coord(" + std::to_string(k) + ",crack)",
+                                   &base, TestConfig());
+    auto sharded = CreateEngineOrDie(
+        "sharded(" + std::to_string(k) + ",crack)", &base, TestConfig());
+    Rng rng(500 + static_cast<uint64_t>(k));
+    for (int i = 0; i < 60; ++i) {
+      const auto range = RandomRange(&rng, 600);
+      const std::vector<Value> lhs =
+          coord->SelectOrDie(range.first, range.second).Collect();
+      const std::vector<Value> rhs =
+          sharded->SelectOrDie(range.first, range.second).Collect();
+      EXPECT_EQ(lhs, rhs) << "K=" << k << " [" << range.first << ","
+                          << range.second << ")";
+    }
+  }
+}
+
+TEST(CoordParityTest, MatchesShardedOnStochasticInner) {
+  // mdd1r draws random pivots; parity holds because both factories
+  // decorrelate per-partition seeds with the same formula.
+  const Column base = Column::UniquePermutation(4096, 7);
+  auto coord = CreateEngineOrDie("coord(4,mdd1r)", &base, TestConfig());
+  auto sharded = CreateEngineOrDie("sharded(4,mdd1r)", &base, TestConfig());
+  Rng rng(901);
+  for (int i = 0; i < 60; ++i) {
+    const auto range = RandomRange(&rng, 4096);
+    EXPECT_EQ(coord->SelectOrDie(range.first, range.second).Collect(),
+              sharded->SelectOrDie(range.first, range.second).Collect());
+  }
+}
+
+TEST(CoordParityTest, AggregateModesMatchReference) {
+  const Column base = DuplicateHeavyColumn(2048, 23);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    const auto range = RandomRange(&rng, 300);
+    const ReferenceAnswer expect =
+        ReferenceSelect(base.values(), range.first, range.second);
+    Query query;
+    query.low = range.first;
+    query.high = range.second;
+
+    query.mode = OutputMode::kCount;
+    QueryOutput count;
+    ASSERT_TRUE(engine->Execute(query, &count).ok());
+    EXPECT_EQ(count.count, expect.count);
+    EXPECT_EQ(count.degraded_nodes, 0);
+
+    query.mode = OutputMode::kSum;
+    QueryOutput sum;
+    ASSERT_TRUE(engine->Execute(query, &sum).ok());
+    EXPECT_EQ(sum.sum, expect.sum);
+
+    query.mode = OutputMode::kExists;
+    query.limit = 1;
+    QueryOutput exists;
+    ASSERT_TRUE(engine->Execute(query, &exists).ok());
+    EXPECT_EQ(exists.exists, expect.count > 0);
+  }
+}
+
+TEST(CoordParityTest, BatchMatchesSharded) {
+  const Column base = DuplicateHeavyColumn(2048, 31);
+  auto coord = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  auto sharded = CreateEngineOrDie("sharded(4,crack)", &base, TestConfig());
+  Rng rng(13);
+  std::vector<Query> queries;
+  for (int i = 0; i < 24; ++i) {
+    const auto range = RandomRange(&rng, 300);
+    Query q;
+    q.low = range.first;
+    q.high = range.second;
+    q.mode = (i % 3 == 0) ? OutputMode::kMaterialize
+                          : (i % 3 == 1 ? OutputMode::kCount
+                                        : OutputMode::kSum);
+    queries.push_back(q);
+  }
+  std::vector<QueryOutput> lhs, rhs;
+  ASSERT_TRUE(coord->ExecuteBatch(queries, &lhs).ok());
+  ASSERT_TRUE(sharded->ExecuteBatch(queries, &rhs).ok());
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(lhs[i].count, rhs[i].count) << i;
+    EXPECT_EQ(lhs[i].sum, rhs[i].sum) << i;
+    if (queries[i].mode == OutputMode::kMaterialize) {
+      EXPECT_EQ(testing::Sorted(lhs[i].result.Collect()),
+                testing::Sorted(rhs[i].result.Collect()))
+          << i;
+    }
+  }
+}
+
+// ------------------------------------------------- pruning / conservation --
+
+TEST(CoordRoutingTest, SelectiveQueryPrunesNodes) {
+  const Column base = Column::UniquePermutation(1024, 3);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  const EngineStats before = engine->CurrentStats();
+  ASSERT_EQ(before.cluster_nodes, 4);
+
+  // A 16-value needle sits inside one equi-depth partition.
+  EXPECT_EQ(engine->SelectOrDie(10, 26).count(), 16);
+  EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.fan_outs - before.fan_outs, 1);
+  EXPECT_EQ(stats.nodes_routed - before.nodes_routed, 1);
+  EXPECT_EQ(stats.nodes_pruned - before.nodes_pruned, 3);
+
+  // A full-domain sweep routes everywhere.
+  EXPECT_EQ(engine->SelectOrDie(-1, 2048).count(), 1024);
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.nodes_routed - before.nodes_routed, 1 + 4);
+
+  // An empty range prunes everything but still counts the fan-out.
+  EXPECT_EQ(engine->SelectOrDie(5, 5).count(), 0);
+  stats = engine->CurrentStats();
+  EXPECT_EQ(stats.fan_outs - before.fan_outs, 3);
+  EXPECT_EQ(stats.nodes_routed + stats.nodes_pruned,
+            stats.fan_outs * stats.cluster_nodes);
+  EXPECT_GT(stats.wire_bytes, 0);
+  EXPECT_EQ(stats.node_failures, 0);
+  EXPECT_EQ(stats.degraded_queries, 0);
+}
+
+TEST(CoordRoutingTest, ConservationHoldsUnderRandomWorkload) {
+  const Column base = DuplicateHeavyColumn(2048, 5);
+  auto engine = CreateEngineOrDie("coord(8,crack)", &base, TestConfig());
+  Rng rng(42);
+  std::vector<Query> batch;
+  for (int i = 0; i < 50; ++i) {
+    const auto range = RandomRange(&rng, 300);
+    engine->SelectOrDie(range.first, range.second);
+    Query q;
+    q.low = range.first;
+    q.high = range.second;
+    q.mode = OutputMode::kCount;
+    batch.push_back(q);
+  }
+  std::vector<QueryOutput> outputs;
+  ASSERT_TRUE(engine->ExecuteBatch(batch, &outputs).ok());
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.fan_outs, 100);  // 50 selects + 50 batched queries
+  EXPECT_EQ(stats.nodes_routed + stats.nodes_pruned,
+            stats.fan_outs * stats.cluster_nodes);
+}
+
+TEST(CoordRoutingTest, AuditedCoordinatorPassesConservationLaw) {
+  // audit(coord(...)) runs the route-conservation check directly against
+  // the coordinator's counters after every forwarded call.
+  const Column base = DuplicateHeavyColumn(1024, 9);
+  auto engine = CreateEngineOrDie("audit(coord(4,crack))", &base, TestConfig());
+  Rng rng(88);
+  for (int i = 0; i < 30; ++i) {
+    const auto range = RandomRange(&rng, 200);
+    engine->SelectOrDie(range.first, range.second);
+  }
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// --------------------------------------------------------------- updates --
+
+TEST(CoordUpdateTest, StagedUpdatesRouteAndBecomeVisible) {
+  const Column base = Column::UniquePermutation(512, 19);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  // Insert values that land in different partitions (domain is [0, 512)).
+  ASSERT_TRUE(engine->StageInsert(1000).ok());   // top partition
+  ASSERT_TRUE(engine->StageInsert(-100).ok());   // bottom partition
+  ASSERT_TRUE(engine->StageDelete(200).ok());
+  EXPECT_EQ(engine->SelectOrDie(999, 1001).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(-101, -99).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(200, 201).count(), 0);
+  EXPECT_EQ(engine->SelectOrDie(-200, 2000).count(), 512 + 2 - 1);
+  EXPECT_TRUE(engine->Validate().ok());
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.updates_merged, 3);
+}
+
+// -------------------------------------------------------------- failures --
+
+TEST(CoordFailureTest, DeadNodeDegradesReadsAndRecovers) {
+  const Column base = Column::UniquePermutation(1024, 29);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  auto* coord = AsCoordinator(engine.get());
+  ASSERT_NE(coord->inproc_transport(), nullptr);
+
+  const Index full = engine->SelectOrDie(-1, 2048).count();
+  ASSERT_EQ(full, 1024);
+
+  coord->inproc_transport()->KillNode(0);
+  Query query;
+  query.low = -1;
+  query.high = 2048;
+  query.mode = OutputMode::kMaterialize;
+  QueryOutput output;
+  const Status status = engine->Execute(query, &output);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(output.degraded_nodes, 1);
+  EXPECT_LT(output.result.count(), 1024);  // partial answer, reported as such
+
+  EngineStats stats = engine->CurrentStats();
+  EXPECT_GT(stats.node_failures, 0);
+  EXPECT_EQ(stats.degraded_queries, 1);
+
+  // A query that never routes to the dead node is not degraded. Node 0
+  // owns the bottom of the value range.
+  QueryOutput healthy;
+  query.low = 900;
+  query.high = 910;
+  ASSERT_TRUE(engine->Execute(query, &healthy).ok());
+  EXPECT_EQ(healthy.degraded_nodes, 0);
+  EXPECT_EQ(healthy.result.count(), 10);
+
+  // Writes to a dead node propagate the failure instead of dropping data.
+  EXPECT_FALSE(engine->StageInsert(-5).ok());
+
+  // Revival restores complete answers.
+  coord->inproc_transport()->ReviveNode(0);
+  QueryOutput recovered;
+  query.low = -1;
+  query.high = 2048;
+  ASSERT_TRUE(engine->Execute(query, &recovered).ok());
+  EXPECT_EQ(recovered.degraded_nodes, 0);
+  EXPECT_EQ(recovered.result.count(), 1024);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST(CoordFailureTest, TransientFailureIsRetriedWithoutDegradation) {
+  const Column base = Column::UniquePermutation(512, 37);
+  auto engine = CreateEngineOrDie("coord(2,crack)", &base, TestConfig());
+  auto* coord = AsCoordinator(engine.get());
+  // One dropped connection on node 1: the per-node retry absorbs it.
+  coord->inproc_transport()->FailNextCalls(1, 1);
+  EXPECT_EQ(engine->SelectOrDie(-1, 1024).count(), 512);
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.node_failures, 1);
+  EXPECT_EQ(stats.degraded_queries, 0);
+}
+
+TEST(CoordFailureTest, ValidatePropagatesDeadNode) {
+  const Column base = Column::UniquePermutation(256, 41);
+  auto engine = CreateEngineOrDie("coord(2,crack)", &base, TestConfig());
+  auto* coord = AsCoordinator(engine.get());
+  coord->inproc_transport()->KillNode(1);
+  EXPECT_FALSE(engine->Validate().ok());
+  coord->inproc_transport()->ReviveNode(1);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// ----------------------------------------------------------- composition --
+
+TEST(CoordCompositionTest, SumsProgBudgetsAcrossNodes) {
+  const Column base = Column::UniquePermutation(1024, 43);
+  auto engine =
+      CreateEngineOrDie("coord(2,prog(5000,crack))", &base, TestConfig());
+  // BudgetedEngine publishes its enforced ceiling (budget plus the
+  // small-piece overdraw allowance), so the coordinator's aggregate must be
+  // exactly the per-node published value times the node count.
+  auto single = CreateEngineOrDie("prog(5000,crack)", &base, TestConfig());
+  EXPECT_EQ(engine->CurrentStats().swap_budget,
+            2 * single->CurrentStats().swap_budget);
+  EXPECT_EQ(engine->SelectOrDie(100, 200).count(), 100);
+}
+
+TEST(CoordCompositionTest, EpochInnerServes) {
+  const Column base = DuplicateHeavyColumn(1024, 47);
+  auto engine = CreateEngineOrDie("coord(2,epoch(crack))", &base, TestConfig());
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const auto range = RandomRange(&rng, 150);
+    const ReferenceAnswer expect =
+        ReferenceSelect(base.values(), range.first, range.second);
+    EXPECT_EQ(engine->SelectOrDie(range.first, range.second).count(),
+              expect.count);
+  }
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+TEST(CoordCompositionTest, ChaosWrapperRetriesInjectedTransportFaults) {
+  // chaos(coord(...)) arms fault points that the in-process transport
+  // crosses on every call; the chaos layer must absorb each injected abort
+  // and the final answers must stay correct.
+  const Column base = DuplicateHeavyColumn(1024, 53);
+  auto engine = CreateEngineOrDie("chaos(coord(2,crack))", &base, TestConfig());
+  Rng rng(15);
+  for (int i = 0; i < 30; ++i) {
+    const auto range = RandomRange(&rng, 150);
+    const ReferenceAnswer expect =
+        ReferenceSelect(base.values(), range.first, range.second);
+    EXPECT_EQ(engine->SelectOrDie(range.first, range.second).count(),
+              expect.count);
+  }
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.nodes_routed + stats.nodes_pruned,
+            stats.fan_outs * stats.cluster_nodes);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// ----------------------------------------------------------------- stats --
+
+TEST(CoordStatsTest, AggregatesNodeCountersThroughTheWire) {
+  const Column base = Column::UniquePermutation(2048, 59);
+  auto engine = CreateEngineOrDie("coord(4,crack)", &base, TestConfig());
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const auto range = RandomRange(&rng, 2048);
+    engine->SelectOrDie(range.first, range.second);
+  }
+  const EngineStats stats = engine->CurrentStats();
+  EXPECT_EQ(stats.queries, 20);
+  EXPECT_GT(stats.tuples_touched, 0);  // node-side counters, via responses
+  EXPECT_GT(stats.cracks, 0);
+  EXPECT_GT(stats.materialized, 0);
+  EXPECT_GT(stats.wire_bytes, 0);
+}
+
+}  // namespace
+}  // namespace scrack

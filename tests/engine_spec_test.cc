@@ -1,0 +1,169 @@
+// Tests for the EngineSpec AST behind the textual engine-spec grammar:
+// Parse/ToString round-trips, canonicalization of case and whitespace,
+// structural forms (name / colon / call), structured parse errors, and the
+// AST-based WrapSpecInAudit transform.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/engine_factory.h"
+#include "harness/engine_spec.h"
+#include "storage/column.h"
+
+namespace scrack {
+namespace {
+
+EngineSpec ParseOrDie(const std::string& text) {
+  EngineSpec spec;
+  const Status status = EngineSpec::Parse(text, &spec);
+  EXPECT_TRUE(status.ok()) << text << ": " << status.ToString();
+  return spec;
+}
+
+// ------------------------------------------------------------ structure --
+
+TEST(EngineSpecTest, ParsesBareName) {
+  const EngineSpec spec = ParseOrDie("crack");
+  EXPECT_EQ(spec.form, EngineSpec::Form::kName);
+  EXPECT_EQ(spec.head, "crack");
+  EXPECT_TRUE(spec.children.empty());
+}
+
+TEST(EngineSpecTest, ParsesColonArgument) {
+  const EngineSpec spec = ParseOrDie("pmdd1r:10");
+  EXPECT_EQ(spec.form, EngineSpec::Form::kColon);
+  EXPECT_EQ(spec.head, "pmdd1r");
+  ASSERT_EQ(spec.children.size(), 1u);
+  EXPECT_EQ(spec.children[0].head, "10");
+}
+
+TEST(EngineSpecTest, ParsesCallWithScalarAndSpec) {
+  const EngineSpec spec = ParseOrDie("coord(4,epoch(prog(5000,crack)))");
+  EXPECT_EQ(spec.form, EngineSpec::Form::kCall);
+  EXPECT_EQ(spec.head, "coord");
+  ASSERT_EQ(spec.children.size(), 2u);
+  EXPECT_EQ(spec.children[0].head, "4");
+  EXPECT_EQ(spec.children[1].head, "epoch");
+  ASSERT_EQ(spec.children[1].children.size(), 1u);
+  const EngineSpec& prog = spec.children[1].children[0];
+  EXPECT_EQ(prog.head, "prog");
+  ASSERT_EQ(prog.children.size(), 2u);
+  EXPECT_EQ(prog.children[0].head, "5000");
+  EXPECT_EQ(prog.children[1].head, "crack");
+}
+
+TEST(EngineSpecTest, ColonBindsBeforeParens) {
+  // "threadsafe:audit(crack)" is a colon node whose child is a call — not
+  // a call with a colon in its head.
+  const EngineSpec spec = ParseOrDie("threadsafe:audit(crack)");
+  EXPECT_EQ(spec.form, EngineSpec::Form::kColon);
+  EXPECT_EQ(spec.head, "threadsafe");
+  ASSERT_EQ(spec.children.size(), 1u);
+  EXPECT_EQ(spec.children[0].form, EngineSpec::Form::kCall);
+  EXPECT_EQ(spec.children[0].head, "audit");
+}
+
+// ------------------------------------------------------------ rendering --
+
+TEST(EngineSpecTest, ToStringRoundTrips) {
+  for (const std::string& text :
+       {"crack", "crack-p4", "pmdd1r:10", "threadsafe:mdd1r",
+        "sharded(4,mdd1r)", "audit(crack)", "epoch(prog(5000,crack-p))",
+        "chaos(audit(prog(5000,crack)))", "coord(4,crack)",
+        "coord(4,epoch(prog(5000,crack)))", "threadsafe:audit(mdd1r)"}) {
+    const std::string rendered = ParseOrDie(text).ToString();
+    EXPECT_EQ(rendered, text) << text;
+    EXPECT_EQ(ParseOrDie(rendered).ToString(), rendered) << text;
+  }
+}
+
+TEST(EngineSpecTest, CanonicalizesCaseAndWhitespace) {
+  EXPECT_EQ(ParseOrDie("SHARDED(2, Crack)").ToString(), "sharded(2,crack)");
+  EXPECT_EQ(ParseOrDie("  coord( 4 , epoch( crack ) ) ").ToString(),
+            "coord(4,epoch(crack))");
+  EXPECT_EQ(ParseOrDie("MDD1R").ToString(), "mdd1r");
+}
+
+TEST(EngineSpecTest, EveryKnownSpecRoundTrips) {
+  for (const std::string& text : KnownEngineSpecs()) {
+    const std::string rendered = ParseOrDie(text).ToString();
+    EXPECT_EQ(ParseOrDie(rendered).ToString(), rendered) << text;
+  }
+}
+
+// --------------------------------------------------------------- errors --
+
+TEST(EngineSpecTest, RejectsUnbalancedParens) {
+  EngineSpec spec;
+  for (const std::string& text :
+       {"sharded(4", "coord(4,crack))", ")", "epoch(crack", "a(b))("}) {
+    const Status status = EngineSpec::Parse(text, &spec);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << text;
+    EXPECT_NE(status.message().find("unbalanced"), std::string::npos) << text;
+  }
+}
+
+TEST(EngineSpecTest, RejectsTextAfterClosingParen) {
+  EngineSpec spec;
+  for (const std::string& text : {"a(b)c", "a(b)(c)", "epoch(crack)x"}) {
+    const Status status = EngineSpec::Parse(text, &spec);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << text;
+    EXPECT_NE(status.message().find("malformed"), std::string::npos) << text;
+  }
+}
+
+TEST(EngineSpecTest, EmptyElementsParseAndBuildersDiagnose) {
+  // Structurally valid but semantically empty forms parse fine; the factory
+  // turns them into structured errors.
+  EXPECT_EQ(ParseOrDie("sharded(4,)").children.size(), 2u);
+  EXPECT_EQ(ParseOrDie("chaos()").children.size(), 0u);
+  const Column base = Column::UniquePermutation(64, 1);
+  std::unique_ptr<SelectEngine> engine;
+  for (const std::string& text :
+       {"sharded(4,)", "chaos()", "coord(,crack)", "prog(,crack)"}) {
+    EXPECT_EQ(CreateEngine(text, &base, EngineConfig{}, &engine).code(),
+              StatusCode::kInvalidArgument)
+        << text;
+  }
+}
+
+// ------------------------------------------------------ audit transform --
+
+TEST(EngineSpecTest, WrapSpecInAuditPushesInsideWrappers) {
+  EXPECT_EQ(WrapSpecInAudit("crack"), "audit(crack)");
+  EXPECT_EQ(WrapSpecInAudit("sharded(4,mdd1r)"), "sharded(4,audit(mdd1r))");
+  EXPECT_EQ(WrapSpecInAudit("coord(2,crack)"), "coord(2,audit(crack))");
+  EXPECT_EQ(WrapSpecInAudit("coord(2,epoch(crack))"),
+            "coord(2,epoch(audit(crack)))");
+  EXPECT_EQ(WrapSpecInAudit("threadsafe:mdd1r"), "threadsafe:audit(mdd1r)");
+  EXPECT_EQ(WrapSpecInAudit("epoch(crack)"), "epoch(audit(crack))");
+  EXPECT_EQ(WrapSpecInAudit("chaos(crack)"), "chaos(audit(crack))");
+  EXPECT_EQ(WrapSpecInAudit("prog(5000,crack)"), "audit(prog(5000,crack))");
+}
+
+TEST(EngineSpecTest, WrapSpecInAuditIsIdempotent) {
+  for (const std::string& text :
+       {"audit(crack)", "sharded(2,audit(ddc))", "coord(2,audit(crack))",
+        "threadsafe:audit(mdd1r)"}) {
+    EXPECT_EQ(WrapSpecInAudit(text), text) << text;
+  }
+  EXPECT_EQ(WrapSpecInAudit(WrapSpecInAudit("coord(2,epoch(crack))")),
+            WrapSpecInAudit("coord(2,epoch(crack))"));
+}
+
+TEST(EngineSpecTest, WrappedSpecsStillBuild) {
+  const Column base = Column::UniquePermutation(256, 1);
+  for (const std::string& text :
+       {"crack", "sharded(2,mdd1r)", "coord(2,crack)", "epoch(crack)",
+        "coord(2,epoch(crack))", "threadsafe:mdd1r", "prog(5000,crack)"}) {
+    std::unique_ptr<SelectEngine> engine;
+    const Status status =
+        CreateEngine(WrapSpecInAudit(text), &base, EngineConfig{}, &engine);
+    ASSERT_TRUE(status.ok()) << text << ": " << status.ToString();
+    EXPECT_EQ(engine->SelectOrDie(16, 32).count(), 16) << text;
+  }
+}
+
+}  // namespace
+}  // namespace scrack

@@ -1,0 +1,351 @@
+// Tests for the coordinator / storage-node wire protocol: Encode/Decode
+// round-trips over every message type, output mode, status code, and the
+// full EngineStats payload; deterministic re-encoding; and defensive
+// decoding — every truncation point, trailing garbage, version and enum
+// mismatches, and a seeded random-corruption fuzz that must reject or
+// round-trip but never crash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "distributed/wire.h"
+#include "util/rng.h"
+
+namespace scrack {
+namespace {
+
+// EngineStats has no operator==; the wire carries every field, so compare
+// them all (this doubles as a reminder to extend the codec when a field is
+// added — kStatsFields bumps and this list grows with it).
+void ExpectStatsEqual(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.tuples_touched, b.tuples_touched);
+  EXPECT_EQ(a.swaps, b.swaps);
+  EXPECT_EQ(a.cracks, b.cracks);
+  EXPECT_EQ(a.materialized, b.materialized);
+  EXPECT_EQ(a.updates_merged, b.updates_merged);
+  EXPECT_EQ(a.random_pivots, b.random_pivots);
+  EXPECT_EQ(a.aggregates_pushed, b.aggregates_pushed);
+  EXPECT_EQ(a.parallel_cracks, b.parallel_cracks);
+  EXPECT_EQ(a.threads_used, b.threads_used);
+  EXPECT_EQ(a.shared_reads, b.shared_reads);
+  EXPECT_EQ(a.exclusive_cracks, b.exclusive_cracks);
+  EXPECT_EQ(a.escalations, b.escalations);
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+  EXPECT_EQ(a.deferred_swaps, b.deferred_swaps);
+  EXPECT_EQ(a.scan_fallback_tuples, b.scan_fallback_tuples);
+  EXPECT_EQ(a.swap_budget, b.swap_budget);
+  EXPECT_EQ(a.fan_outs, b.fan_outs);
+  EXPECT_EQ(a.nodes_routed, b.nodes_routed);
+  EXPECT_EQ(a.nodes_pruned, b.nodes_pruned);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.node_failures, b.node_failures);
+  EXPECT_EQ(a.degraded_queries, b.degraded_queries);
+  EXPECT_EQ(a.cluster_nodes, b.cluster_nodes);
+}
+
+EngineStats DistinctStats() {
+  EngineStats s;
+  int64_t v = 1000;
+  s.queries = ++v;
+  s.tuples_touched = ++v;
+  s.swaps = ++v;
+  s.cracks = ++v;
+  s.materialized = ++v;
+  s.updates_merged = ++v;
+  s.random_pivots = ++v;
+  s.aggregates_pushed = ++v;
+  s.parallel_cracks = ++v;
+  s.threads_used = ++v;
+  s.shared_reads = ++v;
+  s.exclusive_cracks = ++v;
+  s.escalations = ++v;
+  s.budget_exhausted = ++v;
+  s.deferred_swaps = ++v;
+  s.scan_fallback_tuples = ++v;
+  s.swap_budget = ++v;
+  s.fan_outs = ++v;
+  s.nodes_routed = ++v;
+  s.nodes_pruned = ++v;
+  s.wire_bytes = ++v;
+  s.node_failures = ++v;
+  s.degraded_queries = ++v;
+  s.cluster_nodes = ++v;
+  return s;
+}
+
+void ExpectQueryEqual(const Query& a, const Query& b) {
+  EXPECT_EQ(a.low, b.low);
+  EXPECT_EQ(a.high, b.high);
+  EXPECT_EQ(a.mode, b.mode);
+  EXPECT_EQ(a.limit, b.limit);
+}
+
+// ------------------------------------------------------------- requests --
+
+TEST(WireRequestTest, RoundTripsEveryMessageType) {
+  // Only the payload relevant to each type crosses the wire; the decoder
+  // resets the rest to defaults.
+  for (const wire::MessageType type :
+       {wire::MessageType::kQuery, wire::MessageType::kBatch,
+        wire::MessageType::kStageInsert, wire::MessageType::kStageDelete,
+        wire::MessageType::kStats, wire::MessageType::kValidate}) {
+    wire::Request request;
+    request.type = type;
+    request.query = Query{-17, 123456789, OutputMode::kSum, 1};
+    request.batch = {Query{1, 2, OutputMode::kCount, 1},
+                     Query{-5, 99, OutputMode::kExists, 7}};
+    request.update_value = -424242;
+    std::vector<uint8_t> buffer;
+    wire::Encode(request, &buffer);
+    wire::Request decoded;
+    const Status status = wire::Decode(buffer, &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded.type, request.type);
+    switch (type) {
+      case wire::MessageType::kQuery:
+        ExpectQueryEqual(decoded.query, request.query);
+        break;
+      case wire::MessageType::kBatch:
+        ASSERT_EQ(decoded.batch.size(), request.batch.size());
+        for (size_t i = 0; i < request.batch.size(); ++i) {
+          ExpectQueryEqual(decoded.batch[i], request.batch[i]);
+        }
+        break;
+      case wire::MessageType::kStageInsert:
+      case wire::MessageType::kStageDelete:
+        EXPECT_EQ(decoded.update_value, request.update_value);
+        break;
+      case wire::MessageType::kStats:
+      case wire::MessageType::kValidate:
+        break;  // header-only messages
+    }
+  }
+}
+
+TEST(WireRequestTest, RoundTripsEveryOutputMode) {
+  for (const OutputMode mode :
+       {OutputMode::kMaterialize, OutputMode::kCount, OutputMode::kSum,
+        OutputMode::kMinMax, OutputMode::kExists}) {
+    wire::Request request;
+    request.query = Query{0, 100, mode, 3};
+    std::vector<uint8_t> buffer;
+    wire::Encode(request, &buffer);
+    wire::Request decoded;
+    ASSERT_TRUE(wire::Decode(buffer, &decoded).ok())
+        << OutputModeName(mode);
+    EXPECT_EQ(decoded.query.mode, mode);
+  }
+}
+
+TEST(WireRequestTest, EncodingIsDeterministic) {
+  wire::Request request;
+  request.type = wire::MessageType::kBatch;
+  request.batch = {Query{1, 2, OutputMode::kMinMax, 1}};
+  std::vector<uint8_t> once, twice;
+  wire::Encode(request, &once);
+  wire::Encode(request, &twice);
+  EXPECT_EQ(once, twice);
+}
+
+// ------------------------------------------------------------ responses --
+
+TEST(WireResponseTest, RoundTripsEveryStatusCode) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    wire::Response response;
+    response.status_code = code;
+    response.status_message =
+        code == StatusCode::kOk ? "" : "something failed: detail";
+    response.stats = DistinctStats();
+    std::vector<uint8_t> buffer;
+    wire::Encode(response, &buffer);
+    wire::Response decoded;
+    const Status status = wire::Decode(buffer, &decoded);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(decoded.status_code, response.status_code);
+    EXPECT_EQ(decoded.status_message, response.status_message);
+    ExpectStatsEqual(decoded.stats, response.stats);
+  }
+}
+
+TEST(WireResponseTest, RoundTripsOutputsWithValues) {
+  wire::Response response;
+  wire::Output full;
+  full.count = 3;
+  full.sum = -60;
+  full.min = -40;
+  full.max = 0;
+  full.exists = true;
+  full.values = {-40, -20, 0};
+  wire::Output empty;
+  response.outputs = {full, empty};
+  std::vector<uint8_t> buffer;
+  wire::Encode(response, &buffer);
+  wire::Response decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded).ok());
+  ASSERT_EQ(decoded.outputs.size(), 2u);
+  EXPECT_EQ(decoded.outputs[0].count, 3);
+  EXPECT_EQ(decoded.outputs[0].sum, -60);
+  EXPECT_EQ(decoded.outputs[0].min, -40);
+  EXPECT_EQ(decoded.outputs[0].max, 0);
+  EXPECT_TRUE(decoded.outputs[0].exists);
+  EXPECT_EQ(decoded.outputs[0].values, full.values);
+  EXPECT_EQ(decoded.outputs[1].count, 0);
+  EXPECT_FALSE(decoded.outputs[1].exists);
+  EXPECT_TRUE(decoded.outputs[1].values.empty());
+}
+
+TEST(WireResponseTest, ToOutputFromOutputRoundTripOwnsTuples) {
+  QueryOutput output;
+  output.count = 2;
+  output.sum = 30;
+  std::vector<Value> rows = {10, 20};
+  output.result.AddOwned(std::move(rows));
+  const wire::Output on_wire = wire::ToOutput(output);
+  EXPECT_EQ(on_wire.values, (std::vector<Value>{10, 20}));
+  QueryOutput rebuilt;
+  wire::FromOutput(on_wire, &rebuilt);
+  EXPECT_EQ(rebuilt.count, output.count);
+  EXPECT_EQ(rebuilt.sum, output.sum);
+  EXPECT_TRUE(rebuilt.result.materialized());
+  EXPECT_EQ(rebuilt.result.Collect(), (std::vector<Value>{10, 20}));
+}
+
+// ------------------------------------------------------------- rejection --
+
+TEST(WireRejectionTest, EveryTruncationPointFails) {
+  wire::Request request;
+  request.type = wire::MessageType::kBatch;
+  request.batch = {Query{1, 2, OutputMode::kCount, 1},
+                   Query{3, 4, OutputMode::kSum, 1}};
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    const std::vector<uint8_t> prefix(buffer.begin(),
+                                      buffer.begin() + static_cast<long>(len));
+    wire::Request decoded;
+    EXPECT_FALSE(wire::Decode(prefix, &decoded).ok()) << "prefix " << len;
+  }
+
+  wire::Response response;
+  response.status_code = StatusCode::kOk;
+  wire::Output out;
+  out.values = {1, 2, 3};
+  response.outputs = {out};
+  response.stats = DistinctStats();
+  std::vector<uint8_t> rbuffer;
+  wire::Encode(response, &rbuffer);
+  for (size_t len = 0; len < rbuffer.size(); ++len) {
+    const std::vector<uint8_t> prefix(
+        rbuffer.begin(), rbuffer.begin() + static_cast<long>(len));
+    wire::Response decoded;
+    EXPECT_FALSE(wire::Decode(prefix, &decoded).ok()) << "prefix " << len;
+  }
+}
+
+TEST(WireRejectionTest, TrailingGarbageFails) {
+  wire::Request request;
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  buffer.push_back(0);
+  wire::Request decoded;
+  const Status status = wire::Decode(buffer, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing"), std::string::npos);
+}
+
+TEST(WireRejectionTest, WrongVersionFails) {
+  wire::Request request;
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  buffer[0] = static_cast<uint8_t>(wire::kProtocolVersion + 1);
+  wire::Request decoded;
+  const Status status = wire::Decode(buffer, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(WireRejectionTest, UnknownEnumsFail) {
+  wire::Request request;
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  std::vector<uint8_t> bad_type = buffer;
+  bad_type[4] = 250;  // message type byte follows the u32 version
+  wire::Request decoded;
+  EXPECT_FALSE(wire::Decode(bad_type, &decoded).ok());
+
+  wire::Response response;
+  std::vector<uint8_t> rbuffer;
+  wire::Encode(response, &rbuffer);
+  std::vector<uint8_t> bad_status = rbuffer;
+  bad_status[4] = 250;  // status code byte follows the u32 version
+  wire::Response rdecoded;
+  EXPECT_FALSE(wire::Decode(bad_status, &rdecoded).ok());
+}
+
+TEST(WireRejectionTest, SeededCorruptionFuzzNeverCrashes) {
+  wire::Response response;
+  response.status_code = StatusCode::kInternal;
+  response.status_message = "node 3 fell over";
+  wire::Output out;
+  out.values = {5, 6, 7, 8};
+  response.outputs = {out, out};
+  response.stats = DistinctStats();
+  std::vector<uint8_t> clean;
+  wire::Encode(response, &clean);
+
+  Rng rng(20260809);
+  int rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> corrupt = clean;
+    const int flips = 1 + static_cast<int>(rng.Next64() % 8);
+    for (int f = 0; f < flips; ++f) {
+      const size_t pos = static_cast<size_t>(rng.Next64() % corrupt.size());
+      corrupt[pos] = static_cast<uint8_t>(rng.Next64());
+    }
+    // Occasionally also truncate or extend.
+    if (rng.Next64() % 4 == 0) {
+      corrupt.resize(static_cast<size_t>(rng.Next64() % (corrupt.size() + 8)));
+    }
+    wire::Response decoded;
+    if (!wire::Decode(corrupt, &decoded).ok()) ++rejected;
+  }
+  // Most corruptions must be caught; the rest decoded without crashing
+  // (flipping a counter byte yields a different but well-formed message).
+  EXPECT_GT(rejected, 0);
+
+  // Request-side fuzz from raw random bytes.
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<uint8_t> noise(rng.Next64() % 64);
+    for (uint8_t& b : noise) b = static_cast<uint8_t>(rng.Next64());
+    wire::Request decoded;
+    (void)wire::Decode(noise, &decoded);
+  }
+}
+
+TEST(WireRejectionTest, HugeCountIsRejectedBeforeAllocation) {
+  // A corrupt count field must fail the remaining-bytes bound, not attempt
+  // a multi-gigabyte reserve.
+  wire::Request request;
+  request.type = wire::MessageType::kBatch;
+  request.batch = {Query{1, 2, OutputMode::kCount, 1}};
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  // A kBatch message is version(4) + type(1) + u32 count + queries.
+  const size_t count_pos = 4 + 1;
+  ASSERT_LT(count_pos + 3, buffer.size());
+  buffer[count_pos] = 0xFF;
+  buffer[count_pos + 1] = 0xFF;
+  buffer[count_pos + 2] = 0xFF;
+  buffer[count_pos + 3] = 0xFF;
+  wire::Request decoded;
+  EXPECT_FALSE(wire::Decode(buffer, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace scrack

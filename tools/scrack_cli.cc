@@ -151,18 +151,22 @@ class Session {
       if (!(in >> lo >> hi)) return Malformed(line);
       const int64_t touched_before = CurrentStats().tuples_touched;
       Timer timer;
-      QueryResult result;
-      const Status status = engine_->Select(lo, hi, &result);
+      Query query;
+      query.low = lo;
+      query.high = hi;
+      query.mode = OutputMode::kMaterialize;
+      QueryOutput output;
+      const Status status = engine_->Execute(query, &output);
       const double secs = timer.ElapsedSeconds();
       if (!status.ok()) return Failed(status);
       std::printf(
           "count=%lld sum=%lld secs=%.6f touched=%lld segments=%zu%s\n",
-          static_cast<long long>(result.count()),
-          static_cast<long long>(result.Sum()), secs,
+          static_cast<long long>(output.result.count()),
+          static_cast<long long>(output.result.Sum()), secs,
           static_cast<long long>(CurrentStats().tuples_touched -
                                  touched_before),
-          result.num_segments(),
-          result.materialized() ? " (materialized)" : " (views)");
+          output.result.num_segments(),
+          output.result.materialized() ? " (materialized)" : " (views)");
     } else if (command == "count" || command == "sum" || command == "minmax" ||
                command == "exists") {
       Query query;
@@ -241,7 +245,10 @@ class Session {
           "aggregates_pushed=%lld parallel_cracks=%lld threads_used=%lld "
           "shared_reads=%lld exclusive_cracks=%lld escalations=%lld "
           "budget_exhausted=%lld deferred_swaps=%lld "
-          "scan_fallback_tuples=%lld swap_budget=%lld\n",
+          "scan_fallback_tuples=%lld swap_budget=%lld "
+          "fan_outs=%lld nodes_routed=%lld nodes_pruned=%lld "
+          "wire_bytes=%lld node_failures=%lld degraded_queries=%lld "
+          "cluster_nodes=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
@@ -257,7 +264,14 @@ class Session {
           static_cast<long long>(s.budget_exhausted),
           static_cast<long long>(s.deferred_swaps),
           static_cast<long long>(s.scan_fallback_tuples),
-          static_cast<long long>(s.swap_budget));
+          static_cast<long long>(s.swap_budget),
+          static_cast<long long>(s.fan_outs),
+          static_cast<long long>(s.nodes_routed),
+          static_cast<long long>(s.nodes_pruned),
+          static_cast<long long>(s.wire_bytes),
+          static_cast<long long>(s.node_failures),
+          static_cast<long long>(s.degraded_queries),
+          static_cast<long long>(s.cluster_nodes));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {

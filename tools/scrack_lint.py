@@ -259,6 +259,9 @@ MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s+<(?:mutex|shared_mutex)>')
 # deadlocks and silent serialization creep into the hot path.
 MUTEX_HOMES = {
     "thread_pool", "sharded_engine", "threadsafe_engine", "epoch_engine",
+    # The distributed transport internals: the coordinator's stats cache and
+    # each storage node's serve loop serialize behind one lock apiece.
+    "coordinator_engine", "storage_node",
 }
 
 

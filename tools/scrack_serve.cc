@@ -50,6 +50,17 @@
 //             mode's "serve" schema and its committed baseline stay
 //             untouched.
 //
+//   --dist    multi-node serving smoke: replays one deterministic stream
+//             through coord(4,epoch(crack)) across the cold/converged/
+//             update phases, gating every phase checksum against
+//             sharded(4,epoch(crack)) — the same partitioning without the
+//             wire. Then a seeded storage node is killed mid-serve: every
+//             read must still answer (as a degraded partial, never an
+//             error), and reviving the node must restore complete
+//             answers. Reports per-phase routing/pruning/wire counters
+//             and writes a separate report (BENCH_serve_dist.json,
+//             schema "serve-dist").
+//
 //   --faults  fault-injection smoke: runs chaos(audit(crack)) and
 //             chaos(audit(prog(B,crack))) over the same stream with
 //             inserts staged along the way. Every injected fault must
@@ -60,7 +71,7 @@
 // Usage:
 //   scrack_serve [--quick] [--threads=N] [--n=N] [--q=Q] [--rate=QPS]
 //                [--seed=S] [--json=PATH]
-//                [--slo] [--faults[=PERIOD]] [--budget=B]
+//                [--slo] [--faults[=PERIOD]] [--dist] [--budget=B]
 //                [--deadline-us=D]
 //
 //   --quick        CI scale (smaller column and streams, same gates).
@@ -72,6 +83,8 @@
 //   --slo          run the SLO profile instead of the serving phases.
 //   --faults[=P]   run the fault-injection smoke (inject every P-th
 //                  query, default 3) instead of the serving phases.
+//   --dist         run the multi-node serving smoke instead of the
+//                  serving phases.
 //   --budget=B     per-query swap budget for the prog engines in --slo /
 //                  --faults (default 5000).
 //   --deadline-us  per-query latency SLO for --slo's miss rate
@@ -91,6 +104,7 @@
 #include "audit/audit_engine.h"
 #include "cracking/cracker_column.h"
 #include "cracking/engine.h"
+#include "distributed/coordinator_engine.h"
 #include "harness/engine_factory.h"
 #include "progressive/chaos_engine.h"
 #include "repro/json.h"
@@ -558,11 +572,260 @@ int RunFaultsMode(const ServeOptions& opt, int64_t budget, int64_t period) {
   return ok ? 0 : 1;
 }
 
+// ----------------------------------------------------------- dist mode ----
+
+/// Multi-node serving smoke: coord(4,epoch(crack)) vs sharded(4,epoch(crack))
+/// across the cold/converged/update phases, then a node-kill segment. Every
+/// phase checksum must match the wire-free reference; with a node dead,
+/// every read must answer as a degraded partial instead of failing, and
+/// revival must restore complete answers.
+int RunDistMode(const ServeOptions& opt) {
+  constexpr int kNodes = 4;
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = opt.seed;
+  const Column base = Column::UniquePermutation(opt.n, opt.seed);
+  ServeOptions single = opt;
+  single.threads = 1;
+  const std::vector<Query> stream = MakeStream(single, 0);
+  const int64_t update_period =
+      stream.empty() ? 0
+                     : std::max<int64_t>(
+                           1, static_cast<int64_t>(stream.size()) /
+                                  std::max<int64_t>(1, opt.updates));
+
+  const std::string coord_spec =
+      "coord(" + std::to_string(kNodes) + ",epoch(crack))";
+  const std::string ref_spec =
+      "sharded(" + std::to_string(kNodes) + ",epoch(crack))";
+  std::unique_ptr<SelectEngine> coord_engine;
+  std::unique_ptr<SelectEngine> ref_engine;
+  for (auto [spec, out] : {std::pair{&coord_spec, &coord_engine},
+                           std::pair{&ref_spec, &ref_engine}}) {
+    const Status created = CreateEngine(*spec, &base, config, out);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", spec->c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+  }
+  auto* coord = dynamic_cast<CoordinatorEngine*>(coord_engine.get());
+  if (coord == nullptr || coord->inproc_transport() == nullptr) {
+    std::fprintf(stderr, "dist: %s is not a coordinator\n",
+                 coord_spec.c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  struct DistRow {
+    std::string phase;
+    double seconds = 0;
+    uint64_t checksum = 0;
+    int64_t routed = 0;
+    int64_t pruned = 0;
+    int64_t wire_bytes = 0;
+  };
+  std::vector<DistRow> rows;
+
+  // Replays the stream on one engine, staging the deterministic insert set
+  // along the way when `with_updates` — single-threaded, so the per-phase
+  // checksum is exactly reproducible across engines.
+  const auto replay = [&](SelectEngine* engine, bool with_updates,
+                          uint64_t* checksum) -> bool {
+    Rng rng(opt.seed + 999);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (with_updates && update_period > 0 && i > 0 &&
+          static_cast<int64_t>(i) % update_period == 0) {
+        if (!engine->StageInsert(rng.UniformValue(0, opt.n)).ok()) {
+          std::fprintf(stderr, "%s: staged insert failed\n",
+                       engine->name().c_str());
+          return false;
+        }
+      }
+      QueryOutput output;
+      const Status status = engine->Execute(stream[i], &output);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: query %zu: %s\n", engine->name().c_str(),
+                     i, status.ToString().c_str());
+        return false;
+      }
+      if (output.degraded_nodes != 0) {
+        std::fprintf(stderr, "%s: query %zu degraded with all nodes up\n",
+                     engine->name().c_str(), i);
+        return false;
+      }
+      *checksum += FoldChecksum(stream[i], output);
+    }
+    return true;
+  };
+
+  std::printf("%-34s %-10s %10s %10s %10s %12s %8s\n", "engine", "phase",
+              "qps", "routed", "pruned", "wire_bytes", "prune%");
+  for (const char* phase : {"cold", "converged", "update"}) {
+    const bool with_updates = std::strcmp(phase, "update") == 0;
+    DistRow row;
+    row.phase = phase;
+    const EngineStats before = coord_engine->CurrentStats();
+    Timer timer;
+    if (!replay(coord_engine.get(), with_updates, &row.checksum)) return 1;
+    row.seconds = timer.ElapsedSeconds();
+    const EngineStats after = coord_engine->CurrentStats();
+    row.routed = after.nodes_routed - before.nodes_routed;
+    row.pruned = after.nodes_pruned - before.nodes_pruned;
+    row.wire_bytes = after.wire_bytes - before.wire_bytes;
+    uint64_t ref_checksum = 0;
+    if (!replay(ref_engine.get(), with_updates, &ref_checksum)) return 1;
+    if (ref_checksum != row.checksum) {
+      std::fprintf(stderr, "dist parity mismatch in %s phase: %s vs %s\n",
+                   phase, coord_spec.c_str(), ref_spec.c_str());
+      ok = false;
+    }
+    const int64_t fanned = row.routed + row.pruned;
+    std::printf("%-34s %-10s %10.0f %10" PRId64 " %10" PRId64 " %12" PRId64
+                " %7.1f%%\n",
+                coord_engine->name().c_str(), phase,
+                row.seconds > 0 ? static_cast<double>(stream.size()) /
+                                      row.seconds
+                                : 0,
+                row.routed, row.pruned, row.wire_bytes,
+                fanned > 0 ? 100.0 * static_cast<double>(row.pruned) /
+                                 static_cast<double>(fanned)
+                           : 0.0);
+    rows.push_back(std::move(row));
+  }
+  // Narrow streams over K equi-depth partitions must prune most fan-outs.
+  if (!rows.empty() && rows.back().pruned <= rows.back().routed) {
+    std::fprintf(stderr, "dist: narrow queries did not prune (routed=%" PRId64
+                         " pruned=%" PRId64 ")\n",
+                 rows.back().routed, rows.back().pruned);
+    ok = false;
+  }
+
+  // Node-kill segment: with one node dead, reads answer as degraded
+  // partials; writes fail loudly; revival restores complete answers.
+  const int victim = static_cast<int>(opt.seed % kNodes);
+  coord->inproc_transport()->KillNode(victim);
+  Query full;
+  full.low = 0;
+  full.high = opt.n + 1;
+  full.mode = OutputMode::kCount;
+  QueryOutput degraded;
+  int64_t degraded_reads = 0;
+  {
+    const Status status = coord_engine->Execute(full, &degraded);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dist: read failed (not degraded) with node %d "
+                           "dead: %s\n",
+                   victim, status.ToString().c_str());
+      ok = false;
+    } else if (degraded.degraded_nodes != 1) {
+      std::fprintf(stderr, "dist: expected exactly 1 degraded node, got %d\n",
+                   degraded.degraded_nodes);
+      ok = false;
+    }
+    // The stream keeps flowing: every read completes, none errors.
+    for (size_t i = 0; i < stream.size() && i < 256; ++i) {
+      QueryOutput output;
+      if (!coord_engine->Execute(stream[i], &output).ok()) {
+        std::fprintf(stderr, "dist: query %zu failed with node %d dead\n", i,
+                     victim);
+        ok = false;
+        break;
+      }
+      degraded_reads += output.degraded_nodes > 0 ? 1 : 0;
+    }
+    // A write routed to the dead node's value range must fail loudly —
+    // equi-depth boundaries over a unique permutation put the victim's
+    // range around [victim*n/K, (victim+1)*n/K).
+    const Value victim_value =
+        static_cast<Value>(victim) * (opt.n / kNodes) + opt.n / (2 * kNodes);
+    if (coord_engine->StageInsert(victim_value).ok()) {
+      std::fprintf(stderr, "dist: write unexpectedly succeeded with node %d "
+                           "dead\n",
+                   victim);
+      ok = false;
+    }
+  }
+  coord->inproc_transport()->ReviveNode(victim);
+  QueryOutput recovered;
+  QueryOutput reference;
+  if (!coord_engine->Execute(full, &recovered).ok() ||
+      !ref_engine->Execute(full, &reference).ok() ||
+      recovered.degraded_nodes != 0 || recovered.count != reference.count) {
+    std::fprintf(stderr, "dist: revival did not restore complete answers\n");
+    ok = false;
+  }
+  if (degraded.count >= reference.count) {
+    std::fprintf(stderr, "dist: degraded answer was not partial "
+                         "(%lld >= %lld)\n",
+                 static_cast<long long>(degraded.count),
+                 static_cast<long long>(reference.count));
+    ok = false;
+  }
+  const EngineStats end = coord_engine->CurrentStats();
+  std::printf("node-kill: victim=%d degraded_count=%lld/%lld "
+              "degraded_reads=%" PRId64 " node_failures=%" PRId64
+              " recovered_count=%lld\n",
+              victim, static_cast<long long>(degraded.count),
+              static_cast<long long>(reference.count), degraded_reads,
+              end.node_failures, static_cast<long long>(recovered.count));
+  if (end.degraded_queries <= 0 || end.node_failures <= 0) {
+    std::fprintf(stderr, "dist: kill segment left no degradation trace\n");
+    ok = false;
+  }
+  if (!coord_engine->Validate().ok() || !ref_engine->Validate().ok()) {
+    std::fprintf(stderr, "dist: Validate failed after serve\n");
+    ok = false;
+  }
+
+  if (opt.json_path != "none") {
+    repro::Json doc{repro::JsonObject{}};
+    doc.Set("schema", "serve-dist");
+    doc.Set("n", static_cast<int64_t>(opt.n));
+    doc.Set("nodes", static_cast<int64_t>(kNodes));
+    doc.Set("queries_per_phase", static_cast<int64_t>(stream.size()));
+    doc.Set("seed", static_cast<int64_t>(opt.seed));
+    doc.Set("engine", coord_engine->name());
+    repro::Json out_rows{repro::JsonArray{}};
+    for (const DistRow& row : rows) {
+      repro::Json j{repro::JsonObject{}};
+      j.Set("phase", row.phase);
+      j.Set("qps", row.seconds > 0
+                       ? static_cast<double>(stream.size()) / row.seconds
+                       : 0.0);
+      j.Set("checksum", static_cast<double>(row.checksum % 2147483647u));
+      j.Set("nodes_routed", row.routed);
+      j.Set("nodes_pruned", row.pruned);
+      j.Set("wire_bytes", row.wire_bytes);
+      out_rows.Append(std::move(j));
+    }
+    doc.Set("phases", std::move(out_rows));
+    repro::Json kill{repro::JsonObject{}};
+    kill.Set("victim", static_cast<int64_t>(victim));
+    kill.Set("degraded_count", static_cast<int64_t>(degraded.count));
+    kill.Set("recovered_count", static_cast<int64_t>(recovered.count));
+    kill.Set("degraded_reads", degraded_reads);
+    kill.Set("node_failures", end.node_failures);
+    kill.Set("degraded_queries", end.degraded_queries);
+    doc.Set("node_kill", std::move(kill));
+    const Status written = repro::WriteJsonFile(doc, opt.json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", opt.json_path.c_str(),
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("dist report written to %s\n", opt.json_path.c_str());
+  }
+  std::printf(ok ? "serve --dist: degraded-partial OK\n"
+                 : "serve --dist: FAILED\n");
+  return ok ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   ServeOptions opt;
   bool quick = false;
   bool slo = false;
   bool faults = false;
+  bool dist = false;
   int64_t fault_period = 3;
   int64_t budget = 5000;
   double deadline_us = 1000;
@@ -586,6 +849,8 @@ int Main(int argc, char** argv) {
       json_path_set = true;
     } else if (arg == "--slo") {
       slo = true;
+    } else if (arg == "--dist") {
+      dist = true;
     } else if (arg == "--faults") {
       faults = true;
     } else if (arg.rfind("--faults=", 0) == 0) {
@@ -599,7 +864,8 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--n=N] [--q=Q] "
                    "[--rate=QPS] [--seed=S] [--json=PATH] [--slo] "
-                   "[--faults[=PERIOD]] [--budget=B] [--deadline-us=D]\n",
+                   "[--faults[=PERIOD]] [--dist] [--budget=B] "
+                   "[--deadline-us=D]\n",
                    argv[0]);
       return 2;
     }
@@ -613,8 +879,10 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "scrack_serve: invalid scale\n");
     return 2;
   }
-  if (slo && faults) {
-    std::fprintf(stderr, "scrack_serve: pick one of --slo / --faults\n");
+  if (static_cast<int>(slo) + static_cast<int>(faults) +
+          static_cast<int>(dist) > 1) {
+    std::fprintf(stderr,
+                 "scrack_serve: pick one of --slo / --faults / --dist\n");
     return 2;
   }
   if (budget < 1 || fault_period < 1) {
@@ -628,6 +896,10 @@ int Main(int argc, char** argv) {
   }
   if (faults) {
     return RunFaultsMode(opt, budget, fault_period);
+  }
+  if (dist) {
+    if (!json_path_set) opt.json_path = "BENCH_serve_dist.json";
+    return RunDistMode(opt);
   }
 
   const std::vector<std::string> engine_specs = {
