@@ -134,6 +134,12 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
       {"node_failures", last_stats_.node_failures, stats.node_failures},
       {"degraded_queries", last_stats_.degraded_queries,
        stats.degraded_queries},
+      {"transport_timeouts", last_stats_.transport_timeouts,
+       stats.transport_timeouts},
+      {"transport_reconnects", last_stats_.transport_reconnects,
+       stats.transport_reconnects},
+      {"transport_retries", last_stats_.transport_retries,
+       stats.transport_retries},
   };
   for (const auto& counter : counters) {
     if (counter.now < counter.was) {
@@ -214,6 +220,26 @@ void InvariantAuditor::CheckStats(const CrackerColumn* column,
                       "degraded_queries = " +
                           std::to_string(stats.degraded_queries) +
                           " but no node call ever failed");
+  }
+  // Transport-conservation laws (TcpTransport robustness counters). A
+  // retry is an in-call resend, and the transport only resends on a
+  // freshly re-established connection — so cumulative retries can never
+  // outrun cumulative reconnects. And like the routing counters, only an
+  // engine that publishes a cluster size may advance them.
+  if (stats.transport_retries > stats.transport_reconnects) {
+    SCRACK_AUDIT_EMIT(out, "transport-conservation", -1,
+                      "transport_retries = " +
+                          std::to_string(stats.transport_retries) +
+                          " exceeds transport_reconnects = " +
+                          std::to_string(stats.transport_reconnects) +
+                          " (a resend must ride a fresh connection)");
+  }
+  if (stats.cluster_nodes == 0 &&
+      (stats.transport_timeouts > 0 || stats.transport_reconnects > 0 ||
+       stats.transport_retries > 0)) {
+    SCRACK_AUDIT_EMIT(out, "transport-conservation", -1,
+                      "transport counters advanced on an engine that "
+                      "publishes no cluster size");
   }
   if (stats.parallel_cracks > last_stats_.parallel_cracks &&
       stats.threads_used < 2) {

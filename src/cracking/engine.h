@@ -80,6 +80,17 @@ struct EngineStats {
   int64_t cluster_nodes = 0;    ///< effective storage-node count published
                                 ///  by a coordinator (like swap_budget: a
                                 ///  configuration fact, not a counter)
+  int64_t transport_timeouts = 0;  ///< node calls (or connect attempts) that
+                                   ///  expired against their per-call
+                                   ///  deadline at the transport layer
+  int64_t transport_reconnects = 0;  ///< connection re-establishments beyond
+                                     ///  each node's first successful
+                                     ///  connect (a healthy cluster stays 0)
+  int64_t transport_retries = 0;  ///< in-call request resends after a
+                                  ///  provably-safe send failure; never
+                                  ///  counts ambiguous failures (a resend
+                                  ///  rides a fresh connection, so
+                                  ///  transport_retries <= transport_reconnects)
 };
 
 /// Tuning knobs shared by the engines. Defaults reproduce the paper's

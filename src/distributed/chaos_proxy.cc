@@ -1,0 +1,184 @@
+#include "distributed/chaos_proxy.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace scrack {
+
+namespace {
+
+constexpr int64_t kPollMs = 100;    ///< stop-flag latency bound
+constexpr int64_t kWriteMs = 5000;  ///< stalled-destination bound
+constexpr size_t kChunkBytes = 4096;
+
+}  // namespace
+
+Status ChaosProxy::Start(const std::string& upstream_host,
+                         uint16_t upstream_port,
+                         const ChaosProxyOptions& options,
+                         uint16_t listen_port) {
+  if (running_) {
+    return Status::FailedPrecondition("chaos proxy: already running");
+  }
+  options_ = options;
+  upstream_host_ = upstream_host;
+  upstream_port_ = upstream_port;
+  SCRACK_RETURN_NOT_OK(net::Listen(listen_port, &listener_));
+  SCRACK_RETURN_NOT_OK(net::BoundPort(listener_, &port_));
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void ChaosProxy::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  // Safe after the join: only the accept thread grows conns_.
+  for (std::unique_ptr<Conn>& conn : conns_) {
+    conn->client.Shutdown();
+    conn->upstream.Shutdown();
+  }
+  for (std::unique_ptr<Conn>& conn : conns_) {
+    conn->pump_to_upstream.join();
+    conn->pump_to_client.join();
+  }
+  conns_.clear();
+  listener_.Close();
+  running_ = false;
+}
+
+void ChaosProxy::AcceptLoop() {
+  uint64_t conn_id = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    net::Socket client;
+    if (!net::Accept(listener_, kPollMs, &client).ok()) continue;
+    auto conn = std::make_unique<Conn>();
+    const Status connected =
+        net::Connect(upstream_host_, upstream_port_, kWriteMs,
+                     &conn->upstream);
+    if (!connected.ok()) continue;  // upstream down: drop the client
+    conn->client = std::move(client);
+    Conn* raw = conn.get();
+    const uint64_t id = conn_id++;
+    conn->pump_to_upstream =
+        std::thread([this, raw, id] { Pump(raw, true, id); });
+    conn->pump_to_client =
+        std::thread([this, raw, id] { Pump(raw, false, id); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ChaosProxy::InjectFault(ChaosFault kind) {
+  switch (kind) {
+    case ChaosFault::kDelay:
+      delays_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ChaosFault::kDrop:
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ChaosFault::kTruncate:
+      truncations_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ChaosFault::kSever:
+      severs_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void ChaosProxy::Pump(Conn* conn, bool to_upstream, uint64_t conn_id) {
+  net::Socket& src = to_upstream ? conn->client : conn->upstream;
+  net::Socket& dst = to_upstream ? conn->upstream : conn->client;
+  const bool inject_here =
+      (options_.direction_mask & (to_upstream ? 1 : 2)) != 0;
+
+  // Per-connection, per-direction fault schedule in absolute stream-byte
+  // offsets — reproducible under the seed no matter how the kernel chunks
+  // the transfers.
+  Rng rng(options_.seed + conn_id * 0x9E3779B97F4A7C15ULL +
+          (to_upstream ? 0 : 1));
+  auto next_gap = [&]() -> int64_t {
+    const int64_t mean = options_.fault_every_bytes;
+    return mean / 2 + static_cast<int64_t>(
+                          rng.Uniform(static_cast<uint64_t>(mean) + 1));
+  };
+  int64_t offset = 0;
+  int64_t next_fault_at =
+      options_.fault_every_bytes > 0 ? next_gap() : -1;
+
+  uint8_t buffer[kChunkBytes];
+  while (!stop_.load(std::memory_order_acquire)) {
+    size_t received = 0;
+    const Status status =
+        net::RecvSome(src, buffer, sizeof(buffer), &received, kPollMs);
+    if (!status.ok()) {
+      if (net::IsTimeout(status)) continue;  // poll tick
+      break;
+    }
+    if (received == 0) break;  // EOF
+
+    size_t begin = 0;
+    while (begin < received) {
+      const bool armed = inject_here && next_fault_at >= 0 &&
+                         enabled_.load(std::memory_order_acquire);
+      // Bytes until the scheduled fault; the whole chunk if none hits it.
+      size_t take = received - begin;
+      const bool fault_now =
+          armed && offset + static_cast<int64_t>(take) > next_fault_at;
+      if (fault_now) {
+        // The schedule can already be behind the stream when injection was
+        // disabled while bytes flowed past the scheduled offset; fire the
+        // fault immediately rather than letting the subtraction go negative.
+        take = next_fault_at > offset
+                   ? static_cast<size_t>(next_fault_at - offset)
+                   : 0;
+      }
+      if (take > 0) {
+        if (!net::SendAll(dst, buffer + begin, take, kWriteMs).ok()) {
+          src.Shutdown();
+          dst.Shutdown();
+          return;
+        }
+        begin += take;
+        offset += static_cast<int64_t>(take);
+      }
+      if (!fault_now) continue;
+
+      const ChaosFault kind =
+          options_.force_kind >= 0
+              ? static_cast<ChaosFault>(options_.force_kind)
+              : static_cast<ChaosFault>(rng.Uniform(4));
+      InjectFault(kind);
+      next_fault_at = offset + next_gap();
+      switch (kind) {
+        case ChaosFault::kDelay:
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(options_.delay_ms));
+          break;
+        case ChaosFault::kDrop: {
+          // Swallow the rest of this chunk: the destination's framing
+          // desyncs — it reads a garbage length prefix (rejected before
+          // allocation) or starves past its deadline.
+          const size_t dropped = received - begin;
+          offset += static_cast<int64_t>(dropped);
+          begin = received;
+          break;
+        }
+        case ChaosFault::kTruncate:
+          // The partial frame up to the fault offset was already
+          // forwarded; severing now leaves the destination with a
+          // mid-frame EOF.
+        case ChaosFault::kSever:
+          src.Shutdown();
+          dst.Shutdown();
+          return;
+      }
+    }
+  }
+  // Propagate EOF/teardown to the destination so its reader unblocks.
+  src.Shutdown();
+  dst.Shutdown();
+}
+
+}  // namespace scrack

@@ -1,0 +1,133 @@
+// ChaosProxy: an in-repo TCP forwarder that misbehaves on a seeded schedule.
+//
+// Sits between a TcpTransport and a node server, forwarding bytes in both
+// directions while injecting the network failures a clean loopback never
+// shows: added delays, dropped byte runs (framing desync), mid-frame
+// truncations, and severed connections. Tests point the transport at the
+// proxy's port and get the full failure surface hermetically — no tc/iptables,
+// no root, no flakiness.
+//
+// Determinism: TCP chunk boundaries depend on timing, so scheduling faults
+// "every Nth read" would not reproduce. Faults are instead scheduled at
+// absolute BYTE OFFSETS of each direction's stream, drawn from an Rng
+// seeded per connection and direction — the same seed injects faults at
+// the same stream positions regardless of how the kernel slices the
+// transfers. What stays timing-dependent is only which request a fault
+// lands on, which is why the soak tests assert outcome *classes* (bit-
+// identical answer after retry, or structured error — never a crash or a
+// hang) rather than exact outcomes.
+//
+// Concurrency: no mutex — stop/enabled flags and fault counters are
+// atomics; per-connection state is owned by the accept thread and joined
+// by Stop() strictly after it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/socket.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace scrack {
+
+/// What an injected fault does to the stream at its scheduled offset.
+enum class ChaosFault : int {
+  kDelay = 0,     ///< sleep delay_ms, then keep forwarding
+  kDrop = 1,      ///< swallow the rest of the in-flight chunk
+  kTruncate = 2,  ///< forward a partial frame, then sever both directions
+  kSever = 3,     ///< sever both directions immediately
+};
+
+struct ChaosProxyOptions {
+  uint64_t seed = 42;
+
+  /// Mean gap between injected faults, in stream bytes per direction.
+  /// 0 disables injection entirely (transparent forwarder).
+  int64_t fault_every_bytes = 4096;
+
+  /// Duration of a kDelay fault.
+  int64_t delay_ms = 5;
+
+  /// Which directions inject faults: bit 0 = client->upstream (requests),
+  /// bit 1 = upstream->client (responses). Both by default; tests that
+  /// need a specific ambiguity (e.g. "the write arrived but the response
+  /// died") target one direction.
+  int direction_mask = 3;
+
+  /// Force every fault to one kind (cast of ChaosFault); -1 = seeded mix.
+  int force_kind = -1;
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy() = default;
+  ~ChaosProxy() { Stop(); }
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Listens on `listen_port` (0 = ephemeral) and forwards every accepted
+  /// connection to upstream_host:upstream_port.
+  Status Start(const std::string& upstream_host, uint16_t upstream_port,
+               const ChaosProxyOptions& options, uint16_t listen_port = 0);
+
+  /// The proxy's listening port, valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, severs every proxied connection, joins all threads.
+  void Stop();
+
+  /// Injection toggle: while disabled the proxy forwards transparently.
+  /// Tests use this to run clean setup/verify traffic through the same
+  /// connections chaos just mangled.
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+
+  int64_t faults_injected() const {
+    return delays() + drops() + truncations() + severs();
+  }
+  int64_t delays() const { return delays_.load(std::memory_order_relaxed); }
+  int64_t drops() const { return drops_.load(std::memory_order_relaxed); }
+  int64_t truncations() const {
+    return truncations_.load(std::memory_order_relaxed);
+  }
+  int64_t severs() const { return severs_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One proxied connection: the socket pair plus a pump thread per
+  /// direction. Pumps only Shutdown() the sockets (never Close), so either
+  /// pump can sever both directions without racing the other's fd.
+  struct Conn {
+    net::Socket client;
+    net::Socket upstream;
+    std::thread pump_to_upstream;
+    std::thread pump_to_client;
+  };
+
+  void AcceptLoop();
+  void Pump(Conn* conn, bool to_upstream, uint64_t conn_id);
+  void InjectFault(ChaosFault kind);
+
+  ChaosProxyOptions options_;
+  std::string upstream_host_;
+  uint16_t upstream_port_ = 0;
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> enabled_{true};
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // accept-thread-owned
+
+  std::atomic<int64_t> delays_{0};
+  std::atomic<int64_t> drops_{0};
+  std::atomic<int64_t> truncations_{0};
+  std::atomic<int64_t> severs_{0};
+};
+
+}  // namespace scrack

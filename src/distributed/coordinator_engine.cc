@@ -10,26 +10,15 @@ CoordinatorEngine::CoordinatorEngine(int requested_nodes,
                                      std::string inner_name)
     : requested_nodes_(requested_nodes), inner_name_(std::move(inner_name)) {}
 
-Status CoordinatorEngine::Create(const Column* base, int num_nodes,
-                                 const InnerFactory& make_inner,
-                                 const std::string& inner_name,
-                                 std::unique_ptr<SelectEngine>* out) {
-  if (base == nullptr || out == nullptr) {
-    return Status::InvalidArgument("null base column or output");
-  }
-  if (!make_inner) {
-    return Status::InvalidArgument("coordinator needs an inner factory");
-  }
-  if (num_nodes < 1 || num_nodes > kMaxNodes) {
-    return Status::InvalidArgument("node count out of range [1, 64]");
-  }
-
+std::vector<Value> CoordinatorEngine::ComputeLowers(const Column& base,
+                                                    int num_nodes) {
   // Equi-depth boundaries, byte-for-byte the ShardedEngine algorithm (see
   // the comment there): successive nth_element passes over one scratch
   // copy, duplicates collapse boundaries. Identical boundaries + identical
   // deal order is what makes coord(K,X) answers bit-identical to
-  // sharded(K,X).
-  std::vector<Value> scratch = base->values();
+  // sharded(K,X) — and what lets an out-of-process scrack_node recompute
+  // its own slice from the same (n, seed) column.
+  std::vector<Value> scratch = base.values();
   std::vector<Value> lowers;
   lowers.push_back(
       scratch.empty() ? 0
@@ -47,20 +36,38 @@ Status CoordinatorEngine::Create(const Column* base, int num_nodes,
     prev_rank = rank;
     if (boundary > lowers.back()) lowers.push_back(boundary);
   }
+  return lowers;
+}
 
-  std::unique_ptr<CoordinatorEngine> engine(
-      new CoordinatorEngine(num_nodes, inner_name));  // lint:allow(naked-new)
-  engine->lowers_ = std::move(lowers);
-  if (engine->lowers_.size() > 1) {
-    engine->pool_ = &ThreadPool::Shared();
+std::vector<std::vector<Value>> CoordinatorEngine::DealSlices(
+    const Column& base, const std::vector<Value>& lowers) {
+  std::vector<std::vector<Value>> slices(lowers.size());
+  for (Value v : base.values()) {
+    slices[static_cast<size_t>(NodeForValue(lowers, v))].push_back(v);
   }
+  return slices;
+}
+
+Status CoordinatorEngine::Create(const Column* base, int num_nodes,
+                                 const InnerFactory& make_inner,
+                                 const std::string& inner_name,
+                                 std::unique_ptr<SelectEngine>* out,
+                                 int64_t deadline_us) {
+  if (base == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null base column or output");
+  }
+  if (!make_inner) {
+    return Status::InvalidArgument("coordinator needs an inner factory");
+  }
+  if (num_nodes < 1 || num_nodes > kMaxNodes) {
+    return Status::InvalidArgument("node count out of range [1, 64]");
+  }
+
+  std::vector<Value> lowers = ComputeLowers(*base, num_nodes);
 
   // Deal the base data into per-node slices, preserving base order within
   // each slice (the inner engine copies and cracks it).
-  std::vector<std::vector<Value>> slices(engine->lowers_.size());
-  for (Value v : base->values()) {
-    slices[static_cast<size_t>(engine->NodeFor(v))].push_back(v);
-  }
+  std::vector<std::vector<Value>> slices = DealSlices(*base, lowers);
   std::vector<std::unique_ptr<StorageNode>> nodes;
   nodes.reserve(slices.size());
   for (size_t i = 0; i < slices.size(); ++i) {
@@ -70,26 +77,64 @@ Status CoordinatorEngine::Create(const Column* base, int num_nodes,
                                              &node));
     nodes.push_back(std::move(node));
   }
-  auto transport = std::make_unique<InProcTransport>(std::move(nodes));
-  engine->inproc_ = transport.get();
+  return CreateOverTransport(
+      std::move(lowers),
+      std::make_unique<InProcTransport>(std::move(nodes)), inner_name,
+      num_nodes, out, deadline_us);
+}
+
+Status CoordinatorEngine::CreateOverTransport(
+    std::vector<Value> lowers, std::unique_ptr<Transport> transport,
+    const std::string& inner_name, int requested_nodes,
+    std::unique_ptr<SelectEngine>* out, int64_t deadline_us,
+    bool tolerate_unreachable) {
+  if (transport == nullptr || out == nullptr) {
+    return Status::InvalidArgument("null transport or output");
+  }
+  if (lowers.empty() ||
+      transport->num_nodes() != static_cast<int>(lowers.size())) {
+    return Status::InvalidArgument(
+        "boundary count does not match the transport's node count");
+  }
+  if (requested_nodes < 1 || requested_nodes > kMaxNodes) {
+    return Status::InvalidArgument("node count out of range [1, 64]");
+  }
+  if (deadline_us < 0) {
+    return Status::InvalidArgument("negative deadline hint");
+  }
+
+  std::unique_ptr<CoordinatorEngine> engine(
+      new CoordinatorEngine(requested_nodes,  // lint:allow(naked-new)
+                            inner_name));
+  engine->deadline_us_ = deadline_us;
+  engine->lowers_ = std::move(lowers);
+  engine->inproc_ = dynamic_cast<InProcTransport*>(transport.get());
   engine->transport_ = std::move(transport);
+  if (engine->lowers_.size() > 1) {
+    engine->pool_ = &ThreadPool::Shared();
+  }
   engine->node_stats_.resize(engine->lowers_.size());
 
   // Prime the per-node stat caches with one kStats round trip each — the
-  // first wire traffic the cluster sees, proving serialization end to end
-  // before any query arrives.
-  wire::Request stats_request;
-  stats_request.type = wire::MessageType::kStats;
+  // first wire traffic the cluster sees, proving transport, framing, and
+  // protocol version end to end before any query arrives.
   std::vector<uint8_t> encoded;
-  wire::Encode(stats_request, &encoded);
+  wire::Encode(engine->NewRequest(wire::MessageType::kStats), &encoded);
   for (int i = 0; i < engine->num_nodes(); ++i) {
     wire::Response response;
     int64_t bytes = 0;
     int64_t failures = 0;
-    SCRACK_RETURN_NOT_OK(
-        engine->CallNode(i, encoded, &response, &bytes, &failures));
-    engine->node_stats_[static_cast<size_t>(i)] = response.stats;
+    const Status primed =
+        engine->CallNode(i, encoded, &response, &bytes, &failures);
     engine->wire_bytes_ += bytes;
+    if (!primed.ok()) {
+      if (!tolerate_unreachable) return primed;
+      // Admitted degraded: the stat cache stays empty and reads touching
+      // this node report degraded_nodes until it comes back.
+      engine->node_failures_ += failures;
+      continue;
+    }
+    engine->node_stats_[static_cast<size_t>(i)] = response.stats;
   }
   {
     std::lock_guard<std::mutex> lock(engine->stats_mutex_);
@@ -99,18 +144,30 @@ Status CoordinatorEngine::Create(const Column* base, int num_nodes,
   return Status::OK();
 }
 
-int CoordinatorEngine::NodeFor(Value v) const {
+int CoordinatorEngine::NodeForValue(const std::vector<Value>& lowers,
+                                    Value v) {
   int lo = 0;
-  int hi = static_cast<int>(lowers_.size()) - 1;
+  int hi = static_cast<int>(lowers.size()) - 1;
   while (lo < hi) {
     const int mid = (lo + hi + 1) / 2;
-    if (lowers_[static_cast<size_t>(mid)] <= v) {
+    if (lowers[static_cast<size_t>(mid)] <= v) {
       lo = mid;
     } else {
       hi = mid - 1;
     }
   }
   return lo;
+}
+
+int CoordinatorEngine::NodeFor(Value v) const {
+  return NodeForValue(lowers_, v);
+}
+
+wire::Request CoordinatorEngine::NewRequest(wire::MessageType type) const {
+  wire::Request request;
+  request.type = type;
+  request.deadline_us = deadline_us_;
+  return request;
 }
 
 bool CoordinatorEngine::Intersects(int i, Value low, Value high) const {
@@ -220,8 +277,7 @@ Status CoordinatorEngine::DoSelect(Value low, Value high, QueryResult* result,
     }
   }
 
-  wire::Request request;
-  request.type = wire::MessageType::kQuery;
+  wire::Request request = NewRequest(wire::MessageType::kQuery);
   request.query = Query{low, high, OutputMode::kMaterialize, 1};
   std::vector<uint8_t> encoded;
   wire::Encode(request, &encoded);
@@ -289,8 +345,7 @@ Status CoordinatorEngine::Execute(const Query& query, QueryOutput* output) {
     }
   }
 
-  wire::Request request;
-  request.type = wire::MessageType::kQuery;
+  wire::Request request = NewRequest(wire::MessageType::kQuery);
   request.query = query;
   std::vector<uint8_t> encoded;
   wire::Encode(request, &encoded);
@@ -366,8 +421,7 @@ Status CoordinatorEngine::ExecuteBatch(const std::vector<Query>& queries,
 
   std::vector<std::vector<uint8_t>> encoded(hits.size());
   for (size_t k = 0; k < hits.size(); ++k) {
-    wire::Request request;
-    request.type = wire::MessageType::kBatch;
+    wire::Request request = NewRequest(wire::MessageType::kBatch);
     for (size_t qi : node_queries[static_cast<size_t>(hits[k])]) {
       request.batch.push_back(queries[qi]);
     }
@@ -444,15 +498,13 @@ Status CoordinatorEngine::ExecuteBatch(const std::vector<Query>& queries,
 }
 
 Status CoordinatorEngine::StageInsert(Value v) {
-  wire::Request request;
-  request.type = wire::MessageType::kStageInsert;
+  wire::Request request = NewRequest(wire::MessageType::kStageInsert);
   request.update_value = v;
   return StageUpdate(request, v);
 }
 
 Status CoordinatorEngine::StageDelete(Value v) {
-  wire::Request request;
-  request.type = wire::MessageType::kStageDelete;
+  wire::Request request = NewRequest(wire::MessageType::kStageDelete);
   request.update_value = v;
   return StageUpdate(request, v);
 }
@@ -489,8 +541,7 @@ Status CoordinatorEngine::StageUpdate(const wire::Request& request, Value v) {
 }
 
 Status CoordinatorEngine::Validate() const {
-  wire::Request request;
-  request.type = wire::MessageType::kValidate;
+  wire::Request request = NewRequest(wire::MessageType::kValidate);
   std::vector<uint8_t> encoded;
   wire::Encode(request, &encoded);
   for (int i = 0; i < num_nodes(); ++i) {
@@ -550,6 +601,12 @@ void CoordinatorEngine::RecomputeStatsLocked() {
   aggregate.node_failures = node_failures_;
   aggregate.degraded_queries = degraded_queries_;
   aggregate.cluster_nodes = num_nodes();
+  // Transport robustness counters are transport-own (the only layer that
+  // sees connections); the coordinator just publishes the snapshot.
+  const TransportCounters transport_counters = transport_->counters();
+  aggregate.transport_timeouts = transport_counters.timeouts;
+  aggregate.transport_reconnects = transport_counters.reconnects;
+  aggregate.transport_retries = transport_counters.retries;
   stats_ = aggregate;
 }
 

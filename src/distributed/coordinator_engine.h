@@ -51,10 +51,47 @@ class CoordinatorEngine : public SelectEngine {
   /// count), deals the data into per-node slices preserving base order,
   /// builds a StorageNode + inner engine per slice, and wires them behind
   /// an in-process transport. `base` need not outlive the engine.
+  /// `deadline_us` (0 = none) is stamped on every outgoing wire::Request as
+  /// the per-hop deadline hint nodes observe.
   static Status Create(const Column* base, int num_nodes,
                        const InnerFactory& make_inner,
                        const std::string& inner_name,
-                       std::unique_ptr<SelectEngine>* out);
+                       std::unique_ptr<SelectEngine>* out,
+                       int64_t deadline_us = 0);
+
+  /// Creates a coordinator over an arbitrary pre-built Transport whose
+  /// nodes already hold their slices (e.g. scrack_node processes behind a
+  /// TcpTransport). `lowers` must be the boundaries the node slices were
+  /// dealt with — ComputeLowers(base, K) on both sides of the wire
+  /// guarantees that — and must match transport->num_nodes() exactly.
+  /// Primes the per-node stat caches with one kStats round trip each, so a
+  /// dead or protocol-mismatched node fails creation loudly. Passing
+  /// `tolerate_unreachable` downgrades that boot check: a node whose
+  /// priming call fails is admitted with an empty stat cache and every
+  /// read touching it degrades, exactly as if it died after boot — the
+  /// harness uses this to probe a cluster whose node was killed *before*
+  /// the coordinator started (a coordinator restart mid-outage).
+  static Status CreateOverTransport(std::vector<Value> lowers,
+                                    std::unique_ptr<Transport> transport,
+                                    const std::string& inner_name,
+                                    int requested_nodes,
+                                    std::unique_ptr<SelectEngine>* out,
+                                    int64_t deadline_us = 0,
+                                    bool tolerate_unreachable = false);
+
+  /// Equi-depth value-range boundaries over `base` for a K-node cluster —
+  /// byte-for-byte the ShardedEngine algorithm (successive nth_element
+  /// passes over one scratch copy; duplicates collapse boundaries).
+  /// Exposed so out-of-process nodes (scrack_node) can recompute the exact
+  /// boundaries the coordinator will route with, from the same (n, seed)
+  /// column, without any data exchange.
+  static std::vector<Value> ComputeLowers(const Column& base, int num_nodes);
+
+  /// Deals `base` into one slice per boundary, preserving base order
+  /// within each slice — the coordinator-side deal that scrack_node
+  /// replicates to own exactly its slice.
+  static std::vector<std::vector<Value>> DealSlices(
+      const Column& base, const std::vector<Value>& lowers);
 
   /// Upper bound on K. Smaller than ShardedEngine::kMaxShards: every node
   /// adds serialization work per hop, and a cluster wider than this wants
@@ -80,15 +117,24 @@ class CoordinatorEngine : public SelectEngine {
   EngineStats CurrentStats() const override;
 
   /// The in-process transport, for chaos hooks (KillNode/FailNextCalls) in
-  /// tests and the serving harness. Null if a future coordinator is built
-  /// over a different transport.
+  /// tests and the serving harness. Null when the coordinator is built
+  /// over a different transport (CreateOverTransport + TcpTransport).
   InProcTransport* inproc_transport() { return inproc_; }
+
+  /// The transport itself, for white-box counter assertions in tests.
+  Transport* transport() { return transport_.get(); }
 
  private:
   CoordinatorEngine(int requested_nodes, std::string inner_name);
 
-  /// Largest i with lowers_[i] <= v (ShardedEngine::ShardFor).
+  /// Largest i with lowers[i] <= v (ShardedEngine::ShardFor).
+  static int NodeForValue(const std::vector<Value>& lowers, Value v);
+
+  /// Largest i with lowers_[i] <= v.
   int NodeFor(Value v) const;
+
+  /// A fresh request of `type` carrying the coordinator's deadline hint.
+  wire::Request NewRequest(wire::MessageType type) const;
   /// Can node i's owned range intersect [low, high)? Ends widened to +-inf.
   bool Intersects(int i, Value low, Value high) const;
   /// Runs tasks on the shared pool, caller participating; same nesting and
@@ -118,6 +164,7 @@ class CoordinatorEngine : public SelectEngine {
 
   const int requested_nodes_;
   const std::string inner_name_;
+  int64_t deadline_us_ = 0;    ///< per-hop hint stamped on every request
   std::vector<Value> lowers_;  ///< lowers_[i] = lower bound of node i's range
   std::unique_ptr<Transport> transport_;
   InProcTransport* inproc_ = nullptr;  ///< transport_ downcast, if in-proc

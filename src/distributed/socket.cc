@@ -1,0 +1,346 @@
+#include "distributed/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace scrack {
+namespace net {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Remaining poll budget in ms: -1 (infinite) when no deadline was set,
+// 0 when the deadline already passed.
+int RemainingMs(const Timer& timer, int64_t deadline_ms) {
+  if (deadline_ms <= 0) return -1;
+  const int64_t elapsed_ms = timer.ElapsedNanos() / 1000000;
+  if (elapsed_ms >= deadline_ms) return 0;
+  const int64_t left = deadline_ms - elapsed_ms;
+  return left > 1000000 ? 1000000 : static_cast<int>(left);
+}
+
+// Waits for `events` on fd. Returns 1 ready, 0 deadline expired; EINTR is
+// retried against the same deadline.
+Status WaitFd(int fd, short events, const Timer& timer, int64_t deadline_ms,
+              int* ready) {
+  for (;;) {
+    const int budget = RemainingMs(timer, deadline_ms);
+    if (budget == 0) {
+      *ready = 0;
+      return Status::OK();
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) {
+      *ready = 1;
+      return Status::OK();
+    }
+    if (rc == 0) continue;  // poll slice expired; re-check the deadline
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("poll"));
+  }
+}
+
+Status SetNonBlocking(int fd, bool non_blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::Internal(Errno("fcntl(F_GETFL)"));
+  const int want = non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    return Status::Internal(Errno("fcntl(F_SETFL)"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Listen(uint16_t port, Socket* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  Socket sock(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return Status::Internal(Errno("setsockopt(SO_REUSEADDR)"));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(Errno("bind"));
+  }
+  if (::listen(fd, 64) < 0) return Status::Internal(Errno("listen"));
+  // Non-blocking so a poll/accept race (peer aborts first) cannot block.
+  SCRACK_RETURN_NOT_OK(SetNonBlocking(fd, true));
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status BoundPort(const Socket& socket, uint16_t* port) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) < 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  *port = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status Accept(const Socket& listener, int64_t deadline_ms, Socket* out) {
+  Timer timer;
+  for (;;) {
+    int ready = 0;
+    SCRACK_RETURN_NOT_OK(
+        WaitFd(listener.fd(), POLLIN, timer, deadline_ms, &ready));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("accept: deadline expired");
+    }
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket sock(fd);
+      // Data sockets stay non-blocking for their whole life: the transfer
+      // loops poll with the remaining deadline before every send/recv, so
+      // a stalled peer can never sink a call past its budget.
+      SCRACK_RETURN_NOT_OK(SetNonBlocking(fd, true));
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      *out = std::move(sock);
+      return Status::OK();
+    }
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      continue;
+    }
+    return Status::Internal(Errno("accept"));
+  }
+}
+
+Status Connect(const std::string& host, uint16_t port, int64_t deadline_ms,
+               Socket* out) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not numeric; resolve (e.g. "localhost"). Numeric-first keeps the
+    // common loopback path free of resolver calls.
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* result = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+    if (rc != 0 || result == nullptr) {
+      return Status::InvalidArgument("connect: cannot resolve host \"" +
+                                     host + "\": " + ::gai_strerror(rc));
+    }
+    addr.sin_addr =
+        reinterpret_cast<struct sockaddr_in*>(result->ai_addr)->sin_addr;
+    ::freeaddrinfo(result);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  Socket sock(fd);
+  SCRACK_RETURN_NOT_OK(SetNonBlocking(fd, true));
+  Timer timer;
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) return Status::Internal(Errno("connect"));
+    int ready = 0;
+    SCRACK_RETURN_NOT_OK(WaitFd(fd, POLLOUT, timer, deadline_ms, &ready));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("connect: deadline expired");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Status::Internal(Errno("getsockopt(SO_ERROR)"));
+    }
+    if (err != 0) {
+      return Status::Internal(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  // Stays non-blocking: see Accept on why data sockets never block.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(sock);
+  return Status::OK();
+}
+
+Status PollReadable(const Socket& socket, int64_t deadline_ms,
+                    bool* readable) {
+  Timer timer;
+  int ready = 0;
+  SCRACK_RETURN_NOT_OK(
+      WaitFd(socket.fd(), POLLIN, timer, deadline_ms, &ready));
+  *readable = ready != 0;
+  return Status::OK();
+}
+
+Status SendAll(const Socket& socket, const uint8_t* data, size_t size,
+               int64_t deadline_ms) {
+  Timer timer;
+  size_t sent = 0;
+  while (sent < size) {
+    int ready = 0;
+    SCRACK_RETURN_NOT_OK(
+        WaitFd(socket.fd(), POLLOUT, timer, deadline_ms, &ready));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("send: deadline expired");
+    }
+    // MSG_NOSIGNAL: a dead peer yields EPIPE, not process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(socket.fd(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Status::Internal(Errno("send"));
+  }
+  return Status::OK();
+}
+
+Status RecvAll(const Socket& socket, uint8_t* data, size_t size,
+               int64_t deadline_ms) {
+  Timer timer;
+  size_t received = 0;
+  while (received < size) {
+    int ready = 0;
+    SCRACK_RETURN_NOT_OK(
+        WaitFd(socket.fd(), POLLIN, timer, deadline_ms, &ready));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("recv: deadline expired");
+    }
+    const ssize_t n =
+        ::recv(socket.fd(), data + received, size - received, 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal("recv: peer closed mid-read");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Internal(Errno("recv"));
+  }
+  return Status::OK();
+}
+
+Status RecvSome(const Socket& socket, uint8_t* data, size_t max,
+                size_t* received, int64_t deadline_ms) {
+  Timer timer;
+  *received = 0;
+  for (;;) {
+    int ready = 0;
+    SCRACK_RETURN_NOT_OK(
+        WaitFd(socket.fd(), POLLIN, timer, deadline_ms, &ready));
+    if (ready == 0) {
+      return Status::DeadlineExceeded("recv: deadline expired");
+    }
+    const ssize_t n = ::recv(socket.fd(), data, max, 0);
+    if (n >= 0) {
+      *received = static_cast<size_t>(n);
+      return Status::OK();  // n == 0 is clean EOF
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Internal(Errno("recv"));
+  }
+}
+
+Status SendFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                 int64_t deadline_ms) {
+  uint8_t prefix[4];
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<uint8_t>(size >> (8 * i));
+  }
+  // One timer budget covers prefix + payload: frame both within deadline.
+  Timer timer;
+  SCRACK_RETURN_NOT_OK(SendAll(socket, prefix, sizeof(prefix), deadline_ms));
+  const int64_t elapsed_ms = timer.ElapsedNanos() / 1000000;
+  const int64_t left =
+      deadline_ms <= 0 ? 0
+                       : (elapsed_ms >= deadline_ms ? 1
+                                                    : deadline_ms - elapsed_ms);
+  return SendAll(socket, payload.data(), payload.size(), left);
+}
+
+Status RecvFrame(const Socket& socket, std::vector<uint8_t>* payload,
+                 int64_t deadline_ms, size_t max_frame_bytes) {
+  uint8_t prefix[4];
+  Timer timer;
+  // Distinguish a peer that closed cleanly between frames (first prefix
+  // byte is EOF) from one that died mid-frame (any later byte is EOF).
+  size_t first = 0;
+  SCRACK_RETURN_NOT_OK(RecvSome(socket, prefix, 1, &first, deadline_ms));
+  if (first == 0) {
+    return Status::NotFound("recv: connection closed");
+  }
+  int64_t left = deadline_ms;
+  if (deadline_ms > 0) {
+    const int64_t elapsed_ms = timer.ElapsedNanos() / 1000000;
+    left = elapsed_ms >= deadline_ms ? 1 : deadline_ms - elapsed_ms;
+  }
+  SCRACK_RETURN_NOT_OK(RecvAll(socket, prefix + 1, sizeof(prefix) - 1, left));
+  uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (size > max_frame_bytes) {
+    return Status::InvalidArgument("recv: frame length " +
+                                   std::to_string(size) +
+                                   " exceeds the frame-size limit");
+  }
+  payload->resize(size);
+  if (size == 0) return Status::OK();
+  if (deadline_ms > 0) {
+    const int64_t elapsed_ms = timer.ElapsedNanos() / 1000000;
+    left = elapsed_ms >= deadline_ms ? 1 : deadline_ms - elapsed_ms;
+  }
+  return RecvAll(socket, payload->data(), size, left);
+}
+
+}  // namespace net
+}  // namespace scrack

@@ -1,0 +1,117 @@
+// Thin POSIX TCP layer for the distributed transport.
+//
+// Everything the rest of the tree needs from the socket API lives behind
+// these helpers: a move-only RAII fd, deadline-bounded connect/accept, and
+// robust partial-read/partial-write loops (EINTR retried, short transfers
+// resumed) with `SO_RCVTIMEO`-style per-call deadlines implemented via
+// poll(2) so one slow peer cannot wedge a caller forever.
+//
+// Framing: a frame is a u32 little-endian payload length followed by the
+// payload bytes — the same trivial shape as the wire protocol itself. A
+// length prefix above `max_frame_bytes` is rejected *before* any allocation,
+// so a corrupt or hostile peer cannot OOM the receiver with five bytes.
+//
+// Deadline semantics everywhere: `deadline_ms <= 0` means wait forever;
+// expiry returns StatusCode::kDeadlineExceeded (see IsTimeout), which the
+// transport maps onto the `transport_timeouts` counter. Raw ::socket /
+// ::connect / ::poll calls are confined to socket.cc — the project lint
+// (socket-confinement) enforces that every other TU goes through this
+// header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scrack {
+namespace net {
+
+/// Frames larger than this are rejected before allocation. Generous: a
+/// 64 MiB response materializes ~8M tuples, far above any test workload.
+constexpr size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Move-only owner of one socket fd. Closing is idempotent; a
+/// default-constructed Socket is invalid.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Half-closes both directions without releasing the fd — unblocks any
+  /// thread currently polling this socket (used to interrupt server pumps).
+  void Shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening TCP socket on `port` (0 = kernel-assigned ephemeral
+/// port) bound to all interfaces, with SO_REUSEADDR so a restarted node can
+/// rebind its old port immediately.
+Status Listen(uint16_t port, Socket* out);
+
+/// The locally bound port of a listening (or connected) socket.
+Status BoundPort(const Socket& socket, uint16_t* port);
+
+/// Accepts one connection, waiting at most `deadline_ms`.
+Status Accept(const Socket& listener, int64_t deadline_ms, Socket* out);
+
+/// Connects to host:port within `deadline_ms` (non-blocking connect +
+/// poll). `host` is a numeric IPv4 address or a resolvable name.
+Status Connect(const std::string& host, uint16_t port, int64_t deadline_ms,
+               Socket* out);
+
+/// Waits until the socket is readable (data, EOF, or error pending).
+/// Returns OK with *readable=false on deadline expiry — unlike the
+/// transfer loops, a poll timeout here is not an error, it is how server
+/// loops interleave stop-flag checks with blocking reads.
+Status PollReadable(const Socket& socket, int64_t deadline_ms,
+                    bool* readable);
+
+/// Writes all `size` bytes, resuming partial writes, within `deadline_ms`.
+Status SendAll(const Socket& socket, const uint8_t* data, size_t size,
+               int64_t deadline_ms);
+
+/// Reads exactly `size` bytes, resuming partial reads, within
+/// `deadline_ms`. EOF before `size` bytes is an error ("peer closed
+/// mid-read").
+Status RecvAll(const Socket& socket, uint8_t* data, size_t size,
+               int64_t deadline_ms);
+
+/// Reads whatever is available (at most `max` bytes) within `deadline_ms`.
+/// Clean EOF is OK with *received == 0 — the chaos proxy pumps use this.
+Status RecvSome(const Socket& socket, uint8_t* data, size_t max,
+                size_t* received, int64_t deadline_ms);
+
+/// Writes one length-prefixed frame.
+Status SendFrame(const Socket& socket, const std::vector<uint8_t>& payload,
+                 int64_t deadline_ms);
+
+/// Reads one length-prefixed frame. A prefix above `max_frame_bytes` is
+/// rejected before the payload buffer is allocated; EOF cleanly *between*
+/// frames is NotFound("connection closed") so servers can tell a finished
+/// peer from a mid-frame truncation (Internal).
+Status RecvFrame(const Socket& socket, std::vector<uint8_t>* payload,
+                 int64_t deadline_ms,
+                 size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// True iff `status` is a deadline expiry from one of the calls above.
+inline bool IsTimeout(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace net
+}  // namespace scrack

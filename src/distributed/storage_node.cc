@@ -25,6 +25,7 @@ void StorageNode::Serve(const std::vector<uint8_t>& request,
       reply.status_code = parsed.code();
       reply.status_message = parsed.message();
     } else {
+      last_deadline_us_.store(decoded.deadline_us, std::memory_order_relaxed);
       reply = Dispatch(decoded);
     }
     reply.stats = engine_->CurrentStats();

@@ -19,6 +19,7 @@
 // not thread-safe. Cross-node parallelism is the coordinator's job.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -60,6 +61,14 @@ class StorageNode {
   /// goes through Serve().
   SelectEngine* engine() { return engine_.get(); }
 
+  /// The per-hop deadline hint of the most recent well-formed request
+  /// (wire::Request::deadline_us; 0 = none seen). Observability only —
+  /// like EngineConfig::deadline_us, the node never cuts work short
+  /// against the wall clock.
+  int64_t last_deadline_us() const {
+    return last_deadline_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   explicit StorageNode(Column slice) : slice_(std::move(slice)) {}
 
@@ -68,6 +77,7 @@ class StorageNode {
   std::mutex mutex_;  // serializes Serve(); confined to this class
   Column slice_;      // the node's private data; engine_ reads through it
   std::unique_ptr<SelectEngine> engine_;
+  std::atomic<int64_t> last_deadline_us_{0};
 };
 
 }  // namespace scrack

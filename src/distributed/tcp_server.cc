@@ -1,0 +1,85 @@
+#include "distributed/tcp_server.h"
+
+#include <utility>
+
+namespace scrack {
+
+namespace {
+
+/// Poll granularity of the accept and connection loops: the latency bound
+/// on noticing Stop().
+constexpr int64_t kPollMs = 100;
+
+/// Budget for finishing a frame whose first byte has arrived, and for
+/// writing a response. Bounds how long a mid-frame stall (a chaos
+/// truncation that keeps the connection open) can hold a drain.
+constexpr int64_t kFrameMs = 5000;
+
+}  // namespace
+
+Status TcpNodeServer::Start(StorageNode* node, uint16_t port) {
+  if (node == nullptr) {
+    return Status::InvalidArgument("tcp server: null storage node");
+  }
+  if (running_) {
+    return Status::FailedPrecondition("tcp server: already running");
+  }
+  SCRACK_RETURN_NOT_OK(net::Listen(port, &listener_));
+  SCRACK_RETURN_NOT_OK(net::BoundPort(listener_, &port_));
+  node_ = node;
+  stop_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void TcpNodeServer::Stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  accept_thread_.join();
+  // Joining the accept thread first makes conn_threads_ safe to read: only
+  // the accept thread ever grows it.
+  for (std::thread& thread : conn_threads_) thread.join();
+  conn_threads_.clear();
+  listener_.Close();
+  running_ = false;
+}
+
+void TcpNodeServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    net::Socket socket;
+    const Status status = net::Accept(listener_, kPollMs, &socket);
+    if (!status.ok()) continue;  // poll tick or transient accept failure
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conn_threads_.emplace_back(
+        [this, sock = std::move(socket)]() mutable {
+          ConnLoop(std::move(sock));
+        });
+  }
+}
+
+void TcpNodeServer::ConnLoop(net::Socket socket) {
+  std::vector<uint8_t> request;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool readable = false;
+    if (!net::PollReadable(socket, kPollMs, &readable).ok()) return;
+    if (!readable) continue;  // poll tick; re-check the stop flag
+    request.clear();
+    const Status received = net::RecvFrame(socket, &request, kFrameMs);
+    if (!received.ok()) {
+      // Clean disconnect (NotFound) just ends the connection; anything
+      // else — mid-frame EOF, oversized or garbage length prefix, read
+      // timeout — is a frame error. Either way only this connection dies.
+      if (received.code() != StatusCode::kNotFound) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    std::vector<uint8_t> response;
+    node_->Serve(request, &response);
+    if (!net::SendFrame(socket, response, kFrameMs).ok()) return;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace scrack

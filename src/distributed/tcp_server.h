@@ -1,0 +1,83 @@
+// TcpNodeServer: serves one StorageNode over TCP.
+//
+// The reusable server core shared by the `scrack_node` binary and the
+// self-hosted TCP mode of `scrack_serve --dist`: an accept-loop thread plus
+// one thread per connection, each running RecvFrame -> StorageNode::Serve
+// -> SendFrame until the peer disconnects. Framing mirrors the client side
+// (socket.h): u32 length prefix, oversized frames rejected before
+// allocation, a mid-frame EOF or corrupt prefix closes only that
+// connection — the node itself is untouched, which is what lets a
+// ChaosProxy mangle traffic without ever wedging the server.
+//
+// Stop() is a clean drain: the accept loop stops admitting connections,
+// per-connection threads finish their in-flight request (frames in
+// progress are bounded by a read deadline) and exit at the next poll tick,
+// and Stop() joins them all before returning. Start() may be called again
+// afterwards — on the same port, thanks to SO_REUSEADDR — which is how the
+// serving harness revives a "crashed" node.
+//
+// Concurrency: no mutex. The stop flag and counters are atomics; the
+// connection-thread vector is written only by the accept thread and read
+// by Stop() strictly after joining it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "distributed/socket.h"
+#include "distributed/storage_node.h"
+#include "util/status.h"
+
+namespace scrack {
+
+class TcpNodeServer {
+ public:
+  TcpNodeServer() = default;
+  ~TcpNodeServer() { Stop(); }
+  TcpNodeServer(const TcpNodeServer&) = delete;
+  TcpNodeServer& operator=(const TcpNodeServer&) = delete;
+
+  /// Binds `port` (0 = kernel-assigned; see port()) and starts accepting.
+  /// `node` must outlive the server; it is not owned.
+  Status Start(StorageNode* node, uint16_t port);
+
+  /// The bound port, valid after a successful Start.
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, drains in-flight requests, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  int64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  /// Connections dropped on a malformed, truncated, or oversized frame.
+  int64_t frame_errors() const {
+    return frame_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnLoop(net::Socket socket);
+
+  StorageNode* node_ = nullptr;
+  net::Socket listener_;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> conn_threads_;  // accept-thread-owned until join
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> frame_errors_{0};
+};
+
+}  // namespace scrack

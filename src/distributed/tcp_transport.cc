@@ -1,0 +1,171 @@
+#include "distributed/tcp_transport.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace scrack {
+
+namespace {
+
+Status AnnotateNode(const Status& status, int node) {
+  return Status::FromCode(status.code(), "storage node " +
+                                             std::to_string(node) + ": " +
+                                             status.message());
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::vector<TcpEndpoint> endpoints,
+                           TcpTransportOptions options)
+    : endpoints_(std::move(endpoints)), options_(options) {
+  conns_.reserve(endpoints_.size());
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    auto conn = std::make_unique<Conn>();
+    // Per-node jitter streams: deterministic, but no two nodes back off in
+    // lockstep.
+    conn->jitter.Seed(options_.jitter_seed + i * 0x9E3779B97F4A7C15ULL);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+int64_t TcpTransport::RemainingMs(const Timer& timer) const {
+  if (options_.call_timeout_ms <= 0) return 0;  // 0 = wait forever downstream
+  const int64_t elapsed_ms = timer.ElapsedNanos() / 1000000;
+  if (elapsed_ms >= options_.call_timeout_ms) return -1;  // expired
+  return options_.call_timeout_ms - elapsed_ms;
+}
+
+void TcpTransport::SleepBackoff(Conn* conn, int attempt,
+                                const Timer& timer) const {
+  int64_t delay = options_.backoff_base_ms;
+  for (int i = 0; i < attempt && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.backoff_max_ms) delay = options_.backoff_max_ms;
+  if (delay <= 0) return;
+  // Jitter into [delay/2, delay]: enough spread to de-synchronize a fleet,
+  // deterministic under the seed so tests replay the exact schedule.
+  delay = delay / 2 +
+          static_cast<int64_t>(conn->jitter.Uniform(
+              static_cast<uint64_t>(delay - delay / 2) + 1));
+  const int64_t budget = RemainingMs(timer);
+  if (budget == -1) return;  // deadline already spent; let the caller see it
+  if (budget > 0 && delay > budget) delay = budget;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+Status TcpTransport::Call(int node, const std::vector<uint8_t>& request,
+                          std::vector<uint8_t>* response) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument("transport: node index out of range");
+  }
+  if (response == nullptr) {
+    return Status::InvalidArgument("transport: null response buffer");
+  }
+  Conn& conn = *conns_[static_cast<size_t>(node)];
+  const TcpEndpoint& endpoint = endpoints_[static_cast<size_t>(node)];
+
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  Timer timer;
+  bool resend = false;  // a previous attempt in this Call failed mid-send
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    int64_t budget = RemainingMs(timer);
+    if (budget == -1) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      conn.socket.Close();
+      return AnnotateNode(
+          Status::DeadlineExceeded("call deadline expired"), node);
+    }
+
+    if (!conn.socket.valid()) {
+      Status status =
+          net::Connect(endpoint.host, endpoint.port, budget, &conn.socket);
+      if (!status.ok()) {
+        conn.socket.Close();
+        if (net::IsTimeout(status)) {
+          // The whole call budget went into this connect; no attempt left.
+          timeouts_.fetch_add(1, std::memory_order_relaxed);
+          return AnnotateNode(status, node);
+        }
+        if (attempt + 1 >= options_.max_attempts) {
+          return AnnotateNode(status, node);
+        }
+        SleepBackoff(&conn, attempt, timer);
+        continue;
+      }
+      if (conn.ever_connected) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        // A resend only happens on a freshly established connection, so
+        // this ordering keeps retries <= reconnects an invariant, not a
+        // coincidence.
+        if (resend) {
+          retries_.fetch_add(1, std::memory_order_relaxed);
+          resend = false;
+        }
+      } else {
+        conn.ever_connected = true;
+      }
+    }
+
+    budget = RemainingMs(timer);
+    if (budget == -1) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      conn.socket.Close();
+      return AnnotateNode(
+          Status::DeadlineExceeded("call deadline expired"), node);
+    }
+    Status status = net::SendFrame(conn.socket, request, budget);
+    if (!status.ok()) {
+      conn.socket.Close();
+      if (net::IsTimeout(status)) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return AnnotateNode(status, node);
+      }
+      // Safe-retry zone: the send failed before the full frame reached the
+      // kernel, so the node can never assemble this request — a partial
+      // frame dies as mid-frame EOF on its side. Reconnect and resend.
+      if (attempt + 1 >= options_.max_attempts) {
+        return AnnotateNode(status, node);
+      }
+      resend = true;
+      SleepBackoff(&conn, attempt, timer);
+      continue;
+    }
+
+    budget = RemainingMs(timer);
+    if (budget == -1) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      conn.socket.Close();
+      return AnnotateNode(
+          Status::DeadlineExceeded("response deadline expired"), node);
+    }
+    status = net::RecvFrame(conn.socket, response, budget,
+                            options_.max_frame_bytes);
+    if (!status.ok()) {
+      // Ambiguous zone: the full request frame was delivered, so the node
+      // may have executed it. Never resend from here — surface the failure
+      // and let the coordinator's read-retry / write-once policy decide.
+      conn.socket.Close();
+      if (net::IsTimeout(status)) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return AnnotateNode(status, node);
+    }
+    return Status::OK();
+  }
+  return AnnotateNode(Status::Internal("unreachable after " +
+                                       std::to_string(options_.max_attempts) +
+                                       " attempts"),
+                      node);
+}
+
+TransportCounters TcpTransport::counters() const {
+  TransportCounters counters;
+  counters.timeouts = timeouts_.load(std::memory_order_relaxed);
+  counters.reconnects = reconnects_.load(std::memory_order_relaxed);
+  counters.retries = retries_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+}  // namespace scrack

@@ -1,0 +1,110 @@
+// TcpTransport: the real-network Transport — one TCP connection per node.
+//
+// Each Call frames the encoded wire::Request as u32 length + bytes over the
+// node's connection (socket.h), waits for the response frame, and hands the
+// bytes back to the coordinator — which cannot tell it apart from the
+// in-process transport, exactly as the Transport contract promises.
+//
+// Robustness policy, layered here so neither the coordinator nor the node
+// changes:
+//
+//   - Per-call deadline: every Call is bounded by `call_timeout_ms` end to
+//     end (connect + send + recv). Expiry returns kDeadlineExceeded and
+//     counts a timeout; it never blocks past the budget.
+//   - Bounded reconnect with exponential backoff + deterministic seeded
+//     jitter: a broken connection is re-established at most
+//     `max_attempts` times per Call, sleeping base*2^attempt (capped,
+//     jittered by a per-node Rng seeded from `jitter_seed`) between
+//     attempts — reproducible in tests, thundering-herd-safe in a fleet.
+//   - Ambiguous-write detection: a failure is retried inside the Call ONLY
+//     when it provably precedes full-frame delivery — a connect failure, or
+//     a send error partway through the frame (the node can never assemble a
+//     partial frame; mid-frame EOF just closes its connection). Once the
+//     full request frame has been handed to the kernel, any failure is
+//     ambiguous (the node may have executed the request), so Call returns
+//     non-OK immediately and the coordinator's existing policy decides:
+//     reads retry via CallNode, writes surface the error (PR 9's rule).
+//
+// Concurrency: a per-node mutex serializes same-node calls (the contract
+// explicitly blesses this); different nodes proceed in parallel. The mutex
+// is confined to this class.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "distributed/socket.h"
+#include "distributed/transport.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace scrack {
+
+/// One storage node's address.
+struct TcpEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// End-to-end budget of one Call in milliseconds (connect + send + recv).
+  /// <= 0 waits forever — tests only; production keeps a real bound.
+  int64_t call_timeout_ms = 2000;
+
+  /// Connection attempts per Call before giving up (>= 1).
+  int max_attempts = 3;
+
+  /// Backoff between attempts: base * 2^attempt ms, capped at `max`, then
+  /// jittered to [delay/2, delay] by the per-node seeded Rng.
+  int64_t backoff_base_ms = 5;
+  int64_t backoff_max_ms = 100;
+
+  /// Seed of the backoff jitter (per-node streams derive from it), so a
+  /// test run's reconnect schedule is reproducible.
+  uint64_t jitter_seed = 42;
+
+  /// Response frames above this are rejected before allocation.
+  size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+};
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(std::vector<TcpEndpoint> endpoints,
+               TcpTransportOptions options);
+
+  int num_nodes() const override {
+    return static_cast<int>(endpoints_.size());
+  }
+
+  Status Call(int node, const std::vector<uint8_t>& request,
+              std::vector<uint8_t>* response) override;
+
+  TransportCounters counters() const override;
+
+ private:
+  /// Per-node connection state, guarded by its own mutex so same-node calls
+  /// serialize while different nodes fan out in parallel.
+  struct Conn {
+    std::mutex mutex;
+    net::Socket socket;
+    bool ever_connected = false;
+    Rng jitter;
+  };
+
+  int64_t RemainingMs(const Timer& timer) const;
+  void SleepBackoff(Conn* conn, int attempt, const Timer& timer) const;
+
+  const std::vector<TcpEndpoint> endpoints_;
+  const TcpTransportOptions options_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<int64_t> timeouts_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> retries_{0};
+};
+
+}  // namespace scrack

@@ -24,10 +24,11 @@
 //   - Node ids are dense: 0 <= node < num_nodes(), fixed for the lifetime
 //     of the transport. Membership changes are a follow-up.
 //
-// Socket follow-up (documented, not implemented): a TCP transport frames
-// each message as u32 length + bytes, one connection per node with
-// reconnect-on-error; the wire schema already versions itself, so mixed
-// coordinator/node builds fail clean with "unsupported protocol version".
+// Two implementations ship: the in-process transport (inproc_transport.h,
+// hermetic CI) and the TCP transport (tcp_transport.h: u32 length-prefixed
+// frames, one connection per node with bounded reconnect-on-error). The
+// wire schema versions itself, so mixed coordinator/node builds fail clean
+// with "unsupported protocol version".
 #pragma once
 
 #include <cstdint>
@@ -36,6 +37,19 @@
 #include "util/status.h"
 
 namespace scrack {
+
+/// Connection-robustness counters a transport accumulates across Calls.
+/// The coordinator folds them into EngineStats (transport_timeouts /
+/// transport_reconnects / transport_retries), where the auditor checks
+/// their conservation laws.
+struct TransportCounters {
+  int64_t timeouts = 0;    ///< calls that expired against a per-call deadline
+  int64_t reconnects = 0;  ///< re-establishments beyond each node's first
+                           ///  successful connect
+  int64_t retries = 0;     ///< in-call resends after a provably-safe send
+                           ///  failure (each rides a fresh connection, so
+                           ///  retries <= reconnects always)
+};
 
 class Transport {
  public:
@@ -49,6 +63,10 @@ class Transport {
   /// above for failure semantics and thread safety.
   virtual Status Call(int node, const std::vector<uint8_t>& request,
                       std::vector<uint8_t>* response) = 0;
+
+  /// Snapshot of the robustness counters. Transports without a connection
+  /// concept (in-process) report zeros.
+  virtual TransportCounters counters() const { return TransportCounters{}; }
 };
 
 }  // namespace scrack

@@ -74,12 +74,13 @@ struct Reader {
 
 constexpr uint8_t kMaxMessageType = static_cast<uint8_t>(MessageType::kValidate);
 constexpr uint8_t kMaxOutputMode = static_cast<uint8_t>(OutputMode::kExists);
-constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kInternal);
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
 
 // EngineStats fields in declaration order. Adding a field here (and in the
 // two functions below) changes kStatsFields, which Decode checks — so a
 // sender/receiver mismatch is rejected, not misparsed.
-constexpr uint32_t kStatsFields = 24;
+constexpr uint32_t kStatsFields = 27;
 
 void PutStats(const EngineStats& s, std::vector<uint8_t>* out) {
   PutU32(kStatsFields, out);
@@ -107,6 +108,9 @@ void PutStats(const EngineStats& s, std::vector<uint8_t>* out) {
   PutI64(s.node_failures, out);
   PutI64(s.degraded_queries, out);
   PutI64(s.cluster_nodes, out);
+  PutI64(s.transport_timeouts, out);
+  PutI64(s.transport_reconnects, out);
+  PutI64(s.transport_retries, out);
 }
 
 Status GetStats(Reader* r, EngineStats* s) {
@@ -139,6 +143,9 @@ Status GetStats(Reader* r, EngineStats* s) {
   SCRACK_RETURN_NOT_OK(r->GetI64(&s->node_failures));
   SCRACK_RETURN_NOT_OK(r->GetI64(&s->degraded_queries));
   SCRACK_RETURN_NOT_OK(r->GetI64(&s->cluster_nodes));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->transport_timeouts));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->transport_reconnects));
+  SCRACK_RETURN_NOT_OK(r->GetI64(&s->transport_retries));
   return Status::OK();
 }
 
@@ -226,6 +233,7 @@ Status CheckHeader(Reader* r, uint8_t* type) {
 void Encode(const Request& request, std::vector<uint8_t>* out) {
   PutU32(kProtocolVersion, out);
   PutU8(static_cast<uint8_t>(request.type), out);
+  PutI64(request.deadline_us, out);
   switch (request.type) {
     case MessageType::kQuery:
       PutQuery(request.query, out);
@@ -253,6 +261,10 @@ Status Decode(const std::vector<uint8_t>& buffer, Request* out) {
   }
   *out = Request{};
   out->type = static_cast<MessageType>(type);
+  SCRACK_RETURN_NOT_OK(r.GetI64(&out->deadline_us));
+  if (out->deadline_us < 0) {
+    return Status::InvalidArgument("wire: negative deadline hint");
+  }
   switch (out->type) {
     case MessageType::kQuery:
       SCRACK_RETURN_NOT_OK(GetQuery(&r, &out->query));

@@ -33,7 +33,8 @@ namespace scrack {
 namespace wire {
 
 /// Bump on any layout change; Decode rejects other versions outright.
-constexpr uint32_t kProtocolVersion = 1;
+/// v2: Request carries a per-hop deadline_us hint after the type byte.
+constexpr uint32_t kProtocolVersion = 2;
 
 /// What a Request asks the storage node to do.
 enum class MessageType : uint8_t {
@@ -48,6 +49,11 @@ enum class MessageType : uint8_t {
 /// One coordinator -> node message.
 struct Request {
   MessageType type = MessageType::kQuery;
+  /// Per-hop deadline hint in microseconds (0 = none). Advisory, like
+  /// EngineConfig::deadline_us: the node records it for SLO observability
+  /// but never cuts work short against the wall clock — answers stay
+  /// schedule-independent. Present on every message type since protocol v2.
+  int64_t deadline_us = 0;
   Query query;                ///< kQuery only
   std::vector<Query> batch;   ///< kBatch only
   Value update_value = 0;     ///< kStageInsert / kStageDelete only

@@ -122,8 +122,11 @@ Status BuildPartitioned(const EngineSpec& node, const Column* base,
     return BuildEngine(inner, part_base, part_cfg, o);
   };
   if (is_coord) {
+    // The SLO deadline doubles as the per-hop hint stamped on every
+    // wire::Request, so nodes can observe what the client is budgeting.
     return CoordinatorEngine::Create(base, static_cast<int>(count),
-                                     make_inner, inner_spec, out);
+                                     make_inner, inner_spec, out,
+                                     static_cast<int64_t>(config.deadline_us));
   }
   return ShardedEngine::Create(base, static_cast<int>(count), make_inner,
                                inner_spec, out);

@@ -142,6 +142,12 @@ void Record(const RunDecl& decl, const RunResult& run, FigureResult* result) {
       static_cast<double>(run.final_stats.degraded_queries);
   metrics[p + ".cluster_nodes"] =
       static_cast<double>(run.final_stats.cluster_nodes);
+  metrics[p + ".transport_timeouts"] =
+      static_cast<double>(run.final_stats.transport_timeouts);
+  metrics[p + ".transport_reconnects"] =
+      static_cast<double>(run.final_stats.transport_reconnects);
+  metrics[p + ".transport_retries"] =
+      static_cast<double>(run.final_stats.transport_retries);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kNotFound = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Value-semantics error holder. Cheap to move; the OK status allocates
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   /// Rebuilds a status from its parts — for statuses that crossed a
   /// serialization boundary (see distributed/wire.h). FromCode(kOk, ...)

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <mutex>  // mutex-confinement
 #include <random>
+#include <sys/socket.h>  // socket-confinement
 
 #include "../util/common.h"  // include-hygiene
 
@@ -37,4 +38,10 @@ int UseAdHocLock() {
   static std::mutex ad_hoc_lock;  // mutex-confinement
   std::lock_guard<std::mutex> guard(ad_hoc_lock);  // mutex-confinement
   return 0;
+}
+
+int UseRawSocket() {
+  const int fd = ::socket(2, 1, 0);            // socket-confinement
+  (void)setsockopt(fd, 0, 0, nullptr, 0);      // socket-confinement
+  return ::connect(fd, nullptr, 0);            // socket-confinement
 }

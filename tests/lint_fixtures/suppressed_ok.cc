@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <mutex>  // lint:allow(mutex-confinement)
 #include <random>
+#include <sys/socket.h>  // lint:allow(socket-confinement)
 
 #include "../util/common.h"
 
@@ -41,4 +42,11 @@ int UseAdHocLock() {
   // lint:allow(mutex-confinement)
   std::lock_guard<std::mutex> guard(ad_hoc_lock);
   return 0;
+}
+
+int UseRawSocket() {
+  const int fd = ::socket(2, 1, 0);  // lint:allow(socket-confinement)
+  // lint:allow(socket-confinement)
+  (void)setsockopt(fd, 0, 0, nullptr, 0);
+  return ::connect(fd, nullptr, 0);  // lint:allow(*)
 }

@@ -1,0 +1,486 @@
+// Tests for the real TCP transport stack: stream framing (split, coalesced,
+// mid-frame EOF, oversized-prefix rejection, recv deadlines), the
+// TcpTransport robustness policy (per-call deadline, reconnect + backoff,
+// ambiguous-write detection, counter laws), bit-parity of coord(K,X) over
+// TCP against the in-process transport and sharded(K,X), degraded reads and
+// loud write failures while a node server is down, recovery after restart
+// on the same port, and the per-hop deadline hint reaching storage nodes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "distributed/coordinator_engine.h"
+#include "distributed/socket.h"
+#include "distributed/storage_node.h"
+#include "distributed/tcp_server.h"
+#include "distributed/tcp_transport.h"
+#include "distributed/wire.h"
+#include "harness/engine_factory.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace scrack {
+namespace {
+
+using testing::DuplicateHeavyColumn;
+using testing::RandomRange;
+using testing::ReferenceAnswer;
+using testing::ReferenceSelect;
+
+constexpr uint64_t kTestSeed = 17;  // TestConfig parity with distributed_test
+constexpr uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+EngineConfig TestConfig() {
+  EngineConfig config;
+  config.seed = kTestSeed;
+  return config;
+}
+
+// ---------------------------------------------------------------- framing --
+
+/// A connected loopback pair: `server` is the accepted end.
+struct SocketPair {
+  net::Socket listener;
+  net::Socket server;
+  net::Socket client;
+};
+
+void MakeSocketPair(SocketPair* out) {
+  ASSERT_TRUE(net::Listen(0, &out->listener).ok());
+  uint16_t port = 0;
+  ASSERT_TRUE(net::BoundPort(out->listener, &port).ok());
+  ASSERT_TRUE(net::Connect("127.0.0.1", port, 2000, &out->client).ok());
+  ASSERT_TRUE(net::Accept(out->listener, 2000, &out->server).ok());
+}
+
+std::vector<uint8_t> FrameBytes(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> raw;
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  raw.push_back(static_cast<uint8_t>(size));
+  raw.push_back(static_cast<uint8_t>(size >> 8));
+  raw.push_back(static_cast<uint8_t>(size >> 16));
+  raw.push_back(static_cast<uint8_t>(size >> 24));
+  raw.insert(raw.end(), payload.begin(), payload.end());
+  return raw;
+}
+
+TEST(FramingTest, FrameSplitIntoSingleByteWritesReassembles) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5, 250, 251, 252};
+  const std::vector<uint8_t> raw = FrameBytes(payload);
+  // Worst-case stream fragmentation: every byte its own segment. The
+  // receiver's partial-read loop must reassemble regardless.
+  for (const uint8_t byte : raw) {
+    ASSERT_TRUE(net::SendAll(pair.client, &byte, 1, 1000).ok());
+  }
+  std::vector<uint8_t> received;
+  ASSERT_TRUE(net::RecvFrame(pair.server, &received, 2000).ok());
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FramingTest, CoalescedFramesAreSplitBackApart) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  const std::vector<uint8_t> first = {9, 8, 7};
+  const std::vector<uint8_t> second = {100, 101, 102, 103};
+  std::vector<uint8_t> wire = FrameBytes(first);
+  const std::vector<uint8_t> tail = FrameBytes(second);
+  wire.insert(wire.end(), tail.begin(), tail.end());
+  // One kernel write carrying two frames: the opposite fragmentation case.
+  ASSERT_TRUE(net::SendAll(pair.client, wire.data(), wire.size(), 1000).ok());
+  std::vector<uint8_t> received;
+  ASSERT_TRUE(net::RecvFrame(pair.server, &received, 2000).ok());
+  EXPECT_EQ(received, first);
+  ASSERT_TRUE(net::RecvFrame(pair.server, &received, 2000).ok());
+  EXPECT_EQ(received, second);
+}
+
+TEST(FramingTest, MidFrameEofIsAnErrorDistinctFromCleanClose) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  // Prefix promises 100 bytes; only 10 arrive before the peer dies.
+  std::vector<uint8_t> truncated = FrameBytes(std::vector<uint8_t>(100, 7));
+  truncated.resize(4 + 10);
+  ASSERT_TRUE(net::SendAll(pair.client, truncated.data(), truncated.size(),
+                           1000)
+                  .ok());
+  pair.client.Close();
+  std::vector<uint8_t> received;
+  const Status status = net::RecvFrame(pair.server, &received, 2000);
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  EXPECT_FALSE(net::IsTimeout(status));
+}
+
+TEST(FramingTest, CleanCloseBetweenFramesIsNotFound) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  pair.client.Close();
+  std::vector<uint8_t> received;
+  const Status status = net::RecvFrame(pair.server, &received, 2000);
+  // Servers use this distinction to tell a finished peer (NotFound, clean
+  // end of conversation) from a truncation (Internal, counts a frame error).
+  EXPECT_EQ(status.code(), StatusCode::kNotFound) << status.ToString();
+}
+
+TEST(FramingTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  const std::vector<uint8_t> prefix = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(net::SendAll(pair.client, prefix.data(), prefix.size(),
+                           1000)
+                  .ok());
+  std::vector<uint8_t> received;
+  const Status status =
+      net::RecvFrame(pair.server, &received, 2000, /*max_frame_bytes=*/1024);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+  // The payload buffer must never have been sized to the hostile prefix.
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(FramingTest, RecvDeadlineExpiresInsteadOfBlocking) {
+  SocketPair pair;
+  MakeSocketPair(&pair);
+  Timer timer;
+  std::vector<uint8_t> received;
+  const Status status = net::RecvFrame(pair.server, &received, 100);
+  EXPECT_TRUE(net::IsTimeout(status)) << status.ToString();
+  // Generous bound: expiry must track the deadline, not some larger hang.
+  EXPECT_LT(timer.ElapsedNanos() / 1000000, 5000);
+}
+
+// ------------------------------------------------------------ tcp cluster --
+
+/// K in-process StorageNodes, each behind its own TcpNodeServer on an
+/// ephemeral loopback port — the hermetic stand-in for K scrack_node
+/// processes. Node engines are seeded exactly as the factory's
+/// coord/sharded lambda seeds them, which is what makes answers
+/// bit-comparable with `coord(K,inner)` built from the same column.
+struct TcpCluster {
+  std::vector<Value> lowers;
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+  std::vector<std::unique_ptr<TcpNodeServer>> servers;
+  std::vector<TcpEndpoint> endpoints;
+};
+
+void StartCluster(const Column& base, int k, const std::string& inner,
+                  TcpCluster* out) {
+  out->lowers = CoordinatorEngine::ComputeLowers(base, k);
+  ASSERT_EQ(static_cast<int>(out->lowers.size()), k);
+  std::vector<std::vector<Value>> slices =
+      CoordinatorEngine::DealSlices(base, out->lowers);
+  for (int i = 0; i < k; ++i) {
+    EngineConfig config = TestConfig();
+    config.seed = kTestSeed + static_cast<uint64_t>(i) * kGolden;
+    std::unique_ptr<StorageNode> node;
+    ASSERT_TRUE(StorageNode::Create(
+                    Column(std::move(slices[static_cast<size_t>(i)])), i,
+                    [&inner, config](const Column* node_base, int /*index*/,
+                                     std::unique_ptr<SelectEngine>* o) {
+                      return CreateEngine(inner, node_base, config, o);
+                    },
+                    &node)
+                    .ok());
+    auto server = std::make_unique<TcpNodeServer>();
+    ASSERT_TRUE(server->Start(node.get(), 0).ok());
+    out->endpoints.push_back(TcpEndpoint{"127.0.0.1", server->port()});
+    out->nodes.push_back(std::move(node));
+    out->servers.push_back(std::move(server));
+  }
+}
+
+TcpTransportOptions FastOptions() {
+  TcpTransportOptions options;
+  options.call_timeout_ms = 2000;
+  options.max_attempts = 3;
+  options.backoff_base_ms = 1;
+  options.backoff_max_ms = 10;
+  options.jitter_seed = 7;
+  return options;
+}
+
+std::unique_ptr<SelectEngine> CoordOverTcp(const TcpCluster& cluster,
+                                           const TcpTransportOptions& options,
+                                           const std::string& inner, int k,
+                                           int64_t deadline_us = 0) {
+  std::unique_ptr<SelectEngine> coord;
+  const Status status = CoordinatorEngine::CreateOverTransport(
+      cluster.lowers,
+      std::make_unique<TcpTransport>(cluster.endpoints, options), inner, k,
+      &coord, deadline_us);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return coord;
+}
+
+CoordinatorEngine* AsCoordinator(SelectEngine* engine) {
+  auto* coord = dynamic_cast<CoordinatorEngine*>(engine);
+  EXPECT_NE(coord, nullptr);
+  return coord;
+}
+
+// -------------------------------------------------------------- transport --
+
+TEST(TcpTransportTest, StatsCallRoundTripsThroughServer) {
+  const Column base = Column::UniquePermutation(256, 1);
+  TcpCluster cluster;
+  StartCluster(base, 1, "crack", &cluster);
+  TcpTransport transport(cluster.endpoints, FastOptions());
+
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  std::vector<uint8_t> raw;
+  ASSERT_TRUE(transport.Call(0, encoded, &raw).ok());
+  wire::Response response;
+  ASSERT_TRUE(wire::Decode(raw, &response).ok());
+  EXPECT_EQ(response.status_code, StatusCode::kOk);
+  EXPECT_EQ(response.stats.queries, 0);
+
+  const TransportCounters counters = transport.counters();
+  EXPECT_EQ(counters.timeouts, 0);
+  EXPECT_EQ(counters.reconnects, 0);
+  EXPECT_EQ(counters.retries, 0);
+}
+
+TEST(TcpTransportTest, CallDeadlineBoundsASilentPeer) {
+  // A listener that accepts and then never answers: the recv leg must
+  // expire against the call budget, not hang.
+  net::Socket listener;
+  ASSERT_TRUE(net::Listen(0, &listener).ok());
+  uint16_t port = 0;
+  ASSERT_TRUE(net::BoundPort(listener, &port).ok());
+  net::Socket accepted;
+  std::thread acceptor(
+      [&] { (void)net::Accept(listener, 5000, &accepted); });
+
+  TcpTransportOptions options = FastOptions();
+  options.call_timeout_ms = 200;
+  TcpTransport transport({TcpEndpoint{"127.0.0.1", port}}, options);
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  Timer timer;
+  std::vector<uint8_t> raw;
+  const Status status = transport.Call(0, encoded, &raw);
+  EXPECT_TRUE(net::IsTimeout(status)) << status.ToString();
+  EXPECT_LT(timer.ElapsedNanos() / 1000000, 5000);
+  EXPECT_EQ(transport.counters().timeouts, 1);
+  // A post-send failure is ambiguous: it must never have been resent.
+  EXPECT_EQ(transport.counters().retries, 0);
+  acceptor.join();
+}
+
+TEST(TcpTransportTest, UnreachableEndpointFailsWithBoundedAttempts) {
+  // Bind-then-close yields a port nobody listens on.
+  uint16_t dead_port = 0;
+  {
+    net::Socket listener;
+    ASSERT_TRUE(net::Listen(0, &listener).ok());
+    ASSERT_TRUE(net::BoundPort(listener, &dead_port).ok());
+  }
+  TcpTransport transport({TcpEndpoint{"127.0.0.1", dead_port}},
+                         FastOptions());
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  std::vector<uint8_t> raw;
+  Timer timer;
+  EXPECT_FALSE(transport.Call(0, encoded, &raw).ok());
+  EXPECT_LT(timer.ElapsedNanos() / 1000000, 5000);
+  // Connect failures before the first success are neither reconnects nor
+  // retries — there was no established connection to lose.
+  EXPECT_EQ(transport.counters().reconnects, 0);
+  EXPECT_EQ(transport.counters().retries, 0);
+}
+
+TEST(TcpTransportTest, OversizedResponseRejectedByFrameLimit) {
+  const Column base = Column::UniquePermutation(256, 2);
+  TcpCluster cluster;
+  StartCluster(base, 1, "crack", &cluster);
+  TcpTransportOptions options = FastOptions();
+  options.max_frame_bytes = 64;  // every stats response is larger than this
+  TcpTransport transport(cluster.endpoints, options);
+
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  std::vector<uint8_t> raw;
+  const Status status = transport.Call(0, encoded, &raw);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
+TEST(TcpTransportTest, ReconnectsAfterServerRestartAndCountsIt) {
+  const Column base = Column::UniquePermutation(256, 3);
+  TcpCluster cluster;
+  StartCluster(base, 1, "crack", &cluster);
+  TcpTransport transport(cluster.endpoints, FastOptions());
+
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> encoded;
+  wire::Encode(request, &encoded);
+  std::vector<uint8_t> raw;
+  ASSERT_TRUE(transport.Call(0, encoded, &raw).ok());
+
+  // Bounce the server on its port; the cached connection is now dead. The
+  // next Call detects the dead socket (send fails or EOF), reconnects, and
+  // answers — at most one counted retry riding the counted reconnect.
+  const uint16_t port = cluster.servers[0]->port();
+  cluster.servers[0]->Stop();
+  ASSERT_TRUE(cluster.servers[0]->Start(cluster.nodes[0].get(), port).ok());
+
+  raw.clear();
+  const Status status = transport.Call(0, encoded, &raw);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  wire::Response response;
+  ASSERT_TRUE(wire::Decode(raw, &response).ok());
+
+  const TransportCounters counters = transport.counters();
+  EXPECT_GE(counters.reconnects, 1);
+  EXPECT_LE(counters.retries, counters.reconnects);  // the conservation law
+}
+
+// ----------------------------------------------------------------- parity --
+
+// The acceptance bar of the PR: coord(K,crack) answers bit-identically
+// whether its nodes sit behind the in-process transport, the TCP transport,
+// or inside sharded(K,crack) — for K in {1, 2, 4}, materialized tuple order
+// included.
+TEST(TcpParityTest, CoordOverTcpMatchesInprocAndShardedBitForBit) {
+  for (const int k : {1, 2, 4}) {
+    const Column base = DuplicateHeavyColumn(2048, 11);
+    TcpCluster cluster;
+    StartCluster(base, k, "crack", &cluster);
+    auto over_tcp = CoordOverTcp(cluster, FastOptions(), "crack", k);
+    ASSERT_NE(over_tcp, nullptr);
+    auto inproc = CreateEngineOrDie("coord(" + std::to_string(k) + ",crack)",
+                                    &base, TestConfig());
+    auto sharded = CreateEngineOrDie(
+        "sharded(" + std::to_string(k) + ",crack)", &base, TestConfig());
+    Rng rng(600 + static_cast<uint64_t>(k));
+    for (int i = 0; i < 40; ++i) {
+      const auto range = RandomRange(&rng, 600);
+      const std::vector<Value> tcp_rows =
+          over_tcp->SelectOrDie(range.first, range.second).Collect();
+      EXPECT_EQ(tcp_rows,
+                inproc->SelectOrDie(range.first, range.second).Collect())
+          << "K=" << k << " [" << range.first << "," << range.second << ")";
+      EXPECT_EQ(tcp_rows,
+                sharded->SelectOrDie(range.first, range.second).Collect())
+          << "K=" << k << " [" << range.first << "," << range.second << ")";
+    }
+    EXPECT_TRUE(over_tcp->Validate().ok());
+  }
+}
+
+TEST(TcpParityTest, AggregatesAndUpdatesMatchReferenceOverTcp) {
+  const Column base = Column::UniquePermutation(512, 19);
+  TcpCluster cluster;
+  StartCluster(base, 2, "crack", &cluster);
+  auto engine = CoordOverTcp(cluster, FastOptions(), "crack", 2);
+  ASSERT_NE(engine, nullptr);
+
+  ASSERT_TRUE(engine->StageInsert(1000).ok());
+  ASSERT_TRUE(engine->StageInsert(-100).ok());
+  ASSERT_TRUE(engine->StageDelete(200).ok());
+  EXPECT_EQ(engine->SelectOrDie(999, 1001).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(-101, -99).count(), 1);
+  EXPECT_EQ(engine->SelectOrDie(200, 201).count(), 0);
+  EXPECT_EQ(engine->SelectOrDie(-200, 2000).count(), 512 + 2 - 1);
+
+  Query query;
+  query.low = 100;
+  query.high = 300;
+  query.mode = OutputMode::kSum;
+  QueryOutput sum;
+  ASSERT_TRUE(engine->Execute(query, &sum).ok());
+  const ReferenceAnswer expect = ReferenceSelect(base.values(), 100, 300);
+  // 200 was deleted out of [100, 300).
+  EXPECT_EQ(sum.sum, expect.sum - 200);
+  EXPECT_TRUE(engine->Validate().ok());
+}
+
+// --------------------------------------------------------------- failures --
+
+TEST(TcpFailureTest, StoppedServerDegradesReadsFailsWritesThenRecovers) {
+  const Column base = Column::UniquePermutation(1024, 29);
+  TcpCluster cluster;
+  StartCluster(base, 2, "crack", &cluster);
+  TcpTransportOptions options = FastOptions();
+  options.call_timeout_ms = 500;
+  auto engine = CoordOverTcp(cluster, options, "crack", 2);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_EQ(engine->SelectOrDie(-1, 2048).count(), 1024);
+
+  // Take node 0 (bottom of the value range) off the network.
+  const uint16_t port = cluster.servers[0]->port();
+  cluster.servers[0]->Stop();
+
+  Query query;
+  query.low = -1;
+  query.high = 2048;
+  query.mode = OutputMode::kMaterialize;
+  QueryOutput degraded;
+  const Status read = engine->Execute(query, &degraded);
+  ASSERT_TRUE(read.ok()) << read.ToString();
+  EXPECT_EQ(degraded.degraded_nodes, 1);
+  EXPECT_LT(degraded.result.count(), 1024);
+
+  // Writes routed to the dead node fail loudly instead of dropping data.
+  EXPECT_FALSE(engine->StageInsert(-5).ok());
+
+  EngineStats stats = engine->CurrentStats();
+  EXPECT_GT(stats.node_failures, 0);
+  EXPECT_GE(stats.degraded_queries, 1);
+
+  // Restart on the same port (SO_REUSEADDR) and verify complete answers.
+  ASSERT_TRUE(cluster.servers[0]->Start(cluster.nodes[0].get(), port).ok());
+  QueryOutput recovered;
+  ASSERT_TRUE(engine->Execute(query, &recovered).ok());
+  EXPECT_EQ(recovered.degraded_nodes, 0);
+  EXPECT_EQ(recovered.result.count(), 1024);
+  EXPECT_TRUE(engine->Validate().ok());
+
+  // Counter conservation surfaced through the stats plane: a resend only
+  // ever rides a fresh connection, and every counter is nonnegative.
+  stats = engine->CurrentStats();
+  EXPECT_GE(stats.transport_reconnects, 1);
+  EXPECT_LE(stats.transport_retries, stats.transport_reconnects);
+  EXPECT_GE(stats.transport_timeouts, 0);
+
+  // The stats plane mirrors the transport's own counters exactly.
+  auto* coord = AsCoordinator(engine.get());
+  const TransportCounters counters = coord->transport()->counters();
+  EXPECT_EQ(stats.transport_timeouts, counters.timeouts);
+  EXPECT_EQ(stats.transport_reconnects, counters.reconnects);
+  EXPECT_EQ(stats.transport_retries, counters.retries);
+}
+
+// ----------------------------------------------------------- deadline hint --
+
+TEST(TcpDeadlineTest, PerHopDeadlineHintReachesStorageNodes) {
+  const Column base = Column::UniquePermutation(256, 31);
+  TcpCluster cluster;
+  StartCluster(base, 2, "crack", &cluster);
+  auto engine =
+      CoordOverTcp(cluster, FastOptions(), "crack", 2, /*deadline_us=*/123456);
+  ASSERT_NE(engine, nullptr);
+  // CreateOverTransport primes every node with a kStats request, and since
+  // wire v2 every request carries the hint — both nodes have observed it.
+  EXPECT_EQ(cluster.nodes[0]->last_deadline_us(), 123456);
+  EXPECT_EQ(cluster.nodes[1]->last_deadline_us(), 123456);
+  EXPECT_EQ(engine->SelectOrDie(10, 20).count(), 10);
+}
+
+}  // namespace
+}  // namespace scrack

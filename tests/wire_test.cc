@@ -44,6 +44,9 @@ void ExpectStatsEqual(const EngineStats& a, const EngineStats& b) {
   EXPECT_EQ(a.node_failures, b.node_failures);
   EXPECT_EQ(a.degraded_queries, b.degraded_queries);
   EXPECT_EQ(a.cluster_nodes, b.cluster_nodes);
+  EXPECT_EQ(a.transport_timeouts, b.transport_timeouts);
+  EXPECT_EQ(a.transport_reconnects, b.transport_reconnects);
+  EXPECT_EQ(a.transport_retries, b.transport_retries);
 }
 
 EngineStats DistinctStats() {
@@ -73,6 +76,9 @@ EngineStats DistinctStats() {
   s.node_failures = ++v;
   s.degraded_queries = ++v;
   s.cluster_nodes = ++v;
+  s.transport_timeouts = ++v;
+  s.transport_reconnects = ++v;
+  s.transport_retries = ++v;
   return s;
 }
 
@@ -270,6 +276,64 @@ TEST(WireRejectionTest, WrongVersionFails) {
   EXPECT_NE(status.message().find("version"), std::string::npos);
 }
 
+TEST(WireRequestTest, DeadlineHintRoundTrips) {
+  wire::Request request;
+  request.type = wire::MessageType::kStageInsert;
+  request.update_value = 77;
+  request.deadline_us = 1500000;  // 1.5 s per-hop budget
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  wire::Request decoded;
+  ASSERT_TRUE(wire::Decode(buffer, &decoded).ok());
+  EXPECT_EQ(decoded.deadline_us, 1500000);
+
+  // Zero (the default) means "no deadline" and must survive too.
+  request.deadline_us = 0;
+  buffer.clear();
+  wire::Encode(request, &buffer);
+  ASSERT_TRUE(wire::Decode(buffer, &decoded).ok());
+  EXPECT_EQ(decoded.deadline_us, 0);
+}
+
+TEST(WireRejectionTest, NegativeDeadlineFails) {
+  wire::Request request;
+  request.deadline_us = 12345;
+  std::vector<uint8_t> buffer;
+  wire::Encode(request, &buffer);
+  // The deadline i64 sits right after version(4) + type(1); force the sign
+  // bit of its big end.
+  buffer[4 + 1 + 7] = 0x80;
+  wire::Request decoded;
+  const Status status = wire::Decode(buffer, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("deadline"), std::string::npos);
+}
+
+TEST(WireRejectionTest, V1FrameWithoutDeadlineFails) {
+  // Decode-compat: a v1 peer never sends the deadline field. The version
+  // gate must reject the frame outright (with the version message, not a
+  // confusing payload error) rather than misparse the type byte as part
+  // of a deadline.
+  static_assert(wire::kProtocolVersion == 2,
+                "bump this test alongside the protocol version");
+  wire::Request request;
+  request.type = wire::MessageType::kStats;
+  std::vector<uint8_t> v2;
+  wire::Encode(request, &v2);
+  // Rebuild the equivalent v1 frame by hand: version(4)=1, type(1), and
+  // no deadline field between them and the (empty) payload.
+  std::vector<uint8_t> v1;
+  v1.push_back(1);
+  v1.push_back(0);
+  v1.push_back(0);
+  v1.push_back(0);
+  v1.push_back(v2[4]);  // type byte
+  wire::Request decoded;
+  const Status status = wire::Decode(v1, &decoded);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
 TEST(WireRejectionTest, UnknownEnumsFail) {
   wire::Request request;
   std::vector<uint8_t> buffer;
@@ -336,8 +400,9 @@ TEST(WireRejectionTest, HugeCountIsRejectedBeforeAllocation) {
   request.batch = {Query{1, 2, OutputMode::kCount, 1}};
   std::vector<uint8_t> buffer;
   wire::Encode(request, &buffer);
-  // A kBatch message is version(4) + type(1) + u32 count + queries.
-  const size_t count_pos = 4 + 1;
+  // A kBatch message is version(4) + type(1) + deadline(8) + u32 count +
+  // queries.
+  const size_t count_pos = 4 + 1 + 8;
   ASSERT_LT(count_pos + 3, buffer.size());
   buffer[count_pos] = 0xFF;
   buffer[count_pos + 1] = 0xFF;

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Cross-process distributed smoke: scrack_node processes over real TCP.
+
+The in-process suites (tests/tcp_transport_test.cc, scrack_serve --dist
+--transport=tcp) already prove the transport against self-hosted servers;
+this driver proves the last gap — separate OS processes, each regenerating
+its slice from (n, seed, K) with zero data exchange — and the crash story
+no in-process harness can tell: a node SIGKILLed mid-flight, not drained.
+
+Legs, every one gated by exit codes:
+
+  1. Parity: for K in {1, 2, 4}, launch K scrack_node processes on
+     ephemeral ports and run `scrack_serve --dist --nodes=...` against
+     them. The serve binary replays the cold/converged/update phases and
+     exits nonzero unless every phase checksum matches the wire-free
+     sharded(K,...) reference built in-process from the same (n, seed) —
+     cross-process answers are bit-identical or this leg fails. Nodes are
+     then SIGTERMed and must drain cleanly (exit 0, "drained" on stdout).
+
+  2. Kill: a fresh K=4 cluster, one node SIGKILLed (no drain, no
+     goodbye), then `scrack_serve --dist --expect-dead=V`: reads must
+     answer as degraded partials (exactly one degraded node), the query
+     stream must keep flowing, and a write routed to the dead node must
+     fail loudly. A SIGKILL kills the staged updates with the process, so
+     recovery is a fresh cluster: all survivors are SIGTERMed, all K
+     nodes relaunched, and the full parity leg reruns — exact parity
+     after restart, not just liveness.
+
+Scale is the serve binary's --quick (n=200000, seed 42), so the whole
+smoke stays CI-sized. Run from anywhere:
+
+  python3 tools/dist_smoke.py --build-dir build
+"""
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import time
+
+N = 200 * 1000  # scrack_serve --quick scale; nodes must match exactly
+SEED = 42
+STEP_TIMEOUT_S = 300
+
+
+class Cluster:
+    """K scrack_node processes on ephemeral ports."""
+
+    def __init__(self, node_bin, k):
+        self.procs = []
+        self.ports = []
+        for i in range(k):
+            proc = subprocess.Popen(
+                [node_bin, f"--node={i}", f"--nodes={k}", f"--n={N}",
+                 f"--seed={SEED}", "--port=0"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            self.procs.append(proc)
+        for i, proc in enumerate(self.procs):
+            line = proc.stdout.readline()  # blocks until the node serves
+            if "listening on port" not in line:
+                raise RuntimeError(f"node {i} failed to start: {line!r}")
+            self.ports.append(int(line.split("port")[1].split()[0]))
+
+    def endpoints(self):
+        return ",".join(f"127.0.0.1:{p}" for p in self.ports)
+
+    def sigkill(self, index):
+        self.procs[index].kill()
+        self.procs[index].wait(timeout=STEP_TIMEOUT_S)
+
+    def shutdown(self, expect_clean=True):
+        """SIGTERM every live node; under expect_clean each must drain."""
+        failures = []
+        for proc in self.procs:
+            if proc.poll() is not None:
+                continue  # already dead (the SIGKILL victim)
+            proc.send_signal(signal.SIGTERM)
+        for i, proc in enumerate(self.procs):
+            try:
+                rc = proc.wait(timeout=STEP_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                failures.append(f"node {i} did not drain on SIGTERM")
+                continue
+            tail = proc.stdout.read()
+            if expect_clean and (rc != 0 or "drained" not in tail):
+                failures.append(
+                    f"node {i} exit {rc}, missing drain line: {tail!r}")
+        return failures
+
+
+def run_serve(serve_bin, extra, label):
+    cmd = [serve_bin, "--dist", "--quick", "--json=none"] + extra
+    print(f"--- {label}: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd, timeout=STEP_TIMEOUT_S)
+    return proc.returncode == 0
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--victim", type=int, default=SEED % 4,
+                        help="node index SIGKILLed in the kill leg")
+    args = parser.parse_args()
+    serve_bin = os.path.join(args.build_dir, "scrack_serve")
+    node_bin = os.path.join(args.build_dir, "scrack_node")
+    for binary in (serve_bin, node_bin):
+        if not os.path.exists(binary):
+            print(f"dist_smoke: missing binary {binary}", flush=True)
+            return 2
+    failures = []
+
+    for k in (1, 2):
+        cluster = Cluster(node_bin, k)
+        if not run_serve(serve_bin, [f"--nodes={cluster.endpoints()}"],
+                         f"parity K={k}"):
+            failures.append(f"parity leg failed at K={k}")
+        failures += cluster.shutdown()
+
+    # The K=4 cluster serves the full parity leg first, so the SIGKILL
+    # lands on a node with cracked state and live traffic history — the
+    # crash we are simulating, not a node that never served a byte.
+    victim = args.victim
+    cluster = Cluster(node_bin, 4)
+    if not run_serve(serve_bin, [f"--nodes={cluster.endpoints()}"],
+                     "parity K=4"):
+        failures.append("parity leg failed at K=4")
+    cluster.sigkill(victim)
+    if not run_serve(serve_bin,
+                     [f"--nodes={cluster.endpoints()}",
+                      f"--expect-dead={victim}"],
+                     f"SIGKILL node {victim}, degraded probe"):
+        failures.append("degraded probe failed after SIGKILL")
+    # The SIGKILLed process took its staged state with it, so recovery is
+    # a full fresh cluster — and the recovered cluster must pass the exact
+    # parity gate again, proving restart restores bit-identical answers.
+    failures += cluster.shutdown(expect_clean=False)
+    time.sleep(0.2)  # let the kernel finish reclaiming the listen ports
+    cluster = Cluster(node_bin, 4)
+    if not run_serve(serve_bin, [f"--nodes={cluster.endpoints()}"],
+                     "parity after restart"):
+        failures.append("post-restart parity leg failed")
+    failures += cluster.shutdown()
+
+    if failures:
+        for failure in failures:
+            print(f"dist_smoke: FAIL: {failure}", flush=True)
+        return 1
+    print("dist_smoke: OK (parity K=1/2/4, SIGKILL degrade, restart parity)",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

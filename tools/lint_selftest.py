@@ -20,6 +20,7 @@ EXPECTED_RULES = (
     "naked-new",
     "mutex-confinement",
     "include-hygiene",
+    "socket-confinement",
 )
 
 

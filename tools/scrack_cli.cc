@@ -248,7 +248,8 @@ class Session {
           "scan_fallback_tuples=%lld swap_budget=%lld "
           "fan_outs=%lld nodes_routed=%lld nodes_pruned=%lld "
           "wire_bytes=%lld node_failures=%lld degraded_queries=%lld "
-          "cluster_nodes=%lld\n",
+          "cluster_nodes=%lld transport_timeouts=%lld "
+          "transport_reconnects=%lld transport_retries=%lld\n",
           engine_->name().c_str(), static_cast<long long>(s.queries),
           static_cast<long long>(s.tuples_touched),
           static_cast<long long>(s.swaps), static_cast<long long>(s.cracks),
@@ -271,7 +272,10 @@ class Session {
           static_cast<long long>(s.wire_bytes),
           static_cast<long long>(s.node_failures),
           static_cast<long long>(s.degraded_queries),
-          static_cast<long long>(s.cluster_nodes));
+          static_cast<long long>(s.cluster_nodes),
+          static_cast<long long>(s.transport_timeouts),
+          static_cast<long long>(s.transport_reconnects),
+          static_cast<long long>(s.transport_retries));
     } else if (command == "validate") {
       std::printf("%s\n", engine_->Validate().ToString().c_str());
     } else {

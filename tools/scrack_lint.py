@@ -32,6 +32,13 @@ Enforces conventions that generic linters cannot know about. Rules:
                       wrappers.
   include-hygiene     headers use #pragma once; no uphill relative includes
                       ("../") — project includes are rooted at src/.
+  socket-confinement  raw POSIX networking (::socket/::connect/::bind/
+                      ::listen/::accept/::send/::recv/::poll/::shutdown,
+                      setsockopt/getaddrinfo/inet_pton, and the <sys/socket.h>
+                      family of headers) stays confined to
+                      src/distributed/socket.cc; everything else talks
+                      net::Socket so deadline handling, EINTR retries, and
+                      partial-transfer loops live in exactly one place.
 
 Suppressions (each intentional exception must carry one, which keeps them
 greppable):
@@ -53,6 +60,7 @@ import sys
 CXX_EXTENSIONS = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".inl"}
 AVX2_HOME = os.path.join("src", "cracking", "kernel_avx2.cc")
 RNG_HOME = os.path.join("src", "util", "rng.h")
+SOCKET_HOME = os.path.join("src", "distributed", "socket.cc")
 KERNEL_HEADER = os.path.join("src", "cracking", "kernel.h")
 
 ALLOW_RE = re.compile(r"lint:allow\(([\w*,\s-]+)\)")
@@ -260,8 +268,10 @@ MUTEX_INCLUDE_RE = re.compile(r'#\s*include\s+<(?:mutex|shared_mutex)>')
 MUTEX_HOMES = {
     "thread_pool", "sharded_engine", "threadsafe_engine", "epoch_engine",
     # The distributed transport internals: the coordinator's stats cache and
-    # each storage node's serve loop serialize behind one lock apiece.
-    "coordinator_engine", "storage_node",
+    # each storage node's serve loop serialize behind one lock apiece, and
+    # the TCP transport holds one per-node connection lock (the transport
+    # contract makes Call() the serialization point).
+    "coordinator_engine", "storage_node", "tcp_transport",
 }
 
 
@@ -297,6 +307,32 @@ def rule_include_hygiene(relpath, raw_lines, code_lines):
                    "rooted at src/ (target_include_directories)")
 
 
+# Raw POSIX networking calls (the :: forms socket.cc itself uses) and the
+# lookup/option helpers that only make sense next to them. Wrapper methods
+# (net::Connect, Socket::Shutdown) are capitalized, so the lowercase match
+# never fires on call sites that go through the sanctioned layer.
+SOCKET_CALL_RE = re.compile(
+    r"::\s*(?:socket|connect|bind|listen|accept4?|send(?:to|msg)?|"
+    r"recv(?:from|msg)?|poll|shutdown)\s*\(|"
+    r"\b(?:setsockopt|getsockopt|getaddrinfo|freeaddrinfo|inet_pton|"
+    r"inet_ntop)\s*\(")
+SOCKET_INCLUDE_RE = re.compile(
+    r"#\s*include\s+<(?:sys/socket\.h|netinet/[\w.]+|arpa/inet\.h|"
+    r"poll\.h|netdb\.h)>")
+
+
+def rule_socket_confinement(relpath, raw_lines, code_lines):
+    if relpath.replace(os.sep, "/") == SOCKET_HOME.replace(os.sep, "/"):
+        return
+    for lineno, line in enumerate(code_lines, 1):
+        match = SOCKET_CALL_RE.search(line) or SOCKET_INCLUDE_RE.search(line)
+        if match:
+            yield (lineno, "socket-confinement",
+                   f"'{match.group(0).strip()}' outside {SOCKET_HOME}: raw "
+                   "networking goes through net::Socket so deadlines, EINTR "
+                   "retries, and partial transfers are handled in one place")
+
+
 LINE_RULES = [
     rule_avx2_confinement,
     rule_determinism,
@@ -304,6 +340,7 @@ LINE_RULES = [
     rule_naked_new,
     rule_mutex_confinement,
     rule_include_hygiene,
+    rule_socket_confinement,
 ]
 
 

@@ -1,0 +1,169 @@
+// scrack_node: one storage node of a coord(K,...) cluster, served over TCP.
+//
+// The cross-process face of the distributed layer: each process owns one
+// value-range slice of the dataset and answers wire::Requests through a
+// TcpNodeServer. There is no data exchange at startup — the node
+// regenerates the same deterministic column the coordinator uses
+// (Column::UniquePermutation(n, seed)), recomputes the same equi-depth
+// boundaries (CoordinatorEngine::ComputeLowers), and keeps exactly its
+// slice. A coordinator built from the same (n, seed, K) routes with
+// identical boundaries, so answers are bit-identical to the in-process
+// cluster — the cross-process smoke in CI asserts this.
+//
+// Usage:
+//   scrack_node --node=2 --nodes=4 --n=200000 [--seed=42] [--port=0]
+//               [--engine='epoch(crack)']
+//
+// Prints "scrack_node: node I/K listening on port P" once serving (parse
+// the port when using --port=0), then runs until SIGTERM/SIGINT, which
+// drains cleanly: in-flight requests finish, threads join, exit 0.
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "distributed/coordinator_engine.h"
+#include "distributed/storage_node.h"
+#include "distributed/tcp_server.h"
+#include "harness/engine_factory.h"
+#include "storage/column.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --node=I --nodes=K --n=N [--seed=S] [--port=P] "
+      "[--engine=SPEC]\n"
+      "  --node=I      this node's index, 0 <= I < K (required)\n"
+      "  --nodes=K     cluster size (required)\n"
+      "  --n=N         dataset size; must match the coordinator (required)\n"
+      "  --seed=S      dataset seed; must match the coordinator (default "
+      "42)\n"
+      "  --port=P      TCP port; 0 = ephemeral, printed on stdout (default "
+      "0)\n"
+      "  --engine=SPEC inner engine spec (default 'epoch(crack)')\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using scrack::Column;
+  using scrack::CoordinatorEngine;
+  using scrack::EngineConfig;
+  using scrack::Index;
+  using scrack::Status;
+  using scrack::StorageNode;
+  using scrack::TcpNodeServer;
+  using scrack::Value;
+
+  int node_index = -1;
+  int num_nodes = 0;
+  long long n = 0;
+  uint64_t seed = 42;
+  long port = 0;
+  std::string engine_spec = "epoch(crack)";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--node=", 0) == 0) {
+      node_index = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      num_nodes = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--n=", 0) == 0) {
+      n = std::atoll(arg.c_str() + 4);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--port=", 0) == 0) {
+      port = std::atol(arg.c_str() + 7);
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine_spec = arg.substr(9);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (num_nodes < 1 || num_nodes > CoordinatorEngine::kMaxNodes ||
+      node_index < 0 || node_index >= num_nodes || n < 1 || port < 0 ||
+      port > 65535) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // Regenerate the shared dataset and keep exactly this node's slice. The
+  // deal is the coordinator's own algorithm, so routing and ownership
+  // agree across the process boundary by construction. Duplicate-free
+  // permutations never collapse boundaries, so the slice index is valid.
+  const Column base = Column::UniquePermutation(static_cast<Index>(n), seed);
+  const std::vector<Value> lowers =
+      CoordinatorEngine::ComputeLowers(base, num_nodes);
+  if (static_cast<int>(lowers.size()) != num_nodes) {
+    std::fprintf(stderr,
+                 "scrack_node: boundaries collapsed to %d < %d nodes\n",
+                 static_cast<int>(lowers.size()), num_nodes);
+    return 1;
+  }
+  std::vector<std::vector<Value>> slices =
+      CoordinatorEngine::DealSlices(base, lowers);
+
+  // Same per-node seed decorrelation as the factory's coord/sharded lambda
+  // — the other half of cross-process answer parity for stochastic inners.
+  EngineConfig config = EngineConfig::Detected();
+  config.seed = seed + static_cast<uint64_t>(node_index) *
+                           0x9E3779B97F4A7C15ULL;
+  std::unique_ptr<StorageNode> node;
+  {
+    const Status created = StorageNode::Create(
+        Column(std::move(slices[static_cast<size_t>(node_index)])),
+        node_index,
+        [&](const Column* node_base, int /*index*/,
+            std::unique_ptr<scrack::SelectEngine>* out) {
+          return scrack::CreateEngine(engine_spec, node_base, config, out);
+        },
+        &node);
+    if (!created.ok()) {
+      std::fprintf(stderr, "scrack_node: %s\n", created.ToString().c_str());
+      return 1;
+    }
+  }
+
+  TcpNodeServer server;
+  const Status started =
+      server.Start(node.get(), static_cast<uint16_t>(port));
+  if (!started.ok()) {
+    std::fprintf(stderr, "scrack_node: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("scrack_node: node %d/%d listening on port %u (%lld tuples, %s)\n",
+              node_index, num_nodes, server.port(),
+              static_cast<long long>(node->slice_size()),
+              engine_spec.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Clean drain: stop accepting, finish in-flight requests, join threads.
+  server.Stop();
+  std::printf(
+      "scrack_node: node %d drained (%lld connections, %lld requests, "
+      "%lld frame errors)\n",
+      node_index, static_cast<long long>(server.connections_accepted()),
+      static_cast<long long>(server.requests_served()),
+      static_cast<long long>(server.frame_errors()));
+  return 0;
+}

@@ -59,7 +59,22 @@
 //             error), and reviving the node must restore complete
 //             answers. Reports per-phase routing/pruning/wire counters
 //             and writes a separate report (BENCH_serve_dist.json,
-//             schema "serve-dist").
+//             schema "serve-dist"). --transport picks the wire: "inproc"
+//             (default) keeps PR 9's in-process transport; "tcp"
+//             self-hosts the same four nodes behind TcpNodeServers on
+//             ephemeral loopback ports and drives them through a real
+//             TcpTransport — identical checksums, plus the transport's
+//             timeout/reconnect/retry counters in the report. The kill
+//             segment generalizes: under tcp the victim's server is
+//             stopped and restarted on its port instead of KillNode/
+//             ReviveNode. --nodes=host:port,... skips self-hosting and
+//             targets external scrack_node processes (the CI
+//             cross-process smoke); the kill segment is skipped, since
+//             the cluster's lifecycle belongs to whoever launched it.
+//             --expect-dead=V replaces the phases with a degraded-cluster
+//             probe against external nodes whose node V was already
+//             killed: reads must answer as degraded partials, a write
+//             routed to V must fail loudly.
 //
 //   --faults  fault-injection smoke: runs chaos(audit(crack)) and
 //             chaos(audit(prog(B,crack))) over the same stream with
@@ -72,7 +87,8 @@
 //   scrack_serve [--quick] [--threads=N] [--n=N] [--q=Q] [--rate=QPS]
 //                [--seed=S] [--json=PATH]
 //                [--slo] [--faults[=PERIOD]] [--dist] [--budget=B]
-//                [--deadline-us=D]
+//                [--deadline-us=D] [--transport=inproc|tcp]
+//                [--nodes=HOST:PORT,...] [--expect-dead=V]
 //
 //   --quick        CI scale (smaller column and streams, same gates).
 //   --threads=N    client threads (default 8).
@@ -89,6 +105,12 @@
 //                  --faults (default 5000).
 //   --deadline-us  per-query latency SLO for --slo's miss rate
 //                  (default 1000; observation only, never enforced).
+//   --transport=T  --dist wire: "inproc" (default) or "tcp" (self-hosted
+//                  TcpNodeServers on ephemeral loopback ports).
+//   --nodes=LIST   --dist against external nodes (comma-separated
+//                  host:port, one per scrack_node process); implies tcp.
+//   --expect-dead=V  --dist degraded probe: with external node V already
+//                  killed, assert degraded reads + loud write failures.
 #include <algorithm>
 #include <atomic>
 #include <cinttypes>
@@ -105,6 +127,9 @@
 #include "cracking/cracker_column.h"
 #include "cracking/engine.h"
 #include "distributed/coordinator_engine.h"
+#include "distributed/storage_node.h"
+#include "distributed/tcp_server.h"
+#include "distributed/tcp_transport.h"
 #include "harness/engine_factory.h"
 #include "progressive/chaos_engine.h"
 #include "repro/json.h"
@@ -124,6 +149,9 @@ struct ServeOptions {
   uint64_t seed = 42;
   int64_t updates = 200;  // staged inserts during the update phase
   std::string json_path = "BENCH_serve.json";
+  std::string transport = "inproc";  // --dist wire: "inproc" or "tcp"
+  std::string nodes_csv;             // --dist external cluster host:port,...
+  int expect_dead = -1;              // --dist probe: index of a killed node
 };
 
 /// One thread's deterministic query stream: fixed-width ranges at uniform
@@ -574,13 +602,47 @@ int RunFaultsMode(const ServeOptions& opt, int64_t budget, int64_t period) {
 
 // ----------------------------------------------------------- dist mode ----
 
-/// Multi-node serving smoke: coord(4,epoch(crack)) vs sharded(4,epoch(crack))
+/// Parses "host:port,host:port,..." into endpoints. Returns false (with a
+/// message on stderr) on any malformed element.
+bool ParseEndpoints(const std::string& csv, std::vector<TcpEndpoint>* out) {
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    const std::string element = csv.substr(begin, end - begin);
+    const size_t colon = element.rfind(':');
+    const long port = colon == std::string::npos
+                          ? 0
+                          : std::atol(element.c_str() + colon + 1);
+    if (colon == 0 || colon == std::string::npos || port < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "dist: malformed endpoint '%s' in --nodes\n",
+                   element.c_str());
+      return false;
+    }
+    out->push_back(TcpEndpoint{element.substr(0, colon),
+                               static_cast<uint16_t>(port)});
+    begin = end + 1;
+  }
+  return !out->empty();
+}
+
+/// Multi-node serving smoke: coord(K,epoch(crack)) vs sharded(K,epoch(crack))
 /// across the cold/converged/update phases, then a node-kill segment. Every
 /// phase checksum must match the wire-free reference; with a node dead,
 /// every read must answer as a degraded partial instead of failing, and
-/// revival must restore complete answers.
+/// revival must restore complete answers. The coordinator runs over the
+/// in-process transport (default), a self-hosted TCP cluster
+/// (--transport=tcp), or external scrack_node processes (--nodes=...).
 int RunDistMode(const ServeOptions& opt) {
-  constexpr int kNodes = 4;
+  std::vector<TcpEndpoint> endpoints;
+  if (!opt.nodes_csv.empty() && !ParseEndpoints(opt.nodes_csv, &endpoints)) {
+    return 2;
+  }
+  const int kNodes =
+      endpoints.empty() ? 4 : static_cast<int>(endpoints.size());
+  const bool external = !endpoints.empty();
+  const bool over_tcp = external || opt.transport == "tcp";
   EngineConfig config = EngineConfig::Detected();
   config.seed = opt.seed;
   const Column base = Column::UniquePermutation(opt.n, opt.seed);
@@ -593,26 +655,186 @@ int RunDistMode(const ServeOptions& opt) {
                            1, static_cast<int64_t>(stream.size()) /
                                   std::max<int64_t>(1, opt.updates));
 
+  const std::string inner_spec = "epoch(crack)";
   const std::string coord_spec =
-      "coord(" + std::to_string(kNodes) + ",epoch(crack))";
+      "coord(" + std::to_string(kNodes) + "," + inner_spec + ")";
   const std::string ref_spec =
-      "sharded(" + std::to_string(kNodes) + ",epoch(crack))";
+      "sharded(" + std::to_string(kNodes) + "," + inner_spec + ")";
+
+  // Self-hosted TCP cluster state; empty under inproc or --nodes. The
+  // nodes must outlive the coordinator, so they live at function scope.
+  std::vector<std::unique_ptr<StorageNode>> tcp_nodes;
+  std::vector<std::unique_ptr<TcpNodeServer>> tcp_servers;
+
   std::unique_ptr<SelectEngine> coord_engine;
   std::unique_ptr<SelectEngine> ref_engine;
-  for (auto [spec, out] : {std::pair{&coord_spec, &coord_engine},
-                           std::pair{&ref_spec, &ref_engine}}) {
-    const Status created = CreateEngine(*spec, &base, config, out);
+  if (over_tcp) {
+    std::vector<Value> lowers =
+        CoordinatorEngine::ComputeLowers(base, kNodes);
+    if (static_cast<int>(lowers.size()) != kNodes) {
+      std::fprintf(stderr, "dist: boundaries collapsed below %d nodes\n",
+                   kNodes);
+      return 1;
+    }
+    if (!external) {
+      // Self-host: the factory's own deal and per-node seed decorrelation,
+      // each node behind its own TcpNodeServer on an ephemeral port — so
+      // coord-over-TCP answers stay bit-identical to the wire-free
+      // reference.
+      std::vector<std::vector<Value>> slices =
+          CoordinatorEngine::DealSlices(base, lowers);
+      for (int i = 0; i < kNodes; ++i) {
+        EngineConfig node_config = config;
+        node_config.seed =
+            opt.seed + static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL;
+        std::unique_ptr<StorageNode> node;
+        const Status created = StorageNode::Create(
+            Column(std::move(slices[static_cast<size_t>(i)])), i,
+            [&](const Column* node_base, int /*index*/,
+                std::unique_ptr<SelectEngine>* out) {
+              return CreateEngine(inner_spec, node_base, node_config, out);
+            },
+            &node);
+        if (!created.ok()) {
+          std::fprintf(stderr, "dist: node %d: %s\n", i,
+                       created.ToString().c_str());
+          return 1;
+        }
+        auto server = std::make_unique<TcpNodeServer>();
+        const Status started = server->Start(node.get(), 0);
+        if (!started.ok()) {
+          std::fprintf(stderr, "dist: node %d server: %s\n", i,
+                       started.ToString().c_str());
+          return 1;
+        }
+        endpoints.push_back(TcpEndpoint{"127.0.0.1", server->port()});
+        tcp_nodes.push_back(std::move(node));
+        tcp_servers.push_back(std::move(server));
+      }
+    }
+    TcpTransportOptions transport_options;  // production defaults
+    const Status created = CoordinatorEngine::CreateOverTransport(
+        std::move(lowers),
+        std::make_unique<TcpTransport>(endpoints, transport_options),
+        inner_spec, kNodes, &coord_engine, /*deadline_us=*/0,
+        /*tolerate_unreachable=*/opt.expect_dead >= 0);
     if (!created.ok()) {
-      std::fprintf(stderr, "engine %s: %s\n", spec->c_str(),
+      std::fprintf(stderr, "engine %s over tcp: %s\n", coord_spec.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+  } else {
+    const Status created =
+        CreateEngine(coord_spec, &base, config, &coord_engine);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", coord_spec.c_str(),
+                   created.ToString().c_str());
+      return 1;
+    }
+  }
+  {
+    const Status created = CreateEngine(ref_spec, &base, config, &ref_engine);
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine %s: %s\n", ref_spec.c_str(),
                    created.ToString().c_str());
       return 1;
     }
   }
   auto* coord = dynamic_cast<CoordinatorEngine*>(coord_engine.get());
-  if (coord == nullptr || coord->inproc_transport() == nullptr) {
+  if (coord == nullptr ||
+      (!over_tcp && coord->inproc_transport() == nullptr)) {
     std::fprintf(stderr, "dist: %s is not a coordinator\n",
                  coord_spec.c_str());
     return 1;
+  }
+
+  // Degraded-cluster probe: whoever launched the external nodes already
+  // killed node V; assert the coordinator's failure policy from the
+  // outside — reads answer as degraded partials, a write routed to the
+  // dead node fails loudly — then report and exit. No phases, no
+  // reference engine: the external cluster's state may include staged
+  // updates from earlier legs.
+  if (opt.expect_dead >= 0) {
+    if (!external || opt.expect_dead >= kNodes) {
+      std::fprintf(stderr,
+                   "dist: --expect-dead needs --nodes and an index < K\n");
+      return 2;
+    }
+    const int victim = opt.expect_dead;
+    bool probe_ok = true;
+    Query full;
+    full.low = 0;
+    full.high = opt.n + 1;
+    full.mode = OutputMode::kCount;
+    QueryOutput degraded;
+    const Status read = coord_engine->Execute(full, &degraded);
+    if (!read.ok()) {
+      std::fprintf(stderr, "dist: read failed (not degraded) with node %d "
+                           "dead: %s\n",
+                   victim, read.ToString().c_str());
+      probe_ok = false;
+    } else if (degraded.degraded_nodes != 1) {
+      std::fprintf(stderr, "dist: expected exactly 1 degraded node, got %d\n",
+                   degraded.degraded_nodes);
+      probe_ok = false;
+    }
+    int64_t degraded_reads = 0;
+    for (size_t i = 0; i < stream.size() && i < 256; ++i) {
+      QueryOutput output;
+      if (!coord_engine->Execute(stream[i], &output).ok()) {
+        std::fprintf(stderr, "dist: query %zu failed with node %d dead\n", i,
+                     victim);
+        probe_ok = false;
+        break;
+      }
+      degraded_reads += output.degraded_nodes > 0 ? 1 : 0;
+    }
+    if (!stream.empty() && degraded_reads <= 0) {
+      std::fprintf(stderr,
+                   "dist: no stream query touched the dead node (probe is "
+                   "vacuous)\n");
+      probe_ok = false;
+    }
+    const Value victim_value =
+        static_cast<Value>(victim) * (opt.n / kNodes) + opt.n / (2 * kNodes);
+    const bool write_failed = !coord_engine->StageInsert(victim_value).ok();
+    if (!write_failed) {
+      std::fprintf(stderr, "dist: write unexpectedly succeeded with node %d "
+                           "dead\n",
+                   victim);
+      probe_ok = false;
+    }
+    const EngineStats end = coord_engine->CurrentStats();
+    std::printf("dist probe: victim=%d degraded_count=%lld degraded_reads=%"
+                PRId64 " node_failures=%" PRId64 " timeouts=%" PRId64
+                " reconnects=%" PRId64 " retries=%" PRId64 "\n",
+                victim, static_cast<long long>(degraded.count),
+                degraded_reads, end.node_failures, end.transport_timeouts,
+                end.transport_reconnects, end.transport_retries);
+    if (opt.json_path != "none") {
+      repro::Json doc{repro::JsonObject{}};
+      doc.Set("schema", "serve-dist-probe");
+      doc.Set("n", static_cast<int64_t>(opt.n));
+      doc.Set("nodes", static_cast<int64_t>(kNodes));
+      doc.Set("victim", static_cast<int64_t>(victim));
+      doc.Set("degraded_count", static_cast<int64_t>(degraded.count));
+      doc.Set("degraded_reads", degraded_reads);
+      doc.Set("write_failed", static_cast<int64_t>(write_failed ? 1 : 0));
+      doc.Set("node_failures", end.node_failures);
+      doc.Set("degraded_queries", end.degraded_queries);
+      doc.Set("transport_timeouts", end.transport_timeouts);
+      doc.Set("transport_reconnects", end.transport_reconnects);
+      doc.Set("transport_retries", end.transport_retries);
+      const Status written = repro::WriteJsonFile(doc, opt.json_path);
+      if (!written.ok()) {
+        std::fprintf(stderr, "write %s: %s\n", opt.json_path.c_str(),
+                     written.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf(probe_ok ? "serve --dist probe: degraded-partial OK\n"
+                         : "serve --dist probe: FAILED\n");
+    return probe_ok ? 0 : 1;
   }
 
   bool ok = true;
@@ -692,25 +914,47 @@ int RunDistMode(const ServeOptions& opt) {
                            : 0.0);
     rows.push_back(std::move(row));
   }
-  // Narrow streams over K equi-depth partitions must prune most fan-outs.
-  if (!rows.empty() && rows.back().pruned <= rows.back().routed) {
-    std::fprintf(stderr, "dist: narrow queries did not prune (routed=%" PRId64
-                         " pruned=%" PRId64 ")\n",
-                 rows.back().routed, rows.back().pruned);
-    ok = false;
+  // Narrow streams over K equi-depth partitions must prune most fan-outs:
+  // a width-n/1000 range touches at most two adjacent nodes, so at least
+  // (K-2)/K of every fan-out prunes. Vacuous at K=1 (one node owns every
+  // range); at K=2 the bound degenerates to "some pruning happened".
+  if (kNodes > 1 && !rows.empty()) {
+    const int64_t fanned = rows.back().routed + rows.back().pruned;
+    const int64_t pruned_floor =
+        kNodes > 2 ? fanned * (kNodes - 2) / kNodes : 1;
+    if (rows.back().pruned < pruned_floor) {
+      std::fprintf(stderr,
+                   "dist: narrow queries did not prune (routed=%" PRId64
+                   " pruned=%" PRId64 " floor=%" PRId64 ")\n",
+                   rows.back().routed, rows.back().pruned, pruned_floor);
+      ok = false;
+    }
   }
 
   // Node-kill segment: with one node dead, reads answer as degraded
   // partials; writes fail loudly; revival restores complete answers.
+  // Under --transport=tcp the "crash" is the victim's TcpNodeServer
+  // stopping, and revival restarts it on the same port (SO_REUSEADDR) —
+  // the coordinator only ever sees refused connections, exactly what a
+  // dead process looks like. Skipped against external nodes (--nodes):
+  // their lifecycle belongs to the launcher, which drives the same
+  // assertions through --expect-dead.
   const int victim = static_cast<int>(opt.seed % kNodes);
-  coord->inproc_transport()->KillNode(victim);
-  Query full;
-  full.low = 0;
-  full.high = opt.n + 1;
-  full.mode = OutputMode::kCount;
   QueryOutput degraded;
+  QueryOutput recovered;
+  QueryOutput reference;
   int64_t degraded_reads = 0;
-  {
+  if (!external) {
+    const uint16_t victim_port = over_tcp ? tcp_servers[victim]->port() : 0;
+    if (over_tcp) {
+      tcp_servers[victim]->Stop();
+    } else {
+      coord->inproc_transport()->KillNode(victim);
+    }
+    Query full;
+    full.low = 0;
+    full.high = opt.n + 1;
+    full.mode = OutputMode::kCount;
     const Status status = coord_engine->Execute(full, &degraded);
     if (!status.ok()) {
       std::fprintf(stderr, "dist: read failed (not degraded) with node %d "
@@ -744,33 +988,51 @@ int RunDistMode(const ServeOptions& opt) {
                    victim);
       ok = false;
     }
-  }
-  coord->inproc_transport()->ReviveNode(victim);
-  QueryOutput recovered;
-  QueryOutput reference;
-  if (!coord_engine->Execute(full, &recovered).ok() ||
-      !ref_engine->Execute(full, &reference).ok() ||
-      recovered.degraded_nodes != 0 || recovered.count != reference.count) {
-    std::fprintf(stderr, "dist: revival did not restore complete answers\n");
-    ok = false;
-  }
-  if (degraded.count >= reference.count) {
-    std::fprintf(stderr, "dist: degraded answer was not partial "
-                         "(%lld >= %lld)\n",
-                 static_cast<long long>(degraded.count),
-                 static_cast<long long>(reference.count));
-    ok = false;
+    if (over_tcp) {
+      const Status restarted =
+          tcp_servers[victim]->Start(tcp_nodes[victim].get(), victim_port);
+      if (!restarted.ok()) {
+        std::fprintf(stderr, "dist: victim restart: %s\n",
+                     restarted.ToString().c_str());
+        ok = false;
+      }
+    } else {
+      coord->inproc_transport()->ReviveNode(victim);
+    }
+    if (!coord_engine->Execute(full, &recovered).ok() ||
+        !ref_engine->Execute(full, &reference).ok() ||
+        recovered.degraded_nodes != 0 ||
+        recovered.count != reference.count) {
+      std::fprintf(stderr, "dist: revival did not restore complete "
+                           "answers\n");
+      ok = false;
+    }
+    if (degraded.count >= reference.count) {
+      std::fprintf(stderr, "dist: degraded answer was not partial "
+                           "(%lld >= %lld)\n",
+                   static_cast<long long>(degraded.count),
+                   static_cast<long long>(reference.count));
+      ok = false;
+    }
   }
   const EngineStats end = coord_engine->CurrentStats();
-  std::printf("node-kill: victim=%d degraded_count=%lld/%lld "
-              "degraded_reads=%" PRId64 " node_failures=%" PRId64
-              " recovered_count=%lld\n",
-              victim, static_cast<long long>(degraded.count),
-              static_cast<long long>(reference.count), degraded_reads,
-              end.node_failures, static_cast<long long>(recovered.count));
-  if (end.degraded_queries <= 0 || end.node_failures <= 0) {
-    std::fprintf(stderr, "dist: kill segment left no degradation trace\n");
-    ok = false;
+  if (!external) {
+    std::printf("node-kill: victim=%d degraded_count=%lld/%lld "
+                "degraded_reads=%" PRId64 " node_failures=%" PRId64
+                " recovered_count=%lld\n",
+                victim, static_cast<long long>(degraded.count),
+                static_cast<long long>(reference.count), degraded_reads,
+                end.node_failures, static_cast<long long>(recovered.count));
+    if (end.degraded_queries <= 0 || end.node_failures <= 0) {
+      std::fprintf(stderr, "dist: kill segment left no degradation trace\n");
+      ok = false;
+    }
+  }
+  if (over_tcp) {
+    std::printf("transport=tcp timeouts=%" PRId64 " reconnects=%" PRId64
+                " retries=%" PRId64 "\n",
+                end.transport_timeouts, end.transport_reconnects,
+                end.transport_retries);
   }
   if (!coord_engine->Validate().ok() || !ref_engine->Validate().ok()) {
     std::fprintf(stderr, "dist: Validate failed after serve\n");
@@ -785,6 +1047,10 @@ int RunDistMode(const ServeOptions& opt) {
     doc.Set("queries_per_phase", static_cast<int64_t>(stream.size()));
     doc.Set("seed", static_cast<int64_t>(opt.seed));
     doc.Set("engine", coord_engine->name());
+    doc.Set("transport", over_tcp ? "tcp" : "inproc");
+    doc.Set("transport_timeouts", end.transport_timeouts);
+    doc.Set("transport_reconnects", end.transport_reconnects);
+    doc.Set("transport_retries", end.transport_retries);
     repro::Json out_rows{repro::JsonArray{}};
     for (const DistRow& row : rows) {
       repro::Json j{repro::JsonObject{}};
@@ -799,14 +1065,16 @@ int RunDistMode(const ServeOptions& opt) {
       out_rows.Append(std::move(j));
     }
     doc.Set("phases", std::move(out_rows));
-    repro::Json kill{repro::JsonObject{}};
-    kill.Set("victim", static_cast<int64_t>(victim));
-    kill.Set("degraded_count", static_cast<int64_t>(degraded.count));
-    kill.Set("recovered_count", static_cast<int64_t>(recovered.count));
-    kill.Set("degraded_reads", degraded_reads);
-    kill.Set("node_failures", end.node_failures);
-    kill.Set("degraded_queries", end.degraded_queries);
-    doc.Set("node_kill", std::move(kill));
+    if (!external) {
+      repro::Json kill{repro::JsonObject{}};
+      kill.Set("victim", static_cast<int64_t>(victim));
+      kill.Set("degraded_count", static_cast<int64_t>(degraded.count));
+      kill.Set("recovered_count", static_cast<int64_t>(recovered.count));
+      kill.Set("degraded_reads", degraded_reads);
+      kill.Set("node_failures", end.node_failures);
+      kill.Set("degraded_queries", end.degraded_queries);
+      doc.Set("node_kill", std::move(kill));
+    }
     const Status written = repro::WriteJsonFile(doc, opt.json_path);
     if (!written.ok()) {
       std::fprintf(stderr, "write %s: %s\n", opt.json_path.c_str(),
@@ -860,12 +1128,19 @@ int Main(int argc, char** argv) {
       budget = std::atoll(arg.c_str() + 9);
     } else if (arg.rfind("--deadline-us=", 0) == 0) {
       deadline_us = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      opt.transport = arg.substr(12);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      opt.nodes_csv = arg.substr(8);
+    } else if (arg.rfind("--expect-dead=", 0) == 0) {
+      opt.expect_dead = std::atoi(arg.c_str() + 14);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads=N] [--n=N] [--q=Q] "
                    "[--rate=QPS] [--seed=S] [--json=PATH] [--slo] "
                    "[--faults[=PERIOD]] [--dist] [--budget=B] "
-                   "[--deadline-us=D]\n",
+                   "[--deadline-us=D] [--transport=inproc|tcp] "
+                   "[--nodes=HOST:PORT,...] [--expect-dead=V]\n",
                    argv[0]);
       return 2;
     }
@@ -888,6 +1163,16 @@ int Main(int argc, char** argv) {
   if (budget < 1 || fault_period < 1) {
     std::fprintf(stderr, "scrack_serve: --budget and --faults period must "
                          "be >= 1\n");
+    return 2;
+  }
+  if (opt.transport != "inproc" && opt.transport != "tcp") {
+    std::fprintf(stderr, "scrack_serve: --transport must be inproc or tcp\n");
+    return 2;
+  }
+  if (!dist && (opt.transport != "inproc" || !opt.nodes_csv.empty() ||
+                opt.expect_dead >= 0)) {
+    std::fprintf(stderr, "scrack_serve: --transport/--nodes/--expect-dead "
+                         "require --dist\n");
     return 2;
   }
   if (slo) {
